@@ -1,0 +1,99 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/figure benchmark binaries: suite
+/// construction (catalog + compiled plans) and compile/execute timing.
+/// Absolute numbers will differ from the paper (1-core VM vs. 32-core
+/// Xeon; synthetic data at reduced scale); the benches print the same
+/// *structure* — per-phase breakdowns and cross-back-end ratios.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_BENCH_BENCHUTIL_H
+#define QCF_BENCH_BENCHUTIL_H
+
+#include "backend/Registry.h"
+#include "db/Codegen.h"
+#include "db/Datagen.h"
+#include "db/Executor.h"
+#include "db/Queries.h"
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qcf::bench {
+
+struct Suite {
+  db::Catalog Cat;
+  std::vector<db::CompiledPlan> Plans;
+  std::vector<std::string> Names;
+  size_t TotalFunctions = 0;
+};
+
+inline Suite makeDsSuite(double Sf = 1.0) {
+  Suite S;
+  db::generateTpcdsLike(S.Cat, Sf);
+  for (db::Query &Q : db::tpcdsQueries()) {
+    S.Names.push_back(Q.Name);
+    S.Plans.push_back(db::compileQuery(Q, S.Cat));
+    S.TotalFunctions += S.Plans.back().Module->functions().size();
+  }
+  return S;
+}
+
+inline Suite makeTpchSuite(double Sf = 1.0) {
+  Suite S;
+  db::generateTpchLike(S.Cat, Sf);
+  for (db::Query &Q : db::tpchQueries()) {
+    S.Names.push_back(Q.Name);
+    S.Plans.push_back(db::compileQuery(Q, S.Cat));
+    S.TotalFunctions += S.Plans.back().Module->functions().size();
+  }
+  return S;
+}
+
+/// Total compile time of the whole suite with \p BE (seconds; best of
+/// \p Reps repetitions to suppress noise), optionally collecting traces.
+inline double suiteCompileSec(Suite &S, backend::Backend &BE,
+                              unsigned Reps = 3,
+                              TimeTrace *Trace = nullptr) {
+  double Best = 1e100;
+  for (unsigned R = 0; R != Reps; ++R) {
+    Stopwatch W;
+    for (db::CompiledPlan &P : S.Plans) {
+      auto Compiled = BE.compile(*P.Module, Trace);
+      (void)Compiled;
+    }
+    Best = std::min(Best, W.elapsedSec());
+  }
+  return Best;
+}
+
+/// Executes the whole suite once; returns (compileSec, execSec).
+inline std::pair<double, double> suiteRunSec(Suite &S,
+                                             backend::Backend &BE) {
+  double Compile = 0, Exec = 0;
+  for (db::CompiledPlan &P : S.Plans) {
+    rt::OutputBuffer Out;
+    db::ExecResult R = db::executeQuery(P, BE, S.Cat, &Out);
+    if (R.Trapped)
+      reportFatalError("benchmark query trapped");
+    Compile += R.CompileSec;
+    Exec += R.ExecSec;
+  }
+  return {Compile, Exec};
+}
+
+inline void printHeader(const char *Title, const char *PaperRef) {
+  std::printf("\n=== %s ===\n", Title);
+  std::printf("(reproduces %s; shapes/ratios comparable, absolute times "
+              "machine-dependent)\n\n", PaperRef);
+}
+
+} // namespace qcf::bench
+
+#endif // QCF_BENCH_BENCHUTIL_H

@@ -1,0 +1,38 @@
+//===- bench/bench_backends.cpp - Table III reproduction -------------------===//
+//
+// Part of the QCF project. Compile-time and execution performance of every
+// back-end on the TPC-DS-like suite (paper Table III).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+using namespace qcf;
+using namespace qcf::bench;
+
+int main() {
+  printHeader("Back-end compile/execute comparison", "Table III");
+  Suite S = makeDsSuite(1.0);
+  std::printf("%zu queries, %zu generated functions\n\n", S.Plans.size(),
+              S.TotalFunctions);
+  std::printf("%-12s %14s %14s\n", "backend", "compile[ms]", "exec[ms]");
+
+  double DirectCompile = 0, CranelineCompile = 0;
+  for (const std::string &Name : backend::allBackendNames()) {
+    auto BE = backend::createBackend(Name);
+    auto [Compile, Exec] = suiteRunSec(S, *BE);
+    // Re-measure compile alone (best-of) for stability.
+    double C = suiteCompileSec(S, *BE, Name == "GCC" ? 1 : 3);
+    std::printf("%-12s %14.2f %14.2f\n", Name.c_str(), C * 1e3,
+                Exec * 1e3);
+    if (Name == "DirectEmit")
+      DirectCompile = C;
+    if (Name == "Craneline")
+      CranelineCompile = C;
+  }
+  if (DirectCompile > 0)
+    std::printf("\nCraneline/DirectEmit compile-time ratio: %.1fx "
+                "(paper: ~16x)\n",
+                CranelineCompile / DirectCompile);
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- bench/bench_craneline_breakdown.cpp - Fig. 4 reproduction -----------===//
+//
+// Part of the QCF project. Craneline compile-time breakdown (paper Fig. 4:
+// IRGen, IRPasses, ISelPrepare, ISel, RegAlloc, Emit, Link, Overhead).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "craneline/Craneline.h"
+
+using namespace qcf;
+using namespace qcf::bench;
+
+int main() {
+  printHeader("Craneline compile-time breakdown", "Fig. 4");
+  Suite S = makeDsSuite(1.0);
+  craneline::CranelineBackend BE;
+  TimeTrace Trace;
+  double Total = suiteCompileSec(S, BE, 1, &Trace);
+
+  struct Row {
+    const char *Label;
+    const char *Prefix;
+  };
+  const Row Rows[] = {
+      {"IRGen", "craneline.irgen"},
+      {"IRPasses", "craneline.irpasses"},
+      {"ISelPrepare", "craneline.iselprepare"},
+      {"ISel", "craneline.isel"},
+      {"RegAlloc", "craneline.regalloc"},
+      {"Emit", "craneline.emit"},
+      {"Link", "craneline.link"},
+  };
+  uint64_t Sum = Trace.selfNsWithPrefix("craneline.");
+  std::printf("total %.2f ms per compile (best of 3)\n\n", Total * 1e3);
+  for (const Row &R : Rows) {
+    uint64_t Ns = Trace.selfNsWithPrefix(R.Prefix);
+    if (std::string(R.Prefix) == "craneline.regalloc")
+      Ns += Trace.selfNsWithPrefix("craneline.ra.");
+    std::printf("  %-12s %10.2f ms  %5.1f%%\n", R.Label, Ns * 1e-6,
+                Sum ? 100.0 * Ns / Sum : 0.0);
+  }
+  std::printf("  %-12s %10llu trace events (measurement overhead)\n",
+              "Overhead", static_cast<unsigned long long>(Trace.numEvents()));
+  // Register-allocation internals (the paper calls out live ranges ~37%
+  // of RA and B-tree traversal ~6%).
+  uint64_t Ra = Trace.selfNsWithPrefix("craneline.regalloc") +
+                Trace.selfNsWithPrefix("craneline.ra.");
+  uint64_t Live = Trace.selfNsWithPrefix("craneline.ra.liveness");
+  std::printf("\nRegAlloc internals: liveness/live-ranges %.1f%% of RA "
+              "(paper ~37%%)\n", Ra ? 100.0 * Live / Ra : 0.0);
+  return 0;
+}

@@ -1,0 +1,36 @@
+//===- bench/bench_direct_breakdown.cpp - Fig. 5 reproduction --------------===//
+//
+// Part of the QCF project. DirectEmit compile-time breakdown (paper
+// Fig. 5: analysis vs code generation; liveness ~75% of analysis).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "direct/DirectEmit.h"
+
+using namespace qcf;
+using namespace qcf::bench;
+
+int main() {
+  printHeader("DirectEmit compile-time breakdown", "Fig. 5");
+  Suite S = makeDsSuite(1.0);
+  direct::DirectBackend BE;
+  TimeTrace Trace;
+  double Total = suiteCompileSec(S, BE, 1, &Trace);
+
+  uint64_t Analysis = Trace.totalNs("direct.analysis");
+  uint64_t Liveness = Trace.totalNs("direct.analysis.liveness");
+  uint64_t Codegen = Trace.totalNs("direct.codegen");
+  uint64_t Link = Trace.totalNs("direct.link");
+  uint64_t Sum = Analysis + Codegen + Link;
+  std::printf("total %.3f ms per compile (best of 5)\n\n", Total * 1e3);
+  std::printf("  %-10s %10.3f ms  %5.1f%%\n", "Analysis", Analysis * 1e-6,
+              Sum ? 100.0 * Analysis / Sum : 0.0);
+  std::printf("    of which liveness: %.1f%% (paper ~75%%)\n",
+              Analysis ? 100.0 * Liveness / Analysis : 0.0);
+  std::printf("  %-10s %10.3f ms  %5.1f%%\n", "CodeGen", Codegen * 1e-6,
+              Sum ? 100.0 * Codegen / Sum : 0.0);
+  std::printf("  %-10s %10.3f ms  %5.1f%%\n", "Link", Link * 1e-6,
+              Sum ? 100.0 * Link / Sum : 0.0);
+  return 0;
+}

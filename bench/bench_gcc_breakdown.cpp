@@ -1,0 +1,58 @@
+//===- bench/bench_gcc_breakdown.cpp - Table I reproduction ----------------===//
+//
+// Part of the QCF project. GCC/C back-end per-phase compile times (paper
+// Table I): generating/writing the C source, the external compiler, and
+// loading; plus gcc's own -ftime-report phase attribution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "gccjit/Gccjit.h"
+
+using namespace qcf;
+using namespace qcf::bench;
+
+int main() {
+  printHeader("GCC/C back-end phase breakdown", "Table I");
+  Suite S = makeDsSuite(1.0);
+
+  gccjit::GccOptions Opts;
+  Opts.ExtraFlags = "-ftime-report";
+  gccjit::GccBackend BE(Opts);
+
+  double Gen = 0, Compile = 0, Load = 0;
+  std::string LastReport;
+  for (db::CompiledPlan &P : S.Plans) {
+    auto Compiled = BE.compile(*P.Module, nullptr);
+    Gen += BE.lastPhaseTimes().GenerateSec;
+    Compile += BE.lastPhaseTimes().CompileSec;
+    Load += BE.lastPhaseTimes().LoadSec;
+    LastReport = BE.lastPhaseTimes().TimeReport;
+  }
+  double Total = Gen + Compile + Load;
+  std::printf("%-28s %10.1f ms  %5.1f%%\n", "generate C + file I/O",
+              Gen * 1e3, 100.0 * Gen / Total);
+  std::printf("%-28s %10.1f ms  %5.1f%%\n",
+              "gcc subprocess (parse/opt/asm/link)", Compile * 1e3,
+              100.0 * Compile / Total);
+  std::printf("%-28s %10.1f ms  %5.1f%%\n", "dlopen/dlsym", Load * 1e3,
+              100.0 * Load / Total);
+  std::printf("%-28s %10.1f ms\n", "total", Total * 1e3);
+
+  std::printf("\ngcc -ftime-report excerpt (last module):\n");
+  size_t Shown = 0;
+  for (size_t I = 0; I < LastReport.size() && Shown < 14; ++I) {
+    size_t E = LastReport.find('\n', I);
+    if (E == std::string::npos)
+      break;
+    std::string Line = LastReport.substr(I, E - I);
+    if (Line.find("parser") != std::string::npos ||
+        Line.find("phase") != std::string::npos ||
+        Line.find("TOTAL") != std::string::npos) {
+      std::printf("  %s\n", Line.c_str());
+      ++Shown;
+    }
+    I = E;
+  }
+  return 0;
+}

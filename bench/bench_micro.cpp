@@ -1,0 +1,78 @@
+//===- bench/bench_micro.cpp - Substrate micro-benchmarks ------------------===//
+//
+// Part of the QCF project. google-benchmark micro-benchmarks for the
+// substrates whose costs the paper reasons about: the x86-64 encoder
+// (DirectEmit's branch-minimizing design), the register-allocation B-tree
+// (§VI-C3), the join hash table, and the hash primitives (§III-A).
+//
+//===----------------------------------------------------------------------===//
+
+#include "craneline/BTree.h"
+#include "runtime/HashTable.h"
+#include "support/Hash.h"
+#include "x64/Asm.h"
+#include <benchmark/benchmark.h>
+
+using namespace qcf;
+
+static void BM_EncoderAluMix(benchmark::State &State) {
+  for (auto _ : State) {
+    x64::Assembler A;
+    for (int I = 0; I != 100; ++I) {
+      A.movRR(x64::Width::W64, x64::Reg::RAX, x64::Reg::RBX);
+      A.aluRR(x64::Assembler::Alu::Add, x64::Width::W64, x64::Reg::RAX,
+              x64::Reg::RCX);
+      A.aluRI(x64::Assembler::Alu::Cmp, x64::Width::W32, x64::Reg::RDX,
+              1234);
+      A.movRM(x64::Width::W64, x64::Reg::RSI,
+              x64::Mem::baseIndex(x64::Reg::RDI, x64::Reg::RDX, 8, 16));
+      A.crc32RR(x64::Reg::RAX, x64::Reg::RSI);
+    }
+    benchmark::DoNotOptimize(A.code().data());
+  }
+  State.SetItemsProcessed(State.iterations() * 500);
+}
+BENCHMARK(BM_EncoderAluMix);
+
+static void BM_BTreeInsertQuery(benchmark::State &State) {
+  for (auto _ : State) {
+    craneline::RangeBTree T;
+    for (uint32_t I = 0; I != 200; ++I)
+      T.insert({I * 10, I * 10 + 5});
+    bool Any = false;
+    for (uint32_t I = 0; I != 200; ++I)
+      Any |= T.overlaps({I * 10 + 5, I * 10 + 9});
+    benchmark::DoNotOptimize(Any);
+  }
+  State.SetItemsProcessed(State.iterations() * 400);
+}
+BENCHMARK(BM_BTreeInsertQuery);
+
+static void BM_HashTableBuildProbe(benchmark::State &State) {
+  for (auto _ : State) {
+    rt::HashTable Ht(1024, 16);
+    for (uint64_t K = 0; K != 1024; ++K)
+      *static_cast<uint64_t *>(Ht.insert(hashU64(K))) = K;
+    uint64_t Found = 0;
+    for (uint64_t K = 0; K != 1024; ++K)
+      Found += Ht.lookup(hashU64(K)) != nullptr;
+    benchmark::DoNotOptimize(Found);
+  }
+  State.SetItemsProcessed(State.iterations() * 2048);
+}
+BENCHMARK(BM_HashTableBuildProbe);
+
+static void BM_HashPrimitives(benchmark::State &State) {
+  uint64_t X = 0x1234567887654321ull;
+  for (auto _ : State) {
+    for (int I = 0; I != 64; ++I) {
+      X = crc32u64(X, X + I);
+      X ^= longMulFold(X, 0x9e3779b97f4a7c15ull);
+    }
+    benchmark::DoNotOptimize(X);
+  }
+  State.SetItemsProcessed(State.iterations() * 128);
+}
+BENCHMARK(BM_HashPrimitives);
+
+BENCHMARK_MAIN();

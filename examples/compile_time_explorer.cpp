@@ -1,0 +1,86 @@
+//===- examples/compile_time_explorer.cpp - Per-pass breakdowns -------------===//
+//
+// Part of the QCF project.
+//
+// The paper's core methodology as a tool: compile a query suite with any
+// back-end while collecting a hierarchical time trace, then print where
+// the time went, pass by pass. Run with a back-end name (and optionally
+// a query name) to explore:
+//
+//   ./compile_time_explorer MLVM-opt
+//   ./compile_time_explorer Craneline h1
+//   ./compile_time_explorer --csv DirectEmit      # machine-readable
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Registry.h"
+#include "db/Codegen.h"
+#include "db/Datagen.h"
+#include "db/Queries.h"
+#include "support/TimeTrace.h"
+#include <cstdio>
+#include <cstring>
+
+using namespace qcf;
+
+int main(int argc, char **argv) {
+  bool Csv = false;
+  const char *BackendName = "MLVM-opt";
+  const char *QueryName = nullptr;
+  std::vector<const char *> Positional;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--csv") == 0)
+      Csv = true;
+    else
+      Positional.push_back(argv[I]);
+  }
+  if (Positional.size() > 0)
+    BackendName = Positional[0];
+  if (Positional.size() > 1)
+    QueryName = Positional[1];
+
+  std::unique_ptr<backend::Backend> BE =
+      backend::createBackend(BackendName);
+  if (!BE) {
+    std::fprintf(stderr, "unknown back-end '%s'; available:", BackendName);
+    for (const std::string &N : backend::allBackendNames())
+      std::fprintf(stderr, " %s", N.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  db::Catalog Cat;
+  db::generateTpchLike(Cat, 0.2);
+
+  TimeTrace Trace;
+  size_t NumFns = 0, NumQueries = 0;
+  for (db::Query &Q : db::tpchQueries()) {
+    if (QueryName && Q.Name != QueryName)
+      continue;
+    db::CompiledPlan P = db::compileQuery(Q, Cat);
+    NumFns += P.Module->functions().size();
+    ++NumQueries;
+    auto Compiled = BE->compile(*P.Module, &Trace);
+    (void)Compiled;
+  }
+  if (!NumQueries) {
+    std::fprintf(stderr, "no query named '%s'\n", QueryName);
+    return 1;
+  }
+
+  if (Csv) {
+    std::fputs(Trace.reportCsv().c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("back-end %s, %zu quer%s, %zu generated functions, "
+              "%llu trace events\n\n",
+              BE->name().c_str(), NumQueries, NumQueries == 1 ? "y" : "ies",
+              NumFns, static_cast<unsigned long long>(Trace.numEvents()));
+  std::fputs(Trace.reportTable().c_str(), stdout);
+
+  uint64_t Total = Trace.selfNsWithPrefix("");
+  std::printf("\ntotal traced: %.3f ms (the paper's Fig. 2/4/5 are this "
+              "table for LLVM/Cranelift/DirectEmit)\n", Total / 1e6);
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- examples/run_ir.cpp - Textual-IR runner (mini lli) -----------------===//
+//
+// Part of the QCF project.
+//
+// Parses a QIR text file (see qir/Parse.h; the format qir/Print.h emits),
+// JIT-compiles it with the chosen back-end, and calls a function with
+// integer arguments from the command line:
+//
+//   ./run_ir prog.qir                      # run @main() on DirectEmit
+//   ./run_ir prog.qir Craneline sum 1 100  # @sum(1, 100) on Craneline
+//   echo 'define ...' | ./run_ir -         # read from stdin
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Registry.h"
+#include "qir/Parse.h"
+#include "qir/Print.h"
+#include "qir/Verify.h"
+#include "runtime/Runtime.h"
+#include "runtime/Trap.h"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace qcf;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <file.qir|-> [backend] [function] [args...]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string Text;
+  if (std::strcmp(argv[1], "-") == 0) {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Text = SS.str();
+  } else {
+    std::ifstream In(argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  }
+
+  std::string Error;
+  std::unique_ptr<qir::Module> M =
+      qir::parseModule(Text, &Error, rt::runtimeSymbolAddress);
+  if (!M) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (std::optional<std::string> VErr = qir::verify(*M)) {
+    std::fprintf(stderr, "verifier: %s\n", VErr->c_str());
+    return 1;
+  }
+
+  const char *BackendName = argc > 2 ? argv[2] : "DirectEmit";
+  std::unique_ptr<backend::Backend> BE =
+      backend::createBackend(BackendName);
+  if (!BE) {
+    std::fprintf(stderr, "unknown back-end '%s'\n", BackendName);
+    return 1;
+  }
+  auto Compiled = BE->compile(*M, nullptr);
+
+  const std::string FnName = argc > 3 ? argv[3] : "main";
+  const qir::Function *F = M->functionByName(FnName);
+  if (!F) {
+    std::fprintf(stderr, "no function '@%s'; module defines:\n",
+                 FnName.c_str());
+    for (const auto &Fn : M->functions())
+      std::fprintf(stderr, "  @%s (%u params)\n", Fn->name().c_str(),
+                   Fn->numParams());
+    return 1;
+  }
+  unsigned NumArgs = static_cast<unsigned>(argc > 4 ? argc - 4 : 0);
+  if (NumArgs != F->numParams() || F->numParams() > 6) {
+    std::fprintf(stderr, "@%s takes %u integer arguments\n",
+                 FnName.c_str(), F->numParams());
+    return 1;
+  }
+  uint64_t A[6] = {};
+  for (unsigned I = 0; I != NumArgs; ++I)
+    A[I] = std::strtoull(argv[4 + I], nullptr, 0);
+
+  void *Entry = Compiled->entry(FnName);
+  uint64_t Result = 0;
+  rt::TrapCode Code = rt::runWithTrapGuard([&] {
+    using U = uint64_t;
+    switch (NumArgs) {
+    case 0: Result = reinterpret_cast<U (*)()>(Entry)(); break;
+    case 1: Result = reinterpret_cast<U (*)(U)>(Entry)(A[0]); break;
+    case 2: Result = reinterpret_cast<U (*)(U, U)>(Entry)(A[0], A[1]); break;
+    case 3:
+      Result = reinterpret_cast<U (*)(U, U, U)>(Entry)(A[0], A[1], A[2]);
+      break;
+    case 4:
+      Result = reinterpret_cast<U (*)(U, U, U, U)>(Entry)(A[0], A[1], A[2],
+                                                          A[3]);
+      break;
+    case 5:
+      Result = reinterpret_cast<U (*)(U, U, U, U, U)>(Entry)(A[0], A[1],
+                                                             A[2], A[3],
+                                                             A[4]);
+      break;
+    default:
+      Result = reinterpret_cast<U (*)(U, U, U, U, U, U)>(Entry)(
+          A[0], A[1], A[2], A[3], A[4], A[5]);
+      break;
+    }
+  });
+  if (Code != rt::TrapCode::None) {
+    std::fprintf(stderr, "@%s trapped (%s)\n", FnName.c_str(),
+                 rt::trapCodeName(Code));
+    return 3;
+  }
+  std::printf("@%s => %llu (0x%llx / %lld)\n", FnName.c_str(),
+              static_cast<unsigned long long>(Result),
+              static_cast<unsigned long long>(Result),
+              static_cast<long long>(Result));
+  return 0;
+}

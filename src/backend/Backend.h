@@ -1,0 +1,62 @@
+//===- backend/Backend.h - Execution back-end interface ---------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of all execution back-ends (§III-C): a back-end
+/// turns a QIR module into something callable. JIT back-ends hand out raw
+/// machine-code entry points; the interpreter hands out trampolines that
+/// enter the dispatch loop, so callers never need to distinguish the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_BACKEND_BACKEND_H
+#define QCF_BACKEND_BACKEND_H
+
+#include "qir/Function.h"
+#include "support/TimeTrace.h"
+#include <memory>
+#include <string>
+
+namespace qcf::backend {
+
+/// The result of compiling a module: callable entry points per function.
+///
+/// Entry points follow the SysV ABI with the QCF runtime restrictions
+/// (integer-class parameters only, at most 6 slots; see runtime/Runtime.h),
+/// so they can be invoked directly through a casted function pointer and
+/// passed to runtime functions as callbacks.
+class CompiledModule {
+public:
+  virtual ~CompiledModule() = default;
+
+  /// Entry point of \p Name; null if the function does not exist.
+  virtual void *entry(const std::string &Name) = 0;
+
+  /// Convenience typed accessor.
+  template <typename FnT> FnT entryAs(const std::string &Name) {
+    return reinterpret_cast<FnT>(entry(Name));
+  }
+};
+
+/// A compilation back-end. Implementations: interp, direct, craneline,
+/// mlvm (cheap/opt, 3 instruction selectors), gccjit, adaptive.
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  /// Short identifier used in benchmark tables ("DirectEmit", "LLVM-cheap"
+  /// style naming mirrors the paper's Table III).
+  virtual std::string name() const = 0;
+
+  /// Compiles \p M. When \p Trace is non-null, per-phase timings are
+  /// recorded into it (with the overhead that implies; §V-B).
+  virtual std::unique_ptr<CompiledModule> compile(const qir::Module &M,
+                                                  TimeTrace *Trace) = 0;
+};
+
+} // namespace qcf::backend
+
+#endif // QCF_BACKEND_BACKEND_H

@@ -1,0 +1,135 @@
+//===- backend/Cache.cpp - Compiled-query cache ---------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Cache.h"
+#include "support/Hash.h"
+
+namespace qcf::backend {
+
+namespace {
+
+inline uint64_t mix(uint64_t H, uint64_t V) {
+  // crc32 folds V into H; the long-mul-fold pass spreads the result back
+  // over all 64 bits (crc32u64 alone only populates the low 32).
+  return longMulFold(crc32u64(H, V) ^ H, 0x9e3779b97f4a7c15ull);
+}
+
+uint64_t hashString(uint64_t H, const std::string &S) {
+  H = mix(H, S.size());
+  size_t I = 0;
+  for (; I + 8 <= S.size(); I += 8) {
+    uint64_t Word;
+    __builtin_memcpy(&Word, S.data() + I, 8);
+    H = mix(H, Word);
+  }
+  uint64_t Tail = 0;
+  if (I < S.size())
+    __builtin_memcpy(&Tail, S.data() + I, S.size() - I);
+  return mix(H, Tail);
+}
+
+uint64_t hashFunction(uint64_t H, const qir::Function &F) {
+  H = hashString(H, F.name());
+  H = mix(H, static_cast<uint64_t>(F.returnType()));
+  H = mix(H, F.numParams());
+  for (qir::Type T : F.paramTypes())
+    H = mix(H, static_cast<uint64_t>(T));
+
+  for (uint32_t I = 0; I != F.numInsts(); ++I) {
+    const qir::Inst &Inst = F.inst(I);
+    // Everything except Scratch, packed into two words.
+    H = mix(H, static_cast<uint64_t>(Inst.Op) |
+                   (static_cast<uint64_t>(Inst.Ty) << 8) |
+                   (static_cast<uint64_t>(Inst.Flags) << 16) |
+                   (static_cast<uint64_t>(Inst.A) << 24));
+    H = mix(H, static_cast<uint64_t>(Inst.B) |
+                   (static_cast<uint64_t>(Inst.C) << 32));
+    H = mix(H, Inst.Imm);
+  }
+  H = mix(H, F.numBlocks());
+  for (uint32_t B = 0; B != F.numBlocks(); ++B) {
+    H = mix(H, F.block(B).Begin);
+    H = mix(H, F.block(B).End);
+  }
+  for (const qir::PhiIn &In : F.PhiIns) {
+    H = mix(H, In.Pred);
+    H = mix(H, In.Val);
+  }
+  for (qir::ValueId Arg : F.CallArgs)
+    H = mix(H, Arg);
+  for (const Int128 &C : F.I128Pool) {
+    H = mix(H, static_cast<uint64_t>(C));
+    H = mix(H, static_cast<uint64_t>(static_cast<unsigned __int128>(C) >> 64));
+  }
+  return H;
+}
+
+} // namespace
+
+uint64_t hashModule(const qir::Module &M) {
+  uint64_t H = 0x9e3779b97f4a7c15ull;
+  H = mix(H, M.functions().size());
+  for (const auto &F : M.functions())
+    H = hashFunction(H, *F);
+  H = mix(H, M.numSymbols());
+  for (qir::SymbolId S = 0; S != M.numSymbols(); ++S) {
+    const qir::RuntimeSig &Sig = M.symbol(S);
+    H = hashString(H, Sig.Name);
+    H = mix(H, static_cast<uint64_t>(Sig.RetType));
+    for (qir::Type T : Sig.ParamTypes)
+      H = mix(H, static_cast<uint64_t>(T));
+  }
+  return H;
+}
+
+namespace {
+
+/// Handle that shares ownership of a cached compilation.
+class SharedModule : public CompiledModule {
+public:
+  explicit SharedModule(std::shared_ptr<CompiledModule> Inner)
+      : Inner(std::move(Inner)) {}
+  void *entry(const std::string &Name) override {
+    return Inner->entry(Name);
+  }
+
+private:
+  std::shared_ptr<CompiledModule> Inner;
+};
+
+} // namespace
+
+std::unique_ptr<CompiledModule>
+CachingBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+  uint64_t Key = hashModule(M);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      ++Stats.Hits;
+      Lru.splice(Lru.begin(), Lru, It->second); // Refresh recency.
+      return std::make_unique<SharedModule>(It->second->second);
+    }
+    ++Stats.Misses;
+  }
+
+  // Compile outside the lock; a racing thread may insert the same key
+  // first, in which case its result stays and ours is returned uncached.
+  std::shared_ptr<CompiledModule> Compiled = Inner->compile(M, Trace);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Map.count(Key))
+    return std::make_unique<SharedModule>(std::move(Compiled));
+  Lru.emplace_front(Key, Compiled);
+  Map[Key] = Lru.begin();
+  if (Capacity && Map.size() > Capacity) {
+    Map.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Stats.Evictions;
+  }
+  return std::make_unique<SharedModule>(std::move(Compiled));
+}
+
+} // namespace qcf::backend

@@ -1,0 +1,89 @@
+//===- backend/Cache.h - Compiled-query cache -------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed cache of compiled modules, wrapping any back-end.
+/// The paper's conclusion is that compile time is a first-order cost for
+/// query processing; the classic systems answer — beyond cheaper
+/// compilers — is to not compile at all when an identical module was
+/// compiled before (prepared statements, plan caches). `CachingBackend`
+/// implements that: modules are keyed by a structural hash of their IR,
+/// and hits return a shared handle to the previously compiled code.
+///
+/// Note that the query code generator hard-wires column base addresses
+/// and runtime-object context slots as pointer constants, so two plans
+/// hash equal exactly when they would execute identically — re-generated
+/// plans for the same query text over the same catalog hit; plans over
+/// different data (or after a table grew a new column vector) miss. This
+/// is the correct key for safety: no invalidation protocol is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_BACKEND_CACHE_H
+#define QCF_BACKEND_CACHE_H
+
+#include "backend/Backend.h"
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace qcf::backend {
+
+/// Structural 64-bit hash of a module: function names and signatures,
+/// every instruction's semantic fields (the per-instruction `Scratch`
+/// slot is excluded — back-ends mutate it), side pools, block layout,
+/// and the runtime-symbol table.
+uint64_t hashModule(const qir::Module &M);
+
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+/// Wraps \p Inner with an LRU cache of compiled modules.
+///
+/// Thread-safe; concurrent compiles of the same module may both miss
+/// (both compile; one result wins), which trades duplicate work for not
+/// holding the lock across a compilation.
+class CachingBackend : public Backend {
+public:
+  /// \p Capacity bounds the number of retained compiled modules
+  /// (0 = unbounded).
+  explicit CachingBackend(std::unique_ptr<Backend> Inner,
+                          size_t Capacity = 0)
+      : Inner(std::move(Inner)), Capacity(Capacity) {}
+
+  std::string name() const override { return Inner->name() + "+cache"; }
+
+  std::unique_ptr<CompiledModule> compile(const qir::Module &M,
+                                          TimeTrace *Trace) override;
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Stats;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Map.size();
+  }
+  Backend &inner() { return *Inner; }
+
+private:
+  std::unique_ptr<Backend> Inner;
+  size_t Capacity;
+
+  mutable std::mutex Mutex;
+  // LRU list, most-recent first; the map points into it.
+  using LruEntry = std::pair<uint64_t, std::shared_ptr<CompiledModule>>;
+  std::list<LruEntry> Lru;
+  std::unordered_map<uint64_t, std::list<LruEntry>::iterator> Map;
+  CacheStats Stats;
+};
+
+} // namespace qcf::backend
+
+#endif // QCF_BACKEND_CACHE_H

@@ -1,0 +1,82 @@
+//===- backend/Registry.cpp - Back-end registry ----------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Registry.h"
+#include "craneline/Craneline.h"
+#include "direct/DirectEmit.h"
+#include "gccjit/Gccjit.h"
+#include "interp/Interp.h"
+#include "mlvm/Mlvm.h"
+
+using namespace qcf;
+using namespace qcf::backend;
+
+std::unique_ptr<Backend> backend::createBackend(const std::string &Name) {
+  if (Name == "Interpreter")
+    return std::make_unique<interp::InterpBackend>();
+  if (Name == "DirectEmit")
+    return std::make_unique<direct::DirectBackend>();
+  if (Name == "Craneline")
+    return std::make_unique<craneline::CranelineBackend>();
+  if (Name == "MLVM-cheap")
+    return std::make_unique<mlvm::MlvmBackend>(mlvm::MlvmOptions::cheap());
+  if (Name == "MLVM-opt")
+    return std::make_unique<mlvm::MlvmBackend>(mlvm::MlvmOptions::opt());
+  if (Name == "GCC")
+    return std::make_unique<gccjit::GccBackend>();
+  if (Name == "Adaptive")
+    return std::make_unique<AdaptiveBackend>();
+  return nullptr;
+}
+
+std::vector<std::string> backend::allBackendNames() {
+  return {"Interpreter", "DirectEmit", "Craneline",
+          "MLVM-cheap",  "MLVM-opt",   "GCC"};
+}
+
+AdaptiveModule::AdaptiveModule(const qir::Module &M,
+                               std::unique_ptr<CompiledModule> Fast,
+                               uint32_t SizeThreshold,
+                               uint32_t RunsThreshold)
+    : M(M), Fast(std::move(Fast)), SizeThreshold(SizeThreshold),
+      RunsThreshold(RunsThreshold) {
+  for (const auto &F : M.functions())
+    RunCounts.emplace_back(F->name(), 0);
+}
+
+void *AdaptiveModule::entry(const std::string &Name) {
+  if (Promoted)
+    if (void *E = Promoted->entry(Name))
+      return E;
+  return Fast->entry(Name);
+}
+
+bool AdaptiveModule::noteExecution(const std::string &Name) {
+  if (Promoted)
+    return false;
+  for (auto &[N, Count] : RunCounts) {
+    if (N != Name)
+      continue;
+    if (++Count < RunsThreshold)
+      return false;
+    // Size/benefit heuristic (§III-C): recompile large functions only.
+    const qir::Function *F = M.functionByName(Name);
+    if (!F || F->sizeHeuristic() < SizeThreshold)
+      return false;
+    mlvm::MlvmBackend Opt(mlvm::MlvmOptions::opt());
+    Promoted = Opt.compile(M, nullptr);
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<CompiledModule>
+AdaptiveBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+  direct::DirectBackend Fast;
+  return std::make_unique<AdaptiveModule>(M, Fast.compile(M, Trace),
+                                          PromoteSizeThreshold,
+                                          PromoteAfterRuns);
+}

@@ -1,0 +1,73 @@
+//===- backend/Registry.h - Back-end registry and adaptive mode -*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Construction of every QCF back-end by name, plus the adaptive back-end
+/// (§III-C): compilation starts with low-latency DirectEmit; once a
+/// function has executed a few times, a simple code-size heuristic decides
+/// whether to recompile with MLVM-optimized, after which subsequent
+/// executions use the optimized code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_BACKEND_REGISTRY_H
+#define QCF_BACKEND_REGISTRY_H
+
+#include "backend/Backend.h"
+#include <functional>
+#include <vector>
+
+namespace qcf::backend {
+
+/// Creates a back-end by its Table III name: "Interpreter", "DirectEmit",
+/// "Craneline", "MLVM-cheap", "MLVM-opt", "GCC", "Adaptive". \returns
+/// nullptr for unknown names.
+std::unique_ptr<Backend> createBackend(const std::string &Name);
+
+/// All Table III back-end names, in the paper's order.
+std::vector<std::string> allBackendNames();
+
+/// The adaptive back-end. compile() uses DirectEmit; callers then invoke
+/// maybePromote() after executions, which recompiles with MLVM-opt when
+/// the size heuristic deems optimization beneficial.
+class AdaptiveBackend : public Backend {
+public:
+  std::string name() const override { return "Adaptive"; }
+  std::unique_ptr<CompiledModule> compile(const qir::Module &M,
+                                          TimeTrace *Trace) override;
+
+  /// Size threshold above which optimized recompilation pays off.
+  uint32_t PromoteSizeThreshold = 48;
+  /// Executions before promotion is considered.
+  uint32_t PromoteAfterRuns = 3;
+};
+
+/// The module wrapper the adaptive back-end hands out; entry() returns the
+/// current tier's code.
+class AdaptiveModule : public CompiledModule {
+public:
+  AdaptiveModule(const qir::Module &M, std::unique_ptr<CompiledModule> Fast,
+                 uint32_t SizeThreshold, uint32_t RunsThreshold);
+
+  void *entry(const std::string &Name) override;
+
+  /// Records one execution of \p Name; recompiles with the optimizing
+  /// tier when the heuristic fires. \returns true if a promotion happened.
+  bool noteExecution(const std::string &Name);
+
+  bool isPromoted() const { return Promoted != nullptr; }
+
+private:
+  const qir::Module &M;
+  std::unique_ptr<CompiledModule> Fast;
+  std::unique_ptr<CompiledModule> Promoted;
+  uint32_t SizeThreshold, RunsThreshold;
+  std::vector<std::pair<std::string, uint32_t>> RunCounts;
+};
+
+} // namespace qcf::backend
+
+#endif // QCF_BACKEND_REGISTRY_H

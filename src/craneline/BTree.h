@@ -1,0 +1,179 @@
+//===- craneline/BTree.h - B-tree for register allocation -------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A B-tree keyed by live-range start position, one per physical register,
+/// used by Craneline's register allocator to track which ranges occupy the
+/// register. The paper singles this data structure out: Cranelift
+/// "maintains multiple data structures during allocation, e.g., a B-tree
+/// for every physical register", and ~6% of register allocation time is
+/// B-tree traversal (§VI-C3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_CRANELINE_BTREE_H
+#define QCF_CRANELINE_BTREE_H
+
+#include "support/Compiler.h"
+#include <cstdint>
+#include <vector>
+
+namespace qcf::craneline {
+
+/// A half-open position range [Start, End).
+struct PosRange {
+  uint32_t Start;
+  uint32_t End;
+
+  bool overlaps(const PosRange &O) const {
+    return Start < O.End && O.Start < End;
+  }
+};
+
+/// B-tree of disjoint PosRanges ordered by Start. Fanout 8.
+class RangeBTree {
+  static constexpr unsigned MaxKeys = 7; // Fanout 8.
+  static constexpr unsigned MinKeys = 3;
+
+  struct Node {
+    uint16_t NumKeys = 0;
+    bool Leaf = true;
+    PosRange Keys[MaxKeys];
+    uint32_t Children[MaxKeys + 1] = {};
+  };
+
+public:
+  RangeBTree() { Root = newNode(/*Leaf=*/true); }
+
+  /// True iff any stored range overlaps \p R.
+  bool overlaps(PosRange R) const {
+    ++TraversalSteps;
+    return overlapsIn(Root, R);
+  }
+
+  /// Inserts \p R. The caller must have checked for overlap; ranges in the
+  /// tree stay disjoint.
+  void insert(PosRange R) {
+    assert(!overlaps(R) && "inserting an overlapping range");
+    uint32_t RootId = Root;
+    if (Nodes[RootId].NumKeys == MaxKeys) {
+      uint32_t NewRoot = newNode(/*Leaf=*/false);
+      Nodes[NewRoot].Children[0] = RootId;
+      splitChild(NewRoot, 0);
+      Root = NewRoot;
+    }
+    insertNonFull(Root, R);
+    ++Count;
+  }
+
+  size_t size() const { return Count; }
+
+  /// Number of overlap-query traversal steps; the benchmark harness uses
+  /// this to report B-tree work (§VI-C3 reports ~6% of regalloc time).
+  uint64_t traversalSteps() const { return TraversalSteps; }
+
+  /// Collects all ranges in order (test helper).
+  void collect(std::vector<PosRange> *Out) const { collectIn(Root, Out); }
+
+private:
+  uint32_t newNode(bool Leaf) {
+    Nodes.emplace_back();
+    Nodes.back().Leaf = Leaf;
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+
+  bool overlapsIn(uint32_t NodeId, PosRange R) const {
+    const Node &N = Nodes[NodeId];
+    // Find the first key with Start >= R.Start.
+    unsigned I = 0;
+    while (I < N.NumKeys && N.Keys[I].Start < R.Start)
+      ++I;
+    // The key at I (if any) starts at or after R.Start.
+    if (I < N.NumKeys && N.Keys[I].overlaps(R))
+      return true;
+    // The key before I may extend into R.
+    if (I > 0 && N.Keys[I - 1].overlaps(R))
+      return true;
+    if (N.Leaf)
+      return false;
+    // Descend: ranges overlapping R can live in child I (between the
+    // previous and next key) and, because the ranges are disjoint and
+    // sorted, nowhere else — except child I-1 cannot contain a range
+    // ending past key I-1's start. One descent suffices.
+    ++TraversalSteps;
+    return overlapsIn(N.Children[I], R);
+  }
+
+  void splitChild(uint32_t ParentId, unsigned Idx) {
+    uint32_t LeftId = Nodes[ParentId].Children[Idx];
+    uint32_t RightId = newNode(Nodes[LeftId].Leaf);
+    Node &Parent = Nodes[ParentId];
+    Node &L = Nodes[LeftId];
+    Node &Rn = Nodes[RightId];
+
+    constexpr unsigned Mid = MinKeys; // Keys MinKeys+1..MaxKeys-1 move.
+    Rn.NumKeys = MaxKeys - Mid - 1;
+    for (unsigned I = 0; I != Rn.NumKeys; ++I)
+      Rn.Keys[I] = L.Keys[Mid + 1 + I];
+    if (!L.Leaf)
+      for (unsigned I = 0; I != Rn.NumKeys + 1u; ++I)
+        Rn.Children[I] = L.Children[Mid + 1 + I];
+    PosRange Median = L.Keys[Mid];
+    L.NumKeys = Mid;
+
+    for (unsigned I = Parent.NumKeys; I > Idx; --I) {
+      Parent.Keys[I] = Parent.Keys[I - 1];
+      Parent.Children[I + 1] = Parent.Children[I];
+    }
+    Parent.Keys[Idx] = Median;
+    Parent.Children[Idx + 1] = RightId;
+    ++Parent.NumKeys;
+  }
+
+  void insertNonFull(uint32_t NodeId, PosRange R) {
+    Node *N = &Nodes[NodeId];
+    if (N->Leaf) {
+      int I = static_cast<int>(N->NumKeys) - 1;
+      while (I >= 0 && N->Keys[I].Start > R.Start) {
+        N->Keys[I + 1] = N->Keys[I];
+        --I;
+      }
+      N->Keys[I + 1] = R;
+      ++N->NumKeys;
+      return;
+    }
+    unsigned I = 0;
+    while (I < N->NumKeys && N->Keys[I].Start < R.Start)
+      ++I;
+    if (Nodes[N->Children[I]].NumKeys == MaxKeys) {
+      splitChild(NodeId, I);
+      N = &Nodes[NodeId]; // splitChild may have shuffled keys
+      if (N->Keys[I].Start < R.Start)
+        ++I;
+    }
+    insertNonFull(Nodes[NodeId].Children[I], R);
+  }
+
+  void collectIn(uint32_t NodeId, std::vector<PosRange> *Out) const {
+    const Node &N = Nodes[NodeId];
+    for (unsigned I = 0; I != N.NumKeys; ++I) {
+      if (!N.Leaf)
+        collectIn(N.Children[I], Out);
+      Out->push_back(N.Keys[I]);
+    }
+    if (!N.Leaf)
+      collectIn(N.Children[N.NumKeys], Out);
+  }
+
+  std::vector<Node> Nodes;
+  uint32_t Root;
+  size_t Count = 0;
+  mutable uint64_t TraversalSteps = 0;
+};
+
+} // namespace qcf::craneline
+
+#endif // QCF_CRANELINE_BTREE_H

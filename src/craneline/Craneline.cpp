@@ -1,0 +1,171 @@
+//===- craneline/Craneline.cpp - Craneline back-end driver -----------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "craneline/Craneline.h"
+#include "craneline/Emit.h"
+#include "craneline/Lower.h"
+#include "craneline/RegAlloc.h"
+#include "craneline/Translate.h"
+#include <cstring>
+
+using namespace qcf;
+using namespace qcf::craneline;
+
+namespace {
+
+/// The "IRPasses" stage (Fig. 4): CFG predecessor lists, reverse
+/// post-order, and an iterative dominator tree over CIR. The results feed
+/// nothing downstream in QCF's pipeline (lowering is per-block), but the
+/// stage exists in Cranelift and its cost is part of the breakdown.
+struct CirAnalyses {
+  std::vector<std::vector<uint32_t>> Preds;
+  std::vector<uint32_t> Rpo;
+  std::vector<uint32_t> Idom;
+};
+
+void runIrPasses(const CFunction &CF, CirAnalyses *Out) {
+  size_t N = CF.Blocks.size();
+  Out->Preds.assign(N, {});
+  std::vector<std::vector<uint32_t>> Succs(N);
+
+  for (CBlock B = CF.FirstBlock; B != C_INVALID; B = CF.BlockNext[B]) {
+    uint32_t Last = CF.Blocks[B].LastInst;
+    if (Last == C_INVALID)
+      continue;
+    const CInst &T = CF.Insts[Last];
+    if (T.Op == COp::Jump) {
+      Succs[B].push_back(T.A);
+    } else if (T.Op == COp::Brif) {
+      Succs[B].push_back(CF.Edges[T.B].Target);
+      Succs[B].push_back(CF.Edges[T.C].Target);
+    }
+  }
+  for (uint32_t B = 0; B != N; ++B)
+    for (uint32_t S : Succs[B])
+      Out->Preds[S].push_back(B);
+
+  // DFS post-order from the entry block.
+  std::vector<uint8_t> State(N, 0);
+  std::vector<uint32_t> Stack{CF.FirstBlock}, Post;
+  std::vector<size_t> NextChild(N, 0);
+  State[CF.FirstBlock] = 1;
+  while (!Stack.empty()) {
+    uint32_t B = Stack.back();
+    if (NextChild[B] < Succs[B].size()) {
+      uint32_t S = Succs[B][NextChild[B]++];
+      if (!State[S]) {
+        State[S] = 1;
+        Stack.push_back(S);
+      }
+    } else {
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Out->Rpo.assign(Post.rbegin(), Post.rend());
+
+  std::vector<uint32_t> RpoIdx(N, UINT32_MAX);
+  for (uint32_t I = 0; I != Out->Rpo.size(); ++I)
+    RpoIdx[Out->Rpo[I]] = I;
+  Out->Idom.assign(N, UINT32_MAX);
+  if (!Out->Rpo.empty())
+    Out->Idom[Out->Rpo[0]] = Out->Rpo[0];
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoIdx[A] > RpoIdx[B])
+        A = Out->Idom[A];
+      while (RpoIdx[B] > RpoIdx[A])
+        B = Out->Idom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < Out->Rpo.size(); ++I) {
+      uint32_t B = Out->Rpo[I];
+      uint32_t New = UINT32_MAX;
+      for (uint32_t P : Out->Preds[B]) {
+        if (Out->Idom[P] == UINT32_MAX)
+          continue;
+        New = New == UINT32_MAX ? P : Intersect(P, New);
+      }
+      if (New != Out->Idom[B]) {
+        Out->Idom[B] = New;
+        Changed = true;
+      }
+    }
+  }
+}
+
+} // namespace
+
+void *CranelineModule::entry(const std::string &Name) {
+  for (auto &[N, Off] : Fns)
+    if (N == Name)
+      return Mem.base() + Off;
+  return nullptr;
+}
+
+std::unique_ptr<backend::CompiledModule>
+CranelineBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+  auto Result = std::make_unique<CranelineModule>();
+
+  struct FnOut {
+    std::string Name;
+    EmitResult Emitted;
+  };
+  std::vector<FnOut> Outs;
+
+  // Cranelift compiles one function at a time (§VI).
+  for (const auto &F : M.functions()) {
+    CFunction CF;
+    {
+      TimeTraceScope Scope(Trace, "craneline.irgen");
+      translateFunction(*F, Opts, &CF);
+    }
+    {
+      TimeTraceScope Scope(Trace, "craneline.irpasses");
+      CirAnalyses An;
+      runIrPasses(CF, &An);
+    }
+    VCode VC;
+    lowerFunction(CF, &VC, Trace); // traces iselprepare + isel internally
+    RegAllocResult RA;
+    {
+      TimeTraceScope Scope(Trace, "craneline.regalloc");
+      RA = allocateRegisters(&VC, Trace);
+    }
+    EmitResult E;
+    {
+      TimeTraceScope Scope(Trace, "craneline.emit");
+      E = emitFunction(VC, CF, RA, Trace);
+    }
+    Outs.push_back({F->name(), std::move(E)});
+  }
+
+  // Link: copy into executable memory and apply the absolute relocations
+  // (fast: "only needs to apply a small number of relocations", §VI-C5).
+  {
+    TimeTraceScope Scope(Trace, "craneline.link");
+    size_t Total = 0;
+    for (const FnOut &O : Outs)
+      Total = ((Total + 15) & ~size_t(15)) + O.Emitted.Code.size();
+    Result->Mem.allocate(Total ? Total : 1);
+    size_t Off = 0;
+    for (FnOut &O : Outs) {
+      Off = (Off + 15) & ~size_t(15);
+      uint8_t *Dst = Result->Mem.base() + Off;
+      std::memcpy(Dst, O.Emitted.Code.data(), O.Emitted.Code.size());
+      for (const AbsReloc &R : O.Emitted.Relocs)
+        std::memcpy(Dst + R.Offset, &R.Target, 8);
+      Result->Fns.emplace_back(O.Name, Off);
+      Off += O.Emitted.Code.size();
+    }
+    Result->Mem.makeExecutable();
+  }
+  return Result;
+}

@@ -1,0 +1,345 @@
+//===- craneline/Emit.cpp - VCode emission ---------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "craneline/Emit.h"
+#include "runtime/Runtime.h"
+#include "runtime/Trap.h"
+
+using namespace qcf;
+using namespace qcf::craneline;
+using namespace qcf::x64;
+using AluOp = Assembler::Alu;
+using ShiftOp = Assembler::Shift;
+
+namespace {
+
+Reg gpOf(VReg R) {
+  assert(isPhysGp(R) && "expected a physical GP register");
+  return static_cast<Reg>(R);
+}
+
+Xmm xmmOf(VReg R) {
+  assert(isPhysXmm(R) && "expected a physical XMM register");
+  return static_cast<Xmm>(R - XMM_BASE);
+}
+
+class Emitter {
+public:
+  Emitter(const VCode &VC, const CFunction &CF, const RegAllocResult &RA,
+          TimeTrace *Trace)
+      : VC(VC), CF(CF), RA(RA), Trace(Trace) {}
+
+  EmitResult run() {
+    EmitResult Result;
+    {
+      TimeTraceScope Scope(Trace, "craneline.emit.clobbers");
+      Result.NumClobbered = static_cast<uint32_t>(
+          RA.UsedCalleeSaved.size());
+      // The emitter recomputes clobbers from the instruction stream (the
+      // paper notes the allocator could provide this in a bitmap).
+      uint32_t Mask = 0;
+      for (const MInst &I : VC.Insts) {
+        if (I.Op == MOp::MovRR || I.Op == MOp::AluRR)
+          Mask |= isPhysGp(I.Dst) ? (1u << I.Dst) : 0;
+      }
+      (void)Mask;
+    }
+    {
+      TimeTraceScope Scope(Trace, "craneline.emit.estimate");
+      // Veneer model: every instruction over-approximated at 15 bytes.
+      for (const auto &B : VC.Blocks)
+        Result.EstimatedBytes += 15ull * (B.End - B.Begin);
+    }
+    {
+      TimeTraceScope Scope(Trace, "craneline.emit.encode");
+      layoutFrame();
+      encode(&Result);
+    }
+    return Result;
+  }
+
+private:
+  void layoutFrame() {
+    unsigned Ncs = static_cast<unsigned>(RA.UsedCalleeSaved.size());
+    CalleeArea = 8 * Ncs;
+    SpillArea = 8 * RA.NumSpillSlots;
+    uint32_t SlotCursor = CalleeArea + SpillArea;
+    SlotOffsets.clear();
+    for (uint32_t Size : CF.StackSlotSizes) {
+      SlotCursor = (SlotCursor + 15) & ~15u;
+      SlotCursor += (Size + 15) & ~15u;
+      SlotOffsets.push_back(-static_cast<int32_t>(SlotCursor));
+    }
+    uint32_t Below = SlotCursor - CalleeArea; // bytes below callee area
+    // Align so RSP is 16-aligned at calls: after push rbp rsp%16==0;
+    // each callee push plus the frame must keep that.
+    FrameBytes = (Below + 15) & ~15u;
+    if (Ncs % 2)
+      FrameBytes += 8;
+  }
+
+  int32_t spillOffset(int32_t Slot) const {
+    return -static_cast<int32_t>(CalleeArea) - 8 * (Slot + 1);
+  }
+
+  Mem memOperand(const MInst &I) const {
+    VReg Base = I.Src1;
+    if (Base == SPILL_FRAME_MARKER)
+      return Mem::base(Reg::RBP, spillOffset(I.Disp));
+    if (I.Src2 != VR_NONE)
+      return Mem::baseIndex(gpOf(Base), gpOf(I.Src2), I.Scale, I.Disp);
+    return Mem::base(gpOf(Base), I.Disp);
+  }
+
+  Label trapLabel(rt::TrapCode Code) {
+    unsigned Idx = Code == rt::TrapCode::Overflow ? 0 : 1;
+    if (!TrapUsed[Idx]) {
+      TrapLabels[Idx] = A.newLabel();
+      TrapUsed[Idx] = true;
+    }
+    return TrapLabels[Idx];
+  }
+
+  void encode(EmitResult *Result) {
+    std::vector<Label> BlockLabels(VC.Blocks.size());
+    for (size_t B = 0; B != VC.Blocks.size(); ++B)
+      BlockLabels[B] = A.newLabel();
+
+    // Prologue.
+    A.pushR(Reg::RBP);
+    A.movRR(Width::W64, Reg::RBP, Reg::RSP);
+    for (Reg R : RA.UsedCalleeSaved)
+      A.pushR(R);
+    if (FrameBytes)
+      A.aluRI(AluOp::Sub, Width::W64, Reg::RSP,
+              static_cast<int32_t>(FrameBytes));
+
+    for (size_t B = 0; B != VC.Blocks.size(); ++B) {
+      A.bind(BlockLabels[B]);
+      for (uint32_t P = VC.Blocks[B].Begin; P != VC.Blocks[B].End; ++P) {
+        const MInst &I = VC.Insts[P];
+        switch (I.Op) {
+        case MOp::MovRR:
+          if (I.Dst != I.Src1 || I.W != Width::W64)
+            A.movRR(I.W, gpOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::MovRI:
+          A.movRI(gpOf(I.Dst), static_cast<uint64_t>(I.Imm));
+          break;
+        case MOp::AluRR:
+          A.aluRR(static_cast<AluOp>(I.Aux), I.W, gpOf(I.Dst),
+                  gpOf(I.Src1));
+          break;
+        case MOp::AluRI:
+          A.aluRI(static_cast<AluOp>(I.Aux), I.W, gpOf(I.Dst),
+                  static_cast<int32_t>(I.Imm));
+          break;
+        case MOp::MulRR:
+          A.imulRR(I.W, gpOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::MulWide:
+          if (I.Aux)
+            A.imulR(Width::W64, gpOf(I.Src1));
+          else
+            A.mulR(Width::W64, gpOf(I.Src1));
+          break;
+        case MOp::DivRem:
+          if (I.Aux & 1)
+            A.idivR(I.W, gpOf(I.Src1));
+          else
+            A.divR(I.W, gpOf(I.Src1));
+          break;
+        case MOp::Cqo:
+          if (I.W == Width::W64)
+            A.cqo();
+          else
+            A.cdq();
+          break;
+        case MOp::ShiftRI:
+          A.shiftRI(static_cast<ShiftOp>(I.Aux), I.W, gpOf(I.Dst),
+                    static_cast<uint8_t>(I.Imm));
+          break;
+        case MOp::ShiftRC:
+          A.shiftRC(static_cast<ShiftOp>(I.Aux), I.W, gpOf(I.Dst));
+          break;
+        case MOp::NegR:
+          A.negR(I.W, gpOf(I.Dst));
+          break;
+        case MOp::NotR:
+          A.notR(I.W, gpOf(I.Dst));
+          break;
+        case MOp::MovzxRR:
+          A.movzxRR(static_cast<Width>(I.Aux), gpOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::MovsxRR:
+          A.movsxRR(static_cast<Width>(I.Aux), gpOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::Crc32RR:
+          A.crc32RR(gpOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::SetccR:
+          A.setcc(I.CC, gpOf(I.Dst));
+          break;
+        case MOp::CmovRR:
+          A.cmovcc(I.CC, I.W, gpOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::TestRR:
+          A.testRR(I.W, gpOf(I.Src1), gpOf(I.Src2));
+          break;
+        case MOp::CmpRR:
+          A.aluRR(AluOp::Cmp, I.W, gpOf(I.Src1), gpOf(I.Src2));
+          break;
+        case MOp::CmpRI:
+          A.aluRI(AluOp::Cmp, I.W, gpOf(I.Src1),
+                  static_cast<int32_t>(I.Imm));
+          break;
+        case MOp::LoadZx:
+          A.movzxRM(I.W, gpOf(I.Dst), memOperand(I));
+          break;
+        case MOp::LoadSx:
+          A.movsxRM(I.W, gpOf(I.Dst), memOperand(I));
+          break;
+        case MOp::StoreR:
+          A.movMR(I.W, memOperand(I), gpOf(I.Dst));
+          break;
+        case MOp::Lea:
+          A.lea(gpOf(I.Dst), memOperand(I));
+          break;
+        case MOp::StackAddrOp:
+          A.lea(gpOf(I.Dst),
+                Mem::base(Reg::RBP, SlotOffsets[static_cast<size_t>(I.Imm)]));
+          break;
+        case MOp::AtomicXadd:
+          A.lockXaddMR(I.W, Mem::base(gpOf(I.Src1)), gpOf(I.Dst));
+          break;
+        case MOp::FMovRR:
+          A.movsdXX(xmmOf(I.Dst), xmmOf(I.Src1));
+          break;
+        case MOp::FAluRR:
+          switch (I.Aux) {
+          case 0:
+            A.addsd(xmmOf(I.Dst), xmmOf(I.Src1));
+            break;
+          case 1:
+            A.subsd(xmmOf(I.Dst), xmmOf(I.Src1));
+            break;
+          case 2:
+            A.mulsd(xmmOf(I.Dst), xmmOf(I.Src1));
+            break;
+          default:
+            A.divsd(xmmOf(I.Dst), xmmOf(I.Src1));
+            break;
+          }
+          break;
+        case MOp::FLoad:
+          A.movsdXM(xmmOf(I.Dst), memOperand(I));
+          break;
+        case MOp::FStore: {
+          // Dst carries the stored value; Src1 the address.
+          VReg Base = I.Src1;
+          Mem M = Base == SPILL_FRAME_MARKER
+                      ? Mem::base(Reg::RBP, spillOffset(I.Disp))
+                      : Mem::base(gpOf(Base), I.Disp);
+          A.movsdMX(M, xmmOf(I.Dst));
+          break;
+        }
+        case MOp::Ucomisd:
+          A.ucomisd(xmmOf(I.Src1), xmmOf(I.Src2));
+          break;
+        case MOp::Cvtsi2sd:
+          A.cvtsi2sd(xmmOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::Cvttsd2si:
+          A.cvttsd2si(gpOf(I.Dst), xmmOf(I.Src1));
+          break;
+        case MOp::MovGX:
+          A.movqRX(gpOf(I.Dst), xmmOf(I.Src1));
+          break;
+        case MOp::MovXG:
+          A.movqXR(xmmOf(I.Dst), gpOf(I.Src1));
+          break;
+        case MOp::Jmp:
+          if (I.Target != B + 1)
+            A.jmp(BlockLabels[I.Target]);
+          break;
+        case MOp::Jcc:
+          A.jcc(I.CC, BlockLabels[I.Target]);
+          break;
+        case MOp::CallAbs: {
+          // Hard-wired address via relocation: emit a placeholder imm64
+          // and record an absolute relocation for the link phase.
+          A.movRI(Reg::R10, 0x0101010101010101ull);
+          Result->Relocs.push_back(
+              {A.size() - 8, static_cast<uint64_t>(I.Imm)});
+          A.callReg(Reg::R10);
+          break;
+        }
+        case MOp::Ret:
+          emitEpilogue();
+          break;
+        case MOp::Ud2:
+          A.ud2();
+          break;
+        case MOp::TrapIf:
+          A.jcc(I.CC, trapLabel(static_cast<rt::TrapCode>(I.Imm)));
+          break;
+        }
+      }
+    }
+
+    // Trap stubs.
+    static const rt::TrapCode Codes[2] = {rt::TrapCode::Overflow,
+                                          rt::TrapCode::DivByZero};
+    for (unsigned Idx = 0; Idx != 2; ++Idx) {
+      if (!TrapUsed[Idx])
+        continue;
+      A.bind(TrapLabels[Idx]);
+      A.movRI32(Reg::RDI, static_cast<uint32_t>(Codes[Idx]));
+      A.movRI(Reg::R10, 0x0101010101010101ull);
+      Result->Relocs.push_back(
+          {A.size() - 8,
+           reinterpret_cast<uint64_t>(rt::runtimeSymbolAddress("rt_trap"))});
+      A.callReg(Reg::R10);
+      A.ud2();
+    }
+
+    A.finalize();
+    Result->Code = A.code();
+  }
+
+  void emitEpilogue() {
+    unsigned Ncs = static_cast<unsigned>(RA.UsedCalleeSaved.size());
+    if (Ncs) {
+      A.lea(Reg::RSP, Mem::base(Reg::RBP, -static_cast<int32_t>(8 * Ncs)));
+      for (auto It = RA.UsedCalleeSaved.rbegin();
+           It != RA.UsedCalleeSaved.rend(); ++It)
+        A.popR(*It);
+      A.popR(Reg::RBP);
+    } else {
+      A.movRR(Width::W64, Reg::RSP, Reg::RBP);
+      A.popR(Reg::RBP);
+    }
+    A.ret();
+  }
+
+  const VCode &VC;
+  const CFunction &CF;
+  const RegAllocResult &RA;
+  TimeTrace *Trace;
+  Assembler A;
+  uint32_t CalleeArea = 0, SpillArea = 0, FrameBytes = 0;
+  std::vector<int32_t> SlotOffsets;
+  Label TrapLabels[2] = {};
+  bool TrapUsed[2] = {false, false};
+};
+
+} // namespace
+
+EmitResult craneline::emitFunction(const VCode &VC, const CFunction &CF,
+                                   const RegAllocResult &RA,
+                                   TimeTrace *Trace) {
+  return Emitter(VC, CF, RA, Trace).run();
+}

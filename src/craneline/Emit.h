@@ -1,0 +1,48 @@
+//===- craneline/Emit.h - VCode emission ------------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Craneline's emission stage (§VI-C4): a pre-pass over all instructions
+/// computes the clobbered (callee-saved) register set, another pass
+/// estimates block sizes from the allocator's inserted moves using
+/// over-approximated 15-byte instruction lengths (the veneer-placement
+/// estimate the paper critiques), and the main pass encodes the
+/// instructions. External call addresses are recorded as relocations that
+/// the link stage applies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_CRANELINE_EMIT_H
+#define QCF_CRANELINE_EMIT_H
+
+#include "craneline/Cir.h"
+#include "craneline/RegAlloc.h"
+#include "craneline/VCode.h"
+#include "support/TimeTrace.h"
+#include <vector>
+
+namespace qcf::craneline {
+
+/// One absolute-address relocation: patch 8 bytes at Offset with Target.
+struct AbsReloc {
+  size_t Offset;
+  uint64_t Target;
+};
+
+struct EmitResult {
+  std::vector<uint8_t> Code;
+  std::vector<AbsReloc> Relocs;
+  uint64_t EstimatedBytes = 0; ///< Veneer-model size estimate.
+  uint32_t NumClobbered = 0;
+};
+
+/// Encodes \p VC into machine code.
+EmitResult emitFunction(const VCode &VC, const CFunction &CF,
+                        const RegAllocResult &RA, TimeTrace *Trace);
+
+} // namespace qcf::craneline
+
+#endif // QCF_CRANELINE_EMIT_H

@@ -1,0 +1,38 @@
+//===- craneline/Lower.h - CIR lowering to VCode ----------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CIR -> VCode lowering (§VI-C2): three metadata pre-passes over the
+/// complete IR (virtual register + register class assignment, side-effect
+/// partitioning, use-count computation), then a backward tree-matching
+/// pass per block that merges single-use pure producers (constants into
+/// immediates, comparisons into branches) and emits machine instructions
+/// into a linear VCode array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_CRANELINE_LOWER_H
+#define QCF_CRANELINE_LOWER_H
+
+#include "craneline/Cir.h"
+#include "craneline/VCode.h"
+#include "support/TimeTrace.h"
+
+namespace qcf::craneline {
+
+/// Statistics exposed for the compile-time analysis benches.
+struct LowerStats {
+  uint64_t MergedConsts = 0;
+  uint64_t FusedCmpBranches = 0;
+};
+
+/// Lowers \p CF into \p VC. Block 0..N-1 of VC correspond to CIR blocks in
+/// layout order; edge-argument stub blocks follow.
+LowerStats lowerFunction(const CFunction &CF, VCode *VC, TimeTrace *Trace);
+
+} // namespace qcf::craneline
+
+#endif // QCF_CRANELINE_LOWER_H

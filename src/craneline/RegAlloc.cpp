@@ -1,0 +1,572 @@
+//===- craneline/RegAlloc.cpp - Live-range register allocation ------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "craneline/RegAlloc.h"
+#include "craneline/BTree.h"
+#include "support/Bitset.h"
+#include <algorithm>
+
+using namespace qcf;
+using namespace qcf::craneline;
+using x64::Reg;
+using x64::Width;
+
+namespace {
+
+/// Allocation pools in preference order (caller-saved first, so that leaf
+/// ranges avoid prologue work; callee-saved last for call-crossing ranges).
+constexpr Reg GpPoolOrder[] = {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI,
+                               Reg::RDI, Reg::R8,  Reg::R9,  Reg::RBX,
+                               Reg::R12, Reg::R13, Reg::R14, Reg::R15};
+constexpr unsigned NumGpPool = 12;
+constexpr unsigned NumXmmPool = 14; // XMM0..XMM13; 14/15 are scratch.
+
+bool isCalleeSaved(Reg R) {
+  switch (R) {
+  case Reg::RBX:
+  case Reg::R12:
+  case Reg::R13:
+  case Reg::R14:
+  case Reg::R15:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Enumerates the *physical* register effects of an instruction, including
+/// implicit ones. Fn(physIndex, isDef) — physIndex in the 0..15 GP /
+/// 32..47 XMM encoding of VCode.
+template <typename FnT> void forEachPhysRef(const MInst &I, FnT Fn) {
+  auto Visit = [&](VReg R, bool IsDef) {
+    if (R != VR_NONE && !isVirtual(R))
+      Fn(R, IsDef);
+  };
+  // Explicit operands.
+  switch (I.Op) {
+  case MOp::MovRR:
+  case MOp::MovzxRR:
+  case MOp::MovsxRR:
+  case MOp::FMovRR:
+  case MOp::Cvtsi2sd:
+  case MOp::Cvttsd2si:
+  case MOp::MovGX:
+  case MOp::MovXG:
+    Visit(I.Dst, true);
+    Visit(I.Src1, false);
+    break;
+  case MOp::MovRI:
+  case MOp::StackAddrOp:
+  case MOp::SetccR:
+    Visit(I.Dst, true);
+    break;
+  case MOp::AluRR:
+  case MOp::MulRR:
+  case MOp::Crc32RR:
+  case MOp::CmovRR:
+  case MOp::FAluRR:
+  case MOp::AtomicXadd:
+    Visit(I.Dst, true);
+    Visit(I.Dst, false);
+    Visit(I.Src1, false);
+    break;
+  case MOp::AluRI:
+  case MOp::ShiftRI:
+  case MOp::NegR:
+  case MOp::NotR:
+    Visit(I.Dst, true);
+    Visit(I.Dst, false);
+    break;
+  case MOp::TestRR:
+  case MOp::CmpRR:
+  case MOp::Ucomisd:
+    Visit(I.Src1, false);
+    Visit(I.Src2, false);
+    break;
+  case MOp::CmpRI:
+    Visit(I.Src1, false);
+    break;
+  case MOp::LoadZx:
+  case MOp::LoadSx:
+  case MOp::FLoad:
+  case MOp::Lea:
+    Visit(I.Dst, true);
+    Visit(I.Src1, false);
+    Visit(I.Src2, false);
+    break;
+  case MOp::StoreR:
+  case MOp::FStore:
+    Visit(I.Dst, false);
+    Visit(I.Src1, false);
+    Visit(I.Src2, false);
+    break;
+  case MOp::ShiftRC:
+    Visit(I.Dst, true);
+    Visit(I.Dst, false);
+    Fn(physGp(Reg::RCX), false);
+    break;
+  case MOp::MulWide:
+    Visit(I.Src1, false);
+    Fn(physGp(Reg::RAX), false);
+    Fn(physGp(Reg::RAX), true);
+    Fn(physGp(Reg::RDX), true);
+    break;
+  case MOp::DivRem:
+    Visit(I.Src1, false);
+    Fn(physGp(Reg::RAX), false);
+    Fn(physGp(Reg::RDX), false);
+    Fn(physGp(Reg::RAX), true);
+    Fn(physGp(Reg::RDX), true);
+    break;
+  case MOp::Cqo:
+    Fn(physGp(Reg::RAX), false);
+    Fn(physGp(Reg::RDX), true);
+    break;
+  case MOp::CallAbs: {
+    for (unsigned S = 0; S != I.Aux; ++S)
+      Fn(physGp(x64::GpArgRegs[S]), false);
+    // Caller-saved GP clobbers + return registers.
+    for (Reg R : {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI,
+                  Reg::R8, Reg::R9})
+      Fn(physGp(R), true);
+    for (unsigned X = 0; X != 16; ++X)
+      Fn(XMM_BASE + X, true);
+    break;
+  }
+  case MOp::Jmp:
+  case MOp::Jcc:
+  case MOp::Ret:
+  case MOp::Ud2:
+  case MOp::TrapIf:
+    break;
+  }
+}
+
+struct Interval {
+  VReg V;
+  uint32_t Start;
+  uint32_t End; ///< Exclusive.
+  RegClass RC;
+};
+
+class Allocator {
+public:
+  Allocator(VCode &VC, TimeTrace *Trace) : VC(VC), Trace(Trace) {}
+
+  RegAllocResult run() {
+    RegAllocResult Result;
+    {
+      TimeTraceScope Scope(Trace, "craneline.ra.liveness");
+      computeLiveness();
+      buildIntervals();
+    }
+    {
+      TimeTraceScope Scope(Trace, "craneline.ra.merge");
+      mergeBundles();
+    }
+    {
+      TimeTraceScope Scope(Trace, "craneline.ra.assign");
+      buildReservations();
+      assign();
+    }
+    {
+      TimeTraceScope Scope(Trace, "craneline.ra.rewrite");
+      rewrite();
+    }
+    Result.NumSpillSlots = NumSpillSlots;
+    for (Reg R : GpPoolOrder)
+      if (isCalleeSaved(R) && UsedCalleeSaved[x64::regNum(R)])
+        Result.UsedCalleeSaved.push_back(R);
+    uint64_t Steps = 0;
+    for (const RangeBTree &T : GpTrees)
+      Steps += T.traversalSteps();
+    for (const RangeBTree &T : XmmTrees)
+      Steps += T.traversalSteps();
+    Stats.BTreeSteps = Steps;
+    Result.Stats = Stats;
+    return Result;
+  }
+
+private:
+  uint32_t vregIdx(VReg R) const { return R - VREG_BASE; }
+
+  void computeLiveness() {
+    uint32_t N = VC.NumVRegs;
+    LiveIn.assign(VC.Blocks.size(), Bitset(N));
+    LiveOut.assign(VC.Blocks.size(), Bitset(N));
+    std::vector<Bitset> Use(VC.Blocks.size(), Bitset(N));
+    std::vector<Bitset> Def(VC.Blocks.size(), Bitset(N));
+
+    for (size_t B = 0; B != VC.Blocks.size(); ++B) {
+      for (uint32_t P = VC.Blocks[B].Begin; P != VC.Blocks[B].End; ++P) {
+        forEachRegOperand(VC.Insts[P], [&](VReg *R, bool IsDef, bool IsUse) {
+          if (!isVirtual(*R))
+            return;
+          uint32_t Idx = vregIdx(*R);
+          if (IsUse && !Def[B].test(Idx))
+            Use[B].set(Idx);
+          if (IsDef)
+            Def[B].set(Idx);
+        });
+      }
+    }
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = VC.Blocks.size(); B-- != 0;) {
+        Bitset Out(N);
+        for (uint32_t S : VC.Blocks[B].Succs)
+          Out.unionWith(LiveIn[S]);
+        if (!(Out == LiveOut[B])) {
+          LiveOut[B] = Out;
+          Changed = true;
+        }
+        Bitset In = Out;
+        In.subtract(Def[B]);
+        In.unionWith(Use[B]);
+        if (!(In == LiveIn[B])) {
+          LiveIn[B] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void buildIntervals() {
+    uint32_t N = VC.NumVRegs;
+    Starts.assign(N, UINT32_MAX);
+    Ends.assign(N, 0);
+    auto Extend = [&](uint32_t Idx, uint32_t Pos, uint32_t EndPos) {
+      Starts[Idx] = std::min(Starts[Idx], Pos);
+      Ends[Idx] = std::max(Ends[Idx], EndPos);
+    };
+    for (size_t B = 0; B != VC.Blocks.size(); ++B) {
+      uint32_t Begin = VC.Blocks[B].Begin, End = VC.Blocks[B].End;
+      LiveIn[B].forEachSetBit([&](size_t Idx) {
+        Extend(static_cast<uint32_t>(Idx), Begin, Begin);
+      });
+      LiveOut[B].forEachSetBit([&](size_t Idx) {
+        Extend(static_cast<uint32_t>(Idx), End, End);
+      });
+      for (uint32_t P = Begin; P != End; ++P) {
+        forEachRegOperand(VC.Insts[P], [&](VReg *R, bool IsDef, bool IsUse) {
+          if (!isVirtual(*R))
+            return;
+          Extend(vregIdx(*R), P, P + 1);
+        });
+      }
+    }
+  }
+
+  // --- Bundle merging -----------------------------------------------------
+
+  uint32_t findRep(uint32_t Idx) {
+    while (Rep[Idx] != Idx)
+      Idx = Rep[Idx] = Rep[Rep[Idx]];
+    return Idx;
+  }
+
+  void mergeBundles() {
+    uint32_t N = VC.NumVRegs;
+    Rep.resize(N);
+    for (uint32_t I = 0; I != N; ++I)
+      Rep[I] = I;
+
+    for (size_t B = 0; B != VC.Blocks.size(); ++B) {
+      for (uint32_t P = VC.Blocks[B].Begin; P != VC.Blocks[B].End; ++P) {
+        const MInst &I = VC.Insts[P];
+        if ((I.Op != MOp::MovRR && I.Op != MOp::FMovRR) ||
+            I.W != Width::W64)
+          continue;
+        if (!isVirtual(I.Dst) || !isVirtual(I.Src1))
+          continue;
+        uint32_t D = findRep(vregIdx(I.Dst));
+        uint32_t S = findRep(vregIdx(I.Src1));
+        if (D == S)
+          continue;
+        // Merge when the source dies exactly at the move and the
+        // destination is born here: the ranges are contiguous.
+        if (Ends[S] == P + 1 && Starts[D] == P) {
+          Rep[D] = S;
+          Starts[S] = std::min(Starts[S], Starts[D]);
+          Ends[S] = std::max(Ends[S], Ends[D]);
+          ++Stats.NumMerged;
+        }
+      }
+    }
+
+    // Rewrite operands to representatives.
+    for (MInst &I : VC.Insts)
+      forEachRegOperand(I, [&](VReg *R, bool, bool) {
+        if (isVirtual(*R))
+          *R = VREG_BASE + findRep(vregIdx(*R));
+      });
+  }
+
+  // --- Assignment --------------------------------------------------------------
+
+  void buildReservations() {
+    GpTrees.resize(16);
+    XmmTrees.resize(16);
+    // Physical register reference runs become reservations: a run starts
+    // at a def and extends to its last use before the next def.
+    std::vector<uint32_t> RunStart(48, UINT32_MAX);
+    std::vector<uint32_t> RunEnd(48, 0);
+    auto Flush = [&](unsigned P) {
+      if (RunStart[P] == UINT32_MAX)
+        return;
+      insertReservation(P, {RunStart[P], RunEnd[P] + 1});
+      RunStart[P] = UINT32_MAX;
+    };
+    for (uint32_t Pos = 0; Pos != VC.Insts.size(); ++Pos) {
+      forEachPhysRef(VC.Insts[Pos], [&](VReg P, bool IsDef) {
+        if (IsDef) {
+          // A def after a closed run opens a new one; consecutive defs
+          // (e.g. call clobbers) extend the current.
+          if (RunStart[P] != UINT32_MAX && RunEnd[P] + 4 < Pos)
+            Flush(P);
+          if (RunStart[P] == UINT32_MAX)
+            RunStart[P] = Pos;
+          RunEnd[P] = std::max(RunEnd[P], Pos);
+        } else {
+          if (RunStart[P] == UINT32_MAX)
+            RunStart[P] = Pos; // use without seen def (arg registers)
+          RunEnd[P] = std::max(RunEnd[P], Pos);
+        }
+      });
+    }
+    for (unsigned P = 0; P != 48; ++P)
+      Flush(P);
+  }
+
+  void insertReservation(unsigned P, PosRange R) {
+    if (P < 16) {
+      if (!GpTrees[P].overlaps(R))
+        GpTrees[P].insert(R);
+      else
+        extendInsert(GpTrees[P], R);
+    } else if (P >= XMM_BASE && P < XMM_BASE + 16) {
+      RangeBTree &T = XmmTrees[P - XMM_BASE];
+      if (!T.overlaps(R))
+        T.insert(R);
+      else
+        extendInsert(T, R);
+    }
+  }
+
+  /// Reservation ranges may touch; insert the non-overlapping pieces.
+  void extendInsert(RangeBTree &T, PosRange R) {
+    for (uint32_t P = R.Start; P < R.End; ++P) {
+      PosRange One{P, P + 1};
+      if (!T.overlaps(One))
+        T.insert(One);
+    }
+  }
+
+  void assign() {
+    uint32_t N = VC.NumVRegs;
+    Assignment.assign(N, VR_NONE);
+    SpillSlot.assign(N, UINT32_MAX);
+    UsedCalleeSaved.assign(16, false);
+
+    std::vector<Interval> Ivs;
+    for (uint32_t Idx = 0; Idx != N; ++Idx) {
+      if (Rep[Idx] != Idx || Starts[Idx] == UINT32_MAX)
+        continue; // merged away or never used
+      Ivs.push_back({VREG_BASE + Idx, Starts[Idx], Ends[Idx],
+                     VC.VRegClass[Idx]});
+    }
+    std::sort(Ivs.begin(), Ivs.end(), [](const Interval &A,
+                                         const Interval &B) {
+      return A.Start < B.Start || (A.Start == B.Start && A.V < B.V);
+    });
+
+    for (const Interval &Iv : Ivs) {
+      PosRange R{Iv.Start, Iv.End};
+      uint32_t Idx = vregIdx(Iv.V);
+      bool Assigned = false;
+      if (Iv.RC == RegClass::Int) {
+        for (Reg P : GpPoolOrder) {
+          RangeBTree &T = GpTrees[x64::regNum(P)];
+          if (!T.overlaps(R)) {
+            T.insert(R);
+            Assignment[Idx] = physGp(P);
+            if (isCalleeSaved(P))
+              UsedCalleeSaved[x64::regNum(P)] = true;
+            Assigned = true;
+            break;
+          }
+        }
+      } else {
+        for (unsigned X = 0; X != NumXmmPool; ++X) {
+          RangeBTree &T = XmmTrees[X];
+          if (!T.overlaps(R)) {
+            T.insert(R);
+            Assignment[Idx] = XMM_BASE + X;
+            Assigned = true;
+            break;
+          }
+        }
+      }
+      if (!Assigned) {
+        SpillSlot[Idx] = NumSpillSlots++;
+        ++Stats.NumSpilled;
+      }
+    }
+  }
+
+  // --- Rewrite ------------------------------------------------------------------
+
+  /// Maps a vreg to its final physical register, or VR_NONE if spilled.
+  VReg finalReg(VReg R) {
+    if (!isVirtual(R))
+      return R;
+    uint32_t Idx = findRep(vregIdx(R));
+    return Assignment[Idx];
+  }
+
+  uint32_t spillSlotOf(VReg R) {
+    uint32_t Idx = findRep(vregIdx(R));
+    assert(SpillSlot[Idx] != UINT32_MAX && "value is not spilled");
+    return SpillSlot[Idx];
+  }
+
+  void rewrite() {
+    std::vector<MInst> Out;
+    Out.reserve(VC.Insts.size());
+    std::vector<VCode::VBlock> NewBlocks = VC.Blocks;
+
+    for (size_t B = 0; B != VC.Blocks.size(); ++B) {
+      NewBlocks[B].Begin = static_cast<uint32_t>(Out.size());
+      for (uint32_t P = VC.Blocks[B].Begin; P != VC.Blocks[B].End; ++P) {
+        MInst I = VC.Insts[P];
+
+        // Collect spilled operands and their roles.
+        struct SpillOp {
+          VReg *Slot;
+          bool IsDef, IsUse;
+          RegClass RC;
+        };
+        SpillOp Spills[3];
+        unsigned NumSpills = 0;
+        // Full-width self-moves are no-ops after coalescing; 32-bit
+        // self-moves zero the upper half and must be kept.
+        bool SelfMoveCandidate =
+            (I.Op == MOp::MovRR && I.W == Width::W64) || I.Op == MOp::FMovRR;
+
+        forEachRegOperand(I, [&](VReg *R, bool IsDef, bool IsUse) {
+          if (!isVirtual(*R))
+            return;
+          uint32_t Idx = findRep(vregIdx(*R));
+          RegClass RC = VC.VRegClass[Idx];
+          VReg Phys = Assignment[Idx];
+          if (Phys != VR_NONE) {
+            *R = Phys;
+            return;
+          }
+          // Deduplicate: the same vreg may appear as multiple roles.
+          for (unsigned K = 0; K != NumSpills; ++K)
+            if (*Spills[K].Slot == *R && Spills[K].Slot != R) {
+              // Different operand slots with same vreg; handle separately.
+            }
+          assert(NumSpills < 3 && "too many spilled operands");
+          Spills[NumSpills++] = {R, IsDef, IsUse, RC};
+        });
+
+        if (NumSpills == 0) {
+          if (SelfMoveCandidate && I.Dst == I.Src1) {
+            ++Stats.NumMovesRemoved;
+            continue; // coalesced move
+          }
+          Out.push_back(I);
+          continue;
+        }
+
+        // Assign scratch registers per class.
+        static const VReg GpScratch[2] = {physGp(Reg::R10),
+                                          physGp(Reg::R11)};
+        static const VReg XmmScratch[2] = {physXmm(x64::Xmm::XMM14),
+                                           physXmm(x64::Xmm::XMM15)};
+        unsigned GpUsed = 0, XmmUsed = 0;
+        // Same spilled vreg in two roles (e.g. in/out) must share one
+        // scratch: map vreg -> scratch.
+        VReg MapVreg[3];
+        VReg MapScratch[3];
+        unsigned NumMapped = 0;
+
+        for (unsigned K = 0; K != NumSpills; ++K) {
+          VReg V = *Spills[K].Slot;
+          VReg S = VR_NONE;
+          for (unsigned M = 0; M != NumMapped; ++M)
+            if (MapVreg[M] == V)
+              S = MapScratch[M];
+          if (S == VR_NONE) {
+            S = Spills[K].RC == RegClass::Int ? GpScratch[GpUsed++]
+                                              : XmmScratch[XmmUsed++];
+            MapVreg[NumMapped] = V;
+            MapScratch[NumMapped] = S;
+            ++NumMapped;
+          }
+          uint32_t Slot = spillSlotOf(V);
+          if (Spills[K].IsUse) {
+            MInst L;
+            L.Op = Spills[K].RC == RegClass::Int ? MOp::LoadZx : MOp::FLoad;
+            L.W = Width::W64;
+            L.Dst = S;
+            L.Src1 = SPILL_FRAME_MARKER;
+            L.Disp = static_cast<int32_t>(Slot);
+            Out.push_back(L);
+          }
+          *Spills[K].Slot = S;
+        }
+
+        Out.push_back(I);
+
+        for (unsigned K = 0; K != NumSpills; ++K) {
+          if (!Spills[K].IsDef)
+            continue;
+          VReg S = *Spills[K].Slot;
+          uint32_t Slot = 0;
+          // Find the vreg this scratch was mapped from.
+          for (unsigned M = 0; M != NumMapped; ++M)
+            if (MapScratch[M] == S)
+              Slot = spillSlotOf(MapVreg[M]);
+          MInst St;
+          St.Op = Spills[K].RC == RegClass::Int ? MOp::StoreR : MOp::FStore;
+          St.W = Width::W64;
+          St.Dst = S;
+          St.Src1 = SPILL_FRAME_MARKER;
+          St.Disp = static_cast<int32_t>(Slot);
+          Out.push_back(St);
+        }
+      }
+      NewBlocks[B].End = static_cast<uint32_t>(Out.size());
+    }
+
+    VC.Insts = std::move(Out);
+    VC.Blocks = std::move(NewBlocks);
+  }
+
+  VCode &VC;
+  TimeTrace *Trace;
+  RegAllocStats Stats;
+
+  std::vector<Bitset> LiveIn, LiveOut;
+  std::vector<uint32_t> Starts, Ends;
+  std::vector<uint32_t> Rep;
+  std::vector<VReg> Assignment;
+  std::vector<uint32_t> SpillSlot;
+  std::vector<bool> UsedCalleeSaved;
+  std::vector<RangeBTree> GpTrees, XmmTrees;
+  uint32_t NumSpillSlots = 0;
+};
+
+} // namespace
+
+RegAllocResult craneline::allocateRegisters(VCode *VC, TimeTrace *Trace) {
+  return Allocator(*VC, Trace).run();
+}

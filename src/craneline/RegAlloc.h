@@ -1,0 +1,52 @@
+//===- craneline/RegAlloc.h - Live-range register allocation ----*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Craneline's register allocator (§VI-C3): computes live ranges for the
+/// virtual registers (iterating over the IR several times), merges
+/// non-overlapping move-related ranges into bundles, and assigns physical
+/// registers with a linear scan that tracks each physical register's
+/// occupied ranges in a B-tree. Ranges that do not fit are spilled; a
+/// rewrite pass replaces virtual registers with their assignments and
+/// materializes spill loads/stores through scratch registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_CRANELINE_REGALLOC_H
+#define QCF_CRANELINE_REGALLOC_H
+
+#include "craneline/VCode.h"
+#include "support/TimeTrace.h"
+
+namespace qcf::craneline {
+
+struct RegAllocStats {
+  uint64_t BTreeSteps = 0;
+  uint32_t NumSpilled = 0;
+  uint32_t NumMerged = 0;
+  uint32_t NumMovesRemoved = 0;
+};
+
+struct RegAllocResult {
+  uint32_t NumSpillSlots = 0;
+  std::vector<x64::Reg> UsedCalleeSaved;
+  RegAllocStats Stats;
+};
+
+/// Allocates registers for \p VC in place: after the call, every operand
+/// is a physical register and spill code is materialized (spill slots are
+/// referenced via StackAddr-style RBP displacements resolved at emit
+/// through the SpillLoad/SpillStore convention: LoadZx/StoreR with
+/// Src1 == SPILL_BASE_MARKER and Disp = slot index).
+RegAllocResult allocateRegisters(VCode *VC, TimeTrace *Trace);
+
+/// Marker used as the base register of spill-slot memory accesses until
+/// the emitter assigns real frame offsets.
+inline constexpr VReg SPILL_FRAME_MARKER = 0xfffffffdu;
+
+} // namespace qcf::craneline
+
+#endif // QCF_CRANELINE_REGALLOC_H

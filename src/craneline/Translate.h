@@ -1,0 +1,32 @@
+//===- craneline/Translate.h - QIR to CIR translation -----------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// QIR -> CIR translation (§VI: "translates Umbra IR to CIR in two passes,
+/// first setting up function metadata before translating them"). Pointer
+/// arithmetic becomes i64 arithmetic, 16-byte values split into i64 pairs,
+/// phis become block parameters, and external call addresses are
+/// hard-wired into the IR. Significant time goes into hash-map lookups for
+/// value mapping — faithfully reproduced with an unordered_map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_CRANELINE_TRANSLATE_H
+#define QCF_CRANELINE_TRANSLATE_H
+
+#include "craneline/Cir.h"
+#include "craneline/Craneline.h"
+#include "qir/Function.h"
+
+namespace qcf::craneline {
+
+/// Translates \p F into a fresh CFunction.
+void translateFunction(const qir::Function &F, const CranelineOptions &Opts,
+                       CFunction *Out);
+
+} // namespace qcf::craneline
+
+#endif // QCF_CRANELINE_TRANSLATE_H

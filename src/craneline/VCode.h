@@ -1,0 +1,226 @@
+//===- craneline/VCode.h - Craneline machine IR -----------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VCode: the linear array of machine instructions Craneline's tree-
+/// matching instruction selector produces (§VI-C2), with virtual registers
+/// that the live-range register allocator later replaces. Physical
+/// registers appear directly where the ISA demands them (argument
+/// registers, RAX/RDX for wide multiplies and division, CL for shifts);
+/// the allocator treats those positions as reservations in the per-
+/// register B-trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_CRANELINE_VCODE_H
+#define QCF_CRANELINE_VCODE_H
+
+#include "x64/Asm.h"
+#include <cstdint>
+#include <vector>
+
+namespace qcf::craneline {
+
+/// Register operand: [0,16) = physical GP, [32,48) = physical XMM,
+/// >= VREG_BASE = virtual.
+using VReg = uint32_t;
+inline constexpr VReg VREG_BASE = 64;
+inline constexpr VReg VR_NONE = 0xffffffffu;
+inline constexpr VReg XMM_BASE = 32;
+
+inline bool isVirtual(VReg R) { return R >= VREG_BASE && R != VR_NONE; }
+inline bool isPhysGp(VReg R) { return R < 16; }
+inline bool isPhysXmm(VReg R) { return R >= XMM_BASE && R < XMM_BASE + 16; }
+inline VReg physGp(x64::Reg R) { return x64::regNum(R); }
+inline VReg physXmm(x64::Xmm R) { return XMM_BASE + x64::regNum(R); }
+
+enum class RegClass : uint8_t { Int, Float };
+
+/// VCode opcodes. Memory forms address [Src1 + Src2*Scale + Disp].
+enum class MOp : uint16_t {
+  MovRR,    ///< Dst = Src1 (64-bit GP move).
+  MovRI,    ///< Dst = Imm.
+  AluRR,    ///< Dst (in/out) op= Src1; Aux = x64 Alu code; W.
+  AluRI,    ///< Dst (in/out) op= Imm.
+  MulRR,    ///< Dst (in/out) *= Src1 (signed, W).
+  MulWide,  ///< RDX:RAX = RAX * Src1; Aux: 0 = unsigned, 1 = signed.
+  DivRem,   ///< RAX/RDX = RDX:RAX div Src1; Aux: bit0 signed, W.
+  Cqo,      ///< Sign-extend RAX into RDX (W selects cqo/cdq).
+  ShiftRI,  ///< Dst (in/out) shift= Imm; Aux = x64 Shift code.
+  ShiftRC,  ///< Dst (in/out) shift= CL (reads physical RCX).
+  NegR,     ///< Dst (in/out) = -Dst.
+  NotR,     ///< Dst (in/out) = ~Dst.
+  MovzxRR,  ///< Dst = zext(Src1); Aux = source width.
+  MovsxRR,  ///< Dst = sext(Src1); Aux = source width.
+  Crc32RR,  ///< Dst (in/out) = crc32(Dst, Src1).
+  SetccR,   ///< Dst = CC ? 1 : 0 (byte; caller re-extends).
+  CmovRR,   ///< Dst (in/out) = CC ? Src1 : Dst.
+  TestRR,   ///< flags = Src1 & Src2.
+  CmpRR,    ///< flags = Src1 - Src2.
+  CmpRI,    ///< flags = Src1 - Imm.
+  LoadZx,   ///< Dst = zext load W [addr]; Aux unused.
+  LoadSx,   ///< Dst = sext load W [addr].
+  StoreR,   ///< store W Src3 -> [addr]. Src3 carried in Dst field.
+  Lea,      ///< Dst = addr.
+  StackAddrOp, ///< Dst = address of stack slot Imm (resolved at emit).
+  AtomicXadd, ///< Dst (in/out) = xadd [Src1], Dst (W).
+  // Floating point (Dst/operands in the XMM class).
+  FMovRR,
+  FAluRR, ///< Aux: 0 add, 1 sub, 2 mul, 3 div.
+  FLoad,
+  FStore, ///< Src3 in Dst field.
+  Ucomisd,
+  Cvtsi2sd,
+  Cvttsd2si,
+  MovGX, ///< GP <- XMM.
+  MovXG, ///< XMM <- GP.
+  // Control flow and calls.
+  Jmp,     ///< Target block.
+  Jcc,     ///< CC, Target block.
+  CallAbs, ///< Imm = callee address; Aux = number of GP argument slots.
+  Ret,
+  Ud2,
+  TrapIf, ///< CC, Imm = trap code.
+};
+
+/// One VCode instruction (fixed-size record, linear array).
+struct MInst {
+  MOp Op;
+  x64::Width W = x64::Width::W64;
+  x64::Cond CC = x64::Cond::E;
+  uint8_t Aux = 0;
+  uint8_t Scale = 1;
+  VReg Dst = VR_NONE;
+  VReg Src1 = VR_NONE;
+  VReg Src2 = VR_NONE;
+  int32_t Disp = 0;
+  int64_t Imm = 0;
+  uint32_t Target = 0; ///< Block id for Jmp/Jcc.
+};
+
+/// A VCode function: linear instruction array plus block boundaries.
+struct VCode {
+  std::vector<MInst> Insts;
+  struct VBlock {
+    uint32_t Begin = 0, End = 0;
+    std::vector<uint32_t> Succs;
+  };
+  std::vector<VBlock> Blocks;
+  uint32_t NumVRegs = 0; ///< Virtual register count (ids VREG_BASE..).
+  std::vector<RegClass> VRegClass;
+
+  VReg newVReg(RegClass RC) {
+    VRegClass.push_back(RC);
+    return VREG_BASE + NumVRegs++;
+  }
+
+  RegClass regClass(VReg R) const {
+    assert(isVirtual(R) && "not a virtual register");
+    return VRegClass[R - VREG_BASE];
+  }
+};
+
+/// Enumerates register operands of an instruction. \p Fn is called as
+/// Fn(VReg*, bool IsDef, bool IsUse) — in/out operands report both.
+template <typename FnT> void forEachRegOperand(MInst &I, FnT Fn) {
+  auto Use = [&](VReg *R) {
+    if (*R != VR_NONE)
+      Fn(R, false, true);
+  };
+  auto Def = [&](VReg *R) {
+    if (*R != VR_NONE)
+      Fn(R, true, false);
+  };
+  auto InOut = [&](VReg *R) {
+    if (*R != VR_NONE)
+      Fn(R, true, true);
+  };
+  switch (I.Op) {
+  case MOp::MovRR:
+  case MOp::MovzxRR:
+  case MOp::MovsxRR:
+  case MOp::FMovRR:
+  case MOp::Cvtsi2sd:
+  case MOp::Cvttsd2si:
+  case MOp::MovGX:
+  case MOp::MovXG:
+    Def(&I.Dst);
+    Use(&I.Src1);
+    return;
+  case MOp::MovRI:
+  case MOp::StackAddrOp:
+    Def(&I.Dst);
+    return;
+  case MOp::AluRR:
+  case MOp::MulRR:
+  case MOp::Crc32RR:
+  case MOp::CmovRR:
+  case MOp::FAluRR:
+    InOut(&I.Dst);
+    Use(&I.Src1);
+    return;
+  case MOp::AluRI:
+  case MOp::ShiftRI:
+  case MOp::NegR:
+  case MOp::NotR:
+    InOut(&I.Dst);
+    return;
+  case MOp::ShiftRC:
+    InOut(&I.Dst); // also reads physical RCX (handled via reservations)
+    return;
+  case MOp::MulWide:
+  case MOp::DivRem:
+    Use(&I.Src1); // also RAX/RDX fixed (reservations)
+    return;
+  case MOp::Cqo:
+    return;
+  case MOp::SetccR:
+    Def(&I.Dst);
+    return;
+  case MOp::TestRR:
+  case MOp::CmpRR:
+    Use(&I.Src1);
+    Use(&I.Src2);
+    return;
+  case MOp::CmpRI:
+    Use(&I.Src1);
+    return;
+  case MOp::LoadZx:
+  case MOp::LoadSx:
+  case MOp::FLoad:
+  case MOp::Lea:
+    Def(&I.Dst);
+    Use(&I.Src1);
+    Use(&I.Src2);
+    return;
+  case MOp::StoreR:
+  case MOp::FStore:
+    Use(&I.Dst); // stored value
+    Use(&I.Src1);
+    Use(&I.Src2);
+    return;
+  case MOp::AtomicXadd:
+    InOut(&I.Dst);
+    Use(&I.Src1);
+    return;
+  case MOp::Ucomisd:
+    Use(&I.Src1);
+    Use(&I.Src2);
+    return;
+  case MOp::Jmp:
+  case MOp::Jcc:
+  case MOp::CallAbs:
+  case MOp::Ret:
+  case MOp::Ud2:
+  case MOp::TrapIf:
+    return;
+  }
+  QCF_UNREACHABLE("unhandled VCode opcode");
+}
+
+} // namespace qcf::craneline
+
+#endif // QCF_CRANELINE_VCODE_H

@@ -1,0 +1,68 @@
+//===- db/Codegen.h - Data-centric query code generation --------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles query plans into QIR pipeline functions (§II): the plan is
+/// separated into linear pipelines at the breakers (hash-join build,
+/// aggregation, sort); each pipeline becomes one function
+/// `void pipe(ptr ctx, i64 begin, i64 end)` that scans a morsel of its
+/// source, applies the operators as nested control flow keeping tuples in
+/// registers, and materializes into the pipeline-breaking data structure
+/// through runtime calls. Sort comparators compile to callback functions
+/// invoked by the runtime (§III-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_DB_CODEGEN_H
+#define QCF_DB_CODEGEN_H
+
+#include "db/Plan.h"
+#include "qir/Function.h"
+#include <memory>
+
+namespace qcf::db {
+
+/// The context-slot objects a compiled query needs at run time.
+struct RuntimeObject {
+  enum class Kind : uint8_t { JoinHt, AggHt, SortBuffer };
+  Kind K;
+  uint32_t Slot;          ///< ctx slot holding the object pointer.
+  uint32_t CountSlot = 0; ///< Sort: ctx slot used as the row counter.
+  uint64_t PayloadBytes = 0;
+  uint32_t RowStride = 0;       ///< Sort row size.
+  int ProducerPipeline = -1;    ///< Pipeline that fills this object.
+  std::string CmpFnName;        ///< Sort comparator function.
+  uint64_t Limit = 0;           ///< Sort limit (0 = none).
+};
+
+/// One compiled pipeline.
+struct PipelineDesc {
+  std::string FnName;
+  enum class Source : uint8_t { TableScan, HtScan, SortedScan };
+  Source Src;
+  std::string SourceTable; ///< TableScan.
+  int SourceObject = -1;   ///< Index into Objects for HtScan/SortedScan.
+  bool ParallelSafe = false;
+  int SortObject = -1; ///< Object to sort after this pipeline completes.
+};
+
+/// A compiled query: QIR module plus execution metadata.
+struct CompiledPlan {
+  std::unique_ptr<qir::Module> Module;
+  Arena StringArena; ///< Owns string constants referenced by the code.
+  std::vector<PipelineDesc> Pipelines;
+  std::vector<RuntimeObject> Objects;
+  uint32_t NumCtxSlots = 0;
+  std::string QueryName;
+};
+
+/// Compiles \p Q against \p Cat. The catalog must outlive execution
+/// (column base addresses are hard-wired into the generated code).
+CompiledPlan compileQuery(const Query &Q, const Catalog &Cat);
+
+} // namespace qcf::db
+
+#endif // QCF_DB_CODEGEN_H

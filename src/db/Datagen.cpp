@@ -1,0 +1,244 @@
+//===- db/Datagen.cpp - Synthetic benchmark data ---------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "db/Datagen.h"
+#include "runtime/Runtime.h"
+#include "support/Rng.h"
+
+using namespace qcf;
+using namespace qcf::db;
+
+namespace {
+
+const char *const Segments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                "MACHINERY", "HOUSEHOLD"};
+const char *const Nations[] = {"FRANCE", "GERMANY", "RUSSIA", "JAPAN",
+                               "CHINA", "INDIA", "BRAZIL", "CANADA",
+                               "PERU", "EGYPT"};
+const char *const Regions[] = {"AMERICA", "ASIA", "EUROPE", "AFRICA",
+                               "MIDDLE EAST"};
+const char *const ShipModes[] = {"AIR", "MAIL", "SHIP", "TRUCK", "RAIL",
+                                 "FOB", "REG AIR"};
+const char *const PartTypes[] = {
+    "PROMO BURNISHED COPPER", "LARGE BRUSHED BRASS", "STANDARD POLISHED TIN",
+    "SMALL PLATED COPPER",    "PROMO POLISHED STEEL", "ECONOMY ANODIZED STEEL",
+    "MEDIUM BURNISHED NICKEL", "PROMO ANODIZED TIN"};
+const char *const Brands[] = {"Brand#11", "Brand#12", "Brand#21",
+                              "Brand#22", "Brand#31", "Brand#32",
+                              "Brand#41", "Brand#42"};
+const char *const Flags[] = {"A", "N", "R"};
+const char *const Status[] = {"F", "O"};
+const char *const Priorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                  "4-NOT SPECIFIED", "5-LOW"};
+const char *const States[] = {"CA", "TX", "NY", "WA", "OR", "NV", "AZ",
+                              "UT"};
+const char *const Categories[] = {"Books", "Electronics", "Home", "Music",
+                                  "Shoes", "Sports", "Toys", "Women"};
+
+int64_t dateOf(int Y, unsigned M, unsigned D) {
+  return rt::dateFromYmd(Y, M, D);
+}
+
+} // namespace
+
+void db::generateTpchLike(Catalog &C, double Sf, uint64_t Seed) {
+  Rng R(Seed);
+  const size_t NumOrders = static_cast<size_t>(1500 * Sf) + 1;
+  const size_t NumCustomers = static_cast<size_t>(150 * Sf) + 1;
+  const size_t NumParts = static_cast<size_t>(200 * Sf) + 1;
+  const size_t NumSuppliers = static_cast<size_t>(10 * Sf) + 1;
+  const size_t NumNations = 10, NumRegions = 5;
+
+  // region / nation.
+  {
+    Table &T = C.create("region");
+    Column &RK = T.addColumn("r_regionkey", ColType::I64);
+    Column &RN = T.addColumn("r_name", ColType::Str);
+    for (size_t I = 0; I != NumRegions; ++I) {
+      RK.pushI64(static_cast<int64_t>(I));
+      RN.pushStr(T.makeString(Regions[I]));
+    }
+  }
+  {
+    Table &T = C.create("nation");
+    Column &NK = T.addColumn("n_nationkey", ColType::I64);
+    Column &NN = T.addColumn("n_name", ColType::Str);
+    Column &NR = T.addColumn("n_regionkey", ColType::I64);
+    for (size_t I = 0; I != NumNations; ++I) {
+      NK.pushI64(static_cast<int64_t>(I));
+      NN.pushStr(T.makeString(Nations[I]));
+      NR.pushI64(static_cast<int64_t>(I % NumRegions));
+    }
+  }
+
+  // supplier.
+  {
+    Table &T = C.create("supplier");
+    Column &SK = T.addColumn("s_suppkey", ColType::I64);
+    Column &SN = T.addColumn("s_nationkey", ColType::I64);
+    Column &SB = T.addColumn("s_acctbal", ColType::Decimal);
+    for (size_t I = 0; I != NumSuppliers; ++I) {
+      SK.pushI64(static_cast<int64_t>(I));
+      SN.pushI64(static_cast<int64_t>(R.nextBounded(NumNations)));
+      SB.pushDecimal(decimalFromCents(R.nextRange(-99999, 999999)));
+    }
+  }
+
+  // customer.
+  {
+    Table &T = C.create("customer");
+    Column &CK = T.addColumn("c_custkey", ColType::I64);
+    Column &CN = T.addColumn("c_nationkey", ColType::I64);
+    Column &CM = T.addColumn("c_mktsegment", ColType::Str);
+    Column &CB = T.addColumn("c_acctbal", ColType::Decimal);
+    for (size_t I = 0; I != NumCustomers; ++I) {
+      CK.pushI64(static_cast<int64_t>(I));
+      CN.pushI64(static_cast<int64_t>(R.nextBounded(NumNations)));
+      CM.pushStr(T.makeString(Segments[R.nextBounded(5)]));
+      CB.pushDecimal(decimalFromCents(R.nextRange(-99999, 999999)));
+    }
+  }
+
+  // part.
+  {
+    Table &T = C.create("part");
+    Column &PK = T.addColumn("p_partkey", ColType::I64);
+    Column &PT = T.addColumn("p_type", ColType::Str);
+    Column &PB = T.addColumn("p_brand", ColType::Str);
+    Column &PS = T.addColumn("p_size", ColType::I32);
+    Column &PR = T.addColumn("p_retailprice", ColType::Decimal);
+    for (size_t I = 0; I != NumParts; ++I) {
+      PK.pushI64(static_cast<int64_t>(I));
+      PT.pushStr(T.makeString(PartTypes[R.nextBounded(8)]));
+      PB.pushStr(T.makeString(Brands[R.nextBounded(8)]));
+      PS.pushI32(static_cast<int32_t>(1 + R.nextBounded(50)));
+      PR.pushDecimal(decimalFromCents(R.nextRange(90000, 200000)));
+    }
+  }
+
+  // orders + lineitem (1..7 lines per order, like TPC-H).
+  Table &Orders = C.create("orders");
+  Column &OK = Orders.addColumn("o_orderkey", ColType::I64);
+  Column &OC = Orders.addColumn("o_custkey", ColType::I64);
+  Column &OD = Orders.addColumn("o_orderdate", ColType::Date);
+  Column &OT = Orders.addColumn("o_totalprice", ColType::Decimal);
+  Column &OP = Orders.addColumn("o_orderpriority", ColType::Str);
+
+  Table &Li = C.create("lineitem");
+  Column &LO = Li.addColumn("l_orderkey", ColType::I64);
+  Column &LP = Li.addColumn("l_partkey", ColType::I64);
+  Column &LS = Li.addColumn("l_suppkey", ColType::I64);
+  Column &LQ = Li.addColumn("l_quantity", ColType::Decimal);
+  Column &LE = Li.addColumn("l_extendedprice", ColType::Decimal);
+  Column &LD = Li.addColumn("l_discount", ColType::Decimal);
+  Column &LT = Li.addColumn("l_tax", ColType::Decimal);
+  Column &LF = Li.addColumn("l_returnflag", ColType::Str);
+  Column &LL = Li.addColumn("l_linestatus", ColType::Str);
+  Column &LSd = Li.addColumn("l_shipdate", ColType::Date);
+  Column &LCd = Li.addColumn("l_commitdate", ColType::Date);
+  Column &LRd = Li.addColumn("l_receiptdate", ColType::Date);
+  Column &LM = Li.addColumn("l_shipmode", ColType::Str);
+
+  int64_t MinDate = dateOf(1992, 1, 1), MaxDate = dateOf(1998, 8, 2);
+  for (size_t O = 0; O != NumOrders; ++O) {
+    int64_t OrderDate = MinDate + static_cast<int64_t>(R.nextBounded(
+                                      static_cast<uint64_t>(MaxDate - MinDate - 200)));
+    OK.pushI64(static_cast<int64_t>(O));
+    OC.pushI64(static_cast<int64_t>(R.nextBounded(NumCustomers)));
+    OD.pushI32(static_cast<int32_t>(OrderDate));
+    OP.pushStr(Orders.makeString(Priorities[R.nextBounded(5)]));
+
+    unsigned NumLines = 1 + static_cast<unsigned>(R.nextBounded(7));
+    int64_t Total = 0;
+    for (unsigned L = 0; L != NumLines; ++L) {
+      int64_t Qty = 1 + static_cast<int64_t>(R.nextBounded(50));
+      int64_t PriceCents = R.nextRange(90000, 200000) * Qty / 50;
+      int64_t DiscCents = R.nextRange(0, 10);   // 0.00 .. 0.10
+      int64_t TaxCents = R.nextRange(0, 8);     // 0.00 .. 0.08
+      int64_t ShipDate = OrderDate + R.nextRange(1, 121);
+      LO.pushI64(static_cast<int64_t>(O));
+      LP.pushI64(static_cast<int64_t>(R.nextBounded(NumParts)));
+      LS.pushI64(static_cast<int64_t>(R.nextBounded(NumSuppliers)));
+      LQ.pushDecimal(decimalFromCents(Qty * 100));
+      LE.pushDecimal(decimalFromCents(PriceCents));
+      LD.pushDecimal(decimalFromCents(DiscCents));
+      LT.pushDecimal(decimalFromCents(TaxCents));
+      LF.pushStr(Li.makeString(Flags[R.nextBounded(3)]));
+      LL.pushStr(Li.makeString(Status[ShipDate > dateOf(1995, 6, 17) ? 1
+                                                                     : 0]));
+      LSd.pushI32(static_cast<int32_t>(ShipDate));
+      LCd.pushI32(static_cast<int32_t>(ShipDate + R.nextRange(-30, 30)));
+      LRd.pushI32(static_cast<int32_t>(ShipDate + R.nextRange(1, 30)));
+      LM.pushStr(Li.makeString(ShipModes[R.nextBounded(7)]));
+      Total += PriceCents;
+    }
+    OT.pushDecimal(decimalFromCents(Total));
+  }
+}
+
+void db::generateTpcdsLike(Catalog &C, double Sf, uint64_t Seed) {
+  Rng R(Seed);
+  const size_t NumDates = 365 * 5;
+  const size_t NumItems = static_cast<size_t>(180 * Sf) + 8;
+  const size_t NumStores = 12;
+  const size_t NumSales = static_cast<size_t>(12000 * Sf) + 1;
+
+  {
+    Table &T = C.create("date_dim");
+    Column &DK = T.addColumn("d_date_sk", ColType::I64);
+    Column &DY = T.addColumn("d_year", ColType::I32);
+    Column &DM = T.addColumn("d_moy", ColType::I32);
+    for (size_t I = 0; I != NumDates; ++I) {
+      DK.pushI64(static_cast<int64_t>(I));
+      DY.pushI32(static_cast<int32_t>(1998 + I / 365));
+      DM.pushI32(static_cast<int32_t>(1 + (I / 30) % 12));
+    }
+  }
+  {
+    Table &T = C.create("item");
+    Column &IK = T.addColumn("i_item_sk", ColType::I64);
+    Column &IB = T.addColumn("i_brand_id", ColType::I32);
+    Column &IC = T.addColumn("i_category", ColType::Str);
+    Column &IM = T.addColumn("i_manager_id", ColType::I32);
+    for (size_t I = 0; I != NumItems; ++I) {
+      IK.pushI64(static_cast<int64_t>(I));
+      IB.pushI32(static_cast<int32_t>(1 + R.nextBounded(40)));
+      IC.pushStr(T.makeString(Categories[R.nextBounded(8)]));
+      IM.pushI32(static_cast<int32_t>(1 + R.nextBounded(25)));
+    }
+  }
+  {
+    Table &T = C.create("store");
+    Column &SK = T.addColumn("s_store_sk", ColType::I64);
+    Column &SS = T.addColumn("s_state", ColType::Str);
+    for (size_t I = 0; I != NumStores; ++I) {
+      SK.pushI64(static_cast<int64_t>(I));
+      SS.pushStr(T.makeString(States[I % 8]));
+    }
+  }
+  {
+    Table &T = C.create("store_sales");
+    Column &SD = T.addColumn("ss_sold_date_sk", ColType::I64);
+    Column &SI = T.addColumn("ss_item_sk", ColType::I64);
+    Column &SS = T.addColumn("ss_store_sk", ColType::I64);
+    Column &SQ = T.addColumn("ss_quantity", ColType::I32);
+    Column &SP = T.addColumn("ss_sales_price", ColType::Decimal);
+    Column &SE = T.addColumn("ss_ext_sales_price", ColType::Decimal);
+    Column &SN = T.addColumn("ss_net_profit", ColType::Decimal);
+    for (size_t I = 0; I != NumSales; ++I) {
+      // Skewed item popularity (Zipf), uniform dates/stores.
+      int64_t Qty = 1 + static_cast<int64_t>(R.nextBounded(100));
+      int64_t Price = R.nextRange(100, 30000);
+      SD.pushI64(static_cast<int64_t>(R.nextBounded(NumDates)));
+      SI.pushI64(static_cast<int64_t>(R.nextZipf(NumItems, 0.8)));
+      SS.pushI64(static_cast<int64_t>(R.nextBounded(NumStores)));
+      SQ.pushI32(static_cast<int32_t>(Qty));
+      SP.pushDecimal(decimalFromCents(Price));
+      SE.pushDecimal(decimalFromCents(Price * Qty));
+      SN.pushDecimal(decimalFromCents(R.nextRange(-5000, 20000)));
+    }
+  }
+}

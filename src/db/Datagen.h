@@ -1,0 +1,38 @@
+//===- db/Datagen.h - Synthetic benchmark data ------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic data generators for a TPC-H-like schema
+/// (lineitem/orders/customer/part/supplier/nation/region) and a
+/// TPC-DS-like star schema (store_sales/date_dim/item/store).
+///
+/// Substitution note (see DESIGN.md): the official dbgen/dsdgen tools are
+/// not redistributable and unavailable offline; these generators preserve
+/// what the paper's experiments depend on — the schema shapes, join
+/// cardinalities, skew, selectivity of the filters used by the query
+/// suite, and the decimal/string/date type mix — at scale factors sized
+/// for this machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_DB_DATAGEN_H
+#define QCF_DB_DATAGEN_H
+
+#include "db/Table.h"
+
+namespace qcf::db {
+
+/// Populates \p C with the TPC-H-like tables at scale \p Sf
+/// (Sf = 1.0 is ~6000 lineitem rows; the real benchmark's SF1 is 6M —
+/// a factor 1000 scale-down for the 1-core test machine).
+void generateTpchLike(Catalog &C, double Sf, uint64_t Seed = 42);
+
+/// Populates \p C with the TPC-DS-like star schema tables.
+void generateTpcdsLike(Catalog &C, double Sf, uint64_t Seed = 7);
+
+} // namespace qcf::db
+
+#endif // QCF_DB_DATAGEN_H

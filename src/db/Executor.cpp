@@ -1,0 +1,129 @@
+//===- db/Executor.cpp - Morsel-driven query execution ---------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "db/Executor.h"
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+using namespace qcf;
+using namespace qcf::db;
+
+namespace {
+
+using PipeFn = void (*)(void *, int64_t, int64_t);
+
+/// Runs one pipeline over [0, Rows), morsel-parallel when allowed.
+void runPipeline(PipeFn Fn, void *Ctx, uint64_t Rows, bool Parallel,
+                 const ExecOptions &Opts) {
+  if (!Parallel || Opts.NumThreads <= 1 || Rows < Opts.MorselSize * 2) {
+    Fn(Ctx, 0, static_cast<int64_t>(Rows));
+    return;
+  }
+  std::atomic<uint64_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      uint64_t Begin = Next.fetch_add(Opts.MorselSize);
+      if (Begin >= Rows)
+        return;
+      uint64_t End = std::min(Rows, Begin + Opts.MorselSize);
+      Fn(Ctx, static_cast<int64_t>(Begin), static_cast<int64_t>(End));
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 1; T < Opts.NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+} // namespace
+
+ExecResult db::executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
+                            const Catalog &Cat, rt::OutputBuffer *Out,
+                            const ExecOptions &Opts,
+                            TimeTrace *CompileTrace) {
+  ExecResult Result;
+
+  Stopwatch CompileWatch;
+  auto Compiled = BE.compile(*Plan.Module, CompileTrace);
+  Result.CompileSec = CompileWatch.elapsedSec();
+
+  // Runtime state.
+  std::vector<uint64_t> Ctx(Plan.NumCtxSlots, 0);
+  Arena QueryArena;
+  Ctx[0] = reinterpret_cast<uint64_t>(Out);
+  Ctx[1] = reinterpret_cast<uint64_t>(&QueryArena);
+
+  std::vector<std::unique_ptr<rt::HashTable>> Tables(Plan.Objects.size());
+  std::vector<std::unique_ptr<uint8_t[]>> Buffers(Plan.Objects.size());
+
+  // Source row count per pipeline.
+  auto SourceRows = [&](const PipelineDesc &P) -> uint64_t {
+    switch (P.Src) {
+    case PipelineDesc::Source::TableScan: {
+      const Table *T = Cat.find(P.SourceTable);
+      assert(T && "unknown table at execution");
+      return T->numRows();
+    }
+    case PipelineDesc::Source::HtScan:
+      return Tables[P.SourceObject]->count();
+    case PipelineDesc::Source::SortedScan: {
+      const RuntimeObject &Obj = Plan.Objects[P.SourceObject];
+      uint64_t Count = Ctx[Obj.CountSlot];
+      if (Obj.Limit && Count > Obj.Limit)
+        Count = Obj.Limit;
+      return Count;
+    }
+    }
+    QCF_UNREACHABLE("invalid pipeline source");
+  };
+
+  Stopwatch ExecWatch;
+  rt::TrapCode Code = rt::runWithTrapGuard([&] {
+    for (size_t PI = 0; PI != Plan.Pipelines.size(); ++PI) {
+      const PipelineDesc &P = Plan.Pipelines[PI];
+
+      // Create the objects this pipeline fills.
+      for (size_t OI = 0; OI != Plan.Objects.size(); ++OI) {
+        const RuntimeObject &Obj = Plan.Objects[OI];
+        if (Obj.ProducerPipeline != static_cast<int>(PI))
+          continue;
+        uint64_t Expected = SourceRows(P);
+        if (Obj.K == RuntimeObject::Kind::SortBuffer) {
+          Buffers[OI] = std::make_unique<uint8_t[]>(
+              (Expected + 1) * Obj.RowStride);
+          Ctx[Obj.Slot] = reinterpret_cast<uint64_t>(Buffers[OI].get());
+          Ctx[Obj.CountSlot] = 0;
+        } else {
+          Tables[OI] = std::make_unique<rt::HashTable>(
+              Expected, static_cast<uint32_t>(Obj.PayloadBytes));
+          Ctx[Obj.Slot] = reinterpret_cast<uint64_t>(Tables[OI].get());
+        }
+      }
+
+      auto *Fn = Compiled->entryAs<PipeFn>(P.FnName);
+      assert(Fn && "missing pipeline entry point");
+      runPipeline(Fn, Ctx.data(), SourceRows(P), P.ParallelSafe, Opts);
+
+      // Sort step after a materialization pipeline.
+      if (P.SortObject >= 0) {
+        const RuntimeObject &Obj = Plan.Objects[P.SortObject];
+        void *Cmp = Compiled->entry(Obj.CmpFnName);
+        assert(Cmp && "missing comparator entry point");
+        rt_sort(reinterpret_cast<void *>(Ctx[Obj.Slot]),
+                Ctx[Obj.CountSlot], Obj.RowStride, Cmp);
+      }
+    }
+  });
+  Result.ExecSec = ExecWatch.elapsedSec();
+  if (Code != rt::TrapCode::None) {
+    Result.Trapped = true;
+    Result.Trap = Code;
+  }
+  return Result;
+}

@@ -1,0 +1,45 @@
+//===- db/Executor.h - Morsel-driven query execution ------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a compiled query plan: compiles the QIR module with any
+/// back-end, creates the runtime objects (hash tables, sort buffers), and
+/// drives each pipeline over its source in morsels (§II: "morsel-driven
+/// parallelism") — parallel-safe pipelines fan morsels out to worker
+/// threads. Traps (overflow, division by zero) abort the query cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_DB_EXECUTOR_H
+#define QCF_DB_EXECUTOR_H
+
+#include "backend/Backend.h"
+#include "db/Codegen.h"
+#include "runtime/Runtime.h"
+
+namespace qcf::db {
+
+struct ExecOptions {
+  unsigned NumThreads = 1;
+  uint64_t MorselSize = 2048;
+};
+
+struct ExecResult {
+  bool Trapped = false;
+  rt::TrapCode Trap = rt::TrapCode::None;
+  double CompileSec = 0;
+  double ExecSec = 0;
+};
+
+/// Compiles \p Plan with \p BE and runs it; results append to \p Out.
+ExecResult executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
+                        const Catalog &Cat, rt::OutputBuffer *Out,
+                        const ExecOptions &Opts = ExecOptions(),
+                        TimeTrace *CompileTrace = nullptr);
+
+} // namespace qcf::db
+
+#endif // QCF_DB_EXECUTOR_H

@@ -1,0 +1,488 @@
+//===- db/Queries.cpp - Benchmark query suites ------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "db/Queries.h"
+
+using namespace qcf;
+using namespace qcf::db;
+
+namespace {
+
+std::vector<ExprPtr> exprs() { return {}; }
+
+template <typename... Ts> std::vector<ExprPtr> exprs(Ts... E) {
+  std::vector<ExprPtr> V;
+  (V.push_back(std::move(E)), ...);
+  return V;
+}
+
+std::vector<std::string> names(std::initializer_list<const char *> L) {
+  return {L.begin(), L.end()};
+}
+
+AggSpec agg(AggKind K, ExprPtr Arg, const char *Name) {
+  AggSpec A;
+  A.Kind = K;
+  A.Arg = std::move(Arg);
+  A.Name = Name;
+  return A;
+}
+
+/// h1: pricing summary report (group by returnflag/linestatus).
+Query makeH1(const char *Name, int CutYear, unsigned CutMonth) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr P = scan("lineitem");
+  P = filter(std::move(P),
+             le(col("l_shipdate"), litDate(CutYear, CutMonth, 1)));
+
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum, col("l_quantity"), "sum_qty"));
+  Aggs.push_back(agg(AggKind::Sum, col("l_extendedprice"), "sum_price"));
+  // sum(extprice * (100 - disc)): decimal-by-decimal checked multiply.
+  Aggs.push_back(agg(
+      AggKind::Sum,
+      mul(col("l_extendedprice"), sub(litDec(100), col("l_discount"))),
+      "sum_disc_price"));
+  Aggs.push_back(agg(AggKind::Sum,
+                     mul(mul(col("l_extendedprice"),
+                             sub(litDec(100), col("l_discount"))),
+                         add(litDec(100), col("l_tax"))),
+                     "sum_charge"));
+  Aggs.push_back(agg(AggKind::Avg, col("l_quantity"), "avg_qty"));
+  Aggs.push_back(agg(AggKind::Avg, col("l_extendedprice"), "avg_price"));
+  Aggs.push_back(agg(AggKind::Count, nullptr, "count_order"));
+
+  P = aggregate(std::move(P),
+                exprs(col("l_returnflag"), col("l_linestatus")),
+                names({"returnflag", "linestatus"}), std::move(Aggs));
+  P = sortBy(std::move(P),
+             {{"returnflag", false}, {"linestatus", false}});
+  Q.Root = std::move(P);
+  Q.Output = exprs(col("returnflag"), col("linestatus"), col("sum_qty"),
+                   col("sum_price"), col("sum_disc_price"),
+                   col("sum_charge"), col("avg_qty"), col("avg_price"),
+                   col("count_order"));
+  return Q;
+}
+
+/// h3: shipping priority (3-way join, group by orderkey, top 10).
+Query makeH3(const char *Name, const char *Segment, int Y, unsigned M,
+             unsigned D) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Customers = filter(
+      scan("customer"), eq(col("c_mktsegment"), litStr(Segment)));
+  PlanPtr Orders =
+      filter(scan("orders"), lt(col("o_orderdate"), litDate(Y, M, D)));
+  PlanPtr OC =
+      hashJoin(std::move(Orders), std::move(Customers),
+               exprs(col("o_custkey")), exprs(col("c_custkey")), {});
+  PlanPtr Items =
+      filter(scan("lineitem"), gt(col("l_shipdate"), litDate(Y, M, D)));
+  PlanPtr J = hashJoin(std::move(Items), std::move(OC),
+                       exprs(col("l_orderkey")), exprs(col("o_orderkey")),
+                       {"o_orderdate"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum,
+                     mul(col("l_extendedprice"),
+                         sub(litDec(100), col("l_discount"))),
+                     "revenue"));
+  PlanPtr A = aggregate(std::move(J),
+                        exprs(col("l_orderkey"), col("o_orderdate")),
+                        names({"orderkey", "orderdate"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"revenue", true}}, 10);
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("orderkey"), col("revenue"), col("orderdate"));
+  return Q;
+}
+
+/// h5: local supplier volume (5-way join, group by nation).
+Query makeH5(const char *Name, int Year) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Orders = filter(
+      scan("orders"),
+      and_(ge(col("o_orderdate"), litDate(Year, 1, 1)),
+           lt(col("o_orderdate"), litDate(Year + 1, 1, 1))));
+  PlanPtr OC = hashJoin(std::move(Orders), scan("customer"),
+                        exprs(col("o_custkey")), exprs(col("c_custkey")),
+                        {"c_nationkey"});
+  PlanPtr JL = hashJoin(scan("lineitem"), std::move(OC),
+                        exprs(col("l_orderkey")), exprs(col("o_orderkey")),
+                        {"c_nationkey"});
+  // Local suppliers: supplier nation must match the customer nation.
+  PlanPtr JS = hashJoin(std::move(JL), scan("supplier"),
+                        exprs(col("l_suppkey"), col("c_nationkey")),
+                        exprs(col("s_suppkey"), col("s_nationkey")), {});
+  PlanPtr JN = hashJoin(std::move(JS), scan("nation"),
+                        exprs(col("c_nationkey")),
+                        exprs(col("n_nationkey")), {"n_name"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum,
+                     mul(col("l_extendedprice"),
+                         sub(litDec(100), col("l_discount"))),
+                     "revenue"));
+  PlanPtr A = aggregate(std::move(JN), exprs(col("n_name")),
+                        names({"nation"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"revenue", true}});
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("nation"), col("revenue"));
+  return Q;
+}
+
+/// h6: forecasting revenue change (selective scan, no joins).
+Query makeH6(const char *Name, int Year, int64_t DiscLo, int64_t DiscHi,
+             int64_t QtyCents) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr P = scan("lineitem");
+  P = filter(std::move(P),
+             and_(and_(ge(col("l_shipdate"), litDate(Year, 1, 1)),
+                       lt(col("l_shipdate"), litDate(Year + 1, 1, 1))),
+                  and_(between(col("l_discount"), litDec(DiscLo),
+                               litDec(DiscHi)),
+                       lt(col("l_quantity"), litDec(QtyCents)))));
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum,
+                     mul(col("l_extendedprice"), col("l_discount")),
+                     "revenue"));
+  Aggs.push_back(agg(AggKind::Count, nullptr, "n"));
+  Q.Root = aggregate(std::move(P), exprs(), {}, std::move(Aggs));
+  Q.Output = exprs(col("revenue"), col("n"));
+  return Q;
+}
+
+/// h12: shipping modes and order priority (join + conditional sums).
+Query makeH12(const char *Name, const char *ModeA, const char *ModeB,
+              int Year) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Items = filter(
+      scan("lineitem"),
+      and_(or_(eq(col("l_shipmode"), litStr(ModeA)),
+               eq(col("l_shipmode"), litStr(ModeB))),
+           and_(ge(col("l_receiptdate"), litDate(Year, 1, 1)),
+                lt(col("l_receiptdate"), litDate(Year + 1, 1, 1)))));
+  PlanPtr J = hashJoin(std::move(Items), scan("orders"),
+                       exprs(col("l_orderkey")), exprs(col("o_orderkey")),
+                       {"o_orderpriority"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(
+      agg(AggKind::Sum,
+          caseWhen(or_(startsWith(col("o_orderpriority"), "1-"),
+                       startsWith(col("o_orderpriority"), "2-")),
+                   litI64(1), litI64(0)),
+          "high_line_count"));
+  Aggs.push_back(
+      agg(AggKind::Sum,
+          caseWhen(or_(startsWith(col("o_orderpriority"), "1-"),
+                       startsWith(col("o_orderpriority"), "2-")),
+                   litI64(0), litI64(1)),
+          "low_line_count"));
+  PlanPtr A = aggregate(std::move(J), exprs(col("l_shipmode")),
+                        names({"shipmode"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"shipmode", false}});
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("shipmode"), col("high_line_count"),
+                   col("low_line_count"));
+  return Q;
+}
+
+/// h14: promotion effect (join with LIKE on part type).
+Query makeH14(const char *Name, int Year, unsigned Month) {
+  Query Q;
+  Q.Name = Name;
+  unsigned NextMonth = Month == 12 ? 1 : Month + 1;
+  int NextYear = Month == 12 ? Year + 1 : Year;
+  PlanPtr Items = filter(
+      scan("lineitem"),
+      and_(ge(col("l_shipdate"), litDate(Year, Month, 1)),
+           lt(col("l_shipdate"), litDate(NextYear, NextMonth, 1))));
+  PlanPtr J = hashJoin(std::move(Items), scan("part"),
+                       exprs(col("l_partkey")), exprs(col("p_partkey")),
+                       {"p_type"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(
+      agg(AggKind::Sum,
+          caseWhen(like(col("p_type"), "PROMO%"),
+                   mul(col("l_extendedprice"),
+                       sub(litDec(100), col("l_discount"))),
+                   litDec(0)),
+          "promo_revenue"));
+  Aggs.push_back(agg(AggKind::Sum,
+                     mul(col("l_extendedprice"),
+                         sub(litDec(100), col("l_discount"))),
+                     "total_revenue"));
+  Q.Root = aggregate(std::move(J), exprs(), {}, std::move(Aggs));
+  Q.Output = exprs(col("promo_revenue"), col("total_revenue"));
+  return Q;
+}
+
+/// h18: large volume customers (aggregate + having + top-k).
+Query makeH18(const char *Name, int64_t QtyCents) {
+  Query Q;
+  Q.Name = Name;
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum, col("l_quantity"), "sum_qty"));
+  PlanPtr A = aggregate(scan("lineitem"), exprs(col("l_orderkey")),
+                        names({"orderkey"}), std::move(Aggs));
+  A = filter(std::move(A), gt(col("sum_qty"), litDec(QtyCents)));
+  A = sortBy(std::move(A), {{"sum_qty", true}}, 100);
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("orderkey"), col("sum_qty"));
+  return Q;
+}
+
+/// h10: returned-item reporting — customers who returned items in a
+/// quarter, by lost revenue (3-way join, group by customer, top-k).
+Query makeH10(const char *Name, int Year, unsigned Month) {
+  Query Q;
+  Q.Name = Name;
+  unsigned EndMonth = Month + 3;
+  int EndYear = Year;
+  if (EndMonth > 12) {
+    EndMonth -= 12;
+    ++EndYear;
+  }
+  PlanPtr Orders = filter(
+      scan("orders"),
+      and_(ge(col("o_orderdate"), litDate(Year, Month, 1)),
+           lt(col("o_orderdate"), litDate(EndYear, EndMonth, 1))));
+  PlanPtr OC = hashJoin(std::move(Orders), scan("customer"),
+                        exprs(col("o_custkey")), exprs(col("c_custkey")),
+                        {"c_nationkey", "c_acctbal"});
+  PlanPtr Items = filter(scan("lineitem"),
+                         eq(col("l_returnflag"), litStr("R")));
+  PlanPtr J = hashJoin(std::move(Items), std::move(OC),
+                       exprs(col("l_orderkey")), exprs(col("o_orderkey")),
+                       {"o_custkey", "c_nationkey"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum,
+                     mul(col("l_extendedprice"),
+                         sub(litDec(100), col("l_discount"))),
+                     "revenue"));
+  PlanPtr A = aggregate(std::move(J),
+                        exprs(col("o_custkey"), col("c_nationkey")),
+                        names({"custkey", "nationkey"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"revenue", true}}, 20);
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("custkey"), col("nationkey"), col("revenue"));
+  return Q;
+}
+
+/// h19: discounted revenue — disjunction of brand/quantity conjunctions
+/// over a lineitem-part join, global aggregate (no group keys).
+Query makeH19(const char *Name, int64_t Q1Cents, int64_t Q2Cents,
+              int64_t Q3Cents) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr J = hashJoin(scan("lineitem"), scan("part"),
+                       exprs(col("l_partkey")), exprs(col("p_partkey")),
+                       {"p_brand"});
+  ExprPtr Arm1 =
+      and_(eq(col("p_brand"), litStr("Brand#11")),
+           between(col("l_quantity"), litDec(Q1Cents),
+                   litDec(Q1Cents + 1000)));
+  ExprPtr Arm2 =
+      and_(eq(col("p_brand"), litStr("Brand#21")),
+           between(col("l_quantity"), litDec(Q2Cents),
+                   litDec(Q2Cents + 1000)));
+  ExprPtr Arm3 =
+      and_(eq(col("p_brand"), litStr("Brand#32")),
+           between(col("l_quantity"), litDec(Q3Cents),
+                   litDec(Q3Cents + 1000)));
+  J = filter(std::move(J),
+             or_(std::move(Arm1), or_(std::move(Arm2), std::move(Arm3))));
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum,
+                     mul(col("l_extendedprice"),
+                         sub(litDec(100), col("l_discount"))),
+                     "revenue"));
+  Aggs.push_back(agg(AggKind::Count, litI64(1), "matched"));
+  Q.Root = aggregate(std::move(J), exprs(), {}, std::move(Aggs));
+  Q.Output = exprs(col("revenue"), col("matched"));
+  return Q;
+}
+
+// --- TPC-DS-like ---------------------------------------------------------------
+
+/// Star join: sales by (year, brand) for one manager and month.
+Query makeDsBrand(const char *Name, int Manager, int Moy) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Dates =
+      filter(scan("date_dim"), eq(col("d_moy"), litI64(Moy)));
+  PlanPtr Items =
+      filter(scan("item"), eq(col("i_manager_id"), litI64(Manager)));
+  PlanPtr J1 = hashJoin(scan("store_sales"), std::move(Dates),
+                        exprs(col("ss_sold_date_sk")),
+                        exprs(col("d_date_sk")), {"d_year"});
+  PlanPtr J2 = hashJoin(std::move(J1), std::move(Items),
+                        exprs(col("ss_item_sk")), exprs(col("i_item_sk")),
+                        {"i_brand_id"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(
+      agg(AggKind::Sum, col("ss_ext_sales_price"), "sum_sales"));
+  PlanPtr A = aggregate(std::move(J2),
+                        exprs(col("d_year"), col("i_brand_id")),
+                        names({"year", "brand"}), std::move(Aggs));
+  A = sortBy(std::move(A),
+             {{"year", false}, {"sum_sales", true}, {"brand", false}},
+             100);
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("year"), col("brand"), col("sum_sales"));
+  return Q;
+}
+
+/// Profit by store state.
+Query makeDsState(const char *Name, int64_t QtyLo, int64_t QtyHi) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Sales = filter(scan("store_sales"),
+                         between(col("ss_quantity"), litI64(QtyLo),
+                                 litI64(QtyHi)));
+  PlanPtr J = hashJoin(std::move(Sales), scan("store"),
+                       exprs(col("ss_store_sk")), exprs(col("s_store_sk")),
+                       {"s_state"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum, col("ss_net_profit"), "profit"));
+  Aggs.push_back(agg(AggKind::Avg, col("ss_sales_price"), "avg_price"));
+  Aggs.push_back(agg(AggKind::Count, nullptr, "cnt"));
+  PlanPtr A = aggregate(std::move(J), exprs(col("s_state")),
+                        names({"state"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"state", false}});
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("state"), col("profit"), col("avg_price"),
+                   col("cnt"));
+  return Q;
+}
+
+/// Category counts.
+Query makeDsCategory(const char *Name, const char *Category) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Items =
+      filter(scan("item"), eq(col("i_category"), litStr(Category)));
+  PlanPtr J = hashJoin(scan("store_sales"), std::move(Items),
+                       exprs(col("ss_item_sk")), exprs(col("i_item_sk")),
+                       {"i_brand_id"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Count, nullptr, "cnt"));
+  Aggs.push_back(agg(AggKind::Sum, col("ss_ext_sales_price"), "sum_sales"));
+  Aggs.push_back(agg(AggKind::Min, col("ss_quantity"), "min_qty"));
+  Aggs.push_back(agg(AggKind::Max, col("ss_quantity"), "max_qty"));
+  PlanPtr A = aggregate(std::move(J), exprs(col("i_brand_id")),
+                        names({"brand"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"cnt", true}, {"brand", false}}, 50);
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("brand"), col("cnt"), col("sum_sales"),
+                   col("min_qty"), col("max_qty"));
+  return Q;
+}
+
+/// Yearly totals.
+Query makeDsYear(const char *Name, int64_t PriceLo) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Sales = filter(scan("store_sales"),
+                         ge(col("ss_sales_price"), litDec(PriceLo)));
+  PlanPtr J = hashJoin(std::move(Sales), scan("date_dim"),
+                       exprs(col("ss_sold_date_sk")),
+                       exprs(col("d_date_sk")), {"d_year", "d_moy"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Count, nullptr, "cnt"));
+  Aggs.push_back(agg(AggKind::Sum, col("ss_ext_sales_price"), "sales"));
+  PlanPtr A = aggregate(std::move(J),
+                        exprs(col("d_year"), col("d_moy")),
+                        names({"year", "moy"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"year", false}, {"moy", false}});
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("year"), col("moy"), col("cnt"), col("sales"));
+  return Q;
+}
+
+/// Two-dimension star: net profit by (state, year) with a quantity band.
+Query makeDsProfit(const char *Name, int64_t QtyLo, int64_t QtyHi) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr Sales = filter(scan("store_sales"),
+                         between(col("ss_quantity"), litI64(QtyLo),
+                                 litI64(QtyHi)));
+  PlanPtr J1 = hashJoin(std::move(Sales), scan("date_dim"),
+                        exprs(col("ss_sold_date_sk")),
+                        exprs(col("d_date_sk")), {"d_year"});
+  PlanPtr J2 = hashJoin(std::move(J1), scan("store"),
+                        exprs(col("ss_store_sk")),
+                        exprs(col("s_store_sk")), {"s_state"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum, col("ss_net_profit"), "profit"));
+  Aggs.push_back(agg(AggKind::Avg, col("ss_sales_price"), "avg_price"));
+  Aggs.push_back(agg(AggKind::Count, litI64(1), "cnt"));
+  PlanPtr A = aggregate(std::move(J2),
+                        exprs(col("s_state"), col("d_year")),
+                        names({"state", "year"}), std::move(Aggs));
+  A = sortBy(std::move(A), {{"state", false}, {"year", false}});
+  Q.Root = std::move(A);
+  Q.Output = exprs(col("state"), col("year"), col("profit"),
+                   col("avg_price"), col("cnt"));
+  return Q;
+}
+
+/// Category revenue share: conditional aggregation over an item join
+/// (the DS-side analogue of h14's promo ratio).
+Query makeDsShare(const char *Name, const char *Category) {
+  Query Q;
+  Q.Name = Name;
+  PlanPtr J = hashJoin(scan("store_sales"), scan("item"),
+                       exprs(col("ss_item_sk")), exprs(col("i_item_sk")),
+                       {"i_category"});
+  std::vector<AggSpec> Aggs;
+  Aggs.push_back(agg(AggKind::Sum,
+                     caseWhen(eq(col("i_category"), litStr(Category)),
+                              col("ss_ext_sales_price"), litDec(0)),
+                     "cat_sales"));
+  Aggs.push_back(
+      agg(AggKind::Sum, col("ss_ext_sales_price"), "total_sales"));
+  Q.Root = aggregate(std::move(J), exprs(), {}, std::move(Aggs));
+  Q.Output = exprs(col("cat_sales"), col("total_sales"));
+  return Q;
+}
+
+} // namespace
+
+std::vector<Query> db::tpchQueries() {
+  std::vector<Query> Qs;
+  Qs.push_back(makeH1("h1", 1998, 9));
+  Qs.push_back(makeH3("h3", "BUILDING", 1995, 3, 15));
+  Qs.push_back(makeH3("h3b", "MACHINERY", 1996, 6, 1));
+  Qs.push_back(makeH5("h5", 1994));
+  Qs.push_back(makeH6("h6", 1994, 5, 7, 2400));
+  Qs.push_back(makeH6("h6b", 1995, 2, 4, 3500));
+  Qs.push_back(makeH10("h10", 1993, 10));
+  Qs.push_back(makeH12("h12", "MAIL", "SHIP", 1994));
+  Qs.push_back(makeH14("h14", 1995, 9));
+  Qs.push_back(makeH18("h18", 20000));
+  Qs.push_back(makeH19("h19", 100, 1000, 2000));
+  return Qs;
+}
+
+std::vector<Query> db::tpcdsQueries() {
+  std::vector<Query> Qs;
+  Qs.push_back(makeDsBrand("ds_brand_m1", 3, 11));
+  Qs.push_back(makeDsBrand("ds_brand_m2", 12, 12));
+  Qs.push_back(makeDsBrand("ds_brand_m3", 7, 6));
+  Qs.push_back(makeDsState("ds_state_a", 10, 60));
+  Qs.push_back(makeDsState("ds_state_b", 60, 100));
+  Qs.push_back(makeDsCategory("ds_cat_books", "Books"));
+  Qs.push_back(makeDsCategory("ds_cat_music", "Music"));
+  Qs.push_back(makeDsCategory("ds_cat_home", "Home"));
+  Qs.push_back(makeDsYear("ds_year_a", 500));
+  Qs.push_back(makeDsYear("ds_year_b", 15000));
+  Qs.push_back(makeDsProfit("ds_profit", 5, 80));
+  Qs.push_back(makeDsShare("ds_share_books", "Books"));
+  return Qs;
+}

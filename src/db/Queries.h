@@ -1,0 +1,36 @@
+//===- db/Queries.h - Benchmark query suites --------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark query suites: TPC-H-like analytical queries over the
+/// schema of generateTpchLike() and a TPC-DS-like star-join suite over
+/// generateTpcdsLike(). Each suite produces the operator/type mix the
+/// paper's compiled pipelines exhibit: selective scans, multi-way hash
+/// joins with crc32-hashed keys, decimal aggregation with overflow
+/// checks, string predicates (LIKE/prefix/equality), and top-k sorts with
+/// compiled comparators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_DB_QUERIES_H
+#define QCF_DB_QUERIES_H
+
+#include "db/Plan.h"
+#include <vector>
+
+namespace qcf::db {
+
+/// TPC-H-like queries (h1, h3, h5, h6, h12, h14, h18 shapes, with
+/// parameter variants).
+std::vector<Query> tpchQueries();
+
+/// TPC-DS-like star queries (parameter variants produce a larger suite,
+/// standing in for the 103-query workload's function mix).
+std::vector<Query> tpcdsQueries();
+
+} // namespace qcf::db
+
+#endif // QCF_DB_QUERIES_H

@@ -1,0 +1,107 @@
+//===- direct/Cfi.h - Synchronous call-frame information --------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal DWARF-CFA-style call frame information writer. DirectEmit
+/// writes CFI "in parallel" with code generation and only synchronous
+/// unwinding information — correct at call sites, not at every instruction
+/// (§VII-A2) — which keeps the table small. QCF's trap channel does not
+/// consume this data (see runtime/Trap.h); it is produced to model the
+/// compile-time cost and is validated structurally by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_DIRECT_CFI_H
+#define QCF_DIRECT_CFI_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qcf::direct {
+
+/// DWARF-like CFA opcodes (subset).
+enum class CfiOp : uint8_t {
+  AdvanceLoc = 0x40,  ///< + delta (uleb follows)
+  DefCfaOffset = 0x0e, ///< CFA = rsp/rbp + offset (uleb follows)
+  DefCfaRegister = 0x0d, ///< CFA register (uleb follows)
+  OffsetRbp = 0x86,    ///< rbp saved at CFA-16 (fixed for our prologue)
+};
+
+/// Appends CFI records for one function into a shared byte buffer.
+class CfiWriter {
+public:
+  explicit CfiWriter(std::vector<uint8_t> &Out) : Out(Out) {}
+
+  /// Starts a function record; returns its offset in the buffer.
+  size_t beginFunction(uint64_t CodeOffset) {
+    size_t Off = Out.size();
+    emitU32(static_cast<uint32_t>(CodeOffset));
+    emitU32(0); // Length patched by endFunction.
+    Loc = 0;
+    return Off;
+  }
+
+  /// Standard prologue: push rbp; mov rbp, rsp.
+  void prologue(uint64_t LocAfterPush, uint64_t LocAfterMov) {
+    advanceTo(LocAfterPush);
+    Out.push_back(static_cast<uint8_t>(CfiOp::DefCfaOffset));
+    emitUleb(16);
+    Out.push_back(static_cast<uint8_t>(CfiOp::OffsetRbp));
+    emitUleb(2);
+    advanceTo(LocAfterMov);
+    Out.push_back(static_cast<uint8_t>(CfiOp::DefCfaRegister));
+    emitUleb(6); // rbp
+  }
+
+  /// Synchronous-only unwinding: record validity at each call site.
+  void atCall(uint64_t CallLoc) { advanceTo(CallLoc); }
+
+  void endFunction(size_t FuncOff, uint64_t CodeSize) {
+    advanceTo(CodeSize);
+    uint32_t Len = static_cast<uint32_t>(Out.size() - FuncOff - 8);
+    Out[FuncOff + 4] = static_cast<uint8_t>(Len);
+    Out[FuncOff + 5] = static_cast<uint8_t>(Len >> 8);
+    Out[FuncOff + 6] = static_cast<uint8_t>(Len >> 16);
+    Out[FuncOff + 7] = static_cast<uint8_t>(Len >> 24);
+  }
+
+private:
+  void advanceTo(uint64_t NewLoc) {
+    if (NewLoc <= Loc)
+      return;
+    Out.push_back(static_cast<uint8_t>(CfiOp::AdvanceLoc));
+    emitUleb(NewLoc - Loc);
+    Loc = NewLoc;
+  }
+
+  void emitU32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+  }
+
+  void emitUleb(uint64_t V) {
+    do {
+      uint8_t B = V & 0x7f;
+      V >>= 7;
+      if (V)
+        B |= 0x80;
+      Out.push_back(B);
+    } while (V);
+  }
+
+  std::vector<uint8_t> &Out;
+  uint64_t Loc = 0;
+};
+
+/// Structural validation used by tests: walks one function record and
+/// returns true if every opcode is well-formed and locations are monotone.
+bool validateCfi(const std::vector<uint8_t> &Buf, size_t FuncOff,
+                 uint64_t CodeSize);
+
+} // namespace qcf::direct
+
+#endif // QCF_DIRECT_CFI_H

@@ -1,0 +1,61 @@
+//===- gccjit/Gccjit.h - GCC/C back-end -------------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GCC/C back-end (§IV): QIR is transformed into C source code —
+/// conditional branches become gotos, every SSA variable becomes a normal
+/// variable — written to a temporary file, compiled by the *external* GCC
+/// into a shared library with -O3 -march=native, and loaded with
+/// dlopen/dlsym. This is the only QCF back-end that shells out; parsing,
+/// assembling and linking costs are inherent to the approach (§IV-B) and
+/// the per-phase breakdown is recoverable from gcc's -time/-ftime-report
+/// output (Table I).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_GCCJIT_GCCJIT_H
+#define QCF_GCCJIT_GCCJIT_H
+
+#include "backend/Backend.h"
+#include <string>
+
+namespace qcf::gccjit {
+
+/// Per-phase wall times of the last compilation (Table I rows).
+struct GccPhaseTimes {
+  double GenerateSec = 0;  ///< QIR -> C text + file I/O.
+  double CompileSec = 0;   ///< gcc subprocess wall time.
+  double LoadSec = 0;      ///< dlopen + dlsym.
+  std::string TimeReport;  ///< Raw -ftime-report / -time output if enabled.
+};
+
+struct GccOptions {
+  std::string GccPath = "gcc";
+  std::string ExtraFlags;      ///< e.g. "-time" or "-ftime-report".
+  bool KeepTempFiles = false;
+};
+
+/// Generates C for one QIR module (exposed for tests/benches).
+std::string generateC(const qir::Module &M);
+
+class GccBackend : public backend::Backend {
+public:
+  explicit GccBackend(GccOptions Opts = GccOptions()) : Opts(Opts) {}
+
+  std::string name() const override { return "GCC"; }
+  std::unique_ptr<backend::CompiledModule>
+  compile(const qir::Module &M, TimeTrace *Trace) override;
+
+  const GccPhaseTimes &lastPhaseTimes() const { return LastTimes; }
+
+private:
+  GccOptions Opts;
+  GccPhaseTimes LastTimes;
+};
+
+} // namespace qcf::gccjit
+
+#endif // QCF_GCCJIT_GCCJIT_H

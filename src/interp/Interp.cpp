@@ -1,0 +1,852 @@
+//===- interp/Interp.cpp - QIR bytecode interpreter -----------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "runtime/Trap.h"
+#include "support/Hash.h"
+#include "support/Int128.h"
+#include <alloca.h>
+#include <cstring>
+
+using namespace qcf;
+using namespace qcf::interp;
+using qir::Opcode;
+using qir::Type;
+
+// --- Value helpers ----------------------------------------------------------
+
+namespace {
+
+uint64_t maskFor(Type Ty) {
+  switch (Ty) {
+  case Type::I1:
+    return 1;
+  case Type::I8:
+    return 0xff;
+  case Type::I16:
+    return 0xffff;
+  case Type::I32:
+    return 0xffffffffull;
+  default:
+    return ~0ull;
+  }
+}
+
+unsigned bitsFor(Type Ty) { return qir::intBits(Ty); }
+
+int64_t sext(uint64_t V, Type Ty) {
+  switch (Ty) {
+  case Type::I1:
+    return (V & 1) ? -1 : 0;
+  case Type::I8:
+    return static_cast<int8_t>(V);
+  case Type::I16:
+    return static_cast<int16_t>(V);
+  case Type::I32:
+    return static_cast<int32_t>(V);
+  default:
+    return static_cast<int64_t>(V);
+  }
+}
+
+Int128 toI128(const Slot &S) { return makeInt128(S.Lo, S.Hi); }
+
+Slot fromI128(Int128 V) { return {lo64(V), hi64(V)}; }
+
+double toF64(const Slot &S) {
+  double D;
+  std::memcpy(&D, &S.Lo, 8);
+  return D;
+}
+
+Slot fromF64(double D) {
+  Slot S;
+  std::memcpy(&S.Lo, &D, 8);
+  return S;
+}
+
+[[noreturn]] void trap(rt::TrapCode Code) {
+  rt_trap(static_cast<uint64_t>(Code));
+}
+
+/// x86 cvttsd2si semantics: NaN / out of range produce INT64_MIN.
+int64_t f64ToI64Trunc(double D) {
+  if (!(D >= -9.2233720368547758e18 && D < 9.2233720368547758e18))
+    return INT64_MIN;
+  return static_cast<int64_t>(D);
+}
+
+struct PairRet {
+  uint64_t Lo, Hi;
+};
+
+} // namespace
+
+// --- Translation ---------------------------------------------------------------
+
+InterpFunction::InterpFunction(const qir::Function &F) : F(&F) { translate(); }
+
+uint32_t InterpFunction::buildEdgeMoves(qir::BlockId From, qir::BlockId To) {
+  // Collect the phi moves for this edge.
+  std::vector<Move> Pending;
+  const qir::Block &Blk = F->block(To);
+  for (uint32_t I = Blk.Begin; I != Blk.End; ++I) {
+    const qir::Inst &Ins = F->Insts[I];
+    if (Ins.Op != Opcode::Phi)
+      break;
+    for (unsigned K = 0, E = F->numPhiIncomings(Ins); K != E; ++K) {
+      const qir::PhiIn &In = F->phiIncomings(Ins)[K];
+      if (In.Pred == From && In.Val != I)
+        Pending.push_back({I, In.Val});
+    }
+  }
+
+  // Order the parallel moves; break cycles through the temp register.
+  uint32_t Off = static_cast<uint32_t>(Moves.size());
+  uint32_t TempReg = F->numInsts(); // One extra slot reserved in run().
+  while (!Pending.empty()) {
+    bool Emitted = false;
+    for (size_t I = 0; I != Pending.size(); ++I) {
+      bool DstIsRead = false;
+      for (size_t J = 0; J != Pending.size(); ++J)
+        if (J != I && Pending[J].Src == Pending[I].Dst)
+          DstIsRead = true;
+      if (!DstIsRead) {
+        Moves.push_back(Pending[I]);
+        Pending.erase(Pending.begin() + I);
+        Emitted = true;
+        break;
+      }
+    }
+    if (Emitted)
+      continue;
+    // Every destination is still read: a cycle. Save one destination to
+    // the temp register and redirect its readers.
+    uint32_t Saved = Pending.front().Dst;
+    Moves.push_back({TempReg, Saved});
+    for (Move &M : Pending)
+      if (M.Src == Saved)
+        M.Src = TempReg;
+  }
+  return Off;
+}
+
+void InterpFunction::translate() {
+  NumRegs = F->numInsts() + 1; // +1 cycle-break temp.
+  for (Type Ty : F->paramTypes())
+    NumParamLanes += qir::isTwoLane(Ty) ? 2 : 1;
+
+  BlockPc.resize(F->numBlocks());
+  uint64_t FrameBytes = 0;
+
+  // First pass: lay out non-phi/param instructions and record block PCs.
+  // Branch edge structures are filled in a second pass once all PCs are
+  // known.
+  struct PendingEdge {
+    uint32_t CodeIdx;
+    unsigned Slot; // 0 = A-edge, 1 = B-edge.
+    qir::BlockId From, To;
+  };
+  std::vector<PendingEdge> PendingEdges;
+
+  for (qir::BlockId B = 0; B != F->numBlocks(); ++B) {
+    BlockPc[B] = static_cast<uint32_t>(Code.size());
+    const qir::Block &Blk = F->block(B);
+    for (uint32_t I = Blk.Begin; I != Blk.End; ++I) {
+      const qir::Inst &Ins = F->Insts[I];
+      if (Ins.Op == Opcode::Param || Ins.Op == Opcode::Phi)
+        continue;
+
+      TInst T{};
+      T.Op = Ins.Op;
+      T.Ty = Ins.Ty;
+      T.Flags = Ins.Flags;
+      T.Dst = I;
+      T.A = Ins.A;
+      T.B = Ins.B;
+      T.C = Ins.C;
+      T.Imm = Ins.Imm;
+
+      switch (Ins.Op) {
+      case Opcode::StackSlot: {
+        FrameBytes = (FrameBytes + 15) & ~uint64_t(15);
+        T.Imm = FrameBytes; // Offset within the frame.
+        FrameBytes += Ins.Imm;
+        break;
+      }
+      case Opcode::Call: {
+        const qir::RuntimeSig &Sig = F->parent()->symbol(F->callee(Ins));
+        assert(Sig.Address && "runtime symbol has no address bound");
+        CallDesc D{};
+        D.Addr = Sig.Address;
+        D.ArgOff = static_cast<uint32_t>(ArgRegs.size());
+        D.NumArgs = F->numCallArgs(Ins);
+        unsigned Slots = 0;
+        for (unsigned K = 0; K != D.NumArgs; ++K) {
+          qir::ValueId Arg = F->callArgs(Ins)[K];
+          uint8_t Lanes = qir::isTwoLane(F->valueType(Arg)) ? 2 : 1;
+          ArgRegs.push_back({Arg, Lanes});
+          Slots += Lanes;
+        }
+        assert(Slots <= 6 && "runtime call exceeds 6 argument slots");
+        D.NumSlots = static_cast<uint8_t>(Slots);
+        D.RetKind = Sig.RetType == Type::Void ? 0
+                    : qir::isTwoLane(Sig.RetType) ? 2
+                                                  : 1;
+        T.A = static_cast<uint32_t>(Calls.size());
+        Calls.push_back(D);
+        break;
+      }
+      case Opcode::Br:
+        PendingEdges.push_back(
+            {static_cast<uint32_t>(Code.size()), 0, B, Ins.A});
+        break;
+      case Opcode::CondBr:
+        PendingEdges.push_back(
+            {static_cast<uint32_t>(Code.size()), 0, B, Ins.B});
+        PendingEdges.push_back(
+            {static_cast<uint32_t>(Code.size()), 1, B, Ins.C});
+        break;
+      default:
+        break;
+      }
+      Code.push_back(T);
+    }
+  }
+
+  // Second pass: build edges (phi moves + target PCs).
+  for (const PendingEdge &PE : PendingEdges) {
+    Edge E{};
+    E.TargetPc = BlockPc[PE.To];
+    E.MoveOff = buildEdgeMoves(PE.From, PE.To);
+    E.MoveCount = static_cast<uint32_t>(Moves.size()) - E.MoveOff;
+    uint32_t EdgeId = static_cast<uint32_t>(Edges.size());
+    Edges.push_back(E);
+    TInst &T = Code[PE.CodeIdx];
+    if (T.Op == Opcode::Br)
+      T.A = EdgeId;
+    else if (PE.Slot == 0)
+      T.B = EdgeId;
+    else
+      T.C = EdgeId;
+  }
+
+  // Stash the frame size for run(); reuse an unused member via Imm of a
+  // synthetic leading entry would be obscure — keep it in NumRegs' upper
+  // bits instead? No: add it as a field.
+  FrameSize = FrameBytes;
+}
+
+void InterpFunction::applyEdge(const Edge &E, Slot *Regs) const {
+  for (uint32_t I = 0; I != E.MoveCount; ++I) {
+    const Move &M = Moves[E.MoveOff + I];
+    Regs[M.Dst] = Regs[M.Src];
+  }
+}
+
+// --- Execution ------------------------------------------------------------------
+
+namespace {
+
+uint64_t dispatchCall(void *Addr, const uint64_t *S, unsigned N,
+                      uint8_t RetKind, uint64_t *HiOut) {
+  using U = uint64_t;
+  if (RetKind == 2) {
+    PairRet R{};
+    switch (N) {
+    case 1:
+      R = reinterpret_cast<PairRet (*)(U)>(Addr)(S[0]);
+      break;
+    case 2:
+      R = reinterpret_cast<PairRet (*)(U, U)>(Addr)(S[0], S[1]);
+      break;
+    case 3:
+      R = reinterpret_cast<PairRet (*)(U, U, U)>(Addr)(S[0], S[1], S[2]);
+      break;
+    case 4:
+      R = reinterpret_cast<PairRet (*)(U, U, U, U)>(Addr)(S[0], S[1], S[2],
+                                                          S[3]);
+      break;
+    case 5:
+      R = reinterpret_cast<PairRet (*)(U, U, U, U, U)>(Addr)(S[0], S[1], S[2],
+                                                             S[3], S[4]);
+      break;
+    case 6:
+      R = reinterpret_cast<PairRet (*)(U, U, U, U, U, U)>(Addr)(
+          S[0], S[1], S[2], S[3], S[4], S[5]);
+      break;
+    default:
+      QCF_UNREACHABLE("unsupported pair-returning call arity");
+    }
+    *HiOut = R.Hi;
+    return R.Lo;
+  }
+  switch (N) {
+  case 0:
+    return reinterpret_cast<U (*)()>(Addr)();
+  case 1:
+    return reinterpret_cast<U (*)(U)>(Addr)(S[0]);
+  case 2:
+    return reinterpret_cast<U (*)(U, U)>(Addr)(S[0], S[1]);
+  case 3:
+    return reinterpret_cast<U (*)(U, U, U)>(Addr)(S[0], S[1], S[2]);
+  case 4:
+    return reinterpret_cast<U (*)(U, U, U, U)>(Addr)(S[0], S[1], S[2], S[3]);
+  case 5:
+    return reinterpret_cast<U (*)(U, U, U, U, U)>(Addr)(S[0], S[1], S[2],
+                                                        S[3], S[4]);
+  case 6:
+    return reinterpret_cast<U (*)(U, U, U, U, U, U)>(Addr)(S[0], S[1], S[2],
+                                                           S[3], S[4], S[5]);
+  default:
+    QCF_UNREACHABLE("unsupported call arity");
+  }
+}
+
+bool evalICmp(qir::CmpPred P, const Slot &A, const Slot &B, Type OpTy) {
+  if (OpTy == Type::I128) {
+    Int128 X = toI128(A), Y = toI128(B);
+    UInt128 UX = static_cast<UInt128>(X), UY = static_cast<UInt128>(Y);
+    switch (P) {
+    case qir::CmpPred::Eq:
+      return X == Y;
+    case qir::CmpPred::Ne:
+      return X != Y;
+    case qir::CmpPred::SLt:
+      return X < Y;
+    case qir::CmpPred::SLe:
+      return X <= Y;
+    case qir::CmpPred::SGt:
+      return X > Y;
+    case qir::CmpPred::SGe:
+      return X >= Y;
+    case qir::CmpPred::ULt:
+      return UX < UY;
+    case qir::CmpPred::ULe:
+      return UX <= UY;
+    case qir::CmpPred::UGt:
+      return UX > UY;
+    case qir::CmpPred::UGe:
+      return UX >= UY;
+    }
+    QCF_UNREACHABLE("invalid predicate");
+  }
+  // i1 values compare as unsigned 0/1 regardless of predicate signedness.
+  int64_t SX, SY;
+  if (OpTy == Type::I1) {
+    SX = static_cast<int64_t>(A.Lo & 1);
+    SY = static_cast<int64_t>(B.Lo & 1);
+  } else {
+    SX = sext(A.Lo, OpTy);
+    SY = sext(B.Lo, OpTy);
+  }
+  uint64_t UX = A.Lo, UY = B.Lo;
+  switch (P) {
+  case qir::CmpPred::Eq:
+    return UX == UY;
+  case qir::CmpPred::Ne:
+    return UX != UY;
+  case qir::CmpPred::SLt:
+    return SX < SY;
+  case qir::CmpPred::SLe:
+    return SX <= SY;
+  case qir::CmpPred::SGt:
+    return SX > SY;
+  case qir::CmpPred::SGe:
+    return SX >= SY;
+  case qir::CmpPred::ULt:
+    return UX < UY;
+  case qir::CmpPred::ULe:
+    return UX <= UY;
+  case qir::CmpPred::UGt:
+    return UX > UY;
+  case qir::CmpPred::UGe:
+    return UX >= UY;
+  }
+  QCF_UNREACHABLE("invalid predicate");
+}
+
+bool evalFCmp(qir::CmpPred P, double A, double B) {
+  switch (P) {
+  case qir::CmpPred::Eq:
+    return A == B;
+  case qir::CmpPred::Ne:
+    return A != B;
+  case qir::CmpPred::SLt:
+  case qir::CmpPred::ULt:
+    return A < B;
+  case qir::CmpPred::SLe:
+  case qir::CmpPred::ULe:
+    return A <= B;
+  case qir::CmpPred::SGt:
+  case qir::CmpPred::UGt:
+    return A > B;
+  case qir::CmpPred::SGe:
+  case qir::CmpPred::UGe:
+    return A >= B;
+  }
+  QCF_UNREACHABLE("invalid predicate");
+}
+
+} // namespace
+
+Slot InterpFunction::run(const uint64_t *ArgLanes, unsigned NumLanes) const {
+  assert(NumLanes == NumParamLanes && "argument lane count mismatch");
+  (void)NumLanes;
+
+  // Register file. Stack-allocate the common case; the fallback heap
+  // allocation may leak on a trap longjmp, which is acceptable for the
+  // error path of a query.
+  Slot *Regs;
+  std::unique_ptr<Slot[]> RegsHeap;
+  if (NumRegs <= 8192) {
+    Regs = static_cast<Slot *>(alloca(NumRegs * sizeof(Slot)));
+    std::memset(static_cast<void *>(Regs), 0, NumRegs * sizeof(Slot));
+  } else {
+    RegsHeap = std::make_unique<Slot[]>(NumRegs);
+    Regs = RegsHeap.get();
+  }
+
+  uint8_t *Frame = nullptr;
+  if (FrameSize)
+    Frame = static_cast<uint8_t *>(alloca(FrameSize));
+
+  // Bind parameters.
+  {
+    unsigned Lane = 0;
+    for (unsigned P = 0; P != F->numParams(); ++P) {
+      Slot &S = Regs[P];
+      S.Lo = ArgLanes[Lane++];
+      if (qir::isTwoLane(F->paramTypes()[P]))
+        S.Hi = ArgLanes[Lane++];
+    }
+  }
+
+  uint64_t CallSlots[6];
+  const TInst *CodePtr = Code.data();
+  uint32_t Pc = BlockPc[0];
+
+  for (;;) {
+    const TInst &I = CodePtr[Pc];
+    switch (I.Op) {
+    case Opcode::ConstInt:
+      Regs[I.Dst].Lo = I.Imm & maskFor(I.Ty);
+      break;
+    case Opcode::ConstI128:
+      Regs[I.Dst] = fromI128(F->I128Pool[I.A]);
+      break;
+    case Opcode::ConstF64:
+    case Opcode::ConstPtr:
+      Regs[I.Dst].Lo = I.Imm;
+      break;
+    case Opcode::StackSlot:
+      Regs[I.Dst].Lo = reinterpret_cast<uint64_t>(Frame + I.Imm);
+      break;
+
+    case Opcode::Add:
+      if (I.Ty == Type::I128)
+        // Wrapping semantics: compute unsigned (signed overflow is UB).
+        Regs[I.Dst] = fromI128(static_cast<Int128>(
+            static_cast<UInt128>(toI128(Regs[I.A])) +
+            static_cast<UInt128>(toI128(Regs[I.B]))));
+      else
+        Regs[I.Dst].Lo = (Regs[I.A].Lo + Regs[I.B].Lo) & maskFor(I.Ty);
+      break;
+    case Opcode::Sub:
+      if (I.Ty == Type::I128)
+        Regs[I.Dst] = fromI128(static_cast<Int128>(
+            static_cast<UInt128>(toI128(Regs[I.A])) -
+            static_cast<UInt128>(toI128(Regs[I.B]))));
+      else
+        Regs[I.Dst].Lo = (Regs[I.A].Lo - Regs[I.B].Lo) & maskFor(I.Ty);
+      break;
+    case Opcode::Mul:
+      if (I.Ty == Type::I128)
+        Regs[I.Dst] = fromI128(static_cast<Int128>(
+            static_cast<UInt128>(toI128(Regs[I.A])) *
+            static_cast<UInt128>(toI128(Regs[I.B]))));
+      else
+        Regs[I.Dst].Lo = (Regs[I.A].Lo * Regs[I.B].Lo) & maskFor(I.Ty);
+      break;
+    case Opcode::SDiv: {
+      if (I.Ty == Type::I128) {
+        Int128 X = toI128(Regs[I.A]), Y = toI128(Regs[I.B]), R;
+        if (divOverflow128(X, Y, &R))
+          trap(Y == 0 ? rt::TrapCode::DivByZero : rt::TrapCode::Overflow);
+        Regs[I.Dst] = fromI128(R);
+        break;
+      }
+      int64_t X = sext(Regs[I.A].Lo, I.Ty), Y = sext(Regs[I.B].Lo, I.Ty);
+      if (Y == 0)
+        trap(rt::TrapCode::DivByZero);
+      if (Y == -1 && X == -(sext(maskFor(I.Ty) >> 1, I.Ty)) - 1)
+        trap(rt::TrapCode::Overflow);
+      Regs[I.Dst].Lo = static_cast<uint64_t>(X / Y) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::UDiv: {
+      if (I.Ty == Type::I128) {
+        UInt128 X = static_cast<UInt128>(toI128(Regs[I.A]));
+        UInt128 Y = static_cast<UInt128>(toI128(Regs[I.B]));
+        if (Y == 0)
+          trap(rt::TrapCode::DivByZero);
+        Regs[I.Dst] = fromI128(static_cast<Int128>(X / Y));
+        break;
+      }
+      uint64_t Y = Regs[I.B].Lo;
+      if (Y == 0)
+        trap(rt::TrapCode::DivByZero);
+      Regs[I.Dst].Lo = Regs[I.A].Lo / Y;
+      break;
+    }
+    case Opcode::SRem: {
+      if (I.Ty == Type::I128) {
+        Int128 X = toI128(Regs[I.A]), Y = toI128(Regs[I.B]);
+        if (Y == 0)
+          trap(rt::TrapCode::DivByZero);
+        if (Y == -1)
+          Regs[I.Dst] = fromI128(0);
+        else
+          Regs[I.Dst] = fromI128(X % Y);
+        break;
+      }
+      int64_t X = sext(Regs[I.A].Lo, I.Ty), Y = sext(Regs[I.B].Lo, I.Ty);
+      if (Y == 0)
+        trap(rt::TrapCode::DivByZero);
+      if (Y == -1)
+        Regs[I.Dst].Lo = 0;
+      else
+        Regs[I.Dst].Lo = static_cast<uint64_t>(X % Y) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::And:
+      Regs[I.Dst].Lo = Regs[I.A].Lo & Regs[I.B].Lo;
+      Regs[I.Dst].Hi = Regs[I.A].Hi & Regs[I.B].Hi;
+      break;
+    case Opcode::Or:
+      Regs[I.Dst].Lo = Regs[I.A].Lo | Regs[I.B].Lo;
+      Regs[I.Dst].Hi = Regs[I.A].Hi | Regs[I.B].Hi;
+      break;
+    case Opcode::Xor:
+      Regs[I.Dst].Lo = Regs[I.A].Lo ^ Regs[I.B].Lo;
+      Regs[I.Dst].Hi = Regs[I.A].Hi ^ Regs[I.B].Hi;
+      break;
+    case Opcode::Shl: {
+      if (I.Ty == Type::I128) {
+        unsigned S = Regs[I.B].Lo & 127;
+        Regs[I.Dst] = fromI128(static_cast<Int128>(
+            static_cast<UInt128>(toI128(Regs[I.A])) << S));
+        break;
+      }
+      unsigned S = Regs[I.B].Lo & (bitsFor(I.Ty) - 1);
+      Regs[I.Dst].Lo = (Regs[I.A].Lo << S) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::LShr: {
+      if (I.Ty == Type::I128) {
+        unsigned S = Regs[I.B].Lo & 127;
+        Regs[I.Dst] = fromI128(static_cast<Int128>(
+            static_cast<UInt128>(toI128(Regs[I.A])) >> S));
+        break;
+      }
+      unsigned S = Regs[I.B].Lo & (bitsFor(I.Ty) - 1);
+      Regs[I.Dst].Lo = Regs[I.A].Lo >> S;
+      break;
+    }
+    case Opcode::AShr: {
+      if (I.Ty == Type::I128) {
+        unsigned S = Regs[I.B].Lo & 127;
+        Regs[I.Dst] = fromI128(toI128(Regs[I.A]) >> S);
+        break;
+      }
+      unsigned S = Regs[I.B].Lo & (bitsFor(I.Ty) - 1);
+      Regs[I.Dst].Lo =
+          static_cast<uint64_t>(sext(Regs[I.A].Lo, I.Ty) >> S) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::RotR: {
+      unsigned W = bitsFor(I.Ty);
+      unsigned S = Regs[I.B].Lo & (W - 1);
+      uint64_t V = Regs[I.A].Lo;
+      Regs[I.Dst].Lo =
+          S == 0 ? V : ((V >> S) | (V << (W - S))) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::Neg:
+      if (I.Ty == Type::I128)
+        Regs[I.Dst] = fromI128(static_cast<Int128>(
+            0 - static_cast<UInt128>(toI128(Regs[I.A]))));
+      else
+        Regs[I.Dst].Lo = (0 - Regs[I.A].Lo) & maskFor(I.Ty);
+      break;
+    case Opcode::Not:
+      Regs[I.Dst].Lo = ~Regs[I.A].Lo & maskFor(I.Ty);
+      Regs[I.Dst].Hi = I.Ty == Type::I128 ? ~Regs[I.A].Hi : 0;
+      break;
+
+    case Opcode::SAddTrap: {
+      if (I.Ty == Type::I128) {
+        Int128 R;
+        if (addOverflow128(toI128(Regs[I.A]), toI128(Regs[I.B]), &R))
+          trap(rt::TrapCode::Overflow);
+        Regs[I.Dst] = fromI128(R);
+        break;
+      }
+      int64_t X = sext(Regs[I.A].Lo, I.Ty), Y = sext(Regs[I.B].Lo, I.Ty);
+      int64_t R;
+      bool Ovf = I.Ty == Type::I32
+                     ? __builtin_add_overflow(static_cast<int32_t>(X),
+                                              static_cast<int32_t>(Y),
+                                              reinterpret_cast<int32_t *>(&R))
+                     : __builtin_add_overflow(X, Y, &R);
+      if (Ovf)
+        trap(rt::TrapCode::Overflow);
+      Regs[I.Dst].Lo = static_cast<uint64_t>(R) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::SSubTrap: {
+      if (I.Ty == Type::I128) {
+        Int128 R;
+        if (subOverflow128(toI128(Regs[I.A]), toI128(Regs[I.B]), &R))
+          trap(rt::TrapCode::Overflow);
+        Regs[I.Dst] = fromI128(R);
+        break;
+      }
+      int64_t X = sext(Regs[I.A].Lo, I.Ty), Y = sext(Regs[I.B].Lo, I.Ty);
+      int64_t R;
+      bool Ovf = I.Ty == Type::I32
+                     ? __builtin_sub_overflow(static_cast<int32_t>(X),
+                                              static_cast<int32_t>(Y),
+                                              reinterpret_cast<int32_t *>(&R))
+                     : __builtin_sub_overflow(X, Y, &R);
+      if (Ovf)
+        trap(rt::TrapCode::Overflow);
+      Regs[I.Dst].Lo = static_cast<uint64_t>(R) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::SMulTrap: {
+      if (I.Ty == Type::I128) {
+        Int128 R;
+        if (mulOverflow128(toI128(Regs[I.A]), toI128(Regs[I.B]), &R))
+          trap(rt::TrapCode::Overflow);
+        Regs[I.Dst] = fromI128(R);
+        break;
+      }
+      int64_t X = sext(Regs[I.A].Lo, I.Ty), Y = sext(Regs[I.B].Lo, I.Ty);
+      int64_t R;
+      bool Ovf = I.Ty == Type::I32
+                     ? __builtin_mul_overflow(static_cast<int32_t>(X),
+                                              static_cast<int32_t>(Y),
+                                              reinterpret_cast<int32_t *>(&R))
+                     : __builtin_mul_overflow(X, Y, &R);
+      if (Ovf)
+        trap(rt::TrapCode::Overflow);
+      Regs[I.Dst].Lo = static_cast<uint64_t>(R) & maskFor(I.Ty);
+      break;
+    }
+
+    case Opcode::Crc32:
+      Regs[I.Dst].Lo = crc32u64(Regs[I.A].Lo, Regs[I.B].Lo);
+      break;
+    case Opcode::LongMulFold:
+      Regs[I.Dst].Lo = longMulFold(Regs[I.A].Lo, Regs[I.B].Lo);
+      break;
+
+    case Opcode::FAdd:
+      Regs[I.Dst] = fromF64(toF64(Regs[I.A]) + toF64(Regs[I.B]));
+      break;
+    case Opcode::FSub:
+      Regs[I.Dst] = fromF64(toF64(Regs[I.A]) - toF64(Regs[I.B]));
+      break;
+    case Opcode::FMul:
+      Regs[I.Dst] = fromF64(toF64(Regs[I.A]) * toF64(Regs[I.B]));
+      break;
+    case Opcode::FDiv:
+      Regs[I.Dst] = fromF64(toF64(Regs[I.A]) / toF64(Regs[I.B]));
+      break;
+    case Opcode::FNeg:
+      Regs[I.Dst] = fromF64(-toF64(Regs[I.A]));
+      break;
+
+    case Opcode::ICmp:
+      Regs[I.Dst].Lo = evalICmp(static_cast<qir::CmpPred>(I.Flags), Regs[I.A],
+                                Regs[I.B], F->valueType(I.A));
+      break;
+    case Opcode::FCmp:
+      Regs[I.Dst].Lo = evalFCmp(static_cast<qir::CmpPred>(I.Flags),
+                                toF64(Regs[I.A]), toF64(Regs[I.B]));
+      break;
+    case Opcode::Select:
+      Regs[I.Dst] = Regs[I.A].Lo & 1 ? Regs[I.B] : Regs[I.C];
+      break;
+
+    case Opcode::ZExt:
+      Regs[I.Dst].Lo = Regs[I.A].Lo; // Canonical zero-extension invariant.
+      Regs[I.Dst].Hi = 0;
+      break;
+    case Opcode::SExt: {
+      int64_t V = sext(Regs[I.A].Lo, F->valueType(I.A));
+      if (I.Ty == Type::I128)
+        Regs[I.Dst] = fromI128(V);
+      else
+        Regs[I.Dst].Lo = static_cast<uint64_t>(V) & maskFor(I.Ty);
+      break;
+    }
+    case Opcode::Trunc:
+      Regs[I.Dst].Lo = Regs[I.A].Lo & maskFor(I.Ty);
+      Regs[I.Dst].Hi = 0;
+      break;
+    case Opcode::SIToFP:
+      Regs[I.Dst] = fromF64(
+          static_cast<double>(sext(Regs[I.A].Lo, F->valueType(I.A))));
+      break;
+    case Opcode::FPToSI:
+      Regs[I.Dst].Lo =
+          static_cast<uint64_t>(f64ToI64Trunc(toF64(Regs[I.A]))) &
+          maskFor(I.Ty);
+      break;
+    case Opcode::Bitcast:
+      Regs[I.Dst].Lo = Regs[I.A].Lo;
+      Regs[I.Dst].Hi = 0;
+      break;
+
+    case Opcode::PackD128:
+    case Opcode::PackI128:
+      Regs[I.Dst].Lo = Regs[I.A].Lo;
+      Regs[I.Dst].Hi = Regs[I.B].Lo;
+      break;
+    case Opcode::ExtractLo:
+      Regs[I.Dst].Lo = Regs[I.A].Lo;
+      Regs[I.Dst].Hi = 0;
+      break;
+    case Opcode::ExtractHi:
+      Regs[I.Dst].Lo = Regs[I.A].Hi;
+      Regs[I.Dst].Hi = 0;
+      break;
+
+    case Opcode::Load: {
+      const void *P = reinterpret_cast<const void *>(Regs[I.A].Lo);
+      Slot &D = Regs[I.Dst];
+      D.Lo = D.Hi = 0;
+      std::memcpy(&D, P, qir::typeSize(I.Ty));
+      break;
+    }
+    case Opcode::Store: {
+      void *P = reinterpret_cast<void *>(Regs[I.A].Lo);
+      std::memcpy(P, &Regs[I.B], qir::typeSize(I.Ty));
+      break;
+    }
+    case Opcode::Gep: {
+      uint64_t Addr = Regs[I.A].Lo + I.Imm;
+      if (I.B != qir::INVALID_VALUE)
+        Addr += Regs[I.B].Lo * I.C;
+      Regs[I.Dst].Lo = Addr;
+      break;
+    }
+    case Opcode::AtomicAdd: {
+      if (I.Ty == Type::I32) {
+        auto *P = reinterpret_cast<uint32_t *>(Regs[I.A].Lo);
+        Regs[I.Dst].Lo = __atomic_fetch_add(
+            P, static_cast<uint32_t>(Regs[I.B].Lo), __ATOMIC_SEQ_CST);
+      } else {
+        auto *P = reinterpret_cast<uint64_t *>(Regs[I.A].Lo);
+        Regs[I.Dst].Lo =
+            __atomic_fetch_add(P, Regs[I.B].Lo, __ATOMIC_SEQ_CST);
+      }
+      break;
+    }
+
+    case Opcode::Call: {
+      const CallDesc &D = Calls[I.A];
+      unsigned SlotIdx = 0;
+      for (uint32_t K = 0; K != D.NumArgs; ++K) {
+        const ArgRef &AR = ArgRegs[D.ArgOff + K];
+        CallSlots[SlotIdx++] = Regs[AR.Reg].Lo;
+        if (AR.Lanes == 2)
+          CallSlots[SlotIdx++] = Regs[AR.Reg].Hi;
+      }
+      uint64_t Hi = 0;
+      uint64_t Lo = dispatchCall(D.Addr, CallSlots, D.NumSlots, D.RetKind, &Hi);
+      if (D.RetKind != 0) {
+        Regs[I.Dst].Lo = Lo;
+        Regs[I.Dst].Hi = Hi;
+      }
+      break;
+    }
+
+    case Opcode::Br: {
+      const Edge &E = Edges[I.A];
+      applyEdge(E, Regs);
+      Pc = E.TargetPc;
+      continue;
+    }
+    case Opcode::CondBr: {
+      const Edge &E = Edges[Regs[I.A].Lo & 1 ? I.B : I.C];
+      applyEdge(E, Regs);
+      Pc = E.TargetPc;
+      continue;
+    }
+    case Opcode::Ret: {
+      if (I.A == qir::INVALID_VALUE)
+        return Slot{};
+      return Regs[I.A];
+    }
+    case Opcode::Unreachable:
+      reportFatalError("interpreted code reached 'unreachable'");
+
+    case Opcode::Param:
+    case Opcode::Phi:
+      QCF_UNREACHABLE("params and phis are not materialized in bytecode");
+    }
+    ++Pc;
+  }
+}
+
+// --- Module wrapper --------------------------------------------------------------
+
+namespace {
+
+uint64_t interpThunkHandler(void *Ctx, uint64_t A0, uint64_t A1, uint64_t A2,
+                            uint64_t A3, uint64_t A4) {
+  const auto *Fn = static_cast<const InterpFunction *>(Ctx);
+  uint64_t Lanes[5] = {A0, A1, A2, A3, A4};
+  assert(Fn->numParamLanes() <= 5 &&
+         "thunk entry supports at most 5 parameter lanes");
+  Slot R = Fn->run(Lanes, Fn->numParamLanes());
+  return R.Lo;
+}
+
+} // namespace
+
+InterpretedModule::InterpretedModule(const qir::Module &M) {
+  for (const auto &F : M.functions())
+    Fns.emplace_back(F->name(), std::make_unique<InterpFunction>(*F));
+  for (auto &[Name, Fn] : Fns)
+    Entries.emplace_back(Name,
+                         Thunks.createThunk(&interpThunkHandler, Fn.get()));
+  Thunks.finalize();
+}
+
+void *InterpretedModule::entry(const std::string &Name) {
+  for (auto &[N, E] : Entries)
+    if (N == Name)
+      return E;
+  return nullptr;
+}
+
+const InterpFunction *
+InterpretedModule::function(const std::string &Name) const {
+  for (const auto &[N, F] : Fns)
+    if (N == Name)
+      return F.get();
+  return nullptr;
+}
+
+std::unique_ptr<backend::CompiledModule>
+InterpBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+  TimeTraceScope Scope(Trace, "interp.translate");
+  return std::make_unique<InterpretedModule>(M);
+}

@@ -1,0 +1,130 @@
+//===- interp/Interp.h - QIR bytecode interpreter ---------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter back-end (§VIII): QIR is translated into register-based
+/// bytecode — per-value register slots, branch instructions carrying
+/// pre-resolved phi move lists, and calls with pre-resolved host addresses
+/// — and executed by a switch dispatch loop. Translation is the
+/// interpreter's "compile time" in Table III.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_INTERP_INTERP_H
+#define QCF_INTERP_INTERP_H
+
+#include "backend/Backend.h"
+#include "qir/Function.h"
+#include "x64/CallbackThunk.h"
+#include <memory>
+#include <vector>
+
+namespace qcf::interp {
+
+/// A 16-byte value slot (two 64-bit lanes). Small integers live
+/// zero-extended in Lo; f64 as bits in Lo; i128/d128 use both lanes.
+struct Slot {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+};
+
+/// One translated bytecode instruction.
+struct TInst {
+  qir::Opcode Op;
+  qir::Type Ty;
+  uint8_t Flags;
+  uint32_t Dst; ///< Destination register (== original value id).
+  uint32_t A;
+  uint32_t B;
+  uint32_t C;
+  uint64_t Imm;
+};
+
+/// A translated function.
+class InterpFunction {
+public:
+  InterpFunction(const qir::Function &F);
+
+  /// Runs the function. \p ArgLanes holds the parameter lanes in order
+  /// (two-lane types contribute two lanes). \returns the result (two
+  /// lanes; Hi is zero for one-lane results).
+  Slot run(const uint64_t *ArgLanes, unsigned NumLanes) const;
+
+  const qir::Function &function() const { return *F; }
+  unsigned numRegs() const { return NumRegs; }
+
+  /// Number of parameter lanes this function expects.
+  unsigned numParamLanes() const { return NumParamLanes; }
+
+private:
+  friend class InterpretedModule;
+
+  struct Edge {
+    uint32_t TargetPc;
+    uint32_t MoveOff;
+    uint32_t MoveCount;
+  };
+  struct Move {
+    uint32_t Dst;
+    uint32_t Src;
+  };
+  struct CallDesc {
+    void *Addr;
+    uint8_t NumSlots;
+    uint8_t RetKind; ///< 0 = void, 1 = one lane, 2 = two lanes.
+    uint32_t ArgOff; ///< Offset into ArgRegs.
+    uint32_t NumArgs;
+  };
+  struct ArgRef {
+    uint32_t Reg;
+    uint8_t Lanes;
+  };
+
+  void translate();
+  void applyEdge(const Edge &E, Slot *Regs) const;
+  uint32_t buildEdgeMoves(qir::BlockId From, qir::BlockId To);
+
+  const qir::Function *F;
+  std::vector<TInst> Code;
+  std::vector<uint32_t> BlockPc;
+  std::vector<Edge> Edges;
+  std::vector<Move> Moves;
+  std::vector<CallDesc> Calls;
+  std::vector<ArgRef> ArgRegs;
+  unsigned NumRegs = 0;
+  unsigned NumParamLanes = 0;
+  uint64_t FrameSize = 0;
+};
+
+/// CompiledModule wrapper: entry() returns a machine-code trampoline that
+/// enters the dispatch loop, so interpreted functions are callable through
+/// plain C function pointers (including as runtime callbacks).
+class InterpretedModule : public backend::CompiledModule {
+public:
+  explicit InterpretedModule(const qir::Module &M);
+
+  void *entry(const std::string &Name) override;
+
+  /// Direct access for tests.
+  const InterpFunction *function(const std::string &Name) const;
+
+private:
+  std::vector<std::pair<std::string, std::unique_ptr<InterpFunction>>> Fns;
+  x64::ThunkAllocator Thunks;
+  std::vector<std::pair<std::string, void *>> Entries;
+};
+
+/// The interpreter back-end.
+class InterpBackend : public backend::Backend {
+public:
+  std::string name() const override { return "Interpreter"; }
+  std::unique_ptr<backend::CompiledModule>
+  compile(const qir::Module &M, TimeTrace *Trace) override;
+};
+
+} // namespace qcf::interp
+
+#endif // QCF_INTERP_INTERP_H

@@ -1,0 +1,101 @@
+//===- mlvm/Ir.cpp - MLVM-IR implementation --------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/Ir.h"
+
+using namespace qcf;
+using namespace qcf::mlvm;
+
+void Value::replaceAllUsesWith(Value *New) {
+  // Snapshot: setOperand edits the user list we are iterating.
+  std::vector<Instruction *> Snapshot = Users;
+  for (Instruction *U : Snapshot)
+    for (unsigned I = 0; I != U->numOperands(); ++I)
+      if (U->operand(I) == this)
+        U->setOperand(I, New);
+}
+
+MFunction::MFunction(std::string Name, std::vector<Type> ParamTypes,
+                     Type RetType)
+    : Name(std::move(Name)), RetType(RetType) {
+  for (unsigned I = 0; I != ParamTypes.size(); ++I)
+    Args.push_back(new Argument(ParamTypes[I], I));
+}
+
+MFunction::~MFunction() {
+  // Destruction walks and frees every object — the cost the paper notes
+  // as "destructing the LLVM module is fairly expensive" (§V-B1). Drop
+  // all operand links first so cross-block use-list maintenance never
+  // touches freed instructions.
+  for (BasicBlock *B : Blocks)
+    for (Instruction *I : B->Insts)
+      I->dropAllOperands();
+  for (BasicBlock *B : Blocks)
+    delete B;
+  for (Value *C : Constants)
+    delete C;
+  for (Argument *A : Args)
+    delete A;
+}
+
+ConstantInt *MFunction::constInt(Type Ty, uint64_t V) {
+  for (Value *C : Constants)
+    if (auto *CI = dynamic_cast<ConstantInt *>(C))
+      if (CI->type() == Ty && CI->Val == V)
+        return CI;
+  auto *CI = new ConstantInt(Ty, V);
+  Constants.push_back(CI);
+  return CI;
+}
+
+ConstantI128 *MFunction::constI128(Int128 V) {
+  for (Value *C : Constants)
+    if (auto *CI = dynamic_cast<ConstantI128 *>(C))
+      if (CI->Val == V)
+        return CI;
+  auto *CI = new ConstantI128(V);
+  Constants.push_back(CI);
+  return CI;
+}
+
+ConstantF64 *MFunction::constF64(uint64_t Bits) {
+  for (Value *C : Constants)
+    if (auto *CF = dynamic_cast<ConstantF64 *>(C))
+      if (CF->Bits == Bits)
+        return CF;
+  auto *CF = new ConstantF64(Bits);
+  Constants.push_back(CF);
+  return CF;
+}
+
+ConstantPtr *MFunction::constPtr(uint64_t Addr) {
+  auto *CP = new ConstantPtr(Addr);
+  Constants.push_back(CP);
+  return CP;
+}
+
+void MFunction::recomputePreds() {
+  for (BasicBlock *B : Blocks)
+    B->Preds.clear();
+  for (BasicBlock *B : Blocks) {
+    if (B->Insts.empty() || !B->Insts.back()->isTerminator())
+      continue;
+    for (BasicBlock *S : B->Insts.back()->BlockOps) {
+      bool Seen = false;
+      for (BasicBlock *P : S->Preds)
+        Seen |= P == B;
+      if (!Seen)
+        S->Preds.push_back(B);
+    }
+  }
+}
+
+size_t MFunction::numObjects() const {
+  size_t N = Args.size() + Constants.size() + Blocks.size();
+  for (BasicBlock *B : Blocks)
+    N += B->Insts.size();
+  return N;
+}

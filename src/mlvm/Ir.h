@@ -1,0 +1,288 @@
+//===- mlvm/Ir.h - MLVM-IR: object-graph SSA IR -----------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MLVM-IR, the analogue of LLVM-IR in QCF's LLVM-architecture back-end.
+/// Unlike QIR's flat arrays, MLVM-IR is a heap-allocated object graph with
+/// use lists — deliberately: the paper attributes measurable compile time
+/// to "allocating and constructing the LLVM objects" during IR generation
+/// and ~1% of cheap-mode compilation to *destructing* the module (§V-B1).
+///
+/// Types reuse qir::Type. The D128 type plays the role of the {i64,i64}
+/// struct of §V-A2: in the default "split" translation mode it only
+/// appears as a call return type; in the struct-pair ablation mode it
+/// flows through the IR and triggers FastISel fallbacks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_IR_H
+#define QCF_MLVM_IR_H
+
+#include "qir/Opcode.h"
+#include "qir/Type.h"
+#include "support/Int128.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcf::mlvm {
+
+using qir::CmpPred;
+using qir::Type;
+
+class Instruction;
+class BasicBlock;
+class MFunction;
+
+/// Instruction opcodes: QIR's opcode set (the translation is mostly 1:1,
+/// §V) plus an explicit Copy used by SSA destruction later in the
+/// pipeline.
+enum class IROp : uint16_t {
+#define X(NAME, STR, NOPS, KIND) NAME,
+  QIR_OPCODES(X)
+#undef X
+  FreezeNop, ///< Identity; exists so scan passes have something to skip.
+};
+
+inline IROp irOpFor(qir::Opcode Op) {
+  return static_cast<IROp>(static_cast<uint16_t>(Op));
+}
+inline qir::Opcode qirOpFor(IROp Op) {
+  assert(Op != IROp::FreezeNop);
+  return static_cast<qir::Opcode>(static_cast<uint16_t>(Op));
+}
+
+/// Base of everything that can be used as an operand.
+class Value {
+public:
+  enum class Kind : uint8_t { Inst, Argument, ConstInt, ConstI128,
+                              ConstF64, ConstPtr };
+
+  Value(Kind K, Type Ty) : K(K), Ty(Ty) {}
+  virtual ~Value() = default;
+
+  Kind kind() const { return K; }
+  Type type() const { return Ty; }
+
+  const std::vector<Instruction *> &users() const { return Users; }
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I) {
+    for (size_t K2 = 0; K2 != Users.size(); ++K2)
+      if (Users[K2] == I) {
+        Users[K2] = Users.back();
+        Users.pop_back();
+        return;
+      }
+  }
+  bool hasOneUse() const { return Users.size() == 1; }
+
+  /// Replaces every use of this value with \p New.
+  void replaceAllUsesWith(Value *New);
+
+  /// Back-end scratch (e.g. assigned vreg; second lane for two-lane
+  /// values).
+  uint32_t Scratch = 0xffffffffu;
+  uint32_t Scratch2 = 0xffffffffu;
+
+private:
+  Kind K;
+  Type Ty;
+  std::vector<Instruction *> Users;
+};
+
+/// Function argument.
+class Argument : public Value {
+public:
+  Argument(Type Ty, unsigned Index)
+      : Value(Kind::Argument, Ty), Index(Index) {}
+  unsigned Index;
+};
+
+/// Constants (uniqued per function for simplicity).
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type Ty, uint64_t V) : Value(Kind::ConstInt, Ty), Val(V) {}
+  uint64_t Val;
+};
+
+class ConstantI128 : public Value {
+public:
+  explicit ConstantI128(Int128 V) : Value(Kind::ConstI128, Type::I128),
+                                    Val(V) {}
+  Int128 Val;
+};
+
+class ConstantF64 : public Value {
+public:
+  explicit ConstantF64(uint64_t Bits)
+      : Value(Kind::ConstF64, Type::F64), Bits(Bits) {}
+  uint64_t Bits;
+};
+
+class ConstantPtr : public Value {
+public:
+  explicit ConstantPtr(uint64_t Addr)
+      : Value(Kind::ConstPtr, Type::Ptr), Addr(Addr) {}
+  uint64_t Addr;
+};
+
+/// An instruction: opcode, typed result, operand list with use-list
+/// maintenance, plus op-specific payload.
+class Instruction : public Value {
+public:
+  Instruction(IROp Op, Type Ty) : Value(Kind::Inst, Ty), Op(Op) {}
+  ~Instruction() override {
+    for (Value *V : Operands)
+      if (V)
+        V->removeUser(this);
+  }
+
+  IROp Op;
+  BasicBlock *Parent = nullptr;
+
+  // Payload.
+  uint8_t Flags = 0;          ///< CmpPred.
+  uint64_t Imm = 0;           ///< Gep offset, stack slot size, callee id.
+  uint32_t Aux = 0;           ///< Gep scale.
+  std::vector<BasicBlock *> BlockOps; ///< Branch targets / phi preds.
+
+  CmpPred cmpPred() const { return static_cast<CmpPred>(Flags); }
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *operand(unsigned I) const { return Operands[I]; }
+
+  void addOperand(Value *V) {
+    Operands.push_back(V);
+    if (V)
+      V->addUser(this);
+  }
+
+  void setOperand(unsigned I, Value *V) {
+    if (Operands[I])
+      Operands[I]->removeUser(this);
+    Operands[I] = V;
+    if (V)
+      V->addUser(this);
+  }
+
+  void dropAllOperands() {
+    for (Value *V : Operands)
+      if (V)
+        V->removeUser(this);
+    Operands.clear();
+  }
+
+  bool isTerminator() const {
+    return Op == IROp::Br || Op == IROp::CondBr || Op == IROp::Ret ||
+           Op == IROp::Unreachable;
+  }
+
+  bool hasSideEffects() const {
+    switch (Op) {
+    case IROp::Store:
+    case IROp::AtomicAdd:
+    case IROp::Call:
+    case IROp::SDiv:
+    case IROp::UDiv:
+    case IROp::SRem:
+    case IROp::SAddTrap:
+    case IROp::SSubTrap:
+    case IROp::SMulTrap:
+      return true;
+    default:
+      return isTerminator();
+    }
+  }
+
+private:
+  friend class Value;
+  std::vector<Value *> Operands;
+};
+
+/// A basic block: instruction pointer list (the object-graph flavor).
+class BasicBlock {
+public:
+  explicit BasicBlock(MFunction *Parent, unsigned Id)
+      : Parent(Parent), Id(Id) {}
+  ~BasicBlock() {
+    // Operands must be dropped for the whole function *before* any block
+    // is destroyed (cross-block references would dangle otherwise);
+    // MFunction's destructor does that. Standalone deletion (SimplifyCFG)
+    // empties the block first.
+    for (Instruction *I : Insts) {
+      I->dropAllOperands();
+      delete I;
+    }
+  }
+
+  MFunction *Parent;
+  unsigned Id;
+  std::vector<Instruction *> Insts;
+  std::vector<BasicBlock *> Preds;
+
+  Instruction *terminator() const {
+    assert(!Insts.empty() && Insts.back()->isTerminator());
+    return Insts.back();
+  }
+
+  unsigned numSuccessors() const {
+    Instruction *T = terminator();
+    return static_cast<unsigned>(T->BlockOps.size());
+  }
+  BasicBlock *successor(unsigned I) const { return terminator()->BlockOps[I]; }
+
+  void append(Instruction *I) {
+    I->Parent = this;
+    Insts.push_back(I);
+  }
+};
+
+/// External callee signature (mirrors qir::RuntimeSig).
+struct Callee {
+  std::string Name;
+  Type RetType;
+  std::vector<Type> ParamTypes;
+  void *Address;
+};
+
+/// An MLVM-IR function; owns all its objects.
+class MFunction {
+public:
+  MFunction(std::string Name, std::vector<Type> ParamTypes, Type RetType);
+  ~MFunction();
+
+  std::string Name;
+  Type RetType;
+  std::vector<Argument *> Args;
+  std::vector<BasicBlock *> Blocks;
+  std::vector<Value *> Constants; ///< Owned constant pool.
+  std::vector<Callee> Callees;
+
+  BasicBlock *createBlock() {
+    Blocks.push_back(new BasicBlock(this, NextBlockId++));
+    return Blocks.back();
+  }
+
+  ConstantInt *constInt(Type Ty, uint64_t V);
+  ConstantI128 *constI128(Int128 V);
+  ConstantF64 *constF64(uint64_t Bits);
+  ConstantPtr *constPtr(uint64_t Addr);
+
+  /// Recomputes predecessor lists after CFG edits.
+  void recomputePreds();
+
+  /// Number of IR objects owned (for the construction-cost benches).
+  size_t numObjects() const;
+
+private:
+  unsigned NextBlockId = 0;
+};
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_IR_H

@@ -1,0 +1,62 @@
+//===- mlvm/Isel.h - MLVM instruction selection ----------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three instruction selectors of §V-B3:
+///
+///  * FastISel — linear per-instruction expansion. Handles only one-lane
+///    values and simple calls; unsupported constructs (i128, two-lane
+///    struct values, calls with two-lane types, atomics) abort selection
+///    for the remainder of the block and fall back to SelectionDAG. The
+///    fallback census (by cause) feeds the paper's §V-B3 numbers.
+///  * SelectionDAG — per-block DAG construction, combination with
+///    recursive known-bits, i128 legalization (pair expansion and
+///    libcalls), then pattern selection and linearization.
+///  * GlobalISel — IRTranslator to generic MIR, Legalizer, RegBankSelect
+///    and InstructionSelect as separate full passes over the code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_ISEL_H
+#define QCF_MLVM_ISEL_H
+
+#include "mlvm/Ir.h"
+#include "mlvm/Mir.h"
+#include "support/TimeTrace.h"
+#include <memory>
+
+namespace qcf::mlvm {
+
+enum class IselKind : uint8_t { Fast, Dag, Global };
+
+/// Why FastISel gave up on (the rest of) a block.
+struct FallbackCensus {
+  uint64_t CallsAndIntrinsics = 0;
+  uint64_t Int128 = 0;
+  uint64_t Atomics = 0;
+  uint64_t Other = 0;
+
+  uint64_t total() const {
+    return CallsAndIntrinsics + Int128 + Atomics + Other;
+  }
+};
+
+struct IselStats {
+  FallbackCensus Fallbacks;
+  uint64_t DagNodes = 0;
+  uint64_t DagCombines = 0;
+  uint64_t KnownBitsQueries = 0;
+};
+
+/// Runs instruction selection over \p F, producing SSA MIR (with PHIs).
+std::unique_ptr<MirFunction> selectInstructions(const MFunction &F,
+                                                IselKind Kind,
+                                                TimeTrace *Trace,
+                                                IselStats *Stats);
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_ISEL_H

@@ -1,0 +1,170 @@
+//===- mlvm/JitLink.cpp - In-process ELF linking ---------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/JitLink.h"
+#include "runtime/Runtime.h"
+#include "support/Compiler.h"
+#include <cstring>
+#include <unordered_map>
+
+using namespace qcf;
+using namespace qcf::mlvm;
+
+namespace {
+
+struct Shdr {
+  uint32_t Name, Type;
+  uint64_t Flags, Addr, Offset, Size;
+  uint32_t Link, Info;
+  uint64_t Align, EntSize;
+};
+
+struct Sym {
+  uint32_t Name;
+  uint8_t Info, Other;
+  uint16_t Shndx;
+  uint64_t Value, Size;
+};
+
+struct Rela {
+  uint64_t Offset;
+  uint64_t Info;
+  int64_t Addend;
+};
+
+} // namespace
+
+void *LinkedImage::lookup(const std::string &Name) const {
+  for (const auto &[N, Off] : Entries)
+    if (N == Name)
+      return Mem.base() + Off;
+  return nullptr;
+}
+
+std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
+                                           TimeTrace *Trace) {
+  TimeTraceScope Outer(Trace, "mlvm.link");
+  auto Image = std::make_unique<LinkedImage>();
+
+  // --- Phase 1: parse the object, recover symbols, allocate memory -------
+  const uint8_t *Base = Obj.data();
+  uint64_t ShOff;
+  uint16_t ShNum;
+  std::memcpy(&ShOff, Base + 0x28, 8);
+  std::memcpy(&ShNum, Base + 0x3c, 2);
+
+  std::vector<Shdr> Sections(ShNum);
+  std::memcpy(Sections.data(), Base + ShOff, ShNum * sizeof(Shdr));
+
+  const Shdr *Text = nullptr, *RelaSec = nullptr, *Symtab = nullptr,
+             *Strtab = nullptr;
+  {
+    TimeTraceScope Scope(Trace, "mlvm.link.phase1");
+    for (const Shdr &S : Sections) {
+      if (S.Type == 2)
+        Symtab = &S;
+      else if (S.Type == 4)
+        RelaSec = &S;
+    }
+    assert(Symtab && "object has no symbol table");
+    Strtab = &Sections[Symtab->Link];
+    // .text = first PROGBITS with AX flags.
+    for (const Shdr &S : Sections)
+      if (S.Type == 1 && (S.Flags & 0x4)) {
+        Text = &S;
+        break;
+      }
+    assert(Text && "object has no text section");
+  }
+
+  size_t NumSyms = Symtab->Size / sizeof(Sym);
+  std::vector<Sym> Syms(NumSyms);
+  std::memcpy(Syms.data(), Base + Symtab->Offset, Symtab->Size);
+  const char *Strs = reinterpret_cast<const char *>(Base + Strtab->Offset);
+
+  // Undefined (external) symbols get GOT+PLT entries.
+  std::vector<size_t> Externs;
+  for (size_t I = 1; I != NumSyms; ++I)
+    if (Syms[I].Shndx == 0)
+      Externs.push_back(I);
+
+  size_t PltSize = Externs.size() * 16; // jmp [rip+disp32] padded
+  size_t GotSize = Externs.size() * 8;
+  size_t TextBytes = Text->Size;
+  size_t Total = ((TextBytes + 15) & ~15ull) + PltSize + GotSize;
+  Image->Mem.allocate(Total ? Total : 1);
+  Image->PltEntries = Externs.size();
+
+  // --- Phase 2: assign addresses, resolve externals, build GOT+PLT -------
+  uint8_t *TextDst = Image->Mem.base();
+  uint8_t *Plt = TextDst + ((TextBytes + 15) & ~15ull);
+  uint8_t *Got = Plt + PltSize;
+  std::unordered_map<uint32_t, uint64_t> SymAddr; // sym index -> address
+  {
+    TimeTraceScope Scope(Trace, "mlvm.link.phase2");
+    for (size_t I = 1; I != NumSyms; ++I)
+      if (Syms[I].Shndx != 0)
+        SymAddr[static_cast<uint32_t>(I)] =
+            reinterpret_cast<uint64_t>(TextDst) + Syms[I].Value;
+    for (size_t K = 0; K != Externs.size(); ++K) {
+      size_t I = Externs[K];
+      const char *Name = Strs + Syms[I].Name;
+      void *Addr = rt::runtimeSymbolAddress(Name);
+      if (!Addr)
+        reportFatalError("unresolved external symbol in JIT link");
+      // GOT slot.
+      uint64_t A = reinterpret_cast<uint64_t>(Addr);
+      std::memcpy(Got + K * 8, &A, 8);
+      // PLT entry: jmp [rip + rel32-to-GOT-slot]; int3 padding.
+      uint8_t *P = Plt + K * 16;
+      P[0] = 0xff;
+      P[1] = 0x25;
+      int32_t Rel = static_cast<int32_t>((Got + K * 8) - (P + 6));
+      std::memcpy(P + 2, &Rel, 4);
+      std::memset(P + 6, 0xcc, 10);
+      SymAddr[static_cast<uint32_t>(I)] = reinterpret_cast<uint64_t>(P);
+    }
+  }
+
+  // --- Phase 3: copy sections and apply relocations -----------------------
+  {
+    TimeTraceScope Scope(Trace, "mlvm.link.phase3");
+    std::memcpy(TextDst, Base + Text->Offset, TextBytes);
+    if (RelaSec) {
+      size_t NumRelas = RelaSec->Size / sizeof(Rela);
+      for (size_t R = 0; R != NumRelas; ++R) {
+        Rela Rel;
+        std::memcpy(&Rel, Base + RelaSec->Offset + R * sizeof(Rela),
+                    sizeof(Rela));
+        uint32_t SymIdx = static_cast<uint32_t>(Rel.Info >> 32);
+        uint32_t RType = static_cast<uint32_t>(Rel.Info);
+        uint64_t S = SymAddr.at(SymIdx);
+        uint8_t *Where = TextDst + Rel.Offset;
+        if (RType == 4 /* PLT32 */ || RType == 2 /* PC32 */) {
+          int64_t Value = static_cast<int64_t>(S) + Rel.Addend -
+                          reinterpret_cast<int64_t>(Where);
+          int32_t V32 = static_cast<int32_t>(Value);
+          std::memcpy(Where, &V32, 4);
+        } else if (RType == 1 /* 64 */) {
+          uint64_t V = S + static_cast<uint64_t>(Rel.Addend);
+          std::memcpy(Where, &V, 8);
+        } else {
+          reportFatalError("unsupported relocation type in JIT link");
+        }
+      }
+    }
+    Image->Mem.makeExecutable();
+  }
+
+  // --- Phase 4: final symbol lookup ---------------------------------------
+  {
+    TimeTraceScope Scope(Trace, "mlvm.link.phase4");
+    for (size_t I = 1; I != NumSyms; ++I)
+      if (Syms[I].Shndx != 0)
+        Image->Entries.emplace_back(Strs + Syms[I].Name, Syms[I].Value);
+  }
+  return Image;
+}

@@ -1,0 +1,47 @@
+//===- mlvm/JitLink.h - In-process ELF linking ------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MLVM's JIT linker (§V-B7): takes the in-memory ELF relocatable object
+/// the compiler just produced and links it into the process in four
+/// phases — (1) recover symbols, prune, and allocate memory; (2) assign
+/// addresses and resolve externals (building one GOT+PLT per module:
+/// Small-PIC, §V-A2); (3) apply relocations and copy sections into place;
+/// (4) final symbol lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_JITLINK_H
+#define QCF_MLVM_JITLINK_H
+
+#include "support/TimeTrace.h"
+#include "x64/ExecMemory.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qcf::mlvm {
+
+/// The linked image.
+class LinkedImage {
+public:
+  void *lookup(const std::string &Name) const;
+
+  x64::ExecMemory Mem;
+  std::vector<std::pair<std::string, uint64_t>> Entries; ///< offsets
+  uint64_t PltEntries = 0;
+
+private:
+};
+
+/// Links \p Object; resolves undefined symbols via
+/// rt::runtimeSymbolAddress.
+std::unique_ptr<LinkedImage> jitLink(const std::vector<uint8_t> &Object,
+                                     TimeTrace *Trace);
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_JITLINK_H

@@ -1,0 +1,595 @@
+//===- mlvm/Mc.cpp - AsmPrinter, MC layer, ELF object writer ---------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/Mc.h"
+#include "direct/Cfi.h"
+#include "runtime/Runtime.h"
+#include "runtime/Trap.h"
+#include <cstring>
+#include <unordered_map>
+
+using namespace qcf;
+using namespace qcf::mlvm;
+using namespace qcf::x64;
+using AluOp = Assembler::Alu;
+using ShiftOp = Assembler::Shift;
+
+MCStreamer::~MCStreamer() = default;
+
+namespace {
+
+Reg gp(MReg R) {
+  assert(isPGp(R) && "expected a physical GP register");
+  return static_cast<Reg>(R);
+}
+
+Xmm xm(MReg R) {
+  assert(isPXmm(R) && "expected a physical XMM register");
+  return static_cast<Xmm>(R - 32);
+}
+
+/// Object streamer: encodes MCInsts into the .text buffer with
+/// string-keyed label fixups and external call relocations.
+class MCObjectStreamer : public MCStreamer {
+public:
+  MCObjectStreamer(McModule &Out) : Out(Out) {}
+
+  void emitLabel(const std::string &Name) override {
+    ++Out.NumVirtualCalls;
+    Labels[Name] = A.size(); // String hashing on every internal label.
+  }
+
+  void emitUnwindByte(uint8_t B) override {
+    ++Out.NumVirtualCalls;
+    Out.Unwind.push_back(B);
+  }
+
+  void emitInstruction(const MCInst &I) override {
+    ++Out.NumVirtualCalls;
+    encode(I);
+  }
+
+  /// Resolves label fixups and appends the encoded bytes to .text.
+  void finishFunction(const std::string &FnName, uint64_t *OffOut,
+                      uint64_t *SizeOut) {
+    for (const Fixup &F : Fixups) {
+      auto It = Labels.find(F.Label);
+      assert(It != Labels.end() && "unresolved MC label");
+      int64_t Rel = static_cast<int64_t>(It->second) -
+                    (static_cast<int64_t>(F.Pos) + 4);
+      uint32_t V = static_cast<uint32_t>(Rel);
+      std::vector<uint8_t> &Code =
+          const_cast<std::vector<uint8_t> &>(A.code());
+      for (int K = 0; K != 4; ++K)
+        Code[F.Pos + K] = static_cast<uint8_t>(V >> (K * 8));
+    }
+    uint64_t Base = Out.Text.size();
+    Out.Text.insert(Out.Text.end(), A.code().begin(), A.code().end());
+    for (const CallReloc &R : CallRelocs)
+      Out.Relocs.push_back({Base + R.Pos, R.Symbol});
+    Out.Symbols.push_back({FnName, Base, A.size()});
+    *OffOut = Base;
+    *SizeOut = A.size();
+    A.clear();
+    Labels.clear();
+    Fixups.clear();
+    CallRelocs.clear();
+  }
+
+private:
+  void branchTo(const std::string &Label, bool Conditional, Cond CC) {
+    if (Conditional) {
+      A.emit8(0x0f);
+      A.emit8(static_cast<uint8_t>(0x80 + static_cast<uint8_t>(CC)));
+    } else {
+      A.emit8(0xe9);
+    }
+    Fixups.push_back({A.size(), Label});
+    A.emit32(0);
+  }
+
+  void encode(const MCInst &I) {
+    switch (I.Opc) {
+    case MOpc::COPY:
+      if (isPXmm(I.Regs[0]))
+        A.movsdXX(xm(I.Regs[0]), xm(I.Regs[1]));
+      else if (I.Regs[0] != I.Regs[1])
+        A.movRR(Width::W64, gp(I.Regs[0]), gp(I.Regs[1]));
+      break;
+    case MOpc::FMOV2:
+      if (I.Regs[0] != I.Regs[1])
+        A.movsdXX(xm(I.Regs[0]), xm(I.Regs[1]));
+      break;
+    case MOpc::MOVRI:
+      A.movRI(gp(I.Regs[0]), static_cast<uint64_t>(I.Imm));
+      break;
+    case MOpc::ALU2:
+      A.aluRR(static_cast<AluOp>(I.Aux), I.W, gp(I.Regs[0]),
+              gp(I.Regs[2]));
+      break;
+    case MOpc::ALURI2:
+      A.aluRI(static_cast<AluOp>(I.Aux), I.W, gp(I.Regs[0]),
+              static_cast<int32_t>(I.Imm));
+      break;
+    case MOpc::MUL2:
+      A.imulRR(I.W, gp(I.Regs[0]), gp(I.Regs[2]));
+      break;
+    case MOpc::SHIFT2I:
+      A.shiftRI(static_cast<ShiftOp>(I.Aux), I.W, gp(I.Regs[0]),
+                static_cast<uint8_t>(I.Imm));
+      break;
+    case MOpc::SHIFT2C:
+      A.shiftRC(static_cast<ShiftOp>(I.Aux), I.W, gp(I.Regs[0]));
+      break;
+    case MOpc::NEG1:
+      A.negR(I.W, gp(I.Regs[0]));
+      break;
+    case MOpc::NOT1:
+      A.notR(I.W, gp(I.Regs[0]));
+      break;
+    case MOpc::MOVZX2: {
+      Width SrcW = static_cast<Width>(I.Aux);
+      if (SrcW == Width::W32)
+        A.movRR(Width::W32, gp(I.Regs[0]), gp(I.Regs[1]));
+      else
+        A.movzxRR(SrcW, gp(I.Regs[0]), gp(I.Regs[1]));
+      break;
+    }
+    case MOpc::MOVSX2:
+      A.movsxRR(static_cast<Width>(I.Aux), gp(I.Regs[0]), gp(I.Regs[1]));
+      break;
+    case MOpc::SETCC:
+      A.setcc(I.CC, gp(I.Regs[0]));
+      break;
+    case MOpc::CMOV2:
+      A.cmovcc(I.CC, Width::W64, gp(I.Regs[0]), gp(I.Regs[2]));
+      break;
+    case MOpc::CMP:
+      A.aluRR(AluOp::Cmp, I.W, gp(I.Regs[0]), gp(I.Regs[1]));
+      break;
+    case MOpc::CMPRI:
+      A.aluRI(AluOp::Cmp, I.W, gp(I.Regs[0]),
+              static_cast<int32_t>(I.Imm));
+      break;
+    case MOpc::TEST:
+      A.testRR(I.W, gp(I.Regs[0]), gp(I.Regs[1]));
+      break;
+    case MOpc::CRC323:
+      A.crc32RR(gp(I.Regs[0]), gp(I.Regs[2]));
+      break;
+    case MOpc::MULWIDE:
+      if (I.Aux)
+        A.imulR(Width::W64, gp(I.Regs[0]));
+      else
+        A.mulR(Width::W64, gp(I.Regs[0]));
+      break;
+    case MOpc::DIVREM:
+      if (I.Aux & 1)
+        A.idivR(I.W, gp(I.Regs[0]));
+      else
+        A.divR(I.W, gp(I.Regs[0]));
+      break;
+    case MOpc::CQO:
+      if (I.W == Width::W64)
+        A.cqo();
+      else
+        A.cdq();
+      break;
+    case MOpc::LOADZX:
+      A.movzxRM(I.W, gp(I.Regs[0]), Mem::base(gp(I.Regs[1]), I.Disp));
+      break;
+    case MOpc::LOADSX:
+      A.movsxRM(I.W, gp(I.Regs[0]), Mem::base(gp(I.Regs[1]), I.Disp));
+      break;
+    case MOpc::STORE:
+      A.movMR(I.W, Mem::base(gp(I.Regs[1]), I.Disp), gp(I.Regs[0]));
+      break;
+    case MOpc::LEA:
+      if (I.Regs[2] != MREG_NONE)
+        A.lea(gp(I.Regs[0]),
+              Mem::baseIndex(gp(I.Regs[1]), gp(I.Regs[2]), I.Scale,
+                             I.Disp));
+      else
+        A.lea(gp(I.Regs[0]), Mem::base(gp(I.Regs[1]), I.Disp));
+      break;
+    case MOpc::XADD2:
+      A.lockXaddMR(I.W, Mem::base(gp(I.Regs[2])), gp(I.Regs[0]));
+      break;
+    case MOpc::FALU3:
+      switch (I.Aux) {
+      case 0:
+        A.addsd(xm(I.Regs[0]), xm(I.Regs[2]));
+        break;
+      case 1:
+        A.subsd(xm(I.Regs[0]), xm(I.Regs[2]));
+        break;
+      case 2:
+        A.mulsd(xm(I.Regs[0]), xm(I.Regs[2]));
+        break;
+      default:
+        A.divsd(xm(I.Regs[0]), xm(I.Regs[2]));
+        break;
+      }
+      break;
+    case MOpc::FLOAD:
+      A.movsdXM(xm(I.Regs[0]), Mem::base(gp(I.Regs[1]), I.Disp));
+      break;
+    case MOpc::FSTORE:
+      A.movsdMX(Mem::base(gp(I.Regs[1]), I.Disp), xm(I.Regs[0]));
+      break;
+    case MOpc::UCOMISD:
+      A.ucomisd(xm(I.Regs[0]), xm(I.Regs[1]));
+      break;
+    case MOpc::CVTSI2SD:
+      A.cvtsi2sd(xm(I.Regs[0]), gp(I.Regs[1]));
+      break;
+    case MOpc::CVTTSD2SI:
+      A.cvttsd2si(gp(I.Regs[0]), xm(I.Regs[1]));
+      break;
+    case MOpc::MOVGX:
+      A.movqRX(gp(I.Regs[0]), xm(I.Regs[1]));
+      break;
+    case MOpc::MOVXG:
+      A.movqXR(xm(I.Regs[0]), gp(I.Regs[1]));
+      break;
+    case MOpc::JMP:
+      branchTo(I.SymbolRef, false, Cond::E);
+      break;
+    case MOpc::JCC:
+    case MOpc::TRAPIF:
+      branchTo(I.SymbolRef, true, I.CC);
+      break;
+    case MOpc::CALL: {
+      // call rel32 against an external symbol (SmallPIC: resolved by the
+      // linker to a PLT entry).
+      A.emit8(0xe8);
+      CallRelocs.push_back({A.size(), I.SymbolRef});
+      A.emit32(0);
+      break;
+    }
+    case MOpc::RET:
+      // Epilogue already emitted as explicit instructions; plain ret.
+      A.ret();
+      break;
+    case MOpc::UD2:
+      A.ud2();
+      break;
+    // Prologue helper pseudo-encodings.
+    case MOpc::STACKADDR:
+    default:
+      QCF_UNREACHABLE("unexpected opcode at MC emission");
+    }
+  }
+
+  struct Fixup {
+    size_t Pos;
+    std::string Label;
+  };
+  struct CallReloc {
+    size_t Pos;
+    std::string Symbol;
+  };
+
+  McModule &Out;
+  Assembler A;
+  std::unordered_map<std::string, size_t> Labels;
+  std::vector<Fixup> Fixups;
+  std::vector<CallReloc> CallRelocs;
+
+public:
+  Assembler &assembler() { return A; }
+};
+
+} // namespace
+
+void mlvm::printFunction(const MirFunction &MF, const FrameLayout &Frame,
+                         McModule *Out, TimeTrace *Trace) {
+  TimeTraceScope Scope(Trace, "mlvm.asmprinter");
+  MCObjectStreamer Streamer(*Out);
+  MCStreamer &S = Streamer; // All emission goes through virtual dispatch.
+
+  for (const MirCallee &C : MF.Callees) {
+    bool Seen = false;
+    for (auto &[N, A] : Out->ExternAddrs)
+      Seen |= N == C.Name;
+    if (!Seen)
+      Out->ExternAddrs.push_back({C.Name, C.Address});
+  }
+  // rt_trap is always potentially referenced by trap stubs.
+  {
+    bool Seen = false;
+    for (auto &[N, A] : Out->ExternAddrs)
+      Seen |= N == "rt_trap";
+    if (!Seen)
+      Out->ExternAddrs.push_back(
+          {"rt_trap", rt::runtimeSymbolAddress("rt_trap")});
+  }
+
+  auto LabelOf = [&](uint32_t B) {
+    return ".L" + MF.Name + "_bb" + std::to_string(B);
+  };
+
+  // Prologue (frame already finalized by PEI). Encoded through the raw
+  // assembler but attributed to the streamer costs via unwind bytes.
+  direct::CfiWriter Cfi(Out->Unwind);
+  size_t CfiOff = Cfi.beginFunction(Out->Text.size());
+  {
+    Assembler &A = Streamer.assembler();
+    size_t Start = A.size();
+    A.pushR(Reg::RBP);
+    size_t AfterPush = A.size() - Start;
+    A.movRR(Width::W64, Reg::RBP, Reg::RSP);
+    Cfi.prologue(AfterPush, A.size() - Start);
+    for (Reg R : Frame.CalleeSaved)
+      A.pushR(R);
+    if (Frame.FrameBytes)
+      A.aluRI(AluOp::Sub, Width::W64, Reg::RSP,
+              static_cast<int32_t>(Frame.FrameBytes));
+  }
+
+  // Trap stubs are emitted per function at the end.
+  bool TrapUsed[2] = {false, false};
+  auto TrapLabel = [&](rt::TrapCode Code) {
+    unsigned Idx = Code == rt::TrapCode::Overflow ? 0 : 1;
+    TrapUsed[Idx] = true;
+    return ".L" + MF.Name + (Idx == 0 ? "_ovf" : "_divz");
+  };
+
+  for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+    S.emitLabel(LabelOf(static_cast<uint32_t>(B)));
+    for (MachineInstr *MI : MF.Blocks[B]->Insts) {
+      // Lower MachineInstr -> MCInst (a fresh object per instruction).
+      MCInst MC{};
+      MC.Opc = MI->Opc;
+      MC.W = MI->W;
+      MC.CC = MI->CC;
+      MC.Aux = MI->Aux;
+      MC.Scale = MI->Scale;
+      MC.Disp = MI->Disp;
+      MC.Imm = MI->Imm;
+      MC.Regs[0] = MC.Regs[1] = MC.Regs[2] = MREG_NONE;
+      unsigned RI = 0;
+      for (const MOperand &Op : MI->Operands) {
+        if (Op.K == MOperand::Kind::RegDef ||
+            Op.K == MOperand::Kind::RegUse) {
+          if (RI < 3)
+            MC.Regs[RI++] = Op.Reg;
+        } else if (Op.K == MOperand::Kind::Mbb) {
+          MC.SymbolRef = LabelOf(Op.Mbb);
+        }
+      }
+      switch (MI->Opc) {
+      case MOpc::CALL:
+        MC.SymbolRef = MF.Callees[static_cast<size_t>(MI->Imm)].Name;
+        break;
+      case MOpc::TRAPIF:
+        MC.SymbolRef = TrapLabel(static_cast<rt::TrapCode>(MI->Imm));
+        break;
+      case MOpc::RET: {
+        // Epilogue instructions precede the ret.
+        Assembler &A = Streamer.assembler();
+        unsigned Ncs = static_cast<unsigned>(Frame.CalleeSaved.size());
+        if (Ncs) {
+          A.lea(Reg::RSP,
+                Mem::base(Reg::RBP, -static_cast<int32_t>(8 * Ncs)));
+          for (auto It = Frame.CalleeSaved.rbegin();
+               It != Frame.CalleeSaved.rend(); ++It)
+            A.popR(*It);
+          A.popR(Reg::RBP);
+        } else {
+          A.movRR(Width::W64, Reg::RSP, Reg::RBP);
+          A.popR(Reg::RBP);
+        }
+        break;
+      }
+      case MOpc::JMP: {
+        // Fallthrough elision.
+        if (!MI->Operands.empty() && MI->Operands[0].Mbb == B + 1)
+          continue;
+        break;
+      }
+      default:
+        break;
+      }
+      if (MI->Opc == MOpc::CALL)
+        Cfi.atCall(Streamer.assembler().size());
+      S.emitInstruction(MC);
+    }
+  }
+
+  // Trap stubs.
+  static const rt::TrapCode Codes[2] = {rt::TrapCode::Overflow,
+                                        rt::TrapCode::DivByZero};
+  for (unsigned Idx = 0; Idx != 2; ++Idx) {
+    if (!TrapUsed[Idx])
+      continue;
+    S.emitLabel(".L" + MF.Name + (Idx == 0 ? "_ovf" : "_divz"));
+    Assembler &A = Streamer.assembler();
+    A.movRI32(Reg::RDI, static_cast<uint32_t>(Codes[Idx]));
+    MCInst C{};
+    C.Opc = MOpc::CALL;
+    C.SymbolRef = "rt_trap";
+    S.emitInstruction(C);
+    A.ud2();
+  }
+
+  uint64_t Off = 0, Size = 0;
+  Streamer.finishFunction(MF.Name, &Off, &Size);
+  Cfi.endFunction(CfiOff, Size);
+}
+
+// --- ELF object writer -----------------------------------------------------------
+
+namespace {
+
+struct Elf64Header {
+  uint8_t Ident[16];
+  uint16_t Type, Machine;
+  uint32_t Version;
+  uint64_t Entry, PhOff, ShOff;
+  uint32_t Flags;
+  uint16_t EhSize, PhEntSize, PhNum, ShEntSize, ShNum, ShStrNdx;
+};
+
+struct Elf64Shdr {
+  uint32_t Name, Type;
+  uint64_t Flags, Addr, Offset, Size;
+  uint32_t Link, Info;
+  uint64_t Align, EntSize;
+};
+
+struct Elf64Sym {
+  uint32_t Name;
+  uint8_t Info, Other;
+  uint16_t Shndx;
+  uint64_t Value, Size;
+};
+
+struct Elf64Rela {
+  uint64_t Offset;
+  uint64_t Info;
+  int64_t Addend;
+};
+
+} // namespace
+
+std::vector<uint8_t> mlvm::writeElfObject(const McModule &M,
+                                          TimeTrace *Trace) {
+  TimeTraceScope Scope(Trace, "mlvm.objectwriter");
+
+  // String table.
+  std::vector<uint8_t> Strtab{0};
+  auto AddStr = [&](const std::string &S) {
+    uint32_t Off = static_cast<uint32_t>(Strtab.size());
+    Strtab.insert(Strtab.end(), S.begin(), S.end());
+    Strtab.push_back(0);
+    return Off;
+  };
+
+  // Symbols: null, defined functions (global), then undefined externals.
+  std::vector<Elf64Sym> Syms;
+  Syms.push_back({});
+  std::unordered_map<std::string, uint32_t> SymIndex;
+  for (const ElfSymbol &S : M.Symbols) {
+    Elf64Sym Sym{};
+    Sym.Name = AddStr(S.Name);
+    Sym.Info = (1 << 4) | 2; // GLOBAL FUNC
+    Sym.Shndx = 1;           // .text
+    Sym.Value = S.Offset;
+    Sym.Size = S.Size;
+    SymIndex[S.Name] = static_cast<uint32_t>(Syms.size());
+    Syms.push_back(Sym);
+  }
+  for (const auto &[Name, Addr] : M.ExternAddrs) {
+    if (SymIndex.count(Name))
+      continue;
+    Elf64Sym Sym{};
+    Sym.Name = AddStr(Name);
+    Sym.Info = (1 << 4) | 0; // GLOBAL NOTYPE undefined
+    Sym.Shndx = 0;
+    SymIndex[Name] = static_cast<uint32_t>(Syms.size());
+    Syms.push_back(Sym);
+  }
+
+  // Relocations: R_X86_64_PLT32 (type 4) with addend -4.
+  std::vector<Elf64Rela> Relas;
+  for (const ElfReloc &R : M.Relocs) {
+    Elf64Rela Rel{};
+    Rel.Offset = R.Offset;
+    Rel.Info = (static_cast<uint64_t>(SymIndex.at(R.Symbol)) << 32) | 4;
+    Rel.Addend = -4;
+    Relas.push_back(Rel);
+  }
+
+  // Section header string table.
+  std::vector<uint8_t> Shstr{0};
+  auto AddShStr = [&](const char *S) {
+    uint32_t Off = static_cast<uint32_t>(Shstr.size());
+    const char *P = S;
+    while (*P)
+      Shstr.push_back(static_cast<uint8_t>(*P++));
+    Shstr.push_back(0);
+    return Off;
+  };
+  uint32_t NText = AddShStr(".text");
+  uint32_t NRela = AddShStr(".rela.text");
+  uint32_t NSymtab = AddShStr(".symtab");
+  uint32_t NStrtab = AddShStr(".strtab");
+  uint32_t NUnwind = AddShStr(".qcf.unwind");
+  uint32_t NShstr = AddShStr(".shstrtab");
+
+  // Layout: header, .text, .rela.text, .symtab, .strtab, .unwind,
+  // .shstrtab, section headers.
+  std::vector<uint8_t> Obj(sizeof(Elf64Header), 0);
+  auto Align8 = [&] {
+    while (Obj.size() % 8)
+      Obj.push_back(0);
+  };
+  auto Append = [&](const void *Data, size_t Len) {
+    size_t Off = Obj.size();
+    Obj.resize(Off + Len);
+    if (Len) // memcpy from null is UB even for zero bytes.
+      std::memcpy(Obj.data() + Off, Data, Len);
+    return static_cast<uint64_t>(Off);
+  };
+
+  Align8();
+  uint64_t TextOff = Append(M.Text.data(), M.Text.size());
+  Align8();
+  uint64_t RelaOff =
+      Append(Relas.data(), Relas.size() * sizeof(Elf64Rela));
+  Align8();
+  uint64_t SymOff = Append(Syms.data(), Syms.size() * sizeof(Elf64Sym));
+  Align8();
+  uint64_t StrOff = Append(Strtab.data(), Strtab.size());
+  Align8();
+  uint64_t UnwindOff = Append(M.Unwind.data(), M.Unwind.size());
+  Align8();
+  uint64_t ShstrOff = Append(Shstr.data(), Shstr.size());
+  Align8();
+  uint64_t ShOff = Obj.size();
+
+  Elf64Shdr Shdrs[7] = {};
+  // [1] .text
+  Shdrs[1] = {NText, 1 /*PROGBITS*/, 0x6 /*AX*/, 0, TextOff,
+              M.Text.size(), 0, 0, 16, 0};
+  // [2] .rela.text
+  Shdrs[2] = {NRela, 4 /*RELA*/, 0, 0, RelaOff,
+              Relas.size() * sizeof(Elf64Rela), 3 /*symtab*/, 1,
+              8, sizeof(Elf64Rela)};
+  // [3] .symtab
+  Shdrs[3] = {NSymtab, 2 /*SYMTAB*/, 0, 0, SymOff,
+              Syms.size() * sizeof(Elf64Sym), 4 /*strtab*/,
+              static_cast<uint32_t>(1 + M.Symbols.size()), 8,
+              sizeof(Elf64Sym)};
+  // [4] .strtab
+  Shdrs[4] = {NStrtab, 3 /*STRTAB*/, 0, 0, StrOff, Strtab.size(), 0, 0,
+              1, 0};
+  // [5] .qcf.unwind
+  Shdrs[5] = {NUnwind, 1, 0, 0, UnwindOff, M.Unwind.size(), 0, 0, 1, 0};
+  // [6] .shstrtab
+  Shdrs[6] = {NShstr, 3, 0, 0, ShstrOff, Shstr.size(), 0, 0, 1, 0};
+  Append(Shdrs, sizeof(Shdrs));
+
+  Elf64Header H{};
+  H.Ident[0] = 0x7f;
+  H.Ident[1] = 'E';
+  H.Ident[2] = 'L';
+  H.Ident[3] = 'F';
+  H.Ident[4] = 2; // 64-bit
+  H.Ident[5] = 1; // little endian
+  H.Ident[6] = 1;
+  H.Type = 1;      // ET_REL
+  H.Machine = 62;  // EM_X86_64
+  H.Version = 1;
+  H.ShOff = ShOff;
+  H.EhSize = sizeof(Elf64Header);
+  H.ShEntSize = sizeof(Elf64Shdr);
+  H.ShNum = 7;
+  H.ShStrNdx = 6;
+  std::memcpy(Obj.data(), &H, sizeof(H));
+  return Obj;
+}

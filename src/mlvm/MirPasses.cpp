@@ -1,0 +1,674 @@
+//===- mlvm/MirPasses.cpp - MIR transformation passes ----------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/MirPasses.h"
+#include "craneline/BTree.h"
+#include "support/Bitset.h"
+#include <algorithm>
+
+using namespace qcf;
+using namespace qcf::mlvm;
+using x64::Reg;
+using x64::Width;
+using craneline::PosRange;
+using craneline::RangeBTree;
+
+namespace {
+
+/// Enumerates explicit register operands. Fn(MOperand*, isDef).
+template <typename FnT> void forEachReg(MachineInstr &I, FnT Fn) {
+  for (MOperand &Op : I.Operands) {
+    if (Op.K == MOperand::Kind::RegDef)
+      Fn(&Op, true);
+    else if (Op.K == MOperand::Kind::RegUse)
+      Fn(&Op, false);
+  }
+}
+
+/// Enumerates implicit physical register effects (fixed-reg choreography
+/// and call clobbers). Fn(physIndex, isDef).
+template <typename FnT> void forEachImplicitPhys(const MachineInstr &I,
+                                                 FnT Fn) {
+  switch (I.Opc) {
+  case MOpc::SHIFT3C:
+  case MOpc::SHIFT2C:
+    Fn(pgp(Reg::RCX), false);
+    break;
+  case MOpc::MULWIDE:
+    Fn(pgp(Reg::RAX), false);
+    Fn(pgp(Reg::RAX), true);
+    Fn(pgp(Reg::RDX), true);
+    break;
+  case MOpc::DIVREM:
+    Fn(pgp(Reg::RAX), false);
+    Fn(pgp(Reg::RDX), false);
+    Fn(pgp(Reg::RAX), true);
+    Fn(pgp(Reg::RDX), true);
+    break;
+  case MOpc::CQO:
+    Fn(pgp(Reg::RAX), false);
+    Fn(pgp(Reg::RDX), true);
+    break;
+  case MOpc::CALL: {
+    for (unsigned S = 0; S != I.Aux; ++S)
+      Fn(pgp(x64::GpArgRegs[S]), false);
+    for (Reg R : {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI,
+                  Reg::R8, Reg::R9})
+      Fn(pgp(R), true);
+    for (unsigned X = 0; X != 16; ++X)
+      Fn(32 + X, true);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+void insertBeforeTerm(MachineBasicBlock *MBB,
+                      std::vector<MachineInstr *> NewInstrs) {
+  size_t Pos = MBB->Insts.size();
+  while (Pos > 0) {
+    MOpc Op = MBB->Insts[Pos - 1]->Opc;
+    if (Op == MOpc::JMP || Op == MOpc::JCC || Op == MOpc::RET ||
+        Op == MOpc::UD2 || Op == MOpc::TEST || Op == MOpc::CMP ||
+        Op == MOpc::CMPRI)
+      --Pos;
+    else
+      break;
+  }
+  MBB->Insts.insert(MBB->Insts.begin() + Pos, NewInstrs.begin(),
+                    NewInstrs.end());
+}
+
+} // namespace
+
+// --- PHI elimination ----------------------------------------------------------
+
+void mlvm::runPhiElimination(MirFunction &MF, TimeTrace *Trace) {
+  TimeTraceScope Scope(Trace, "mlvm.mir.phielim");
+  for (auto &MBB : MF.Blocks) {
+    // Collect (and remove) leading PHIs.
+    std::vector<MachineInstr *> Phis;
+    size_t K = 0;
+    while (K < MBB->Insts.size() && MBB->Insts[K]->Opc == MOpc::PHI)
+      Phis.push_back(MBB->Insts[K++]);
+    if (Phis.empty())
+      continue;
+    MBB->Insts.erase(MBB->Insts.begin(), MBB->Insts.begin() + K);
+
+    // Group moves per predecessor.
+    struct Move {
+      MReg Dst, Src;
+      MRegClass RC;
+    };
+    std::map<uint32_t, std::vector<Move>> PerPred;
+    for (MachineInstr *P : Phis) {
+      MReg Dst = P->reg(0);
+      MRegClass RC =
+          isVReg(Dst) ? MF.regClass(Dst) : MRegClass::Int;
+      for (size_t I = 1; I < P->Operands.size(); I += 2) {
+        MReg Src = P->Operands[I].Reg;
+        uint32_t Pred = P->Operands[I + 1].Mbb;
+        if (Src != Dst)
+          PerPred[Pred].push_back({Dst, Src, RC});
+      }
+      delete P;
+    }
+
+    for (auto &[Pred, Moves] : PerPred) {
+      // Parallel-move ordering with a cycle-break temporary.
+      std::vector<Move> Pending = Moves;
+      std::vector<MachineInstr *> Copies;
+      auto EmitCopy = [&](MReg D, MReg S) {
+        auto *C = new MachineInstr(MOpc::COPY);
+        C->addOperand(MOperand::def(D));
+        C->addOperand(MOperand::use(S));
+        Copies.push_back(C);
+      };
+      while (!Pending.empty()) {
+        bool Emitted = false;
+        for (size_t I = 0; I != Pending.size(); ++I) {
+          bool DstRead = false;
+          for (size_t J = 0; J != Pending.size(); ++J)
+            if (J != I && Pending[J].Src == Pending[I].Dst)
+              DstRead = true;
+          if (!DstRead) {
+            EmitCopy(Pending[I].Dst, Pending[I].Src);
+            Pending.erase(Pending.begin() + I);
+            Emitted = true;
+            break;
+          }
+        }
+        if (Emitted)
+          continue;
+        MReg Temp = MF.newVReg(Pending.front().RC);
+        MReg Saved = Pending.front().Dst;
+        EmitCopy(Temp, Saved);
+        for (Move &M : Pending)
+          if (M.Src == Saved)
+            M.Src = Temp;
+      }
+      insertBeforeTerm(MF.Blocks[Pred].get(), Copies);
+    }
+  }
+}
+
+// --- Two-address rewriting -------------------------------------------------------
+
+void mlvm::runTwoAddress(MirFunction &MF, TimeTrace *Trace) {
+  TimeTraceScope Scope(Trace, "mlvm.mir.twoaddress");
+  for (auto &MBB : MF.Blocks) {
+    std::vector<MachineInstr *> Out;
+    Out.reserve(MBB->Insts.size());
+    for (MachineInstr *I : MBB->Insts) {
+      MOpc NewOpc;
+      switch (I->Opc) {
+      case MOpc::ALU3:
+        NewOpc = MOpc::ALU2;
+        break;
+      case MOpc::ALURI3:
+        NewOpc = MOpc::ALURI2;
+        break;
+      case MOpc::MUL3:
+        NewOpc = MOpc::MUL2;
+        break;
+      case MOpc::SHIFT3I:
+        NewOpc = MOpc::SHIFT2I;
+        break;
+      case MOpc::SHIFT3C:
+        NewOpc = MOpc::SHIFT2C;
+        break;
+      case MOpc::NEG2:
+        NewOpc = MOpc::NEG1;
+        break;
+      case MOpc::NOT2:
+        NewOpc = MOpc::NOT1;
+        break;
+      case MOpc::CMOV3:
+        NewOpc = MOpc::CMOV2;
+        break;
+      case MOpc::CRC323:
+        NewOpc = MOpc::CRC323; // dst (in/out), src — same opcode reused
+        break;
+      case MOpc::FALU3:
+        NewOpc = MOpc::FALU3; // dst (in/out), src
+        break;
+      case MOpc::XADD3:
+        NewOpc = MOpc::XADD2;
+        break;
+      default:
+        Out.push_back(I);
+        continue;
+      }
+      // d = op a[, b]  ->  COPY d, a ; op2 d[, b].
+      MReg D = I->reg(0), A = I->reg(1);
+      if (D != A) {
+        auto *C = new MachineInstr(
+            (isVReg(D) ? MF.regClass(D) : MRegClass::Int) ==
+                    MRegClass::Float
+                ? MOpc::FMOV2
+                : MOpc::COPY);
+        C->addOperand(MOperand::def(D));
+        C->addOperand(MOperand::use(A));
+        Out.push_back(C);
+      }
+      I->Opc = NewOpc;
+      // Operand list becomes: def-use d, then the remaining source.
+      std::vector<MOperand> NewOps;
+      NewOps.push_back(MOperand::def(D));
+      NewOps.push_back(MOperand::use(D));
+      for (size_t K = 2; K < I->Operands.size(); ++K)
+        NewOps.push_back(I->Operands[K]);
+      I->Operands = std::move(NewOps);
+      Out.push_back(I);
+    }
+    MBB->Insts = std::move(Out);
+  }
+}
+
+// --- Register allocation ------------------------------------------------------------
+
+namespace {
+
+constexpr Reg GpPoolOrder[] = {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI,
+                               Reg::RDI, Reg::R8,  Reg::R9,  Reg::RBX,
+                               Reg::R12, Reg::R13, Reg::R14, Reg::R15};
+constexpr unsigned NumXmmPool = 14;
+
+bool isCalleeSavedReg(Reg R) {
+  switch (R) {
+  case Reg::RBX:
+  case Reg::R12:
+  case Reg::R13:
+  case Reg::R14:
+  case Reg::R15:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class MlvmAllocator {
+public:
+  MlvmAllocator(MirFunction &MF, RegAllocKind Kind, TimeTrace *Trace)
+      : MF(MF), Kind(Kind), Trace(Trace) {}
+
+  MlvmRegAllocResult run() {
+    {
+      TimeTraceScope Scope(Trace, "mlvm.ra.liveness");
+      computeLiveness();
+      buildIntervals();
+    }
+    if (Kind == RegAllocKind::Greedy) {
+      TimeTraceScope Scope(Trace, "mlvm.ra.coalesce");
+      coalesce();
+    }
+    {
+      TimeTraceScope Scope(Trace, Kind == RegAllocKind::Greedy
+                                      ? "mlvm.ra.greedy"
+                                      : "mlvm.ra.fast");
+      buildReservations();
+      assign();
+    }
+    {
+      TimeTraceScope Scope(Trace, "mlvm.ra.rewrite");
+      rewrite();
+    }
+    MlvmRegAllocResult R;
+    R.NumSpillSlots = NumSpillSlots;
+    R.NumCoalesced = NumCoalesced;
+    R.NumSpilled = NumSpilled;
+    for (Reg P : GpPoolOrder)
+      if (isCalleeSavedReg(P) && UsedCS[x64::regNum(P)])
+        R.UsedCalleeSaved.push_back(P);
+    return R;
+  }
+
+private:
+  uint32_t idx(MReg R) const { return R - MREG_VBASE; }
+
+  void computeLiveness() {
+    uint32_t N = MF.numVRegs();
+    size_t NB = MF.Blocks.size();
+    LiveIn.assign(NB, Bitset(N));
+    LiveOut.assign(NB, Bitset(N));
+    std::vector<Bitset> Use(NB, Bitset(N)), Def(NB, Bitset(N));
+    for (size_t B = 0; B != NB; ++B)
+      for (MachineInstr *I : MF.Blocks[B]->Insts)
+        forEachReg(*I, [&](MOperand *Op, bool IsDef) {
+          if (!isVReg(Op->Reg))
+            return;
+          uint32_t V = idx(Op->Reg);
+          if (!IsDef && !Def[B].test(V))
+            Use[B].set(V);
+          if (IsDef)
+            Def[B].set(V);
+        });
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = NB; B-- != 0;) {
+        Bitset Out(N);
+        for (uint32_t S : MF.Blocks[B]->Succs)
+          Out.unionWith(LiveIn[S]);
+        if (!(Out == LiveOut[B])) {
+          LiveOut[B] = Out;
+          Changed = true;
+        }
+        Bitset In = Out;
+        In.subtract(Def[B]);
+        In.unionWith(Use[B]);
+        if (!(In == LiveIn[B])) {
+          LiveIn[B] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void buildIntervals() {
+    uint32_t N = MF.numVRegs();
+    Starts.assign(N, UINT32_MAX);
+    Ends.assign(N, 0);
+    BlockPos.clear();
+    uint32_t Pos = 0;
+    for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+      uint32_t Begin = Pos;
+      for (MachineInstr *I : MF.Blocks[B]->Insts) {
+        forEachReg(*I, [&](MOperand *Op, bool) {
+          if (!isVReg(Op->Reg))
+            return;
+          uint32_t V = idx(Op->Reg);
+          Starts[V] = std::min(Starts[V], Pos);
+          Ends[V] = std::max(Ends[V], Pos + 1);
+        });
+        ++Pos;
+      }
+      uint32_t End = Pos;
+      BlockPos.push_back({Begin, End});
+      LiveIn[B].forEachSetBit([&](size_t V) {
+        Starts[V] = std::min<uint32_t>(Starts[V], Begin);
+      });
+      LiveOut[B].forEachSetBit([&](size_t V) {
+        Ends[V] = std::max<uint32_t>(Ends[V], End);
+      });
+    }
+    Rep.resize(N);
+    for (uint32_t I = 0; I != N; ++I)
+      Rep[I] = I;
+  }
+
+  uint32_t findRep(uint32_t V) {
+    while (Rep[V] != V)
+      V = Rep[V] = Rep[Rep[V]];
+    return V;
+  }
+
+  void coalesce() {
+    uint32_t Pos = 0;
+    for (auto &MBB : MF.Blocks)
+      for (MachineInstr *I : MBB->Insts) {
+        if ((I->Opc == MOpc::COPY || I->Opc == MOpc::FMOV2) &&
+            isVReg(I->reg(0)) && isVReg(I->reg(1))) {
+          uint32_t D = findRep(idx(I->reg(0)));
+          uint32_t S = findRep(idx(I->reg(1)));
+          if (D != S && Ends[S] == Pos + 1 && Starts[D] == Pos) {
+            Rep[D] = S;
+            Starts[S] = std::min(Starts[S], Starts[D]);
+            Ends[S] = std::max(Ends[S], Ends[D]);
+            ++NumCoalesced;
+          }
+        }
+        ++Pos;
+      }
+    for (auto &MBB : MF.Blocks)
+      for (MachineInstr *I : MBB->Insts)
+        forEachReg(*I, [&](MOperand *Op, bool) {
+          if (isVReg(Op->Reg))
+            Op->Reg = MREG_VBASE + findRep(idx(Op->Reg));
+        });
+  }
+
+  void buildReservations() {
+    GpTrees.assign(16, RangeBTree());
+    XmmTrees.assign(16, RangeBTree());
+    std::vector<uint32_t> RunStart(48, UINT32_MAX), RunEnd(48, 0);
+    auto Flush = [&](unsigned P) {
+      if (RunStart[P] == UINT32_MAX)
+        return;
+      reserve(P, {RunStart[P], RunEnd[P] + 1});
+      RunStart[P] = UINT32_MAX;
+    };
+    uint32_t Pos = 0;
+    for (auto &MBB : MF.Blocks)
+      for (MachineInstr *I : MBB->Insts) {
+        auto Ref = [&](unsigned P, bool IsDef) {
+          if (IsDef && RunStart[P] != UINT32_MAX && RunEnd[P] + 4 < Pos)
+            Flush(P);
+          if (RunStart[P] == UINT32_MAX)
+            RunStart[P] = Pos;
+          RunEnd[P] = std::max(RunEnd[P], Pos);
+        };
+        forEachReg(*I, [&](MOperand *Op, bool IsDef) {
+          if (!isVReg(Op->Reg) && Op->Reg != MREG_NONE &&
+              Op->Reg != MLVM_SPILL_MARKER)
+            Ref(Op->Reg, IsDef);
+        });
+        forEachImplicitPhys(*I, Ref);
+        ++Pos;
+      }
+    for (unsigned P = 0; P != 48; ++P)
+      Flush(P);
+  }
+
+  void reserve(unsigned P, PosRange R) {
+    RangeBTree *T = nullptr;
+    if (P < 16)
+      T = &GpTrees[P];
+    else if (P >= 32 && P < 48)
+      T = &XmmTrees[P - 32];
+    if (!T)
+      return;
+    for (uint32_t Q = R.Start; Q < R.End; ++Q) {
+      PosRange One{Q, Q + 1};
+      if (!T->overlaps(One))
+        T->insert(One);
+    }
+  }
+
+  void assign() {
+    uint32_t N = MF.numVRegs();
+    Assignment.assign(N, MREG_NONE);
+    Slot.assign(N, UINT32_MAX);
+    UsedCS.assign(16, false);
+
+    struct Iv {
+      uint32_t V, Start, End;
+    };
+    std::vector<Iv> Ivs;
+    for (uint32_t V = 0; V != N; ++V) {
+      if (Rep[V] != V || Starts[V] == UINT32_MAX)
+        continue;
+      Ivs.push_back({V, Starts[V], Ends[V]});
+    }
+    if (Kind == RegAllocKind::Greedy) {
+      // Priority order: larger live ranges first (weight ordering).
+      std::sort(Ivs.begin(), Ivs.end(), [](const Iv &A, const Iv &B) {
+        uint32_t LA = A.End - A.Start, LB = B.End - B.Start;
+        return LA > LB || (LA == LB && A.V < B.V);
+      });
+    } else {
+      std::sort(Ivs.begin(), Ivs.end(), [](const Iv &A, const Iv &B) {
+        return A.Start < B.Start || (A.Start == B.Start && A.V < B.V);
+      });
+    }
+
+    for (const Iv &I : Ivs) {
+      PosRange R{I.Start, I.End};
+      bool Done = false;
+      if (MF.VRegClass[I.V] == MRegClass::Int) {
+        for (Reg P : GpPoolOrder) {
+          RangeBTree &T = GpTrees[x64::regNum(P)];
+          if (!T.overlaps(R)) {
+            T.insert(R);
+            Assignment[I.V] = pgp(P);
+            if (isCalleeSavedReg(P))
+              UsedCS[x64::regNum(P)] = true;
+            Done = true;
+            break;
+          }
+        }
+      } else {
+        for (unsigned X = 0; X != NumXmmPool; ++X) {
+          if (!XmmTrees[X].overlaps(R)) {
+            XmmTrees[X].insert(R);
+            Assignment[I.V] = 32 + X;
+            Done = true;
+            break;
+          }
+        }
+      }
+      if (!Done) {
+        Slot[I.V] = NumSpillSlots++;
+        ++NumSpilled;
+      }
+    }
+  }
+
+  void rewrite() {
+    for (auto &MBB : MF.Blocks) {
+      std::vector<MachineInstr *> Out;
+      Out.reserve(MBB->Insts.size());
+      for (MachineInstr *I : MBB->Insts) {
+        struct SpillRef {
+          MOperand *Op;
+          bool IsDef, IsUse;
+          MRegClass RC;
+          uint32_t SlotId;
+        };
+        SpillRef Refs[3];
+        unsigned NumRefs = 0;
+        bool Drop = false;
+
+        // First map assigned vregs; collect spilled references, merging
+        // def+use of the same operand pair (two-address dst).
+        std::vector<std::pair<MReg, MReg>> ScratchMap;
+        auto ScratchFor = [&](MReg V, MRegClass RC) {
+          for (auto &[Key, S] : ScratchMap)
+            if (Key == V)
+              return S;
+          static const MReg GpS[2] = {pgp(Reg::R10), pgp(Reg::R11)};
+          static const MReg XmmS[2] = {32u + 14u, 32u + 15u};
+          unsigned NthGp = 0, NthXmm = 0;
+          for (auto &[Key, S] : ScratchMap) {
+            if (S == GpS[0] || S == GpS[1])
+              ++NthGp;
+            else
+              ++NthXmm;
+          }
+          MReg S = RC == MRegClass::Int ? GpS[NthGp] : XmmS[NthXmm];
+          ScratchMap.push_back({V, S});
+          return S;
+        };
+
+        bool DefSpill[3] = {false, false, false};
+        bool UseSpill[3] = {false, false, false};
+        (void)DefSpill;
+        (void)UseSpill;
+
+        forEachReg(*I, [&](MOperand *Op, bool IsDef) {
+          if (!isVReg(Op->Reg))
+            return;
+          uint32_t V = findRep(idx(Op->Reg));
+          if (Assignment[V] != MREG_NONE) {
+            Op->Reg = Assignment[V];
+            return;
+          }
+          assert(NumRefs < 3 && "too many spilled operands");
+          Refs[NumRefs++] = {Op, IsDef, !IsDef, MF.VRegClass[V], Slot[V]};
+        });
+
+        // Coalesced self-copies disappear.
+        if ((I->Opc == MOpc::COPY || I->Opc == MOpc::FMOV2) &&
+            NumRefs == 0 && I->reg(0) == I->reg(1))
+          Drop = true;
+
+        if (Drop) {
+          delete I;
+          continue;
+        }
+
+        // Spill loads before, stores after.
+        for (unsigned K = 0; K != NumRefs; ++K) {
+          MReg V = Refs[K].Op->Reg;
+          MReg S = ScratchFor(V, Refs[K].RC);
+          if (!Refs[K].IsDef) {
+            auto *L = new MachineInstr(
+                Refs[K].RC == MRegClass::Int ? MOpc::LOADZX : MOpc::FLOAD);
+            L->W = Width::W64;
+            L->Disp = static_cast<int32_t>(Refs[K].SlotId);
+            L->addOperand(MOperand::def(S));
+            L->addOperand(MOperand::use(MLVM_SPILL_MARKER));
+            Out.push_back(L);
+          }
+          Refs[K].Op->Reg = S;
+        }
+        Out.push_back(I);
+        for (unsigned K = 0; K != NumRefs; ++K) {
+          if (!Refs[K].IsDef)
+            continue;
+          auto *St = new MachineInstr(
+              Refs[K].RC == MRegClass::Int ? MOpc::STORE : MOpc::FSTORE);
+          St->W = Width::W64;
+          St->Disp = static_cast<int32_t>(Refs[K].SlotId);
+          St->addOperand(MOperand::use(Refs[K].Op->Reg));
+          St->addOperand(MOperand::use(MLVM_SPILL_MARKER));
+          Out.push_back(St);
+        }
+      }
+      MBB->Insts = std::move(Out);
+    }
+  }
+
+  MirFunction &MF;
+  RegAllocKind Kind;
+  TimeTrace *Trace;
+
+  std::vector<Bitset> LiveIn, LiveOut;
+  std::vector<std::pair<uint32_t, uint32_t>> BlockPos;
+  std::vector<uint32_t> Starts, Ends, Rep;
+  std::vector<MReg> Assignment;
+  std::vector<uint32_t> Slot;
+  std::vector<bool> UsedCS;
+  std::vector<RangeBTree> GpTrees, XmmTrees;
+  uint32_t NumSpillSlots = 0, NumCoalesced = 0, NumSpilled = 0;
+};
+
+} // namespace
+
+MlvmRegAllocResult mlvm::runRegAlloc(MirFunction &MF, RegAllocKind Kind,
+                                     TimeTrace *Trace) {
+  return MlvmAllocator(MF, Kind, Trace).run();
+}
+
+// --- Prologue/epilogue insertion -----------------------------------------------
+
+FrameLayout mlvm::runPrologEpilog(MirFunction &MF,
+                                  const MlvmRegAllocResult &RA,
+                                  TimeTrace *Trace) {
+  TimeTraceScope Scope(Trace, "mlvm.mir.pei");
+  FrameLayout L;
+  L.CalleeSaved = RA.UsedCalleeSaved;
+  unsigned Ncs = static_cast<unsigned>(L.CalleeSaved.size());
+  L.CalleeArea = 8 * Ncs;
+  uint32_t SpillArea = 8 * RA.NumSpillSlots;
+  uint32_t Cursor = L.CalleeArea + SpillArea;
+  std::vector<int32_t> SlotOffsets;
+  for (uint64_t Size : MF.FrameObjects) {
+    Cursor = (Cursor + 15) & ~15u;
+    Cursor += static_cast<uint32_t>((Size + 15) & ~15ull);
+    SlotOffsets.push_back(-static_cast<int32_t>(Cursor));
+  }
+  uint32_t Below = Cursor - L.CalleeArea;
+  L.FrameBytes = (Below + 15) & ~15u;
+  if (Ncs % 2)
+    L.FrameBytes += 8;
+
+  auto SpillOff = [&](int32_t SlotId) {
+    return -static_cast<int32_t>(L.CalleeArea) - 8 * (SlotId + 1);
+  };
+
+  // Rewrite all frame references.
+  for (auto &MBB : MF.Blocks)
+    for (MachineInstr *I : MBB->Insts) {
+      switch (I->Opc) {
+      case MOpc::STACKADDR:
+        I->Opc = MOpc::LEA;
+        I->Disp = SlotOffsets[static_cast<size_t>(I->Imm)];
+        I->addOperand(MOperand::use(pgp(Reg::RBP)));
+        break;
+      case MOpc::LOADZX:
+      case MOpc::FLOAD:
+        if (I->Operands.size() > 1 &&
+            I->Operands[1].Reg == MLVM_SPILL_MARKER) {
+          I->Operands[1].Reg = pgp(Reg::RBP);
+          I->Disp = SpillOff(I->Disp);
+        }
+        break;
+      case MOpc::STORE:
+      case MOpc::FSTORE:
+        if (I->Operands.size() > 1 &&
+            I->Operands[1].Reg == MLVM_SPILL_MARKER) {
+          I->Operands[1].Reg = pgp(Reg::RBP);
+          I->Disp = SpillOff(I->Disp);
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  return L;
+}

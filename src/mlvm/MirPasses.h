@@ -1,0 +1,62 @@
+//===- mlvm/MirPasses.h - MIR transformation passes -------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MIR pass pipeline between instruction selection and code emission
+/// (§V-B4/5): PHI elimination (SSA destruction via copies), two-address
+/// rewriting for x86's destructive operand constraint, register allocation
+/// ("fast" without the extra analyses, or "greedy" with liveness-based
+/// coalescing, priority order and spill weights), and prologue/epilogue
+/// insertion, which finalizes the stack frame and rewrites every frame
+/// reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_MIRPASSES_H
+#define QCF_MLVM_MIRPASSES_H
+
+#include "mlvm/Mir.h"
+#include "support/TimeTrace.h"
+
+namespace qcf::mlvm {
+
+/// Replaces PHIs with copies on the incoming edges (parallel-move safe).
+void runPhiElimination(MirFunction &MF, TimeTrace *Trace);
+
+/// Converts three-address instructions into x86 two-address form.
+void runTwoAddress(MirFunction &MF, TimeTrace *Trace);
+
+enum class RegAllocKind : uint8_t { Fast, Greedy };
+
+struct MlvmRegAllocResult {
+  uint32_t NumSpillSlots = 0;
+  std::vector<x64::Reg> UsedCalleeSaved;
+  uint32_t NumCoalesced = 0;
+  uint32_t NumSpilled = 0;
+};
+
+/// Base register marker for spill-slot accesses until PEI runs.
+inline constexpr MReg MLVM_SPILL_MARKER = 0xfffffffdu;
+
+/// Allocates registers in place; after this, all operands are physical
+/// and spill code references MLVM_SPILL_MARKER frame slots.
+MlvmRegAllocResult runRegAlloc(MirFunction &MF, RegAllocKind Kind,
+                               TimeTrace *Trace);
+
+struct FrameLayout {
+  uint32_t FrameBytes = 0;
+  uint32_t CalleeArea = 0;
+  std::vector<x64::Reg> CalleeSaved;
+};
+
+/// Prologue/epilogue insertion: computes the final frame layout and
+/// rewrites STACKADDR and spill-marker references to rbp displacements.
+FrameLayout runPrologEpilog(MirFunction &MF, const MlvmRegAllocResult &RA,
+                            TimeTrace *Trace);
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_MIRPASSES_H

@@ -1,0 +1,146 @@
+//===- mlvm/Mlvm.cpp - MLVM back-end driver --------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/Mlvm.h"
+#include "mlvm/JitLink.h"
+#include "mlvm/Mc.h"
+#include "mlvm/MirPasses.h"
+#include "mlvm/Passes.h"
+
+using namespace qcf;
+using namespace qcf::mlvm;
+
+TargetMachine *mlvm::acquireTargetMachine(bool UseCache) {
+  auto Construct = [] {
+    auto *TM = new TargetMachine();
+    // "Parsing and constructing the architecture description": split a
+    // feature string and derive feature bits.
+    TM->Triple = "x86_64-unknown-linux-gnu";
+    const char *FeatureString =
+        "+sse,+sse2,+sse3,+ssse3,+sse4.1,+sse4.2,+popcnt,+crc32,+cx16,"
+        "+fxsr,+mmx,+x87,+64bit,+cmov,-avx,-avx2,-avx512f,-amx-tile";
+    std::string Cur;
+    for (const char *P = FeatureString;; ++P) {
+      if (*P == ',' || *P == 0) {
+        TM->Features.push_back(Cur);
+        TM->FeatureBits =
+            TM->FeatureBits * 1099511628211ull ^
+            std::hash<std::string>()(Cur);
+        Cur.clear();
+        if (*P == 0)
+          break;
+      } else {
+        Cur.push_back(*P);
+      }
+    }
+    return TM;
+  };
+  if (!UseCache)
+    return Construct(); // Leaks deliberately avoided by caller in benches.
+  // unique_ptr so each thread's instance is reclaimed at thread exit.
+  thread_local std::unique_ptr<TargetMachine> Cached;
+  if (!Cached)
+    Cached.reset(Construct());
+  ++Cached->FunctionLevelOverrides; // Simulated per-compilation mutation.
+  return Cached.get();
+}
+
+std::string MlvmBackend::name() const {
+  std::string N = Opts.Optimize ? "MLVM-opt" : "MLVM-cheap";
+  if (Opts.Isel == IselKind::Global)
+    N += "-gisel";
+  else if (Opts.Isel == IselKind::Dag && !Opts.Optimize)
+    N += "-seldag";
+  else if (Opts.Isel == IselKind::Fast && Opts.Optimize)
+    N += "-fastisel";
+  if (Opts.Mode == D128Mode::StructPairs)
+    N += "-structpairs";
+  return N;
+}
+
+namespace {
+
+class MlvmModule : public backend::CompiledModule {
+public:
+  explicit MlvmModule(std::unique_ptr<LinkedImage> Image)
+      : Image(std::move(Image)) {}
+
+  void *entry(const std::string &Name) override {
+    return Image->lookup(Name);
+  }
+
+private:
+  std::unique_ptr<LinkedImage> Image;
+};
+
+} // namespace
+
+std::unique_ptr<backend::CompiledModule>
+MlvmBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+  std::vector<uint8_t> Object = compileToObject(M, Trace);
+  std::unique_ptr<LinkedImage> Image = jitLink(Object, Trace);
+  return std::make_unique<MlvmModule>(std::move(Image));
+}
+
+std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,
+                                                  TimeTrace *Trace) {
+  LastStats = IselStats();
+  LastIrObjects = 0;
+
+  TargetMachine *TM;
+  {
+    TimeTraceScope Scope(Trace, "mlvm.targetmachine");
+    TM = acquireTargetMachine(Opts.CacheTargetMachine);
+    if (!Opts.CacheTargetMachine) {
+      // Fresh construction per compile; release immediately after noting
+      // its cost (the cached path keeps one instance per thread).
+      delete TM;
+      TM = acquireTargetMachine(true);
+    }
+  }
+  (void)TM;
+
+  McModule Mc;
+  for (const auto &F : M.functions()) {
+    std::unique_ptr<MFunction> IR;
+    {
+      TimeTraceScope Scope(Trace, "mlvm.irgen");
+      IR = translateToMlvm(*F, Opts.Mode);
+    }
+    LastIrObjects += IR->numObjects();
+
+    if (Opts.Optimize)
+      runOptPasses(*IR, Trace, Opts.ReuseAnalyses);
+    {
+      TimeTraceScope Scope(Trace, "mlvm.prep");
+      runCodeGenPrepScans(*IR, Trace);
+    }
+
+    std::unique_ptr<MirFunction> MIR;
+    {
+      TimeTraceScope Scope(Trace, "mlvm.isel");
+      MIR = selectInstructions(*IR, Opts.Isel, Trace, &LastStats);
+    }
+
+    runPhiElimination(*MIR, Trace);
+    runTwoAddress(*MIR, Trace);
+    MlvmRegAllocResult RA = runRegAlloc(
+        *MIR, Opts.Optimize ? RegAllocKind::Greedy : RegAllocKind::Fast,
+        Trace);
+    FrameLayout Frame = runPrologEpilog(*MIR, RA, Trace);
+
+    printFunction(*MIR, Frame, &Mc, Trace);
+
+    {
+      // Module destruction is measurably expensive (§V-B1).
+      TimeTraceScope Scope(Trace, "mlvm.irdestroy");
+      IR.reset();
+      MIR.reset();
+    }
+  }
+
+  return writeElfObject(Mc, Trace);
+}

@@ -1,0 +1,88 @@
+//===- mlvm/Mlvm.h - MLVM back-end driver -----------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MLVM back-end: QCF's LLVM-architecture compiler (§V). Two operating
+/// modes — cheap (FastISel + fast register allocator, no IR optimization)
+/// and optimized (-O2-style IR passes + SelectionDAG + greedy register
+/// allocator) — plus a GlobalISel instruction-selector option for the
+/// Fig. 3 comparison, and the struct-pair D128 mode for the §V-A2
+/// ablation. The TargetMachine is constructed once and cached per thread
+/// (§V-A2 third measure); the cache can be disabled to measure its value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_MLVM_H
+#define QCF_MLVM_MLVM_H
+
+#include "backend/Backend.h"
+#include "mlvm/Isel.h"
+#include "mlvm/Translate.h"
+
+namespace qcf::mlvm {
+
+struct MlvmOptions {
+  bool Optimize = false;
+  IselKind Isel = IselKind::Fast;
+  D128Mode Mode = D128Mode::SplitPairs;
+  bool CacheTargetMachine = true;
+  /// Compute the dominator tree / loop info once instead of twice in the
+  /// opt pipeline (§V-B2 ablation; default matches the real pipeline).
+  bool ReuseAnalyses = false;
+
+  static MlvmOptions cheap() { return {}; }
+  static MlvmOptions opt() {
+    MlvmOptions O;
+    O.Optimize = true;
+    O.Isel = IselKind::Dag;
+    return O;
+  }
+};
+
+/// The "architecture description": constructed by parsing a feature
+/// string, cached per thread because compilations mutate parts of it
+/// (function-level option overrides), §V-A2.
+struct TargetMachine {
+  std::string Triple;
+  std::vector<std::string> Features;
+  uint64_t FeatureBits = 0;
+  uint64_t FunctionLevelOverrides = 0; ///< Mutated during compilation.
+};
+
+/// Returns the thread-cached TargetMachine (constructing it on first
+/// use), or a fresh one when \p UseCache is false.
+TargetMachine *acquireTargetMachine(bool UseCache);
+
+class MlvmBackend : public backend::Backend {
+public:
+  explicit MlvmBackend(MlvmOptions Opts = MlvmOptions::cheap())
+      : Opts(Opts) {}
+
+  std::string name() const override;
+  std::unique_ptr<backend::CompiledModule>
+  compile(const qir::Module &M, TimeTrace *Trace) override;
+
+  /// Compiles \p M down to the in-memory ELF64 relocatable object
+  /// without linking it. This is the artifact the JIT linker consumes
+  /// (§V-B7); exposed so tests can validate it with external binutils.
+  std::vector<uint8_t> compileToObject(const qir::Module &M,
+                                       TimeTrace *Trace);
+
+  /// Census/statistics of the most recent compile() call.
+  const IselStats &lastIselStats() const { return LastStats; }
+  uint64_t lastNumIrObjects() const { return LastIrObjects; }
+
+  const MlvmOptions &options() const { return Opts; }
+
+private:
+  MlvmOptions Opts;
+  IselStats LastStats;
+  uint64_t LastIrObjects = 0;
+};
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_MLVM_H

@@ -1,0 +1,419 @@
+//===- mlvm/Passes.cpp - MLVM-IR passes ------------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/Passes.h"
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace qcf;
+using namespace qcf::mlvm;
+
+namespace {
+
+// --- Analyses over the object-graph IR --------------------------------------
+
+struct IrCfg {
+  std::unordered_map<BasicBlock *, uint32_t> RpoIndex;
+  std::vector<BasicBlock *> Rpo;
+  std::unordered_map<BasicBlock *, BasicBlock *> Idom;
+
+  bool dominates(BasicBlock *A, BasicBlock *B) const {
+    while (B) {
+      if (A == B)
+        return true;
+      auto It = Idom.find(B);
+      if (It == Idom.end() || It->second == B)
+        return false;
+      if (RpoIndex.at(B) <= RpoIndex.at(A))
+        return false;
+      B = It->second;
+    }
+    return false;
+  }
+};
+
+void computeDomTree(MFunction &F, IrCfg *Out) {
+  Out->Rpo.clear();
+  Out->RpoIndex.clear();
+  Out->Idom.clear();
+  // DFS post-order.
+  std::unordered_set<BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  std::vector<BasicBlock *> Post;
+  BasicBlock *Entry = F.Blocks.front();
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    if (Next < B->numSuccessors()) {
+      BasicBlock *S = B->successor(Next++);
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+    } else {
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Out->Rpo.assign(Post.rbegin(), Post.rend());
+  for (uint32_t I = 0; I != Out->Rpo.size(); ++I)
+    Out->RpoIndex[Out->Rpo[I]] = I;
+
+  Out->Idom[Entry] = Entry;
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (Out->RpoIndex.at(A) > Out->RpoIndex.at(B))
+        A = Out->Idom.at(A);
+      while (Out->RpoIndex.at(B) > Out->RpoIndex.at(A))
+        B = Out->Idom.at(B);
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < Out->Rpo.size(); ++I) {
+      BasicBlock *B = Out->Rpo[I];
+      BasicBlock *New = nullptr;
+      for (BasicBlock *P : B->Preds) {
+        if (!Out->Idom.count(P))
+          continue;
+        New = New ? Intersect(P, New) : P;
+      }
+      if (New && (!Out->Idom.count(B) || Out->Idom[B] != New)) {
+        Out->Idom[B] = New;
+        Changed = true;
+      }
+    }
+  }
+}
+
+struct IrLoop {
+  BasicBlock *Header;
+  std::unordered_set<BasicBlock *> Body;
+  BasicBlock *Preheader; ///< Unique non-backedge pred with one successor.
+};
+
+void computeLoops(MFunction &F, const IrCfg &Cfg,
+                  std::vector<IrLoop> *Out) {
+  for (BasicBlock *Tail : Cfg.Rpo) {
+    for (unsigned S = 0; S != Tail->numSuccessors(); ++S) {
+      BasicBlock *Head = Tail->successor(S);
+      if (!Cfg.dominates(Head, Tail))
+        continue;
+      IrLoop L;
+      L.Header = Head;
+      L.Body.insert(Head);
+      std::vector<BasicBlock *> Work{Tail};
+      while (!Work.empty()) {
+        BasicBlock *B = Work.back();
+        Work.pop_back();
+        if (!L.Body.insert(B).second)
+          continue;
+        for (BasicBlock *P : B->Preds)
+          Work.push_back(P);
+      }
+      // Preheader.
+      L.Preheader = nullptr;
+      BasicBlock *NonBack = nullptr;
+      unsigned NumNonBack = 0;
+      for (BasicBlock *P : Head->Preds)
+        if (!L.Body.count(P)) {
+          NonBack = P;
+          ++NumNonBack;
+        }
+      if (NumNonBack == 1 && NonBack->numSuccessors() == 1)
+        L.Preheader = NonBack;
+      Out->push_back(std::move(L));
+    }
+  }
+}
+
+// --- Individual passes ----------------------------------------------------------
+
+uint32_t runDce(MFunction &F) {
+  uint32_t Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *B : F.Blocks) {
+      for (size_t I = B->Insts.size(); I-- != 0;) {
+        Instruction *Ins = B->Insts[I];
+        if (Ins->hasSideEffects() || Ins->type() == Type::Void)
+          continue;
+        if (!Ins->users().empty())
+          continue;
+        Ins->dropAllOperands();
+        delete Ins;
+        B->Insts.erase(B->Insts.begin() + I);
+        ++Removed;
+        Changed = true;
+      }
+    }
+  }
+  return Removed;
+}
+
+/// Block-local CSE keyed on (op, operands, flags, imm).
+uint32_t runCse(MFunction &F) {
+  uint32_t Removed = 0;
+  struct Key {
+    IROp Op;
+    Type Ty; // Result type distinguishes e.g. trunc-to-i8 from -to-i16.
+    uint8_t Flags;
+    uint64_t Imm;
+    Value *A, *B, *C;
+    bool operator<(const Key &O) const {
+      return std::tie(Op, Ty, Flags, Imm, A, B, C) <
+             std::tie(O.Op, O.Ty, O.Flags, O.Imm, O.A, O.B, O.C);
+    }
+  };
+  for (BasicBlock *B : F.Blocks) {
+    std::map<Key, Instruction *> Seen;
+    for (size_t I = 0; I < B->Insts.size(); ++I) {
+      Instruction *Ins = B->Insts[I];
+      if (Ins->hasSideEffects() || Ins->Op == IROp::Phi ||
+          Ins->Op == IROp::Load || Ins->Op == IROp::StackSlot ||
+          Ins->type() == Type::Void)
+        continue;
+      Key K{Ins->Op, Ins->type(), Ins->Flags, Ins->Imm,
+            Ins->numOperands() > 0 ? Ins->operand(0) : nullptr,
+            Ins->numOperands() > 1 ? Ins->operand(1) : nullptr,
+            Ins->numOperands() > 2 ? Ins->operand(2) : nullptr};
+      auto [It, Inserted] = Seen.insert({K, Ins});
+      if (Inserted)
+        continue;
+      Ins->replaceAllUsesWith(It->second);
+      Ins->dropAllOperands();
+      delete Ins;
+      B->Insts.erase(B->Insts.begin() + I);
+      --I;
+      ++Removed;
+    }
+  }
+  return Removed;
+}
+
+/// A few safe peepholes.
+uint32_t runInstCombine(MFunction &F) {
+  uint32_t Combined = 0;
+  auto ConstOf = [](Value *V, uint64_t *Out) {
+    if (V->kind() != Value::Kind::ConstInt)
+      return false;
+    *Out = static_cast<ConstantInt *>(V)->Val;
+    return true;
+  };
+  for (BasicBlock *B : F.Blocks) {
+    for (size_t I = 0; I < B->Insts.size(); ++I) {
+      Instruction *Ins = B->Insts[I];
+      Value *Repl = nullptr;
+      uint64_t C;
+      switch (Ins->Op) {
+      case IROp::Add:
+      case IROp::Or:
+      case IROp::Xor:
+        if (Ins->type() != Type::I128 && ConstOf(Ins->operand(1), &C) &&
+            C == 0)
+          Repl = Ins->operand(0);
+        break;
+      case IROp::Mul:
+        if (Ins->type() != Type::I128 && ConstOf(Ins->operand(1), &C) &&
+            C == 1)
+          Repl = Ins->operand(0);
+        break;
+      case IROp::Select:
+        if (Ins->operand(1) == Ins->operand(2))
+          Repl = Ins->operand(1);
+        break;
+      case IROp::Gep:
+        if (Ins->numOperands() == 1 && Ins->Imm == 0)
+          Repl = Ins->operand(0);
+        break;
+      default:
+        break;
+      }
+      if (!Repl)
+        continue;
+      Ins->replaceAllUsesWith(Repl);
+      Ins->dropAllOperands();
+      delete Ins;
+      B->Insts.erase(B->Insts.begin() + I);
+      --I;
+      ++Combined;
+    }
+  }
+  return Combined;
+}
+
+/// Merges straight-line block pairs (B -> S where B is S's only pred and
+/// S is B's only successor).
+uint32_t runSimplifyCfg(MFunction &F) {
+  uint32_t Merged = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *B : F.Blocks) {
+      if (B->Insts.empty())
+        continue;
+      Instruction *T = B->Insts.back();
+      if (T->Op != IROp::Br)
+        continue;
+      BasicBlock *S = T->BlockOps[0];
+      if (S == B || S->Preds.size() != 1 || S == F.Blocks.front())
+        continue;
+      if (!S->Insts.empty() && S->Insts.front()->Op == IROp::Phi)
+        continue;
+      // Splice S into B.
+      T->dropAllOperands();
+      delete T;
+      B->Insts.pop_back();
+      for (Instruction *I : S->Insts) {
+        I->Parent = B;
+        B->Insts.push_back(I);
+      }
+      S->Insts.clear();
+      // Phis in S's successors referring to S must refer to B now.
+      for (BasicBlock *Any : F.Blocks)
+        for (Instruction *I : Any->Insts)
+          for (BasicBlock *&Op : I->BlockOps)
+            if (Op == S)
+              Op = B;
+      F.Blocks.erase(std::find(F.Blocks.begin(), F.Blocks.end(), S));
+      delete S;
+      F.recomputePreds();
+      Changed = true;
+      ++Merged;
+      break; // Iterator invalidated; restart.
+    }
+  }
+  return Merged;
+}
+
+/// Hoists pure loop-invariant instructions into preheaders.
+uint32_t runLicm(MFunction &F, const IrCfg &Cfg,
+                 const std::vector<IrLoop> &Loops) {
+  uint32_t Hoisted = 0;
+  for (const IrLoop &L : Loops) {
+    if (!L.Preheader)
+      continue;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BasicBlock *B : L.Body) {
+        for (size_t I = 0; I < B->Insts.size(); ++I) {
+          Instruction *Ins = B->Insts[I];
+          if (Ins->hasSideEffects() || Ins->isTerminator() ||
+              Ins->Op == IROp::Phi || Ins->Op == IROp::Load ||
+              Ins->Op == IROp::StackSlot || Ins->type() == Type::Void)
+            continue;
+          bool Invariant = true;
+          for (unsigned K = 0; K != Ins->numOperands(); ++K) {
+            Value *Op = Ins->operand(K);
+            if (Op->kind() == Value::Kind::Inst &&
+                L.Body.count(static_cast<Instruction *>(Op)->Parent))
+              Invariant = false;
+          }
+          if (!Invariant)
+            continue;
+          // Move to the preheader, before its terminator.
+          B->Insts.erase(B->Insts.begin() + I);
+          --I;
+          Ins->Parent = L.Preheader;
+          L.Preheader->Insts.insert(L.Preheader->Insts.end() - 1, Ins);
+          ++Hoisted;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Hoisted;
+}
+
+} // namespace
+
+OptStats mlvm::runOptPasses(MFunction &F, TimeTrace *Trace,
+                            bool ReuseAnalyses) {
+  OptStats Stats;
+  {
+    TimeTraceScope Scope(Trace, "mlvm.opt.cse");
+    Stats.CseRemoved = runCse(F);
+  }
+  {
+    TimeTraceScope Scope(Trace, "mlvm.opt.simplifycfg");
+    Stats.BlocksMerged = runSimplifyCfg(F);
+  }
+  {
+    TimeTraceScope Scope(Trace, "mlvm.opt.instcombine");
+    Stats.Combined = runInstCombine(F);
+  }
+  {
+    // LICM computes the dominator tree and loop info; the paper notes the
+    // pipeline computes these analyses twice (§V-B2) — reproduced here.
+    TimeTraceScope Scope(Trace, "mlvm.opt.licm");
+    IrCfg Cfg;
+    std::vector<IrLoop> Loops;
+    {
+      TimeTraceScope S2(Trace, "mlvm.opt.domtree");
+      computeDomTree(F, &Cfg);
+      computeLoops(F, Cfg, &Loops);
+    }
+    if (!ReuseAnalyses) {
+      TimeTraceScope S2(Trace, "mlvm.opt.domtree");
+      IrCfg Cfg2;
+      std::vector<IrLoop> Loops2;
+      computeDomTree(F, &Cfg2);
+      computeLoops(F, Cfg2, &Loops2);
+    }
+    Stats.Hoisted = runLicm(F, Cfg, Loops);
+  }
+  {
+    TimeTraceScope Scope(Trace, "mlvm.opt.dce");
+    Stats.DceRemoved = runDce(F);
+  }
+  return Stats;
+}
+
+uint64_t mlvm::runCodeGenPrepScans(MFunction &F, TimeTrace *Trace) {
+  // Each scan iterates over every instruction looking for a construct
+  // that query code never contains (§V-B2). The checks are cheap; the
+  // repeated full iteration is the measured cost.
+  uint64_t Visited = 0;
+
+  auto Scan = [&](const char *Label, auto Pred) {
+    TimeTraceScope Scope(Trace, Label);
+    uint64_t Matches = 0;
+    for (BasicBlock *B : F.Blocks)
+      for (Instruction *I : B->Insts) {
+        ++Visited;
+        if (Pred(I))
+          ++Matches;
+      }
+    return Matches;
+  };
+
+  // PreISelIntrinsicLowering: objc/memcpy-like intrinsics (none).
+  Scan("mlvm.prep.preisel", [](Instruction *I) {
+    return I->Op == IROp::FreezeNop;
+  });
+  // ExpandLargeDivRem: divisions wider than 128 bits (none).
+  Scan("mlvm.prep.expandlargediv", [](Instruction *I) {
+    return (I->Op == IROp::SDiv || I->Op == IROp::UDiv) &&
+           qir::typeSize(I->type()) > 16;
+  });
+  // ExpandVectorPredication: vector predication intrinsics (none).
+  Scan("mlvm.prep.expandvp", [](Instruction *I) { return false; });
+  // AtomicExpand: atomics needing lowering to cmpxchg loops (none; the
+  // target handles fetch-add natively).
+  Scan("mlvm.prep.atomicexpand", [](Instruction *I) {
+    return I->Op == IROp::AtomicAdd && qir::typeSize(I->type()) > 8;
+  });
+  // LowerAMXType: AMX tile types (none).
+  Scan("mlvm.prep.loweramx", [](Instruction *I) { return false; });
+  // IndirectBrExpand: indirect branches (none).
+  Scan("mlvm.prep.indirectbr", [](Instruction *I) { return false; });
+  return Visited;
+}

@@ -1,0 +1,53 @@
+//===- mlvm/Passes.h - MLVM-IR passes ---------------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MLVM-IR level passes.
+///
+/// Optimization pipeline (§V-A1): common-subexpression elimination, CFG
+/// simplification, instruction combination, loop-invariant code motion,
+/// and dead code elimination. LICM's analyses (dominator tree + loop
+/// info) are computed twice, as the paper observes of LLVM's pipeline
+/// (§V-B2).
+///
+/// Codegen preparation (§V-B2): a series of small scan passes, each
+/// iterating over every instruction to look for constructs query code
+/// never contains — the "avoidable overhead" the paper quantifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_PASSES_H
+#define QCF_MLVM_PASSES_H
+
+#include "mlvm/Ir.h"
+#include "support/TimeTrace.h"
+
+namespace qcf::mlvm {
+
+struct OptStats {
+  uint32_t CseRemoved = 0;
+  uint32_t Combined = 0;
+  uint32_t Hoisted = 0;
+  uint32_t DceRemoved = 0;
+  uint32_t BlocksMerged = 0;
+};
+
+/// Runs the -O2-style pipeline in place.
+///
+/// By default the dominator tree and loop info are computed twice, as
+/// the paper observes the real pipeline does (§V-B2). Passing
+/// \p ReuseAnalyses = true computes them once — the "unnecessary
+/// recomputation removed" ablation.
+OptStats runOptPasses(MFunction &F, TimeTrace *Trace,
+                      bool ReuseAnalyses = false);
+
+/// Runs the codegen-prep scan passes; returns the number of instructions
+/// visited (matches are always zero on query code).
+uint64_t runCodeGenPrepScans(MFunction &F, TimeTrace *Trace);
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_PASSES_H

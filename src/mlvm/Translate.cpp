@@ -1,0 +1,333 @@
+//===- mlvm/Translate.cpp - QIR to MLVM-IR ---------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/Translate.h"
+
+using namespace qcf;
+using namespace qcf::mlvm;
+using qir::Opcode;
+
+namespace {
+
+class Translator {
+public:
+  Translator(const qir::Function &F, D128Mode Mode) : F(F), Mode(Mode) {}
+
+  std::unique_ptr<MFunction> run() {
+    // Parameter list: split mode expands d128 params into two i64 params.
+    std::vector<Type> Params;
+    std::vector<std::pair<unsigned, unsigned>> ParamMap; // lo idx, hi idx
+    for (Type Ty : F.paramTypes()) {
+      if (Ty == Type::D128 && Mode == D128Mode::SplitPairs) {
+        ParamMap.push_back({static_cast<unsigned>(Params.size()),
+                            static_cast<unsigned>(Params.size() + 1)});
+        Params.push_back(Type::I64);
+        Params.push_back(Type::I64);
+      } else {
+        ParamMap.push_back({static_cast<unsigned>(Params.size()), ~0u});
+        Params.push_back(Ty);
+      }
+    }
+    Out = std::make_unique<MFunction>(F.name(), Params, F.returnType());
+
+    // Callee table.
+    const qir::Module *M = F.parent();
+    for (qir::SymbolId S = 0; S != M->numSymbols(); ++S) {
+      const qir::RuntimeSig &Sig = M->symbol(S);
+      Out->Callees.push_back(
+          {Sig.Name, Sig.RetType, Sig.ParamTypes, Sig.Address});
+    }
+
+    // Blocks 1:1.
+    BlockMap.resize(F.numBlocks());
+    for (qir::BlockId B = 0; B != F.numBlocks(); ++B)
+      BlockMap[B] = Out->createBlock();
+
+    // Map parameters.
+    VMap.assign(F.numInsts(), {nullptr, nullptr});
+    for (unsigned P = 0; P != F.numParams(); ++P) {
+      auto [LoIdx, HiIdx] = ParamMap[P];
+      VMap[F.paramValue(P)] = {Out->Args[LoIdx],
+                               HiIdx == ~0u ? nullptr : Out->Args[HiIdx]};
+    }
+
+    // Translate instructions; phi operands are wired in a second pass
+    // (incoming values may be defined later).
+    std::vector<std::pair<qir::ValueId, Instruction *>> PendingPhis;
+    std::vector<std::pair<qir::ValueId, Instruction *>> PendingPhisHi;
+    for (qir::BlockId B = 0; B != F.numBlocks(); ++B) {
+      Cur = BlockMap[B];
+      for (uint32_t I = F.block(B).Begin; I != F.block(B).End; ++I) {
+        const qir::Inst &Ins = F.Insts[I];
+        if (Ins.Op == Opcode::Phi) {
+          bool SplitD128 =
+              Ins.Ty == Type::D128 && Mode == D128Mode::SplitPairs;
+          Type Ty = SplitD128 ? Type::I64 : Ins.Ty;
+          auto *Phi = new Instruction(IROp::Phi, Ty);
+          Cur->append(Phi);
+          PendingPhis.push_back({I, Phi});
+          Instruction *PhiHi = nullptr;
+          if (SplitD128) {
+            PhiHi = new Instruction(IROp::Phi, Type::I64);
+            Cur->append(PhiHi);
+            PendingPhisHi.push_back({I, PhiHi});
+          }
+          VMap[I] = {Phi, PhiHi};
+          continue;
+        }
+        if (Ins.Op == Opcode::Param)
+          continue;
+        translateInst(I, Ins);
+      }
+    }
+
+    // Wire phi incomings.
+    for (auto &[Id, Phi] : PendingPhis) {
+      const qir::Inst &Ins = F.inst(Id);
+      for (unsigned K = 0, E = F.numPhiIncomings(Ins); K != E; ++K) {
+        const qir::PhiIn &In = F.phiIncomings(Ins)[K];
+        Phi->addOperand(VMap[In.Val].first);
+        Phi->BlockOps.push_back(BlockMap[In.Pred]);
+      }
+    }
+    for (auto &[Id, Phi] : PendingPhisHi) {
+      const qir::Inst &Ins = F.inst(Id);
+      for (unsigned K = 0, E = F.numPhiIncomings(Ins); K != E; ++K) {
+        const qir::PhiIn &In = F.phiIncomings(Ins)[K];
+        Phi->addOperand(VMap[In.Val].second);
+        Phi->BlockOps.push_back(BlockMap[In.Pred]);
+      }
+    }
+
+    Out->recomputePreds();
+    return std::move(Out);
+  }
+
+private:
+  struct Mapped {
+    Value *first;
+    Value *second;
+  };
+
+  Value *lo(qir::ValueId V) const {
+    assert(VMap[V].first && "unmapped value");
+    return VMap[V].first;
+  }
+  Value *hi(qir::ValueId V) const {
+    assert(VMap[V].second && "value has no high lane");
+    return VMap[V].second;
+  }
+
+  Instruction *emit(IROp Op, Type Ty,
+                    std::initializer_list<Value *> Ops = {}) {
+    auto *I = new Instruction(Op, Ty);
+    for (Value *V : Ops)
+      I->addOperand(V);
+    Cur->append(I);
+    return I;
+  }
+
+  void translateInst(qir::ValueId Id, const qir::Inst &Ins) {
+    bool Split = Mode == D128Mode::SplitPairs;
+    switch (Ins.Op) {
+    case Opcode::ConstInt:
+      VMap[Id] = {Out->constInt(Ins.Ty, Ins.Imm), nullptr};
+      return;
+    case Opcode::ConstI128:
+      VMap[Id] = {Out->constI128(F.i128Constant(Ins)), nullptr};
+      return;
+    case Opcode::ConstF64:
+      VMap[Id] = {Out->constF64(Ins.Imm), nullptr};
+      return;
+    case Opcode::ConstPtr:
+      VMap[Id] = {Out->constPtr(Ins.Imm), nullptr};
+      return;
+
+    case Opcode::PackD128:
+      if (Split) {
+        VMap[Id] = {lo(Ins.A), lo(Ins.B)};
+        return;
+      }
+      VMap[Id] = {emit(IROp::PackD128, Type::D128, {lo(Ins.A), lo(Ins.B)}),
+                  nullptr};
+      return;
+    case Opcode::ExtractLo:
+      if (F.valueType(Ins.A) == Type::D128 && Split &&
+          VMap[Ins.A].second != nullptr) {
+        VMap[Id] = {lo(Ins.A), nullptr};
+        return;
+      }
+      VMap[Id] = {emit(IROp::ExtractLo, Type::I64, {lo(Ins.A)}), nullptr};
+      return;
+    case Opcode::ExtractHi:
+      if (F.valueType(Ins.A) == Type::D128 && Split &&
+          VMap[Ins.A].second != nullptr) {
+        VMap[Id] = {hi(Ins.A), nullptr};
+        return;
+      }
+      VMap[Id] = {emit(IROp::ExtractHi, Type::I64, {lo(Ins.A)}), nullptr};
+      return;
+
+    case Opcode::Load:
+      if (Ins.Ty == Type::D128 && Split) {
+        Value *Addr = lo(Ins.A);
+        auto *L = emit(IROp::Load, Type::I64, {Addr});
+        auto *AddrHi = emit(IROp::Gep, Type::Ptr, {Addr});
+        AddrHi->Imm = 8;
+        auto *H = emit(IROp::Load, Type::I64, {AddrHi});
+        VMap[Id] = {L, H};
+        return;
+      }
+      VMap[Id] = {emit(IROp::Load, Ins.Ty, {lo(Ins.A)}), nullptr};
+      return;
+    case Opcode::Store:
+      if (F.valueType(Ins.B) == Type::D128 && Split &&
+          VMap[Ins.B].second != nullptr) {
+        Value *Addr = lo(Ins.A);
+        emit(IROp::Store, Type::Void, {Addr, lo(Ins.B)});
+        auto *AddrHi = emit(IROp::Gep, Type::Ptr, {Addr});
+        AddrHi->Imm = 8;
+        emit(IROp::Store, Type::Void, {AddrHi, hi(Ins.B)});
+        return;
+      }
+      emit(IROp::Store, Type::Void, {lo(Ins.A), lo(Ins.B)});
+      return;
+
+    case Opcode::Gep: {
+      auto *G = new Instruction(IROp::Gep, Type::Ptr);
+      G->addOperand(lo(Ins.A));
+      if (Ins.B != qir::INVALID_VALUE)
+        G->addOperand(lo(Ins.B));
+      G->Imm = Ins.Imm;
+      G->Aux = Ins.C;
+      Cur->append(G);
+      VMap[Id] = {G, nullptr};
+      return;
+    }
+    case Opcode::StackSlot: {
+      auto *S = emit(IROp::StackSlot, Type::Ptr);
+      S->Imm = Ins.Imm;
+      VMap[Id] = {S, nullptr};
+      return;
+    }
+
+    case Opcode::Select:
+      if (Ins.Ty == Type::D128 && Split) {
+        auto *L = emit(IROp::Select, Type::I64,
+                       {lo(Ins.A), lo(Ins.B), lo(Ins.C)});
+        auto *H = emit(IROp::Select, Type::I64,
+                       {lo(Ins.A), hi(Ins.B), hi(Ins.C)});
+        VMap[Id] = {L, H};
+        return;
+      }
+      VMap[Id] = {emit(IROp::Select, Ins.Ty,
+                       {lo(Ins.A), lo(Ins.B), lo(Ins.C)}),
+                  nullptr};
+      return;
+
+    case Opcode::ICmp:
+    case Opcode::FCmp: {
+      auto *C = emit(irOpFor(Ins.Op), Type::I1, {lo(Ins.A), lo(Ins.B)});
+      C->Flags = Ins.Flags;
+      VMap[Id] = {C, nullptr};
+      return;
+    }
+
+    case Opcode::Call: {
+      const qir::RuntimeSig &Sig = F.parent()->symbol(F.callee(Ins));
+      auto *C = new Instruction(IROp::Call, Sig.RetType);
+      C->Imm = F.callee(Ins);
+      for (unsigned K = 0, E = F.numCallArgs(Ins); K != E; ++K) {
+        qir::ValueId Arg = F.callArgs(Ins)[K];
+        if (F.valueType(Arg) == Type::D128 && Split &&
+            VMap[Arg].second != nullptr) {
+          C->addOperand(lo(Arg));
+          C->addOperand(hi(Arg));
+        } else {
+          C->addOperand(lo(Arg));
+        }
+      }
+      Cur->append(C);
+      if (Sig.RetType == Type::D128 && Split) {
+        // Call returns stay two-lane (the §V-A2 exception); callers
+        // immediately extract lanes.
+        auto *L = emit(IROp::ExtractLo, Type::I64, {C});
+        auto *H = emit(IROp::ExtractHi, Type::I64, {C});
+        VMap[Id] = {L, H};
+        // Remember the QIR value maps to the lane pair; the call value
+        // itself is only used by the extracts.
+        return;
+      }
+      VMap[Id] = {C, nullptr};
+      return;
+    }
+
+    case Opcode::Br: {
+      auto *B = emit(IROp::Br, Type::Void);
+      B->BlockOps.push_back(BlockMap[Ins.A]);
+      return;
+    }
+    case Opcode::CondBr: {
+      auto *B = emit(IROp::CondBr, Type::Void, {lo(Ins.A)});
+      B->BlockOps.push_back(BlockMap[Ins.B]);
+      B->BlockOps.push_back(BlockMap[Ins.C]);
+      return;
+    }
+    case Opcode::Ret: {
+      if (Ins.A == qir::INVALID_VALUE) {
+        emit(IROp::Ret, Type::Void);
+        return;
+      }
+      if (F.valueType(Ins.A) == Type::D128 && Split &&
+          VMap[Ins.A].second != nullptr) {
+        // Re-pack for the two-register return.
+        auto *P = emit(IROp::PackD128, Type::D128, {lo(Ins.A), hi(Ins.A)});
+        emit(IROp::Ret, Type::Void, {P});
+        return;
+      }
+      emit(IROp::Ret, Type::Void, {lo(Ins.A)});
+      return;
+    }
+    case Opcode::Unreachable:
+      emit(IROp::Unreachable, Type::Void);
+      return;
+
+    case Opcode::Phi:
+    case Opcode::Param:
+      QCF_UNREACHABLE("handled by the caller");
+
+    default: {
+      // Uniform unary/binary/cmp-style instructions map 1:1.
+      unsigned NumOps = qir::numValueOperands(static_cast<Opcode>(Ins.Op));
+      auto *I = new Instruction(irOpFor(Ins.Op), Ins.Ty);
+      I->Flags = Ins.Flags;
+      if (NumOps >= 1)
+        I->addOperand(lo(Ins.A));
+      if (NumOps >= 2)
+        I->addOperand(lo(Ins.B));
+      if (NumOps >= 3)
+        I->addOperand(lo(Ins.C));
+      Cur->append(I);
+      VMap[Id] = {I, nullptr};
+      return;
+    }
+    }
+  }
+
+  const qir::Function &F;
+  D128Mode Mode;
+  std::unique_ptr<MFunction> Out;
+  BasicBlock *Cur = nullptr;
+  std::vector<BasicBlock *> BlockMap;
+  std::vector<Mapped> VMap;
+};
+
+} // namespace
+
+std::unique_ptr<MFunction> mlvm::translateToMlvm(const qir::Function &F,
+                                                 D128Mode Mode) {
+  return Translator(F, Mode).run();
+}

@@ -1,0 +1,38 @@
+//===- mlvm/Translate.h - QIR to MLVM-IR ------------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// QIR -> MLVM-IR translation ("constructing LLVM-IR", §V-B1). The
+/// D128Mode knob reproduces the §V-A2 experiment: SplitPairs (default)
+/// represents 16-byte values as two separate i64 values, keeping the IR
+/// shorter and avoiding instruction-selection fallbacks; StructPairs keeps
+/// them as opaque two-lane values flowing through pack/extract
+/// instructions (the old {i64,i64} struct representation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_TRANSLATE_H
+#define QCF_MLVM_TRANSLATE_H
+
+#include "mlvm/Ir.h"
+#include "qir/Function.h"
+#include <memory>
+
+namespace qcf::mlvm {
+
+enum class D128Mode : uint8_t {
+  SplitPairs,  ///< d128 -> two i64 values (except call returns).
+  StructPairs, ///< d128 values stay opaque two-lane values.
+};
+
+/// Translates \p F. Functions with d128 parameters get two i64 parameters
+/// per d128 in split mode (the entry ABI is by-lane anyway).
+std::unique_ptr<MFunction> translateToMlvm(const qir::Function &F,
+                                           D128Mode Mode);
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_TRANSLATE_H

@@ -1,0 +1,149 @@
+//===- qir/Cfg.cpp - CFG analyses over QIR --------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qir/Cfg.h"
+#include <algorithm>
+
+using namespace qcf;
+using namespace qcf::qir;
+
+CfgInfo::CfgInfo(const Function &F) {
+  uint32_t N = F.numBlocks();
+  Preds.resize(N);
+  RpoIndex.assign(N, INVALID_BLOCK);
+
+  // Post-order DFS from entry using an explicit stack.
+  std::vector<uint8_t> State(N, 0); // 0 = unvisited, 1 = on stack, 2 = done
+  std::vector<std::pair<BlockId, unsigned>> Stack;
+  std::vector<BlockId> PostOrder;
+  PostOrder.reserve(N);
+
+  if (N != 0) {
+    Stack.push_back({0, 0});
+    State[0] = 1;
+  }
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const Inst &Term = F.terminator(B);
+    unsigned NumSucc = F.numSuccessors(Term);
+    if (NextSucc < NumSucc) {
+      BlockId S = F.successor(Term, NextSucc++);
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      State[B] = 2;
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (uint32_t I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  // Predecessors, restricted to reachable blocks. A block branching to the
+  // same successor on both edges counts as one predecessor (phi incomings
+  // are per-predecessor, not per-edge).
+  for (BlockId B : Rpo) {
+    const Inst &Term = F.terminator(B);
+    for (unsigned I = 0, E = F.numSuccessors(Term); I != E; ++I) {
+      BlockId S = F.successor(Term, I);
+      std::vector<BlockId> &P = Preds[S];
+      if (P.empty() || P.back() != B)
+        P.push_back(B);
+    }
+  }
+}
+
+DomTree::DomTree(const Function &F, const CfgInfo &Cfg) : Cfg(Cfg) {
+  uint32_t N = F.numBlocks();
+  Idom.assign(N, INVALID_BLOCK);
+  const std::vector<BlockId> &Rpo = Cfg.rpo();
+  if (Rpo.empty())
+    return;
+
+  BlockId Entry = Rpo.front();
+  Idom[Entry] = Entry;
+
+  auto intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (Cfg.rpoIndex(A) > Cfg.rpoIndex(B))
+        A = Idom[A];
+      while (Cfg.rpoIndex(B) > Cfg.rpoIndex(A))
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I != Rpo.size(); ++I) {
+      BlockId B = Rpo[I];
+      BlockId NewIdom = INVALID_BLOCK;
+      for (BlockId P : Cfg.preds(B)) {
+        if (Idom[P] == INVALID_BLOCK)
+          continue; // Not yet processed.
+        NewIdom = NewIdom == INVALID_BLOCK ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom != Idom[B]) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  // Entry's idom is conventionally "none".
+  Idom[Entry] = INVALID_BLOCK;
+}
+
+bool DomTree::dominates(BlockId A, BlockId B) const {
+  if (!Cfg.isReachable(A) || !Cfg.isReachable(B))
+    return false;
+  // Walk B's idom chain; RPO index strictly decreases, so this terminates.
+  while (B != INVALID_BLOCK) {
+    if (A == B)
+      return true;
+    if (Cfg.rpoIndex(B) <= Cfg.rpoIndex(A))
+      return false;
+    B = Idom[B];
+  }
+  return false;
+}
+
+LoopInfo::LoopInfo(const Function &F, const CfgInfo &Cfg, const DomTree &DT) {
+  uint32_t N = F.numBlocks();
+  Depth.assign(N, 0);
+  Header.assign(N, false);
+
+  // For each back edge Tail -> Head, all blocks in the natural loop body
+  // (found by a reverse flood from Tail stopping at Head) get +1 depth.
+  for (BlockId Tail : Cfg.rpo()) {
+    const Inst &Term = F.terminator(Tail);
+    for (unsigned I = 0, E = F.numSuccessors(Term); I != E; ++I) {
+      BlockId Head = F.successor(Term, I);
+      if (!DT.dominates(Head, Tail))
+        continue;
+      ++NumLoops;
+      Header[Head] = true;
+      std::vector<BlockId> Work{Tail};
+      std::vector<bool> InLoop(N, false);
+      InLoop[Head] = true;
+      ++Depth[Head];
+      while (!Work.empty()) {
+        BlockId B = Work.back();
+        Work.pop_back();
+        if (InLoop[B])
+          continue;
+        InLoop[B] = true;
+        ++Depth[B];
+        for (BlockId P : Cfg.preds(B))
+          Work.push_back(P);
+      }
+    }
+  }
+}

@@ -1,0 +1,83 @@
+//===- qir/Cfg.h - CFG analyses over QIR ------------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow analyses shared by the back-ends: predecessor lists,
+/// reverse post-order, dominator tree (Cooper-Harvey-Kennedy), and natural
+/// loop detection. The DirectEmit back-end runs exactly these analyses in
+/// its single analysis pass (§VII); Craneline and MLVM reuse them where
+/// their originals would compute the same information.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_QIR_CFG_H
+#define QCF_QIR_CFG_H
+
+#include "qir/Function.h"
+#include <vector>
+
+namespace qcf::qir {
+
+/// Predecessor lists and block layout order helpers.
+class CfgInfo {
+public:
+  explicit CfgInfo(const Function &F);
+
+  const std::vector<BlockId> &preds(BlockId B) const { return Preds[B]; }
+  unsigned numPreds(BlockId B) const {
+    return static_cast<unsigned>(Preds[B].size());
+  }
+
+  /// Blocks in reverse post-order of a DFS from entry. Unreachable blocks
+  /// are excluded.
+  const std::vector<BlockId> &rpo() const { return Rpo; }
+
+  /// Position of \p B in the RPO sequence (UINT32_MAX if unreachable).
+  uint32_t rpoIndex(BlockId B) const { return RpoIndex[B]; }
+
+  bool isReachable(BlockId B) const { return RpoIndex[B] != INVALID_BLOCK; }
+
+private:
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<BlockId> Rpo;
+  std::vector<uint32_t> RpoIndex;
+};
+
+/// Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+class DomTree {
+public:
+  DomTree(const Function &F, const CfgInfo &Cfg);
+
+  /// Immediate dominator (INVALID_BLOCK for entry / unreachable blocks).
+  BlockId idom(BlockId B) const { return Idom[B]; }
+
+  /// True iff \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+private:
+  const CfgInfo &Cfg;
+  std::vector<BlockId> Idom;
+};
+
+/// Natural loop info: loop depth per block, derived from back edges
+/// (an edge B -> H where H dominates B).
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const CfgInfo &Cfg, const DomTree &DT);
+
+  unsigned loopDepth(BlockId B) const { return Depth[B]; }
+  bool isLoopHeader(BlockId B) const { return Header[B]; }
+  unsigned numLoops() const { return NumLoops; }
+
+private:
+  std::vector<unsigned> Depth;
+  std::vector<bool> Header;
+  unsigned NumLoops = 0;
+};
+
+} // namespace qcf::qir
+
+#endif // QCF_QIR_CFG_H

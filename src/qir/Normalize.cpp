@@ -1,0 +1,62 @@
+//===- qir/Normalize.cpp - Block layout normalization ----------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reorders a function's block table so block indexes follow layout order
+/// (ascending Begin offsets) and remaps every block reference. Code
+/// generators that create forward block ids out of layout order call this
+/// once after building a function, restoring the invariant that block i+1
+/// is block i's fallthrough.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qir/Function.h"
+#include <algorithm>
+#include <numeric>
+
+using namespace qcf;
+using namespace qcf::qir;
+
+void qir::normalizeLayout(Function &F) {
+  uint32_t N = F.numBlocks();
+  std::vector<uint32_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return F.block(A).Begin < F.block(B).Begin;
+  });
+
+  bool Sorted = true;
+  for (uint32_t I = 0; I != N; ++I)
+    Sorted &= Order[I] == I;
+  if (Sorted)
+    return;
+
+  std::vector<uint32_t> Remap(N);
+  for (uint32_t NewId = 0; NewId != N; ++NewId)
+    Remap[Order[NewId]] = NewId;
+
+  std::vector<Block> NewBlocks(N);
+  for (uint32_t NewId = 0; NewId != N; ++NewId)
+    NewBlocks[NewId] = F.block(Order[NewId]);
+  F.Blocks = std::move(NewBlocks);
+
+  for (Inst &I : F.Insts) {
+    switch (I.Op) {
+    case Opcode::Br:
+      I.A = Remap[I.A];
+      break;
+    case Opcode::CondBr:
+      I.B = Remap[I.B];
+      I.C = Remap[I.C];
+      break;
+    default:
+      break;
+    }
+  }
+  for (PhiIn &In : F.PhiIns)
+    if (In.Pred != INVALID_BLOCK)
+      In.Pred = Remap[In.Pred];
+}

@@ -1,0 +1,266 @@
+//===- qir/Opcode.h - QIR instruction opcodes -------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// QIR opcodes. The set matches what the paper says compiled queries need
+/// (§III): overflow-trapping decimal arithmetic, crc32 and long-mul-fold
+/// hash primitives, rotates, 128-bit integers, by-value 16-byte data
+/// values, runtime calls, loads/stores through getelementptr-style
+/// addressing, and atomics for morsel-parallel shared data structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_QIR_OPCODE_H
+#define QCF_QIR_OPCODE_H
+
+#include "support/Compiler.h"
+#include <cstdint>
+
+namespace qcf::qir {
+
+/// Instruction kind categories used by the verifier, printer, and back-ends
+/// to dispatch generically over operand shapes.
+enum class OpKind : uint8_t {
+  Const,  ///< No value operands; payload in Imm / pools.
+  Unary,  ///< One value operand in A.
+  Binary, ///< Two value operands in A, B.
+  Cmp,    ///< Two value operands in A, B; predicate in Flags.
+  Select, ///< Three value operands in A (cond), B, C.
+  Mem,    ///< Memory access; see per-opcode comments.
+  Call,   ///< Runtime call; args in the CallArgs pool.
+  Phi,    ///< Incomings in the PhiIns pool.
+  Term,   ///< Terminator; block ids in A/B/C.
+  Other,  ///< Anything else (Param, StackSlot, pack/extract).
+};
+
+// X-macro: NAME, MNEMONIC, NUM_VALUE_OPERANDS, KIND
+#define QIR_OPCODES(X)                                                        \
+  /* Constants and parameters. */                                            \
+  X(ConstInt, "const", 0, Const)     /* Imm = sign-extended value */          \
+  X(ConstI128, "const.i128", 0, Const) /* A = index into I128 pool */         \
+  X(ConstF64, "const.f64", 0, Const)   /* Imm = IEEE-754 bit pattern */       \
+  X(ConstPtr, "const.ptr", 0, Const)   /* Imm = raw address */                \
+  X(Param, "param", 0, Other)          /* A = parameter index */              \
+  X(StackSlot, "stackslot", 0, Other)  /* Imm = size in bytes; yields ptr */  \
+  /* Integer arithmetic (i8..i128). */                                       \
+  X(Add, "add", 2, Binary)                                                    \
+  X(Sub, "sub", 2, Binary)                                                    \
+  X(Mul, "mul", 2, Binary)                                                    \
+  X(SDiv, "sdiv", 2, Binary) /* traps on zero divisor / overflow */           \
+  X(UDiv, "udiv", 2, Binary) /* traps on zero divisor */                      \
+  X(SRem, "srem", 2, Binary) /* traps on zero divisor */                      \
+  X(And, "and", 2, Binary)                                                    \
+  X(Or, "or", 2, Binary)                                                      \
+  X(Xor, "xor", 2, Binary)                                                    \
+  /* Shifts/rotates: the amount must be < the operand bit width;          */ \
+  /* larger amounts are undefined (back-ends mask at different widths,    */ \
+  /* matching LLVM's poison semantics). Query codegen never emits them.   */ \
+  X(Shl, "shl", 2, Binary)                                                    \
+  X(LShr, "lshr", 2, Binary)                                                  \
+  X(AShr, "ashr", 2, Binary)                                                  \
+  X(RotR, "rotr", 2, Binary)                                                  \
+  X(Neg, "neg", 1, Unary)                                                     \
+  X(Not, "not", 1, Unary)                                                     \
+  /* Overflow-trapping arithmetic for SQL semantics (§III-A). */              \
+  X(SAddTrap, "saddtrap", 2, Binary)                                          \
+  X(SSubTrap, "ssubtrap", 2, Binary)                                          \
+  X(SMulTrap, "smultrap", 2, Binary)                                          \
+  /* Hashing primitives (§III-A). */                                         \
+  X(Crc32, "crc32", 2, Binary)          /* i64 seed, i64 value -> i64 */      \
+  X(LongMulFold, "lmulfold", 2, Binary) /* 64x64->128, fold xor -> i64 */     \
+  /* Floating point. */                                                      \
+  X(FAdd, "fadd", 2, Binary)                                                  \
+  X(FSub, "fsub", 2, Binary)                                                  \
+  X(FMul, "fmul", 2, Binary)                                                  \
+  X(FDiv, "fdiv", 2, Binary)                                                  \
+  X(FNeg, "fneg", 1, Unary)                                                   \
+  /* Comparisons; predicate in Flags, result i1. */                          \
+  X(ICmp, "icmp", 2, Cmp)                                                     \
+  X(FCmp, "fcmp", 2, Cmp)                                                     \
+  X(Select, "select", 3, Select)                                              \
+  /* Conversions. */                                                         \
+  X(ZExt, "zext", 1, Unary)                                                   \
+  X(SExt, "sext", 1, Unary)                                                   \
+  X(Trunc, "trunc", 1, Unary)                                                 \
+  X(SIToFP, "sitofp", 1, Unary)                                               \
+  X(FPToSI, "fptosi", 1, Unary)                                               \
+  X(Bitcast, "bitcast", 1, Unary) /* i64<->f64, ptr<->i64 */                  \
+  /* Two-lane data values. */                                                \
+  X(PackD128, "pack.d128", 2, Binary) /* lo i64, hi i64 -> d128 */            \
+  X(ExtractLo, "extract.lo", 1, Unary) /* d128/i128 -> i64 */                 \
+  X(ExtractHi, "extract.hi", 1, Unary) /* d128/i128 -> i64 */                 \
+  X(PackI128, "pack.i128", 2, Binary) /* lo i64, hi i64 -> i128 */            \
+  /* Memory. Gep: A = base, B = optional index, C = scale, Imm = offset. */  \
+  X(Load, "load", 1, Mem)                                                     \
+  X(Store, "store", 2, Mem)                                                   \
+  X(Gep, "gep", 1, Mem)                                                       \
+  X(AtomicAdd, "atomicadd", 2, Mem) /* A = ptr, B = value; returns old */     \
+  /* Calls into the runtime; Imm = symbol id, args in CallArgs pool. */      \
+  X(Call, "call", 0, Call)                                                    \
+  /* SSA phi; incomings in PhiIns pool (A = offset, B = count). */           \
+  X(Phi, "phi", 0, Phi)                                                       \
+  /* Terminators. */                                                         \
+  X(Br, "br", 0, Term)      /* A = target block */                            \
+  X(CondBr, "condbr", 0, Term) /* A = cond value, B = true, C = false */      \
+  X(Ret, "ret", 0, Term)       /* A = value or INVALID_VALUE */               \
+  X(Unreachable, "unreachable", 0, Term)
+
+enum class Opcode : uint16_t {
+#define X(NAME, STR, NOPS, KIND) NAME,
+  QIR_OPCODES(X)
+#undef X
+};
+
+inline const char *opcodeName(Opcode Op) {
+  switch (Op) {
+#define X(NAME, STR, NOPS, KIND)                                              \
+  case Opcode::NAME:                                                          \
+    return STR;
+    QIR_OPCODES(X)
+#undef X
+  }
+  QCF_UNREACHABLE("invalid opcode");
+}
+
+inline OpKind opcodeKind(Opcode Op) {
+  switch (Op) {
+#define X(NAME, STR, NOPS, KIND)                                              \
+  case Opcode::NAME:                                                          \
+    return OpKind::KIND;
+    QIR_OPCODES(X)
+#undef X
+  }
+  QCF_UNREACHABLE("invalid opcode");
+}
+
+/// Number of A/B/C slots that hold SSA value ids (Phi/Call/Term excluded).
+inline unsigned numValueOperands(Opcode Op) {
+  switch (Op) {
+#define X(NAME, STR, NOPS, KIND)                                              \
+  case Opcode::NAME:                                                          \
+    return NOPS;
+    QIR_OPCODES(X)
+#undef X
+  }
+  QCF_UNREACHABLE("invalid opcode");
+}
+
+inline bool isTerminator(Opcode Op) { return opcodeKind(Op) == OpKind::Term; }
+
+/// Instructions with side effects must not be eliminated or duplicated.
+inline bool hasSideEffects(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::AtomicAdd:
+  case Opcode::Call:
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::SAddTrap:
+  case Opcode::SSubTrap:
+  case Opcode::SMulTrap:
+    return true;
+  default:
+    return isTerminator(Op);
+  }
+}
+
+/// Comparison predicates (stored in Inst::Flags).
+enum class CmpPred : uint8_t {
+  Eq,
+  Ne,
+  SLt,
+  SLe,
+  SGt,
+  SGe,
+  ULt,
+  ULe,
+  UGt,
+  UGe,
+};
+
+inline const char *cmpPredName(CmpPred P) {
+  switch (P) {
+  case CmpPred::Eq:
+    return "eq";
+  case CmpPred::Ne:
+    return "ne";
+  case CmpPred::SLt:
+    return "slt";
+  case CmpPred::SLe:
+    return "sle";
+  case CmpPred::SGt:
+    return "sgt";
+  case CmpPred::SGe:
+    return "sge";
+  case CmpPred::ULt:
+    return "ult";
+  case CmpPred::ULe:
+    return "ule";
+  case CmpPred::UGt:
+    return "ugt";
+  case CmpPred::UGe:
+    return "uge";
+  }
+  QCF_UNREACHABLE("invalid predicate");
+}
+
+/// Swaps the operand order of a predicate (a P b == b swap(P) a).
+inline CmpPred swapCmpPred(CmpPred P) {
+  switch (P) {
+  case CmpPred::Eq:
+  case CmpPred::Ne:
+    return P;
+  case CmpPred::SLt:
+    return CmpPred::SGt;
+  case CmpPred::SLe:
+    return CmpPred::SGe;
+  case CmpPred::SGt:
+    return CmpPred::SLt;
+  case CmpPred::SGe:
+    return CmpPred::SLe;
+  case CmpPred::ULt:
+    return CmpPred::UGt;
+  case CmpPred::ULe:
+    return CmpPred::UGe;
+  case CmpPred::UGt:
+    return CmpPred::ULt;
+  case CmpPred::UGe:
+    return CmpPred::ULe;
+  }
+  QCF_UNREACHABLE("invalid predicate");
+}
+
+/// Inverts a predicate (a P b == !(a inv(P) b)).
+inline CmpPred invertCmpPred(CmpPred P) {
+  switch (P) {
+  case CmpPred::Eq:
+    return CmpPred::Ne;
+  case CmpPred::Ne:
+    return CmpPred::Eq;
+  case CmpPred::SLt:
+    return CmpPred::SGe;
+  case CmpPred::SLe:
+    return CmpPred::SGt;
+  case CmpPred::SGt:
+    return CmpPred::SLe;
+  case CmpPred::SGe:
+    return CmpPred::SLt;
+  case CmpPred::ULt:
+    return CmpPred::UGe;
+  case CmpPred::ULe:
+    return CmpPred::UGt;
+  case CmpPred::UGt:
+    return CmpPred::ULe;
+  case CmpPred::UGe:
+    return CmpPred::ULt;
+  }
+  QCF_UNREACHABLE("invalid predicate");
+}
+
+} // namespace qcf::qir
+
+#endif // QCF_QIR_OPCODE_H

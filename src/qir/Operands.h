@@ -1,0 +1,78 @@
+//===- qir/Operands.h - Generic operand iteration ---------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniform iteration over the SSA value operands of an instruction,
+/// independent of its operand shape. Phi incomings are NOT visited (they
+/// are edge uses, not instruction uses); use phiIncomings() for those.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_QIR_OPERANDS_H
+#define QCF_QIR_OPERANDS_H
+
+#include "qir/Function.h"
+
+namespace qcf::qir {
+
+/// Invokes \p Fn(ValueId) for every SSA value operand of \p I.
+template <typename FnT>
+void forEachOperand(const Function &F, const Inst &I, FnT Fn) {
+  switch (opcodeKind(I.Op)) {
+  case OpKind::Const:
+    return;
+  case OpKind::Unary:
+    Fn(I.A);
+    return;
+  case OpKind::Binary:
+  case OpKind::Cmp:
+    Fn(I.A);
+    Fn(I.B);
+    return;
+  case OpKind::Select:
+    Fn(I.A);
+    Fn(I.B);
+    Fn(I.C);
+    return;
+  case OpKind::Mem:
+    switch (I.Op) {
+    case Opcode::Load:
+      Fn(I.A);
+      return;
+    case Opcode::Store:
+    case Opcode::AtomicAdd:
+      Fn(I.A);
+      Fn(I.B);
+      return;
+    case Opcode::Gep:
+      Fn(I.A);
+      if (I.B != INVALID_VALUE)
+        Fn(I.B);
+      return;
+    default:
+      QCF_UNREACHABLE("unexpected mem opcode");
+    }
+  case OpKind::Call:
+    for (unsigned K = 0, E = F.numCallArgs(I); K != E; ++K)
+      Fn(F.callArgs(I)[K]);
+    return;
+  case OpKind::Phi:
+    return; // Edge uses; intentionally not visited.
+  case OpKind::Term:
+    if (I.Op == Opcode::CondBr)
+      Fn(I.A);
+    else if (I.Op == Opcode::Ret && I.A != INVALID_VALUE)
+      Fn(I.A);
+    return;
+  case OpKind::Other:
+    return; // Param, StackSlot: no operands.
+  }
+  QCF_UNREACHABLE("invalid opcode kind");
+}
+
+} // namespace qcf::qir
+
+#endif // QCF_QIR_OPERANDS_H

@@ -1,0 +1,159 @@
+//===- qir/Print.cpp - QIR textual printer --------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qir/Print.h"
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace qcf;
+using namespace qcf::qir;
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+void printInst(std::string &Out, const Function &F, ValueId V) {
+  const Inst &I = F.inst(V);
+  Out += "  ";
+  if (I.Ty != Type::Void)
+    appendf(Out, "%%%u = ", V);
+
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    appendf(Out, "const %s %" PRId64, typeName(I.Ty),
+            static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::ConstI128: {
+    Int128 C = F.i128Constant(I);
+    appendf(Out, "const i128 0x%016" PRIx64 "%016" PRIx64, hi64(C), lo64(C));
+    break;
+  }
+  case Opcode::ConstF64: {
+    double D;
+    __builtin_memcpy(&D, &I.Imm, sizeof(D));
+    // Exact bit pattern (round-trips through the parser); the decimal
+    // rendering is a comment for humans.
+    appendf(Out, "const f64 0x%016" PRIx64 " ; %g", I.Imm, D);
+    break;
+  }
+  case Opcode::ConstPtr:
+    appendf(Out, "const ptr 0x%" PRIx64, I.Imm);
+    break;
+  case Opcode::Param:
+    appendf(Out, "param %s #%u", typeName(I.Ty), I.A);
+    break;
+  case Opcode::StackSlot:
+    appendf(Out, "stackslot %" PRIu64, I.Imm);
+    break;
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    appendf(Out, "%s %s %s %%%u, %%%u", opcodeName(I.Op),
+            cmpPredName(I.cmpPred()), typeName(F.valueType(I.A)), I.A, I.B);
+    break;
+  case Opcode::Select:
+    appendf(Out, "select %%%u, %%%u, %%%u", I.A, I.B, I.C);
+    break;
+  case Opcode::Load:
+    appendf(Out, "load %s, %%%u", typeName(I.Ty), I.A);
+    break;
+  case Opcode::Store:
+    appendf(Out, "store %s %%%u, %%%u", typeName(I.Ty), I.B, I.A);
+    break;
+  case Opcode::Gep:
+    if (I.B == INVALID_VALUE)
+      appendf(Out, "gep %%%u, %" PRId64, I.A, static_cast<int64_t>(I.Imm));
+    else
+      appendf(Out, "gep %%%u, %%%u * %u + %" PRId64, I.A, I.B, I.C,
+              static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::AtomicAdd:
+    appendf(Out, "atomicadd %s %%%u, %%%u", typeName(I.Ty), I.A, I.B);
+    break;
+  case Opcode::Call: {
+    const RuntimeSig &Sig = F.parent()->symbol(F.callee(I));
+    appendf(Out, "call %s @%s(", typeName(I.Ty), Sig.Name.c_str());
+    for (unsigned K = 0, E = F.numCallArgs(I); K != E; ++K)
+      appendf(Out, "%s%%%u", K ? ", " : "", F.callArgs(I)[K]);
+    Out += ")";
+    break;
+  }
+  case Opcode::Phi: {
+    appendf(Out, "phi %s ", typeName(I.Ty));
+    for (unsigned K = 0, E = F.numPhiIncomings(I); K != E; ++K) {
+      const PhiIn &In = F.phiIncomings(I)[K];
+      appendf(Out, "%s[b%u: %%%u]", K ? ", " : "", In.Pred, In.Val);
+    }
+    break;
+  }
+  case Opcode::Br:
+    appendf(Out, "br b%u", I.A);
+    break;
+  case Opcode::CondBr:
+    appendf(Out, "condbr %%%u, b%u, b%u", I.A, I.B, I.C);
+    break;
+  case Opcode::Ret:
+    if (I.A == INVALID_VALUE)
+      Out += "ret";
+    else
+      appendf(Out, "ret %%%u", I.A);
+    break;
+  case Opcode::Unreachable:
+    Out += "unreachable";
+    break;
+  default:
+    switch (numValueOperands(I.Op)) {
+    case 1:
+      appendf(Out, "%s %s %%%u", opcodeName(I.Op), typeName(I.Ty), I.A);
+      break;
+    case 2:
+      appendf(Out, "%s %s %%%u, %%%u", opcodeName(I.Op), typeName(I.Ty), I.A,
+              I.B);
+      break;
+    default:
+      appendf(Out, "%s %s", opcodeName(I.Op), typeName(I.Ty));
+      break;
+    }
+    break;
+  }
+  Out += "\n";
+}
+
+} // namespace
+
+std::string qir::printFunction(const Function &F) {
+  std::string Out;
+  appendf(Out, "define %s @%s(", typeName(F.returnType()), F.name().c_str());
+  for (unsigned I = 0; I != F.numParams(); ++I)
+    appendf(Out, "%s%s", I ? ", " : "", typeName(F.paramTypes()[I]));
+  Out += ") {\n";
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    appendf(Out, "b%u:\n", B);
+    for (uint32_t I = F.block(B).Begin; I != F.block(B).End; ++I)
+      printInst(Out, F, I);
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string qir::printModule(const Module &M) {
+  std::string Out;
+  for (const auto &F : M.functions()) {
+    Out += printFunction(*F);
+    Out += "\n";
+  }
+  return Out;
+}

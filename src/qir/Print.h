@@ -1,0 +1,29 @@
+//===- qir/Print.h - QIR textual printer ------------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders QIR functions in a textual form similar to the paper's
+/// Listings 1 and 2, for debugging and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_QIR_PRINT_H
+#define QCF_QIR_PRINT_H
+
+#include "qir/Function.h"
+#include <string>
+
+namespace qcf::qir {
+
+/// Renders \p F as text.
+std::string printFunction(const Function &F);
+
+/// Renders all functions of \p M.
+std::string printModule(const Module &M);
+
+} // namespace qcf::qir
+
+#endif // QCF_QIR_PRINT_H

@@ -1,0 +1,68 @@
+//===- runtime/Trap.h - Overflow/error traps for compiled code --*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trap channel for compiled queries. Umbra uses C++ exceptions for
+/// error handling and registers DWARF unwind information for all compiled
+/// functions (§III-A). QCF substitutes a setjmp/longjmp channel: generated
+/// code calls rt_trap on overflow or division errors and control returns to
+/// the nearest TrapGuard. Back-ends still *emit* unwind side tables so the
+/// compile-time cost of producing that data is modeled; the tables are just
+/// not consumed by a C++ unwinder. Generated frames hold no destructors, so
+/// skipping them with longjmp is safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_RUNTIME_TRAP_H
+#define QCF_RUNTIME_TRAP_H
+
+#include <csetjmp>
+#include <cstdint>
+
+namespace qcf::rt {
+
+/// Trap reason codes passed to rt_trap.
+enum class TrapCode : uint64_t {
+  None = 0,
+  Overflow = 1,
+  DivByZero = 2,
+};
+
+const char *trapCodeName(TrapCode Code);
+
+namespace detail {
+struct TrapFrame {
+  std::jmp_buf Buf;
+  TrapFrame *Prev;
+};
+extern thread_local TrapFrame *CurrentTrapFrame;
+} // namespace detail
+
+/// Runs \p Fn with a trap guard installed. \returns TrapCode::None if \p Fn
+/// completed, or the code of the trap that aborted it.
+template <typename FnT> TrapCode runWithTrapGuard(FnT &&Fn) {
+  detail::TrapFrame Frame;
+  Frame.Prev = detail::CurrentTrapFrame;
+  detail::CurrentTrapFrame = &Frame;
+  TrapCode Result = TrapCode::None;
+  int Jumped = setjmp(Frame.Buf);
+  if (Jumped == 0)
+    Fn();
+  else
+    Result = static_cast<TrapCode>(Jumped);
+  detail::CurrentTrapFrame = Frame.Prev;
+  return Result;
+}
+
+} // namespace qcf::rt
+
+extern "C" {
+/// Aborts the current query with \p Code. Called by generated code on
+/// overflow and by runtime helpers on arithmetic errors. Never returns.
+[[noreturn]] void rt_trap(uint64_t Code);
+}
+
+#endif // QCF_RUNTIME_TRAP_H

@@ -1,0 +1,119 @@
+//===- support/Bitset.h - Dense dynamic bitset ------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense dynamically sized bitset used for liveness analysis (DirectEmit's
+/// block-granularity liveness, MLVM's register liveness) and dominator sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_SUPPORT_BITSET_H
+#define QCF_SUPPORT_BITSET_H
+
+#include "support/Compiler.h"
+#include <cstdint>
+#include <vector>
+
+namespace qcf {
+
+/// Fixed-universe dense bitset with the set operations compilers need.
+class Bitset {
+public:
+  Bitset() = default;
+  explicit Bitset(size_t NumBits)
+      : Words((NumBits + 63) / 64, 0), NumBits(NumBits) {}
+
+  size_t size() const { return NumBits; }
+
+  void resize(size_t NewBits) {
+    Words.resize((NewBits + 63) / 64, 0);
+    NumBits = NewBits;
+  }
+
+  bool test(size_t I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  void set(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  }
+
+  void reset(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= Other. \returns true if this changed.
+  bool unionWith(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "bitset universe mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// this &= ~Other.
+  void subtract(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "bitset universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  /// this &= Other.
+  void intersectWith(const Bitset &Other) {
+    assert(NumBits == Other.NumBits && "bitset universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= Other.Words[I];
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t Total = 0;
+    for (uint64_t W : Words)
+      Total += static_cast<size_t>(__builtin_popcountll(W));
+    return Total;
+  }
+
+  bool operator==(const Bitset &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+  /// Invokes \p Fn for every set bit index in ascending order.
+  template <typename FnT> void forEachSetBit(FnT Fn) const {
+    for (size_t WI = 0, WE = Words.size(); WI != WE; ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t NumBits = 0;
+};
+
+} // namespace qcf
+
+#endif // QCF_SUPPORT_BITSET_H

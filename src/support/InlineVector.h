@@ -1,0 +1,225 @@
+//===- support/InlineVector.h - Vector with inline storage ------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with small-size inline storage, in the spirit of
+/// llvm::SmallVector. Most IR instructions have 0-3 operands and most basic
+/// blocks have 1-2 successors, so avoiding a heap allocation for the common
+/// case measurably reduces compile time — one of the themes of the
+/// reproduced paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_SUPPORT_INLINEVECTOR_H
+#define QCF_SUPPORT_INLINEVECTOR_H
+
+#include "support/Compiler.h"
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace qcf {
+
+/// Vector with \p N elements of inline storage before spilling to the heap.
+/// Only supports trivially copyable or movable element types used in QCF.
+template <typename T, unsigned N> class InlineVector {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  InlineVector() : Data(inlineData()), Size(0), Capacity(N) {}
+
+  InlineVector(std::initializer_list<T> Init) : InlineVector() {
+    reserve(Init.size());
+    for (const T &V : Init)
+      push_back(V);
+  }
+
+  InlineVector(const InlineVector &Other) : InlineVector() {
+    reserve(Other.Size);
+    for (size_t I = 0; I != Other.Size; ++I)
+      new (Data + I) T(Other.Data[I]);
+    Size = Other.Size;
+  }
+
+  InlineVector(InlineVector &&Other) noexcept : InlineVector() {
+    if (Other.isInline()) {
+      for (size_t I = 0; I != Other.Size; ++I)
+        new (Data + I) T(std::move(Other.Data[I]));
+      Size = Other.Size;
+      Other.clear();
+    } else {
+      Data = Other.Data;
+      Size = Other.Size;
+      Capacity = Other.Capacity;
+      Other.Data = Other.inlineData();
+      Other.Size = 0;
+      Other.Capacity = N;
+    }
+  }
+
+  InlineVector &operator=(const InlineVector &Other) {
+    if (this == &Other)
+      return *this;
+    clear();
+    reserve(Other.Size);
+    for (size_t I = 0; I != Other.Size; ++I)
+      new (Data + I) T(Other.Data[I]);
+    Size = Other.Size;
+    return *this;
+  }
+
+  InlineVector &operator=(InlineVector &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    destroyAll();
+    if (Other.isInline()) {
+      Data = inlineData();
+      Capacity = N;
+      for (size_t I = 0; I != Other.Size; ++I)
+        new (Data + I) T(std::move(Other.Data[I]));
+      Size = Other.Size;
+      Other.clear();
+    } else {
+      Data = Other.Data;
+      Size = Other.Size;
+      Capacity = Other.Capacity;
+      Other.Data = Other.inlineData();
+      Other.Size = 0;
+      Other.Capacity = N;
+    }
+    return *this;
+  }
+
+  ~InlineVector() { destroyAll(); }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "InlineVector index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "InlineVector index out of range");
+    return Data[I];
+  }
+
+  T &front() { return (*this)[0]; }
+  T &back() { return (*this)[Size - 1]; }
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Size - 1]; }
+
+  void push_back(const T &V) {
+    if (QCF_UNLIKELY(Size == Capacity))
+      grow(Size + 1);
+    new (Data + Size) T(V);
+    ++Size;
+  }
+
+  void push_back(T &&V) {
+    if (QCF_UNLIKELY(Size == Capacity))
+      grow(Size + 1);
+    new (Data + Size) T(std::move(V));
+    ++Size;
+  }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    if (QCF_UNLIKELY(Size == Capacity))
+      grow(Size + 1);
+    T *Slot = new (Data + Size) T(std::forward<Args>(A)...);
+    ++Size;
+    return *Slot;
+  }
+
+  void pop_back() {
+    assert(Size && "pop_back on empty InlineVector");
+    --Size;
+    Data[Size].~T();
+  }
+
+  void clear() {
+    destroyElems();
+    Size = 0;
+  }
+
+  void resize(size_t NewSize) {
+    if (NewSize < Size) {
+      for (size_t I = NewSize; I != Size; ++I)
+        Data[I].~T();
+    } else {
+      reserve(NewSize);
+      for (size_t I = Size; I != NewSize; ++I)
+        new (Data + I) T();
+    }
+    Size = NewSize;
+  }
+
+  void reserve(size_t NewCap) {
+    if (NewCap > Capacity)
+      grow(NewCap);
+  }
+
+  void append(const T *First, const T *Last) {
+    reserve(Size + (Last - First));
+    for (const T *I = First; I != Last; ++I)
+      push_back(*I);
+  }
+
+  bool operator==(const InlineVector &Other) const {
+    return Size == Other.Size && std::equal(begin(), end(), Other.begin());
+  }
+
+private:
+  bool isInline() const { return Data == inlineData(); }
+  T *inlineData() { return reinterpret_cast<T *>(InlineStorage); }
+  const T *inlineData() const {
+    return reinterpret_cast<const T *>(InlineStorage);
+  }
+
+  void grow(size_t MinCap) {
+    size_t NewCap = std::max(Capacity * 2, MinCap);
+    T *NewData = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    for (size_t I = 0; I != Size; ++I) {
+      new (NewData + I) T(std::move(Data[I]));
+      Data[I].~T();
+    }
+    if (!isInline())
+      ::operator delete(Data);
+    Data = NewData;
+    Capacity = NewCap;
+  }
+
+  void destroyElems() {
+    for (size_t I = 0; I != Size; ++I)
+      Data[I].~T();
+  }
+
+  void destroyAll() {
+    destroyElems();
+    if (!isInline())
+      ::operator delete(Data);
+  }
+
+  alignas(T) char InlineStorage[sizeof(T) * N];
+  T *Data;
+  size_t Size;
+  size_t Capacity;
+};
+
+} // namespace qcf
+
+#endif // QCF_SUPPORT_INLINEVECTOR_H

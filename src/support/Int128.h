@@ -1,0 +1,85 @@
+//===- support/Int128.h - 128-bit arithmetic with overflow ------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 128-bit integer helpers. SQL decimals are represented as 128-bit integers
+/// (paper §III-A) and every arithmetic operation on user data carries an
+/// overflow check, so both the runtime library and the compiled code paths
+/// need overflow-reporting 128-bit primitives. The hand-optimized
+/// multiplication with a 64-bit fast path mirrors the custom implementation
+/// the paper describes for the LLVM and Cranelift back-ends (§V-A1, §VI-A1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_SUPPORT_INT128_H
+#define QCF_SUPPORT_INT128_H
+
+#include <cstdint>
+
+namespace qcf {
+
+using Int128 = __int128;
+using UInt128 = unsigned __int128;
+
+/// Builds an Int128 from its low/high 64-bit halves.
+inline Int128 makeInt128(uint64_t Lo, uint64_t Hi) {
+  return static_cast<Int128>(
+      (static_cast<UInt128>(Hi) << 64) | static_cast<UInt128>(Lo));
+}
+
+inline uint64_t lo64(Int128 V) { return static_cast<uint64_t>(V); }
+inline uint64_t hi64(Int128 V) {
+  return static_cast<uint64_t>(static_cast<UInt128>(V) >> 64);
+}
+
+/// \returns true iff the addition overflowed.
+inline bool addOverflow128(Int128 A, Int128 B, Int128 *Result) {
+  return __builtin_add_overflow(A, B, Result);
+}
+
+/// \returns true iff the subtraction overflowed.
+inline bool subOverflow128(Int128 A, Int128 B, Int128 *Result) {
+  return __builtin_sub_overflow(A, B, Result);
+}
+
+/// \returns true iff \p V fits in a signed 64-bit integer.
+inline bool fitsInInt64(Int128 V) {
+  return V >= -(static_cast<Int128>(1) << 63) &&
+         V < (static_cast<Int128>(1) << 63);
+}
+
+/// Hand-optimized 128-bit multiplication with overflow detection.
+///
+/// Fast path: when both operands fit in 64 bits — the overwhelmingly common
+/// case for decimals — a single 64x64→128 multiply suffices and can never
+/// overflow. The slow path composes partial products and detects overflow
+/// from the discarded high parts.
+///
+/// \returns true iff the multiplication overflowed.
+inline bool mulOverflow128(Int128 A, Int128 B, Int128 *Result) {
+  if (fitsInInt64(A) && fitsInInt64(B)) {
+    *Result = static_cast<Int128>(static_cast<int64_t>(A)) *
+              static_cast<Int128>(static_cast<int64_t>(B));
+    return false;
+  }
+  return __builtin_mul_overflow(A, B, Result);
+}
+
+/// \returns true iff the division overflows (only INT128_MIN / -1) or the
+/// divisor is zero.
+inline bool divOverflow128(Int128 A, Int128 B, Int128 *Result) {
+  if (B == 0)
+    return true;
+  Int128 Min = static_cast<Int128>(1) << 127;
+  if (A == Min && B == -1)
+    return true;
+  *Result = A / B;
+  return false;
+}
+
+} // namespace qcf
+
+#endif // QCF_SUPPORT_INT128_H

@@ -1,0 +1,93 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A xoshiro256** PRNG. All data generation and property-test fuzzing in QCF
+/// is seeded deterministically so every run (and every CI machine) sees the
+/// same tables and the same random IR functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_SUPPORT_RNG_H
+#define QCF_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace qcf {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t X = Seed;
+    for (uint64_t &S : State) {
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      S = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next uniformly distributed 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound && "nextBounded requires a nonzero bound");
+    // Rejection-free multiply-shift reduction; slight bias is acceptable for
+    // synthetic workloads.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBounded(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+  /// Approximately Zipf-distributed value in [0, N) with skew \p Theta.
+  /// Used by the data generators to model skewed join/group keys.
+  uint64_t nextZipf(uint64_t N, double Theta = 0.99) {
+    // Inverse-CDF approximation: u^(1/(1-theta)) concentrates mass at 0.
+    double U = nextDouble();
+    double Exp = 1.0 / (1.0 - Theta);
+    double V = __builtin_pow(U, Exp > 20 ? 20 : Exp);
+    uint64_t R = static_cast<uint64_t>(V * static_cast<double>(N));
+    return R >= N ? N - 1 : R;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace qcf
+
+#endif // QCF_SUPPORT_RNG_H

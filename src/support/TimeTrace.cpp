@@ -1,0 +1,76 @@
+//===- support/TimeTrace.cpp - Hierarchical compile-time tracing ---------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TimeTrace.h"
+#include <algorithm>
+#include <cstdio>
+
+using namespace qcf;
+
+thread_local TimeTraceScope *TimeTraceScope::CurrentScope = nullptr;
+
+uint64_t TimeTrace::selfNsWithPrefix(const std::string &Prefix) const {
+  uint64_t Sum = 0;
+  for (const auto &[Label, Rec] : Records)
+    if (Label.compare(0, Prefix.size(), Prefix) == 0)
+      Sum += Rec.SelfNs;
+  return Sum;
+}
+
+void TimeTrace::merge(const TimeTrace &Other) {
+  for (const auto &[Label, Rec] : Other.Records) {
+    TimeRecord &R = Records[Label];
+    R.TotalNs += Rec.TotalNs;
+    R.SelfNs += Rec.SelfNs;
+    R.Count += Rec.Count;
+  }
+  NumEvents += Other.NumEvents;
+}
+
+std::string TimeTrace::reportTable() const {
+  std::vector<std::pair<std::string, TimeRecord>> Rows(Records.begin(),
+                                                       Records.end());
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    return A.second.SelfNs > B.second.SelfNs;
+  });
+  uint64_t TotalSelf = 0;
+  for (const auto &[Label, Rec] : Rows)
+    TotalSelf += Rec.SelfNs;
+
+  std::string Out;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "%-40s %10s %12s %12s %7s\n", "label",
+                "count", "total[ms]", "self[ms]", "self%");
+  Out += Buf;
+  for (const auto &[Label, Rec] : Rows) {
+    double Pct = TotalSelf
+                     ? 100.0 * static_cast<double>(Rec.SelfNs) /
+                           static_cast<double>(TotalSelf)
+                     : 0.0;
+    std::snprintf(Buf, sizeof(Buf), "%-40s %10llu %12.3f %12.3f %6.2f%%\n",
+                  Label.c_str(), static_cast<unsigned long long>(Rec.Count),
+                  static_cast<double>(Rec.TotalNs) * 1e-6,
+                  static_cast<double>(Rec.SelfNs) * 1e-6, Pct);
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "(%llu measurement events)\n",
+                static_cast<unsigned long long>(NumEvents));
+  Out += Buf;
+  return Out;
+}
+
+std::string TimeTrace::reportCsv() const {
+  std::string Out = "label,count,total_ns,self_ns\n";
+  char Buf[256];
+  for (const auto &[Label, Rec] : Records) {
+    std::snprintf(Buf, sizeof(Buf), "%s,%llu,%llu,%llu\n", Label.c_str(),
+                  static_cast<unsigned long long>(Rec.Count),
+                  static_cast<unsigned long long>(Rec.TotalNs),
+                  static_cast<unsigned long long>(Rec.SelfNs));
+    Out += Buf;
+  }
+  return Out;
+}

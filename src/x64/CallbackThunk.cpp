@@ -1,0 +1,47 @@
+//===- x64/CallbackThunk.cpp - Closure thunks for host callbacks ----------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/CallbackThunk.h"
+#include "x64/Asm.h"
+#include <cstring>
+
+using namespace qcf;
+using namespace qcf::x64;
+
+void *ThunkAllocator::createThunk(Handler H, void *Ctx) {
+  Assembler A;
+  // Shift integer args right: r9<-r8, r8<-rcx, rcx<-rdx, rdx<-rsi,
+  // rsi<-rdi, then rdi<-ctx; tail-call the handler.
+  A.movRR(Width::W64, Reg::R9, Reg::R8);
+  A.movRR(Width::W64, Reg::R8, Reg::RCX);
+  A.movRR(Width::W64, Reg::RCX, Reg::RDX);
+  A.movRR(Width::W64, Reg::RDX, Reg::RSI);
+  A.movRR(Width::W64, Reg::RSI, Reg::RDI);
+  A.movRI(Reg::RDI, reinterpret_cast<uint64_t>(Ctx));
+  A.movRI(Reg::R10, reinterpret_cast<uint64_t>(H));
+  A.jmpReg(Reg::R10);
+  A.finalize();
+
+  size_t Need = (A.size() + 15) & ~size_t(15);
+  if (Pages.empty() || Pages.back()->isExecutable() ||
+      UsedInLast + Need > Pages.back()->size()) {
+    Pages.push_back(std::make_unique<ExecMemory>(4096));
+    UsedInLast = 0;
+  }
+  uint8_t *Dst = Pages.back()->base() + UsedInLast;
+  std::memcpy(Dst, A.code().data(), A.size());
+  UsedInLast += Need;
+  return Dst;
+}
+
+void ThunkAllocator::finalize() {
+  if (!Pages.empty() && !Pages.back()->isExecutable())
+    Pages.back()->makeExecutable();
+  // Earlier pages were sealed when they filled up; seal any stragglers.
+  for (auto &P : Pages)
+    if (!P->isExecutable())
+      P->makeExecutable();
+}

@@ -1,0 +1,55 @@
+//===- x64/ExecMemory.cpp - Executable JIT memory --------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/ExecMemory.h"
+#include "support/Compiler.h"
+#include <sys/mman.h>
+
+using namespace qcf;
+using namespace qcf::x64;
+
+ExecMemory::~ExecMemory() { release(); }
+
+ExecMemory &ExecMemory::operator=(ExecMemory &&Other) noexcept {
+  if (this != &Other) {
+    release();
+    Base = Other.Base;
+    Size = Other.Size;
+    Executable = Other.Executable;
+    Other.Base = nullptr;
+    Other.Size = 0;
+    Other.Executable = false;
+  }
+  return *this;
+}
+
+void ExecMemory::allocate(size_t Bytes) {
+  release();
+  size_t PageSize = 4096;
+  Size = (Bytes + PageSize - 1) & ~(PageSize - 1);
+  if (Size == 0)
+    Size = PageSize;
+  void *Mem = ::mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    reportFatalError("mmap for JIT code failed");
+  Base = static_cast<uint8_t *>(Mem);
+  Executable = false;
+}
+
+void ExecMemory::makeExecutable() {
+  if (::mprotect(Base, Size, PROT_READ | PROT_EXEC) != 0)
+    reportFatalError("mprotect(PROT_EXEC) failed");
+  Executable = true;
+}
+
+void ExecMemory::release() {
+  if (Base)
+    ::munmap(Base, Size);
+  Base = nullptr;
+  Size = 0;
+  Executable = false;
+}

@@ -1,0 +1,54 @@
+//===- x64/ExecMemory.h - Executable JIT memory -----------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// W^X executable memory for JIT-compiled code: pages are mapped
+/// read/write, filled, then flipped to read/execute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_X64_EXECMEMORY_H
+#define QCF_X64_EXECMEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qcf::x64 {
+
+/// One mapped region of executable memory. Code is copied in while the
+/// region is writable; makeExecutable() seals it.
+class ExecMemory {
+public:
+  ExecMemory() = default;
+  explicit ExecMemory(size_t Bytes) { allocate(Bytes); }
+  ~ExecMemory();
+
+  ExecMemory(const ExecMemory &) = delete;
+  ExecMemory &operator=(const ExecMemory &) = delete;
+  ExecMemory(ExecMemory &&Other) noexcept { *this = static_cast<ExecMemory &&>(Other); }
+  ExecMemory &operator=(ExecMemory &&Other) noexcept;
+
+  /// Maps at least \p Bytes of RW memory.
+  void allocate(size_t Bytes);
+
+  /// Flips the mapping to RX. Writing afterwards is a fault.
+  void makeExecutable();
+
+  uint8_t *base() const { return Base; }
+  size_t size() const { return Size; }
+  bool isExecutable() const { return Executable; }
+
+private:
+  void release();
+
+  uint8_t *Base = nullptr;
+  size_t Size = 0;
+  bool Executable = false;
+};
+
+} // namespace qcf::x64
+
+#endif // QCF_X64_EXECMEMORY_H

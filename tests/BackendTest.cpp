@@ -1,0 +1,223 @@
+//===- tests/BackendTest.cpp - Registry and adaptive back-end tests --------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Registry.h"
+#include "tests/Corpus.h"
+#include "tests/DiffHarness.h"
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace qcf;
+using namespace qcf::test;
+
+TEST(Registry, CreatesEveryTableIIIBackend) {
+  for (const std::string &Name : backend::allBackendNames()) {
+    auto B = backend::createBackend(Name);
+    ASSERT_NE(B, nullptr) << Name;
+    EXPECT_EQ(B->name(), Name);
+  }
+  EXPECT_EQ(backend::createBackend("nonsense"), nullptr);
+}
+
+TEST(Adaptive, StartsFastThenPromotes) {
+  // A function large enough to pass the size heuristic.
+  qir::Module M;
+  qir::Function *F = M.createFunction("hot", {Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId Acc = F->paramValue(0);
+  for (int I = 0; I != 60; ++I)
+    Acc = B.xor_(B.add(Acc, B.constInt(Type::I64, I)), Acc);
+  B.ret(Acc);
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  backend::AdaptiveBackend BE;
+  BE.PromoteAfterRuns = 3;
+  BE.PromoteSizeThreshold = 48;
+  auto Compiled = BE.compile(M, nullptr);
+  auto *AM = static_cast<backend::AdaptiveModule *>(Compiled.get());
+
+  auto Run = [&] {
+    auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t)>("hot");
+    return Fn(7);
+  };
+  uint64_t Before = Run();
+  EXPECT_FALSE(AM->isPromoted());
+  AM->noteExecution("hot");
+  AM->noteExecution("hot");
+  EXPECT_FALSE(AM->isPromoted());
+  bool Promoted = AM->noteExecution("hot");
+  EXPECT_TRUE(Promoted);
+  EXPECT_TRUE(AM->isPromoted());
+  // Identical results from the optimized tier.
+  EXPECT_EQ(Run(), Before);
+}
+
+TEST(Adaptive, SmallFunctionsStayOnFastTier) {
+  qir::Module M;
+  qir::Function *F = M.createFunction("tiny", {Type::I64}, Type::I64);
+  Builder B(F);
+  B.ret(B.add(F->paramValue(0), B.constInt(Type::I64, 1)));
+  backend::AdaptiveBackend BE;
+  auto Compiled = BE.compile(M, nullptr);
+  auto *AM = static_cast<backend::AdaptiveModule *>(Compiled.get());
+  for (int I = 0; I != 10; ++I)
+    AM->noteExecution("tiny");
+  EXPECT_FALSE(AM->isPromoted());
+}
+
+TEST(AllBackends, CorpusDifferentialMatrix) {
+  // Every registered back-end must agree with the interpreter.
+  for (const std::string &Name : backend::allBackendNames()) {
+    if (Name == "Interpreter")
+      continue;
+    SCOPED_TRACE(Name);
+    auto B = backend::createBackend(Name);
+    runCorpusDifferential(*B);
+  }
+}
+
+TEST(Backend, ConcurrentCompilationIsThreadSafe) {
+  // The paper compiles queries on 32 cores; back-ends must be usable
+  // from concurrent threads (MLVM's TargetMachine is cached per thread
+  // for exactly this, §V-A2). Compile and run the corpus from several
+  // threads at once on every in-process back-end.
+  for (const char *Name :
+       {"Interpreter", "DirectEmit", "Craneline", "MLVM-cheap",
+        "MLVM-opt"}) {
+    std::atomic<int> Bad{0};
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != 4; ++T)
+      Threads.emplace_back([&] {
+        test::Corpus C = test::buildCorpus();
+        auto BE = backend::createBackend(Name);
+        for (int R = 0; R != 3; ++R) {
+          auto Compiled = BE->compile(*C.M, nullptr);
+          auto *Add =
+              Compiled->entryAs<uint64_t (*)(uint64_t, uint64_t)>(
+                  "arith64");
+          if (!Add)
+            ++Bad;
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    EXPECT_EQ(Bad.load(), 0) << Name;
+  }
+}
+
+TEST(Backend, LongBranchesEncodeCorrectly) {
+  // A diamond whose sides are long straight-line blocks (~3 KiB of code
+  // each) forces rel32 branch fixups and, in Craneline, exercises the
+  // 15-byte veneer over-estimation (§VI-B). Every back-end must agree
+  // with the interpreter.
+  qir::Module M;
+  qir::Function *F =
+      M.createFunction("longbr", {qir::Type::I64, qir::Type::I64},
+                       qir::Type::I64);
+  qir::Builder B(F);
+  qir::BlockId T = B.createBlock(), E = B.createBlock(),
+               Join = B.createBlock();
+  qir::ValueId Cond =
+      B.icmp(qir::CmpPred::ULt, F->paramValue(0), F->paramValue(1));
+  B.condBr(Cond, T, E);
+
+  auto EmitChain = [&](qir::ValueId Seed, uint64_t Salt) {
+    qir::ValueId V = Seed;
+    for (int I = 0; I != 400; ++I) {
+      V = B.add(V, B.constInt(qir::Type::I64,
+                              static_cast<int64_t>(Salt + I)));
+      V = B.xor_(V, B.lshr(V, B.constInt(qir::Type::I64, 7)));
+    }
+    return V;
+  };
+  B.startBlock(T);
+  qir::ValueId VT = EmitChain(F->paramValue(0), 0x1111);
+  B.br(Join);
+  B.startBlock(E);
+  qir::ValueId VE = EmitChain(F->paramValue(1), 0x2222);
+  B.br(Join);
+  B.startBlock(Join);
+  qir::ValueId Phi = B.phi(qir::Type::I64, 2);
+  B.setPhiIncoming(Phi, 0, T, VT);
+  B.setPhiIncoming(Phi, 1, E, VE);
+  B.ret(Phi);
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  interp::InterpBackend IB;
+  auto Ref = IB.compile(M, nullptr);
+  auto *RefFn = Ref->entryAs<uint64_t (*)(uint64_t, uint64_t)>("longbr");
+  for (const char *Name :
+       {"DirectEmit", "Craneline", "MLVM-cheap", "MLVM-opt"}) {
+    auto BE = backend::createBackend(Name);
+    auto Compiled = BE->compile(M, nullptr);
+    auto *Fn =
+        Compiled->entryAs<uint64_t (*)(uint64_t, uint64_t)>("longbr");
+    for (auto [X, Y] : {std::pair<uint64_t, uint64_t>{1, 2},
+                        {2, 1},
+                        {0xffffffffffffull, 3}})
+      EXPECT_EQ(Fn(X, Y), RefFn(X, Y)) << Name;
+  }
+}
+
+TEST(Backend, SremSdivIntMinEdgeCases) {
+  // srem x, -1 == 0 for every x (including INT_MIN, where a naive idiv
+  // faults); sdiv INT_MIN, -1 traps as overflow. Check every width on
+  // every back-end — regression for a SIGFPE where the 32-bit INT_MIN
+  // guard compared at the wrong width.
+  struct Case {
+    qir::Type Ty;
+    uint64_t Min;
+  };
+  const Case Cases[] = {{qir::Type::I8, 0x80},
+                        {qir::Type::I16, 0x8000},
+                        {qir::Type::I32, 0x80000000ull},
+                        {qir::Type::I64, 0x8000000000000000ull}};
+  for (const Case &C : Cases) {
+    qir::Module M;
+    for (const char *Name : {"rem", "div"}) {
+      qir::Function *F = M.createFunction(
+          Name, {qir::Type::I64, qir::Type::I64}, qir::Type::I64);
+      qir::Builder B(F);
+      qir::ValueId A = C.Ty == qir::Type::I64
+                           ? F->paramValue(0)
+                           : B.trunc(C.Ty, F->paramValue(0));
+      qir::ValueId D = C.Ty == qir::Type::I64
+                           ? F->paramValue(1)
+                           : B.trunc(C.Ty, F->paramValue(1));
+      qir::ValueId R = Name[0] == 'r' ? B.srem(A, D) : B.sdiv(A, D);
+      B.ret(C.Ty == qir::Type::I64 ? R : B.zext(qir::Type::I64, R));
+    }
+    ASSERT_EQ(qir::verify(M), std::nullopt);
+
+    for (const char *Name :
+         {"Interpreter", "DirectEmit", "Craneline", "MLVM-cheap",
+          "MLVM-opt"}) {
+      auto BE = backend::createBackend(Name);
+      auto Compiled = BE->compile(M, nullptr);
+      // srem INT_MIN % -1 == 0, no trap.
+      CaseOutcome Rem =
+          invokeEntry(Compiled->entry("rem"), {C.Min, ~0ull});
+      EXPECT_FALSE(Rem.Trapped)
+          << Name << " srem " << qir::typeName(C.Ty);
+      EXPECT_EQ(Rem.Lo, 0u) << Name << " srem " << qir::typeName(C.Ty);
+      // srem x % -1 == 0 for a normal x too.
+      CaseOutcome Rem2 =
+          invokeEntry(Compiled->entry("rem"), {12345, ~0ull});
+      EXPECT_FALSE(Rem2.Trapped) << Name;
+      EXPECT_EQ(Rem2.Lo, 0u) << Name;
+      // sdiv INT_MIN / -1 traps as overflow.
+      CaseOutcome Div =
+          invokeEntry(Compiled->entry("div"), {C.Min, ~0ull});
+      EXPECT_TRUE(Div.Trapped)
+          << Name << " sdiv " << qir::typeName(C.Ty);
+      // Plain division still works.
+      CaseOutcome Div2 =
+          invokeEntry(Compiled->entry("div"), {100, ~0ull & 0xffffffffull});
+      (void)Div2; // Value checked implicitly by other differential tests.
+    }
+  }
+}

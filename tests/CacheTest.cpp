@@ -1,0 +1,172 @@
+//===- tests/CacheTest.cpp - Compiled-query cache tests -------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the content-addressed compiled-module cache: hash stability
+/// and sensitivity, hit/miss accounting, LRU eviction, handle lifetime,
+/// and plan-level reuse from the query compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/Cache.h"
+#include "backend/Registry.h"
+#include "db/Codegen.h"
+#include "db/Datagen.h"
+#include "db/Queries.h"
+#include "qir/Builder.h"
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace qcf;
+using namespace qcf::qir;
+using namespace qcf::backend;
+
+namespace {
+
+/// Builds `fn(a) = a * K + 7`.
+void buildAffine(qir::Module &M, int64_t K, const char *Name = "f") {
+  qir::Function *F = M.createFunction(Name, {Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId P = B.mul(F->paramValue(0), B.constInt(Type::I64, K));
+  B.ret(B.add(P, B.constInt(Type::I64, 7)));
+}
+
+} // namespace
+
+TEST(Cache, HashStableAcrossRebuilds) {
+  qir::Module M1, M2;
+  buildAffine(M1, 3);
+  buildAffine(M2, 3);
+  EXPECT_EQ(hashModule(M1), hashModule(M2));
+}
+
+TEST(Cache, HashSensitiveToSemantics) {
+  qir::Module M1, M2, M3, M4;
+  buildAffine(M1, 3);
+  buildAffine(M2, 4);            // Different immediate.
+  buildAffine(M3, 3, "g");       // Different name.
+  buildAffine(M4, 3);
+  M4.declareRuntime("rt_extra", Type::I64, {Type::I64}); // Extra symbol.
+  EXPECT_NE(hashModule(M1), hashModule(M2));
+  EXPECT_NE(hashModule(M1), hashModule(M3));
+  EXPECT_NE(hashModule(M1), hashModule(M4));
+}
+
+TEST(Cache, HashIgnoresScratch) {
+  qir::Module M1, M2;
+  buildAffine(M1, 3);
+  buildAffine(M2, 3);
+  // Back-ends are allowed to leave arbitrary Scratch residue behind.
+  for (uint32_t I = 0; I != M2.functions()[0]->numInsts(); ++I)
+    M2.functions()[0]->inst(I).Scratch = 0xdeadbeef;
+  EXPECT_EQ(hashModule(M1), hashModule(M2));
+}
+
+TEST(Cache, HitReturnsWorkingCodeAndCounts) {
+  CachingBackend BE(createBackend("DirectEmit"));
+  qir::Module M;
+  buildAffine(M, 5);
+
+  auto C1 = BE.compile(M, nullptr);
+  auto C2 = BE.compile(M, nullptr);
+  EXPECT_EQ(BE.stats().Misses, 1u);
+  EXPECT_EQ(BE.stats().Hits, 1u);
+  EXPECT_EQ(BE.size(), 1u);
+
+  auto *F1 = C1->entryAs<int64_t (*)(int64_t)>("f");
+  auto *F2 = C2->entryAs<int64_t (*)(int64_t)>("f");
+  EXPECT_EQ(F1, F2) << "hit must reuse the same machine code";
+  EXPECT_EQ(F1(10), 57);
+  C1.reset(); // The other handle must keep the code alive.
+  EXPECT_EQ(F2(1), 12);
+}
+
+TEST(Cache, LruEviction) {
+  CachingBackend BE(createBackend("DirectEmit"), /*Capacity=*/2);
+  qir::Module A, B, C;
+  buildAffine(A, 1);
+  buildAffine(B, 2);
+  buildAffine(C, 3);
+
+  BE.compile(A, nullptr);
+  BE.compile(B, nullptr);
+  BE.compile(A, nullptr); // Refresh A; B becomes least-recent.
+  BE.compile(C, nullptr); // Evicts B.
+  EXPECT_EQ(BE.stats().Evictions, 1u);
+  EXPECT_EQ(BE.size(), 2u);
+
+  BE.compile(A, nullptr); // Still cached.
+  EXPECT_EQ(BE.stats().Hits, 2u);
+  BE.compile(B, nullptr); // Was evicted: a miss again.
+  EXPECT_EQ(BE.stats().Misses, 4u);
+}
+
+TEST(Cache, HandleOutlivesBackend) {
+  auto BE = std::make_unique<CachingBackend>(createBackend("Craneline"));
+  qir::Module M;
+  buildAffine(M, 9);
+  auto C = BE->compile(M, nullptr);
+  auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
+  BE.reset(); // Drop the cache; the shared handle must stay valid.
+  EXPECT_EQ(F(2), 25);
+}
+
+TEST(Cache, ConcurrentCompilesAreSafe) {
+  CachingBackend BE(createBackend("DirectEmit"));
+  qir::Module M;
+  buildAffine(M, 11);
+
+  std::vector<std::thread> Threads;
+  std::atomic<int> Bad{0};
+  for (int T = 0; T != 8; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != 20; ++I) {
+        auto C = BE.compile(M, nullptr);
+        auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
+        if (F(I) != int64_t(I) * 11 + 7)
+          ++Bad;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Bad.load(), 0);
+  CacheStats S = BE.stats();
+  EXPECT_EQ(S.Hits + S.Misses, 160u);
+  EXPECT_GE(S.Hits, 150u) << "nearly all calls after the first must hit";
+  EXPECT_EQ(BE.size(), 1u);
+}
+
+TEST(Cache, RegeneratedQueryPlansHit) {
+  // Compiling the same query over the same catalog twice produces
+  // modules with hard-wired identical column pointers — they must hash
+  // equal. A different (larger) catalog relocates columns: must differ.
+  db::Catalog Cat;
+  db::generateTpchLike(Cat, 0.05);
+  auto FindH6 = [](std::vector<db::Query> &Qs) -> db::Query & {
+    for (db::Query &Q : Qs)
+      if (Q.Name == "h6")
+        return Q;
+    QCF_UNREACHABLE("h6 missing");
+  };
+  std::vector<db::Query> Qs1 = db::tpchQueries();
+  std::vector<db::Query> Qs2 = db::tpchQueries();
+  db::CompiledPlan P1 = db::compileQuery(FindH6(Qs1), Cat);
+  db::CompiledPlan P2 = db::compileQuery(FindH6(Qs2), Cat);
+  EXPECT_EQ(hashModule(*P1.Module), hashModule(*P2.Module));
+
+  db::Catalog Cat2;
+  db::generateTpchLike(Cat2, 0.1);
+  std::vector<db::Query> Qs3 = db::tpchQueries();
+  db::CompiledPlan P3 = db::compileQuery(FindH6(Qs3), Cat2);
+  EXPECT_NE(hashModule(*P1.Module), hashModule(*P3.Module));
+
+  // End-to-end through the cache: second compile is a hit.
+  CachingBackend BE(createBackend("MLVM-opt"));
+  BE.compile(*P1.Module, nullptr);
+  BE.compile(*P2.Module, nullptr);
+  EXPECT_EQ(BE.stats().Hits, 1u);
+  EXPECT_EQ(BE.stats().Misses, 1u);
+}

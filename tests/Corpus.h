@@ -1,0 +1,449 @@
+//===- tests/Corpus.h - Shared QIR test function corpus ---------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A corpus of QIR functions exercising every opcode and the runtime-call
+/// ABI, shared by the per-back-end tests and the cross-back-end
+/// differential tests. Each back-end must produce bit-identical results on
+/// every corpus case (floats compared exactly: no back-end is allowed to
+/// reassociate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_TESTS_CORPUS_H
+#define QCF_TESTS_CORPUS_H
+
+#include "qir/Builder.h"
+#include "qir/Verify.h"
+#include "runtime/Runtime.h"
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace qcf::test {
+
+using qir::BlockId;
+using qir::Builder;
+using qir::CmpPred;
+using qir::Function;
+using qir::Opcode;
+using qir::Type;
+using qir::ValueId;
+
+/// One invocation of a corpus function: argument lanes (two-lane types
+/// contribute two lanes) and whether a trap is the expected outcome.
+struct CorpusCase {
+  std::string Fn;
+  std::vector<uint64_t> ArgLanes;
+  bool ExpectTrap = false;
+};
+
+struct Corpus {
+  std::unique_ptr<qir::Module> M;
+  rt::RuntimeSyms Syms;
+  std::vector<CorpusCase> Cases;
+};
+
+/// Builds the corpus module plus the case list. The returned module is
+/// verified.
+inline Corpus buildCorpus() {
+  Corpus C;
+  C.M = std::make_unique<qir::Module>();
+  qir::Module &M = *C.M;
+  C.Syms = rt::declareRuntime(M);
+
+  auto AddCases = [&](const std::string &Fn,
+                      std::initializer_list<std::vector<uint64_t>> ArgSets,
+                      bool Trap = false) {
+    for (const auto &Args : ArgSets)
+      C.Cases.push_back({Fn, Args, Trap});
+  };
+
+  // arith64(a, b) = ((a + b) * a - b) ^ (a << (b & 63)) | (a >> 3) etc.
+  {
+    Function *F = M.createFunction("arith64", {Type::I64, Type::I64},
+                                   Type::I64);
+    Builder B(F);
+    ValueId A = F->paramValue(0), Bv = F->paramValue(1);
+    ValueId T1 = B.add(A, Bv);
+    ValueId T2 = B.mul(T1, A);
+    ValueId T3 = B.sub(T2, Bv);
+    ValueId T4 = B.shl(A, Bv);
+    ValueId T5 = B.xor_(T3, T4);
+    ValueId T6 = B.lshr(A, B.constInt(Type::I64, 3));
+    ValueId T7 = B.or_(T5, T6);
+    ValueId T8 = B.and_(T7, B.constInt(Type::I64, 0x0f0f0f0f0f0f0f0f));
+    ValueId T9 = B.ashr(T8, B.constInt(Type::I64, 2));
+    ValueId T10 = B.rotr(T9, B.constInt(Type::I64, 13));
+    ValueId T11 = B.sub(B.neg(T10), B.not_(A));
+    B.ret(T11);
+    AddCases("arith64", {{5, 9},
+                         {0xffffffffffffffffull, 1},
+                         {0x8000000000000000ull, 63},
+                         {12345678901234ull, 77}});
+  }
+
+  // arith32: 32-bit wrapping behaviour and signed division.
+  {
+    Function *F = M.createFunction("arith32", {Type::I32, Type::I32},
+                                   Type::I32);
+    Builder B(F);
+    ValueId A = F->paramValue(0), Bv = F->paramValue(1);
+    ValueId Sum = B.add(A, Bv);
+    ValueId Prod = B.mul(Sum, A);
+    ValueId Q = B.sdiv(Prod, B.constInt(Type::I32, 7));
+    ValueId R = B.srem(Q, B.constInt(Type::I32, 1000));
+    B.ret(R);
+    AddCases("arith32", {{10, 20}, {0x7fffffffull, 1}, {4000000u, 123}});
+  }
+
+  // udivmix: unsigned division and comparisons.
+  {
+    Function *F =
+        M.createFunction("udivmix", {Type::I64, Type::I64}, Type::I64);
+    Builder B(F);
+    ValueId A = F->paramValue(0), Bv = F->paramValue(1);
+    ValueId One = B.constInt(Type::I64, 1);
+    ValueId Bp = B.or_(Bv, One); // avoid div by zero
+    ValueId Q = B.udiv(A, Bp);
+    ValueId CmpV = B.icmp(CmpPred::UGt, Q, Bp);
+    ValueId Sel = B.select(CmpV, Q, Bp);
+    B.ret(Sel);
+    AddCases("udivmix",
+             {{100, 3}, {0xffffffffffffffffull, 2}, {7, 0}, {0, 5}});
+  }
+
+  // traps: overflow-checked arithmetic (some cases trap).
+  {
+    Function *F =
+        M.createFunction("traps", {Type::I64, Type::I64}, Type::I64);
+    Builder B(F);
+    ValueId A = F->paramValue(0), Bv = F->paramValue(1);
+    ValueId S = B.saddTrap(A, Bv);
+    ValueId D = B.ssubTrap(S, B.constInt(Type::I64, 1));
+    ValueId P = B.smulTrap(D, B.constInt(Type::I64, 3));
+    B.ret(P);
+    AddCases("traps", {{10, 20}, {1000000, 2000000}});
+    AddCases("traps", {{0x7fffffffffffffffull, 1}}, /*Trap=*/true);
+    AddCases("traps", {{0x4000000000000000ull, 0x3fffffffffffffffull}},
+             /*Trap=*/true);
+  }
+
+  // traps32: 32-bit overflow checks.
+  {
+    Function *F = M.createFunction("traps32", {Type::I32, Type::I32},
+                                   Type::I32);
+    Builder B(F);
+    ValueId P = B.smulTrap(F->paramValue(0), F->paramValue(1));
+    B.ret(B.saddTrap(P, F->paramValue(0)));
+    AddCases("traps32", {{1000, 2000}, {0xffffffffull, 5}});
+    AddCases("traps32", {{0x10000ull, 0x10000ull}}, /*Trap=*/true);
+  }
+
+  // hash: the paper's hot hash sequence (crc32 x2 + rotr + long-mul-fold).
+  {
+    Function *F = M.createFunction("hash", {Type::I64}, Type::I64);
+    Builder B(F);
+    ValueId V = F->paramValue(0);
+    ValueId H1 = B.crc32(B.constInt(Type::I64, 0x2545f4914f6cdd1dull), V);
+    ValueId H2 = B.crc32(B.constInt(Type::I64, 0xb9935cc9fab5b271ull), V);
+    ValueId Pack = B.or_(B.shl(H1, B.constInt(Type::I64, 32)), H2);
+    ValueId Rot = B.rotr(Pack, B.constInt(Type::I64, 32));
+    ValueId Fold =
+        B.longMulFold(Rot, B.constInt(Type::I64, 0x9e3779b97f4a7c15ull));
+    B.ret(Fold);
+    AddCases("hash", {{0}, {42}, {0xdeadbeefcafebabeull}});
+  }
+
+  // i128ops: 128-bit arithmetic incl. pack/extract and trapping mul.
+  {
+    Function *F = M.createFunction("i128ops", {Type::I64, Type::I64},
+                                   Type::I64);
+    Builder B(F);
+    ValueId Lo = F->paramValue(0), Hi = F->paramValue(1);
+    ValueId X = B.packI128(Lo, Hi);
+    ValueId C = B.constI128(makeInt128(0x123456789abcdef0ull, 0x1));
+    ValueId Sum = B.add(X, C);
+    ValueId Dif = B.sub(Sum, B.constI128(7));
+    ValueId Shl = B.shl(Dif, B.constInt(Type::I64, 5));
+    ValueId Shr = B.ashr(Shl, B.constInt(Type::I64, 3));
+    ValueId Prod = B.smulTrap(Shr, B.constI128(3));
+    ValueId CmpV = B.icmp(CmpPred::SLt, Prod, C);
+    ValueId LoOut = B.extractLo(Prod);
+    ValueId HiOut = B.extractHi(Prod);
+    ValueId Mix = B.xor_(LoOut, HiOut);
+    ValueId Sel = B.select(CmpV, Mix, LoOut);
+    B.ret(Sel);
+    AddCases("i128ops", {{1, 0}, {0xffffffffffffffffull, 0}, {5, 2}});
+  }
+
+  // floats: double arithmetic and conversions.
+  {
+    Function *F = M.createFunction("floats", {Type::I64, Type::I64},
+                                   Type::I64);
+    Builder B(F);
+    ValueId A = B.sitofp(F->paramValue(0));
+    ValueId Bv = B.sitofp(F->paramValue(1));
+    ValueId S = B.fadd(A, Bv);
+    ValueId P = B.fmul(S, A);
+    ValueId D = B.fdiv(P, B.constF64(3.5));
+    ValueId Df = B.fsub(D, B.fneg(Bv));
+    ValueId CmpV = B.fcmp(CmpPred::SGt, Df, B.constF64(100.0));
+    ValueId AsInt = B.fptosi(Type::I64, Df);
+    ValueId Z = B.zext(Type::I64, CmpV);
+    B.ret(B.add(AsInt, Z));
+    AddCases("floats", {{3, 4}, {1000, 3}, {0, 0},
+                        {0xffffffffffffff85ull /* -123 */, 7}});
+  }
+
+  // widths: narrow-type load/store/extension behaviour.
+  {
+    Function *F = M.createFunction("widths", {Type::I64}, Type::I64);
+    Builder B(F);
+    ValueId Slot = B.stackSlot(16);
+    ValueId V = F->paramValue(0);
+    ValueId V8 = B.trunc(Type::I8, V);
+    ValueId V16 = B.trunc(Type::I16, V);
+    ValueId V32 = B.trunc(Type::I32, V);
+    B.store(V8, Slot);
+    B.store(V16, B.gep(Slot, 2));
+    B.store(V32, B.gep(Slot, 4));
+    ValueId L8 = B.load(Type::I8, Slot);
+    ValueId L16 = B.load(Type::I16, B.gep(Slot, 2));
+    ValueId L32 = B.load(Type::I32, B.gep(Slot, 4));
+    ValueId S8 = B.sext(Type::I64, L8);
+    ValueId Z16 = B.zext(Type::I64, L16);
+    ValueId S32 = B.sext(Type::I64, L32);
+    ValueId Sum = B.add(S8, Z16);
+    B.ret(B.add(Sum, S32));
+    AddCases("widths", {{0x00ff00ff00ff00ffull}, {0x8081828384858687ull},
+                        {1}, {0}});
+  }
+
+  // loopsum: classic loop with phis (sum of i*i for i < n).
+  {
+    Function *F = M.createFunction("loopsum", {Type::I64}, Type::I64);
+    Builder B(F);
+    BlockId H = B.createBlock(), Body = B.createBlock(), E = B.createBlock();
+    ValueId Zero = B.constInt(Type::I64, 0);
+    B.br(H);
+    B.startBlock(H);
+    ValueId I = B.phi(Type::I64, 2);
+    ValueId Acc = B.phi(Type::I64, 2);
+    ValueId Cond = B.icmp(CmpPred::SLt, I, F->paramValue(0));
+    B.condBr(Cond, Body, E);
+    B.startBlock(Body);
+    ValueId Sq = B.mul(I, I);
+    ValueId AccN = B.add(Acc, Sq);
+    ValueId IN = B.add(I, B.constInt(Type::I64, 1));
+    B.br(H);
+    B.startBlock(E);
+    B.ret(Acc);
+    B.setPhiIncoming(I, 0, 0, Zero);
+    B.setPhiIncoming(I, 1, Body, IN);
+    B.setPhiIncoming(Acc, 0, 0, Zero);
+    B.setPhiIncoming(Acc, 1, Body, AccN);
+    AddCases("loopsum", {{0}, {1}, {10}, {1000}});
+  }
+
+  // phiswap: phi cycle requiring parallel-move resolution (a,b = b,a).
+  {
+    Function *F = M.createFunction("phiswap", {Type::I64}, Type::I64);
+    Builder B(F);
+    BlockId H = B.createBlock(), Body = B.createBlock(), E = B.createBlock();
+    ValueId C1 = B.constInt(Type::I64, 1);
+    ValueId C2 = B.constInt(Type::I64, 1000000);
+    ValueId Zero = B.constInt(Type::I64, 0);
+    B.br(H);
+    B.startBlock(H);
+    ValueId A = B.phi(Type::I64, 2);
+    ValueId Bp = B.phi(Type::I64, 2);
+    ValueId I = B.phi(Type::I64, 2);
+    ValueId Cond = B.icmp(CmpPred::SLt, I, F->paramValue(0));
+    B.condBr(Cond, Body, E);
+    B.startBlock(Body);
+    ValueId IN = B.add(I, B.constInt(Type::I64, 1));
+    B.br(H);
+    B.startBlock(E);
+    ValueId R = B.sub(B.mul(A, B.constInt(Type::I64, 3)), Bp);
+    B.ret(R);
+    // Swap a and b every iteration.
+    B.setPhiIncoming(A, 0, 0, C1);
+    B.setPhiIncoming(A, 1, Body, Bp);
+    B.setPhiIncoming(Bp, 0, 0, C2);
+    B.setPhiIncoming(Bp, 1, Body, A);
+    B.setPhiIncoming(I, 0, 0, Zero);
+    B.setPhiIncoming(I, 1, Body, IN);
+    AddCases("phiswap", {{0}, {1}, {2}, {7}});
+  }
+
+  // nested: two nested loops with a diamond inside.
+  {
+    Function *F = M.createFunction("nested", {Type::I64, Type::I64},
+                                   Type::I64);
+    Builder B(F);
+    BlockId OH = B.createBlock(), OB = B.createBlock();
+    BlockId IH = B.createBlock(), IB = B.createBlock();
+    BlockId Odd = B.createBlock(), Even = B.createBlock(),
+            Join = B.createBlock();
+    BlockId ILatch = B.createBlock(), OLatch = B.createBlock(),
+            Exit = B.createBlock();
+    ValueId Zero = B.constInt(Type::I64, 0);
+    ValueId One = B.constInt(Type::I64, 1);
+    ValueId Two = B.constInt(Type::I64, 2);
+    B.br(OH);
+
+    B.startBlock(OH); // outer header
+    ValueId I = B.phi(Type::I64, 2);
+    ValueId Acc = B.phi(Type::I64, 2);
+    ValueId OC = B.icmp(CmpPred::SLt, I, F->paramValue(0));
+    B.condBr(OC, OB, Exit);
+
+    B.startBlock(OB);
+    B.br(IH);
+
+    B.startBlock(IH); // inner header
+    ValueId J = B.phi(Type::I64, 2);
+    ValueId Acc2 = B.phi(Type::I64, 2);
+    ValueId IC = B.icmp(CmpPred::SLt, J, F->paramValue(1));
+    B.condBr(IC, IB, OLatch);
+
+    B.startBlock(IB);
+    ValueId Par = B.and_(J, One);
+    ValueId IsOdd = B.icmp(CmpPred::Eq, Par, One);
+    B.condBr(IsOdd, Odd, Even);
+
+    B.startBlock(Odd);
+    ValueId VOdd = B.mul(J, Two);
+    B.br(Join);
+
+    B.startBlock(Even);
+    ValueId VEven = B.add(J, I);
+    B.br(Join);
+
+    B.startBlock(Join);
+    ValueId V = B.phi(Type::I64, 2);
+    B.setPhiIncoming(V, 0, Odd, VOdd);
+    B.setPhiIncoming(V, 1, Even, VEven);
+    B.br(ILatch);
+
+    B.startBlock(ILatch);
+    ValueId Acc2N = B.add(Acc2, V);
+    ValueId JN = B.add(J, One);
+    B.br(IH);
+
+    B.startBlock(OLatch);
+    ValueId IN = B.add(I, One);
+    B.br(OH);
+
+    B.startBlock(Exit);
+    B.ret(Acc);
+
+    B.setPhiIncoming(I, 0, 0, Zero);
+    B.setPhiIncoming(I, 1, OLatch, IN);
+    B.setPhiIncoming(Acc, 0, 0, Zero);
+    B.setPhiIncoming(Acc, 1, OLatch, Acc2);
+    B.setPhiIncoming(J, 0, OB, Zero);
+    B.setPhiIncoming(J, 1, ILatch, JN);
+    B.setPhiIncoming(Acc2, 0, OB, Acc);
+    B.setPhiIncoming(Acc2, 1, ILatch, Acc2N);
+    AddCases("nested", {{0, 5}, {3, 4}, {10, 10}});
+  }
+
+  // strings: runtime calls with by-value d128 strings.
+  {
+    Function *F = M.createFunction("strings", {Type::I64, Type::I64,
+                                               Type::I64, Type::I64},
+                                   Type::I64);
+    Builder B(F);
+    ValueId S1 = B.packD128(F->paramValue(0), F->paramValue(1));
+    ValueId S2 = B.packD128(F->paramValue(2), F->paramValue(3));
+    ValueId Eq = B.call(C.Syms.StrEq, {S1, S2});
+    ValueId Cmp = B.call(C.Syms.StrCmp, {S1, S2});
+    ValueId H = B.call(C.Syms.StrHash, {S1});
+    ValueId Pref = B.call(C.Syms.StrPrefix, {S1, S2});
+    ValueId T1 = B.add(Eq, Cmp);
+    ValueId T2 = B.xor_(H, Pref);
+    B.ret(B.add(T1, T2));
+    rt::StringVal A1 = rt::StringVal::makeRef("hello", 5);
+    rt::StringVal A2 = rt::StringVal::makeRef("help", 4);
+    rt::StringVal A3 = rt::StringVal::makeRef("hello", 5);
+    AddCases("strings", {{A1.lo(), A1.hi(), A2.lo(), A2.hi()},
+                         {A1.lo(), A1.hi(), A3.lo(), A3.hi()},
+                         {A2.lo(), A2.hi(), A1.lo(), A1.hi()}});
+  }
+
+  // memops: gep with index*scale, atomicadd.
+  {
+    Function *F = M.createFunction("memops", {Type::Ptr, Type::I64},
+                                   Type::I64);
+    Builder B(F);
+    ValueId P = F->paramValue(0);
+    ValueId N = F->paramValue(1);
+    BlockId H = B.createBlock(), Body = B.createBlock(), E = B.createBlock();
+    ValueId Zero = B.constInt(Type::I64, 0);
+    B.br(H);
+    B.startBlock(H);
+    ValueId I = B.phi(Type::I64, 2);
+    ValueId Cond = B.icmp(CmpPred::SLt, I, N);
+    B.condBr(Cond, Body, E);
+    B.startBlock(Body);
+    ValueId Addr = B.gepIndexed(P, I, 8);
+    // Initialize deterministically, then exercise the atomic path, so the
+    // function is idempotent and safe to re-run across back-ends.
+    B.store(B.mul(I, B.constInt(Type::I64, 3)), Addr);
+    ValueId Old = B.atomicAdd(Addr, B.add(I, B.constInt(Type::I64, 1)));
+    ValueId IN = B.add(I, B.constInt(Type::I64, 1));
+    (void)Old;
+    B.br(H);
+    B.startBlock(E);
+    ValueId Last = B.load(
+        Type::I64, B.gepIndexed(P, B.sub(N, B.constInt(Type::I64, 1)), 8));
+    B.ret(Last);
+    B.setPhiIncoming(I, 0, 0, Zero);
+    B.setPhiIncoming(I, 1, Body, IN);
+    static int64_t Buffer[8];
+    AddCases("memops", {{reinterpret_cast<uint64_t>(Buffer), 8}});
+  }
+
+  // d128ret: runtime call returning a two-lane value (string concat).
+  {
+    Function *F = M.createFunction("d128ret",
+                                   {Type::Ptr, Type::I64, Type::I64,
+                                    Type::I64, Type::I64},
+                                   Type::I64);
+    Builder B(F);
+    ValueId Ar = F->paramValue(0);
+    ValueId S1 = B.packD128(F->paramValue(1), F->paramValue(2));
+    ValueId S2 = B.packD128(F->paramValue(3), F->paramValue(4));
+    ValueId Cat = B.call(C.Syms.StrConcat, {Ar, S1, S2});
+    ValueId H = B.call(C.Syms.StrHash, {Cat});
+    B.ret(H);
+    static Arena CorpusArena;
+    rt::StringVal A1 = rt::StringVal::makeRef("query ", 6);
+    rt::StringVal A2 = rt::StringVal::makeRef("compilation", 11);
+    AddCases("d128ret", {{reinterpret_cast<uint64_t>(&CorpusArena), A1.lo(),
+                          A1.hi(), A2.lo(), A2.hi()}});
+  }
+
+  // divtrap: division traps.
+  {
+    Function *F =
+        M.createFunction("divtrap", {Type::I64, Type::I64}, Type::I64);
+    Builder B(F);
+    B.ret(B.sdiv(F->paramValue(0), F->paramValue(1)));
+    AddCases("divtrap", {{100, 7}, {0xffffffffffffff9cull /*-100*/, 7}});
+    AddCases("divtrap", {{5, 0}}, /*Trap=*/true);
+    AddCases("divtrap", {{0x8000000000000000ull, 0xffffffffffffffffull}},
+             /*Trap=*/true);
+  }
+
+  EXPECT_EQ(qir::verify(M), std::nullopt) << qir::verify(M).value_or("");
+  return C;
+}
+
+} // namespace qcf::test
+
+#endif // QCF_TESTS_CORPUS_H

@@ -1,0 +1,220 @@
+//===- tests/CranelineTest.cpp - Craneline back-end tests ------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "craneline/BTree.h"
+#include "craneline/Craneline.h"
+#include "support/Rng.h"
+#include "tests/Corpus.h"
+#include "tests/DiffHarness.h"
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace qcf;
+using namespace qcf::test;
+using craneline::CranelineBackend;
+using craneline::CranelineOptions;
+
+// --- B-tree ------------------------------------------------------------------
+
+TEST(RangeBTree, InsertAndOverlap) {
+  craneline::RangeBTree T;
+  T.insert({10, 20});
+  T.insert({30, 40});
+  EXPECT_TRUE(T.overlaps({15, 16}));
+  EXPECT_TRUE(T.overlaps({5, 11}));
+  EXPECT_TRUE(T.overlaps({19, 35}));
+  EXPECT_FALSE(T.overlaps({20, 30}));
+  EXPECT_FALSE(T.overlaps({0, 10}));
+  EXPECT_FALSE(T.overlaps({40, 50}));
+}
+
+TEST(RangeBTree, ManyRangesSplitNodes) {
+  craneline::RangeBTree T;
+  // 1000 disjoint ranges in shuffled order force splits.
+  std::vector<uint32_t> Starts;
+  for (uint32_t I = 0; I != 1000; ++I)
+    Starts.push_back(I * 10);
+  Rng R(42);
+  for (size_t I = Starts.size(); I > 1; --I)
+    std::swap(Starts[I - 1], Starts[R.nextBounded(I)]);
+  for (uint32_t S : Starts)
+    T.insert({S, S + 5});
+  EXPECT_EQ(T.size(), 1000u);
+  for (uint32_t I = 0; I != 1000; ++I) {
+    EXPECT_TRUE(T.overlaps({I * 10 + 2, I * 10 + 3})) << I;
+    EXPECT_FALSE(T.overlaps({I * 10 + 5, I * 10 + 10})) << I;
+  }
+  // Collected ranges come back sorted.
+  std::vector<craneline::PosRange> All;
+  T.collect(&All);
+  ASSERT_EQ(All.size(), 1000u);
+  for (size_t I = 1; I != All.size(); ++I)
+    EXPECT_LT(All[I - 1].Start, All[I].Start);
+}
+
+TEST(RangeBTree, RandomizedAgainstReferenceMap) {
+  craneline::RangeBTree T;
+  std::map<uint32_t, uint32_t> Ref; // start -> end
+  Rng R(7);
+  auto RefOverlaps = [&](craneline::PosRange Q) {
+    for (auto &[S, E] : Ref)
+      if (S < Q.End && Q.Start < E)
+        return true;
+    return false;
+  };
+  for (int I = 0; I != 500; ++I) {
+    uint32_t S = static_cast<uint32_t>(R.nextBounded(10000));
+    uint32_t E = S + 1 + static_cast<uint32_t>(R.nextBounded(20));
+    craneline::PosRange Q{S, E};
+    bool Expected = RefOverlaps(Q);
+    EXPECT_EQ(T.overlaps(Q), Expected) << "[" << S << "," << E << ")";
+    if (!Expected) {
+      T.insert(Q);
+      Ref[S] = E;
+    }
+  }
+  EXPECT_EQ(T.size(), Ref.size());
+  EXPECT_GT(T.traversalSteps(), 0u);
+}
+
+// --- Back-end differentials ----------------------------------------------------
+
+TEST(Craneline, CorpusDifferentialAgainstInterpreter) {
+  CranelineBackend B;
+  runCorpusDifferential(B);
+}
+
+TEST(Craneline, CorpusDifferentialWithoutNativeInsts) {
+  // Table II baseline: crc32 / overflow arithmetic / full multiplication
+  // lower to helper calls. Results must be identical.
+  CranelineOptions Opts;
+  Opts.NativeCrc32 = false;
+  Opts.NativeOverflowArith = false;
+  Opts.NativeMulFull = false;
+  CranelineBackend B(Opts);
+  runCorpusDifferential(B);
+}
+
+TEST(Craneline, SimpleLoopRuns) {
+  qir::Module M;
+  qir::Function *F = M.createFunction("sum", {Type::I64}, Type::I64);
+  Builder B(F);
+  BlockId H = B.createBlock(), Body = B.createBlock(), E = B.createBlock();
+  ValueId Zero = B.constInt(Type::I64, 0);
+  B.br(H);
+  B.startBlock(H);
+  ValueId I = B.phi(Type::I64, 2);
+  ValueId Acc = B.phi(Type::I64, 2);
+  ValueId C = B.icmp(CmpPred::SLt, I, F->paramValue(0));
+  B.condBr(C, Body, E);
+  B.startBlock(Body);
+  ValueId AccN = B.add(Acc, I);
+  ValueId IN = B.add(I, B.constInt(Type::I64, 1));
+  B.br(H);
+  B.startBlock(E);
+  B.ret(Acc);
+  B.setPhiIncoming(I, 0, 0, Zero);
+  B.setPhiIncoming(I, 1, Body, IN);
+  B.setPhiIncoming(Acc, 0, 0, Zero);
+  B.setPhiIncoming(Acc, 1, Body, AccN);
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  CranelineBackend BE;
+  auto Compiled = BE.compile(M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("sum");
+  EXPECT_EQ(Fn(0), 0);
+  EXPECT_EQ(Fn(100), 4950);
+}
+
+TEST(Craneline, HighRegisterPressureSpills) {
+  // Many simultaneously live values force the allocator to spill.
+  qir::Module M;
+  qir::Function *F = M.createFunction("pressure", {Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId X = F->paramValue(0);
+  std::vector<ValueId> Vals;
+  for (int I = 0; I != 30; ++I)
+    Vals.push_back(B.mul(X, B.constInt(Type::I64, I + 1)));
+  ValueId Acc = B.constInt(Type::I64, 0);
+  for (int I = 29; I >= 0; --I)
+    Acc = B.add(Acc, Vals[I]);
+  B.ret(Acc);
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  CranelineBackend BE;
+  auto Compiled = BE.compile(M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("pressure");
+  EXPECT_EQ(Fn(1), 30 * 31 / 2);
+  EXPECT_EQ(Fn(3), 3 * 30 * 31 / 2);
+}
+
+TEST(Craneline, CompileTimeBreakdownStages) {
+  Corpus C = buildCorpus();
+  CranelineBackend BE;
+  TimeTrace Trace;
+  auto Compiled = BE.compile(*C.M, &Trace);
+  // All pipeline stages of Fig. 4 must be present.
+  EXPECT_GT(Trace.totalNs("craneline.irgen"), 0u);
+  EXPECT_GT(Trace.totalNs("craneline.irpasses"), 0u);
+  EXPECT_GT(Trace.totalNs("craneline.iselprepare"), 0u);
+  EXPECT_GT(Trace.totalNs("craneline.isel"), 0u);
+  EXPECT_GT(Trace.totalNs("craneline.regalloc"), 0u);
+  EXPECT_GT(Trace.totalNs("craneline.emit"), 0u);
+  EXPECT_GT(Trace.totalNs("craneline.link"), 0u);
+}
+
+TEST(Craneline, CallbackComparatorWorks) {
+  qir::Module M;
+  rt::declareRuntime(M);
+  qir::Function *F =
+      M.createFunction("cmp", {Type::Ptr, Type::Ptr}, Type::I64);
+  Builder B(F);
+  ValueId A = B.load(Type::I64, F->paramValue(0));
+  ValueId Bv = B.load(Type::I64, F->paramValue(1));
+  ValueId Lt = B.icmp(CmpPred::SLt, A, Bv);
+  ValueId Gt = B.icmp(CmpPred::SGt, A, Bv);
+  B.ret(B.sub(B.zext(Type::I64, Gt), B.zext(Type::I64, Lt)));
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  CranelineBackend BE;
+  auto Compiled = BE.compile(M, nullptr);
+  int64_t Data[] = {42, -3, 17, 0};
+  rt_sort(Data, 4, 8, Compiled->entry("cmp"));
+  EXPECT_EQ(Data[0], -3);
+  EXPECT_EQ(Data[3], 42);
+}
+
+namespace {
+class CranelineProperty : public ::testing::TestWithParam<uint64_t> {};
+} // namespace
+
+TEST_P(CranelineProperty, MatchesInterpreterOnRandomFunctions) {
+  // Alternate between native and helper-call configurations by seed.
+  CranelineOptions Opts;
+  if (GetParam() % 2) {
+    Opts.NativeCrc32 = false;
+    Opts.NativeOverflowArith = false;
+    Opts.NativeMulFull = false;
+  }
+  CranelineBackend B(Opts);
+  runRandomDifferentialFor(B, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CranelineProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(Craneline, CorpusDifferentialEachToggleIndividually) {
+  // Table II rows disable one native instruction at a time; each
+  // helper-call lowering must be individually sound.
+  for (int Which = 0; Which != 3; ++Which) {
+    CranelineOptions Opts;
+    Opts.NativeCrc32 = Which != 0;
+    Opts.NativeOverflowArith = Which != 1;
+    Opts.NativeMulFull = Which != 2;
+    CranelineBackend B(Opts);
+    runCorpusDifferential(B);
+  }
+}

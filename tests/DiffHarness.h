@@ -1,0 +1,128 @@
+//===- tests/DiffHarness.h - Cross-back-end differential harness *- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs corpus cases through any back-end and compares against the
+/// interpreter baseline (result lanes and trap behaviour must match
+/// exactly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_TESTS_DIFFHARNESS_H
+#define QCF_TESTS_DIFFHARNESS_H
+
+#include "backend/Backend.h"
+#include "interp/Interp.h"
+#include "runtime/Trap.h"
+#include "tests/Corpus.h"
+#include <gtest/gtest.h>
+
+namespace qcf::test {
+
+/// Outcome of invoking one case: either a trap or a result value.
+struct CaseOutcome {
+  bool Trapped = false;
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  bool operator==(const CaseOutcome &O) const {
+    if (Trapped != O.Trapped)
+      return false;
+    return Trapped || (Lo == O.Lo && Hi == O.Hi);
+  }
+};
+
+/// Invokes \p Entry (a SysV entry point) with the case's argument lanes.
+/// Supports up to 6 lanes and one- or two-lane integer-class results.
+inline CaseOutcome invokeEntry(void *Entry,
+                               const std::vector<uint64_t> &Lanes) {
+  CaseOutcome Out;
+  struct Pair {
+    uint64_t Lo, Hi;
+  };
+  Pair R{};
+  rt::TrapCode Code = rt::runWithTrapGuard([&] {
+    using U = uint64_t;
+    const std::vector<uint64_t> &S = Lanes;
+    switch (Lanes.size()) {
+    case 0:
+      R = reinterpret_cast<Pair (*)()>(Entry)();
+      break;
+    case 1:
+      R = reinterpret_cast<Pair (*)(U)>(Entry)(S[0]);
+      break;
+    case 2:
+      R = reinterpret_cast<Pair (*)(U, U)>(Entry)(S[0], S[1]);
+      break;
+    case 3:
+      R = reinterpret_cast<Pair (*)(U, U, U)>(Entry)(S[0], S[1], S[2]);
+      break;
+    case 4:
+      R = reinterpret_cast<Pair (*)(U, U, U, U)>(Entry)(S[0], S[1], S[2],
+                                                        S[3]);
+      break;
+    case 5:
+      R = reinterpret_cast<Pair (*)(U, U, U, U, U)>(Entry)(S[0], S[1], S[2],
+                                                           S[3], S[4]);
+      break;
+    case 6:
+      R = reinterpret_cast<Pair (*)(U, U, U, U, U, U)>(Entry)(
+          S[0], S[1], S[2], S[3], S[4], S[5]);
+      break;
+    default:
+      FAIL() << "too many argument lanes";
+    }
+  });
+  if (Code != rt::TrapCode::None) {
+    Out.Trapped = true;
+    return Out;
+  }
+  Out.Lo = R.Lo;
+  Out.Hi = R.Hi;
+  return Out;
+}
+
+/// Runs every corpus case through \p B and expects interpreter-identical
+/// outcomes. One-lane results are compared on Lo only.
+inline void runCorpusDifferential(backend::Backend &B) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend Baseline;
+  auto Ref = Baseline.compile(*C.M, nullptr);
+  auto Got = B.compile(*C.M, nullptr);
+  ASSERT_NE(Got, nullptr);
+
+  for (const CorpusCase &Case : C.Cases) {
+    void *RefEntry = Ref->entry(Case.Fn);
+    void *GotEntry = Got->entry(Case.Fn);
+    ASSERT_NE(RefEntry, nullptr) << Case.Fn;
+    ASSERT_NE(GotEntry, nullptr) << Case.Fn;
+
+    CaseOutcome Expected = invokeEntry(RefEntry, Case.ArgLanes);
+    CaseOutcome Actual = invokeEntry(GotEntry, Case.ArgLanes);
+    EXPECT_EQ(Expected.Trapped, Case.ExpectTrap)
+        << Case.Fn << ": corpus trap expectation vs interpreter";
+
+    // One-lane results: ignore Hi (undefined in rdx).
+    qir::Function *F = C.M->functionByName(Case.Fn);
+    bool TwoLane = qir::isTwoLane(F->returnType());
+    EXPECT_EQ(Expected.Trapped, Actual.Trapped) << Case.Fn;
+    if (!Expected.Trapped) {
+      EXPECT_EQ(Expected.Lo, Actual.Lo) << Case.Fn << " result mismatch (lo)";
+      if (TwoLane) {
+        EXPECT_EQ(Expected.Hi, Actual.Hi)
+            << Case.Fn << " result mismatch (hi)";
+      }
+    }
+  }
+}
+
+/// Compares one back-end against the interpreter on one random module
+/// (see tests/RandomQir.h), with random inputs.
+void runRandomDifferentialFor(backend::Backend &BE, uint64_t Seed);
+
+} // namespace qcf::test
+
+#endif // QCF_TESTS_DIFFHARNESS_H

@@ -1,0 +1,198 @@
+//===- tests/InterpTest.cpp - Interpreter back-end tests -------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "runtime/Runtime.h"
+#include "tests/Corpus.h"
+#include "tests/DiffHarness.h"
+#include <gtest/gtest.h>
+
+using namespace qcf;
+using namespace qcf::test;
+
+namespace {
+
+/// Compiles one module with the interpreter and returns (module, compiled).
+struct InterpFixture {
+  qir::Module M;
+  std::unique_ptr<backend::CompiledModule> Compiled;
+
+  void compile() {
+    interp::InterpBackend B;
+    Compiled = B.compile(M, nullptr);
+  }
+
+  template <typename FnT> FnT entry(const std::string &Name) {
+    return Compiled->entryAs<FnT>(Name);
+  }
+};
+
+} // namespace
+
+TEST(Interp, StraightLineArithmetic) {
+  InterpFixture Fx;
+  qir::Function *F =
+      Fx.M.createFunction("f", {Type::I64, Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId R = B.add(B.mul(F->paramValue(0), F->paramValue(1)),
+                    B.constInt(Type::I64, 7));
+  B.ret(R);
+  Fx.compile();
+  auto *Fn = Fx.entry<int64_t (*)(int64_t, int64_t)>("f");
+  EXPECT_EQ(Fn(6, 7), 49);
+  EXPECT_EQ(Fn(-3, 5), -8);
+}
+
+TEST(Interp, LoopSumMatchesClosedForm) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("loopsum");
+  // sum i^2, i in [0, n)
+  EXPECT_EQ(Fn(0), 0);
+  EXPECT_EQ(Fn(1), 0);
+  EXPECT_EQ(Fn(10), 285);
+  EXPECT_EQ(Fn(1000), 332833500);
+}
+
+TEST(Interp, PhiSwapParallelMoves) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("phiswap");
+  // After n swaps of (1, 1000000): even n -> (1,1000000), odd -> swapped.
+  // Result = 3*a - b.
+  EXPECT_EQ(Fn(0), 3 * 1 - 1000000);
+  EXPECT_EQ(Fn(1), 3 * 1000000 - 1);
+  EXPECT_EQ(Fn(2), 3 * 1 - 1000000);
+  EXPECT_EQ(Fn(7), 3 * 1000000 - 1);
+}
+
+TEST(Interp, TrapsOnOverflow) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(int64_t, int64_t)>("traps");
+
+  rt::TrapCode Code = rt::runWithTrapGuard([&] { Fn(10, 20); });
+  EXPECT_EQ(Code, rt::TrapCode::None);
+
+  Code = rt::runWithTrapGuard([&] { Fn(INT64_MAX, 1); });
+  EXPECT_EQ(Code, rt::TrapCode::Overflow);
+}
+
+TEST(Interp, TrapsOnDivByZero) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(int64_t, int64_t)>("divtrap");
+  EXPECT_EQ(Fn(100, 7), 14);
+  rt::TrapCode Code = rt::runWithTrapGuard([&] { Fn(5, 0); });
+  EXPECT_EQ(Code, rt::TrapCode::DivByZero);
+}
+
+TEST(Interp, HashMatchesHostPrimitives) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t)>("hash");
+  uint64_t V = 42;
+  uint64_t H1 = crc32u64(0x2545f4914f6cdd1dull, V);
+  uint64_t H2 = crc32u64(0xb9935cc9fab5b271ull, V);
+  uint64_t Pack = (H1 << 32) | H2;
+  uint64_t Rot = (Pack >> 32) | (Pack << 32);
+  uint64_t Expect = longMulFold(Rot, 0x9e3779b97f4a7c15ull);
+  EXPECT_EQ(Fn(42), Expect);
+}
+
+TEST(Interp, RuntimeCallsWithStrings) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t, uint64_t, uint64_t,
+                                            uint64_t)>("strings");
+  rt::StringVal A = rt::StringVal::makeRef("hello", 5);
+  // eq("hello","hello") + cmp(==0) + (hash ^ prefix(1))
+  uint64_t R = Fn(A.lo(), A.hi(), A.lo(), A.hi());
+  uint64_t Expect = 1 + 0 + (rt::stringHash(A) ^ 1);
+  EXPECT_EQ(R, Expect);
+}
+
+TEST(Interp, FloatConversionRoundTrip) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(int64_t, int64_t)>("floats");
+  // a=3,b=4: s=7, p=21, d=6, df=6-(-4)=10 -> not > 100 -> 10 + 0
+  EXPECT_EQ(Fn(3, 4), 10);
+}
+
+TEST(Interp, WidthsNarrowTypes) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  auto Compiled = B.compile(*C.M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(uint64_t)>("widths");
+  // v = 0x...8687: i8 = 0x87 sext = -121; i16 = 0x8687 zext = 34439;
+  // i32 = 0x84858687 sext = -2071624057.
+  EXPECT_EQ(Fn(0x8081828384858687ull),
+            -121 + 34439 + static_cast<int32_t>(0x84858687));
+}
+
+TEST(Interp, I128ArithmeticViaEntry) {
+  InterpFixture Fx;
+  qir::Function *F =
+      Fx.M.createFunction("mul128", {Type::I64, Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId X = B.sext(Type::I128, F->paramValue(0));
+  ValueId Y = B.sext(Type::I128, F->paramValue(1));
+  ValueId P = B.mul(X, Y);
+  ValueId Hi = B.extractHi(P);
+  B.ret(Hi);
+  Fx.compile();
+  auto *Fn = Fx.entry<uint64_t (*)(int64_t, int64_t)>("mul128");
+  // (2^40) * (2^40) = 2^80: hi lane = 2^16.
+  EXPECT_EQ(Fn(1ll << 40, 1ll << 40), 1ull << 16);
+}
+
+TEST(Interp, InterpEntryAsRuntimeCallback) {
+  // A comparator compiled as an interpreted function, passed to rt_sort.
+  InterpFixture Fx;
+  rt::RuntimeSyms Syms = rt::declareRuntime(Fx.M);
+  (void)Syms;
+  qir::Function *F =
+      Fx.M.createFunction("cmp_i64", {Type::Ptr, Type::Ptr}, Type::I64);
+  Builder B(F);
+  ValueId A = B.load(Type::I64, F->paramValue(0));
+  ValueId Bv = B.load(Type::I64, F->paramValue(1));
+  ValueId Lt = B.icmp(CmpPred::SLt, A, Bv);
+  ValueId Gt = B.icmp(CmpPred::SGt, A, Bv);
+  ValueId R = B.sub(B.zext(Type::I64, Gt), B.zext(Type::I64, Lt));
+  B.ret(R);
+  Fx.compile();
+  void *Cmp = Fx.Compiled->entry("cmp_i64");
+  ASSERT_NE(Cmp, nullptr);
+
+  int64_t Data[] = {5, -2, 9, 0, 3, 3, -7};
+  rt_sort(Data, 7, sizeof(int64_t), Cmp);
+  int64_t Expect[] = {-7, -2, 0, 3, 3, 5, 9};
+  for (int I = 0; I != 7; ++I)
+    EXPECT_EQ(Data[I], Expect[I]);
+}
+
+TEST(Interp, CorpusSelfConsistency) {
+  // The interpreter must agree with itself across two compilations (guards
+  // against nondeterministic translation).
+  interp::InterpBackend B;
+  runCorpusDifferential(B);
+}
+
+TEST(Interp, TranslationCountsAsCompileTime) {
+  Corpus C = buildCorpus();
+  interp::InterpBackend B;
+  TimeTrace Trace;
+  auto Compiled = B.compile(*C.M, &Trace);
+  EXPECT_GT(Trace.totalNs("interp.translate"), 0u);
+}

@@ -1,0 +1,341 @@
+//===- tests/MlvmTest.cpp - MLVM back-end tests ----------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/JitLink.h"
+#include "mlvm/Mc.h"
+#include "mlvm/Mlvm.h"
+#include "tests/Corpus.h"
+#include "tests/DiffHarness.h"
+#include <gtest/gtest.h>
+
+using namespace qcf;
+using namespace qcf::test;
+using mlvm::D128Mode;
+using mlvm::IselKind;
+using mlvm::MlvmBackend;
+using mlvm::MlvmOptions;
+
+TEST(Mlvm, CheapCorpusDifferential) {
+  MlvmBackend B(MlvmOptions::cheap());
+  runCorpusDifferential(B);
+}
+
+TEST(Mlvm, OptCorpusDifferential) {
+  MlvmBackend B(MlvmOptions::opt());
+  runCorpusDifferential(B);
+}
+
+TEST(Mlvm, SelDagCheapCorpusDifferential) {
+  MlvmOptions O;
+  O.Isel = IselKind::Dag;
+  MlvmBackend B(O);
+  runCorpusDifferential(B);
+}
+
+TEST(Mlvm, GlobalIselCorpusDifferential) {
+  MlvmOptions O;
+  O.Isel = IselKind::Global;
+  MlvmBackend B(O);
+  runCorpusDifferential(B);
+}
+
+TEST(Mlvm, StructPairsCorpusDifferential) {
+  MlvmOptions O;
+  O.Mode = D128Mode::StructPairs;
+  MlvmBackend B(O);
+  runCorpusDifferential(B);
+}
+
+TEST(Mlvm, OptStructPairsCorpusDifferential) {
+  MlvmOptions O = MlvmOptions::opt();
+  O.Mode = D128Mode::StructPairs;
+  MlvmBackend B(O);
+  runCorpusDifferential(B);
+}
+
+TEST(Mlvm, FastIselFallbackCensus) {
+  Corpus C = buildCorpus();
+  MlvmBackend B(MlvmOptions::cheap());
+  auto Compiled = B.compile(*C.M, nullptr);
+  const mlvm::IselStats &S = B.lastIselStats();
+  // The corpus contains i128 arithmetic and d128-typed calls: both classes
+  // of fallback must be observed (§V-B3).
+  EXPECT_GT(S.Fallbacks.Int128, 0u);
+  EXPECT_GT(S.Fallbacks.CallsAndIntrinsics, 0u);
+  EXPECT_GT(S.Fallbacks.total(), 0u);
+}
+
+TEST(Mlvm, StructPairsCauseMoreFallbacks) {
+  // A function that only passes 16-byte string values *into* runtime
+  // calls: with split pairs every value fits one register and FastISel
+  // selects everything; with struct pairs the pack triggers a fallback
+  // (§V-A2 item 3).
+  auto BuildModule = [] {
+    auto M = std::make_unique<qir::Module>();
+    rt::RuntimeSyms Syms = rt::declareRuntime(*M);
+    qir::Function *F = M->createFunction(
+        "streq", {Type::I64, Type::I64, Type::I64, Type::I64}, Type::I64);
+    Builder B(F);
+    ValueId S1 = B.packD128(F->paramValue(0), F->paramValue(1));
+    ValueId S2 = B.packD128(F->paramValue(2), F->paramValue(3));
+    B.ret(B.call(Syms.StrEq, {S1, S2}));
+    return M;
+  };
+
+  auto M1 = BuildModule();
+  MlvmBackend Split(MlvmOptions::cheap());
+  Split.compile(*M1, nullptr);
+  uint64_t SplitFallbacks = Split.lastIselStats().Fallbacks.total();
+
+  auto M2 = BuildModule();
+  MlvmOptions O;
+  O.Mode = D128Mode::StructPairs;
+  MlvmBackend Structs(O);
+  Structs.compile(*M2, nullptr);
+  uint64_t StructFallbacks = Structs.lastIselStats().Fallbacks.total();
+
+  EXPECT_EQ(SplitFallbacks, 0u);
+  EXPECT_GT(StructFallbacks, 0u);
+}
+
+TEST(Mlvm, CompileTimeBreakdownStages) {
+  Corpus C = buildCorpus();
+  MlvmBackend B(MlvmOptions::cheap());
+  TimeTrace Trace;
+  auto Compiled = B.compile(*C.M, &Trace);
+  EXPECT_GT(Trace.totalNs("mlvm.irgen"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.prep"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.isel"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.ra.fast"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.mir.phielim"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.mir.twoaddress"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.mir.pei"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.asmprinter"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.objectwriter"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.link"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.irdestroy"), 0u);
+}
+
+TEST(Mlvm, OptBreakdownHasOptPasses) {
+  Corpus C = buildCorpus();
+  MlvmBackend B(MlvmOptions::opt());
+  TimeTrace Trace;
+  auto Compiled = B.compile(*C.M, &Trace);
+  EXPECT_GT(Trace.totalNs("mlvm.opt.cse"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.opt.licm"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.opt.dce"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.ra.greedy"), 0u);
+  // The dominator tree is computed twice (§V-B2).
+  const TimeRecord &DT = Trace.records().at("mlvm.opt.domtree");
+  EXPECT_GE(DT.Count, 2u * C.M->functions().size());
+}
+
+TEST(Mlvm, GlobalIselHasFourStages) {
+  Corpus C = buildCorpus();
+  MlvmOptions O;
+  O.Isel = IselKind::Global;
+  MlvmBackend B(O);
+  TimeTrace Trace;
+  auto Compiled = B.compile(*C.M, &Trace);
+  EXPECT_GT(Trace.totalNs("mlvm.isel.gisel.irtranslator"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.isel.gisel.legalizer"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.isel.gisel.regbankselect"), 0u);
+  EXPECT_GT(Trace.totalNs("mlvm.isel.gisel.instructionselect"), 0u);
+}
+
+TEST(Mlvm, ElfObjectIsWellFormed) {
+  Corpus C = buildCorpus();
+  // Build the object directly for structural checks.
+  MlvmBackend B(MlvmOptions::cheap());
+  auto Compiled = B.compile(*C.M, nullptr); // sanity: links fine
+  // Basic ELF invariants via a tiny reparse: magic + section count.
+  mlvm::McModule Mc;
+  // (Reuse of internals is covered by the full pipeline; here we check
+  // the serialized object of a minimal module.)
+  qir::Module M2;
+  rt::declareRuntime(M2);
+  qir::Function *F = M2.createFunction("tiny", {Type::I64}, Type::I64);
+  Builder Bld(F);
+  Bld.ret(Bld.add(F->paramValue(0), Bld.constInt(Type::I64, 1)));
+  auto IR = mlvm::translateToMlvm(*F, D128Mode::SplitPairs);
+  auto MIR = mlvm::selectInstructions(*IR, IselKind::Fast, nullptr, nullptr);
+  mlvm::runPhiElimination(*MIR, nullptr);
+  mlvm::runTwoAddress(*MIR, nullptr);
+  auto RA = mlvm::runRegAlloc(*MIR, mlvm::RegAllocKind::Fast, nullptr);
+  auto Frame = mlvm::runPrologEpilog(*MIR, RA, nullptr);
+  mlvm::printFunction(*MIR, Frame, &Mc, nullptr);
+  std::vector<uint8_t> Obj = mlvm::writeElfObject(Mc, nullptr);
+  ASSERT_GT(Obj.size(), 64u);
+  EXPECT_EQ(Obj[0], 0x7f);
+  EXPECT_EQ(Obj[1], 'E');
+  EXPECT_EQ(Obj[2], 'L');
+  EXPECT_EQ(Obj[3], 'F');
+  EXPECT_EQ(Obj[4], 2); // 64-bit
+  // Link it and run.
+  auto Image = mlvm::jitLink(Obj, nullptr);
+  auto *Fn = reinterpret_cast<int64_t (*)(int64_t)>(Image->lookup("tiny"));
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_EQ(Fn(41), 42);
+}
+
+TEST(Mlvm, CallsGoThroughPlt) {
+  // A module with runtime calls must get PLT entries (SmallPIC, §V-A2).
+  Corpus C = buildCorpus();
+  MlvmBackend B(MlvmOptions::cheap());
+  TimeTrace Trace;
+  auto Compiled = B.compile(*C.M, &Trace);
+  EXPECT_GT(Trace.totalNs("mlvm.link.phase2"), 0u);
+  // Functional check: the strings corpus case calls rt_str_* through the
+  // PLT and must still compute correct results (covered by differential
+  // tests); here we just ensure the entry exists.
+  EXPECT_NE(Compiled->entry("strings"), nullptr);
+}
+
+TEST(Mlvm, TargetMachineCachedPerThread) {
+  mlvm::TargetMachine *A = mlvm::acquireTargetMachine(true);
+  mlvm::TargetMachine *B = mlvm::acquireTargetMachine(true);
+  EXPECT_EQ(A, B);
+  EXPECT_GE(B->FunctionLevelOverrides, 2u);
+  EXPECT_FALSE(A->Features.empty());
+  mlvm::TargetMachine *Fresh = mlvm::acquireTargetMachine(false);
+  EXPECT_NE(Fresh, A);
+  delete Fresh;
+}
+
+namespace {
+class MlvmProperty : public ::testing::TestWithParam<uint64_t> {};
+} // namespace
+
+TEST_P(MlvmProperty, MatchesInterpreterOnRandomFunctions) {
+  // Rotate configurations across seeds.
+  MlvmOptions O;
+  switch (GetParam() % 4) {
+  case 0:
+    O = MlvmOptions::cheap();
+    break;
+  case 1:
+    O = MlvmOptions::opt();
+    break;
+  case 2:
+    O.Isel = IselKind::Global;
+    break;
+  default:
+    O = MlvmOptions::opt();
+    O.Mode = D128Mode::StructPairs;
+    break;
+  }
+  MlvmBackend B(O);
+  runRandomDifferentialFor(B, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlvmProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(Mlvm, ReuseAnalysesPreservesSemantics) {
+  mlvm::MlvmOptions O = mlvm::MlvmOptions::opt();
+  O.ReuseAnalyses = true;
+  mlvm::MlvmBackend BE(O);
+  test::runCorpusDifferential(BE);
+}
+
+TEST(Mlvm, DagPhiIncomingCombinedToConstant) {
+  // Regression: a phi incoming whose defining instruction the DAG
+  // combiner replaced with a *constant* (here `and i32 C, C` -> C) must
+  // be materialized in the predecessor, not read from the replacement's
+  // never-defined vreg.
+  qir::Module M;
+  qir::Function *F = M.createFunction("f", {qir::Type::I64}, qir::Type::I64);
+  Builder B(F);
+  ValueId C7 = B.constInt(Type::I32, 7);
+  ValueId Init = B.and_(C7, C7); // Combines to the constant 7.
+  ValueId Zero = B.constInt(Type::I64, 0);
+  ValueId Lim = B.constInt(Type::I64, 8);
+  ValueId One = B.constInt(Type::I64, 1);
+  BlockId H = B.createBlock(), Body = B.createBlock(), E = B.createBlock();
+  B.br(H);
+  B.startBlock(H);
+  ValueId I = B.phi(Type::I64, 2);
+  ValueId Acc = B.phi(Type::I32, 2);
+  ValueId Cmp = B.icmp(CmpPred::SLt, I, Lim);
+  B.condBr(Cmp, Body, E);
+  B.startBlock(Body);
+  ValueId AccN = B.add(Acc, C7);
+  ValueId IN = B.add(I, One);
+  B.setPhiIncoming(I, 0, 0, Zero);
+  B.setPhiIncoming(I, 1, Body, IN);
+  B.setPhiIncoming(Acc, 0, 0, Init);
+  B.setPhiIncoming(Acc, 1, Body, AccN);
+  B.br(H);
+  B.startBlock(E);
+  B.ret(B.zext(Type::I64, Acc));
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  for (mlvm::IselKind K :
+       {mlvm::IselKind::Fast, mlvm::IselKind::Dag, mlvm::IselKind::Global}) {
+    for (bool Opt : {false, true}) {
+      mlvm::MlvmOptions O;
+      O.Optimize = Opt;
+      O.Isel = K;
+      mlvm::MlvmBackend BE(O);
+      auto Compiled = BE.compile(M, nullptr);
+      auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t)>("f");
+      EXPECT_EQ(Fn(0), 63u) << "isel=" << static_cast<int>(K)
+                            << " opt=" << Opt;
+    }
+  }
+}
+
+TEST(Mlvm, PltEntriesSharedAcrossCallers) {
+  // SmallPIC builds one GOT+PLT per module (§V-A2): two functions
+  // calling the same runtime symbol share one PLT entry.
+  qir::Module M;
+  qir::SymbolId Crc = M.declareRuntime(
+      "rt_crc32", Type::I64, {Type::I64, Type::I64},
+      rt::runtimeSymbolAddress("rt_crc32"));
+  for (const char *Name : {"f1", "f2"}) {
+    qir::Function *F =
+        M.createFunction(Name, {Type::I64, Type::I64}, Type::I64);
+    Builder B(F);
+    B.ret(B.call(Crc, {F->paramValue(0), F->paramValue(1)}));
+  }
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  MlvmBackend BE(MlvmOptions::cheap());
+  std::vector<uint8_t> Obj = BE.compileToObject(M, nullptr);
+  auto Image = mlvm::jitLink(Obj, nullptr);
+  // One entry for rt_crc32 shared by both callers, plus the always-
+  // present rt_trap used by trap stubs.
+  EXPECT_EQ(Image->PltEntries, 2u);
+
+  auto *F1 = reinterpret_cast<uint64_t (*)(uint64_t, uint64_t)>(
+      Image->lookup("f1"));
+  auto *F2 = reinterpret_cast<uint64_t (*)(uint64_t, uint64_t)>(
+      Image->lookup("f2"));
+  ASSERT_NE(F1, nullptr);
+  ASSERT_NE(F2, nullptr);
+  EXPECT_EQ(F1(1, 2), F2(1, 2));
+  EXPECT_EQ(F1(1, 2), rt::runtimeSymbolAddress("rt_crc32")
+                          ? reinterpret_cast<uint64_t (*)(uint64_t,
+                                                          uint64_t)>(
+                                rt::runtimeSymbolAddress("rt_crc32"))(1, 2)
+                          : 0u);
+}
+
+TEST(Mlvm, LinkerWithoutCallsHasOnlyTrapPlt) {
+  qir::Module M;
+  qir::Function *F = M.createFunction("pure", {Type::I64}, Type::I64);
+  Builder B(F);
+  B.ret(B.mul(F->paramValue(0), B.constInt(Type::I64, 3)));
+  MlvmBackend BE(MlvmOptions::cheap());
+  std::vector<uint8_t> Obj = BE.compileToObject(M, nullptr);
+  auto Image = mlvm::jitLink(Obj, nullptr);
+  // Only the always-present rt_trap entry; no other externals.
+  EXPECT_EQ(Image->PltEntries, 1u);
+  EXPECT_EQ(Image->lookup("nonexistent"), nullptr);
+  auto *Fn =
+      reinterpret_cast<int64_t (*)(int64_t)>(Image->lookup("pure"));
+  EXPECT_EQ(Fn(14), 42);
+}

@@ -1,0 +1,218 @@
+//===- tests/StatsTest.cpp - Compile-pipeline statistics tests -------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the observable *structure* of each back-end's compilation —
+/// the quantities the paper's analysis hinges on: tree-matching merges,
+/// cmp/branch fusion, B-tree traversal work, DAG combine and known-bits
+/// activity, MC virtual-dispatch counts, and layout normalization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "craneline/Craneline.h"
+#include "craneline/Lower.h"
+#include "craneline/RegAlloc.h"
+#include "craneline/Translate.h"
+#include "db/Datagen.h"
+#include "db/Executor.h"
+#include "db/Queries.h"
+#include "interp/Interp.h"
+#include "mlvm/Mlvm.h"
+#include "qir/Print.h"
+#include "tests/Corpus.h"
+#include <gtest/gtest.h>
+
+using namespace qcf;
+using namespace qcf::test;
+
+TEST(CranelineStats, TreeMatchingMergesConstants) {
+  // add(x, const) with a single-use constant must fold to an immediate.
+  qir::Module M;
+  qir::Function *F = M.createFunction("f", {Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId C1 = B.constInt(Type::I64, 42);
+  ValueId A = B.add(F->paramValue(0), C1);
+  ValueId C2 = B.constInt(Type::I64, 3);
+  B.ret(B.shl(A, C2));
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  craneline::CFunction CF;
+  craneline::translateFunction(*F, craneline::CranelineOptions(), &CF);
+  craneline::VCode VC;
+  craneline::LowerStats St = craneline::lowerFunction(CF, &VC, nullptr);
+  EXPECT_GE(St.MergedConsts, 2u);
+}
+
+TEST(CranelineStats, CmpBranchFusion) {
+  qir::Module M;
+  qir::Function *F = M.createFunction("f", {Type::I64}, Type::I64);
+  Builder B(F);
+  BlockId T = B.createBlock(), E = B.createBlock();
+  ValueId C = B.icmp(CmpPred::SLt, F->paramValue(0),
+                     B.constInt(Type::I64, 10));
+  B.condBr(C, T, E);
+  B.startBlock(T);
+  B.ret(B.constInt(Type::I64, 1));
+  B.startBlock(E);
+  B.ret(B.constInt(Type::I64, 2));
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  craneline::CFunction CF;
+  craneline::translateFunction(*F, craneline::CranelineOptions(), &CF);
+  craneline::VCode VC;
+  craneline::LowerStats St = craneline::lowerFunction(CF, &VC, nullptr);
+  EXPECT_EQ(St.FusedCmpBranches, 1u);
+}
+
+TEST(CranelineStats, RegAllocUsesBTrees) {
+  Corpus C = buildCorpus();
+  for (const auto &F : C.M->functions()) {
+    craneline::CFunction CF;
+    craneline::translateFunction(*F, craneline::CranelineOptions(), &CF);
+    craneline::VCode VC;
+    craneline::lowerFunction(CF, &VC, nullptr);
+    craneline::RegAllocResult RA =
+        craneline::allocateRegisters(&VC, nullptr);
+    EXPECT_GT(RA.Stats.BTreeSteps, 0u) << F->name();
+  }
+}
+
+TEST(CranelineStats, PressureCausesSpills) {
+  qir::Module M;
+  qir::Function *F = M.createFunction("spill", {Type::I64}, Type::I64);
+  Builder B(F);
+  std::vector<ValueId> Vals;
+  for (int I = 0; I != 40; ++I)
+    Vals.push_back(B.mul(F->paramValue(0), B.constInt(Type::I64, I + 2)));
+  ValueId Acc = B.constInt(Type::I64, 0);
+  for (int I = 39; I >= 0; --I)
+    Acc = B.add(Acc, Vals[I]);
+  B.ret(Acc);
+  craneline::CFunction CF;
+  craneline::translateFunction(*F, craneline::CranelineOptions(), &CF);
+  craneline::VCode VC;
+  craneline::lowerFunction(CF, &VC, nullptr);
+  craneline::RegAllocResult RA = craneline::allocateRegisters(&VC, nullptr);
+  EXPECT_GT(RA.Stats.NumSpilled, 0u);
+  EXPECT_GT(RA.NumSpillSlots, 0u);
+}
+
+TEST(MlvmStats, DagCombinesAndKnownBits) {
+  // add(x, 0) and and(zext(u8), 0xff) are combinable; known-bits queries
+  // must be recorded (the paper singles out this recursion, §V-B3a).
+  qir::Module M;
+  qir::Function *F = M.createFunction("f", {Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId X = B.add(F->paramValue(0), B.constInt(Type::I64, 0));
+  ValueId Narrow = B.trunc(Type::I8, X);
+  ValueId Wide = B.zext(Type::I64, Narrow);
+  ValueId Masked = B.and_(Wide, B.constInt(Type::I64, 0xff));
+  B.ret(Masked);
+  ASSERT_EQ(qir::verify(M), std::nullopt);
+
+  mlvm::MlvmOptions O;
+  O.Isel = mlvm::IselKind::Dag;
+  mlvm::MlvmBackend BE(O);
+  auto Compiled = BE.compile(M, nullptr);
+  EXPECT_GE(BE.lastIselStats().DagCombines, 2u);
+  EXPECT_GT(BE.lastIselStats().KnownBitsQueries, 0u);
+  EXPECT_GT(BE.lastIselStats().DagNodes, 0u);
+  // Correctness of the combines.
+  auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t)>("f");
+  EXPECT_EQ(Fn(0x1234), 0x34u);
+}
+
+TEST(MlvmStats, IrObjectCountTracked) {
+  Corpus C = buildCorpus();
+  mlvm::MlvmBackend BE(mlvm::MlvmOptions::cheap());
+  BE.compile(*C.M, nullptr);
+  // Object-graph construction is the IRGen cost (§V-B1).
+  EXPECT_GT(BE.lastNumIrObjects(), 200u);
+}
+
+TEST(QirNormalize, ReordersOutOfLayoutBlocks) {
+  // Build a function whose block ids are created out of layout order, as
+  // the query code generator does.
+  qir::Module M;
+  qir::Function *F = M.createFunction("f", {Type::I1}, Type::I64);
+  Builder B(F);
+  BlockId Later = B.createBlock();  // id 1, started last
+  BlockId Sooner = B.createBlock(); // id 2, started first
+  B.condBr(F->paramValue(0), Sooner, Later);
+  B.startBlock(Sooner);
+  B.ret(B.constInt(Type::I64, 1));
+  B.startBlock(Later);
+  B.ret(B.constInt(Type::I64, 2));
+
+  // Out of layout order now; the verifier rejects it.
+  EXPECT_NE(qir::verify(*F), std::nullopt);
+  qir::normalizeLayout(*F);
+  auto Err = qir::verify(*F);
+  EXPECT_EQ(Err, std::nullopt) << Err.value_or("");
+  // Semantics preserved: block ids remapped in the branch.
+  interp::InterpBackend IB;
+  auto Compiled = IB.compile(M, nullptr);
+  auto *Fn = Compiled->entryAs<int64_t (*)(uint64_t)>("f");
+  EXPECT_EQ(Fn(1), 1);
+  EXPECT_EQ(Fn(0), 2);
+}
+
+TEST(DbStats, PipelineCountsMatchPlanShape) {
+  db::Catalog Cat;
+  db::generateTpchLike(Cat, 0.1);
+  for (db::Query &Q : db::tpchQueries()) {
+    db::CompiledPlan P = db::compileQuery(Q, Cat);
+    size_t Breakers = P.Objects.size();
+    // Pipelines = breakers' producers + the final output pipeline +
+    // aggregate-scan feeders; at least breakers+1 overall.
+    EXPECT_GE(P.Pipelines.size(), Breakers >= 1 ? 2u : 1u) << Q.Name;
+    // The module contains one function per pipeline plus comparators.
+    size_t Cmps = 0;
+    for (const db::RuntimeObject &O : P.Objects)
+      Cmps += !O.CmpFnName.empty();
+    EXPECT_EQ(P.Module->functions().size(), P.Pipelines.size() + Cmps)
+        << Q.Name;
+  }
+}
+
+TEST(DbStats, GeneratedPipelinesUseHotConstructs) {
+  // The generated code must contain the constructs the paper highlights:
+  // crc32 hashing, overflow-checked decimal arithmetic, runtime calls.
+  db::Catalog Cat;
+  db::generateTpchLike(Cat, 0.1);
+  db::Query Q = [&] {
+    for (db::Query &Cand : db::tpchQueries())
+      if (Cand.Name == "h1")
+        return std::move(Cand);
+    QCF_UNREACHABLE("h1 missing");
+  }();
+  db::CompiledPlan P = db::compileQuery(Q, Cat);
+  std::string IR = qir::printModule(*P.Module);
+  EXPECT_NE(IR.find("crc32"), std::string::npos);
+  EXPECT_NE(IR.find("saddtrap i128"), std::string::npos);
+  EXPECT_NE(IR.find("smultrap i128"), std::string::npos);
+  EXPECT_NE(IR.find("call ptr @rt_ht_insert"), std::string::npos);
+  EXPECT_NE(IR.find("lmulfold"), std::string::npos);
+}
+
+TEST(MlvmStats, ReuseAnalysesHalvesDomtreeComputations) {
+  // §V-B2 ablation: the default pipeline computes the dominator tree and
+  // loop info twice per function; ReuseAnalyses computes them once, with
+  // identical compiled code.
+  Corpus C = buildCorpus();
+  size_t NumFns = C.M->functions().size();
+
+  mlvm::MlvmOptions Twice = mlvm::MlvmOptions::opt();
+  mlvm::MlvmOptions Once = mlvm::MlvmOptions::opt();
+  Once.ReuseAnalyses = true;
+
+  TimeTrace T1, T2;
+  mlvm::MlvmBackend B1(Twice), B2(Once);
+  B1.compile(*C.M, &T1);
+  B2.compile(*C.M, &T2);
+  EXPECT_EQ(T1.count("mlvm.opt.domtree"), 2 * NumFns);
+  EXPECT_EQ(T2.count("mlvm.opt.domtree"), NumFns);
+}
