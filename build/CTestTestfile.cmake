@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/support")
+subdirs("src/qir")
+subdirs("src/runtime")
+subdirs("src/interp")
+subdirs("src/x64")
+subdirs("src/direct")
+subdirs("src/craneline")
+subdirs("src/mlvm")
+subdirs("src/gccjit")
+subdirs("src/backend")
+subdirs("src/db")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_craneline_breakdown.dir/bench_craneline_breakdown.cpp.o"
+  "CMakeFiles/bench_craneline_breakdown.dir/bench_craneline_breakdown.cpp.o.d"
+  "bench_craneline_breakdown"
+  "bench_craneline_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_craneline_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_craneline_insts.dir/bench_craneline_insts.cpp.o"
+  "CMakeFiles/bench_craneline_insts.dir/bench_craneline_insts.cpp.o.d"
+  "bench_craneline_insts"
+  "bench_craneline_insts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_craneline_insts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_craneline_insts.
+# This may be replaced when dependencies are built.

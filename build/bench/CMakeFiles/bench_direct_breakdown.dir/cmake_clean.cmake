@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct_breakdown.dir/bench_direct_breakdown.cpp.o"
+  "CMakeFiles/bench_direct_breakdown.dir/bench_direct_breakdown.cpp.o.d"
+  "bench_direct_breakdown"
+  "bench_direct_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gcc_breakdown.dir/bench_gcc_breakdown.cpp.o"
+  "CMakeFiles/bench_gcc_breakdown.dir/bench_gcc_breakdown.cpp.o.d"
+  "bench_gcc_breakdown"
+  "bench_gcc_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gcc_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

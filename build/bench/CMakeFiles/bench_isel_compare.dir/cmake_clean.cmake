@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isel_compare.dir/bench_isel_compare.cpp.o"
+  "CMakeFiles/bench_isel_compare.dir/bench_isel_compare.cpp.o.d"
+  "bench_isel_compare"
+  "bench_isel_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isel_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mlvm_ablations.dir/bench_mlvm_ablations.cpp.o"
+  "CMakeFiles/bench_mlvm_ablations.dir/bench_mlvm_ablations.cpp.o.d"
+  "bench_mlvm_ablations"
+  "bench_mlvm_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mlvm_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

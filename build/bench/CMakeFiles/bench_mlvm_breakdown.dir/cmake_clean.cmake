@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mlvm_breakdown.dir/bench_mlvm_breakdown.cpp.o"
+  "CMakeFiles/bench_mlvm_breakdown.dir/bench_mlvm_breakdown.cpp.o.d"
+  "bench_mlvm_breakdown"
+  "bench_mlvm_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mlvm_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_per_query.dir/bench_per_query.cpp.o"
+  "CMakeFiles/bench_per_query.dir/bench_per_query.cpp.o.d"
+  "bench_per_query"
+  "bench_per_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_per_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

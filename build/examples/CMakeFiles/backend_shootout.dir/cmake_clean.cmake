@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_shootout.dir/backend_shootout.cpp.o"
+  "CMakeFiles/backend_shootout.dir/backend_shootout.cpp.o.d"
+  "backend_shootout"
+  "backend_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_time_explorer.dir/compile_time_explorer.cpp.o"
+  "CMakeFiles/compile_time_explorer.dir/compile_time_explorer.cpp.o.d"
+  "compile_time_explorer"
+  "compile_time_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_time_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

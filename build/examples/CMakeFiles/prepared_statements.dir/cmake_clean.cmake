@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepared_statements.dir/prepared_statements.cpp.o"
+  "CMakeFiles/prepared_statements.dir/prepared_statements.cpp.o.d"
+  "prepared_statements"
+  "prepared_statements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepared_statements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

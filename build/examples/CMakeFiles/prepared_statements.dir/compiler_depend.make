@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prepared_statements.
+# This may be replaced when dependencies are built.

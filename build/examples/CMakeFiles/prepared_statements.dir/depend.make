@@ -1,0 +1,2 @@
+# Empty dependencies file for prepared_statements.
+# This may be replaced when dependencies are built.

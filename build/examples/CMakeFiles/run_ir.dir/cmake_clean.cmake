@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_ir.dir/run_ir.cpp.o"
+  "CMakeFiles/run_ir.dir/run_ir.cpp.o.d"
+  "run_ir"
+  "run_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

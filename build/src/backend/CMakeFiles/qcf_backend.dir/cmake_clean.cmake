@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_backend.dir/Cache.cpp.o"
+  "CMakeFiles/qcf_backend.dir/Cache.cpp.o.d"
+  "CMakeFiles/qcf_backend.dir/Registry.cpp.o"
+  "CMakeFiles/qcf_backend.dir/Registry.cpp.o.d"
+  "libqcf_backend.a"
+  "libqcf_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcf_backend.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/craneline/Craneline.cpp" "src/craneline/CMakeFiles/qcf_craneline.dir/Craneline.cpp.o" "gcc" "src/craneline/CMakeFiles/qcf_craneline.dir/Craneline.cpp.o.d"
+  "/root/repo/src/craneline/Emit.cpp" "src/craneline/CMakeFiles/qcf_craneline.dir/Emit.cpp.o" "gcc" "src/craneline/CMakeFiles/qcf_craneline.dir/Emit.cpp.o.d"
+  "/root/repo/src/craneline/Lower.cpp" "src/craneline/CMakeFiles/qcf_craneline.dir/Lower.cpp.o" "gcc" "src/craneline/CMakeFiles/qcf_craneline.dir/Lower.cpp.o.d"
+  "/root/repo/src/craneline/RegAlloc.cpp" "src/craneline/CMakeFiles/qcf_craneline.dir/RegAlloc.cpp.o" "gcc" "src/craneline/CMakeFiles/qcf_craneline.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/craneline/Translate.cpp" "src/craneline/CMakeFiles/qcf_craneline.dir/Translate.cpp.o" "gcc" "src/craneline/CMakeFiles/qcf_craneline.dir/Translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qir/CMakeFiles/qcf_qir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/qcf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/x64/CMakeFiles/qcf_x64.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_craneline.dir/Craneline.cpp.o"
+  "CMakeFiles/qcf_craneline.dir/Craneline.cpp.o.d"
+  "CMakeFiles/qcf_craneline.dir/Emit.cpp.o"
+  "CMakeFiles/qcf_craneline.dir/Emit.cpp.o.d"
+  "CMakeFiles/qcf_craneline.dir/Lower.cpp.o"
+  "CMakeFiles/qcf_craneline.dir/Lower.cpp.o.d"
+  "CMakeFiles/qcf_craneline.dir/RegAlloc.cpp.o"
+  "CMakeFiles/qcf_craneline.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/qcf_craneline.dir/Translate.cpp.o"
+  "CMakeFiles/qcf_craneline.dir/Translate.cpp.o.d"
+  "libqcf_craneline.a"
+  "libqcf_craneline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_craneline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

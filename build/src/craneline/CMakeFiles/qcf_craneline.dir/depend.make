@@ -1,0 +1,2 @@
+# Empty dependencies file for qcf_craneline.
+# This may be replaced when dependencies are built.

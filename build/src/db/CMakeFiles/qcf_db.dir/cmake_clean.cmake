@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_db.dir/Codegen.cpp.o"
+  "CMakeFiles/qcf_db.dir/Codegen.cpp.o.d"
+  "CMakeFiles/qcf_db.dir/Datagen.cpp.o"
+  "CMakeFiles/qcf_db.dir/Datagen.cpp.o.d"
+  "CMakeFiles/qcf_db.dir/Executor.cpp.o"
+  "CMakeFiles/qcf_db.dir/Executor.cpp.o.d"
+  "CMakeFiles/qcf_db.dir/Queries.cpp.o"
+  "CMakeFiles/qcf_db.dir/Queries.cpp.o.d"
+  "libqcf_db.a"
+  "libqcf_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

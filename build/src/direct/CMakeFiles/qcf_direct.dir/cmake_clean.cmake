@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_direct.dir/DirectEmit.cpp.o"
+  "CMakeFiles/qcf_direct.dir/DirectEmit.cpp.o.d"
+  "libqcf_direct.a"
+  "libqcf_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

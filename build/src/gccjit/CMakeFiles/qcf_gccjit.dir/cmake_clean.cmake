@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_gccjit.dir/Gccjit.cpp.o"
+  "CMakeFiles/qcf_gccjit.dir/Gccjit.cpp.o.d"
+  "libqcf_gccjit.a"
+  "libqcf_gccjit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_gccjit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_interp.dir/Interp.cpp.o"
+  "CMakeFiles/qcf_interp.dir/Interp.cpp.o.d"
+  "libqcf_interp.a"
+  "libqcf_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

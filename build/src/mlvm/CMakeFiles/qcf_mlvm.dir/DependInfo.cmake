@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlvm/Ir.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Ir.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Ir.cpp.o.d"
+  "/root/repo/src/mlvm/Isel.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Isel.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Isel.cpp.o.d"
+  "/root/repo/src/mlvm/JitLink.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/JitLink.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/JitLink.cpp.o.d"
+  "/root/repo/src/mlvm/Mc.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Mc.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Mc.cpp.o.d"
+  "/root/repo/src/mlvm/MirPasses.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/MirPasses.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/MirPasses.cpp.o.d"
+  "/root/repo/src/mlvm/Mlvm.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Mlvm.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Mlvm.cpp.o.d"
+  "/root/repo/src/mlvm/Passes.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Passes.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Passes.cpp.o.d"
+  "/root/repo/src/mlvm/Translate.cpp" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Translate.cpp.o" "gcc" "src/mlvm/CMakeFiles/qcf_mlvm.dir/Translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qir/CMakeFiles/qcf_qir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/qcf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/x64/CMakeFiles/qcf_x64.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

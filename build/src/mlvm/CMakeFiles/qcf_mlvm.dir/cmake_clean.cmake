@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_mlvm.dir/Ir.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/Ir.cpp.o.d"
+  "CMakeFiles/qcf_mlvm.dir/Isel.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/Isel.cpp.o.d"
+  "CMakeFiles/qcf_mlvm.dir/JitLink.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/JitLink.cpp.o.d"
+  "CMakeFiles/qcf_mlvm.dir/Mc.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/Mc.cpp.o.d"
+  "CMakeFiles/qcf_mlvm.dir/MirPasses.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/MirPasses.cpp.o.d"
+  "CMakeFiles/qcf_mlvm.dir/Mlvm.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/Mlvm.cpp.o.d"
+  "CMakeFiles/qcf_mlvm.dir/Passes.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/Passes.cpp.o.d"
+  "CMakeFiles/qcf_mlvm.dir/Translate.cpp.o"
+  "CMakeFiles/qcf_mlvm.dir/Translate.cpp.o.d"
+  "libqcf_mlvm.a"
+  "libqcf_mlvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_mlvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

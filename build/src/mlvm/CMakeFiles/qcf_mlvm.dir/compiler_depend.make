@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qcf_mlvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qir/Cfg.cpp" "src/qir/CMakeFiles/qcf_qir.dir/Cfg.cpp.o" "gcc" "src/qir/CMakeFiles/qcf_qir.dir/Cfg.cpp.o.d"
+  "/root/repo/src/qir/Normalize.cpp" "src/qir/CMakeFiles/qcf_qir.dir/Normalize.cpp.o" "gcc" "src/qir/CMakeFiles/qcf_qir.dir/Normalize.cpp.o.d"
+  "/root/repo/src/qir/Parse.cpp" "src/qir/CMakeFiles/qcf_qir.dir/Parse.cpp.o" "gcc" "src/qir/CMakeFiles/qcf_qir.dir/Parse.cpp.o.d"
+  "/root/repo/src/qir/Print.cpp" "src/qir/CMakeFiles/qcf_qir.dir/Print.cpp.o" "gcc" "src/qir/CMakeFiles/qcf_qir.dir/Print.cpp.o.d"
+  "/root/repo/src/qir/Verify.cpp" "src/qir/CMakeFiles/qcf_qir.dir/Verify.cpp.o" "gcc" "src/qir/CMakeFiles/qcf_qir.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qcf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

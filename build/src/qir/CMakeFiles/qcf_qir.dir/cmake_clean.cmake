@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_qir.dir/Cfg.cpp.o"
+  "CMakeFiles/qcf_qir.dir/Cfg.cpp.o.d"
+  "CMakeFiles/qcf_qir.dir/Normalize.cpp.o"
+  "CMakeFiles/qcf_qir.dir/Normalize.cpp.o.d"
+  "CMakeFiles/qcf_qir.dir/Parse.cpp.o"
+  "CMakeFiles/qcf_qir.dir/Parse.cpp.o.d"
+  "CMakeFiles/qcf_qir.dir/Print.cpp.o"
+  "CMakeFiles/qcf_qir.dir/Print.cpp.o.d"
+  "CMakeFiles/qcf_qir.dir/Verify.cpp.o"
+  "CMakeFiles/qcf_qir.dir/Verify.cpp.o.d"
+  "libqcf_qir.a"
+  "libqcf_qir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_qir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qcf_qir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/HashTable.cpp" "src/runtime/CMakeFiles/qcf_runtime.dir/HashTable.cpp.o" "gcc" "src/runtime/CMakeFiles/qcf_runtime.dir/HashTable.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/runtime/CMakeFiles/qcf_runtime.dir/Runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/qcf_runtime.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qir/CMakeFiles/qcf_qir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_runtime.dir/HashTable.cpp.o"
+  "CMakeFiles/qcf_runtime.dir/HashTable.cpp.o.d"
+  "CMakeFiles/qcf_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/qcf_runtime.dir/Runtime.cpp.o.d"
+  "libqcf_runtime.a"
+  "libqcf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

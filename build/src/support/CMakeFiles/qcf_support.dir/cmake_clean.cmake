@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_support.dir/TimeTrace.cpp.o"
+  "CMakeFiles/qcf_support.dir/TimeTrace.cpp.o.d"
+  "libqcf_support.a"
+  "libqcf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

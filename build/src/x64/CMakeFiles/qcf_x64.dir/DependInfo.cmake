@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x64/Asm.cpp" "src/x64/CMakeFiles/qcf_x64.dir/Asm.cpp.o" "gcc" "src/x64/CMakeFiles/qcf_x64.dir/Asm.cpp.o.d"
+  "/root/repo/src/x64/CallbackThunk.cpp" "src/x64/CMakeFiles/qcf_x64.dir/CallbackThunk.cpp.o" "gcc" "src/x64/CMakeFiles/qcf_x64.dir/CallbackThunk.cpp.o.d"
+  "/root/repo/src/x64/ExecMemory.cpp" "src/x64/CMakeFiles/qcf_x64.dir/ExecMemory.cpp.o" "gcc" "src/x64/CMakeFiles/qcf_x64.dir/ExecMemory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qcf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

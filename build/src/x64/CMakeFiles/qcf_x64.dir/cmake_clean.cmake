@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_x64.dir/Asm.cpp.o"
+  "CMakeFiles/qcf_x64.dir/Asm.cpp.o.d"
+  "CMakeFiles/qcf_x64.dir/CallbackThunk.cpp.o"
+  "CMakeFiles/qcf_x64.dir/CallbackThunk.cpp.o.d"
+  "CMakeFiles/qcf_x64.dir/ExecMemory.cpp.o"
+  "CMakeFiles/qcf_x64.dir/ExecMemory.cpp.o.d"
+  "libqcf_x64.a"
+  "libqcf_x64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_x64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BackendTest.cpp" "tests/CMakeFiles/qcf_tests.dir/BackendTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/BackendTest.cpp.o.d"
+  "/root/repo/tests/CacheTest.cpp" "tests/CMakeFiles/qcf_tests.dir/CacheTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/CacheTest.cpp.o.d"
+  "/root/repo/tests/CranelineTest.cpp" "tests/CMakeFiles/qcf_tests.dir/CranelineTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/CranelineTest.cpp.o.d"
+  "/root/repo/tests/DbTest.cpp" "tests/CMakeFiles/qcf_tests.dir/DbTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/DbTest.cpp.o.d"
+  "/root/repo/tests/DirectTest.cpp" "tests/CMakeFiles/qcf_tests.dir/DirectTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/DirectTest.cpp.o.d"
+  "/root/repo/tests/ElfTest.cpp" "tests/CMakeFiles/qcf_tests.dir/ElfTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/ElfTest.cpp.o.d"
+  "/root/repo/tests/GccTest.cpp" "tests/CMakeFiles/qcf_tests.dir/GccTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/GccTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/qcf_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/MlvmTest.cpp" "tests/CMakeFiles/qcf_tests.dir/MlvmTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/MlvmTest.cpp.o.d"
+  "/root/repo/tests/ParseTest.cpp" "tests/CMakeFiles/qcf_tests.dir/ParseTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/ParseTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/qcf_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/QirTest.cpp" "tests/CMakeFiles/qcf_tests.dir/QirTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/QirTest.cpp.o.d"
+  "/root/repo/tests/RuntimeTest.cpp" "tests/CMakeFiles/qcf_tests.dir/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/RuntimeTest.cpp.o.d"
+  "/root/repo/tests/StatsTest.cpp" "tests/CMakeFiles/qcf_tests.dir/StatsTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/StatsTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/qcf_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/X64Test.cpp" "tests/CMakeFiles/qcf_tests.dir/X64Test.cpp.o" "gcc" "tests/CMakeFiles/qcf_tests.dir/X64Test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/qcf_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/qcf_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/gccjit/CMakeFiles/qcf_gccjit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlvm/CMakeFiles/qcf_mlvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/craneline/CMakeFiles/qcf_craneline.dir/DependInfo.cmake"
+  "/root/repo/build/src/direct/CMakeFiles/qcf_direct.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/qcf_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/qir/CMakeFiles/qcf_qir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/qcf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/x64/CMakeFiles/qcf_x64.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

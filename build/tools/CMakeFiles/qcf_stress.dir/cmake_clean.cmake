@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_stress.dir/qcf_stress.cpp.o"
+  "CMakeFiles/qcf_stress.dir/qcf_stress.cpp.o.d"
+  "qcf_stress"
+  "qcf_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
