@@ -1,0 +1,95 @@
+//===- bench/bench_async_compile.cpp - Async vs blocking compilation -------===//
+//
+// Part of the QCF project. End-to-end query latency with blocking
+// compilation (compile whole plan, then execute) vs. the CompileService
+// AsyncCompile mode (per-pipeline compilation overlapped with
+// runtime-object setup and upstream-pipeline execution). The paper
+// measures how much each framework's compile time costs the query; this
+// bench measures how much of that cost the service hides.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "backend/CompileService.h"
+
+using namespace qcf;
+using namespace qcf::bench;
+
+namespace {
+
+struct Timing {
+  double WallSec = 0;
+  double StallSec = 0; ///< Time spent blocked on compilation.
+};
+
+/// Runs one query end to end; best of \p Reps to suppress noise.
+Timing run(db::CompiledPlan &Plan, backend::Backend &BE,
+           const db::Catalog &Cat, const db::ExecOptions &Opts,
+           unsigned Reps = 3) {
+  Timing Best{1e100, 0};
+  for (unsigned R = 0; R != Reps; ++R) {
+    rt::OutputBuffer Out;
+    Stopwatch W;
+    db::ExecResult Res = db::executeQuery(Plan, BE, Cat, &Out, Opts);
+    double Wall = W.elapsedSec();
+    if (Res.Trapped)
+      reportFatalError("benchmark query trapped");
+    if (Wall < Best.WallSec)
+      Best = {Wall, Res.CompileSec};
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Async CompileService vs blocking compilation",
+              "the compile-on-critical-path cost the paper measures");
+  Suite S = makeDsSuite(1.0);
+
+  // One long-lived service, as a real system would run it: submitting to
+  // an already-warm pool is microseconds, so the comparison measures the
+  // overlap itself rather than thread start-up.
+  backend::CompileService Svc(2);
+
+  // Multi-pipeline plans are where the overlap pays: pipeline N compiles
+  // while pipelines 0..N-1 run.
+  const char *Backends[] = {"DirectEmit", "Craneline", "MLVM-cheap",
+                            "MLVM-opt"};
+
+  std::printf("%-14s %-11s %10s %10s %10s %8s\n", "query", "backend",
+              "block[ms]", "async[ms]", "stall[ms]", "hidden");
+  for (size_t Q = 0; Q != S.Plans.size(); ++Q) {
+    size_t Pipes = S.Plans[Q].Pipelines.size();
+    if (Pipes < 2)
+      continue; // Single-pipeline plans have nothing to overlap.
+    for (const char *Name : Backends) {
+      auto BlockBE = backend::createBackend(Name);
+      auto AsyncBE = backend::createBackend(Name);
+
+      db::ExecOptions Blocking;
+      Timing B = run(S.Plans[Q], *BlockBE, S.Cat, Blocking);
+
+      db::ExecOptions Async;
+      Async.AsyncCompile = true;
+      Async.Service = &Svc;
+      Timing A = run(S.Plans[Q], *AsyncBE, S.Cat, Async);
+
+      // "hidden": fraction of the blocking-mode compile wait that async
+      // mode took off the critical path.
+      double Hidden = B.WallSec > 0 && A.StallSec <= B.WallSec
+                          ? 1.0 - A.StallSec / std::max(B.WallSec, 1e-12)
+                          : 0.0;
+      std::printf("%-14s %-11s %10.2f %10.2f %10.2f %7.0f%%\n",
+                  S.Names[Q].c_str(), Name, B.WallSec * 1e3, A.WallSec * 1e3,
+                  A.StallSec * 1e3, Hidden * 100);
+    }
+  }
+  std::printf("\nasync submits every pipeline up front and only waits for "
+              "its own unit;\nstall is the residual wait on the critical "
+              "path (CompileSec in async mode).\nOn multi-core hosts "
+              "async wall time <= blocking; on a single core the overlap\n"
+              "degenerates to time-slicing and 'stall' is the column that "
+              "shrinks.\n");
+  return 0;
+}

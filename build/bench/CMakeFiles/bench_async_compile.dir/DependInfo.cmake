@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_async_compile.cpp" "bench/CMakeFiles/bench_async_compile.dir/bench_async_compile.cpp.o" "gcc" "bench/CMakeFiles/bench_async_compile.dir/bench_async_compile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/qcf_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/qcf_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/qcf_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/direct/CMakeFiles/qcf_direct.dir/DependInfo.cmake"
+  "/root/repo/build/src/craneline/CMakeFiles/qcf_craneline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlvm/CMakeFiles/qcf_mlvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/x64/CMakeFiles/qcf_x64.dir/DependInfo.cmake"
+  "/root/repo/build/src/gccjit/CMakeFiles/qcf_gccjit.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/qcf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/qir/CMakeFiles/qcf_qir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

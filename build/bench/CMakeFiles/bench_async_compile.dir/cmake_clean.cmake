@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_compile.dir/bench_async_compile.cpp.o"
+  "CMakeFiles/bench_async_compile.dir/bench_async_compile.cpp.o.d"
+  "bench_async_compile"
+  "bench_async_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

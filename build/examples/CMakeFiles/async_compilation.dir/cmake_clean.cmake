@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_compilation.dir/async_compilation.cpp.o"
+  "CMakeFiles/async_compilation.dir/async_compilation.cpp.o.d"
+  "async_compilation"
+  "async_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

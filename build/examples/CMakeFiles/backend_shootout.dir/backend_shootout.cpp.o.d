@@ -213,8 +213,20 @@ examples/CMakeFiles/backend_shootout.dir/backend_shootout.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/backend/CompileService.h \
+ /root/repo/src/support/BoundedQueue.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -239,11 +251,8 @@ examples/CMakeFiles/backend_shootout.dir/backend_shootout.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/popcntintrin.h \
  /root/repo/src/support/Arena.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/db/Executor.h \
- /root/repo/src/db/Codegen.h /root/repo/src/db/Plan.h \
- /root/repo/src/runtime/Runtime.h /root/repo/src/runtime/HashTable.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/runtime/Trap.h \
+ /root/repo/src/db/Executor.h /root/repo/src/db/Codegen.h \
+ /root/repo/src/db/Plan.h /root/repo/src/runtime/Runtime.h \
+ /root/repo/src/runtime/HashTable.h /root/repo/src/runtime/Trap.h \
  /usr/include/c++/12/csetjmp /usr/include/setjmp.h \
  /root/repo/src/db/Queries.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/backend/Cache.cpp" "src/backend/CMakeFiles/qcf_backend.dir/Cache.cpp.o" "gcc" "src/backend/CMakeFiles/qcf_backend.dir/Cache.cpp.o.d"
+  "/root/repo/src/backend/CompileService.cpp" "src/backend/CMakeFiles/qcf_backend.dir/CompileService.cpp.o" "gcc" "src/backend/CMakeFiles/qcf_backend.dir/CompileService.cpp.o.d"
   "/root/repo/src/backend/Registry.cpp" "src/backend/CMakeFiles/qcf_backend.dir/Registry.cpp.o" "gcc" "src/backend/CMakeFiles/qcf_backend.dir/Registry.cpp.o.d"
   )
 

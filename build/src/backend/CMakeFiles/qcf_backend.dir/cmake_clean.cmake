@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/qcf_backend.dir/Cache.cpp.o"
   "CMakeFiles/qcf_backend.dir/Cache.cpp.o.d"
+  "CMakeFiles/qcf_backend.dir/CompileService.cpp.o"
+  "CMakeFiles/qcf_backend.dir/CompileService.cpp.o.d"
   "CMakeFiles/qcf_backend.dir/Registry.cpp.o"
   "CMakeFiles/qcf_backend.dir/Registry.cpp.o.d"
   "libqcf_backend.a"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_adaptive_async_tests.dir/AdaptiveAsyncTest.cpp.o"
+  "CMakeFiles/qcf_adaptive_async_tests.dir/AdaptiveAsyncTest.cpp.o.d"
+  "qcf_adaptive_async_tests"
+  "qcf_adaptive_async_tests.pdb"
+  "qcf_adaptive_async_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_adaptive_async_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

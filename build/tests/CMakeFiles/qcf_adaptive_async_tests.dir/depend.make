@@ -1,0 +1,2 @@
+# Empty dependencies file for qcf_adaptive_async_tests.
+# This may be replaced when dependencies are built.

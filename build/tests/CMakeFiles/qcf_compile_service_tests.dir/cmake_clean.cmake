@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcf_compile_service_tests.dir/CompileServiceTest.cpp.o"
+  "CMakeFiles/qcf_compile_service_tests.dir/CompileServiceTest.cpp.o.d"
+  "qcf_compile_service_tests"
+  "qcf_compile_service_tests.pdb"
+  "qcf_compile_service_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcf_compile_service_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -235,18 +235,27 @@ tests/CMakeFiles/qcf_tests.dir/StatsTest.cpp.o: \
  /root/repo/src/support/Arena.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/db/Executor.h /root/repo/src/db/Codegen.h \
+ /root/repo/src/db/Executor.h /root/repo/src/backend/CompileService.h \
+ /root/repo/src/support/BoundedQueue.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/db/Codegen.h \
  /root/repo/src/db/Plan.h /root/repo/src/runtime/Runtime.h \
- /root/repo/src/runtime/HashTable.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/runtime/Trap.h /usr/include/c++/12/csetjmp \
- /usr/include/setjmp.h /root/repo/src/db/Queries.h \
- /root/repo/src/interp/Interp.h /root/repo/src/x64/CallbackThunk.h \
- /root/repo/src/mlvm/Mlvm.h /root/repo/src/mlvm/Isel.h \
- /root/repo/src/mlvm/Ir.h /root/repo/src/mlvm/Mir.h \
- /root/repo/src/mlvm/Translate.h /root/repo/src/qir/Print.h \
- /root/repo/tests/Corpus.h /root/repo/src/qir/Builder.h \
- /root/repo/src/qir/Verify.h /usr/include/c++/12/optional \
+ /root/repo/src/runtime/HashTable.h /root/repo/src/runtime/Trap.h \
+ /usr/include/c++/12/csetjmp /usr/include/setjmp.h \
+ /root/repo/src/db/Queries.h /root/repo/src/interp/Interp.h \
+ /root/repo/src/x64/CallbackThunk.h /root/repo/src/mlvm/Mlvm.h \
+ /root/repo/src/mlvm/Isel.h /root/repo/src/mlvm/Ir.h \
+ /root/repo/src/mlvm/Mir.h /root/repo/src/mlvm/Translate.h \
+ /root/repo/src/qir/Print.h /root/repo/tests/Corpus.h \
+ /root/repo/src/qir/Builder.h /root/repo/src/qir/Verify.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

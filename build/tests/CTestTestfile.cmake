@@ -5,3 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/qcf_tests[1]_include.cmake")
+include("/root/repo/build/tests/qcf_compile_service_tests[1]_include.cmake")
+include("/root/repo/build/tests/qcf_adaptive_async_tests[1]_include.cmake")

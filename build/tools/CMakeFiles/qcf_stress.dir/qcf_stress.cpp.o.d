@@ -1,6 +1,6 @@
 tools/CMakeFiles/qcf_stress.dir/qcf_stress.cpp.o: \
  /root/repo/tools/qcf_stress.cpp /usr/include/stdc-predef.h \
- /root/repo/src/backend/Registry.h /root/repo/src/backend/Backend.h \
+ /root/repo/src/backend/Cache.h /root/repo/src/backend/Backend.h \
  /root/repo/src/qir/Function.h /root/repo/src/qir/Opcode.h \
  /root/repo/src/support/Compiler.h /usr/include/c++/12/cassert \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
@@ -213,13 +213,27 @@ tools/CMakeFiles/qcf_stress.dir/qcf_stress.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/backend/CompileService.h \
+ /root/repo/src/support/BoundedQueue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/backend/Registry.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -230,8 +244,6 @@ tools/CMakeFiles/qcf_stress.dir/qcf_stress.cpp.o: \
  /root/repo/tests/RandomQir.h /root/repo/src/qir/Builder.h \
  /root/repo/src/qir/Verify.h /usr/include/c++/12/optional \
  /root/repo/src/runtime/Runtime.h /root/repo/src/runtime/HashTable.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/runtime/StringVal.h /root/repo/src/support/Hash.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/nmmintrin.h \

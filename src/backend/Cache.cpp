@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "backend/Cache.h"
+#include "backend/CompileService.h"
 #include "support/Hash.h"
 
 namespace qcf::backend {
@@ -105,30 +106,71 @@ private:
 std::unique_ptr<CompiledModule>
 CachingBackend::compile(const qir::Module &M, TimeTrace *Trace) {
   uint64_t Key = hashModule(M);
+  std::shared_ptr<InFlight> Entry;
+  CompileService *Svc;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    std::unique_lock<std::mutex> Lock(Mutex);
     auto It = Map.find(Key);
     if (It != Map.end()) {
       ++Stats.Hits;
       Lru.splice(Lru.begin(), Lru, It->second); // Refresh recency.
       return std::make_unique<SharedModule>(It->second->second);
     }
+    auto PIt = Pending.find(Key);
+    if (PIt != Pending.end()) {
+      // In-flight dedup: another thread is already compiling this key.
+      // Waiting on its result costs one compile latency at most; starting
+      // a second compile would cost the same latency *and* the work.
+      ++Stats.Hits;
+      ++Stats.InFlightWaits;
+      std::shared_ptr<InFlight> Wait = PIt->second;
+      Lock.unlock();
+      std::unique_lock<std::mutex> WaitLock(Wait->Mutex);
+      Wait->Cv.wait(WaitLock, [&] { return Wait->Done; });
+      if (Wait->Result)
+        return std::make_unique<SharedModule>(Wait->Result);
+      // The owning compile failed; fall back to compiling ourselves
+      // (uncached, like the pre-dedup overflow path).
+      WaitLock.unlock();
+      return std::make_unique<SharedModule>(
+          std::shared_ptr<CompiledModule>(Inner->compile(M, Trace)));
+    }
     ++Stats.Misses;
+    Entry = std::make_shared<InFlight>();
+    Pending.emplace(Key, Entry);
+    Svc = Service;
   }
 
-  // Compile outside the lock; a racing thread may insert the same key
-  // first, in which case its result stays and ours is returned uncached.
-  std::shared_ptr<CompiledModule> Compiled = Inner->compile(M, Trace);
-  std::lock_guard<std::mutex> Lock(Mutex);
-  if (Map.count(Key))
-    return std::make_unique<SharedModule>(std::move(Compiled));
-  Lru.emplace_front(Key, Compiled);
-  Map[Key] = Lru.begin();
-  if (Capacity && Map.size() > Capacity) {
-    Map.erase(Lru.back().first);
-    Lru.pop_back();
-    ++Stats.Evictions;
+  // Compile outside the lock. The Pending entry guarantees no other
+  // thread compiles this key concurrently.
+  std::shared_ptr<CompiledModule> Compiled;
+  if (Svc) {
+    CompileTicket Ticket =
+        Svc->submit(M, *Inner, CompilePriority::Foreground, Trace);
+    Compiled = Ticket.wait(); // Null if the service was shut down mid-job.
   }
+  if (!Compiled)
+    Compiled = Inner->compile(M, Trace);
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    // Insert into the cache and retire the in-flight entry atomically, so
+    // there is no window in which a new lookup sees neither.
+    Lru.emplace_front(Key, Compiled);
+    Map[Key] = Lru.begin();
+    Pending.erase(Key);
+    if (Capacity && Map.size() > Capacity) {
+      Map.erase(Lru.back().first);
+      Lru.pop_back();
+      ++Stats.Evictions;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> EntryLock(Entry->Mutex);
+    Entry->Result = Compiled;
+    Entry->Done = true;
+  }
+  Entry->Cv.notify_all();
   return std::make_unique<SharedModule>(std::move(Compiled));
 }
 

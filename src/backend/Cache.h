@@ -26,11 +26,14 @@
 #define QCF_BACKEND_CACHE_H
 
 #include "backend/Backend.h"
+#include <condition_variable>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 
 namespace qcf::backend {
+
+class CompileService;
 
 /// Structural 64-bit hash of a module: function names and signatures,
 /// every instruction's semantic fields (the per-instruction `Scratch`
@@ -42,25 +45,41 @@ struct CacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
+  /// Lookups that found the key being compiled by another thread and
+  /// waited for that compilation instead of starting their own. Counted
+  /// inside Hits, so Hits + Misses == lookups always holds.
+  uint64_t InFlightWaits = 0;
 };
 
 /// Wraps \p Inner with an LRU cache of compiled modules.
 ///
-/// Thread-safe; concurrent compiles of the same module may both miss
-/// (both compile; one result wins), which trades duplicate work for not
-/// holding the lock across a compilation.
+/// Thread-safe, including in-flight deduplication: concurrent compiles of
+/// the same key are collapsed to one — the first miss compiles (outside
+/// the lock), every other thread waits on that compilation and shares its
+/// result, so each unique key reaches the inner back-end exactly once.
+/// With a CompileService attached, misses are routed through the service
+/// (centralized workers, per-backend latency stats); without one they
+/// compile on the calling thread. Either way the caller blocks until the
+/// module is ready — the dedup, not the asynchrony, is the point here.
 class CachingBackend : public Backend {
 public:
   /// \p Capacity bounds the number of retained compiled modules
-  /// (0 = unbounded).
-  explicit CachingBackend(std::unique_ptr<Backend> Inner,
-                          size_t Capacity = 0)
-      : Inner(std::move(Inner)), Capacity(Capacity) {}
+  /// (0 = unbounded). \p Service, when non-null, must outlive this
+  /// back-end.
+  explicit CachingBackend(std::unique_ptr<Backend> Inner, size_t Capacity = 0,
+                          CompileService *Service = nullptr)
+      : Inner(std::move(Inner)), Capacity(Capacity), Service(Service) {}
 
   std::string name() const override { return Inner->name() + "+cache"; }
 
   std::unique_ptr<CompiledModule> compile(const qir::Module &M,
                                           TimeTrace *Trace) override;
+
+  /// Routes future misses through \p S (null restores inline compiles).
+  void setService(CompileService *S) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Service = S;
+  }
 
   CacheStats stats() const {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -73,14 +92,25 @@ public:
   Backend &inner() { return *Inner; }
 
 private:
+  /// One key currently being compiled; waiters block on Cv until the
+  /// owning thread publishes Result (or fails and leaves it null).
+  struct InFlight {
+    std::mutex Mutex;
+    std::condition_variable Cv;
+    bool Done = false;
+    std::shared_ptr<CompiledModule> Result;
+  };
+
   std::unique_ptr<Backend> Inner;
   size_t Capacity;
+  CompileService *Service;
 
   mutable std::mutex Mutex;
   // LRU list, most-recent first; the map points into it.
   using LruEntry = std::pair<uint64_t, std::shared_ptr<CompiledModule>>;
   std::list<LruEntry> Lru;
   std::unordered_map<uint64_t, std::list<LruEntry>::iterator> Map;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> Pending;
   CacheStats Stats;
 };
 

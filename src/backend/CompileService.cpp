@@ -1,0 +1,182 @@
+//===- backend/CompileService.cpp - Async compilation service --------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/CompileService.h"
+#include "support/TimeTrace.h"
+
+namespace qcf::backend {
+
+using detail::CompileJob;
+
+bool CompileTicket::done() const {
+  if (!Job)
+    return false;
+  std::lock_guard<std::mutex> Lock(Job->Mutex);
+  return Job->St == CompileJob::State::Done ||
+         Job->St == CompileJob::State::Cancelled;
+}
+
+std::shared_ptr<CompiledModule> CompileTicket::poll() const {
+  if (!Job)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(Job->Mutex);
+  return Job->St == CompileJob::State::Done ? Job->Result : nullptr;
+}
+
+std::shared_ptr<CompiledModule> CompileTicket::wait() const {
+  if (!Job)
+    return nullptr;
+  std::unique_lock<std::mutex> Lock(Job->Mutex);
+  Job->Cv.wait(Lock, [&] {
+    return Job->St == CompileJob::State::Done ||
+           Job->St == CompileJob::State::Cancelled;
+  });
+  return Job->Result;
+}
+
+bool CompileTicket::cancel() {
+  if (!Job)
+    return false;
+  std::lock_guard<std::mutex> Lock(Job->Mutex);
+  if (Job->St != CompileJob::State::Queued)
+    return Job->St == CompileJob::State::Cancelled;
+  Job->St = CompileJob::State::Cancelled;
+  Job->Cv.notify_all();
+  return true;
+}
+
+CompileService::CompileService(unsigned NumWorkers, size_t QueueCapacity)
+    : Queue(QueueCapacity) {
+  if (NumWorkers == 0)
+    NumWorkers = 1;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService() { shutdown(); }
+
+CompileTicket CompileService::submit(const qir::Module &M, Backend &BE,
+                                     CompilePriority Priority,
+                                     TimeTrace *Trace) {
+  auto Job = std::make_shared<CompileJob>();
+  Job->M = &M;
+  Job->BE = &BE;
+  Job->Trace = Trace;
+
+  if (Stopping.load(std::memory_order_acquire)) {
+    // Degraded mode: compile synchronously so callers keep working after
+    // (or during) shutdown. The ticket is already complete.
+    Job->Result = BE.compile(M, Trace);
+    Job->St = CompileJob::State::Done;
+    return CompileTicket(std::move(Job));
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.JobsQueued;
+    ++Pending;
+  }
+  if (!Queue.push(Job, Priority == CompilePriority::Foreground)) {
+    // Shutdown raced the push: run it synchronously instead.
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      --Stats.JobsQueued;
+      --Pending;
+    }
+    Job->Result = BE.compile(M, Trace);
+    Job->St = CompileJob::State::Done;
+  }
+  return CompileTicket(Job);
+}
+
+void CompileService::workerLoop() {
+  std::shared_ptr<CompileJob> Job;
+  while (Queue.pop(Job)) {
+    bool Cancel = Stopping.load(std::memory_order_acquire);
+    finishJob(Job, Cancel);
+    Job.reset();
+  }
+}
+
+/// Runs (or cancels) one dequeued job and publishes its terminal state.
+void CompileService::finishJob(const std::shared_ptr<CompileJob> &Job,
+                               bool Cancel) {
+  {
+    std::lock_guard<std::mutex> Lock(Job->Mutex);
+    if (Job->St == CompileJob::State::Cancelled) {
+      // cancel() won the race; just account for it below.
+      Cancel = true;
+    } else if (Cancel) {
+      Job->St = CompileJob::State::Cancelled;
+      Job->Cv.notify_all();
+    } else {
+      Job->St = CompileJob::State::Running;
+    }
+  }
+
+  if (!Cancel) {
+    Stopwatch W;
+    std::shared_ptr<CompiledModule> Result =
+        Job->BE->compile(*Job->M, Job->Trace);
+    double Sec = W.elapsedSec();
+    // Account the completion *before* publishing Done: the instant a
+    // waiter wakes it may destroy the back-end (callers only keep it
+    // alive until the ticket completes), so BE->name() must not be
+    // touched afterwards — and stats() read after a wait() must already
+    // include this job.
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.JobsCompleted;
+      CompileLatency &L = Stats.PerBackend[Job->BE->name()];
+      if (L.Count == 0 || Sec < L.MinSec)
+        L.MinSec = Sec;
+      if (Sec > L.MaxSec)
+        L.MaxSec = Sec;
+      L.TotalSec += Sec;
+      ++L.Count;
+    }
+    std::lock_guard<std::mutex> Lock(Job->Mutex);
+    Job->Result = std::move(Result);
+    Job->St = CompileJob::State::Done;
+    Job->Cv.notify_all();
+  }
+
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  if (Cancel)
+    ++Stats.JobsCancelled;
+  if (--Pending == 0)
+    AllDoneCv.notify_all();
+}
+
+void CompileService::shutdown() {
+  bool First = !Stopping.exchange(true, std::memory_order_acq_rel);
+  Queue.close();
+  if (First) {
+    for (std::thread &T : Workers)
+      T.join();
+    // Workers drained the queue cancelling everything they popped after
+    // Stopping was set; anything left (e.g. close() raced a push) is
+    // cancelled here so no ticket waits forever.
+    std::shared_ptr<CompileJob> Job;
+    while (Queue.tryPop(Job))
+      finishJob(Job, /*Cancel=*/true);
+  }
+}
+
+void CompileService::drain() {
+  std::unique_lock<std::mutex> Lock(StatsMutex);
+  AllDoneCv.wait(Lock, [&] { return Pending == 0; });
+}
+
+CompileServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  CompileServiceStats S = Stats;
+  S.QueueDepthHighWater = Queue.highWater();
+  return S;
+}
+
+} // namespace qcf::backend

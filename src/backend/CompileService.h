@@ -1,0 +1,162 @@
+//===- backend/CompileService.h - Async compilation service -----*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared compilation service: a fixed pool of worker threads draining a
+/// bounded two-priority job queue. The paper's conclusion is that compile
+/// time is a first-order cost for query processing; beyond making each
+/// compile cheaper (the back-end study) the systems answer is to take
+/// compilation off the query's critical path entirely. The service is the
+/// substrate for that: `CachingBackend` routes misses through it and uses
+/// its tickets for in-flight deduplication, `AdaptiveBackend` submits
+/// optimizing-tier recompiles at Background priority so promotion never
+/// stalls a caller, and `db::executeQuery`'s AsyncCompile mode overlaps
+/// pipeline compilation with execution of upstream pipelines.
+///
+/// Submitting yields a `CompileTicket` — a small future-like handle that
+/// can be polled, waited on, or cancelled before the job starts. The
+/// submitted module (and the back-end) must stay alive until the ticket
+/// completes or is successfully cancelled; in this codebase modules are
+/// owned by `db::CompiledPlan` or test scopes that outlive execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_BACKEND_COMPILESERVICE_H
+#define QCF_BACKEND_COMPILESERVICE_H
+
+#include "backend/Backend.h"
+#include "support/BoundedQueue.h"
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcf::backend {
+
+/// Foreground jobs (a caller is, or will soon be, blocked on the result)
+/// always dequeue before Background jobs (speculative work: tier
+/// promotion, cache warming).
+enum class CompilePriority : uint8_t { Foreground, Background };
+
+/// Compile-latency aggregate for one back-end (keyed by Backend::name()).
+struct CompileLatency {
+  uint64_t Count = 0;
+  double MinSec = 0;
+  double MaxSec = 0;
+  double TotalSec = 0;
+
+  double meanSec() const { return Count ? TotalSec / Count : 0; }
+};
+
+struct CompileServiceStats {
+  uint64_t JobsQueued = 0;    ///< Accepted submissions.
+  uint64_t JobsCompleted = 0; ///< Jobs that ran to completion.
+  uint64_t JobsCancelled = 0; ///< Jobs cancelled before they started.
+  size_t QueueDepthHighWater = 0;
+  std::map<std::string, CompileLatency> PerBackend;
+};
+
+namespace detail {
+
+/// Shared state of one submitted compilation. State transitions:
+/// Queued -> Running -> Done (worker), or Queued -> Cancelled (cancel()
+/// or service shutdown). Done/Cancelled are terminal.
+struct CompileJob {
+  enum class State : uint8_t { Queued, Running, Done, Cancelled };
+
+  const qir::Module *M = nullptr;
+  Backend *BE = nullptr;
+  TimeTrace *Trace = nullptr;
+
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  State St = State::Queued;
+  std::shared_ptr<CompiledModule> Result;
+};
+
+} // namespace detail
+
+/// Future-like handle to a submitted compilation. Copyable (all copies
+/// observe the same job); default-constructed tickets are invalid.
+class CompileTicket {
+public:
+  CompileTicket() = default;
+
+  bool valid() const { return Job != nullptr; }
+
+  /// True once the job reached a terminal state (Done or Cancelled).
+  bool done() const;
+
+  /// The result if the job completed; null if it is still pending or was
+  /// cancelled. Never blocks.
+  std::shared_ptr<CompiledModule> poll() const;
+
+  /// Blocks until the job reaches a terminal state. \returns the compiled
+  /// module, or null if the job was cancelled.
+  std::shared_ptr<CompiledModule> wait() const;
+
+  /// Cancels the job if it has not started running. \returns true on
+  /// success; false if it already ran (or is running), in which case the
+  /// result remains obtainable.
+  bool cancel();
+
+private:
+  friend class CompileService;
+  explicit CompileTicket(std::shared_ptr<detail::CompileJob> Job)
+      : Job(std::move(Job)) {}
+
+  std::shared_ptr<detail::CompileJob> Job;
+};
+
+/// Fixed worker-thread pool over a bounded two-priority job queue.
+class CompileService {
+public:
+  /// \p NumWorkers worker threads; \p QueueCapacity bounds the number of
+  /// not-yet-started jobs (0 = unbounded) — submit() blocks while full.
+  explicit CompileService(unsigned NumWorkers = 2, size_t QueueCapacity = 0);
+  ~CompileService();
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Enqueues compilation of \p M with \p BE. Both must outlive the job.
+  /// After shutdown() the service degrades gracefully: the compile runs
+  /// synchronously on the calling thread and the ticket is already done.
+  CompileTicket submit(const qir::Module &M, Backend &BE,
+                       CompilePriority Priority = CompilePriority::Foreground,
+                       TimeTrace *Trace = nullptr);
+
+  /// Stops accepting work, cancels every job still queued (their tickets
+  /// report cancelled; waiters wake), finishes jobs already running, and
+  /// joins the workers. Idempotent; also run by the destructor.
+  void shutdown();
+
+  /// Blocks until every accepted job has reached a terminal state.
+  void drain();
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+  size_t queueDepth() const { return Queue.size(); }
+  CompileServiceStats stats() const;
+
+private:
+  void workerLoop();
+  void finishJob(const std::shared_ptr<detail::CompileJob> &Job, bool Cancel);
+
+  BoundedQueue<std::shared_ptr<detail::CompileJob>> Queue;
+  std::vector<std::thread> Workers;
+  std::atomic<bool> Stopping{false};
+
+  mutable std::mutex StatsMutex;
+  std::condition_variable AllDoneCv; ///< Signalled when Pending hits 0.
+  uint64_t Pending = 0;              ///< Accepted, not yet terminal.
+  CompileServiceStats Stats;
+};
+
+} // namespace qcf::backend
+
+#endif // QCF_BACKEND_COMPILESERVICE_H

@@ -39,24 +39,85 @@ std::vector<std::string> backend::allBackendNames() {
 
 AdaptiveModule::AdaptiveModule(const qir::Module &M,
                                std::unique_ptr<CompiledModule> Fast,
-                               uint32_t SizeThreshold,
-                               uint32_t RunsThreshold)
+                               uint32_t SizeThreshold, uint32_t RunsThreshold,
+                               CompileService *Service)
     : M(M), Fast(std::move(Fast)), SizeThreshold(SizeThreshold),
-      RunsThreshold(RunsThreshold) {
+      RunsThreshold(RunsThreshold), Service(Service) {
   for (const auto &F : M.functions())
     RunCounts.emplace_back(F->name(), 0);
 }
 
+AdaptiveModule::~AdaptiveModule() {
+  // A pending optimizing compile references our module; it must not
+  // outlive us. Cancel it if it has not started, otherwise wait it out.
+  if (HasPending.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!PendingTicket.cancel())
+      PendingTicket.wait();
+  }
+}
+
 void *AdaptiveModule::entry(const std::string &Name) {
-  if (Promoted)
-    if (void *E = Promoted->entry(Name))
+  // Lock-free fast path: after the swap, reads go straight to the
+  // optimized tier.
+  if (CompiledModule *P = Promoted.load(std::memory_order_acquire)) {
+    if (void *E = P->entry(Name))
       return E;
+    return Fast->entry(Name);
+  }
+  if (HasPending.load(std::memory_order_acquire)) {
+    pollPromotion();
+    if (CompiledModule *P = Promoted.load(std::memory_order_acquire))
+      if (void *E = P->entry(Name))
+        return E;
+  }
   return Fast->entry(Name);
 }
 
-bool AdaptiveModule::noteExecution(const std::string &Name) {
-  if (Promoted)
+bool AdaptiveModule::installPromotedLocked(
+    std::shared_ptr<CompiledModule> Opt) {
+  if (!Opt)
     return false;
+  PromotedKeeper = std::move(Opt);
+  // Entry-pointer swap: publish after ownership is pinned; entry()'s
+  // acquire load pairs with this release store.
+  Promoted.store(PromotedKeeper.get(), std::memory_order_release);
+  HasPending.store(false, std::memory_order_release);
+  PendingTicket = CompileTicket();
+  return true;
+}
+
+bool AdaptiveModule::pollPromotion() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!HasPending.load(std::memory_order_acquire))
+    return false;
+  if (std::shared_ptr<CompiledModule> Opt = PendingTicket.poll())
+    return installPromotedLocked(std::move(Opt));
+  if (PendingTicket.done()) {
+    // Cancelled (service shut down): give up on this promotion.
+    HasPending.store(false, std::memory_order_release);
+    PendingTicket = CompileTicket();
+  }
+  return false;
+}
+
+void AdaptiveModule::waitForPromotion() {
+  if (!HasPending.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!HasPending.load(std::memory_order_acquire))
+    return;
+  installPromotedLocked(PendingTicket.wait());
+  HasPending.store(false, std::memory_order_release);
+}
+
+bool AdaptiveModule::noteExecution(const std::string &Name) {
+  if (isPromoted())
+    return false;
+  if (HasPending.load(std::memory_order_acquire))
+    return pollPromotion();
+
+  std::unique_lock<std::mutex> Lock(Mutex);
   for (auto &[N, Count] : RunCounts) {
     if (N != Name)
       continue;
@@ -66,9 +127,21 @@ bool AdaptiveModule::noteExecution(const std::string &Name) {
     const qir::Function *F = M.functionByName(Name);
     if (!F || F->sizeHeuristic() < SizeThreshold)
       return false;
+    if (Service) {
+      // Non-blocking promotion: the optimizing compile runs on a service
+      // worker; callers keep executing the fast tier until the ticket
+      // completes and entry() swaps tiers.
+      OptBackend = std::make_unique<mlvm::MlvmBackend>(mlvm::MlvmOptions::opt());
+      PendingTicket =
+          Service->submit(M, *OptBackend, CompilePriority::Background);
+      HasPending.store(true, std::memory_order_release);
+      Lock.unlock();
+      // The degraded (post-shutdown) service completes synchronously; in
+      // that case install right away instead of waiting for a poll.
+      return pollPromotion();
+    }
     mlvm::MlvmBackend Opt(mlvm::MlvmOptions::opt());
-    Promoted = Opt.compile(M, nullptr);
-    return true;
+    return installPromotedLocked(Opt.compile(M, nullptr));
   }
   return false;
 }
@@ -78,5 +151,5 @@ AdaptiveBackend::compile(const qir::Module &M, TimeTrace *Trace) {
   direct::DirectBackend Fast;
   return std::make_unique<AdaptiveModule>(M, Fast.compile(M, Trace),
                                           PromoteSizeThreshold,
-                                          PromoteAfterRuns);
+                                          PromoteAfterRuns, Service);
 }

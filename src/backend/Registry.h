@@ -9,7 +9,10 @@
 /// (§III-C): compilation starts with low-latency DirectEmit; once a
 /// function has executed a few times, a simple code-size heuristic decides
 /// whether to recompile with MLVM-optimized, after which subsequent
-/// executions use the optimized code.
+/// executions use the optimized code. With a CompileService attached, the
+/// optimizing recompile runs on a service worker at Background priority
+/// and the module atomically swaps entry pointers when it completes —
+/// callers never stall on MLVM.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,7 +20,10 @@
 #define QCF_BACKEND_REGISTRY_H
 
 #include "backend/Backend.h"
+#include "backend/CompileService.h"
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 namespace qcf::backend {
@@ -35,6 +41,9 @@ std::vector<std::string> allBackendNames();
 /// the size heuristic deems optimization beneficial.
 class AdaptiveBackend : public Backend {
 public:
+  AdaptiveBackend() = default;
+  explicit AdaptiveBackend(CompileService *Service) : Service(Service) {}
+
   std::string name() const override { return "Adaptive"; }
   std::unique_ptr<CompiledModule> compile(const qir::Module &M,
                                           TimeTrace *Trace) override;
@@ -43,28 +52,62 @@ public:
   uint32_t PromoteSizeThreshold = 48;
   /// Executions before promotion is considered.
   uint32_t PromoteAfterRuns = 3;
+  /// When non-null, promotions are submitted here (Background priority)
+  /// instead of recompiling on the calling thread. Must outlive every
+  /// module this back-end compiles.
+  CompileService *Service = nullptr;
 };
 
 /// The module wrapper the adaptive back-end hands out; entry() returns the
-/// current tier's code.
+/// current tier's code. Thread-safe: entry() is a lock-free atomic read of
+/// the promoted tier with a fallback to the fast tier, and the tier swap
+/// is a single release store once the optimized compile lands.
 class AdaptiveModule : public CompiledModule {
 public:
   AdaptiveModule(const qir::Module &M, std::unique_ptr<CompiledModule> Fast,
-                 uint32_t SizeThreshold, uint32_t RunsThreshold);
+                 uint32_t SizeThreshold, uint32_t RunsThreshold,
+                 CompileService *Service = nullptr);
+  ~AdaptiveModule();
 
   void *entry(const std::string &Name) override;
 
-  /// Records one execution of \p Name; recompiles with the optimizing
-  /// tier when the heuristic fires. \returns true if a promotion happened.
+  /// Records one execution of \p Name. Without a service this recompiles
+  /// with the optimizing tier on the calling thread when the heuristic
+  /// fires; with one it submits the recompile and returns immediately,
+  /// the swap happening when the ticket completes. \returns true if the
+  /// optimized tier was installed by this call.
   bool noteExecution(const std::string &Name);
 
-  bool isPromoted() const { return Promoted != nullptr; }
+  bool isPromoted() const {
+    return Promoted.load(std::memory_order_acquire) != nullptr;
+  }
+  /// True while an optimizing recompile is queued or running.
+  bool promotionPending() const {
+    return HasPending.load(std::memory_order_acquire);
+  }
+  /// Blocks until an in-flight promotion (if any) has been installed.
+  void waitForPromotion();
 
 private:
+  /// Installs the promoted tier if the pending ticket has completed.
+  /// \returns true if this call performed the install.
+  bool pollPromotion();
+  bool installPromotedLocked(std::shared_ptr<CompiledModule> Opt);
+
   const qir::Module &M;
   std::unique_ptr<CompiledModule> Fast;
-  std::unique_ptr<CompiledModule> Promoted;
   uint32_t SizeThreshold, RunsThreshold;
+  CompileService *Service;
+
+  /// The swap target read by entry(). Owned by PromotedKeeper, which is
+  /// written (under Mutex) strictly before the release store here.
+  std::atomic<CompiledModule *> Promoted{nullptr};
+  std::atomic<bool> HasPending{false};
+
+  std::mutex Mutex; ///< Guards everything below.
+  std::shared_ptr<CompiledModule> PromotedKeeper;
+  std::unique_ptr<Backend> OptBackend; ///< Alive while a job may run.
+  CompileTicket PendingTicket;
   std::vector<std::pair<std::string, uint32_t>> RunCounts;
 };
 

@@ -5,8 +5,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "db/Executor.h"
+#include "qir/Clone.h"
 #include <atomic>
 #include <cstring>
+#include <functional>
+#include <optional>
 #include <thread>
 
 using namespace qcf;
@@ -41,29 +44,18 @@ void runPipeline(PipeFn Fn, void *Ctx, uint64_t Rows, bool Parallel,
     T.join();
 }
 
-} // namespace
+/// Per-query runtime state shared by the blocking and async paths.
+struct QueryRuntime {
+  QueryRuntime(const CompiledPlan &Plan, const Catalog &Cat,
+               rt::OutputBuffer *Out)
+      : Plan(Plan), Cat(Cat), Ctx(Plan.NumCtxSlots, 0),
+        Tables(Plan.Objects.size()), Buffers(Plan.Objects.size()) {
+    Ctx[0] = reinterpret_cast<uint64_t>(Out);
+    Ctx[1] = reinterpret_cast<uint64_t>(&QueryArena);
+  }
 
-ExecResult db::executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
-                            const Catalog &Cat, rt::OutputBuffer *Out,
-                            const ExecOptions &Opts,
-                            TimeTrace *CompileTrace) {
-  ExecResult Result;
-
-  Stopwatch CompileWatch;
-  auto Compiled = BE.compile(*Plan.Module, CompileTrace);
-  Result.CompileSec = CompileWatch.elapsedSec();
-
-  // Runtime state.
-  std::vector<uint64_t> Ctx(Plan.NumCtxSlots, 0);
-  Arena QueryArena;
-  Ctx[0] = reinterpret_cast<uint64_t>(Out);
-  Ctx[1] = reinterpret_cast<uint64_t>(&QueryArena);
-
-  std::vector<std::unique_ptr<rt::HashTable>> Tables(Plan.Objects.size());
-  std::vector<std::unique_ptr<uint8_t[]>> Buffers(Plan.Objects.size());
-
-  // Source row count per pipeline.
-  auto SourceRows = [&](const PipelineDesc &P) -> uint64_t {
+  /// Source row count of pipeline \p P.
+  uint64_t sourceRows(const PipelineDesc &P) const {
     switch (P.Src) {
     case PipelineDesc::Source::TableScan: {
       const Table *T = Cat.find(P.SourceTable);
@@ -81,45 +73,172 @@ ExecResult db::executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
     }
     }
     QCF_UNREACHABLE("invalid pipeline source");
-  };
+  }
 
-  Stopwatch ExecWatch;
-  rt::TrapCode Code = rt::runWithTrapGuard([&] {
-    for (size_t PI = 0; PI != Plan.Pipelines.size(); ++PI) {
-      const PipelineDesc &P = Plan.Pipelines[PI];
-
-      // Create the objects this pipeline fills.
-      for (size_t OI = 0; OI != Plan.Objects.size(); ++OI) {
-        const RuntimeObject &Obj = Plan.Objects[OI];
-        if (Obj.ProducerPipeline != static_cast<int>(PI))
-          continue;
-        uint64_t Expected = SourceRows(P);
-        if (Obj.K == RuntimeObject::Kind::SortBuffer) {
-          Buffers[OI] = std::make_unique<uint8_t[]>(
-              (Expected + 1) * Obj.RowStride);
-          Ctx[Obj.Slot] = reinterpret_cast<uint64_t>(Buffers[OI].get());
-          Ctx[Obj.CountSlot] = 0;
-        } else {
-          Tables[OI] = std::make_unique<rt::HashTable>(
-              Expected, static_cast<uint32_t>(Obj.PayloadBytes));
-          Ctx[Obj.Slot] = reinterpret_cast<uint64_t>(Tables[OI].get());
-        }
-      }
-
-      auto *Fn = Compiled->entryAs<PipeFn>(P.FnName);
-      assert(Fn && "missing pipeline entry point");
-      runPipeline(Fn, Ctx.data(), SourceRows(P), P.ParallelSafe, Opts);
-
-      // Sort step after a materialization pipeline.
-      if (P.SortObject >= 0) {
-        const RuntimeObject &Obj = Plan.Objects[P.SortObject];
-        void *Cmp = Compiled->entry(Obj.CmpFnName);
-        assert(Cmp && "missing comparator entry point");
-        rt_sort(reinterpret_cast<void *>(Ctx[Obj.Slot]),
-                Ctx[Obj.CountSlot], Obj.RowStride, Cmp);
+  /// Creates the runtime objects pipeline \p PI fills.
+  void createObjects(size_t PI) {
+    const PipelineDesc &P = Plan.Pipelines[PI];
+    for (size_t OI = 0; OI != Plan.Objects.size(); ++OI) {
+      const RuntimeObject &Obj = Plan.Objects[OI];
+      if (Obj.ProducerPipeline != static_cast<int>(PI))
+        continue;
+      uint64_t Expected = sourceRows(P);
+      if (Obj.K == RuntimeObject::Kind::SortBuffer) {
+        Buffers[OI] =
+            std::make_unique<uint8_t[]>((Expected + 1) * Obj.RowStride);
+        Ctx[Obj.Slot] = reinterpret_cast<uint64_t>(Buffers[OI].get());
+        Ctx[Obj.CountSlot] = 0;
+      } else {
+        Tables[OI] = std::make_unique<rt::HashTable>(
+            Expected, static_cast<uint32_t>(Obj.PayloadBytes));
+        Ctx[Obj.Slot] = reinterpret_cast<uint64_t>(Tables[OI].get());
       }
     }
+  }
+
+  /// Runs every pipeline, resolving code through \p ModuleFor (which may
+  /// block — e.g. waiting for that pipeline's compile ticket).
+  rt::TrapCode
+  runAll(const ExecOptions &Opts,
+         const std::function<backend::CompiledModule &(size_t)> &ModuleFor) {
+    return rt::runWithTrapGuard([&] {
+      for (size_t PI = 0; PI != Plan.Pipelines.size(); ++PI) {
+        const PipelineDesc &P = Plan.Pipelines[PI];
+        createObjects(PI);
+
+        backend::CompiledModule &CM = ModuleFor(PI);
+        auto *Fn = reinterpret_cast<PipeFn>(CM.entry(P.FnName));
+        assert(Fn && "missing pipeline entry point");
+        runPipeline(Fn, Ctx.data(), sourceRows(P), P.ParallelSafe, Opts);
+
+        // Sort step after a materialization pipeline.
+        if (P.SortObject >= 0) {
+          const RuntimeObject &Obj = Plan.Objects[P.SortObject];
+          void *Cmp = CM.entry(Obj.CmpFnName);
+          assert(Cmp && "missing comparator entry point");
+          rt_sort(reinterpret_cast<void *>(Ctx[Obj.Slot]), Ctx[Obj.CountSlot],
+                  Obj.RowStride, Cmp);
+        }
+      }
+    });
+  }
+
+  const CompiledPlan &Plan;
+  const Catalog &Cat;
+  std::vector<uint64_t> Ctx;
+  Arena QueryArena;
+  std::vector<std::unique_ptr<rt::HashTable>> Tables;
+  std::vector<std::unique_ptr<uint8_t[]>> Buffers;
+};
+
+/// Slices \p Plan into one module per pipeline: the pipeline function plus
+/// the comparator of the object it sorts. \returns empty if some function
+/// is not claimed by any pipeline (unknown shape: caller falls back to
+/// whole-module compilation).
+std::vector<std::unique_ptr<qir::Module>>
+slicePlanModules(const CompiledPlan &Plan) {
+  std::vector<std::unique_ptr<qir::Module>> Units;
+  size_t Claimed = 0;
+  for (const PipelineDesc &P : Plan.Pipelines) {
+    auto Unit = std::make_unique<qir::Module>();
+    qir::cloneSymbols(*Plan.Module, *Unit);
+    const qir::Function *Fn = Plan.Module->functionByName(P.FnName);
+    if (!Fn)
+      return {};
+    qir::cloneFunctionInto(*Fn, *Unit);
+    ++Claimed;
+    if (P.SortObject >= 0) {
+      const qir::Function *Cmp =
+          Plan.Module->functionByName(Plan.Objects[P.SortObject].CmpFnName);
+      if (!Cmp)
+        return {};
+      qir::cloneFunctionInto(*Cmp, *Unit);
+      ++Claimed;
+    }
+    Units.push_back(std::move(Unit));
+  }
+  if (Claimed != Plan.Module->functions().size())
+    return {};
+  return Units;
+}
+
+ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
+                             const Catalog &Cat, rt::OutputBuffer *Out,
+                             const ExecOptions &Opts,
+                             TimeTrace *CompileTrace) {
+  std::vector<std::unique_ptr<qir::Module>> Units = slicePlanModules(Plan);
+  if (Units.empty()) {
+    // Unsliceable plan: degrade to the blocking path.
+    ExecOptions Sync = Opts;
+    Sync.AsyncCompile = false;
+    return executeQuery(Plan, BE, Cat, Out, Sync, CompileTrace);
+  }
+
+  // Units must outlive the service (running jobs reference them), so the
+  // transient service is declared after them.
+  std::optional<backend::CompileService> Local;
+  backend::CompileService *Svc = Opts.Service;
+  if (!Svc) {
+    Local.emplace(Opts.AsyncCompileWorkers ? Opts.AsyncCompileWorkers : 1);
+    Svc = &*Local;
+  }
+
+  // Submit everything up front, in execution order: workers compile ahead
+  // while earlier pipelines execute.
+  std::vector<backend::CompileTicket> Tickets;
+  Tickets.reserve(Units.size());
+  for (auto &U : Units)
+    Tickets.push_back(Svc->submit(*U, BE, backend::CompilePriority::Foreground,
+                                  CompileTrace));
+
+  ExecResult Result;
+  QueryRuntime RT(Plan, Cat, Out);
+  std::vector<std::shared_ptr<backend::CompiledModule>> Compiled(Units.size());
+
+  double StallSec = 0;
+  Stopwatch ExecWatch;
+  rt::TrapCode Code = RT.runAll(Opts, [&](size_t PI) -> backend::CompiledModule & {
+    Stopwatch W;
+    Compiled[PI] = Tickets[PI].wait();
+    if (!Compiled[PI]) // Cancelled (external service shut down mid-query).
+      Compiled[PI] = BE.compile(*Units[PI], CompileTrace);
+    StallSec += W.elapsedSec();
+    return *Compiled[PI];
   });
+  Result.ExecSec = ExecWatch.elapsedSec();
+  Result.CompileSec = StallSec;
+  if (Code != rt::TrapCode::None) {
+    Result.Trapped = true;
+    Result.Trap = Code;
+  }
+
+  // A trap aborts the pipeline loop with tickets still outstanding; they
+  // reference Units, which die with this frame. Cancel what has not
+  // started and wait out what has — no worker may outlive the query.
+  for (backend::CompileTicket &T : Tickets)
+    if (!T.cancel())
+      T.wait();
+  return Result;
+}
+
+} // namespace
+
+ExecResult db::executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
+                            const Catalog &Cat, rt::OutputBuffer *Out,
+                            const ExecOptions &Opts,
+                            TimeTrace *CompileTrace) {
+  if (Opts.AsyncCompile)
+    return executeQueryAsync(Plan, BE, Cat, Out, Opts, CompileTrace);
+
+  ExecResult Result;
+  Stopwatch CompileWatch;
+  auto Compiled = BE.compile(*Plan.Module, CompileTrace);
+  Result.CompileSec = CompileWatch.elapsedSec();
+
+  QueryRuntime RT(Plan, Cat, Out);
+  Stopwatch ExecWatch;
+  rt::TrapCode Code = RT.runAll(
+      Opts, [&](size_t) -> backend::CompiledModule & { return *Compiled; });
   Result.ExecSec = ExecWatch.elapsedSec();
   if (Code != rt::TrapCode::None) {
     Result.Trapped = true;

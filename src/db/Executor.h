@@ -17,6 +17,7 @@
 #define QCF_DB_EXECUTOR_H
 
 #include "backend/Backend.h"
+#include "backend/CompileService.h"
 #include "db/Codegen.h"
 #include "runtime/Runtime.h"
 
@@ -25,12 +26,24 @@ namespace qcf::db {
 struct ExecOptions {
   unsigned NumThreads = 1;
   uint64_t MorselSize = 2048;
+
+  /// Overlap compilation with execution: the plan module is sliced into
+  /// per-pipeline units (pipeline function plus its sort comparator),
+  /// all units are submitted to a CompileService up front, and each
+  /// pipeline then only waits for *its own* unit — so compilation of
+  /// pipeline N overlaps runtime-object setup and execution of pipelines
+  /// 0..N-1. Results are bit-identical to blocking mode.
+  bool AsyncCompile = false;
+  /// Service for AsyncCompile; when null, a transient service with
+  /// \ref AsyncCompileWorkers workers lives for the duration of the call.
+  backend::CompileService *Service = nullptr;
+  unsigned AsyncCompileWorkers = 2;
 };
 
 struct ExecResult {
   bool Trapped = false;
   rt::TrapCode Trap = rt::TrapCode::None;
-  double CompileSec = 0;
+  double CompileSec = 0; ///< Async mode: time actually *stalled* on compiles.
   double ExecSec = 0;
 };
 

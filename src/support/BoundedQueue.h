@@ -1,0 +1,111 @@
+//===- support/BoundedQueue.h - Bounded two-priority work queue -*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, closable, two-priority MPMC queue. Producers block while the
+/// queue is at capacity (back-pressure instead of unbounded memory growth
+/// under compile storms); consumers block while it is empty. High-priority
+/// items are always dequeued before low-priority ones, FIFO within each
+/// class. Closing wakes everyone: pushes fail, pops drain the remaining
+/// items and then fail. Built for backend::CompileService, but generic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_SUPPORT_BOUNDEDQUEUE_H
+#define QCF_SUPPORT_BOUNDEDQUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace qcf {
+
+template <typename T> class BoundedQueue {
+public:
+  /// \p Capacity bounds the number of queued items (0 = unbounded).
+  explicit BoundedQueue(size_t Capacity = 0) : Capacity(Capacity) {}
+
+  BoundedQueue(const BoundedQueue &) = delete;
+  BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+  /// Enqueues \p V, blocking while the queue is full. \returns false if
+  /// the queue was (or became) closed, in which case \p V was dropped.
+  bool push(T V, bool HighPriority = false) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock, [&] { return Closed || !full(); });
+    if (Closed)
+      return false;
+    (HighPriority ? High : Low).push_back(std::move(V));
+    HighWater = std::max(HighWater, High.size() + Low.size());
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues into \p Out, blocking while the queue is empty. \returns
+  /// false once the queue is closed *and* drained.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [&] { return Closed || !High.empty() || !Low.empty(); });
+    std::deque<T> &Q = High.empty() ? Low : High;
+    if (Q.empty())
+      return false; // Closed and drained.
+    Out = std::move(Q.front());
+    Q.pop_front();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Non-blocking dequeue; \returns false if the queue is empty.
+  bool tryPop(T &Out) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::deque<T> &Q = High.empty() ? Low : High;
+    if (Q.empty())
+      return false;
+    Out = std::move(Q.front());
+    Q.pop_front();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: all blocked pushes fail, blocked pops drain what is
+  /// left and then fail. Idempotent.
+  void close() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Closed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return High.size() + Low.size();
+  }
+
+  /// Largest number of items ever queued at once.
+  size_t highWater() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return HighWater;
+  }
+
+private:
+  bool full() const { return Capacity && High.size() + Low.size() >= Capacity; }
+
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty, NotFull;
+  std::deque<T> High, Low;
+  size_t HighWater = 0;
+  bool Closed = false;
+};
+
+} // namespace qcf
+
+#endif // QCF_SUPPORT_BOUNDEDQUEUE_H

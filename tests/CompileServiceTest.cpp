@@ -1,0 +1,459 @@
+//===- tests/CompileServiceTest.cpp - Async compile service tests ----------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concurrency tests for backend::CompileService and the caching layer's
+/// in-flight deduplication: ticket lifecycle (poll/wait/cancel), priority
+/// and stats accounting, exactly-one-compile-per-key under thread storms,
+/// LRU capacity under contention, and clean shutdown with jobs queued.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/Cache.h"
+#include "backend/CompileService.h"
+#include "backend/Registry.h"
+#include "qir/Builder.h"
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace qcf;
+using namespace qcf::qir;
+using namespace qcf::backend;
+
+namespace {
+
+/// Builds `fn(a) = a * K + 7`.
+void buildAffine(qir::Module &M, int64_t K, const char *Name = "f") {
+  qir::Function *F = M.createFunction(Name, {Type::I64}, Type::I64);
+  Builder B(F);
+  ValueId P = B.mul(F->paramValue(0), B.constInt(Type::I64, K));
+  B.ret(B.add(P, B.constInt(Type::I64, 7)));
+}
+
+/// Wraps a back-end, counting compiles and optionally delaying each one —
+/// the instrument for proving exactly-once compilation and for holding a
+/// worker busy while tests race against it.
+class CountingBackend : public Backend {
+public:
+  explicit CountingBackend(std::unique_ptr<Backend> Inner,
+                           std::chrono::milliseconds Delay = {})
+      : Inner(std::move(Inner)), Delay(Delay) {}
+
+  std::string name() const override { return Inner->name(); }
+
+  std::unique_ptr<CompiledModule> compile(const qir::Module &M,
+                                          TimeTrace *Trace) override {
+    ++Compiles;
+    if (Delay.count())
+      std::this_thread::sleep_for(Delay);
+    return Inner->compile(M, Trace);
+  }
+
+  std::atomic<uint64_t> Compiles{0};
+
+private:
+  std::unique_ptr<Backend> Inner;
+  std::chrono::milliseconds Delay;
+};
+
+/// A back-end whose compile blocks until release() — deterministic way to
+/// keep a single-worker service busy.
+class GateBackend : public Backend {
+public:
+  explicit GateBackend(std::unique_ptr<Backend> Inner)
+      : Inner(std::move(Inner)) {}
+
+  std::string name() const override { return "gated"; }
+
+  std::unique_ptr<CompiledModule> compile(const qir::Module &M,
+                                          TimeTrace *Trace) override {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Started = true;
+    }
+    Cv.notify_all();
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return Released; });
+    return Inner->compile(M, Trace);
+  }
+
+  void waitStarted() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return Started; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Released = true;
+    }
+    Cv.notify_all();
+  }
+
+private:
+  std::unique_ptr<Backend> Inner;
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Started = false, Released = false;
+};
+
+} // namespace
+
+TEST(CompileService, SubmitWaitReturnsWorkingCode) {
+  CompileService Svc(2);
+  qir::Module M;
+  buildAffine(M, 5);
+  auto BE = createBackend("DirectEmit");
+
+  CompileTicket T = Svc.submit(M, *BE);
+  ASSERT_TRUE(T.valid());
+  std::shared_ptr<CompiledModule> C = T.wait();
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(T.done());
+  auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
+  EXPECT_EQ(F(10), 57);
+  // wait() after completion is idempotent.
+  EXPECT_EQ(T.wait(), C);
+  EXPECT_EQ(T.poll(), C);
+}
+
+TEST(CompileService, StatsAccounting) {
+  CompileService Svc(2);
+  auto Direct = createBackend("DirectEmit");
+  auto Crane = createBackend("Craneline");
+
+  std::vector<qir::Module> Mods(6);
+  std::vector<CompileTicket> Tickets;
+  for (int I = 0; I != 6; ++I) {
+    buildAffine(Mods[I], I + 1);
+    Tickets.push_back(Svc.submit(Mods[I], I % 2 ? *Crane : *Direct));
+  }
+  for (CompileTicket &T : Tickets)
+    EXPECT_NE(T.wait(), nullptr);
+
+  CompileServiceStats S = Svc.stats();
+  EXPECT_EQ(S.JobsQueued, 6u);
+  EXPECT_EQ(S.JobsCompleted, 6u);
+  EXPECT_EQ(S.JobsCancelled, 0u);
+  EXPECT_GE(S.QueueDepthHighWater, 1u);
+  ASSERT_EQ(S.PerBackend.count("DirectEmit"), 1u);
+  ASSERT_EQ(S.PerBackend.count("Craneline"), 1u);
+  const CompileLatency &L = S.PerBackend.at("DirectEmit");
+  EXPECT_EQ(L.Count, 3u);
+  EXPECT_LE(L.MinSec, L.meanSec());
+  EXPECT_LE(L.meanSec(), L.MaxSec);
+  EXPECT_GT(L.MaxSec, 0.0);
+}
+
+TEST(CompileService, CancelBeforeStart) {
+  GateBackend Gate(createBackend("DirectEmit"));
+  CountingBackend Counter(createBackend("DirectEmit"));
+  CompileService Svc(1);
+
+  qir::Module M1, M2;
+  buildAffine(M1, 1);
+  buildAffine(M2, 2);
+  CompileTicket Running = Svc.submit(M1, Gate);
+  Gate.waitStarted(); // The single worker is now inside compile().
+  CompileTicket Queued = Svc.submit(M2, Counter);
+
+  EXPECT_TRUE(Queued.cancel()) << "job had not started; cancel must win";
+  EXPECT_EQ(Queued.wait(), nullptr);
+  EXPECT_TRUE(Queued.done());
+
+  Gate.release();
+  EXPECT_NE(Running.wait(), nullptr);
+  EXPECT_FALSE(Running.cancel()) << "completed job cannot be cancelled";
+  Svc.drain();
+  EXPECT_EQ(Counter.Compiles.load(), 0u) << "cancelled job must never compile";
+  CompileServiceStats S = Svc.stats();
+  EXPECT_EQ(S.JobsCancelled, 1u);
+  EXPECT_EQ(S.JobsCompleted, 1u);
+}
+
+TEST(CompileService, PriorityOrdersQueue) {
+  GateBackend Gate(createBackend("DirectEmit"));
+  CompileService Svc(1);
+
+  qir::Module M0, MLow, MHigh;
+  buildAffine(M0, 1);
+  buildAffine(MLow, 2);
+  buildAffine(MHigh, 3);
+
+  // Worker busy; queue a Background job, then a Foreground one. A second
+  // gate on the low-priority job would deadlock the 1-worker pool, so
+  // order is observed through completion timestamps instead: with one
+  // worker, the Foreground job must finish before the Background one.
+  std::atomic<int> Order{0};
+  struct StampBackend : Backend {
+    StampBackend(std::atomic<int> &Order, int &Stamp)
+        : Inner(createBackend("DirectEmit")), Order(Order), Stamp(Stamp) {}
+    std::string name() const override { return "stamp"; }
+    std::unique_ptr<CompiledModule> compile(const qir::Module &M,
+                                            TimeTrace *Trace) override {
+      Stamp = ++Order;
+      return Inner->compile(M, Trace);
+    }
+    std::unique_ptr<Backend> Inner;
+    std::atomic<int> &Order;
+    int &Stamp;
+  };
+  int LowStamp = 0, HighStamp = 0;
+  StampBackend LowBE(Order, LowStamp), HighBE(Order, HighStamp);
+
+  CompileTicket Running = Svc.submit(M0, Gate);
+  Gate.waitStarted();
+  CompileTicket Low = Svc.submit(MLow, LowBE, CompilePriority::Background);
+  CompileTicket High = Svc.submit(MHigh, HighBE, CompilePriority::Foreground);
+  Gate.release();
+
+  EXPECT_NE(Low.wait(), nullptr);
+  EXPECT_NE(High.wait(), nullptr);
+  EXPECT_NE(Running.wait(), nullptr);
+  EXPECT_LT(HighStamp, LowStamp)
+      << "Foreground must dequeue before Background";
+}
+
+TEST(CompileService, ShutdownCancelsQueuedJobs) {
+  GateBackend Gate(createBackend("DirectEmit"));
+  CountingBackend Counter(createBackend("DirectEmit"));
+  auto Svc = std::make_unique<CompileService>(1);
+
+  qir::Module M1;
+  buildAffine(M1, 1);
+  std::vector<qir::Module> Mods(4);
+  CompileTicket Running = Svc->submit(M1, Gate);
+  Gate.waitStarted();
+  std::vector<CompileTicket> Queued;
+  for (int I = 0; I != 4; ++I) {
+    buildAffine(Mods[I], I + 2);
+    Queued.push_back(Svc->submit(Mods[I], Counter));
+  }
+  EXPECT_EQ(Svc->queueDepth(), 4u);
+
+  // Shut down with the worker busy and four jobs queued. Release the gate
+  // from another thread so shutdown() can join.
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Gate.release();
+  });
+  Svc->shutdown();
+  Releaser.join();
+
+  // The running job completed; every queued job was cancelled and its
+  // waiters see null rather than hanging.
+  EXPECT_NE(Running.wait(), nullptr);
+  for (CompileTicket &T : Queued) {
+    EXPECT_TRUE(T.done());
+    EXPECT_EQ(T.wait(), nullptr);
+  }
+  EXPECT_EQ(Counter.Compiles.load(), 0u);
+  CompileServiceStats S = Svc->stats();
+  EXPECT_EQ(S.JobsCompleted, 1u);
+  EXPECT_EQ(S.JobsCancelled, 4u);
+  EXPECT_EQ(S.QueueDepthHighWater, 4u);
+
+  // Degraded mode after shutdown: submit still works, synchronously.
+  qir::Module MPost;
+  buildAffine(MPost, 9);
+  CompileTicket Post = Svc->submit(MPost, Counter);
+  EXPECT_TRUE(Post.done());
+  auto C = Post.poll();
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->entryAs<int64_t (*)(int64_t)>("f")(1), 16);
+  Svc.reset(); // Second shutdown via destructor must be a no-op.
+}
+
+TEST(CompileService, BoundedQueueAppliesBackpressure) {
+  GateBackend Gate(createBackend("DirectEmit"));
+  CompileService Svc(1, /*QueueCapacity=*/2);
+
+  qir::Module M1;
+  buildAffine(M1, 1);
+  std::vector<qir::Module> Mods(3);
+  for (int I = 0; I != 3; ++I)
+    buildAffine(Mods[I], I + 2);
+
+  CompileTicket Running = Svc.submit(M1, Gate);
+  Gate.waitStarted();
+  auto BE = createBackend("DirectEmit");
+  CompileTicket A = Svc.submit(Mods[0], *BE);
+  CompileTicket B = Svc.submit(Mods[1], *BE);
+
+  // Queue is full: the next submit blocks until the gate opens.
+  std::atomic<bool> Submitted{false};
+  std::thread T([&] {
+    CompileTicket C = Svc.submit(Mods[2], *BE);
+    Submitted.store(true);
+    EXPECT_NE(C.wait(), nullptr);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(Submitted.load()) << "submit must block while the queue is full";
+  Gate.release();
+  T.join();
+  EXPECT_TRUE(Submitted.load());
+  EXPECT_NE(A.wait(), nullptr);
+  EXPECT_NE(B.wait(), nullptr);
+  EXPECT_NE(Running.wait(), nullptr);
+}
+
+TEST(CacheDedup, EightThreadsOneCompile) {
+  // The acceptance bar: 8 threads x 100 lookups of one key -> exactly one
+  // inner-backend compile. The delay widens the in-flight window so the
+  // dedup path (not just post-insert hits) is exercised.
+  auto Counting = std::make_unique<CountingBackend>(
+      createBackend("DirectEmit"), std::chrono::milliseconds(30));
+  CountingBackend *Counter = Counting.get();
+  CachingBackend BE(std::move(Counting));
+
+  qir::Module M;
+  buildAffine(M, 11);
+  constexpr int NumThreads = 8, Lookups = 100;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Bad{0};
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != Lookups; ++I) {
+        auto C = BE.compile(M, nullptr);
+        auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
+        if (F(I) != int64_t(I) * 11 + 7)
+          ++Bad;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Bad.load(), 0);
+  EXPECT_EQ(Counter->Compiles.load(), 1u)
+      << "in-flight dedup must collapse concurrent misses to one compile";
+  CacheStats S = BE.stats();
+  EXPECT_EQ(S.Hits + S.Misses, uint64_t(NumThreads) * Lookups);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_GE(S.InFlightWaits, 1u) << "the 30ms compile must catch waiters";
+  EXPECT_EQ(BE.size(), 1u);
+}
+
+TEST(CacheDedup, ManyKeysManyThreadsCompileOncePerKey) {
+  auto Counting = std::make_unique<CountingBackend>(
+      createBackend("DirectEmit"), std::chrono::milliseconds(2));
+  CountingBackend *Counter = Counting.get();
+  CachingBackend BE(std::move(Counting));
+
+  constexpr int NumModules = 12, NumThreads = 6, Rounds = 25;
+  std::vector<qir::Module> Mods(NumModules);
+  for (int I = 0; I != NumModules; ++I)
+    buildAffine(Mods[I], I + 1);
+
+  std::vector<std::thread> Threads;
+  std::atomic<int> Bad{0};
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int R = 0; R != Rounds; ++R) {
+        int I = (T * 7 + R * 5) % NumModules; // Deterministic scatter.
+        auto C = BE.compile(Mods[I], nullptr);
+        auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
+        if (F(R) != int64_t(R) * (I + 1) + 7)
+          ++Bad;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Bad.load(), 0);
+  EXPECT_EQ(Counter->Compiles.load(), uint64_t(NumModules));
+  CacheStats S = BE.stats();
+  EXPECT_EQ(S.Hits + S.Misses, uint64_t(NumThreads) * Rounds);
+  EXPECT_EQ(S.Misses, uint64_t(NumModules));
+  EXPECT_EQ(BE.size(), size_t(NumModules));
+}
+
+TEST(CacheDedup, LruCapacityRespectedUnderContention) {
+  constexpr size_t Capacity = 3;
+  CachingBackend BE(createBackend("DirectEmit"), Capacity);
+
+  constexpr int NumModules = 9, NumThreads = 4, Rounds = 40;
+  std::vector<qir::Module> Mods(NumModules);
+  for (int I = 0; I != NumModules; ++I)
+    buildAffine(Mods[I], I + 1);
+
+  std::vector<std::thread> Threads;
+  std::atomic<int> Bad{0};
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int R = 0; R != Rounds; ++R) {
+        int I = (T + R) % NumModules;
+        auto C = BE.compile(Mods[I], nullptr);
+        auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
+        if (F(R) != int64_t(R) * (I + 1) + 7)
+          ++Bad;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Bad.load(), 0);
+  EXPECT_LE(BE.size(), Capacity);
+  CacheStats S = BE.stats();
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_EQ(S.Hits + S.Misses, uint64_t(NumThreads) * Rounds);
+  // Every miss either ends cached or was evicted; sizes must reconcile.
+  EXPECT_EQ(S.Misses - S.Evictions, BE.size());
+}
+
+TEST(CacheDedup, ServiceBackedMissesUseWorkers) {
+  CompileService Svc(2);
+  auto Counting =
+      std::make_unique<CountingBackend>(createBackend("DirectEmit"),
+                                        std::chrono::milliseconds(10));
+  CountingBackend *Counter = Counting.get();
+  CachingBackend BE(std::move(Counting), /*Capacity=*/0, &Svc);
+
+  qir::Module M;
+  buildAffine(M, 3);
+  std::vector<std::thread> Threads;
+  std::atomic<int> Bad{0};
+  for (int T = 0; T != 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != 10; ++I) {
+        auto C = BE.compile(M, nullptr);
+        if (C->entryAs<int64_t (*)(int64_t)>("f")(I) != int64_t(I) * 3 + 7)
+          ++Bad;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Bad.load(), 0);
+  EXPECT_EQ(Counter->Compiles.load(), 1u);
+  CompileServiceStats S = Svc.stats();
+  EXPECT_EQ(S.JobsCompleted, 1u) << "dedup happens before the service";
+  ASSERT_EQ(S.PerBackend.count("DirectEmit"), 1u);
+  EXPECT_GE(S.PerBackend.at("DirectEmit").MinSec, 0.01 * 0.5);
+}
+
+TEST(CacheDedup, ShutdownServiceFallsBackInline) {
+  // A cache whose service is shut down mid-life keeps working: misses
+  // compile inline (degraded submit), results stay correct and cached.
+  auto Svc = std::make_unique<CompileService>(1);
+  CachingBackend BE(createBackend("DirectEmit"), 0, Svc.get());
+
+  qir::Module M1, M2;
+  buildAffine(M1, 2);
+  buildAffine(M2, 4);
+  auto C1 = BE.compile(M1, nullptr);
+  EXPECT_EQ(C1->entryAs<int64_t (*)(int64_t)>("f")(5), 17);
+
+  Svc->shutdown();
+  auto C2 = BE.compile(M2, nullptr); // Degraded service: sync compile.
+  EXPECT_EQ(C2->entryAs<int64_t (*)(int64_t)>("f")(5), 27);
+  Svc.reset();
+  BE.setService(nullptr);
+  auto C3 = BE.compile(M2, nullptr); // Hit; no service involved.
+  EXPECT_EQ(C3->entryAs<int64_t (*)(int64_t)>("f")(0), 7);
+  EXPECT_EQ(BE.stats().Hits, 1u);
+}

@@ -351,6 +351,96 @@ TEST(DbExec, H19HandChecked) {
   EXPECT_EQ(Row[1].I64V, N);
 }
 
+TEST(DbExec, AsyncCompileMatchesBlocking) {
+  // ExecOptions::AsyncCompile slices the plan into per-pipeline modules
+  // and overlaps their compilation with execution; the produced rows must
+  // be byte-identical to blocking mode on every seed query.
+  struct Suite {
+    Catalog *Cat;
+    std::vector<Query> Queries;
+  };
+  Suite Suites[2] = {{&tpchCatalog(), tpchQueries()},
+                     {&tpcdsCatalog(), tpcdsQueries()}};
+  auto BE = backend::createBackend("DirectEmit");
+
+  for (Suite &S : Suites) {
+    for (const Query &Q : S.Queries) {
+      SCOPED_TRACE(Q.Name);
+      CompiledPlan Plan = compileQuery(Q, *S.Cat);
+
+      rt::OutputBuffer Blocking, Async;
+      ExecOptions Sync;
+      ExecOptions As;
+      As.AsyncCompile = true;
+      ASSERT_FALSE(executeQuery(Plan, *BE, *S.Cat, &Blocking, Sync).Trapped);
+      ASSERT_FALSE(executeQuery(Plan, *BE, *S.Cat, &Async, As).Trapped);
+      EXPECT_TRUE(Blocking.equals(Async))
+          << Q.Name << " async/blocking divergence\nblocking:\n"
+          << Blocking.toText().substr(0, 400) << "\nasync:\n"
+          << Async.toText().substr(0, 400);
+    }
+  }
+}
+
+TEST(DbExec, AsyncCompileSharedServiceAndParallelMorsels) {
+  // One external CompileService shared across queries, combined with
+  // morsel-parallel execution — the full concurrent configuration.
+  Catalog &C = tpchCatalog();
+  backend::CompileService Svc(2);
+  auto BE = backend::createBackend("Craneline");
+
+  for (const Query &Q : tpchQueries()) {
+    SCOPED_TRACE(Q.Name);
+    CompiledPlan Plan = compileQuery(Q, C);
+    rt::OutputBuffer Ref, Out;
+    ExecOptions Sync;
+    ASSERT_FALSE(executeQuery(Plan, *BE, C, &Ref, Sync).Trapped);
+
+    ExecOptions As;
+    As.AsyncCompile = true;
+    As.Service = &Svc;
+    As.NumThreads = 4;
+    As.MorselSize = 256;
+    ASSERT_FALSE(executeQuery(Plan, *BE, C, &Out, As).Trapped);
+    EXPECT_EQ(Ref.unorderedDigest(), Out.unorderedDigest()) << Q.Name;
+  }
+  EXPECT_GT(Svc.stats().JobsCompleted, 0u);
+}
+
+TEST(DbExec, AsyncCompileTrapAbortsCleanly) {
+  // The trap path under async compilation: an overflow mid-pipeline must
+  // still abort with Trapped set, and the in-flight compile jobs of later
+  // pipelines must be cancelled or finished — never leaked. The query
+  // sorts after aggregation so the plan has multiple pipelines and the
+  // trap fires with tickets still outstanding.
+  Catalog &C = tpchCatalog();
+  Query Q;
+  Q.Name = "overflow_async";
+  std::vector<AggSpec> Aggs;
+  AggSpec A;
+  A.Kind = AggKind::Sum;
+  A.Arg = mul(mul(col("l_extendedprice"), litDec(900000000000000000)),
+              litDec(900000000000000000));
+  A.Name = "boom";
+  Aggs.push_back(std::move(A));
+  std::vector<ExprPtr> Keys;
+  Keys.push_back(col("l_returnflag"));
+  Q.Root = aggregate(scan("lineitem"), std::move(Keys), {"flag"},
+                     std::move(Aggs));
+  Q.Output.push_back(col("boom"));
+
+  CompiledPlan Plan = compileQuery(Q, C);
+  auto BE = backend::createBackend("DirectEmit");
+  for (int Round = 0; Round != 3; ++Round) {
+    rt::OutputBuffer Out;
+    ExecOptions As;
+    As.AsyncCompile = true;
+    ExecResult R = executeQuery(Plan, *BE, C, &Out, As);
+    EXPECT_TRUE(R.Trapped) << "overflow must trap in async mode";
+    EXPECT_EQ(R.Trap, rt::TrapCode::Overflow);
+  }
+}
+
 TEST(DbExec, DecimalOverflowTrapsOnEveryBackend) {
   // Failure injection: a query whose decimal arithmetic overflows i128
   // must report Trapped on every back-end (the generated code uses

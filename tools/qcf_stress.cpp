@@ -15,16 +15,26 @@
 // On a mismatch it prints the seed, the inputs, and the offending IR, and
 // exits nonzero — everything needed to turn the failure into a unit test.
 //
+// `./qcf_stress --async-compile [rounds]` instead soaks the concurrent
+// compilation stack: each round hammers a service-backed CachingBackend
+// from several threads (asserting exactly-one-compile-per-key) and races
+// AdaptiveBackend tier promotion against execution, differentially
+// against the interpreter.
+//
 //===----------------------------------------------------------------------===//
 
+#include "backend/Cache.h"
+#include "backend/CompileService.h"
 #include "backend/Registry.h"
 #include "interp/Interp.h"
 #include "qir/Print.h"
 #include "runtime/Trap.h"
 #include "tests/RandomQir.h"
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 using namespace qcf;
 
@@ -52,9 +62,177 @@ Outcome invoke(void *Entry, uint64_t A, uint64_t B) {
   return Out;
 }
 
+/// Wraps a back-end counting compiles — for asserting dedup exactness.
+struct CountingBackend : backend::Backend {
+  explicit CountingBackend(std::unique_ptr<backend::Backend> Inner)
+      : Inner(std::move(Inner)) {}
+  std::string name() const override { return Inner->name(); }
+  std::unique_ptr<backend::CompiledModule>
+  compile(const qir::Module &M, TimeTrace *Trace) override {
+    ++Compiles;
+    return Inner->compile(M, Trace);
+  }
+  std::unique_ptr<backend::Backend> Inner;
+  std::atomic<uint64_t> Compiles{0};
+};
+
+/// One soak round: thread-storm a service-backed cache over K random
+/// modules, then race adaptive promotion against execution. \returns the
+/// number of violations (printed as they are found).
+uint64_t asyncCompileRound(uint64_t Round) {
+  constexpr int NumModules = 6, NumThreads = 4, Lookups = 20;
+  uint64_t Violations = 0;
+
+  std::vector<std::unique_ptr<qir::Module>> Mods;
+  interp::InterpBackend Interp;
+  std::vector<std::vector<Outcome>> Expected(NumModules);
+  std::vector<std::pair<uint64_t, uint64_t>> Inputs;
+  Rng InRng(Round ^ 0x5eedfeed);
+  for (int I = 0; I != 6; ++I)
+    Inputs.emplace_back(InRng.next(), InRng.next());
+  Inputs.emplace_back(0, 0);
+  Inputs.emplace_back(~0ull, 1);
+
+  for (int K = 0; K != NumModules; ++K) {
+    auto M = std::make_unique<qir::Module>();
+    uint64_t Seed = Round * NumModules + K;
+    Rng R(Seed * 6364136223846793005ull + 1442695040888963407ull);
+    test::RandomFnBuilder RB(*M, R);
+    RB.build("rand");
+    if (std::optional<std::string> Err = qir::verify(*M)) {
+      std::fprintf(stderr, "round %llu: invalid IR: %s\n",
+                   static_cast<unsigned long long>(Round), Err->c_str());
+      return 1;
+    }
+    auto Ref = Interp.compile(*M, nullptr);
+    for (auto [A, B] : Inputs)
+      Expected[K].push_back(invoke(Ref->entry("rand"), A, B));
+    Mods.push_back(std::move(M));
+  }
+
+  backend::CompileService Svc(2);
+
+  // Phase 1: cache dedup under a thread storm.
+  {
+    auto Counting =
+        std::make_unique<CountingBackend>(backend::createBackend("DirectEmit"));
+    CountingBackend *Counter = Counting.get();
+    backend::CachingBackend Cache(std::move(Counting), /*Capacity=*/0, &Svc);
+
+    std::atomic<uint64_t> Bad{0};
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        for (int I = 0; I != Lookups; ++I) {
+          int K = (T * 7 + I * 5) % NumModules;
+          auto C = Cache.compile(*Mods[K], nullptr);
+          for (size_t J = 0; J != Inputs.size(); ++J)
+            if (!(invoke(C->entry("rand"), Inputs[J].first,
+                         Inputs[J].second) == Expected[K][J]))
+              ++Bad;
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+
+    backend::CacheStats S = Cache.stats();
+    if (Bad.load()) {
+      std::fprintf(stderr, "round %llu: %llu cached-result mismatches\n",
+                   static_cast<unsigned long long>(Round),
+                   static_cast<unsigned long long>(Bad.load()));
+      Violations += Bad.load();
+    }
+    if (Counter->Compiles.load() != NumModules) {
+      std::fprintf(stderr,
+                   "round %llu: dedup broke: %llu compiles for %d keys\n",
+                   static_cast<unsigned long long>(Round),
+                   static_cast<unsigned long long>(Counter->Compiles.load()),
+                   NumModules);
+      ++Violations;
+    }
+    if (S.Hits + S.Misses != uint64_t(NumThreads) * Lookups) {
+      std::fprintf(stderr, "round %llu: stats drift: %llu hits + %llu misses "
+                           "!= %d lookups\n",
+                   static_cast<unsigned long long>(Round),
+                   static_cast<unsigned long long>(S.Hits),
+                   static_cast<unsigned long long>(S.Misses),
+                   NumThreads * Lookups);
+      ++Violations;
+    }
+  }
+
+  // Phase 2: adaptive promotion racing execution, differential.
+  {
+    backend::AdaptiveBackend BE(&Svc);
+    BE.PromoteAfterRuns = 2;
+    BE.PromoteSizeThreshold = 1;
+    int K = static_cast<int>(Round % NumModules);
+    auto Compiled = BE.compile(*Mods[K], nullptr);
+    auto *AM = static_cast<backend::AdaptiveModule *>(Compiled.get());
+
+    std::atomic<uint64_t> Bad{0};
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&] {
+        for (int R = 0; R != 10; ++R) {
+          void *E = AM->entry("rand");
+          for (size_t J = 0; J != Inputs.size(); ++J)
+            if (!(invoke(E, Inputs[J].first, Inputs[J].second) ==
+                  Expected[K][J]))
+              ++Bad;
+          AM->noteExecution("rand");
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    AM->waitForPromotion();
+    for (size_t J = 0; J != Inputs.size(); ++J)
+      if (!(invoke(AM->entry("rand"), Inputs[J].first, Inputs[J].second) ==
+            Expected[K][J]))
+        ++Bad;
+    if (Bad.load()) {
+      std::fprintf(stderr,
+                   "round %llu: %llu mismatches across tier swap (seed %llu)\n",
+                   static_cast<unsigned long long>(Round),
+                   static_cast<unsigned long long>(Bad.load()),
+                   static_cast<unsigned long long>(Round * NumModules + K));
+      Violations += Bad.load();
+    }
+  }
+  return Violations;
+}
+
+int runAsyncCompileSoak(uint64_t Rounds) {
+  std::printf("async-compile soak: %llu rounds (cache dedup storm + racing "
+              "adaptive promotion)\n",
+              static_cast<unsigned long long>(Rounds));
+  uint64_t Violations = 0;
+  for (uint64_t Round = 0; Round != Rounds; ++Round) {
+    Violations += asyncCompileRound(Round);
+    if (Violations >= 3) {
+      std::fprintf(stderr, "too many violations, stopping\n");
+      return 1;
+    }
+    if ((Round + 1) % 10 == 0)
+      std::printf("  %llu rounds ok\n",
+                  static_cast<unsigned long long>(Round + 1));
+  }
+  if (Violations) {
+    std::printf("FAILED: %llu violations\n",
+                static_cast<unsigned long long>(Violations));
+    return 1;
+  }
+  std::printf("all %llu rounds clean\n",
+              static_cast<unsigned long long>(Rounds));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--async-compile") == 0)
+    return runAsyncCompileSoak(
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 50);
   uint64_t NumSeeds = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1000;
   const char *Only = argc > 2 ? argv[2] : nullptr;
 
