@@ -21,6 +21,7 @@
 #include "db/Datagen.h"
 #include "db/Executor.h"
 #include "db/Queries.h"
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -57,20 +58,47 @@ inline Suite makeTpchSuite(double Sf = 1.0) {
 }
 
 /// Total compile time of the whole suite with \p BE (seconds; best of
-/// \p Reps repetitions to suppress noise), optionally collecting traces.
-inline double suiteCompileSec(Suite &S, backend::Backend &BE,
-                              unsigned Reps = 3,
-                              TimeTrace *Trace = nullptr) {
+/// \p Reps repetitions to suppress noise), with optional observability
+/// consumers (traces, metrics, timeline) attached via \p Opts.
+inline double
+suiteCompileSec(Suite &S, backend::Backend &BE, unsigned Reps = 3,
+                const backend::CompileOptions &Opts = backend::CompileOptions()) {
   double Best = 1e100;
   for (unsigned R = 0; R != Reps; ++R) {
     Stopwatch W;
     for (db::CompiledPlan &P : S.Plans) {
-      auto Compiled = BE.compile(*P.Module, Trace);
+      auto Compiled = BE.compile(*P.Module, Opts);
       (void)Compiled;
     }
     Best = std::min(Best, W.elapsedSec());
   }
   return Best;
+}
+
+/// Relative wall-time overhead of running the suite compile under
+/// \p Obs versus under \p Baseline: (obs - baseline) / baseline,
+/// best-of-\p Reps on both sides (negative values clamp to 0). Pick the
+/// baseline to isolate the cost under test: default CompileOptions to
+/// price a whole observability stack, or CompileOptions(&Trace) to price
+/// just the metrics registry on top of the pre-existing per-phase
+/// tracing. The acceptance budget for the obs layer is <= 2%.
+inline double suiteObsOverhead(Suite &S, backend::Backend &BE,
+                               const backend::CompileOptions &Obs,
+                               unsigned Reps = 5,
+                               const backend::CompileOptions &Baseline =
+                                   backend::CompileOptions()) {
+  // Interleave the two sides rep-by-rep so frequency ramps, page-cache
+  // warmup, and background load hit both equally; a block of baseline
+  // reps followed by a block of obs reps turns any drift between the
+  // blocks into phantom overhead.
+  double Plain = 1e100, WithObs = 1e100;
+  for (unsigned R = 0; R != Reps; ++R) {
+    Plain = std::min(Plain, suiteCompileSec(S, BE, 1, Baseline));
+    WithObs = std::min(WithObs, suiteCompileSec(S, BE, 1, Obs));
+  }
+  if (Plain <= 0)
+    return 0;
+  return std::max(0.0, (WithObs - Plain) / Plain);
 }
 
 /// Executes the whole suite once; returns (compileSec, execSec).

@@ -47,14 +47,14 @@ int main() {
 
     Stopwatch Cold;
     for (db::CompiledPlan &P : S.Plans)
-      BE.compile(*P.Module, nullptr);
+      BE.compile(*P.Module);
     double ColdSec = Cold.elapsedSec();
 
     double HitSec = 1e100;
     for (unsigned R = 0; R != 5; ++R) {
       Stopwatch Hit;
       for (db::CompiledPlan &P : S.Plans)
-        BE.compile(*P.Module, nullptr);
+        BE.compile(*P.Module);
       HitSec = std::min(HitSec, Hit.elapsedSec());
     }
     backend::CacheStats St = BE.stats();

@@ -16,7 +16,7 @@ int main() {
   Suite S = makeDsSuite(1.0);
   craneline::CranelineBackend BE;
   TimeTrace Trace;
-  double Total = suiteCompileSec(S, BE, 1, &Trace);
+  double Total = suiteCompileSec(S, BE, 1, backend::CompileOptions(&Trace));
 
   struct Row {
     const char *Label;

@@ -16,7 +16,7 @@ int main() {
   Suite S = makeDsSuite(1.0);
   direct::DirectBackend BE;
   TimeTrace Trace;
-  double Total = suiteCompileSec(S, BE, 1, &Trace);
+  double Total = suiteCompileSec(S, BE, 1, backend::CompileOptions(&Trace));
 
   uint64_t Analysis = Trace.totalNs("direct.analysis");
   uint64_t Liveness = Trace.totalNs("direct.analysis.liveness");

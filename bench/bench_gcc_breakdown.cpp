@@ -23,7 +23,7 @@ int main() {
   double Gen = 0, Compile = 0, Load = 0;
   std::string LastReport;
   for (db::CompiledPlan &P : S.Plans) {
-    auto Compiled = BE.compile(*P.Module, nullptr);
+    auto Compiled = BE.compile(*P.Module);
     Gen += BE.lastPhaseTimes().GenerateSec;
     Compile += BE.lastPhaseTimes().CompileSec;
     Load += BE.lastPhaseTimes().LoadSec;

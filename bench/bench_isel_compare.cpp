@@ -45,7 +45,7 @@ int main() {
   for (Config &C : Configs) {
     mlvm::MlvmBackend BE(C.Opts);
     TimeTrace Trace;
-    double Total = suiteCompileSec(S, BE, 3, &Trace);
+    double Total = suiteCompileSec(S, BE, 3, backend::CompileOptions(&Trace));
     double Isel = Trace.selfNsWithPrefix("mlvm.isel") * 1e-6 / 3.0; // 3 reps accumulate
     std::printf("%-18s %12.2f %16.2f\n", C.Label, Total * 1e3, Isel);
     if (std::string(C.Label) == "cheap/FastISel")

@@ -81,7 +81,7 @@ int main() {
     mlvm::MlvmBackend BE(O);
     double T = suiteCompileSec(S, BE, 5);
     TimeTrace Trace;
-    suiteCompileSec(S, BE, 1, &Trace);
+    suiteCompileSec(S, BE, 1, backend::CompileOptions(&Trace));
     std::printf("  domtree computed %s: compile %7.2f ms "
                 "(domtree+loops self %6.3f ms, %llu runs)\n",
                 Reuse ? "once " : "twice", T * 1e3,

@@ -30,7 +30,7 @@ int main() {
 
   backend::AdaptiveBackend BE;
   BE.PromoteAfterRuns = 3;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *AM = static_cast<backend::AdaptiveModule *>(Compiled.get());
 
   for (int Run = 1; Run <= 5; ++Run) {

@@ -49,7 +49,7 @@ int main() {
                                 /*Capacity=*/0, &Svc);
   std::vector<std::thread> Threads;
   for (int I = 0; I != 4; ++I)
-    Threads.emplace_back([&] { (void)Cache.compile(M, nullptr); });
+    Threads.emplace_back([&] { (void)Cache.compile(M); });
   for (std::thread &Th : Threads)
     Th.join();
   backend::CacheStats CS = Cache.stats();

@@ -60,7 +60,7 @@ int main(int argc, char **argv) {
     db::CompiledPlan P = db::compileQuery(Q, Cat);
     NumFns += P.Module->functions().size();
     ++NumQueries;
-    auto Compiled = BE->compile(*P.Module, &Trace);
+    auto Compiled = BE->compile(*P.Module, backend::CompileOptions(&Trace));
     (void)Compiled;
   }
   if (!NumQueries) {

@@ -40,7 +40,7 @@ int main() {
 
   // 3. Compile with the single-pass back-end and run.
   direct::DirectBackend Backend;
-  auto Compiled = Backend.compile(M, nullptr);
+  auto Compiled = Backend.compile(M);
   auto *Hash = Compiled->entryAs<uint64_t (*)(uint64_t)>("hash");
   for (uint64_t X : {0ull, 42ull, 123456789ull})
     std::printf("hash(%llu) = %016llx\n", (unsigned long long)X,

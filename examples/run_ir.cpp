@@ -69,7 +69,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "unknown back-end '%s'\n", BackendName);
     return 1;
   }
-  auto Compiled = BE->compile(*M, nullptr);
+  auto Compiled = BE->compile(*M);
 
   const std::string FnName = argc > 3 ? argv[3] : "main";
   const qir::Function *F = M->functionByName(FnName);

@@ -15,12 +15,35 @@
 #ifndef QCF_BACKEND_BACKEND_H
 #define QCF_BACKEND_BACKEND_H
 
+#include "obs/Obs.h"
 #include "qir/Function.h"
 #include "support/TimeTrace.h"
 #include <memory>
 #include <string>
 
 namespace qcf::backend {
+
+/// Per-compile options. This is the extension point of the back-end
+/// interface: new knobs (observability today; opt level, CPU features,
+/// code model tomorrow) are added here instead of growing every
+/// Backend::compile override a new parameter.
+///
+/// The constructors are explicit so the deprecated TimeTrace* overload of
+/// compile() stays unambiguous during the migration window.
+struct CompileOptions {
+  /// Observability consumers (all optional): aggregate timings, metrics
+  /// registry, Perfetto trace sink. See obs/Obs.h.
+  obs::ObsContext Obs;
+
+  CompileOptions() = default;
+  explicit CompileOptions(obs::ObsContext Obs) : Obs(Obs) {}
+  explicit CompileOptions(TimeTrace *Trace) { Obs.Trace = Trace; }
+
+  /// Convenience factory for the common "just give me a breakdown" case.
+  static CompileOptions traced(TimeTrace *Trace) {
+    return CompileOptions(Trace);
+  }
+};
 
 /// The result of compiling a module: callable entry points per function.
 ///
@@ -51,10 +74,26 @@ public:
   /// style naming mirrors the paper's Table III).
   virtual std::string name() const = 0;
 
-  /// Compiles \p M. When \p Trace is non-null, per-phase timings are
-  /// recorded into it (with the overhead that implies; §V-B).
+  /// Compiles \p M. Observability is driven by \p Opts.Obs: per-phase
+  /// timings are recorded when a consumer asks for them (with the
+  /// overhead that implies; §V-B), and every compile lands one count and
+  /// one latency point in the metrics registry regardless.
   virtual std::unique_ptr<CompiledModule> compile(const qir::Module &M,
-                                                  TimeTrace *Trace) = 0;
+                                                  const CompileOptions &Opts) = 0;
+
+  /// Compiles with default options (structural metrics only).
+  std::unique_ptr<CompiledModule> compile(const qir::Module &M) {
+    return compile(M, CompileOptions());
+  }
+
+  /// Deprecated pre-CompileOptions signature; kept as a shim for one
+  /// release. \p Trace semantics match CompileOptions(Trace).
+  [[deprecated("pass CompileOptions (wraps the TimeTrace in an ObsContext) "
+               "instead of a bare TimeTrace*")]]
+  std::unique_ptr<CompiledModule> compile(const qir::Module &M,
+                                          TimeTrace *Trace) {
+    return compile(M, CompileOptions(Trace));
+  }
 };
 
 } // namespace qcf::backend

@@ -7,8 +7,34 @@
 #include "backend/Cache.h"
 #include "backend/CompileService.h"
 #include "support/Hash.h"
+#include <atomic>
 
 namespace qcf::backend {
+
+namespace {
+
+/// Instance counter behind metricsPrefix() — "cache.<n>." names stay
+/// unique for the life of the process.
+std::atomic<uint64_t> NextCacheId{1};
+
+obs::MetricsRegistry &resolveRegistry(obs::MetricsRegistry *Reg) {
+  return Reg ? *Reg : obs::MetricsRegistry::global();
+}
+
+} // namespace
+
+CachingBackend::CachingBackend(std::unique_ptr<Backend> Inner, size_t Capacity,
+                               CompileService *Service,
+                               obs::MetricsRegistry *Reg)
+    : Inner(std::move(Inner)), Capacity(Capacity), Service(Service),
+      Prefix("cache." +
+             std::to_string(NextCacheId.fetch_add(1,
+                                                  std::memory_order_relaxed)) +
+             "."),
+      Hits(resolveRegistry(Reg).counter(Prefix + "hits")),
+      Misses(resolveRegistry(Reg).counter(Prefix + "misses")),
+      Evictions(resolveRegistry(Reg).counter(Prefix + "evictions")),
+      InFlightWaits(resolveRegistry(Reg).counter(Prefix + "inflight_waits")) {}
 
 namespace {
 
@@ -104,7 +130,7 @@ private:
 } // namespace
 
 std::unique_ptr<CompiledModule>
-CachingBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+CachingBackend::compile(const qir::Module &M, const CompileOptions &Opts) {
   uint64_t Key = hashModule(M);
   std::shared_ptr<InFlight> Entry;
   CompileService *Svc;
@@ -112,7 +138,9 @@ CachingBackend::compile(const qir::Module &M, TimeTrace *Trace) {
     std::unique_lock<std::mutex> Lock(Mutex);
     auto It = Map.find(Key);
     if (It != Map.end()) {
-      ++Stats.Hits;
+      Hits.inc();
+      if (obs::TraceSink *Sink = Opts.Obs.Sink)
+        Sink->instantEvent("cache.hit", "cache");
       Lru.splice(Lru.begin(), Lru, It->second); // Refresh recency.
       return std::make_unique<SharedModule>(It->second->second);
     }
@@ -121,21 +149,25 @@ CachingBackend::compile(const qir::Module &M, TimeTrace *Trace) {
       // In-flight dedup: another thread is already compiling this key.
       // Waiting on its result costs one compile latency at most; starting
       // a second compile would cost the same latency *and* the work.
-      ++Stats.Hits;
-      ++Stats.InFlightWaits;
+      Hits.inc();
+      InFlightWaits.inc();
       std::shared_ptr<InFlight> Wait = PIt->second;
       Lock.unlock();
+      uint64_t WaitStartNs = nowNs();
       std::unique_lock<std::mutex> WaitLock(Wait->Mutex);
       Wait->Cv.wait(WaitLock, [&] { return Wait->Done; });
+      if (obs::TraceSink *Sink = Opts.Obs.Sink)
+        Sink->completeEvent("cache.inflight_wait", "cache", WaitStartNs,
+                            nowNs() - WaitStartNs);
       if (Wait->Result)
         return std::make_unique<SharedModule>(Wait->Result);
       // The owning compile failed; fall back to compiling ourselves
       // (uncached, like the pre-dedup overflow path).
       WaitLock.unlock();
       return std::make_unique<SharedModule>(
-          std::shared_ptr<CompiledModule>(Inner->compile(M, Trace)));
+          std::shared_ptr<CompiledModule>(Inner->compile(M, Opts)));
     }
-    ++Stats.Misses;
+    Misses.inc();
     Entry = std::make_shared<InFlight>();
     Pending.emplace(Key, Entry);
     Svc = Service;
@@ -146,11 +178,11 @@ CachingBackend::compile(const qir::Module &M, TimeTrace *Trace) {
   std::shared_ptr<CompiledModule> Compiled;
   if (Svc) {
     CompileTicket Ticket =
-        Svc->submit(M, *Inner, CompilePriority::Foreground, Trace);
+        Svc->submit(M, *Inner, CompilePriority::Foreground, Opts);
     Compiled = Ticket.wait(); // Null if the service was shut down mid-job.
   }
   if (!Compiled)
-    Compiled = Inner->compile(M, Trace);
+    Compiled = Inner->compile(M, Opts);
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -162,7 +194,7 @@ CachingBackend::compile(const qir::Module &M, TimeTrace *Trace) {
     if (Capacity && Map.size() > Capacity) {
       Map.erase(Lru.back().first);
       Lru.pop_back();
-      ++Stats.Evictions;
+      Evictions.inc();
     }
   }
   {

@@ -41,6 +41,8 @@ class CompileService;
 /// and the runtime-symbol table.
 uint64_t hashModule(const qir::Module &M);
 
+/// Snapshot view of a cache's registry-backed counters; see
+/// CachingBackend::stats().
 struct CacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
@@ -49,6 +51,10 @@ struct CacheStats {
   /// waited for that compilation instead of starting their own. Counted
   /// inside Hits, so Hits + Misses == lookups always holds.
   uint64_t InFlightWaits = 0;
+
+  /// The one place the hit/miss partition is defined: every lookup is
+  /// exactly one of the two.
+  uint64_t lookups() const { return Hits + Misses; }
 };
 
 /// Wraps \p Inner with an LRU cache of compiled modules.
@@ -65,15 +71,18 @@ class CachingBackend : public Backend {
 public:
   /// \p Capacity bounds the number of retained compiled modules
   /// (0 = unbounded). \p Service, when non-null, must outlive this
-  /// back-end.
+  /// back-end. \p Reg receives the cache's hit/miss/eviction counters
+  /// under metricsPrefix() (null = process-wide registry).
   explicit CachingBackend(std::unique_ptr<Backend> Inner, size_t Capacity = 0,
-                          CompileService *Service = nullptr)
-      : Inner(std::move(Inner)), Capacity(Capacity), Service(Service) {}
+                          CompileService *Service = nullptr,
+                          obs::MetricsRegistry *Reg = nullptr);
+
+  using Backend::compile;
 
   std::string name() const override { return Inner->name() + "+cache"; }
 
   std::unique_ptr<CompiledModule> compile(const qir::Module &M,
-                                          TimeTrace *Trace) override;
+                                          const CompileOptions &Opts) override;
 
   /// Routes future misses through \p S (null restores inline compiles).
   void setService(CompileService *S) {
@@ -81,9 +90,17 @@ public:
     Service = S;
   }
 
+  /// Registry prefix of this instance's counters, e.g. "cache.1.".
+  const std::string &metricsPrefix() const { return Prefix; }
+
+  /// Assembles a CacheStats view from the registry-backed counters.
   CacheStats stats() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Stats;
+    CacheStats S;
+    S.Hits = Hits.value();
+    S.Misses = Misses.value();
+    S.Evictions = Evictions.value();
+    S.InFlightWaits = InFlightWaits.value();
+    return S;
   }
   size_t size() const {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -105,13 +122,18 @@ private:
   size_t Capacity;
   CompileService *Service;
 
+  std::string Prefix;
+  obs::Counter &Hits;
+  obs::Counter &Misses;
+  obs::Counter &Evictions;
+  obs::Counter &InFlightWaits;
+
   mutable std::mutex Mutex;
   // LRU list, most-recent first; the map points into it.
   using LruEntry = std::pair<uint64_t, std::shared_ptr<CompiledModule>>;
   std::list<LruEntry> Lru;
   std::unordered_map<uint64_t, std::list<LruEntry>::iterator> Map;
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> Pending;
-  CacheStats Stats;
 };
 
 } // namespace qcf::backend

@@ -6,10 +6,17 @@
 
 #include "backend/CompileService.h"
 #include "support/TimeTrace.h"
+#include <atomic>
 
 namespace qcf::backend {
 
 using detail::CompileJob;
+
+namespace {
+/// Instance counter behind metricsPrefix() — "svc.<n>." names stay unique
+/// for the life of the process, so several services can share a registry.
+std::atomic<uint64_t> NextServiceId{1};
+} // namespace
 
 bool CompileTicket::done() const {
   if (!Job)
@@ -48,8 +55,18 @@ bool CompileTicket::cancel() {
   return true;
 }
 
-CompileService::CompileService(unsigned NumWorkers, size_t QueueCapacity)
-    : Queue(QueueCapacity) {
+CompileService::CompileService(unsigned NumWorkers, size_t QueueCapacity,
+                               obs::MetricsRegistry *Reg)
+    : Queue(QueueCapacity),
+      Reg(Reg ? Reg : &obs::MetricsRegistry::global()),
+      Prefix("svc." +
+             std::to_string(
+                 NextServiceId.fetch_add(1, std::memory_order_relaxed)) +
+             "."),
+      JobsQueued(this->Reg->counter(Prefix + "jobs_queued")),
+      JobsCompleted(this->Reg->counter(Prefix + "jobs_completed")),
+      JobsCancelled(this->Reg->counter(Prefix + "jobs_cancelled")),
+      QueueDepth(this->Reg->gauge(Prefix + "queue_depth")) {
   if (NumWorkers == 0)
     NumWorkers = 1;
   Workers.reserve(NumWorkers);
@@ -61,34 +78,37 @@ CompileService::~CompileService() { shutdown(); }
 
 CompileTicket CompileService::submit(const qir::Module &M, Backend &BE,
                                      CompilePriority Priority,
-                                     TimeTrace *Trace) {
+                                     const CompileOptions &Opts) {
   auto Job = std::make_shared<CompileJob>();
   Job->M = &M;
   Job->BE = &BE;
-  Job->Trace = Trace;
+  Job->Opts = Opts;
+  Job->SubmitNs = nowNs();
 
   if (Stopping.load(std::memory_order_acquire)) {
     // Degraded mode: compile synchronously so callers keep working after
     // (or during) shutdown. The ticket is already complete.
-    Job->Result = BE.compile(M, Trace);
+    Job->Result = BE.compile(M, Opts);
     Job->St = CompileJob::State::Done;
     return CompileTicket(std::move(Job));
   }
 
+  JobsQueued.inc();
   {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Stats.JobsQueued;
+    std::lock_guard<std::mutex> Lock(LifecycleMutex);
     ++Pending;
   }
   if (!Queue.push(Job, Priority == CompilePriority::Foreground)) {
     // Shutdown raced the push: run it synchronously instead.
+    JobsQueued.sub(1);
     {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      --Stats.JobsQueued;
+      std::lock_guard<std::mutex> Lock(LifecycleMutex);
       --Pending;
     }
-    Job->Result = BE.compile(M, Trace);
+    Job->Result = BE.compile(M, Opts);
     Job->St = CompileJob::State::Done;
+  } else {
+    QueueDepth.set(static_cast<int64_t>(Queue.size()));
   }
   return CompileTicket(Job);
 }
@@ -119,35 +139,31 @@ void CompileService::finishJob(const std::shared_ptr<CompileJob> &Job,
   }
 
   if (!Cancel) {
-    Stopwatch W;
+    QueueDepth.set(static_cast<int64_t>(Queue.size()));
+    uint64_t StartNs = nowNs();
+    if (obs::TraceSink *Sink = Job->Opts.Obs.Sink)
+      if (Job->SubmitNs && StartNs > Job->SubmitNs)
+        Sink->completeEvent("svc.queue_wait", "svc", Job->SubmitNs,
+                            StartNs - Job->SubmitNs);
     std::shared_ptr<CompiledModule> Result =
-        Job->BE->compile(*Job->M, Job->Trace);
-    double Sec = W.elapsedSec();
+        Job->BE->compile(*Job->M, Job->Opts);
+    uint64_t DurNs = nowNs() - StartNs;
     // Account the completion *before* publishing Done: the instant a
     // waiter wakes it may destroy the back-end (callers only keep it
     // alive until the ticket completes), so BE->name() must not be
     // touched afterwards — and stats() read after a wait() must already
     // include this job.
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Stats.JobsCompleted;
-      CompileLatency &L = Stats.PerBackend[Job->BE->name()];
-      if (L.Count == 0 || Sec < L.MinSec)
-        L.MinSec = Sec;
-      if (Sec > L.MaxSec)
-        L.MaxSec = Sec;
-      L.TotalSec += Sec;
-      ++L.Count;
-    }
+    Reg->histogram(Prefix + "latency." + Job->BE->name()).observe(DurNs);
+    JobsCompleted.inc();
     std::lock_guard<std::mutex> Lock(Job->Mutex);
     Job->Result = std::move(Result);
     Job->St = CompileJob::State::Done;
     Job->Cv.notify_all();
   }
 
-  std::lock_guard<std::mutex> Lock(StatsMutex);
   if (Cancel)
-    ++Stats.JobsCancelled;
+    JobsCancelled.inc();
+  std::lock_guard<std::mutex> Lock(LifecycleMutex);
   if (--Pending == 0)
     AllDoneCv.notify_all();
 }
@@ -168,14 +184,29 @@ void CompileService::shutdown() {
 }
 
 void CompileService::drain() {
-  std::unique_lock<std::mutex> Lock(StatsMutex);
+  std::unique_lock<std::mutex> Lock(LifecycleMutex);
   AllDoneCv.wait(Lock, [&] { return Pending == 0; });
 }
 
 CompileServiceStats CompileService::stats() const {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  CompileServiceStats S = Stats;
+  CompileServiceStats S;
+  S.JobsQueued = JobsQueued.value();
+  S.JobsCompleted = JobsCompleted.value();
+  S.JobsCancelled = JobsCancelled.value();
   S.QueueDepthHighWater = Queue.highWater();
+  // Per-backend latency is a view over this instance's histograms.
+  obs::MetricsSnapshot Snap = Reg->snapshot();
+  const std::string LatPrefix = Prefix + "latency.";
+  for (const auto &[Name, H] : Snap.Histograms) {
+    if (Name.compare(0, LatPrefix.size(), LatPrefix) != 0)
+      continue;
+    CompileLatency L;
+    L.Count = H.Count;
+    L.MinSec = H.Count ? H.MinNs * 1e-9 : 0;
+    L.MaxSec = H.MaxNs * 1e-9;
+    L.TotalSec = H.SumNs * 1e-9;
+    S.PerBackend[Name.substr(LatPrefix.size())] = L;
+  }
   return S;
 }
 

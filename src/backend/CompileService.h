@@ -44,6 +44,7 @@ namespace qcf::backend {
 enum class CompilePriority : uint8_t { Foreground, Background };
 
 /// Compile-latency aggregate for one back-end (keyed by Backend::name()).
+/// A view over the service's latency histograms in the metrics registry.
 struct CompileLatency {
   uint64_t Count = 0;
   double MinSec = 0;
@@ -53,6 +54,8 @@ struct CompileLatency {
   double meanSec() const { return Count ? TotalSec / Count : 0; }
 };
 
+/// Snapshot view of a service's registry-backed metrics; see
+/// CompileService::stats().
 struct CompileServiceStats {
   uint64_t JobsQueued = 0;    ///< Accepted submissions.
   uint64_t JobsCompleted = 0; ///< Jobs that ran to completion.
@@ -71,7 +74,8 @@ struct CompileJob {
 
   const qir::Module *M = nullptr;
   Backend *BE = nullptr;
-  TimeTrace *Trace = nullptr;
+  CompileOptions Opts;
+  uint64_t SubmitNs = 0; ///< For queue-wait trace events.
 
   std::mutex Mutex;
   std::condition_variable Cv;
@@ -114,22 +118,32 @@ private:
 };
 
 /// Fixed worker-thread pool over a bounded two-priority job queue.
+///
+/// All accounting lives in a MetricsRegistry under this instance's
+/// metricsPrefix() ("svc.<n>."): job counters, a queue-depth gauge, and
+/// one latency histogram per back-end. stats() is a view over those
+/// instruments, so the registry is the single source of truth
+/// (tools/qcf_stats sees exactly what stats() reports).
 class CompileService {
 public:
   /// \p NumWorkers worker threads; \p QueueCapacity bounds the number of
   /// not-yet-started jobs (0 = unbounded) — submit() blocks while full.
-  explicit CompileService(unsigned NumWorkers = 2, size_t QueueCapacity = 0);
+  /// \p Reg receives the service's metrics (null = process-wide registry).
+  explicit CompileService(unsigned NumWorkers = 2, size_t QueueCapacity = 0,
+                          obs::MetricsRegistry *Reg = nullptr);
   ~CompileService();
 
   CompileService(const CompileService &) = delete;
   CompileService &operator=(const CompileService &) = delete;
 
   /// Enqueues compilation of \p M with \p BE. Both must outlive the job.
-  /// After shutdown() the service degrades gracefully: the compile runs
-  /// synchronously on the calling thread and the ticket is already done.
+  /// \p Opts (including its ObsContext) is carried to the worker-side
+  /// compile. After shutdown() the service degrades gracefully: the
+  /// compile runs synchronously on the calling thread and the ticket is
+  /// already done.
   CompileTicket submit(const qir::Module &M, Backend &BE,
                        CompilePriority Priority = CompilePriority::Foreground,
-                       TimeTrace *Trace = nullptr);
+                       const CompileOptions &Opts = CompileOptions());
 
   /// Stops accepting work, cancels every job still queued (their tickets
   /// report cancelled; waiters wake), finishes jobs already running, and
@@ -141,6 +155,11 @@ public:
 
   unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
   size_t queueDepth() const { return Queue.size(); }
+
+  /// Registry prefix of this instance's instruments, e.g. "svc.1.".
+  const std::string &metricsPrefix() const { return Prefix; }
+
+  /// Assembles a CompileServiceStats view from the registry.
   CompileServiceStats stats() const;
 
 private:
@@ -151,10 +170,16 @@ private:
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopping{false};
 
-  mutable std::mutex StatsMutex;
+  mutable std::mutex LifecycleMutex;
   std::condition_variable AllDoneCv; ///< Signalled when Pending hits 0.
   uint64_t Pending = 0;              ///< Accepted, not yet terminal.
-  CompileServiceStats Stats;
+
+  obs::MetricsRegistry *Reg;
+  std::string Prefix;
+  obs::Counter &JobsQueued;
+  obs::Counter &JobsCompleted;
+  obs::Counter &JobsCancelled;
+  obs::Gauge &QueueDepth;
 };
 
 } // namespace qcf::backend

@@ -40,9 +40,11 @@ std::vector<std::string> backend::allBackendNames() {
 AdaptiveModule::AdaptiveModule(const qir::Module &M,
                                std::unique_ptr<CompiledModule> Fast,
                                uint32_t SizeThreshold, uint32_t RunsThreshold,
-                               CompileService *Service)
+                               CompileService *Service,
+                               obs::MetricsRegistry *Reg)
     : M(M), Fast(std::move(Fast)), SizeThreshold(SizeThreshold),
-      RunsThreshold(RunsThreshold), Service(Service) {
+      RunsThreshold(RunsThreshold), Service(Service),
+      Reg(Reg ? Reg : &obs::MetricsRegistry::global()) {
   for (const auto &F : M.functions())
     RunCounts.emplace_back(F->name(), 0);
 }
@@ -84,6 +86,12 @@ bool AdaptiveModule::installPromotedLocked(
   Promoted.store(PromotedKeeper.get(), std::memory_order_release);
   HasPending.store(false, std::memory_order_release);
   PendingTicket = CompileTicket();
+  // Promotion observability: how often tiers swap, and how long a
+  // function stays on the fast tier after the heuristic fires.
+  Reg->counter("adaptive.promotions").inc();
+  if (PromoteSubmitNs)
+    Reg->histogram("adaptive.promote.ns").observe(nowNs() - PromoteSubmitNs);
+  PromoteSubmitNs = 0;
   return true;
 }
 
@@ -132,6 +140,7 @@ bool AdaptiveModule::noteExecution(const std::string &Name) {
       // worker; callers keep executing the fast tier until the ticket
       // completes and entry() swaps tiers.
       OptBackend = std::make_unique<mlvm::MlvmBackend>(mlvm::MlvmOptions::opt());
+      PromoteSubmitNs = nowNs();
       PendingTicket =
           Service->submit(M, *OptBackend, CompilePriority::Background);
       HasPending.store(true, std::memory_order_release);
@@ -141,15 +150,21 @@ bool AdaptiveModule::noteExecution(const std::string &Name) {
       return pollPromotion();
     }
     mlvm::MlvmBackend Opt(mlvm::MlvmOptions::opt());
-    return installPromotedLocked(Opt.compile(M, nullptr));
+    PromoteSubmitNs = nowNs();
+    return installPromotedLocked(Opt.compile(M));
   }
   return false;
 }
 
 std::unique_ptr<CompiledModule>
-AdaptiveBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+AdaptiveBackend::compile(const qir::Module &M, const CompileOptions &Opts) {
+  // The fast-tier compile runs under the caller's full ObsContext (its
+  // phases appear as compile.DirectEmit.*); the Adaptive wrapper itself
+  // adds no phases, so no CompileObs of its own — only promotion metrics,
+  // which AdaptiveModule reports as they happen.
   direct::DirectBackend Fast;
-  return std::make_unique<AdaptiveModule>(M, Fast.compile(M, Trace),
+  return std::make_unique<AdaptiveModule>(M, Fast.compile(M, Opts),
                                           PromoteSizeThreshold,
-                                          PromoteAfterRuns, Service);
+                                          PromoteAfterRuns, Service,
+                                          Opts.Obs.Metrics);
 }

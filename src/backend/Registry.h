@@ -44,9 +44,11 @@ public:
   AdaptiveBackend() = default;
   explicit AdaptiveBackend(CompileService *Service) : Service(Service) {}
 
+  using Backend::compile;
+
   std::string name() const override { return "Adaptive"; }
   std::unique_ptr<CompiledModule> compile(const qir::Module &M,
-                                          TimeTrace *Trace) override;
+                                          const CompileOptions &Opts) override;
 
   /// Size threshold above which optimized recompilation pays off.
   uint32_t PromoteSizeThreshold = 48;
@@ -64,9 +66,12 @@ public:
 /// is a single release store once the optimized compile lands.
 class AdaptiveModule : public CompiledModule {
 public:
+  /// \p Reg receives promotion metrics (count + submit-to-install
+  /// latency); null means the process-wide registry.
   AdaptiveModule(const qir::Module &M, std::unique_ptr<CompiledModule> Fast,
                  uint32_t SizeThreshold, uint32_t RunsThreshold,
-                 CompileService *Service = nullptr);
+                 CompileService *Service = nullptr,
+                 obs::MetricsRegistry *Reg = nullptr);
   ~AdaptiveModule();
 
   void *entry(const std::string &Name) override;
@@ -98,6 +103,8 @@ private:
   std::unique_ptr<CompiledModule> Fast;
   uint32_t SizeThreshold, RunsThreshold;
   CompileService *Service;
+  obs::MetricsRegistry *Reg;
+  uint64_t PromoteSubmitNs = 0; ///< nowNs() when the recompile was queued.
 
   /// The swap target read by entry(). Owned by PromotedKeeper, which is
   /// written (under Mutex) strictly before the release store here.

@@ -111,7 +111,10 @@ void *CranelineModule::entry(const std::string &Name) {
 }
 
 std::unique_ptr<backend::CompiledModule>
-CranelineBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+CranelineBackend::compile(const qir::Module &M,
+                          const backend::CompileOptions &COpts) {
+  obs::CompileObs CompObs(COpts.Obs, name());
+  TimeTrace *Trace = CompObs.trace();
   auto Result = std::make_unique<CranelineModule>();
 
   struct FnOut {

@@ -55,9 +55,12 @@ public:
   explicit CranelineBackend(CranelineOptions Opts = CranelineOptions())
       : Opts(Opts) {}
 
+  using backend::Backend::compile;
+
   std::string name() const override { return "Craneline"; }
   std::unique_ptr<backend::CompiledModule>
-  compile(const qir::Module &M, TimeTrace *Trace) override;
+  compile(const qir::Module &M,
+          const backend::CompileOptions &COpts) override;
 
   const CranelineOptions &options() const { return Opts; }
 

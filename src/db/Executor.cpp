@@ -97,10 +97,13 @@ struct QueryRuntime {
   }
 
   /// Runs every pipeline, resolving code through \p ModuleFor (which may
-  /// block — e.g. waiting for that pipeline's compile ticket).
+  /// block — e.g. waiting for that pipeline's compile ticket). Fills
+  /// PipeStats with per-pipeline rows and wall time, and emits one
+  /// timeline slice per pipeline when a sink is attached.
   rt::TrapCode
   runAll(const ExecOptions &Opts,
          const std::function<backend::CompiledModule &(size_t)> &ModuleFor) {
+    PipeStats.resize(Plan.Pipelines.size());
     return rt::runWithTrapGuard([&] {
       for (size_t PI = 0; PI != Plan.Pipelines.size(); ++PI) {
         const PipelineDesc &P = Plan.Pipelines[PI];
@@ -109,7 +112,9 @@ struct QueryRuntime {
         backend::CompiledModule &CM = ModuleFor(PI);
         auto *Fn = reinterpret_cast<PipeFn>(CM.entry(P.FnName));
         assert(Fn && "missing pipeline entry point");
-        runPipeline(Fn, Ctx.data(), sourceRows(P), P.ParallelSafe, Opts);
+        uint64_t Rows = sourceRows(P);
+        uint64_t StartNs = nowNs();
+        runPipeline(Fn, Ctx.data(), Rows, P.ParallelSafe, Opts);
 
         // Sort step after a materialization pipeline.
         if (P.SortObject >= 0) {
@@ -119,6 +124,13 @@ struct QueryRuntime {
           rt_sort(reinterpret_cast<void *>(Ctx[Obj.Slot]), Ctx[Obj.CountSlot],
                   Obj.RowStride, Cmp);
         }
+
+        uint64_t DurNs = nowNs() - StartNs;
+        PipeStats[PI].Rows = Rows;
+        PipeStats[PI].ExecNs = DurNs;
+        if (obs::TraceSink *Sink = Opts.Obs.Sink)
+          Sink->completeEvent("db.pipeline." + P.FnName, "exec", StartNs,
+                              DurNs);
       }
     });
   }
@@ -129,7 +141,37 @@ struct QueryRuntime {
   Arena QueryArena;
   std::vector<std::unique_ptr<rt::HashTable>> Tables;
   std::vector<std::unique_ptr<uint8_t[]>> Buffers;
+  std::vector<PipelineStats> PipeStats;
 };
+
+/// Publishes the always-on structural query metrics and the spanning
+/// timeline slice, and mirrors QueryStats into the legacy seconds fields.
+void finishQuery(const ExecOptions &Opts, ExecResult &Result,
+                 rt::OutputBuffer *Out, uint64_t RowsBefore,
+                 uint64_t QueryStartNs) {
+  QueryStats &S = Result.Stats;
+  S.RowsOut = Out ? Out->numRows() - RowsBefore : 0;
+  Result.CompileSec = 1e-9 * (Opts.AsyncCompile ? S.AsyncStallNs : S.CompileNs);
+  Result.ExecSec = 1e-9 * S.ExecNs;
+
+  obs::MetricsRegistry &Reg = Opts.Obs.registry();
+  Reg.counter("db.queries").inc();
+  Reg.counter("db.query.rows").add(S.RowsOut);
+  Reg.histogram("db.query.exec_ns").observe(S.ExecNs);
+  if (Opts.AsyncCompile)
+    Reg.histogram("db.query.async_stall_ns").observe(S.AsyncStallNs);
+  else
+    Reg.histogram("db.query.compile_ns").observe(S.CompileNs);
+  if (Result.Trapped)
+    Reg.counter("db.query.traps").inc();
+
+  if (obs::TraceSink *Sink = Opts.Obs.Sink) {
+    Sink->completeEvent("db.query", "exec", QueryStartNs,
+                        nowNs() - QueryStartNs);
+    if (Result.Trapped)
+      Sink->instantEvent("db.trap", "exec");
+  }
+}
 
 /// Slices \p Plan into one module per pipeline: the pipeline function plus
 /// the comparator of the object it sorts. \returns empty if some function
@@ -164,15 +206,18 @@ slicePlanModules(const CompiledPlan &Plan) {
 
 ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
                              const Catalog &Cat, rt::OutputBuffer *Out,
-                             const ExecOptions &Opts,
-                             TimeTrace *CompileTrace) {
+                             const ExecOptions &Opts) {
   std::vector<std::unique_ptr<qir::Module>> Units = slicePlanModules(Plan);
   if (Units.empty()) {
     // Unsliceable plan: degrade to the blocking path.
     ExecOptions Sync = Opts;
     Sync.AsyncCompile = false;
-    return executeQuery(Plan, BE, Cat, Out, Sync, CompileTrace);
+    return executeQuery(Plan, BE, Cat, Out, Sync);
   }
+
+  uint64_t QueryStartNs = nowNs();
+  uint64_t RowsBefore = Out ? Out->numRows() : 0;
+  backend::CompileOptions CO{Opts.Obs};
 
   // Units must outlive the service (running jobs reference them), so the
   // transient service is declared after them.
@@ -188,28 +233,36 @@ ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
   std::vector<backend::CompileTicket> Tickets;
   Tickets.reserve(Units.size());
   for (auto &U : Units)
-    Tickets.push_back(Svc->submit(*U, BE, backend::CompilePriority::Foreground,
-                                  CompileTrace));
+    Tickets.push_back(
+        Svc->submit(*U, BE, backend::CompilePriority::Foreground, CO));
 
   ExecResult Result;
   QueryRuntime RT(Plan, Cat, Out);
   std::vector<std::shared_ptr<backend::CompiledModule>> Compiled(Units.size());
 
-  double StallSec = 0;
-  Stopwatch ExecWatch;
+  std::vector<uint64_t> StallNs(Units.size(), 0);
+  uint64_t ExecStartNs = nowNs();
   rt::TrapCode Code = RT.runAll(Opts, [&](size_t PI) -> backend::CompiledModule & {
-    Stopwatch W;
+    uint64_t WaitStartNs = nowNs();
     Compiled[PI] = Tickets[PI].wait();
     if (!Compiled[PI]) // Cancelled (external service shut down mid-query).
-      Compiled[PI] = BE.compile(*Units[PI], CompileTrace);
-    StallSec += W.elapsedSec();
+      Compiled[PI] = BE.compile(*Units[PI], CO);
+    StallNs[PI] = nowNs() - WaitStartNs;
+    if (obs::TraceSink *Sink = Opts.Obs.Sink)
+      Sink->completeEvent("db.compile_stall", "exec", WaitStartNs,
+                          StallNs[PI]);
     return *Compiled[PI];
   });
-  Result.ExecSec = ExecWatch.elapsedSec();
-  Result.CompileSec = StallSec;
+  Result.Stats.ExecNs = nowNs() - ExecStartNs;
   if (Code != rt::TrapCode::None) {
     Result.Trapped = true;
     Result.Trap = Code;
+  }
+  Result.Stats.Pipelines = std::move(RT.PipeStats);
+  for (size_t PI = 0; PI != Units.size(); ++PI) {
+    if (PI < Result.Stats.Pipelines.size())
+      Result.Stats.Pipelines[PI].StallNs = StallNs[PI];
+    Result.Stats.AsyncStallNs += StallNs[PI];
   }
 
   // A trap aborts the pipeline loop with tickets still outstanding; they
@@ -218,6 +271,7 @@ ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
   for (backend::CompileTicket &T : Tickets)
     if (!T.cancel())
       T.wait();
+  finishQuery(Opts, Result, Out, RowsBefore, QueryStartNs);
   return Result;
 }
 
@@ -225,24 +279,28 @@ ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
 
 ExecResult db::executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
                             const Catalog &Cat, rt::OutputBuffer *Out,
-                            const ExecOptions &Opts,
-                            TimeTrace *CompileTrace) {
+                            const ExecOptions &Opts) {
   if (Opts.AsyncCompile)
-    return executeQueryAsync(Plan, BE, Cat, Out, Opts, CompileTrace);
+    return executeQueryAsync(Plan, BE, Cat, Out, Opts);
+
+  uint64_t QueryStartNs = nowNs();
+  uint64_t RowsBefore = Out ? Out->numRows() : 0;
 
   ExecResult Result;
-  Stopwatch CompileWatch;
-  auto Compiled = BE.compile(*Plan.Module, CompileTrace);
-  Result.CompileSec = CompileWatch.elapsedSec();
+  uint64_t CompileStartNs = nowNs();
+  auto Compiled = BE.compile(*Plan.Module, backend::CompileOptions{Opts.Obs});
+  Result.Stats.CompileNs = nowNs() - CompileStartNs;
 
   QueryRuntime RT(Plan, Cat, Out);
-  Stopwatch ExecWatch;
+  uint64_t ExecStartNs = nowNs();
   rt::TrapCode Code = RT.runAll(
       Opts, [&](size_t) -> backend::CompiledModule & { return *Compiled; });
-  Result.ExecSec = ExecWatch.elapsedSec();
+  Result.Stats.ExecNs = nowNs() - ExecStartNs;
   if (Code != rt::TrapCode::None) {
     Result.Trapped = true;
     Result.Trap = Code;
   }
+  Result.Stats.Pipelines = std::move(RT.PipeStats);
+  finishQuery(Opts, Result, Out, RowsBefore, QueryStartNs);
   return Result;
 }

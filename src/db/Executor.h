@@ -38,6 +38,28 @@ struct ExecOptions {
   /// \ref AsyncCompileWorkers workers lives for the duration of the call.
   backend::CompileService *Service = nullptr;
   unsigned AsyncCompileWorkers = 2;
+
+  /// Observability consumers for this query: the compile trace, metrics
+  /// registry, and timeline sink are all carried through compilation and
+  /// execution (see obs/Obs.h).
+  obs::ObsContext Obs;
+};
+
+/// Per-pipeline breakdown of one executed query.
+struct PipelineStats {
+  uint64_t Rows = 0;    ///< Source rows the pipeline was driven over.
+  uint64_t ExecNs = 0;  ///< Wall time of the pipeline loop (+ sort step).
+  uint64_t StallNs = 0; ///< Async mode: time blocked on this unit's compile.
+};
+
+/// What one db::executeQuery call did, in nanoseconds — the executor-level
+/// complement to the per-phase compile metrics the back-ends publish.
+struct QueryStats {
+  uint64_t CompileNs = 0;      ///< Blocking: whole-module compile wall time.
+  uint64_t ExecNs = 0;         ///< Pipeline loop wall time.
+  uint64_t RowsOut = 0;        ///< Rows appended to the output buffer.
+  uint64_t AsyncStallNs = 0;   ///< Async: total time stalled on compiles.
+  std::vector<PipelineStats> Pipelines;
 };
 
 struct ExecResult {
@@ -45,13 +67,27 @@ struct ExecResult {
   rt::TrapCode Trap = rt::TrapCode::None;
   double CompileSec = 0; ///< Async mode: time actually *stalled* on compiles.
   double ExecSec = 0;
+  QueryStats Stats;
 };
 
 /// Compiles \p Plan with \p BE and runs it; results append to \p Out.
+/// Structural query metrics ("db.query.*") always land in
+/// Opts.Obs.registry(); per-pipeline timeline slices are emitted when
+/// Opts.Obs.Sink is set.
 ExecResult executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
                         const Catalog &Cat, rt::OutputBuffer *Out,
-                        const ExecOptions &Opts = ExecOptions(),
-                        TimeTrace *CompileTrace = nullptr);
+                        const ExecOptions &Opts = ExecOptions());
+
+/// Deprecated entry point from before ObsContext: forwards with
+/// \p CompileTrace attached to the options' observability context.
+[[deprecated("pass the trace via ExecOptions::Obs")]] inline ExecResult
+executeQuery(const CompiledPlan &Plan, backend::Backend &BE, const Catalog &Cat,
+             rt::OutputBuffer *Out, const ExecOptions &Opts,
+             TimeTrace *CompileTrace) {
+  ExecOptions Traced = Opts;
+  Traced.Obs.Trace = CompileTrace;
+  return executeQuery(Plan, BE, Cat, Out, Traced);
+}
 
 } // namespace qcf::db
 

@@ -1545,7 +1545,10 @@ size_t DirectModule::codeSize(const std::string &Name) const {
 }
 
 std::unique_ptr<backend::CompiledModule>
-DirectBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+DirectBackend::compile(const qir::Module &M,
+                       const backend::CompileOptions &Opts) {
+  obs::CompileObs CompObs(Opts.Obs, name());
+  TimeTrace *Trace = CompObs.trace();
   auto Result = std::make_unique<DirectModule>();
   CfiWriter Cfi(Result->Cfi);
 

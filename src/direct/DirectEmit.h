@@ -51,9 +51,11 @@ private:
 /// The DirectEmit back-end.
 class DirectBackend : public backend::Backend {
 public:
+  using backend::Backend::compile;
+
   std::string name() const override { return "DirectEmit"; }
   std::unique_ptr<backend::CompiledModule>
-  compile(const qir::Module &M, TimeTrace *Trace) override;
+  compile(const qir::Module &M, const backend::CompileOptions &Opts) override;
 };
 
 } // namespace qcf::direct

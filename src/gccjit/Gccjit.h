@@ -45,9 +45,12 @@ class GccBackend : public backend::Backend {
 public:
   explicit GccBackend(GccOptions Opts = GccOptions()) : Opts(Opts) {}
 
+  using backend::Backend::compile;
+
   std::string name() const override { return "GCC"; }
   std::unique_ptr<backend::CompiledModule>
-  compile(const qir::Module &M, TimeTrace *Trace) override;
+  compile(const qir::Module &M,
+          const backend::CompileOptions &COpts) override;
 
   const GccPhaseTimes &lastPhaseTimes() const { return LastTimes; }
 

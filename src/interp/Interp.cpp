@@ -846,7 +846,9 @@ InterpretedModule::function(const std::string &Name) const {
 }
 
 std::unique_ptr<backend::CompiledModule>
-InterpBackend::compile(const qir::Module &M, TimeTrace *Trace) {
-  TimeTraceScope Scope(Trace, "interp.translate");
+InterpBackend::compile(const qir::Module &M,
+                       const backend::CompileOptions &Opts) {
+  obs::CompileObs Obs(Opts.Obs, name());
+  TimeTraceScope Scope(Obs.trace(), "interp.translate");
   return std::make_unique<InterpretedModule>(M);
 }

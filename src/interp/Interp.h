@@ -120,9 +120,11 @@ private:
 /// The interpreter back-end.
 class InterpBackend : public backend::Backend {
 public:
+  using backend::Backend::compile;
+
   std::string name() const override { return "Interpreter"; }
   std::unique_ptr<backend::CompiledModule>
-  compile(const qir::Module &M, TimeTrace *Trace) override;
+  compile(const qir::Module &M, const backend::CompileOptions &Opts) override;
 };
 
 } // namespace qcf::interp

@@ -79,7 +79,10 @@ private:
 } // namespace
 
 std::unique_ptr<backend::CompiledModule>
-MlvmBackend::compile(const qir::Module &M, TimeTrace *Trace) {
+MlvmBackend::compile(const qir::Module &M,
+                     const backend::CompileOptions &Opts) {
+  obs::CompileObs Obs(Opts.Obs, name());
+  TimeTrace *Trace = Obs.trace();
   std::vector<uint8_t> Object = compileToObject(M, Trace);
   std::unique_ptr<LinkedImage> Image = jitLink(Object, Trace);
   return std::make_unique<MlvmModule>(std::move(Image));

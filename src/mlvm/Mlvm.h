@@ -61,9 +61,11 @@ public:
   explicit MlvmBackend(MlvmOptions Opts = MlvmOptions::cheap())
       : Opts(Opts) {}
 
+  using backend::Backend::compile;
+
   std::string name() const override;
   std::unique_ptr<backend::CompiledModule>
-  compile(const qir::Module &M, TimeTrace *Trace) override;
+  compile(const qir::Module &M, const backend::CompileOptions &Opts) override;
 
   /// Compiles \p M down to the in-memory ELF64 relocatable object
   /// without linking it. This is the artifact the JIT linker consumes

@@ -1,0 +1,480 @@
+//===- obs/Trace.cpp - Chrome trace-event sink for Perfetto ---------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+using namespace qcf;
+using namespace qcf::obs;
+
+namespace {
+std::atomic<uint64_t> NextSinkId{1};
+} // namespace
+
+TraceSink::TraceSink()
+    : Epoch(nowNs()), Id(NextSinkId.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceSink::~TraceSink() = default;
+
+TraceSink::ThreadBuf &TraceSink::localBuf() {
+  // Cache keyed by the sink's process-unique id: entries for destroyed
+  // sinks go stale but are never wrongly reused (ids are not recycled);
+  // the leak is one map slot per dead sink per thread.
+  thread_local std::unordered_map<uint64_t, ThreadBuf *> Cache;
+  auto It = Cache.find(Id);
+  if (It != Cache.end())
+    return *It->second;
+  auto Buf = std::make_unique<ThreadBuf>();
+  ThreadBuf *P = Buf.get();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    P->Tid = static_cast<uint32_t>(Bufs.size() + 1);
+    Bufs.push_back(std::move(Buf));
+  }
+  Cache.emplace(Id, P);
+  return *P;
+}
+
+void TraceSink::append(TraceEvent E) {
+  ThreadBuf &B = localBuf();
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Events.push_back(std::move(E));
+}
+
+void TraceSink::completeEvent(std::string Name, const char *Cat,
+                              uint64_t StartNs, uint64_t DurNs) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Ph = 'X';
+  E.TsNs = StartNs > Epoch ? StartNs - Epoch : 0;
+  E.DurNs = DurNs;
+  E.Value = 0;
+  append(std::move(E));
+}
+
+void TraceSink::instantEvent(std::string Name, const char *Cat) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Ph = 'i';
+  E.TsNs = nowNs() - Epoch;
+  E.DurNs = 0;
+  E.Value = 0;
+  append(std::move(E));
+}
+
+void TraceSink::counterEvent(std::string Name, uint64_t Value) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = "counter";
+  E.Ph = 'C';
+  E.TsNs = nowNs() - Epoch;
+  E.DurNs = 0;
+  E.Value = Value;
+  append(std::move(E));
+}
+
+void TraceSink::scopeClosed(const std::string &Label, uint64_t StartNs,
+                            uint64_t DurNs) {
+  completeEvent(Label, "pass", StartNs, DurNs);
+}
+
+size_t TraceSink::numEvents() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const auto &B : Bufs) {
+    std::lock_guard<std::mutex> BLock(B->M);
+    N += B->Events.size();
+  }
+  return N;
+}
+
+void TraceSink::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &B : Bufs) {
+    std::lock_guard<std::mutex> BLock(B->M);
+    B->Events.clear();
+  }
+}
+
+namespace {
+
+void appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Appends nanoseconds as microseconds with 3 decimals — exact down to
+/// the nanosecond, the trace-event format's native resolution story.
+void appendUs(std::string &Out, uint64_t Ns) {
+  char Buf[40];
+  snprintf(Buf, sizeof(Buf), "%llu.%03u",
+           static_cast<unsigned long long>(Ns / 1000),
+           static_cast<unsigned>(Ns % 1000));
+  Out += Buf;
+}
+
+} // namespace
+
+std::string TraceSink::exportJson() const {
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
+         "\"tid\":0,\"args\":{\"name\":\"qcf\"}}";
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &B : Bufs) {
+    char Meta[160];
+    snprintf(Meta, sizeof(Meta),
+             ",{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
+             "\"tid\":%u,\"args\":{\"name\":\"thread-%u\"}}",
+             B->Tid, B->Tid);
+    Out += Meta;
+
+    std::lock_guard<std::mutex> BLock(B->M);
+    for (const TraceEvent &E : B->Events) {
+      Out += ",{\"name\":\"";
+      appendJsonEscaped(Out, E.Name);
+      Out += "\",\"cat\":\"";
+      Out += E.Cat;
+      Out += "\",\"ph\":\"";
+      Out += E.Ph;
+      Out += "\",\"ts\":";
+      appendUs(Out, E.TsNs);
+      if (E.Ph == 'X') {
+        Out += ",\"dur\":";
+        appendUs(Out, E.DurNs);
+      }
+      if (E.Ph == 'C') {
+        char Buf[64];
+        snprintf(Buf, sizeof(Buf), ",\"args\":{\"value\":%llu}",
+                 static_cast<unsigned long long>(E.Value));
+        Out += Buf;
+      }
+      if (E.Ph == 'i')
+        Out += ",\"s\":\"t\"";
+      char Tail[48];
+      snprintf(Tail, sizeof(Tail), ",\"pid\":1,\"tid\":%u}", B->Tid);
+      Out += Tail;
+    }
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool TraceSink::writeJsonFile(const std::string &Path) const {
+  std::string Json = exportJson();
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = Written == Json.size();
+  return fclose(F) == 0 && Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace JSON validation (golden tests, qcf_stats --validate)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal recursive-descent JSON reader, just enough to walk a trace
+/// document without pulling in a dependency.
+struct JsonCursor {
+  const char *C;
+  const char *End;
+  std::string *Err;
+
+  bool fail(const std::string &Msg) {
+    if (Err && Err->empty())
+      *Err = Msg;
+    return false;
+  }
+
+  void ws() {
+    while (C != End && (*C == ' ' || *C == '\t' || *C == '\n' || *C == '\r'))
+      ++C;
+  }
+
+  bool consume(char Want) {
+    ws();
+    if (C == End || *C != Want)
+      return fail(std::string("expected '") + Want + "'");
+    ++C;
+    return true;
+  }
+
+  bool parseString(std::string *Out) {
+    ws();
+    if (C == End || *C != '"')
+      return fail("expected string");
+    ++C;
+    while (C != End && *C != '"') {
+      if (*C == '\\') {
+        ++C;
+        if (C == End)
+          return fail("truncated escape");
+        if (*C == 'u') {
+          for (int I = 0; I != 4; ++I)
+            if (++C == End)
+              return fail("truncated \\u escape");
+        }
+      }
+      if (Out)
+        Out->push_back(*C);
+      ++C;
+    }
+    if (C == End)
+      return fail("unterminated string");
+    ++C; // closing quote
+    return true;
+  }
+
+  bool parseNumber(double *Out) {
+    ws();
+    char *NumEnd = nullptr;
+    double V = strtod(C, &NumEnd);
+    if (NumEnd == C)
+      return fail("expected number");
+    if (Out)
+      *Out = V;
+    C = NumEnd;
+    return true;
+  }
+
+  /// Parses any value; object/array members are visited via \p OnKey /
+  /// \p OnElem when non-null, otherwise skipped recursively.
+  template <typename OnKeyT, typename OnElemT>
+  bool parseValue(OnKeyT &&OnKey, OnElemT &&OnElem) {
+    ws();
+    if (C == End)
+      return fail("unexpected end of input");
+    switch (*C) {
+    case '{': {
+      ++C;
+      ws();
+      if (C != End && *C == '}') {
+        ++C;
+        return true;
+      }
+      for (;;) {
+        std::string Key;
+        if (!parseString(&Key) || !consume(':'))
+          return false;
+        if (!OnKey(Key, *this))
+          return false;
+        ws();
+        if (C != End && *C == ',') {
+          ++C;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    case '[': {
+      ++C;
+      ws();
+      if (C != End && *C == ']') {
+        ++C;
+        return true;
+      }
+      for (;;) {
+        if (!OnElem(*this))
+          return false;
+        ws();
+        if (C != End && *C == ',') {
+          ++C;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    case '"':
+      return parseString(nullptr);
+    case 't':
+      if (End - C >= 4 && strncmp(C, "true", 4) == 0) {
+        C += 4;
+        return true;
+      }
+      return fail("bad literal");
+    case 'f':
+      if (End - C >= 5 && strncmp(C, "false", 5) == 0) {
+        C += 5;
+        return true;
+      }
+      return fail("bad literal");
+    case 'n':
+      if (End - C >= 4 && strncmp(C, "null", 4) == 0) {
+        C += 4;
+        return true;
+      }
+      return fail("bad literal");
+    default:
+      return parseNumber(nullptr);
+    }
+  }
+
+  bool skipValue() {
+    return parseValue([](const std::string &, JsonCursor &P) { return P.skipValue(); },
+                      [](JsonCursor &P) { return P.skipValue(); });
+  }
+};
+
+struct ParsedEvent {
+  std::string Name;
+  std::string Ph;
+  double Ts = 0;
+  double Dur = 0;
+  double Tid = -1;
+  bool HasName = false, HasPh = false, HasTs = false, HasDur = false,
+       HasPid = false, HasTid = false;
+};
+
+bool parseOneEvent(JsonCursor &P, ParsedEvent *Ev) {
+  return P.parseValue(
+      [&](const std::string &Key, JsonCursor &Q) {
+        if (Key == "name") {
+          Ev->HasName = true;
+          return Q.parseString(&Ev->Name);
+        }
+        if (Key == "ph") {
+          Ev->HasPh = true;
+          return Q.parseString(&Ev->Ph);
+        }
+        if (Key == "ts") {
+          Ev->HasTs = true;
+          return Q.parseNumber(&Ev->Ts);
+        }
+        if (Key == "dur") {
+          Ev->HasDur = true;
+          return Q.parseNumber(&Ev->Dur);
+        }
+        if (Key == "pid") {
+          Ev->HasPid = true;
+          return Q.parseNumber(nullptr);
+        }
+        if (Key == "tid") {
+          Ev->HasTid = true;
+          return Q.parseNumber(&Ev->Tid);
+        }
+        return Q.skipValue();
+      },
+      [](JsonCursor &Q) { return Q.skipValue(); });
+}
+
+} // namespace
+
+bool obs::validateTraceJson(const std::string &Json, std::string *Err) {
+  if (Err)
+    Err->clear();
+  JsonCursor P{Json.data(), Json.data() + Json.size(), Err};
+
+  bool SawTraceEvents = false;
+  // Per-tid 'X' slices as [startNs, durNs], for the nesting check.
+  std::map<long long, std::vector<std::pair<long long, long long>>> Slices;
+  size_t Index = 0;
+
+  bool Ok = P.parseValue(
+      [&](const std::string &Key, JsonCursor &Q) {
+        if (Key != "traceEvents")
+          return Q.skipValue();
+        SawTraceEvents = true;
+        return Q.parseValue(
+            [](const std::string &, JsonCursor &R) { return R.skipValue(); },
+            [&](JsonCursor &R) {
+              ParsedEvent Ev;
+              if (!parseOneEvent(R, &Ev))
+                return false;
+              ++Index;
+              char Buf[96];
+              if (!Ev.HasName || !Ev.HasPh || !Ev.HasPid || !Ev.HasTid) {
+                snprintf(Buf, sizeof(Buf),
+                         "event %zu: missing name/ph/pid/tid", Index);
+                return R.fail(Buf);
+              }
+              if (Ev.Ph != "M" && !Ev.HasTs) {
+                snprintf(Buf, sizeof(Buf), "event %zu: missing ts", Index);
+                return R.fail(Buf);
+              }
+              if (Ev.Ph == "X") {
+                if (!Ev.HasDur || Ev.Dur < 0) {
+                  snprintf(Buf, sizeof(Buf),
+                           "event %zu: 'X' without valid dur", Index);
+                  return R.fail(Buf);
+                }
+                Slices[llround(Ev.Tid)].emplace_back(llround(Ev.Ts * 1000.0),
+                                                     llround(Ev.Dur * 1000.0));
+              }
+              return true;
+            });
+      },
+      [](JsonCursor &Q) { return Q.skipValue(); });
+  if (!Ok)
+    return false;
+  P.ws();
+  if (P.C != P.End)
+    return P.fail("trailing garbage after document");
+  if (!SawTraceEvents)
+    return P.fail("no traceEvents array");
+
+  // Nesting: on one thread, slices may contain each other but must not
+  // partially overlap — the invariant RAII scopes guarantee and Perfetto
+  // relies on to build a sensible flame view.
+  for (auto &[Tid, Events] : Slices) {
+    std::sort(Events.begin(), Events.end(),
+              [](const auto &A, const auto &B) {
+                return A.first != B.first ? A.first < B.first
+                                          : A.second > B.second;
+              });
+    std::vector<long long> EndStack;
+    for (const auto &[Ts, Dur] : Events) {
+      while (!EndStack.empty() && EndStack.back() <= Ts)
+        EndStack.pop_back();
+      if (!EndStack.empty() && Ts + Dur > EndStack.back()) {
+        if (Err) {
+          char Buf[128];
+          snprintf(Buf, sizeof(Buf),
+                   "tid %lld: slice at %lldns (dur %lldns) partially "
+                   "overlaps an enclosing slice",
+                   Tid, Ts, Dur);
+          *Err = Buf;
+        }
+        return false;
+      }
+      EndStack.push_back(Ts + Dur);
+    }
+  }
+  return true;
+}

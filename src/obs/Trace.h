@@ -1,0 +1,116 @@
+//===- obs/Trace.h - Chrome trace-event sink for Perfetto -------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer: a TraceSink accumulates
+/// timeline events — every TimeTraceScope that runs while the sink is
+/// bound to the thread (compile passes), CompileService queue/worker
+/// events, and per-query executor events — into per-thread buffers, and
+/// exports them as Chrome trace-event JSON ("traceEvents" array of
+/// complete 'X' slices) loadable in Perfetto / chrome://tracing.
+///
+/// Recording appends to a buffer owned by the calling thread, guarded by
+/// a per-buffer mutex that is uncontended in steady state (only export
+/// touches other threads' buffers), so tracing adds no cross-thread
+/// coordination to the compile hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_OBS_TRACE_H
+#define QCF_OBS_TRACE_H
+
+#include "support/TimeTrace.h"
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qcf::obs {
+
+/// One recorded timeline event. Timestamps are nanoseconds relative to
+/// the sink's construction.
+struct TraceEvent {
+  std::string Name;
+  const char *Cat; ///< Static category string ("compile", "exec", ...).
+  char Ph;         ///< 'X' complete slice, 'i' instant, 'C' counter.
+  uint64_t TsNs;
+  uint64_t DurNs; ///< 'X' only.
+  uint64_t Value; ///< 'C' only.
+};
+
+/// Collects trace events from any number of threads; see file comment.
+/// Implements ScopeSink so that binding it (ScopeSinkBinding, or simply
+/// running a back-end with CompileOptions whose ObsContext carries this
+/// sink) turns every TimeTraceScope into a timeline slice.
+class TraceSink : public ScopeSink {
+public:
+  TraceSink();
+  ~TraceSink() override;
+
+  TraceSink(const TraceSink &) = delete;
+  TraceSink &operator=(const TraceSink &) = delete;
+
+  /// Records a completed slice [StartNs, StartNs+DurNs) on the calling
+  /// thread's track. Timestamps are absolute nowNs() values.
+  void completeEvent(std::string Name, const char *Cat, uint64_t StartNs,
+                     uint64_t DurNs);
+
+  /// Records an instant event at now.
+  void instantEvent(std::string Name, const char *Cat);
+
+  /// Records a counter sample at now (rendered as a counter track).
+  void counterEvent(std::string Name, uint64_t Value);
+
+  /// ScopeSink: every TimeTraceScope closing on a bound thread lands here.
+  void scopeClosed(const std::string &Label, uint64_t StartNs,
+                   uint64_t DurNs) override;
+
+  /// Total events across all thread buffers.
+  size_t numEvents() const;
+
+  /// Flushes every per-thread buffer into one Chrome trace-event JSON
+  /// document (the buffers are left intact; exporting twice is fine).
+  /// Safe to call while other threads record, but events being appended
+  /// concurrently may or may not be included.
+  std::string exportJson() const;
+
+  /// exportJson() straight to a file. \returns false on I/O error.
+  bool writeJsonFile(const std::string &Path) const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void clear();
+
+  /// The sink's epoch: absolute nowNs() at construction. Event TsNs
+  /// values are relative to this.
+  uint64_t epochNs() const { return Epoch; }
+
+private:
+  struct ThreadBuf {
+    uint32_t Tid;
+    mutable std::mutex M; ///< Owner-thread appends vs. export reads.
+    std::vector<TraceEvent> Events;
+  };
+
+  ThreadBuf &localBuf();
+  void append(TraceEvent E);
+
+  uint64_t Epoch;
+  uint64_t Id; ///< Process-unique, keys the thread-local buffer cache.
+  mutable std::mutex Mutex; ///< Guards Bufs (registration + export).
+  std::vector<std::unique_ptr<ThreadBuf>> Bufs;
+};
+
+/// Validates a Chrome trace-event JSON document: it must parse, carry a
+/// "traceEvents" array of well-formed events (name/ph/ts/pid/tid, dur on
+/// 'X'), and the 'X' slices of each thread must nest properly (no partial
+/// overlap). On failure returns false and, when \p Err is non-null,
+/// stores a diagnostic. Used by the golden trace tests and qcf_stats.
+bool validateTraceJson(const std::string &Json, std::string *Err = nullptr);
+
+} // namespace qcf::obs
+
+#endif // QCF_OBS_TRACE_H

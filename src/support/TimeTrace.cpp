@@ -12,6 +12,19 @@ using namespace qcf;
 
 thread_local TimeTraceScope *TimeTraceScope::CurrentScope = nullptr;
 
+namespace {
+thread_local ScopeSink *CurrentScopeSink = nullptr;
+} // namespace
+
+ScopeSinkBinding::ScopeSinkBinding(ScopeSink *S) : Prev(CurrentScopeSink) {
+  if (S)
+    CurrentScopeSink = S;
+}
+
+ScopeSinkBinding::~ScopeSinkBinding() { CurrentScopeSink = Prev; }
+
+ScopeSink *ScopeSinkBinding::current() { return CurrentScopeSink; }
+
 uint64_t TimeTrace::selfNsWithPrefix(const std::string &Prefix) const {
   uint64_t Sum = 0;
   for (const auto &[Label, Rec] : Records)

@@ -98,6 +98,17 @@ public:
     NumEvents = 0;
   }
 
+  /// Adds a pre-aggregated record (e.g. the delta between two snapshots
+  /// of another trace). Counts as \p R.Count measurement events, matching
+  /// what record() would have accumulated.
+  void add(const std::string &Label, const TimeRecord &R) {
+    TimeRecord &D = Records[Label];
+    D.TotalNs += R.TotalNs;
+    D.SelfNs += R.SelfNs;
+    D.Count += R.Count;
+    NumEvents += R.Count;
+  }
+
   /// Merges another trace into this one.
   void merge(const TimeTrace &Other);
 
@@ -112,36 +123,76 @@ private:
   uint64_t NumEvents = 0;
 };
 
+/// Receiver for raw scope begin/end events, in addition to (or instead of)
+/// the per-label aggregation a TimeTrace performs. The observability layer
+/// (obs::TraceSink) implements this to turn every TimeTraceScope into a
+/// Chrome trace-event, without each pass knowing about trace export.
+class ScopeSink {
+public:
+  virtual ~ScopeSink() = default;
+
+  /// Called from the scope's destructor on the thread that ran the scope.
+  virtual void scopeClosed(const std::string &Label, uint64_t StartNs,
+                           uint64_t DurNs) = 0;
+};
+
+/// RAII binding that routes this thread's TimeTraceScope events to \p S
+/// until destruction (restores the previous binding; bindings nest).
+/// Binding null is a no-op, so callers can pass an optional sink through.
+class ScopeSinkBinding {
+public:
+  explicit ScopeSinkBinding(ScopeSink *S);
+  ~ScopeSinkBinding();
+
+  ScopeSinkBinding(const ScopeSinkBinding &) = delete;
+  ScopeSinkBinding &operator=(const ScopeSinkBinding &) = delete;
+
+  /// The sink bound on the calling thread, if any.
+  static ScopeSink *current();
+
+private:
+  ScopeSink *Prev;
+};
+
 /// RAII scope that accumulates into a TimeTrace. Supports nesting: a
 /// parent's self time excludes enclosed child scopes on the same thread.
+/// When a ScopeSink is bound on this thread, the scope additionally
+/// reports its raw interval there — even when \p Trace is null.
 class TimeTraceScope {
 public:
   TimeTraceScope(TimeTrace *Trace, std::string Label)
-      : Trace(Trace), Label(std::move(Label)) {
-    if (!Trace)
+      : Trace(Trace), Sink(ScopeSinkBinding::current()), Label(std::move(Label)) {
+    if (!Trace && !Sink)
       return;
     Start = nowNs();
-    ChildNs = 0;
-    Parent = CurrentScope;
-    CurrentScope = this;
+    if (Trace) {
+      ChildNs = 0;
+      Parent = CurrentScope;
+      CurrentScope = this;
+    }
   }
 
   TimeTraceScope(const TimeTraceScope &) = delete;
   TimeTraceScope &operator=(const TimeTraceScope &) = delete;
 
   ~TimeTraceScope() {
-    if (!Trace)
+    if (!Trace && !Sink)
       return;
     uint64_t Total = nowNs() - Start;
-    uint64_t Self = Total > ChildNs ? Total - ChildNs : 0;
-    Trace->record(Label, Total, Self);
-    CurrentScope = Parent;
-    if (Parent)
-      Parent->ChildNs += Total;
+    if (Trace) {
+      uint64_t Self = Total > ChildNs ? Total - ChildNs : 0;
+      Trace->record(Label, Total, Self);
+      CurrentScope = Parent;
+      if (Parent)
+        Parent->ChildNs += Total;
+    }
+    if (Sink)
+      Sink->scopeClosed(Label, Start, Total);
   }
 
 private:
   TimeTrace *Trace;
+  ScopeSink *Sink;
   std::string Label;
   uint64_t Start = 0;
   uint64_t ChildNs = 0;

@@ -64,12 +64,12 @@ TEST(AdaptiveAsync, SingleThreadDifferentialAcrossPromotion) {
     buildRandomModule(M, Seed);
 
     interp::InterpBackend Baseline;
-    auto Ref = Baseline.compile(M, nullptr);
+    auto Ref = Baseline.compile(M);
 
     AdaptiveBackend BE;
     BE.PromoteAfterRuns = 2;
     BE.PromoteSizeThreshold = 1; // Every random function qualifies.
-    auto Compiled = BE.compile(M, nullptr);
+    auto Compiled = BE.compile(M);
     auto *AM = static_cast<AdaptiveModule *>(Compiled.get());
 
     std::vector<std::vector<uint64_t>> Inputs = makeInputs(Seed);
@@ -110,7 +110,7 @@ TEST(AdaptiveAsync, RacingPromotionMatchesInterpreter) {
     buildRandomModule(M, Seed);
 
     interp::InterpBackend Baseline;
-    auto Ref = Baseline.compile(M, nullptr);
+    auto Ref = Baseline.compile(M);
 
     // Precompute expected outcomes (the interpreter module is not
     // hammered concurrently; entry() lookups race otherwise).
@@ -139,7 +139,7 @@ TEST(AdaptiveAsync, RacingPromotionMatchesInterpreter) {
     AdaptiveBackend BE(&Svc);
     BE.PromoteAfterRuns = 2;
     BE.PromoteSizeThreshold = 1;
-    auto Compiled = BE.compile(M, nullptr);
+    auto Compiled = BE.compile(M);
     auto *AM = static_cast<AdaptiveModule *>(Compiled.get());
 
     constexpr int NumThreads = 4, Rounds = 30;
@@ -189,7 +189,7 @@ TEST(AdaptiveAsync, NoteExecutionDoesNotBlockOnService) {
   AdaptiveBackend BE(&Svc);
   BE.PromoteAfterRuns = 1;
   BE.PromoteSizeThreshold = 1;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *AM = static_cast<AdaptiveModule *>(Compiled.get());
 
   EXPECT_FALSE(AM->isPromoted());
@@ -218,7 +218,7 @@ TEST(AdaptiveAsync, DestroyWithPendingPromotionIsClean) {
     BE.PromoteAfterRuns = 1;
     BE.PromoteSizeThreshold = 1;
     {
-      auto Compiled = BE.compile(M, nullptr);
+      auto Compiled = BE.compile(M);
       auto *AM = static_cast<AdaptiveModule *>(Compiled.get());
       AM->noteExecution("rand0");
       // Drop the module immediately: ~AdaptiveModule cancels the queued
@@ -242,7 +242,7 @@ TEST(AdaptiveAsync, PromotionAfterServiceShutdownDegrades) {
   AdaptiveBackend BE(&Svc);
   BE.PromoteAfterRuns = 1;
   BE.PromoteSizeThreshold = 1;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *AM = static_cast<AdaptiveModule *>(Compiled.get());
 
   EXPECT_TRUE(AM->noteExecution("rand0"))

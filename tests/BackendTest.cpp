@@ -37,7 +37,7 @@ TEST(Adaptive, StartsFastThenPromotes) {
   backend::AdaptiveBackend BE;
   BE.PromoteAfterRuns = 3;
   BE.PromoteSizeThreshold = 48;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *AM = static_cast<backend::AdaptiveModule *>(Compiled.get());
 
   auto Run = [&] {
@@ -62,7 +62,7 @@ TEST(Adaptive, SmallFunctionsStayOnFastTier) {
   Builder B(F);
   B.ret(B.add(F->paramValue(0), B.constInt(Type::I64, 1)));
   backend::AdaptiveBackend BE;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *AM = static_cast<backend::AdaptiveModule *>(Compiled.get());
   for (int I = 0; I != 10; ++I)
     AM->noteExecution("tiny");
@@ -95,7 +95,7 @@ TEST(Backend, ConcurrentCompilationIsThreadSafe) {
         test::Corpus C = test::buildCorpus();
         auto BE = backend::createBackend(Name);
         for (int R = 0; R != 3; ++R) {
-          auto Compiled = BE->compile(*C.M, nullptr);
+          auto Compiled = BE->compile(*C.M);
           auto *Add =
               Compiled->entryAs<uint64_t (*)(uint64_t, uint64_t)>(
                   "arith64");
@@ -148,12 +148,12 @@ TEST(Backend, LongBranchesEncodeCorrectly) {
   ASSERT_EQ(qir::verify(M), std::nullopt);
 
   interp::InterpBackend IB;
-  auto Ref = IB.compile(M, nullptr);
+  auto Ref = IB.compile(M);
   auto *RefFn = Ref->entryAs<uint64_t (*)(uint64_t, uint64_t)>("longbr");
   for (const char *Name :
        {"DirectEmit", "Craneline", "MLVM-cheap", "MLVM-opt"}) {
     auto BE = backend::createBackend(Name);
-    auto Compiled = BE->compile(M, nullptr);
+    auto Compiled = BE->compile(M);
     auto *Fn =
         Compiled->entryAs<uint64_t (*)(uint64_t, uint64_t)>("longbr");
     for (auto [X, Y] : {std::pair<uint64_t, uint64_t>{1, 2},
@@ -197,7 +197,7 @@ TEST(Backend, SremSdivIntMinEdgeCases) {
          {"Interpreter", "DirectEmit", "Craneline", "MLVM-cheap",
           "MLVM-opt"}) {
       auto BE = backend::createBackend(Name);
-      auto Compiled = BE->compile(M, nullptr);
+      auto Compiled = BE->compile(M);
       // srem INT_MIN % -1 == 0, no trap.
       CaseOutcome Rem =
           invokeEntry(Compiled->entry("rem"), {C.Min, ~0ull});

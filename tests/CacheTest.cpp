@@ -70,8 +70,8 @@ TEST(Cache, HitReturnsWorkingCodeAndCounts) {
   qir::Module M;
   buildAffine(M, 5);
 
-  auto C1 = BE.compile(M, nullptr);
-  auto C2 = BE.compile(M, nullptr);
+  auto C1 = BE.compile(M);
+  auto C2 = BE.compile(M);
   EXPECT_EQ(BE.stats().Misses, 1u);
   EXPECT_EQ(BE.stats().Hits, 1u);
   EXPECT_EQ(BE.size(), 1u);
@@ -91,16 +91,16 @@ TEST(Cache, LruEviction) {
   buildAffine(B, 2);
   buildAffine(C, 3);
 
-  BE.compile(A, nullptr);
-  BE.compile(B, nullptr);
-  BE.compile(A, nullptr); // Refresh A; B becomes least-recent.
-  BE.compile(C, nullptr); // Evicts B.
+  BE.compile(A);
+  BE.compile(B);
+  BE.compile(A); // Refresh A; B becomes least-recent.
+  BE.compile(C); // Evicts B.
   EXPECT_EQ(BE.stats().Evictions, 1u);
   EXPECT_EQ(BE.size(), 2u);
 
-  BE.compile(A, nullptr); // Still cached.
+  BE.compile(A); // Still cached.
   EXPECT_EQ(BE.stats().Hits, 2u);
-  BE.compile(B, nullptr); // Was evicted: a miss again.
+  BE.compile(B); // Was evicted: a miss again.
   EXPECT_EQ(BE.stats().Misses, 4u);
 }
 
@@ -108,7 +108,7 @@ TEST(Cache, HandleOutlivesBackend) {
   auto BE = std::make_unique<CachingBackend>(createBackend("Craneline"));
   qir::Module M;
   buildAffine(M, 9);
-  auto C = BE->compile(M, nullptr);
+  auto C = BE->compile(M);
   auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
   BE.reset(); // Drop the cache; the shared handle must stay valid.
   EXPECT_EQ(F(2), 25);
@@ -124,7 +124,7 @@ TEST(Cache, ConcurrentCompilesAreSafe) {
   for (int T = 0; T != 8; ++T)
     Threads.emplace_back([&] {
       for (int I = 0; I != 20; ++I) {
-        auto C = BE.compile(M, nullptr);
+        auto C = BE.compile(M);
         auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
         if (F(I) != int64_t(I) * 11 + 7)
           ++Bad;
@@ -165,8 +165,8 @@ TEST(Cache, RegeneratedQueryPlansHit) {
 
   // End-to-end through the cache: second compile is a hit.
   CachingBackend BE(createBackend("MLVM-opt"));
-  BE.compile(*P1.Module, nullptr);
-  BE.compile(*P2.Module, nullptr);
+  BE.compile(*P1.Module);
+  BE.compile(*P2.Module);
   EXPECT_EQ(BE.stats().Hits, 1u);
   EXPECT_EQ(BE.stats().Misses, 1u);
 }

@@ -47,12 +47,14 @@ public:
 
   std::string name() const override { return Inner->name(); }
 
+  using Backend::compile;
+
   std::unique_ptr<CompiledModule> compile(const qir::Module &M,
-                                          TimeTrace *Trace) override {
+                                          const CompileOptions &Opts) override {
     ++Compiles;
     if (Delay.count())
       std::this_thread::sleep_for(Delay);
-    return Inner->compile(M, Trace);
+    return Inner->compile(M, Opts);
   }
 
   std::atomic<uint64_t> Compiles{0};
@@ -71,8 +73,10 @@ public:
 
   std::string name() const override { return "gated"; }
 
+  using Backend::compile;
+
   std::unique_ptr<CompiledModule> compile(const qir::Module &M,
-                                          TimeTrace *Trace) override {
+                                          const CompileOptions &Opts) override {
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Started = true;
@@ -80,7 +84,7 @@ public:
     Cv.notify_all();
     std::unique_lock<std::mutex> Lock(Mutex);
     Cv.wait(Lock, [&] { return Released; });
-    return Inner->compile(M, Trace);
+    return Inner->compile(M, Opts);
   }
 
   void waitStarted() {
@@ -194,10 +198,11 @@ TEST(CompileService, PriorityOrdersQueue) {
     StampBackend(std::atomic<int> &Order, int &Stamp)
         : Inner(createBackend("DirectEmit")), Order(Order), Stamp(Stamp) {}
     std::string name() const override { return "stamp"; }
+    using Backend::compile;
     std::unique_ptr<CompiledModule> compile(const qir::Module &M,
-                                            TimeTrace *Trace) override {
+                                            const CompileOptions &Opts) override {
       Stamp = ++Order;
-      return Inner->compile(M, Trace);
+      return Inner->compile(M, Opts);
     }
     std::unique_ptr<Backend> Inner;
     std::atomic<int> &Order;
@@ -319,7 +324,7 @@ TEST(CacheDedup, EightThreadsOneCompile) {
   for (int T = 0; T != NumThreads; ++T)
     Threads.emplace_back([&] {
       for (int I = 0; I != Lookups; ++I) {
-        auto C = BE.compile(M, nullptr);
+        auto C = BE.compile(M);
         auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
         if (F(I) != int64_t(I) * 11 + 7)
           ++Bad;
@@ -355,7 +360,7 @@ TEST(CacheDedup, ManyKeysManyThreadsCompileOncePerKey) {
     Threads.emplace_back([&, T] {
       for (int R = 0; R != Rounds; ++R) {
         int I = (T * 7 + R * 5) % NumModules; // Deterministic scatter.
-        auto C = BE.compile(Mods[I], nullptr);
+        auto C = BE.compile(Mods[I]);
         auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
         if (F(R) != int64_t(R) * (I + 1) + 7)
           ++Bad;
@@ -387,7 +392,7 @@ TEST(CacheDedup, LruCapacityRespectedUnderContention) {
     Threads.emplace_back([&, T] {
       for (int R = 0; R != Rounds; ++R) {
         int I = (T + R) % NumModules;
-        auto C = BE.compile(Mods[I], nullptr);
+        auto C = BE.compile(Mods[I]);
         auto *F = C->entryAs<int64_t (*)(int64_t)>("f");
         if (F(R) != int64_t(R) * (I + 1) + 7)
           ++Bad;
@@ -420,7 +425,7 @@ TEST(CacheDedup, ServiceBackedMissesUseWorkers) {
   for (int T = 0; T != 4; ++T)
     Threads.emplace_back([&] {
       for (int I = 0; I != 10; ++I) {
-        auto C = BE.compile(M, nullptr);
+        auto C = BE.compile(M);
         if (C->entryAs<int64_t (*)(int64_t)>("f")(I) != int64_t(I) * 3 + 7)
           ++Bad;
       }
@@ -445,15 +450,15 @@ TEST(CacheDedup, ShutdownServiceFallsBackInline) {
   qir::Module M1, M2;
   buildAffine(M1, 2);
   buildAffine(M2, 4);
-  auto C1 = BE.compile(M1, nullptr);
+  auto C1 = BE.compile(M1);
   EXPECT_EQ(C1->entryAs<int64_t (*)(int64_t)>("f")(5), 17);
 
   Svc->shutdown();
-  auto C2 = BE.compile(M2, nullptr); // Degraded service: sync compile.
+  auto C2 = BE.compile(M2); // Degraded service: sync compile.
   EXPECT_EQ(C2->entryAs<int64_t (*)(int64_t)>("f")(5), 27);
   Svc.reset();
   BE.setService(nullptr);
-  auto C3 = BE.compile(M2, nullptr); // Hit; no service involved.
+  auto C3 = BE.compile(M2); // Hit; no service involved.
   EXPECT_EQ(C3->entryAs<int64_t (*)(int64_t)>("f")(0), 7);
   EXPECT_EQ(BE.stats().Hits, 1u);
 }

@@ -123,7 +123,7 @@ TEST(Craneline, SimpleLoopRuns) {
   ASSERT_EQ(qir::verify(M), std::nullopt);
 
   CranelineBackend BE;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("sum");
   EXPECT_EQ(Fn(0), 0);
   EXPECT_EQ(Fn(100), 4950);
@@ -145,7 +145,7 @@ TEST(Craneline, HighRegisterPressureSpills) {
   ASSERT_EQ(qir::verify(M), std::nullopt);
 
   CranelineBackend BE;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("pressure");
   EXPECT_EQ(Fn(1), 30 * 31 / 2);
   EXPECT_EQ(Fn(3), 3 * 30 * 31 / 2);
@@ -155,7 +155,7 @@ TEST(Craneline, CompileTimeBreakdownStages) {
   Corpus C = buildCorpus();
   CranelineBackend BE;
   TimeTrace Trace;
-  auto Compiled = BE.compile(*C.M, &Trace);
+  auto Compiled = BE.compile(*C.M, backend::CompileOptions(&Trace));
   // All pipeline stages of Fig. 4 must be present.
   EXPECT_GT(Trace.totalNs("craneline.irgen"), 0u);
   EXPECT_GT(Trace.totalNs("craneline.irpasses"), 0u);
@@ -180,7 +180,7 @@ TEST(Craneline, CallbackComparatorWorks) {
   ASSERT_EQ(qir::verify(M), std::nullopt);
 
   CranelineBackend BE;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   int64_t Data[] = {42, -3, 17, 0};
   rt_sort(Data, 4, 8, Compiled->entry("cmp"));
   EXPECT_EQ(Data[0], -3);

@@ -90,8 +90,8 @@ inline CaseOutcome invokeEntry(void *Entry,
 inline void runCorpusDifferential(backend::Backend &B) {
   Corpus C = buildCorpus();
   interp::InterpBackend Baseline;
-  auto Ref = Baseline.compile(*C.M, nullptr);
-  auto Got = B.compile(*C.M, nullptr);
+  auto Ref = Baseline.compile(*C.M);
+  auto Got = B.compile(*C.M);
   ASSERT_NE(Got, nullptr);
 
   for (const CorpusCase &Case : C.Cases) {

@@ -27,7 +27,7 @@ TEST(Direct, SimpleFunctionRuns) {
   ASSERT_EQ(qir::verify(M), std::nullopt);
 
   direct::DirectBackend BE;
-  auto C = BE.compile(M, nullptr);
+  auto C = BE.compile(M);
   auto *Fn = C->entryAs<int64_t (*)(int64_t, int64_t)>("f");
   EXPECT_EQ(Fn(40, 2), 42);
   EXPECT_EQ(Fn(-1, 1), 0);
@@ -50,7 +50,7 @@ TEST(Direct, LoopWithManyValuesSpills) {
   ASSERT_EQ(qir::verify(M), std::nullopt);
 
   direct::DirectBackend BE;
-  auto C = BE.compile(M, nullptr);
+  auto C = BE.compile(M);
   auto *Fn = C->entryAs<int64_t (*)(int64_t)>("spilly");
   // sum x*i for i in 1..20 = x * 210
   EXPECT_EQ(Fn(1), 210);
@@ -71,7 +71,7 @@ TEST(Direct, CompiledComparatorDrivesRuntimeSort) {
   ASSERT_EQ(qir::verify(M), std::nullopt);
 
   direct::DirectBackend BE;
-  auto C = BE.compile(M, nullptr);
+  auto C = BE.compile(M);
   void *Cmp = C->entry("cmp");
   int64_t Data[] = {9, 1, 8, 2, 7, 3};
   rt_sort(Data, 6, 8, Cmp);
@@ -83,7 +83,7 @@ TEST(Direct, CompiledComparatorDrivesRuntimeSort) {
 TEST(Direct, TrapUnwindsToGuard) {
   Corpus C = buildCorpus();
   direct::DirectBackend BE;
-  auto Compiled = BE.compile(*C.M, nullptr);
+  auto Compiled = BE.compile(*C.M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t, int64_t)>("traps");
   EXPECT_EQ(rt::runWithTrapGuard([&] { Fn(1, 2); }), rt::TrapCode::None);
   EXPECT_EQ(rt::runWithTrapGuard([&] { Fn(INT64_MAX, 1); }),
@@ -93,7 +93,7 @@ TEST(Direct, TrapUnwindsToGuard) {
 TEST(Direct, CfiRecordsAreWellFormed) {
   Corpus C = buildCorpus();
   direct::DirectBackend BE;
-  auto Compiled = BE.compile(*C.M, nullptr);
+  auto Compiled = BE.compile(*C.M);
   auto *DM = static_cast<direct::DirectModule *>(Compiled.get());
   EXPECT_FALSE(DM->cfiBytes().empty());
   for (const auto &F : C.M->functions()) {
@@ -109,7 +109,7 @@ TEST(Direct, CompileTimeBreakdownHasAnalysisAndCodegen) {
   Corpus C = buildCorpus();
   direct::DirectBackend BE;
   TimeTrace Trace;
-  auto Compiled = BE.compile(*C.M, &Trace);
+  auto Compiled = BE.compile(*C.M, backend::CompileOptions(&Trace));
   EXPECT_GT(Trace.totalNs("direct.analysis"), 0u);
   EXPECT_GT(Trace.totalNs("direct.codegen"), 0u);
   EXPECT_GT(Trace.totalNs("direct.analysis.liveness"), 0u);
@@ -145,7 +145,7 @@ TEST(Direct, ManyBlocksAndBranches) {
   ASSERT_EQ(qir::verify(M), std::nullopt) << qir::verify(M).value_or("");
 
   direct::DirectBackend BE;
-  auto C = BE.compile(M, nullptr);
+  auto C = BE.compile(M);
   auto *Fn = C->entryAs<uint64_t (*)(uint64_t)>("chain");
   // Reference in C++.
   auto Ref = [](uint64_t X) {

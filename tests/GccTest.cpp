@@ -35,7 +35,7 @@ TEST(Gcc, PhaseTimesArePopulated) {
   Builder B(F);
   B.ret(B.add(F->paramValue(0), B.constInt(Type::I64, 5)));
   gccjit::GccBackend BE;
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("f");
   EXPECT_EQ(Fn(37), 42);
   const gccjit::GccPhaseTimes &T = BE.lastPhaseTimes();
@@ -54,7 +54,7 @@ TEST(Gcc, TimeReportCaptured) {
   gccjit::GccOptions Opts;
   Opts.ExtraFlags = "-ftime-report";
   gccjit::GccBackend BE(Opts);
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   EXPECT_NE(BE.lastPhaseTimes().TimeReport.find("TOTAL"),
             std::string::npos);
 }

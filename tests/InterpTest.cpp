@@ -22,7 +22,7 @@ struct InterpFixture {
 
   void compile() {
     interp::InterpBackend B;
-    Compiled = B.compile(M, nullptr);
+    Compiled = B.compile(M);
   }
 
   template <typename FnT> FnT entry(const std::string &Name) {
@@ -49,7 +49,7 @@ TEST(Interp, StraightLineArithmetic) {
 TEST(Interp, LoopSumMatchesClosedForm) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("loopsum");
   // sum i^2, i in [0, n)
   EXPECT_EQ(Fn(0), 0);
@@ -61,7 +61,7 @@ TEST(Interp, LoopSumMatchesClosedForm) {
 TEST(Interp, PhiSwapParallelMoves) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("phiswap");
   // After n swaps of (1, 1000000): even n -> (1,1000000), odd -> swapped.
   // Result = 3*a - b.
@@ -74,7 +74,7 @@ TEST(Interp, PhiSwapParallelMoves) {
 TEST(Interp, TrapsOnOverflow) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t, int64_t)>("traps");
 
   rt::TrapCode Code = rt::runWithTrapGuard([&] { Fn(10, 20); });
@@ -87,7 +87,7 @@ TEST(Interp, TrapsOnOverflow) {
 TEST(Interp, TrapsOnDivByZero) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t, int64_t)>("divtrap");
   EXPECT_EQ(Fn(100, 7), 14);
   rt::TrapCode Code = rt::runWithTrapGuard([&] { Fn(5, 0); });
@@ -97,7 +97,7 @@ TEST(Interp, TrapsOnDivByZero) {
 TEST(Interp, HashMatchesHostPrimitives) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t)>("hash");
   uint64_t V = 42;
   uint64_t H1 = crc32u64(0x2545f4914f6cdd1dull, V);
@@ -111,7 +111,7 @@ TEST(Interp, HashMatchesHostPrimitives) {
 TEST(Interp, RuntimeCallsWithStrings) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t, uint64_t, uint64_t,
                                             uint64_t)>("strings");
   rt::StringVal A = rt::StringVal::makeRef("hello", 5);
@@ -124,7 +124,7 @@ TEST(Interp, RuntimeCallsWithStrings) {
 TEST(Interp, FloatConversionRoundTrip) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t, int64_t)>("floats");
   // a=3,b=4: s=7, p=21, d=6, df=6-(-4)=10 -> not > 100 -> 10 + 0
   EXPECT_EQ(Fn(3, 4), 10);
@@ -133,7 +133,7 @@ TEST(Interp, FloatConversionRoundTrip) {
 TEST(Interp, WidthsNarrowTypes) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   auto *Fn = Compiled->entryAs<int64_t (*)(uint64_t)>("widths");
   // v = 0x...8687: i8 = 0x87 sext = -121; i16 = 0x8687 zext = 34439;
   // i32 = 0x84858687 sext = -2071624057.
@@ -193,6 +193,6 @@ TEST(Interp, TranslationCountsAsCompileTime) {
   Corpus C = buildCorpus();
   interp::InterpBackend B;
   TimeTrace Trace;
-  auto Compiled = B.compile(*C.M, &Trace);
+  auto Compiled = B.compile(*C.M, backend::CompileOptions(&Trace));
   EXPECT_GT(Trace.totalNs("interp.translate"), 0u);
 }

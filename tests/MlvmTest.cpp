@@ -59,7 +59,7 @@ TEST(Mlvm, OptStructPairsCorpusDifferential) {
 TEST(Mlvm, FastIselFallbackCensus) {
   Corpus C = buildCorpus();
   MlvmBackend B(MlvmOptions::cheap());
-  auto Compiled = B.compile(*C.M, nullptr);
+  auto Compiled = B.compile(*C.M);
   const mlvm::IselStats &S = B.lastIselStats();
   // The corpus contains i128 arithmetic and d128-typed calls: both classes
   // of fallback must be observed (§V-B3).
@@ -87,14 +87,14 @@ TEST(Mlvm, StructPairsCauseMoreFallbacks) {
 
   auto M1 = BuildModule();
   MlvmBackend Split(MlvmOptions::cheap());
-  Split.compile(*M1, nullptr);
+  Split.compile(*M1);
   uint64_t SplitFallbacks = Split.lastIselStats().Fallbacks.total();
 
   auto M2 = BuildModule();
   MlvmOptions O;
   O.Mode = D128Mode::StructPairs;
   MlvmBackend Structs(O);
-  Structs.compile(*M2, nullptr);
+  Structs.compile(*M2);
   uint64_t StructFallbacks = Structs.lastIselStats().Fallbacks.total();
 
   EXPECT_EQ(SplitFallbacks, 0u);
@@ -105,7 +105,7 @@ TEST(Mlvm, CompileTimeBreakdownStages) {
   Corpus C = buildCorpus();
   MlvmBackend B(MlvmOptions::cheap());
   TimeTrace Trace;
-  auto Compiled = B.compile(*C.M, &Trace);
+  auto Compiled = B.compile(*C.M, backend::CompileOptions(&Trace));
   EXPECT_GT(Trace.totalNs("mlvm.irgen"), 0u);
   EXPECT_GT(Trace.totalNs("mlvm.prep"), 0u);
   EXPECT_GT(Trace.totalNs("mlvm.isel"), 0u);
@@ -123,7 +123,7 @@ TEST(Mlvm, OptBreakdownHasOptPasses) {
   Corpus C = buildCorpus();
   MlvmBackend B(MlvmOptions::opt());
   TimeTrace Trace;
-  auto Compiled = B.compile(*C.M, &Trace);
+  auto Compiled = B.compile(*C.M, backend::CompileOptions(&Trace));
   EXPECT_GT(Trace.totalNs("mlvm.opt.cse"), 0u);
   EXPECT_GT(Trace.totalNs("mlvm.opt.licm"), 0u);
   EXPECT_GT(Trace.totalNs("mlvm.opt.dce"), 0u);
@@ -139,7 +139,7 @@ TEST(Mlvm, GlobalIselHasFourStages) {
   O.Isel = IselKind::Global;
   MlvmBackend B(O);
   TimeTrace Trace;
-  auto Compiled = B.compile(*C.M, &Trace);
+  auto Compiled = B.compile(*C.M, backend::CompileOptions(&Trace));
   EXPECT_GT(Trace.totalNs("mlvm.isel.gisel.irtranslator"), 0u);
   EXPECT_GT(Trace.totalNs("mlvm.isel.gisel.legalizer"), 0u);
   EXPECT_GT(Trace.totalNs("mlvm.isel.gisel.regbankselect"), 0u);
@@ -150,7 +150,7 @@ TEST(Mlvm, ElfObjectIsWellFormed) {
   Corpus C = buildCorpus();
   // Build the object directly for structural checks.
   MlvmBackend B(MlvmOptions::cheap());
-  auto Compiled = B.compile(*C.M, nullptr); // sanity: links fine
+  auto Compiled = B.compile(*C.M); // sanity: links fine
   // Basic ELF invariants via a tiny reparse: magic + section count.
   mlvm::McModule Mc;
   // (Reuse of internals is covered by the full pipeline; here we check
@@ -186,7 +186,7 @@ TEST(Mlvm, CallsGoThroughPlt) {
   Corpus C = buildCorpus();
   MlvmBackend B(MlvmOptions::cheap());
   TimeTrace Trace;
-  auto Compiled = B.compile(*C.M, &Trace);
+  auto Compiled = B.compile(*C.M, backend::CompileOptions(&Trace));
   EXPECT_GT(Trace.totalNs("mlvm.link.phase2"), 0u);
   // Functional check: the strings corpus case calls rt_str_* through the
   // PLT and must still compute correct results (covered by differential
@@ -280,7 +280,7 @@ TEST(Mlvm, DagPhiIncomingCombinedToConstant) {
       O.Optimize = Opt;
       O.Isel = K;
       mlvm::MlvmBackend BE(O);
-      auto Compiled = BE.compile(M, nullptr);
+      auto Compiled = BE.compile(M);
       auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t)>("f");
       EXPECT_EQ(Fn(0), 63u) << "isel=" << static_cast<int>(K)
                             << " opt=" << Opt;

@@ -54,8 +54,8 @@ TEST(Parse, CorpusParsedModuleExecutesIdentically) {
   ASSERT_NE(M, nullptr);
 
   interp::InterpBackend BE;
-  auto Orig = BE.compile(*C.M, nullptr);
-  auto Reparsed = BE.compile(*M, nullptr);
+  auto Orig = BE.compile(*C.M);
+  auto Reparsed = BE.compile(*M);
   for (const CorpusCase &Case : C.Cases) {
     CaseOutcome A = invokeEntry(Orig->entry(Case.Fn), Case.ArgLanes);
     CaseOutcome B = invokeEntry(Reparsed->entry(Case.Fn), Case.ArgLanes);
@@ -102,7 +102,7 @@ b3:
        {"Interpreter", "DirectEmit", "Craneline", "MLVM-cheap",
         "MLVM-opt"}) {
     auto BE = backend::createBackend(Name);
-    auto Compiled = BE->compile(*M, nullptr);
+    auto Compiled = BE->compile(*M);
     auto *Fn = Compiled->entryAs<uint64_t (*)(uint64_t)>("sumhash");
     ASSERT_NE(Fn, nullptr) << Name;
     uint64_t Got = Fn(10);
@@ -127,7 +127,7 @@ b7:
   ASSERT_NE(M, nullptr);
   ASSERT_EQ(qir::verify(*M), std::nullopt);
   interp::InterpBackend BE;
-  auto Compiled = BE.compile(*M, nullptr);
+  auto Compiled = BE.compile(*M);
   auto *Fn = Compiled->entryAs<int64_t (*)(int64_t)>("f");
   EXPECT_EQ(Fn(8), 40);
 }
@@ -211,8 +211,8 @@ TEST_P(ParseProperty, RandomProgramsRoundTrip) {
 
   // Execute both on random inputs through the interpreter.
   interp::InterpBackend BE;
-  auto C1 = BE.compile(M, nullptr);
-  auto C2 = BE.compile(*M2, nullptr);
+  auto C1 = BE.compile(M);
+  auto C2 = BE.compile(*M2);
   for (int I = 0; I != 16; ++I) {
     std::vector<uint64_t> Args = {R.next(), R.next()};
     CaseOutcome A = invokeEntry(C1->entry("rand"), Args);

@@ -33,8 +33,8 @@ void qcf::test::runRandomDifferentialFor(backend::Backend &BE,
   ASSERT_EQ(Err, std::nullopt) << "seed " << Seed << ": " << Err.value_or("");
 
   interp::InterpBackend Baseline;
-  auto Ref = Baseline.compile(M, nullptr);
-  auto Got = BE.compile(M, nullptr);
+  auto Ref = Baseline.compile(M);
+  auto Got = BE.compile(M);
 
   Rng InputRng(Seed ^ 0xabcdef);
   for (unsigned I = 0; I != FnsPerModule; ++I) {

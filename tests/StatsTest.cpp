@@ -21,6 +21,7 @@
 #include "db/Queries.h"
 #include "interp/Interp.h"
 #include "mlvm/Mlvm.h"
+#include "obs/Obs.h"
 #include "qir/Print.h"
 #include "tests/Corpus.h"
 #include <gtest/gtest.h>
@@ -116,7 +117,7 @@ TEST(MlvmStats, DagCombinesAndKnownBits) {
   mlvm::MlvmOptions O;
   O.Isel = mlvm::IselKind::Dag;
   mlvm::MlvmBackend BE(O);
-  auto Compiled = BE.compile(M, nullptr);
+  auto Compiled = BE.compile(M);
   EXPECT_GE(BE.lastIselStats().DagCombines, 2u);
   EXPECT_GT(BE.lastIselStats().KnownBitsQueries, 0u);
   EXPECT_GT(BE.lastIselStats().DagNodes, 0u);
@@ -128,7 +129,7 @@ TEST(MlvmStats, DagCombinesAndKnownBits) {
 TEST(MlvmStats, IrObjectCountTracked) {
   Corpus C = buildCorpus();
   mlvm::MlvmBackend BE(mlvm::MlvmOptions::cheap());
-  BE.compile(*C.M, nullptr);
+  BE.compile(*C.M);
   // Object-graph construction is the IRGen cost (§V-B1).
   EXPECT_GT(BE.lastNumIrObjects(), 200u);
 }
@@ -154,7 +155,7 @@ TEST(QirNormalize, ReordersOutOfLayoutBlocks) {
   EXPECT_EQ(Err, std::nullopt) << Err.value_or("");
   // Semantics preserved: block ids remapped in the branch.
   interp::InterpBackend IB;
-  auto Compiled = IB.compile(M, nullptr);
+  auto Compiled = IB.compile(M);
   auto *Fn = Compiled->entryAs<int64_t (*)(uint64_t)>("f");
   EXPECT_EQ(Fn(1), 1);
   EXPECT_EQ(Fn(0), 2);
@@ -211,8 +212,115 @@ TEST(MlvmStats, ReuseAnalysesHalvesDomtreeComputations) {
 
   TimeTrace T1, T2;
   mlvm::MlvmBackend B1(Twice), B2(Once);
-  B1.compile(*C.M, &T1);
-  B2.compile(*C.M, &T2);
+  B1.compile(*C.M, backend::CompileOptions(&T1));
+  B2.compile(*C.M, backend::CompileOptions(&T2));
   EXPECT_EQ(T1.count("mlvm.opt.domtree"), 2 * NumFns);
   EXPECT_EQ(T2.count("mlvm.opt.domtree"), NumFns);
+}
+
+TEST(ObsStats, HistogramPercentiles) {
+  obs::Histogram H;
+  // 1..1000ns: p50 falls in the [512,1024) bucket region of the walk.
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.observe(V);
+  obs::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 1000u);
+  EXPECT_EQ(S.SumNs, 1000u * 1001u / 2);
+  EXPECT_EQ(S.MinNs, 1u);
+  EXPECT_EQ(S.MaxNs, 1000u);
+  // Percentiles report bucket upper bounds: the median of 1..1000 lands
+  // in [256,512) -> 511; p99 in [512,1024), clamped to the observed max.
+  EXPECT_EQ(S.percentileNs(0.5), 511u);
+  EXPECT_EQ(S.percentileNs(0.99), 1000u);
+  EXPECT_EQ(S.percentileNs(0.0), 1u);
+}
+
+TEST(ObsStats, HistogramSnapshotMerge) {
+  obs::Histogram A, B;
+  A.observe(10);
+  A.observe(100);
+  B.observe(1000);
+  B.observe(3);
+  obs::HistogramSnapshot SA = A.snapshot(), SB = B.snapshot();
+  SA.merge(SB);
+  EXPECT_EQ(SA.Count, 4u);
+  EXPECT_EQ(SA.SumNs, 1113u);
+  EXPECT_EQ(SA.MinNs, 3u);
+  EXPECT_EQ(SA.MaxNs, 1000u);
+  // Merging an empty snapshot is the identity.
+  obs::HistogramSnapshot Empty;
+  SA.merge(Empty);
+  EXPECT_EQ(SA.Count, 4u);
+  EXPECT_EQ(SA.MinNs, 3u);
+}
+
+TEST(ObsStats, GoldenMlvmOptCompileTrace) {
+  // The acceptance shape for trace export: an MLVM-opt compile with the
+  // full ObsContext attached must yield (a) per-phase metrics in the
+  // registry and (b) a Chrome trace that parses with properly nested
+  // slices — Perfetto would reject or misrender anything less.
+  Corpus C = buildCorpus();
+  obs::MetricsRegistry Reg;
+  obs::TraceSink Sink;
+  mlvm::MlvmBackend BE(mlvm::MlvmOptions::opt());
+  BE.compile(*C.M,
+             backend::CompileOptions(obs::ObsContext(nullptr, &Reg, &Sink)));
+
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.counter("compile.MLVM-opt.count"), 1u);
+  const obs::HistogramSnapshot *Lat = Snap.histogram("compile.MLVM-opt.ns");
+  ASSERT_NE(Lat, nullptr);
+  EXPECT_EQ(Lat->Count, 1u);
+  // Per-phase detail: self-time counters for the pass pipeline.
+  EXPECT_GT(Snap.counterSumWithPrefix("compile.MLVM-opt.phase."), 0u);
+  EXPECT_GT(Snap.counter("compile.MLVM-opt.phase.mlvm.opt.domtree.count"), 0u);
+
+  // The trace: one spanning "compile.MLVM-opt" slice plus one slice per
+  // TimeTraceScope that ran while the sink was bound.
+  EXPECT_GT(Sink.numEvents(), 10u);
+  std::string Json = Sink.exportJson();
+  std::string Err;
+  EXPECT_TRUE(obs::validateTraceJson(Json, &Err)) << Err;
+  EXPECT_NE(Json.find("\"compile.MLVM-opt\""), std::string::npos);
+  EXPECT_NE(Json.find("mlvm.isel"), std::string::npos);
+}
+
+TEST(ObsStats, ExecuteQueryProducesQueryStatsAndTrace) {
+  // End-to-end acceptance: a full db::executeQuery with the redesigned
+  // ExecOptions::Obs must produce a QueryStats record and a valid trace.
+  db::Catalog Cat;
+  db::generateTpchLike(Cat, 0.05);
+  db::Query Q = [&] {
+    for (db::Query &Cand : db::tpchQueries())
+      if (Cand.Name == "h1")
+        return std::move(Cand);
+    QCF_UNREACHABLE("h1 missing");
+  }();
+  db::CompiledPlan P = db::compileQuery(Q, Cat);
+
+  obs::MetricsRegistry Reg;
+  obs::TraceSink Sink;
+  db::ExecOptions Opts;
+  Opts.Obs = obs::ObsContext(nullptr, &Reg, &Sink);
+  mlvm::MlvmBackend BE(mlvm::MlvmOptions::cheap());
+  rt::OutputBuffer Out;
+  db::ExecResult R = db::executeQuery(P, BE, Cat, &Out, Opts);
+  ASSERT_FALSE(R.Trapped);
+
+  EXPECT_EQ(R.Stats.RowsOut, Out.numRows());
+  EXPECT_GT(R.Stats.CompileNs, 0u);
+  EXPECT_GT(R.Stats.ExecNs, 0u);
+  ASSERT_EQ(R.Stats.Pipelines.size(), P.Pipelines.size());
+  uint64_t PipeNs = 0;
+  for (const db::PipelineStats &PS : R.Stats.Pipelines)
+    PipeNs += PS.ExecNs;
+  EXPECT_LE(PipeNs, R.Stats.ExecNs);
+
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.counter("db.queries"), 1u);
+  EXPECT_EQ(Snap.counter("db.query.rows"), Out.numRows());
+  EXPECT_EQ(Snap.counter("compile.MLVM-cheap.count"), 1u);
+
+  std::string Err;
+  EXPECT_TRUE(obs::validateTraceJson(Sink.exportJson(), &Err)) << Err;
 }

@@ -1,0 +1,138 @@
+//===- tools/qcf_stats.cpp - Observability dump tool -----------------------===//
+//
+// Part of the QCF project.
+//
+// Runs the benchmark query suite through a chosen back-end with the full
+// observability context attached and dumps what the obs layer collected:
+// the metrics registry (text or JSON) and, on request, a Perfetto-loadable
+// Chrome trace of the whole run.
+//
+//   qcf_stats [--backend NAME] [--suite tpch|ds] [--sf N] [--async]
+//             [--json] [--trace FILE]
+//
+// Load the trace file at https://ui.perfetto.dev (or chrome://tracing) to
+// see per-compile phase slices, cache/service events, and per-pipeline
+// execution spans on their actual threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Registry.h"
+#include "db/Datagen.h"
+#include "db/Executor.h"
+#include "db/Queries.h"
+#include "obs/Obs.h"
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace qcf;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--backend NAME] [--suite tpch|ds] [--sf N] "
+               "[--async] [--json] [--trace FILE]\n"
+               "backends:",
+               Argv0);
+  for (const std::string &N : backend::allBackendNames())
+    std::fprintf(stderr, " %s", N.c_str());
+  std::fprintf(stderr, " Adaptive\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BackendName = "MLVM-opt";
+  std::string SuiteName = "tpch";
+  std::string TracePath;
+  double Sf = 1.0;
+  bool Json = false, Async = false;
+
+  for (int I = 1; I < argc; ++I) {
+    auto next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (!std::strcmp(argv[I], "--backend")) {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      BackendName = V;
+    } else if (!std::strcmp(argv[I], "--suite")) {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      SuiteName = V;
+    } else if (!std::strcmp(argv[I], "--sf")) {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      Sf = std::atof(V);
+    } else if (!std::strcmp(argv[I], "--trace")) {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      TracePath = V;
+    } else if (!std::strcmp(argv[I], "--json")) {
+      Json = true;
+    } else if (!std::strcmp(argv[I], "--async")) {
+      Async = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::unique_ptr<backend::Backend> BE = backend::createBackend(BackendName);
+  if (!BE) {
+    std::fprintf(stderr, "unknown backend '%s'\n", BackendName.c_str());
+    return usage(argv[0]);
+  }
+
+  db::Catalog Cat;
+  std::vector<db::Query> Queries;
+  if (SuiteName == "tpch") {
+    db::generateTpchLike(Cat, Sf);
+    Queries = db::tpchQueries();
+  } else if (SuiteName == "ds") {
+    db::generateTpcdsLike(Cat, Sf);
+    Queries = db::tpcdsQueries();
+  } else {
+    return usage(argv[0]);
+  }
+
+  // One registry + one sink for the whole run; every compile phase and
+  // every pipeline records into them through the ObsContext.
+  obs::MetricsRegistry Reg;
+  obs::TraceSink Sink;
+
+  db::ExecOptions Opts;
+  Opts.AsyncCompile = Async;
+  Opts.Obs = obs::ObsContext(nullptr, &Reg, TracePath.empty() ? nullptr : &Sink);
+
+  for (db::Query &Q : Queries) {
+    db::CompiledPlan Plan = db::compileQuery(Q, Cat);
+    rt::OutputBuffer Out;
+    db::ExecResult R = db::executeQuery(Plan, *BE, Cat, &Out, Opts);
+    if (R.Trapped) {
+      std::fprintf(stderr, "query %s trapped\n", Q.Name.c_str());
+      return 1;
+    }
+  }
+
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  if (Json)
+    std::fputs(Snap.renderJson().c_str(), stdout);
+  else
+    std::fputs(Snap.renderText().c_str(), stdout);
+
+  if (!TracePath.empty()) {
+    if (!Sink.writeJsonFile(TracePath)) {
+      std::fprintf(stderr, "cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s (open in Perfetto)\n",
+                 Sink.numEvents(), TracePath.c_str());
+  }
+  return 0;
+}

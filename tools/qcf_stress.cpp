@@ -67,10 +67,11 @@ struct CountingBackend : backend::Backend {
   explicit CountingBackend(std::unique_ptr<backend::Backend> Inner)
       : Inner(std::move(Inner)) {}
   std::string name() const override { return Inner->name(); }
+  using backend::Backend::compile;
   std::unique_ptr<backend::CompiledModule>
-  compile(const qir::Module &M, TimeTrace *Trace) override {
+  compile(const qir::Module &M, const backend::CompileOptions &Opts) override {
     ++Compiles;
-    return Inner->compile(M, Trace);
+    return Inner->compile(M, Opts);
   }
   std::unique_ptr<backend::Backend> Inner;
   std::atomic<uint64_t> Compiles{0};
@@ -104,7 +105,7 @@ uint64_t asyncCompileRound(uint64_t Round) {
                    static_cast<unsigned long long>(Round), Err->c_str());
       return 1;
     }
-    auto Ref = Interp.compile(*M, nullptr);
+    auto Ref = Interp.compile(*M);
     for (auto [A, B] : Inputs)
       Expected[K].push_back(invoke(Ref->entry("rand"), A, B));
     Mods.push_back(std::move(M));
@@ -125,7 +126,7 @@ uint64_t asyncCompileRound(uint64_t Round) {
       Threads.emplace_back([&, T] {
         for (int I = 0; I != Lookups; ++I) {
           int K = (T * 7 + I * 5) % NumModules;
-          auto C = Cache.compile(*Mods[K], nullptr);
+          auto C = Cache.compile(*Mods[K]);
           for (size_t J = 0; J != Inputs.size(); ++J)
             if (!(invoke(C->entry("rand"), Inputs[J].first,
                          Inputs[J].second) == Expected[K][J]))
@@ -167,7 +168,7 @@ uint64_t asyncCompileRound(uint64_t Round) {
     BE.PromoteAfterRuns = 2;
     BE.PromoteSizeThreshold = 1;
     int K = static_cast<int>(Round % NumModules);
-    auto Compiled = BE.compile(*Mods[K], nullptr);
+    auto Compiled = BE.compile(*Mods[K]);
     auto *AM = static_cast<backend::AdaptiveModule *>(Compiled.get());
 
     std::atomic<uint64_t> Bad{0};
@@ -265,7 +266,7 @@ int main(int argc, char **argv) {
       return 1;
     }
 
-    auto Ref = Interp.compile(M, nullptr);
+    auto Ref = Interp.compile(M);
     std::vector<std::pair<uint64_t, uint64_t>> Inputs;
     for (int I = 0; I != 8; ++I)
       Inputs.emplace_back(R.next(), R.next());
@@ -278,7 +279,7 @@ int main(int argc, char **argv) {
 
     for (const std::string &Name : Backends) {
       auto BE = backend::createBackend(Name);
-      auto Compiled = BE->compile(M, nullptr);
+      auto Compiled = BE->compile(M);
       for (size_t I = 0; I != Inputs.size(); ++I) {
         Outcome Got = invoke(Compiled->entry("rand"), Inputs[I].first,
                              Inputs[I].second);
