@@ -18,6 +18,7 @@
 #include "obs/Obs.h"
 #include "qir/Function.h"
 #include "support/TimeTrace.h"
+#include "support/VerifyOptions.h"
 #include <memory>
 #include <string>
 
@@ -34,6 +35,12 @@ struct CompileOptions {
   /// Observability consumers (all optional): aggregate timings, metrics
   /// registry, Perfetto trace sink. See obs/Obs.h.
   obs::ObsContext Obs;
+
+  /// Which verification layers run during this compile (IR verifier,
+  /// MIR verifier between machine passes, x64 encoding lint). Defaults
+  /// to the process-wide QCF_VERIFY / QCF_EXPENSIVE_CHECKS setting; see
+  /// support/VerifyOptions.h and DESIGN.md "Verification layers".
+  VerifyOptions Verify = VerifyOptions::fromEnv();
 
   CompileOptions() = default;
   explicit CompileOptions(obs::ObsContext Obs) : Obs(Obs) {}

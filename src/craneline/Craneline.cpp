@@ -9,6 +9,9 @@
 #include "craneline/Lower.h"
 #include "craneline/RegAlloc.h"
 #include "craneline/Translate.h"
+#include "qir/Verify.h"
+#include "support/Compiler.h"
+#include "x64/EncodingLint.h"
 #include <cstring>
 
 using namespace qcf;
@@ -123,6 +126,13 @@ CranelineBackend::compile(const qir::Module &M,
   };
   std::vector<FnOut> Outs;
 
+  if (COpts.Verify.Ir) {
+    if (auto Err = qir::verify(M)) {
+      fprintf(stderr, "%s\n", Err->c_str());
+      reportFatalError("QIR verification failed (craneline)");
+    }
+  }
+
   // Cranelift compiles one function at a time (§VI).
   for (const auto &F : M.functions()) {
     CFunction CF;
@@ -148,6 +158,21 @@ CranelineBackend::compile(const qir::Module &M,
       E = emitFunction(VC, CF, RA, Trace);
     }
     Outs.push_back({F->name(), std::move(E)});
+    if (COpts.Verify.Mc) {
+      // Absolute-address relocations patch the 8-byte immediate of a
+      // mov r64, imm64; exempt those fields from the lint.
+      const EmitResult &Em = Outs.back().Emitted;
+      std::vector<x64::LintReloc> Relocs;
+      for (const AbsReloc &R : Em.Relocs)
+        Relocs.push_back({R.Offset, 8});
+      std::string Err =
+          x64::lintFunction(Em.Code.data(), Em.Code.size(), Relocs);
+      if (!Err.empty()) {
+        fprintf(stderr, "%s: in function '%s'\n", Err.c_str(),
+                F->name().c_str());
+        reportFatalError("machine-code lint failed (craneline)");
+      }
+    }
   }
 
   // Link: copy into executable memory and apply the absolute relocations

@@ -21,9 +21,12 @@
 #include "direct/Cfi.h"
 #include "qir/Cfg.h"
 #include "qir/Operands.h"
+#include "qir/Verify.h"
 #include "runtime/Runtime.h"
 #include "support/Bitset.h"
+#include "support/Compiler.h"
 #include "x64/Asm.h"
+#include "x64/EncodingLint.h"
 #include <cstring>
 #include <map>
 #include <optional>
@@ -1552,6 +1555,13 @@ DirectBackend::compile(const qir::Module &M,
   auto Result = std::make_unique<DirectModule>();
   CfiWriter Cfi(Result->Cfi);
 
+  if (Opts.Verify.Ir) {
+    if (auto Err = qir::verify(M)) {
+      fprintf(stderr, "%s\n", Err->c_str());
+      reportFatalError("QIR verification failed (direct)");
+    }
+  }
+
   std::vector<std::vector<uint8_t>> Codes;
   for (const auto &F : M.functions()) {
     Assembler A;
@@ -1561,6 +1571,17 @@ DirectBackend::compile(const qir::Module &M,
     Cfi.endFunction(CfiOff, A.size());
     Result->Fns.push_back({F->name(), 0, A.size(), CfiOff});
     Codes.push_back(A.code());
+    if (Opts.Verify.Mc) {
+      // DirectEmit calls through registers, so the bytes are final here:
+      // no relocations to exempt.
+      std::string Err =
+          x64::lintFunction(Codes.back().data(), Codes.back().size());
+      if (!Err.empty()) {
+        fprintf(stderr, "%s: in function '%s'\n", Err.c_str(),
+                F->name().c_str());
+        reportFatalError("machine-code lint failed (direct)");
+      }
+    }
   }
 
   TimeTraceScope Scope(Trace, "direct.link");

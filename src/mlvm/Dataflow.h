@@ -1,0 +1,264 @@
+//===- mlvm/Dataflow.h - Generic MIR worklist dataflow engine ---*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small generic gen/kill bitvector dataflow solver over MIR control
+/// flow, plus the concrete analyses built on it: virtual-register
+/// liveness (used by the register allocator), physical-register liveness,
+/// and reaching definitions. The MIR verifier reuses the same engine for
+/// its must-be-defined and call-clobber analyses, and future passes
+/// (dead-code elimination, shrink wrapping) can pick it up without
+/// re-deriving the fixpoint loop.
+///
+/// Blocks only record successors; predecessors are derived on demand via
+/// computePredecessors. The solver is a classic worklist iteration: a
+/// block re-enters the list whenever the meet over its relevant neighbors
+/// changes its IN (forward) or OUT (backward) set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_DATAFLOW_H
+#define QCF_MLVM_DATAFLOW_H
+
+#include "mlvm/Mir.h"
+#include "support/Bitset.h"
+#include <vector>
+
+namespace qcf::mlvm {
+
+/// Predecessor lists derived from MachineBasicBlock::Succs.
+inline std::vector<std::vector<uint32_t>>
+computePredecessors(const MirFunction &MF) {
+  std::vector<std::vector<uint32_t>> Preds(MF.Blocks.size());
+  for (const auto &MBB : MF.Blocks)
+    for (uint32_t S : MBB->Succs)
+      if (S < Preds.size())
+        Preds[S].push_back(MBB->Id);
+  return Preds;
+}
+
+enum class DataflowDir { Forward, Backward };
+enum class DataflowMeet { Union, Intersect };
+
+/// Per-block IN/OUT sets at the fixpoint. IN is the state at block entry,
+/// OUT the state at block exit, regardless of direction.
+struct DataflowResult {
+  std::vector<Bitset> In, Out;
+};
+
+/// Solves the gen/kill system
+///   Forward:  In[B]  = meet over preds P of Out[P];  Out[B] = Gen[B] ∪ (In[B]  − Kill[B])
+///   Backward: Out[B] = meet over succs S of In[S];   In[B]  = Gen[B] ∪ (Out[B] − Kill[B])
+/// with a worklist until fixpoint. \p Boundary seeds the entry block's IN
+/// (forward) or every exit block's OUT (backward); null means empty. With
+/// an Intersect meet, interior sets start as all-ones (top) so the meet
+/// converges downward; unreachable blocks keep top.
+inline DataflowResult solveDataflow(const MirFunction &MF, size_t Universe,
+                                    DataflowDir Dir, DataflowMeet Meet,
+                                    const std::vector<Bitset> &Gen,
+                                    const std::vector<Bitset> &Kill,
+                                    const Bitset *Boundary = nullptr) {
+  size_t NB = MF.Blocks.size();
+  DataflowResult R;
+  Bitset Top(Universe);
+  if (Meet == DataflowMeet::Intersect)
+    for (size_t I = 0; I != Universe; ++I)
+      Top.set(I);
+  R.In.assign(NB, Top);
+  R.Out.assign(NB, Top);
+
+  std::vector<std::vector<uint32_t>> Preds = computePredecessors(MF);
+  std::vector<bool> InList(NB, true);
+  std::vector<uint32_t> Worklist;
+  Worklist.reserve(NB);
+  // Reverse order converges in one pass for backward problems; forward
+  // problems pop from the back so they still see blocks in layout order.
+  for (size_t B = NB; B-- != 0;)
+    Worklist.push_back(static_cast<uint32_t>(B));
+  if (Dir == DataflowDir::Backward)
+    for (size_t I = 0, J = Worklist.size(); I + 1 < J; ++I, --J)
+      std::swap(Worklist[I], Worklist[J - 1]);
+
+  auto MeetOf = [&](const std::vector<uint32_t> &Neigh,
+                    const std::vector<Bitset> &From, bool IsEntryOrExit) {
+    Bitset Acc(Universe);
+    bool First = true;
+    for (uint32_t N : Neigh) {
+      if (First) {
+        Acc = From[N];
+        First = false;
+      } else if (Meet == DataflowMeet::Union) {
+        Acc.unionWith(From[N]);
+      } else {
+        Acc.intersectWith(From[N]);
+      }
+    }
+    if (First) {
+      // No neighbors: boundary block.
+      if (IsEntryOrExit && Boundary)
+        Acc = *Boundary;
+    } else if (IsEntryOrExit && Boundary && Meet == DataflowMeet::Union) {
+      Acc.unionWith(*Boundary);
+    }
+    return Acc;
+  };
+
+  while (!Worklist.empty()) {
+    uint32_t B = Worklist.back();
+    Worklist.pop_back();
+    InList[B] = false;
+
+    Bitset Transfer(Universe);
+    if (Dir == DataflowDir::Forward) {
+      R.In[B] = MeetOf(Preds[B], R.Out, Preds[B].empty());
+      Transfer = R.In[B];
+      Transfer.subtract(Kill[B]);
+      Transfer.unionWith(Gen[B]);
+      if (Transfer == R.Out[B])
+        continue;
+      R.Out[B] = std::move(Transfer);
+      for (uint32_t S : MF.Blocks[B]->Succs)
+        if (!InList[S]) {
+          InList[S] = true;
+          Worklist.push_back(S);
+        }
+    } else {
+      R.Out[B] = MeetOf(MF.Blocks[B]->Succs, R.In,
+                        MF.Blocks[B]->Succs.empty());
+      Transfer = R.Out[B];
+      Transfer.subtract(Kill[B]);
+      Transfer.unionWith(Gen[B]);
+      if (Transfer == R.In[B])
+        continue;
+      R.In[B] = std::move(Transfer);
+      for (uint32_t P : Preds[B])
+        if (!InList[P]) {
+          InList[P] = true;
+          Worklist.push_back(P);
+        }
+    }
+  }
+  return R;
+}
+
+/// Block-level liveness. LiveIn/LiveOut are indexed by block id.
+struct Liveness {
+  std::vector<Bitset> LiveIn, LiveOut;
+};
+
+/// Virtual-register liveness (universe = MF.numVRegs(); the spill marker
+/// and physical registers are ignored). Gen = upward-exposed uses,
+/// Kill = defs.
+inline Liveness computeVRegLiveness(const MirFunction &MF) {
+  uint32_t N = MF.numVRegs();
+  size_t NB = MF.Blocks.size();
+  std::vector<Bitset> Use(NB, Bitset(N)), Def(NB, Bitset(N));
+  for (size_t B = 0; B != NB; ++B)
+    for (MachineInstr *I : MF.Blocks[B]->Insts)
+      forEachReg(*I, [&](const MOperand *Op, bool IsDef) {
+        if (!isVReg(Op->Reg) || Op->Reg == MLVM_SPILL_MARKER)
+          return;
+        uint32_t V = Op->Reg - MREG_VBASE;
+        if (!IsDef && !Def[B].test(V))
+          Use[B].set(V);
+        if (IsDef)
+          Def[B].set(V);
+      });
+  DataflowResult R = solveDataflow(MF, N, DataflowDir::Backward,
+                                   DataflowMeet::Union, Use, Def);
+  return {std::move(R.In), std::move(R.Out)};
+}
+
+/// Physical-register liveness (universe = 48: GP [0,16), XMM [32,48)),
+/// including the implicit fixed-register effects and call clobbers from
+/// forEachImplicitPhys.
+inline Liveness computePhysLiveness(const MirFunction &MF) {
+  constexpr size_t N = 48;
+  size_t NB = MF.Blocks.size();
+  std::vector<Bitset> Use(NB, Bitset(N)), Def(NB, Bitset(N));
+  for (size_t B = 0; B != NB; ++B)
+    for (MachineInstr *I : MF.Blocks[B]->Insts) {
+      auto Ref = [&](unsigned P, bool IsDef) {
+        if (P >= N)
+          return;
+        if (!IsDef && !Def[B].test(P))
+          Use[B].set(P);
+        if (IsDef)
+          Def[B].set(P);
+      };
+      forEachReg(*I, [&](const MOperand *Op, bool IsDef) {
+        if (!isVReg(Op->Reg) && Op->Reg != MREG_NONE &&
+            Op->Reg != MLVM_SPILL_MARKER)
+          Ref(Op->Reg, IsDef);
+      });
+      forEachImplicitPhys(*I, Ref);
+    }
+  DataflowResult R = solveDataflow(MF, N, DataflowDir::Backward,
+                                   DataflowMeet::Union, Use, Def);
+  return {std::move(R.In), std::move(R.Out)};
+}
+
+/// Reaching definitions over virtual registers. The universe is the set
+/// of def sites (one bit per (instruction, def-operand)); In[B] is the
+/// set of def sites reaching block entry.
+struct ReachingDefs {
+  struct DefSite {
+    uint32_t Block;
+    uint32_t InstIdx;
+    MReg Reg;
+  };
+  std::vector<DefSite> Defs;
+  std::vector<Bitset> In, Out;
+};
+
+inline ReachingDefs computeReachingDefs(const MirFunction &MF) {
+  ReachingDefs RD;
+  size_t NB = MF.Blocks.size();
+  // Enumerate def sites and group them per vreg for kill sets.
+  std::vector<std::vector<uint32_t>> SitesOf(MF.numVRegs());
+  for (size_t B = 0; B != NB; ++B) {
+    auto &Insts = MF.Blocks[B]->Insts;
+    for (uint32_t I = 0; I != Insts.size(); ++I)
+      forEachReg(*Insts[I], [&](const MOperand *Op, bool IsDef) {
+        if (!IsDef || !isVReg(Op->Reg) || Op->Reg == MLVM_SPILL_MARKER)
+          return;
+        SitesOf[Op->Reg - MREG_VBASE].push_back(
+            static_cast<uint32_t>(RD.Defs.size()));
+        RD.Defs.push_back({static_cast<uint32_t>(B), I, Op->Reg});
+      });
+  }
+  size_t N = RD.Defs.size();
+  std::vector<Bitset> Gen(NB, Bitset(N)), Kill(NB, Bitset(N));
+  for (uint32_t S = 0; S != N; ++S) {
+    uint32_t B = RD.Defs[S].Block;
+    // A def kills every other site of the same vreg; the last def in the
+    // block generates.
+    for (uint32_t Other : SitesOf[RD.Defs[S].Reg - MREG_VBASE])
+      if (Other != S)
+        Kill[B].set(Other);
+  }
+  for (uint32_t S = 0; S != N; ++S) {
+    uint32_t B = RD.Defs[S].Block;
+    // Generated iff no later def of the same vreg in the same block.
+    bool Last = true;
+    for (uint32_t Other : SitesOf[RD.Defs[S].Reg - MREG_VBASE])
+      if (Other != S && RD.Defs[Other].Block == B &&
+          RD.Defs[Other].InstIdx > RD.Defs[S].InstIdx)
+        Last = false;
+    if (Last)
+      Gen[B].set(S);
+    Kill[B].reset(S);
+  }
+  DataflowResult R = solveDataflow(MF, N, DataflowDir::Forward,
+                                   DataflowMeet::Union, Gen, Kill);
+  RD.In = std::move(R.In);
+  RD.Out = std::move(R.Out);
+  return RD;
+}
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_DATAFLOW_H

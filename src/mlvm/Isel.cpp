@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "mlvm/Isel.h"
+#include "mlvm/KnownBits.h"
+#include "mlvm/MirVerify.h"
 #include "runtime/Runtime.h"
 #include "runtime/Trap.h"
 #include <set>
@@ -51,20 +53,7 @@ Cond condForPred(qir::CmpPred P) {
   QCF_UNREACHABLE("invalid predicate");
 }
 
-uint64_t maskFor(Type Ty) {
-  switch (Ty) {
-  case Type::I1:
-    return 1;
-  case Type::I8:
-    return 0xff;
-  case Type::I16:
-    return 0xffff;
-  case Type::I32:
-    return 0xffffffffull;
-  default:
-    return ~0ull;
-  }
-}
+// maskFor lives in mlvm/KnownBits.h (shared with the known-bits oracle).
 
 /// Register-level machine code builder: the shared expansion library that
 /// all three selectors bottom out in. Maintains the canonical

@@ -52,10 +52,14 @@ struct IselStats {
 };
 
 /// Runs instruction selection over \p F, producing SSA MIR (with PHIs).
+/// When \p Verify is set, GlobalISel additionally verifies its generic
+/// MIR right after the IRTranslator stage (the other selectors have no
+/// intermediate MIR; their output is verified by the driver).
 std::unique_ptr<MirFunction> selectInstructions(const MFunction &F,
                                                 IselKind Kind,
                                                 TimeTrace *Trace,
-                                                IselStats *Stats);
+                                                IselStats *Stats,
+                                                bool Verify = false);
 
 } // namespace qcf::mlvm
 

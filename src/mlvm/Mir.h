@@ -42,6 +42,10 @@ inline bool isPXmm(MReg R) { return R >= 32 && R < 48; }
 inline MReg pgp(x64::Reg R) { return x64::regNum(R); }
 inline MReg pxmm(x64::Xmm R) { return 32 + x64::regNum(R); }
 
+/// Base register marker for spill-slot accesses until PEI runs. Note it
+/// satisfies isVReg(); register scans must treat it separately.
+inline constexpr MReg MLVM_SPILL_MARKER = 0xfffffffdu;
+
 enum class MRegClass : uint8_t { Int, Float };
 
 /// Machine opcodes. G_* opcodes are GlobalISel's generic MIR; they never
@@ -155,6 +159,61 @@ public:
 
   MReg reg(unsigned I) const { return Operands[I].Reg; }
 };
+
+/// Enumerates explicit register operands. Fn(MOperand*, isDef). Works on
+/// const and non-const instructions (the operand pointer follows).
+template <typename InstrT, typename FnT>
+void forEachReg(InstrT &I, FnT Fn) {
+  for (auto &Op : I.Operands) {
+    if (Op.K == MOperand::Kind::RegDef)
+      Fn(&Op, true);
+    else if (Op.K == MOperand::Kind::RegUse)
+      Fn(&Op, false);
+  }
+}
+
+/// Enumerates implicit physical register effects (fixed-reg choreography
+/// and call clobbers). Fn(physIndex, isDef).
+template <typename FnT>
+void forEachImplicitPhys(const MachineInstr &I, FnT Fn) {
+  using x64::Reg;
+  switch (I.Opc) {
+  case MOpc::SHIFT3C:
+  case MOpc::SHIFT2C:
+    Fn(pgp(Reg::RCX), false);
+    break;
+  case MOpc::MULWIDE:
+    Fn(pgp(Reg::RAX), false);
+    Fn(pgp(Reg::RAX), true);
+    Fn(pgp(Reg::RDX), true);
+    break;
+  case MOpc::DIVREM:
+    Fn(pgp(Reg::RAX), false);
+    Fn(pgp(Reg::RDX), false);
+    Fn(pgp(Reg::RAX), true);
+    Fn(pgp(Reg::RDX), true);
+    break;
+  case MOpc::CQO:
+    Fn(pgp(Reg::RAX), false);
+    Fn(pgp(Reg::RDX), true);
+    break;
+  case MOpc::CALL: {
+    for (unsigned S = 0; S != I.Aux; ++S)
+      Fn(pgp(x64::GpArgRegs[S]), false);
+    for (Reg R : {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI,
+                  Reg::R8, Reg::R9})
+      Fn(pgp(R), true);
+    for (unsigned X = 0; X != 16; ++X)
+      Fn(32 + X, true);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+/// Printable opcode name (diagnostics; defined in MirVerify.cpp).
+const char *mopcName(MOpc Opc);
 
 /// A machine basic block.
 struct MachineBasicBlock {

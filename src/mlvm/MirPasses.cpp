@@ -6,6 +6,7 @@
 
 #include "mlvm/MirPasses.h"
 #include "craneline/BTree.h"
+#include "mlvm/Dataflow.h"
 #include "support/Bitset.h"
 #include <algorithm>
 
@@ -17,55 +18,6 @@ using craneline::PosRange;
 using craneline::RangeBTree;
 
 namespace {
-
-/// Enumerates explicit register operands. Fn(MOperand*, isDef).
-template <typename FnT> void forEachReg(MachineInstr &I, FnT Fn) {
-  for (MOperand &Op : I.Operands) {
-    if (Op.K == MOperand::Kind::RegDef)
-      Fn(&Op, true);
-    else if (Op.K == MOperand::Kind::RegUse)
-      Fn(&Op, false);
-  }
-}
-
-/// Enumerates implicit physical register effects (fixed-reg choreography
-/// and call clobbers). Fn(physIndex, isDef).
-template <typename FnT> void forEachImplicitPhys(const MachineInstr &I,
-                                                 FnT Fn) {
-  switch (I.Opc) {
-  case MOpc::SHIFT3C:
-  case MOpc::SHIFT2C:
-    Fn(pgp(Reg::RCX), false);
-    break;
-  case MOpc::MULWIDE:
-    Fn(pgp(Reg::RAX), false);
-    Fn(pgp(Reg::RAX), true);
-    Fn(pgp(Reg::RDX), true);
-    break;
-  case MOpc::DIVREM:
-    Fn(pgp(Reg::RAX), false);
-    Fn(pgp(Reg::RDX), false);
-    Fn(pgp(Reg::RAX), true);
-    Fn(pgp(Reg::RDX), true);
-    break;
-  case MOpc::CQO:
-    Fn(pgp(Reg::RAX), false);
-    Fn(pgp(Reg::RDX), true);
-    break;
-  case MOpc::CALL: {
-    for (unsigned S = 0; S != I.Aux; ++S)
-      Fn(pgp(x64::GpArgRegs[S]), false);
-    for (Reg R : {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI,
-                  Reg::R8, Reg::R9})
-      Fn(pgp(R), true);
-    for (unsigned X = 0; X != 16; ++X)
-      Fn(32 + X, true);
-    break;
-  }
-  default:
-    break;
-  }
-}
 
 void insertBeforeTerm(MachineBasicBlock *MBB,
                       std::vector<MachineInstr *> NewInstrs) {
@@ -291,42 +243,11 @@ private:
   uint32_t idx(MReg R) const { return R - MREG_VBASE; }
 
   void computeLiveness() {
-    uint32_t N = MF.numVRegs();
-    size_t NB = MF.Blocks.size();
-    LiveIn.assign(NB, Bitset(N));
-    LiveOut.assign(NB, Bitset(N));
-    std::vector<Bitset> Use(NB, Bitset(N)), Def(NB, Bitset(N));
-    for (size_t B = 0; B != NB; ++B)
-      for (MachineInstr *I : MF.Blocks[B]->Insts)
-        forEachReg(*I, [&](MOperand *Op, bool IsDef) {
-          if (!isVReg(Op->Reg))
-            return;
-          uint32_t V = idx(Op->Reg);
-          if (!IsDef && !Def[B].test(V))
-            Use[B].set(V);
-          if (IsDef)
-            Def[B].set(V);
-        });
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (size_t B = NB; B-- != 0;) {
-        Bitset Out(N);
-        for (uint32_t S : MF.Blocks[B]->Succs)
-          Out.unionWith(LiveIn[S]);
-        if (!(Out == LiveOut[B])) {
-          LiveOut[B] = Out;
-          Changed = true;
-        }
-        Bitset In = Out;
-        In.subtract(Def[B]);
-        In.unionWith(Use[B]);
-        if (!(In == LiveIn[B])) {
-          LiveIn[B] = std::move(In);
-          Changed = true;
-        }
-      }
-    }
+    // The generic worklist engine (mlvm/Dataflow.h) solves the backward
+    // union system Out = ∪ In[succ]; In = Use ∪ (Out − Def).
+    Liveness L = computeVRegLiveness(MF);
+    LiveIn = std::move(L.LiveIn);
+    LiveOut = std::move(L.LiveOut);
   }
 
   void buildIntervals() {

@@ -38,9 +38,6 @@ struct MlvmRegAllocResult {
   uint32_t NumSpilled = 0;
 };
 
-/// Base register marker for spill-slot accesses until PEI runs.
-inline constexpr MReg MLVM_SPILL_MARKER = 0xfffffffdu;
-
 /// Allocates registers in place; after this, all operands are physical
 /// and spill code references MLVM_SPILL_MARKER frame slots.
 MlvmRegAllocResult runRegAlloc(MirFunction &MF, RegAllocKind Kind,

@@ -1,0 +1,667 @@
+//===- mlvm/MirVerify.cpp - MIR verifier -----------------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mlvm/MirVerify.h"
+#include "mlvm/Dataflow.h"
+#include "support/Compiler.h"
+#include <cstdio>
+
+using namespace qcf;
+using namespace qcf::mlvm;
+using x64::Reg;
+
+const char *mlvm::mopcName(MOpc Opc) {
+  switch (Opc) {
+  case MOpc::PHI: return "PHI";
+  case MOpc::COPY: return "COPY";
+  case MOpc::MOVRI: return "MOVRI";
+  case MOpc::ALU3: return "ALU3";
+  case MOpc::ALURI3: return "ALURI3";
+  case MOpc::MUL3: return "MUL3";
+  case MOpc::SHIFT3I: return "SHIFT3I";
+  case MOpc::SHIFT3C: return "SHIFT3C";
+  case MOpc::NEG2: return "NEG2";
+  case MOpc::NOT2: return "NOT2";
+  case MOpc::MOVZX2: return "MOVZX2";
+  case MOpc::MOVSX2: return "MOVSX2";
+  case MOpc::SETCC: return "SETCC";
+  case MOpc::CMOV3: return "CMOV3";
+  case MOpc::CMP: return "CMP";
+  case MOpc::CMPRI: return "CMPRI";
+  case MOpc::TEST: return "TEST";
+  case MOpc::CRC323: return "CRC323";
+  case MOpc::MULWIDE: return "MULWIDE";
+  case MOpc::DIVREM: return "DIVREM";
+  case MOpc::CQO: return "CQO";
+  case MOpc::LOADZX: return "LOADZX";
+  case MOpc::LOADSX: return "LOADSX";
+  case MOpc::STORE: return "STORE";
+  case MOpc::LEA: return "LEA";
+  case MOpc::STACKADDR: return "STACKADDR";
+  case MOpc::XADD3: return "XADD3";
+  case MOpc::FMOV2: return "FMOV2";
+  case MOpc::FALU3: return "FALU3";
+  case MOpc::FLOAD: return "FLOAD";
+  case MOpc::FSTORE: return "FSTORE";
+  case MOpc::UCOMISD: return "UCOMISD";
+  case MOpc::CVTSI2SD: return "CVTSI2SD";
+  case MOpc::CVTTSD2SI: return "CVTTSD2SI";
+  case MOpc::MOVGX: return "MOVGX";
+  case MOpc::MOVXG: return "MOVXG";
+  case MOpc::CALL: return "CALL";
+  case MOpc::JMP: return "JMP";
+  case MOpc::JCC: return "JCC";
+  case MOpc::RET: return "RET";
+  case MOpc::UD2: return "UD2";
+  case MOpc::TRAPIF: return "TRAPIF";
+  case MOpc::ALU2: return "ALU2";
+  case MOpc::ALURI2: return "ALURI2";
+  case MOpc::MUL2: return "MUL2";
+  case MOpc::SHIFT2I: return "SHIFT2I";
+  case MOpc::SHIFT2C: return "SHIFT2C";
+  case MOpc::NEG1: return "NEG1";
+  case MOpc::NOT1: return "NOT1";
+  case MOpc::CMOV2: return "CMOV2";
+  case MOpc::XADD2: return "XADD2";
+  case MOpc::G_CONSTANT: return "G_CONSTANT";
+  case MOpc::G_BINOP: return "G_BINOP";
+  case MOpc::G_UNOP: return "G_UNOP";
+  case MOpc::G_ICMP: return "G_ICMP";
+  case MOpc::G_FCMP: return "G_FCMP";
+  case MOpc::G_SELECT: return "G_SELECT";
+  case MOpc::G_LOAD: return "G_LOAD";
+  case MOpc::G_STORE: return "G_STORE";
+  case MOpc::G_GEP: return "G_GEP";
+  case MOpc::G_STACKADDR: return "G_STACKADDR";
+  case MOpc::G_CALL: return "G_CALL";
+  case MOpc::G_BR: return "G_BR";
+  case MOpc::G_BRCOND: return "G_BRCOND";
+  case MOpc::G_RET: return "G_RET";
+  case MOpc::G_UNREACHABLE: return "G_UNREACHABLE";
+  case MOpc::G_MERGE: return "G_MERGE";
+  case MOpc::G_UNMERGE: return "G_UNMERGE";
+  case MOpc::G_TRAP_ARITH: return "G_TRAP_ARITH";
+  }
+  return "<bad-opcode>";
+}
+
+namespace {
+
+bool isGeneric(MOpc Op) { return Op >= MOpc::G_CONSTANT; }
+
+bool isUncondTerm(MOpc Op) {
+  return Op == MOpc::JMP || Op == MOpc::RET || Op == MOpc::UD2;
+}
+
+bool isGenericTerm(MOpc Op) {
+  return Op == MOpc::G_BR || Op == MOpc::G_BRCOND || Op == MOpc::G_RET ||
+         Op == MOpc::G_UNREACHABLE;
+}
+
+bool isThreeAddr(MOpc Op) {
+  switch (Op) {
+  case MOpc::ALU3:
+  case MOpc::ALURI3:
+  case MOpc::MUL3:
+  case MOpc::SHIFT3I:
+  case MOpc::SHIFT3C:
+  case MOpc::NEG2:
+  case MOpc::NOT2:
+  case MOpc::CMOV3:
+  case MOpc::XADD3:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isTwoAddr(MOpc Op) {
+  switch (Op) {
+  case MOpc::ALU2:
+  case MOpc::ALURI2:
+  case MOpc::MUL2:
+  case MOpc::SHIFT2I:
+  case MOpc::SHIFT2C:
+  case MOpc::NEG1:
+  case MOpc::NOT1:
+  case MOpc::CMOV2:
+  case MOpc::XADD2:
+  case MOpc::CRC323:
+  case MOpc::FALU3:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isSpillMemOp(MOpc Op) {
+  return Op == MOpc::LOADZX || Op == MOpc::FLOAD || Op == MOpc::STORE ||
+         Op == MOpc::FSTORE;
+}
+
+std::string regName(MReg R) {
+  if (R == MREG_NONE)
+    return "none";
+  if (R == MLVM_SPILL_MARKER)
+    return "spill";
+  if (isPGp(R))
+    return "gp" + std::to_string(R);
+  if (isPXmm(R))
+    return "xmm" + std::to_string(R - 32);
+  if (isVReg(R))
+    return "v" + std::to_string(R - MREG_VBASE);
+  return "r?" + std::to_string(R);
+}
+
+std::string printInstr(const MachineInstr &I) {
+  std::string S = mopcName(I.Opc);
+  for (const MOperand &Op : I.Operands) {
+    S += ' ';
+    switch (Op.K) {
+    case MOperand::Kind::RegDef:
+      S += "def:" + regName(Op.Reg);
+      break;
+    case MOperand::Kind::RegUse:
+      S += "use:" + regName(Op.Reg);
+      break;
+    case MOperand::Kind::Imm:
+      S += "imm:" + std::to_string(Op.Imm);
+      break;
+    case MOperand::Kind::Mbb:
+      S += "bb" + std::to_string(Op.Mbb);
+      break;
+    }
+  }
+  if (I.Imm)
+    S += " Imm=" + std::to_string(I.Imm);
+  if (I.Disp)
+    S += " Disp=" + std::to_string(I.Disp);
+  return S;
+}
+
+class MirVerifier {
+public:
+  MirVerifier(const MirFunction &MF, MirStage Stage, const char *PassName,
+              uint32_t NumSpillSlots)
+      : MF(MF), Stage(Stage), PassName(PassName),
+        NumSpillSlots(NumSpillSlots) {}
+
+  std::string run() {
+    Preds = computePredecessors(MF);
+    for (size_t B = 0; B != MF.Blocks.size() && Err.empty(); ++B)
+      checkBlock(static_cast<uint32_t>(B));
+    // Note: no strict single-def (SSA) check even at the Ssa stage — the
+    // selectors deliberately redefine vregs (FastISel's in-place widening
+    // "MOVZX2 vN, vN", GlobalISel's per-block constant rematerialization).
+    // The def-before-use dataflow below is the invariant that matters.
+    if (Err.empty() && Stage <= MirStage::Allocated)
+      checkDefBeforeUse();
+    if (Err.empty() && Stage >= MirStage::Allocated)
+      checkCallClobbers();
+    return Err;
+  }
+
+private:
+  bool atLeast(MirStage S) const { return Stage >= S; }
+
+  void fail(uint32_t B, size_t InstIdx, const MachineInstr *I,
+            const std::string &Msg) {
+    if (!Err.empty())
+      return;
+    Err = "verifyMir(" + std::string(PassName) + "): " + MF.Name +
+          ": block " + std::to_string(B);
+    if (I) {
+      Err += " instr " + std::to_string(InstIdx) + " [" + printInstr(*I) +
+             "]";
+    }
+    Err += ": " + Msg;
+  }
+
+  bool vregOk(MReg R) const {
+    return R - MREG_VBASE < MF.numVRegs();
+  }
+
+  void checkOperandShape(uint32_t B, size_t Idx, const MachineInstr &I) {
+    for (const MOperand &Op : I.Operands) {
+      if (Op.K == MOperand::Kind::Mbb) {
+        if (Op.Mbb >= MF.Blocks.size())
+          return fail(B, Idx, &I,
+                      "block operand bb" + std::to_string(Op.Mbb) +
+                          " out of range");
+        continue;
+      }
+      if (Op.K != MOperand::Kind::RegDef && Op.K != MOperand::Kind::RegUse)
+        continue;
+      MReg R = Op.Reg;
+      if (R == MLVM_SPILL_MARKER) {
+        if (Stage != MirStage::Allocated || !isSpillMemOp(I.Opc) ||
+            &Op != &I.Operands[1])
+          return fail(B, Idx, &I, "stray spill marker operand");
+        if (static_cast<uint32_t>(I.Disp) >= NumSpillSlots)
+          return fail(B, Idx, &I,
+                      "spill slot " + std::to_string(I.Disp) +
+                          " out of range (" +
+                          std::to_string(NumSpillSlots) + " slots)");
+        continue;
+      }
+      if (isVReg(R)) {
+        if (Stage >= MirStage::Allocated)
+          return fail(B, Idx, &I,
+                      "virtual register " + regName(R) +
+                          " survived register allocation");
+        if (!vregOk(R))
+          return fail(B, Idx, &I,
+                      "virtual register " + regName(R) + " out of range");
+        continue;
+      }
+      if (R == MREG_NONE || isPGp(R) || isPXmm(R))
+        continue;
+      return fail(B, Idx, &I, "malformed register operand " + regName(R));
+    }
+  }
+
+  /// Register class expected for a reg operand, or -1 to skip the check.
+  /// OperandPos is the index among *register* operands (defs and uses in
+  /// operand order).
+  int expectedClass(const MachineInstr &I, unsigned RegPos) {
+    constexpr int IntC = static_cast<int>(MRegClass::Int);
+    constexpr int FltC = static_cast<int>(MRegClass::Float);
+    switch (I.Opc) {
+    case MOpc::FMOV2:
+    case MOpc::FALU3:
+    case MOpc::UCOMISD:
+      return FltC;
+    case MOpc::FLOAD:
+    case MOpc::FSTORE:
+      return RegPos == 0 ? FltC : IntC; // value xmm, base gp
+    case MOpc::CVTSI2SD:
+    case MOpc::MOVXG:
+      return RegPos == 0 ? FltC : IntC;
+    case MOpc::CVTTSD2SI:
+    case MOpc::MOVGX:
+      return RegPos == 0 ? IntC : FltC;
+    case MOpc::COPY:
+    case MOpc::PHI:
+    case MOpc::CALL:
+      return -1; // cross-class moves / untyped; checked separately for PHI
+    default:
+      if (isGeneric(I.Opc))
+        return -1; // gMIR register banks are not assigned yet
+      return IntC;
+    }
+  }
+
+  int classOf(MReg R) {
+    if (isVReg(R) && R != MLVM_SPILL_MARKER && vregOk(R))
+      return static_cast<int>(MF.regClass(R));
+    if (isPGp(R))
+      return static_cast<int>(MRegClass::Int);
+    if (isPXmm(R))
+      return static_cast<int>(MRegClass::Float);
+    return -1;
+  }
+
+  void checkRegClasses(uint32_t B, size_t Idx, const MachineInstr &I) {
+    unsigned RegPos = 0;
+    for (const MOperand &Op : I.Operands) {
+      if (Op.K != MOperand::Kind::RegDef && Op.K != MOperand::Kind::RegUse)
+        continue;
+      if (Op.Reg == MREG_NONE || Op.Reg == MLVM_SPILL_MARKER) {
+        ++RegPos;
+        continue;
+      }
+      int Want = expectedClass(I, RegPos);
+      int Got = classOf(Op.Reg);
+      if (Want >= 0 && Got >= 0 && Want != Got)
+        return fail(B, Idx, &I,
+                    "operand " + regName(Op.Reg) + " has register class " +
+                        (Got == 0 ? "Int" : "Float") + ", expected " +
+                        (Want == 0 ? "Int" : "Float"));
+      ++RegPos;
+    }
+    // COPY between two virtual registers must stay within one class.
+    if (I.Opc == MOpc::COPY && I.Operands.size() >= 2 &&
+        isVReg(I.reg(0)) && I.reg(0) != MLVM_SPILL_MARKER &&
+        isVReg(I.reg(1)) && I.reg(1) != MLVM_SPILL_MARKER &&
+        vregOk(I.reg(0)) && vregOk(I.reg(1)) &&
+        MF.regClass(I.reg(0)) != MF.regClass(I.reg(1)))
+      return fail(B, Idx, &I, "COPY mixes register classes");
+  }
+
+  void checkPhi(uint32_t B, size_t Idx, const MachineInstr &I) {
+    if (I.Operands.size() < 3 || I.Operands.size() % 2 == 0)
+      return fail(B, Idx, &I, "PHI operand count must be odd and >= 3");
+    if (I.Operands[0].K != MOperand::Kind::RegDef)
+      return fail(B, Idx, &I, "PHI operand 0 must be a register def");
+    std::vector<uint32_t> Incoming;
+    for (size_t K = 1; K < I.Operands.size(); K += 2) {
+      if (I.Operands[K].K != MOperand::Kind::RegUse ||
+          I.Operands[K + 1].K != MOperand::Kind::Mbb)
+        return fail(B, Idx, &I, "PHI operands must be (use, block) pairs");
+      uint32_t P = I.Operands[K + 1].Mbb;
+      for (uint32_t Seen : Incoming)
+        if (Seen == P)
+          return fail(B, Idx, &I,
+                      "duplicate PHI predecessor bb" + std::to_string(P));
+      Incoming.push_back(P);
+      bool IsPred = false;
+      for (uint32_t Q : Preds[B])
+        IsPred |= Q == P;
+      if (!IsPred)
+        return fail(B, Idx, &I,
+                    "PHI names bb" + std::to_string(P) +
+                        " which is not a predecessor");
+    }
+    for (uint32_t P : Preds[B]) {
+      bool Named = false;
+      for (uint32_t Q : Incoming)
+        Named |= Q == P;
+      if (!Named)
+        return fail(B, Idx, &I,
+                    "PHI is missing an incoming value for predecessor bb" +
+                        std::to_string(P));
+    }
+    // All lanes of a PHI share the def's register class.
+    int DefC = classOf(I.reg(0));
+    for (size_t K = 1; K < I.Operands.size(); K += 2) {
+      int C = classOf(I.Operands[K].Reg);
+      if (DefC >= 0 && C >= 0 && DefC != C)
+        return fail(B, Idx, &I, "PHI mixes register classes");
+    }
+  }
+
+  void checkBlock(uint32_t B) {
+    const MachineBasicBlock &MBB = *MF.Blocks[B];
+    if (MBB.Id != B)
+      return fail(B, 0, nullptr, "block id does not match layout index");
+    if (MBB.Insts.empty())
+      return fail(B, 0, nullptr, "empty block (no terminator)");
+
+    bool Gen = Stage == MirStage::Generic;
+    bool SawTerm = false;
+    bool InPhis = true;
+    std::vector<uint32_t> Targets;
+
+    for (size_t Idx = 0; Idx != MBB.Insts.size(); ++Idx) {
+      const MachineInstr &I = *MBB.Insts[Idx];
+      if (!Err.empty())
+        return;
+
+      if (SawTerm)
+        return fail(B, Idx, &I,
+                    "instruction after the block terminator (dead code "
+                    "past JMP/RET)");
+
+      // Stage-gated opcode legality.
+      if (isGeneric(I.Opc) && !Gen)
+        return fail(B, Idx, &I, "generic opcode after instruction selection");
+      if (I.Opc == MOpc::PHI && atLeast(MirStage::NoPhi))
+        return fail(B, Idx, &I, "PHI survived PHI elimination");
+      if (isThreeAddr(I.Opc) && atLeast(MirStage::TwoAddr))
+        return fail(B, Idx, &I,
+                    "three-address form survived two-address rewriting");
+      if (I.Opc == MOpc::STACKADDR) {
+        if (Stage == MirStage::Final)
+          return fail(B, Idx, &I,
+                      "STACKADDR survived prologue/epilogue insertion");
+        if (static_cast<uint64_t>(I.Imm) >= MF.FrameObjects.size())
+          return fail(B, Idx, &I,
+                      "frame index " + std::to_string(I.Imm) +
+                          " out of range (" +
+                          std::to_string(MF.FrameObjects.size()) +
+                          " objects)");
+      }
+
+      // PHIs must be contiguous and leading.
+      if (I.Opc == MOpc::PHI) {
+        if (!InPhis)
+          return fail(B, Idx, &I, "PHI not at the start of its block");
+        checkPhi(B, Idx, I);
+        if (!Err.empty())
+          return;
+      } else {
+        InPhis = false;
+      }
+
+      checkOperandShape(B, Idx, I);
+      if (!Err.empty())
+        return;
+      if (!Gen)
+        checkRegClasses(B, Idx, I);
+      if (!Err.empty())
+        return;
+
+      // Tied operands after two-address rewriting.
+      if (isTwoAddr(I.Opc) && atLeast(MirStage::TwoAddr)) {
+        if (I.Operands.size() < 2 ||
+            I.Operands[0].K != MOperand::Kind::RegDef ||
+            I.Operands[1].K != MOperand::Kind::RegUse)
+          return fail(B, Idx, &I, "two-address instruction lacks tied "
+                                  "def/use operand pair");
+        if (I.Operands[0].Reg != I.Operands[1].Reg)
+          return fail(B, Idx, &I,
+                      "tie constraint violated: def " +
+                          regName(I.Operands[0].Reg) + " != use " +
+                          regName(I.Operands[1].Reg));
+      }
+
+      // Collect branch targets and terminator state.
+      if (Gen) {
+        if (I.Opc == MOpc::G_BR || I.Opc == MOpc::G_BRCOND) {
+          for (const MOperand &Op : I.Operands)
+            if (Op.K == MOperand::Kind::Mbb)
+              Targets.push_back(Op.Mbb);
+        }
+        if (isGenericTerm(I.Opc))
+          SawTerm = true;
+      } else {
+        if (I.Opc == MOpc::JMP || I.Opc == MOpc::JCC) {
+          for (const MOperand &Op : I.Operands)
+            if (Op.K == MOperand::Kind::Mbb)
+              Targets.push_back(Op.Mbb);
+        }
+        if (isUncondTerm(I.Opc))
+          SawTerm = true;
+      }
+    }
+
+    if (!SawTerm) {
+      const MachineInstr &Last = *MBB.Insts.back();
+      return fail(B, MBB.Insts.size() - 1, &Last,
+                  Gen ? "block does not end in a generic terminator"
+                      : "block does not end in JMP/RET/UD2");
+    }
+
+    // Branch targets and the successor list must agree as sets.
+    for (uint32_t T : Targets) {
+      bool Listed = false;
+      for (uint32_t S : MBB.Succs)
+        Listed |= S == T;
+      if (!Listed)
+        return fail(B, 0, nullptr,
+                    "branch target bb" + std::to_string(T) +
+                        " missing from the successor list");
+    }
+    for (uint32_t S : MBB.Succs) {
+      bool Branched = false;
+      for (uint32_t T : Targets)
+        Branched |= T == S;
+      if (!Branched)
+        return fail(B, 0, nullptr,
+                    "successor bb" + std::to_string(S) +
+                        " has no branch targeting it");
+      if (S >= MF.Blocks.size())
+        return fail(B, 0, nullptr,
+                    "successor bb" + std::to_string(S) + " out of range");
+    }
+  }
+
+  /// Every virtual-register use must be dominated by a definition; solved
+  /// as a forward must-be-defined dataflow problem (intersection meet),
+  /// with PHI uses checked against the incoming edge's predecessor.
+  void checkDefBeforeUse() {
+    uint32_t N = MF.numVRegs();
+    size_t NB = MF.Blocks.size();
+    std::vector<Bitset> Gen(NB, Bitset(N)), Kill(NB, Bitset(N));
+    for (size_t B = 0; B != NB; ++B)
+      for (MachineInstr *I : MF.Blocks[B]->Insts)
+        forEachReg(*I, [&](const MOperand *Op, bool IsDef) {
+          if (IsDef && isVReg(Op->Reg) && Op->Reg != MLVM_SPILL_MARKER &&
+              vregOk(Op->Reg))
+            Gen[B].set(Op->Reg - MREG_VBASE);
+        });
+    Bitset Entry(N); // nothing defined on function entry
+    DataflowResult DF =
+        solveDataflow(MF, N, DataflowDir::Forward, DataflowMeet::Intersect,
+                      Gen, Kill, &Entry);
+
+    for (size_t B = 0; B != NB; ++B) {
+      Bitset Defined = DF.In[B];
+      auto &Insts = MF.Blocks[B]->Insts;
+      for (size_t Idx = 0; Idx != Insts.size(); ++Idx) {
+        const MachineInstr &I = *Insts[Idx];
+        if (I.Opc == MOpc::PHI) {
+          for (size_t K = 1; K + 1 < I.Operands.size(); K += 2) {
+            MReg R = I.Operands[K].Reg;
+            uint32_t P = I.Operands[K + 1].Mbb;
+            if (!isVReg(R) || R == MLVM_SPILL_MARKER || !vregOk(R) ||
+                P >= NB)
+              continue;
+            if (!DF.Out[P].test(R - MREG_VBASE))
+              return fail(static_cast<uint32_t>(B), Idx, &I,
+                          "PHI reads " + regName(R) +
+                              " which is not defined on the edge from bb" +
+                              std::to_string(P));
+          }
+        } else {
+          forEachReg(I, [&](const MOperand *Op, bool IsDef) {
+            if (IsDef || !isVReg(Op->Reg) ||
+                Op->Reg == MLVM_SPILL_MARKER || !vregOk(Op->Reg))
+              return;
+            if (!Defined.test(Op->Reg - MREG_VBASE))
+              fail(static_cast<uint32_t>(B), Idx, &I,
+                   "use of " + regName(Op->Reg) +
+                       " before any definition reaches it");
+          });
+          if (!Err.empty())
+            return;
+        }
+        forEachReg(I, [&](const MOperand *Op, bool IsDef) {
+          if (IsDef && isVReg(Op->Reg) && Op->Reg != MLVM_SPILL_MARKER &&
+              vregOk(Op->Reg))
+            Defined.set(Op->Reg - MREG_VBASE);
+        });
+      }
+    }
+  }
+
+  /// After allocation, no caller-saved physical register may carry a value
+  /// across a call. Modeled as a forward "dirty register" analysis: a call
+  /// marks its clobber set dirty (minus the RAX/RDX return registers); any
+  /// real write cleans a register; reading a dirty register is an error.
+  void checkCallClobbers() {
+    constexpr size_t N = 48;
+    auto ClobberSet = [] {
+      Bitset S(N);
+      for (Reg R : {Reg::RCX, Reg::RSI, Reg::RDI, Reg::R8, Reg::R9,
+                    Reg::R10, Reg::R11})
+        S.set(pgp(R));
+      for (unsigned X = 0; X != 16; ++X)
+        S.set(32 + X);
+      return S;
+    }();
+
+    size_t NB = MF.Blocks.size();
+    std::vector<Bitset> Gen(NB, Bitset(N)), Kill(NB, Bitset(N));
+    auto ApplyDefs = [&](const MachineInstr &I, Bitset &Dirty,
+                         Bitset *Written) {
+      if (I.Opc == MOpc::CALL) {
+        Dirty.unionWith(ClobberSet);
+        Dirty.reset(pgp(Reg::RAX));
+        Dirty.reset(pgp(Reg::RDX));
+        if (Written) {
+          Written->unionWith(ClobberSet);
+          Written->set(pgp(Reg::RAX));
+          Written->set(pgp(Reg::RDX));
+        }
+        return;
+      }
+      auto Def = [&](unsigned P, bool IsDef) {
+        if (!IsDef || P >= N)
+          return;
+        Dirty.reset(P);
+        if (Written)
+          Written->set(P);
+      };
+      forEachReg(I, [&](const MOperand *Op, bool IsDef) {
+        if (!isVReg(Op->Reg) && Op->Reg != MREG_NONE &&
+            Op->Reg != MLVM_SPILL_MARKER)
+          Def(Op->Reg, IsDef);
+      });
+      forEachImplicitPhys(I, Def);
+    };
+
+    for (size_t B = 0; B != NB; ++B) {
+      Bitset Dirty(N), Written(N);
+      for (MachineInstr *I : MF.Blocks[B]->Insts)
+        ApplyDefs(*I, Dirty, &Written);
+      Gen[B] = std::move(Dirty);
+      Kill[B] = std::move(Written);
+    }
+    Bitset Entry(N); // all registers clean on function entry
+    DataflowResult DF = solveDataflow(
+        MF, N, DataflowDir::Forward, DataflowMeet::Union, Gen, Kill, &Entry);
+
+    for (size_t B = 0; B != NB; ++B) {
+      Bitset Dirty = DF.In[B];
+      auto &Insts = MF.Blocks[B]->Insts;
+      for (size_t Idx = 0; Idx != Insts.size(); ++Idx) {
+        const MachineInstr &I = *Insts[Idx];
+        auto Use = [&](unsigned P, bool IsDef) {
+          if (IsDef || P >= N)
+            return;
+          if (Dirty.test(P))
+            fail(static_cast<uint32_t>(B), Idx, &I,
+                 "reads " + regName(P) +
+                     " whose value was clobbered by an earlier call "
+                     "(caller-saved register live across a call)");
+        };
+        forEachReg(I, [&](const MOperand *Op, bool IsDef) {
+          if (!isVReg(Op->Reg) && Op->Reg != MREG_NONE &&
+              Op->Reg != MLVM_SPILL_MARKER)
+            Use(Op->Reg, IsDef);
+        });
+        forEachImplicitPhys(I, Use);
+        if (!Err.empty())
+          return;
+        ApplyDefs(I, Dirty, nullptr);
+      }
+    }
+  }
+
+  const MirFunction &MF;
+  MirStage Stage;
+  const char *PassName;
+  uint32_t NumSpillSlots;
+  std::vector<std::vector<uint32_t>> Preds;
+  std::string Err;
+};
+
+} // namespace
+
+std::string mlvm::verifyMir(const MirFunction &MF, MirStage Stage,
+                            const char *PassName, uint32_t NumSpillSlots) {
+  return MirVerifier(MF, Stage, PassName, NumSpillSlots).run();
+}
+
+void mlvm::verifyMirOrDie(const MirFunction &MF, MirStage Stage,
+                          const char *PassName, uint32_t NumSpillSlots) {
+  std::string Err = verifyMir(MF, Stage, PassName, NumSpillSlots);
+  if (Err.empty())
+    return;
+  std::fprintf(stderr, "%s\n", Err.c_str());
+  reportFatalError("MIR verification failed");
+}

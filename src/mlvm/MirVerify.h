@@ -1,0 +1,66 @@
+//===- mlvm/MirVerify.h - MIR verifier --------------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style verify-after-every-pass discipline for the MIR pipeline.
+/// verifyMir checks structural invariants appropriate to a pipeline stage
+/// (see MirStage) and reports the first violation with the pass name,
+/// function, block, instruction index and a printed instruction — so a
+/// pass bug fails loudly at the pass that introduced it instead of as a
+/// miscompile three passes later.
+///
+/// Checks per stage (cumulative unless noted):
+///   Generic   gMIR after GlobalISel translate: G_* terminators, PHIs
+///             allowed, typed-vreg def-before-use.
+///   Ssa       after FastISel/SelectionDAG/GlobalISel select: machine
+///             terminators, PHIs allowed, def-before-use, reg-class
+///             agreement, no G_* opcodes.
+///   NoPhi     after PHI elimination: no PHIs; SSA no longer required.
+///   TwoAddr   after two-address rewriting: no three-address forms; tied
+///             def/use operands agree.
+///   Allocated after register allocation: no virtual registers except the
+///             spill marker base; spill slots in range; no caller-saved
+///             register holds a value across a call (clobber analysis).
+///   Final     after prologue/epilogue insertion: no STACKADDR, no spill
+///             markers, frame references are rbp-based.
+///
+/// Every stage checks block/terminator well-formedness: nonempty blocks,
+/// exactly one trailing terminator, nothing after an unconditional
+/// terminator, branch targets in range and agreeing with Succs, and PHI
+/// operand/predecessor agreement where PHIs are legal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_MLVM_MIRVERIFY_H
+#define QCF_MLVM_MIRVERIFY_H
+
+#include "mlvm/Mir.h"
+#include <string>
+
+namespace qcf::mlvm {
+
+enum class MirStage : uint8_t {
+  Generic,   ///< GlobalISel gMIR, before instruction selection.
+  Ssa,       ///< Selected machine instructions, still in SSA form.
+  NoPhi,     ///< After PHI elimination.
+  TwoAddr,   ///< After two-address rewriting.
+  Allocated, ///< After register allocation.
+  Final,     ///< After prologue/epilogue insertion.
+};
+
+/// Verifies \p MF for \p Stage. Returns an empty string when the function
+/// is well-formed, else a diagnostic mentioning \p PassName.
+/// \p NumSpillSlots bounds spill-marker displacements (Allocated stage).
+std::string verifyMir(const MirFunction &MF, MirStage Stage,
+                      const char *PassName, uint32_t NumSpillSlots = 0);
+
+/// verifyMir, escalating any failure to reportFatalError.
+void verifyMirOrDie(const MirFunction &MF, MirStage Stage,
+                    const char *PassName, uint32_t NumSpillSlots = 0);
+
+} // namespace qcf::mlvm
+
+#endif // QCF_MLVM_MIRVERIFY_H

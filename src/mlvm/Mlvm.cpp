@@ -8,7 +8,11 @@
 #include "mlvm/JitLink.h"
 #include "mlvm/Mc.h"
 #include "mlvm/MirPasses.h"
+#include "mlvm/MirVerify.h"
 #include "mlvm/Passes.h"
+#include "qir/Verify.h"
+#include "support/Compiler.h"
+#include "x64/EncodingLint.h"
 
 using namespace qcf;
 using namespace qcf::mlvm;
@@ -83,15 +87,23 @@ MlvmBackend::compile(const qir::Module &M,
                      const backend::CompileOptions &Opts) {
   obs::CompileObs Obs(Opts.Obs, name());
   TimeTrace *Trace = Obs.trace();
-  std::vector<uint8_t> Object = compileToObject(M, Trace);
+  std::vector<uint8_t> Object = compileToObject(M, Trace, Opts.Verify);
   std::unique_ptr<LinkedImage> Image = jitLink(Object, Trace);
   return std::make_unique<MlvmModule>(std::move(Image));
 }
 
 std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,
-                                                  TimeTrace *Trace) {
+                                                  TimeTrace *Trace,
+                                                  VerifyOptions Verify) {
   LastStats = IselStats();
   LastIrObjects = 0;
+
+  if (Verify.Ir) {
+    if (auto Err = qir::verify(M)) {
+      fprintf(stderr, "%s\n", Err->c_str());
+      reportFatalError("QIR verification failed (mlvm)");
+    }
+  }
 
   TargetMachine *TM;
   {
@@ -125,15 +137,25 @@ std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,
     std::unique_ptr<MirFunction> MIR;
     {
       TimeTraceScope Scope(Trace, "mlvm.isel");
-      MIR = selectInstructions(*IR, Opts.Isel, Trace, &LastStats);
+      MIR = selectInstructions(*IR, Opts.Isel, Trace, &LastStats, Verify.Mir);
     }
+    if (Verify.Mir)
+      verifyMirOrDie(*MIR, MirStage::Ssa, "isel");
 
     runPhiElimination(*MIR, Trace);
+    if (Verify.Mir)
+      verifyMirOrDie(*MIR, MirStage::NoPhi, "phi-elim");
     runTwoAddress(*MIR, Trace);
+    if (Verify.Mir)
+      verifyMirOrDie(*MIR, MirStage::TwoAddr, "two-address");
     MlvmRegAllocResult RA = runRegAlloc(
         *MIR, Opts.Optimize ? RegAllocKind::Greedy : RegAllocKind::Fast,
         Trace);
+    if (Verify.Mir)
+      verifyMirOrDie(*MIR, MirStage::Allocated, "regalloc", RA.NumSpillSlots);
     FrameLayout Frame = runPrologEpilog(*MIR, RA, Trace);
+    if (Verify.Mir)
+      verifyMirOrDie(*MIR, MirStage::Final, "prolog-epilog");
 
     printFunction(*MIR, Frame, &Mc, Trace);
 
@@ -142,6 +164,25 @@ std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,
       TimeTraceScope Scope(Trace, "mlvm.irdestroy");
       IR.reset();
       MIR.reset();
+    }
+  }
+
+  if (Verify.Mc) {
+    // Lint each function's emitted bytes. Call relocations (rel32,
+    // patched by the JIT linker) are passed through so their fields are
+    // exempt from the intra-function branch-target check.
+    for (const ElfSymbol &S : Mc.Symbols) {
+      std::vector<x64::LintReloc> Relocs;
+      for (const ElfReloc &R : Mc.Relocs)
+        if (R.Offset >= S.Offset && R.Offset < S.Offset + S.Size)
+          Relocs.push_back({R.Offset - S.Offset, 4});
+      std::string Err =
+          x64::lintFunction(Mc.Text.data() + S.Offset, S.Size, Relocs);
+      if (!Err.empty()) {
+        fprintf(stderr, "%s: in function '%s'\n", Err.c_str(),
+                S.Name.c_str());
+        reportFatalError("machine-code lint failed (mlvm)");
+      }
     }
   }
 

@@ -70,8 +70,12 @@ public:
   /// Compiles \p M down to the in-memory ELF64 relocatable object
   /// without linking it. This is the artifact the JIT linker consumes
   /// (§V-B7); exposed so tests can validate it with external binutils.
-  std::vector<uint8_t> compileToObject(const qir::Module &M,
-                                       TimeTrace *Trace);
+  /// \p Verify selects which verification layers run along the way
+  /// (IR before translation, MIR after every machine pass, the x64
+  /// encoding lint over the emitted text); failures abort the process.
+  std::vector<uint8_t> compileToObject(const qir::Module &M, TimeTrace *Trace,
+                                       VerifyOptions Verify =
+                                           VerifyOptions::fromEnv());
 
   /// Census/statistics of the most recent compile() call.
   const IselStats &lastIselStats() const { return LastStats; }

@@ -249,10 +249,15 @@ private:
       if (LHS != Type::I64 || RHS != Type::I64 || I.Ty != Type::I128)
         return failAt(V, "pack.i128 requires two i64 lanes");
       return std::nullopt;
+    case Opcode::RotR:
+      // No back-end (or the interpreter) implements a two-lane rotate;
+      // reject it here rather than let each lowering mis-handle it.
+      if (LHS == Type::I128)
+        return failAt(V, "rotr is not defined for i128");
+      [[fallthrough]];
     case Opcode::Shl:
     case Opcode::LShr:
     case Opcode::AShr:
-    case Opcode::RotR:
       if (!isIntType(LHS) || LHS != I.Ty || !isIntType(RHS))
         return failAt(V, "shift type mismatch");
       return std::nullopt;
@@ -310,6 +315,8 @@ private:
         return failAt(V, "atomicadd address must be ptr");
       if (I.Ty != Type::I32 && I.Ty != Type::I64)
         return failAt(V, "atomicadd requires i32/i64");
+      if (F.valueType(I.B) != I.Ty)
+        return failAt(V, "atomicadd operand type mismatch");
       return std::nullopt;
     default:
       QCF_UNREACHABLE("unexpected mem opcode");
@@ -327,13 +334,21 @@ private:
       return failAt(V, "call arity mismatch");
     if (static_cast<size_t>(I.A) + I.B > F.CallArgs.size())
       return failAt(V, "call args out of pool range");
+    unsigned Slots = 0;
     for (unsigned K = 0; K != I.B; ++K) {
       ValueId Arg = F.CallArgs[I.A + K];
       if (auto Err = checkUse(V, B, Arg))
         return Err;
+      if (Sig.ParamTypes[K] == Type::Void)
+        return failAt(V, "call parameter of void type");
       if (F.valueType(Arg) != Sig.ParamTypes[K])
         return failAt(V, "call argument type mismatch");
+      Slots += isTwoLane(Sig.ParamTypes[K]) ? 2 : 1;
     }
+    // The runtime ABI passes every argument in integer registers; two-lane
+    // values take two slots and there are six (see runtime/Runtime.h).
+    if (Slots > 6)
+      return failAt(V, "call exceeds the 6 argument slots of the runtime ABI");
     return std::nullopt;
   }
 

@@ -1,0 +1,48 @@
+//===- support/VerifyOptions.cpp - Verification knob -----------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VerifyOptions.h"
+#include <cstdlib>
+
+using namespace qcf;
+
+VerifyOptions VerifyOptions::parse(std::string_view Spec) {
+  VerifyOptions V;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Tok = Spec.substr(
+        Pos, Comma == std::string_view::npos ? Spec.size() - Pos
+                                             : Comma - Pos);
+    if (Tok == "all" || Tok == "1")
+      V = all();
+    else if (Tok == "none" || Tok == "0")
+      V = none();
+    else if (Tok == "ir")
+      V.Ir = true;
+    else if (Tok == "mir")
+      V.Mir = true;
+    else if (Tok == "mc")
+      V.Mc = true;
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return V;
+}
+
+VerifyOptions VerifyOptions::fromEnv() {
+  static const VerifyOptions Cached = [] {
+    if (const char *Spec = std::getenv("QCF_VERIFY"))
+      return parse(Spec);
+#ifdef QCF_EXPENSIVE_CHECKS
+    return all();
+#else
+    return none();
+#endif
+  }();
+  return Cached;
+}

@@ -1,0 +1,53 @@
+//===- support/VerifyOptions.h - Verification knob --------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Which verification layers run during compilation (see DESIGN.md
+/// "Verification layers"):
+///
+///   - Ir:  qir::verify on the module before any back-end consumes it;
+///   - Mir: mlvm::verifyMir after every MIR pipeline pass;
+///   - Mc:  the x64 encoding lint over emitted machine code.
+///
+/// The default comes from the QCF_VERIFY environment variable, a
+/// comma-separated subset of {ir,mir,mc} (or "all"/"none"). When the
+/// variable is unset, everything is enabled in QCF_EXPENSIVE_CHECKS builds
+/// and disabled otherwise — so release binaries pay nothing unless asked.
+///
+/// Lives in support/ (not backend/) because the mlvm back-end consumes it
+/// and backend/ links against mlvm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_SUPPORT_VERIFYOPTIONS_H
+#define QCF_SUPPORT_VERIFYOPTIONS_H
+
+#include <string_view>
+
+namespace qcf {
+
+struct VerifyOptions {
+  bool Ir = false;
+  bool Mir = false;
+  bool Mc = false;
+
+  bool any() const { return Ir || Mir || Mc; }
+
+  static VerifyOptions all() { return {true, true, true}; }
+  static VerifyOptions none() { return {}; }
+
+  /// Parses a QCF_VERIFY-style spec: comma-separated "ir"/"mir"/"mc",
+  /// or "all"/"none". Unknown tokens are ignored.
+  static VerifyOptions parse(std::string_view Spec);
+
+  /// The process-wide default: QCF_VERIFY if set, else all-on in
+  /// QCF_EXPENSIVE_CHECKS builds, else all-off. Computed once.
+  static VerifyOptions fromEnv();
+};
+
+} // namespace qcf
+
+#endif // QCF_SUPPORT_VERIFYOPTIONS_H

@@ -1,0 +1,48 @@
+//===- x64/EncodingLint.h - Machine-code encoding lint ----------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A length-decoder over emitted x86-64 machine code, covering exactly the
+/// instruction surface qcf's Assembler can produce. The expensive-checks
+/// build runs it over every emitted function to catch encoder bugs at the
+/// byte level:
+///   - every byte must belong to a decodable instruction (no garbage or
+///     truncated encodings, and the decode must cover the buffer exactly);
+///   - intra-function rel32 branch targets (jmp/jcc, and calls without a
+///     relocation) must land on an instruction start, not mid-instruction;
+///   - relocation ranges must lie strictly inside one instruction's
+///     immediate/displacement bytes (never at an opcode byte, never
+///     straddling two instructions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_X64_ENCODINGLINT_H
+#define QCF_X64_ENCODINGLINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcf::x64 {
+
+/// A patched byte range inside the linted code: Offset is relative to the
+/// function start; Width is the patch size (4 for rel32 call relocations,
+/// 8 for absolute-address immediates).
+struct LintReloc {
+  uint64_t Offset;
+  uint32_t Width;
+};
+
+/// Lints \p Size bytes of machine code. Returns an empty string when the
+/// bytes decode cleanly and all checks pass, else a diagnostic with the
+/// failing offset.
+std::string lintFunction(const uint8_t *Code, size_t Size,
+                         const std::vector<LintReloc> &Relocs = {});
+
+} // namespace qcf::x64
+
+#endif // QCF_X64_ENCODINGLINT_H
