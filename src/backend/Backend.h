@@ -17,6 +17,7 @@
 
 #include "obs/Obs.h"
 #include "qir/Function.h"
+#include "support/MemContext.h"
 #include "support/TimeTrace.h"
 #include "support/VerifyOptions.h"
 #include <memory>
@@ -25,12 +26,9 @@
 namespace qcf::backend {
 
 /// Per-compile options. This is the extension point of the back-end
-/// interface: new knobs (observability today; opt level, CPU features,
-/// code model tomorrow) are added here instead of growing every
-/// Backend::compile override a new parameter.
-///
-/// The constructors are explicit so the deprecated TimeTrace* overload of
-/// compile() stays unambiguous during the migration window.
+/// interface: new knobs (observability, verification, allocation mode
+/// today; opt level, CPU features, code model tomorrow) are added here
+/// instead of growing every Backend::compile override a new parameter.
 struct CompileOptions {
   /// Observability consumers (all optional): aggregate timings, metrics
   /// registry, Perfetto trace sink. See obs/Obs.h.
@@ -41,6 +39,13 @@ struct CompileOptions {
   /// to the process-wide QCF_VERIFY / QCF_EXPENSIVE_CHECKS setting; see
   /// support/VerifyOptions.h and DESIGN.md "Verification layers".
   VerifyOptions Verify = VerifyOptions::fromEnv();
+
+  /// How this compile allocates its IR/MIR/scratch memory: one MemContext
+  /// is created per compile() call with this mode. Heap is the paper-
+  /// faithful default (per-object allocation, §V-B1); Arena is the
+  /// production mode measured by E14. Defaults to QCF_ALLOC; see
+  /// support/MemContext.h and DESIGN.md "Compilation memory".
+  AllocMode Alloc = allocModeFromEnv();
 
   CompileOptions() = default;
   explicit CompileOptions(obs::ObsContext Obs) : Obs(Obs) {}
@@ -91,15 +96,6 @@ public:
   /// Compiles with default options (structural metrics only).
   std::unique_ptr<CompiledModule> compile(const qir::Module &M) {
     return compile(M, CompileOptions());
-  }
-
-  /// Deprecated pre-CompileOptions signature; kept as a shim for one
-  /// release. \p Trace semantics match CompileOptions(Trace).
-  [[deprecated("pass CompileOptions (wraps the TimeTrace in an ObsContext) "
-               "instead of a bare TimeTrace*")]]
-  std::unique_ptr<CompiledModule> compile(const qir::Module &M,
-                                          TimeTrace *Trace) {
-    return compile(M, CompileOptions(Trace));
   }
 };
 

@@ -23,42 +23,78 @@ namespace {
 /// post-order, and an iterative dominator tree over CIR. The results feed
 /// nothing downstream in QCF's pipeline (lowering is per-block), but the
 /// stage exists in Cranelift and its cost is part of the breakdown.
+///
+/// All side tables draw from the compile's scratch pool: the predecessor
+/// lists are CSR-shaped (one offset array + one flat list) rather than a
+/// vector-of-vectors, so the whole analysis is a handful of flat pool
+/// buffers that the per-function clear releases wholesale in Arena mode.
 struct CirAnalyses {
-  std::vector<std::vector<uint32_t>> Preds;
-  std::vector<uint32_t> Rpo;
-  std::vector<uint32_t> Idom;
+  PoolVector<uint32_t> PredStart; ///< CSR offsets, size N+1.
+  PoolVector<uint32_t> PredList;  ///< Flat predecessor ids.
+  PoolVector<uint32_t> Rpo;
+  PoolVector<uint32_t> Idom;
+
+  explicit CirAnalyses(MemPool &Pool)
+      : PredStart(Pool), PredList(Pool), Rpo(Pool), Idom(Pool) {}
+
+  /// Predecessors of \p B.
+  std::pair<const uint32_t *, const uint32_t *> preds(uint32_t B) const {
+    return {PredList.data() + PredStart[B], PredList.data() + PredStart[B + 1]};
+  }
 };
 
-void runIrPasses(const CFunction &CF, CirAnalyses *Out) {
+void runIrPasses(const CFunction &CF, CirAnalyses *Out, MemPool &Pool) {
   size_t N = CF.Blocks.size();
-  Out->Preds.assign(N, {});
-  std::vector<std::vector<uint32_t>> Succs(N);
 
-  for (CBlock B = CF.FirstBlock; B != C_INVALID; B = CF.BlockNext[B]) {
+  // Successors: every block ends in at most two edges, so one counting
+  // pass + one fill pass build the CSR tables without per-block vectors.
+  PoolVector<uint32_t> SuccStart(N + 1, 0, Pool), SuccList(Pool);
+  auto ForEachSucc = [&](uint32_t B, auto Fn) {
     uint32_t Last = CF.Blocks[B].LastInst;
     if (Last == C_INVALID)
-      continue;
+      return;
     const CInst &T = CF.Insts[Last];
     if (T.Op == COp::Jump) {
-      Succs[B].push_back(T.A);
+      Fn(T.A);
     } else if (T.Op == COp::Brif) {
-      Succs[B].push_back(CF.Edges[T.B].Target);
-      Succs[B].push_back(CF.Edges[T.C].Target);
+      Fn(CF.Edges[T.B].Target);
+      Fn(CF.Edges[T.C].Target);
     }
+  };
+  Out->PredStart.assign(N + 1, 0);
+  for (CBlock B = CF.FirstBlock; B != C_INVALID; B = CF.BlockNext[B])
+    ForEachSucc(B, [&](uint32_t S) {
+      ++SuccStart[B + 1];
+      ++Out->PredStart[S + 1];
+    });
+  for (uint32_t B = 0; B != N; ++B) {
+    SuccStart[B + 1] += SuccStart[B];
+    Out->PredStart[B + 1] += Out->PredStart[B];
   }
-  for (uint32_t B = 0; B != N; ++B)
-    for (uint32_t S : Succs[B])
-      Out->Preds[S].push_back(B);
+  SuccList.assign(SuccStart[N], 0);
+  Out->PredList.assign(Out->PredStart[N], 0);
+  {
+    PoolVector<uint32_t> SuccFill(SuccStart.begin(), SuccStart.end() - 1,
+                                  Pool),
+        PredFill(Out->PredStart.begin(), Out->PredStart.end() - 1, Pool);
+    for (CBlock B = CF.FirstBlock; B != C_INVALID; B = CF.BlockNext[B])
+      ForEachSucc(B, [&](uint32_t S) {
+        SuccList[SuccFill[B]++] = S;
+        Out->PredList[PredFill[S]++] = B;
+      });
+  }
 
   // DFS post-order from the entry block.
-  std::vector<uint8_t> State(N, 0);
-  std::vector<uint32_t> Stack{CF.FirstBlock}, Post;
-  std::vector<size_t> NextChild(N, 0);
+  PoolVector<uint8_t> State(N, 0, Pool);
+  PoolVector<uint32_t> Stack(Pool), Post(Pool);
+  PoolVector<size_t> NextChild(N, 0, Pool);
+  Stack.push_back(CF.FirstBlock);
   State[CF.FirstBlock] = 1;
   while (!Stack.empty()) {
     uint32_t B = Stack.back();
-    if (NextChild[B] < Succs[B].size()) {
-      uint32_t S = Succs[B][NextChild[B]++];
+    size_t NumSuccs = SuccStart[B + 1] - SuccStart[B];
+    if (NextChild[B] < NumSuccs) {
+      uint32_t S = SuccList[SuccStart[B] + NextChild[B]++];
       if (!State[S]) {
         State[S] = 1;
         Stack.push_back(S);
@@ -70,7 +106,7 @@ void runIrPasses(const CFunction &CF, CirAnalyses *Out) {
   }
   Out->Rpo.assign(Post.rbegin(), Post.rend());
 
-  std::vector<uint32_t> RpoIdx(N, UINT32_MAX);
+  PoolVector<uint32_t> RpoIdx(N, UINT32_MAX, Pool);
   for (uint32_t I = 0; I != Out->Rpo.size(); ++I)
     RpoIdx[Out->Rpo[I]] = I;
   Out->Idom.assign(N, UINT32_MAX);
@@ -91,10 +127,11 @@ void runIrPasses(const CFunction &CF, CirAnalyses *Out) {
     for (size_t I = 1; I < Out->Rpo.size(); ++I) {
       uint32_t B = Out->Rpo[I];
       uint32_t New = UINT32_MAX;
-      for (uint32_t P : Out->Preds[B]) {
-        if (Out->Idom[P] == UINT32_MAX)
+      auto [P, E] = Out->preds(B);
+      for (; P != E; ++P) {
+        if (Out->Idom[*P] == UINT32_MAX)
           continue;
-        New = New == UINT32_MAX ? P : Intersect(P, New);
+        New = New == UINT32_MAX ? *P : Intersect(*P, New);
       }
       if (New != Out->Idom[B]) {
         Out->Idom[B] = New;
@@ -118,6 +155,9 @@ CranelineBackend::compile(const qir::Module &M,
                           const backend::CompileOptions &COpts) {
   obs::CompileObs CompObs(COpts.Obs, name());
   TimeTrace *Trace = CompObs.trace();
+  MemContext Mem(COpts.Alloc);
+  uint64_t ScratchBytes0 = Mem.scratch().bytesAllocated();
+  uint64_t ScratchAllocs0 = Mem.scratch().numAllocs();
   auto Result = std::make_unique<CranelineModule>();
 
   struct FnOut {
@@ -142,9 +182,12 @@ CranelineBackend::compile(const qir::Module &M,
     }
     {
       TimeTraceScope Scope(Trace, "craneline.irpasses");
-      CirAnalyses An;
-      runIrPasses(CF, &An);
+      CirAnalyses An(Mem.scratch());
+      runIrPasses(CF, &An, Mem.scratch());
     }
+    // The analyses are per-function scratch; recycle the slab (arena
+    // mode) or verify the frees balanced (heap mode).
+    Mem.scratch().clear();
     VCode VC;
     lowerFunction(CF, &VC, Trace); // traces iselprepare + isel internally
     RegAllocResult RA;
@@ -194,6 +237,17 @@ CranelineBackend::compile(const qir::Module &M,
       Off += O.Emitted.Code.size();
     }
     Result->Mem.makeExecutable();
+  }
+
+  if (COpts.Obs.Metrics) {
+    obs::MetricsRegistry &Reg = *COpts.Obs.Metrics;
+    Reg.counter("mem." + name() + ".irpasses.bytes")
+        .add(Mem.scratch().bytesAllocated() - ScratchBytes0);
+    Reg.counter("mem." + name() + ".irpasses.allocs")
+        .add(Mem.scratch().numAllocs() - ScratchAllocs0);
+    Reg.counter("mem." + name() + ".compiles." +
+                allocModeName(Mem.mode()))
+        .inc();
   }
   return Result;
 }

@@ -11,7 +11,7 @@ using namespace qcf::mlvm;
 
 void Value::replaceAllUsesWith(Value *New) {
   // Snapshot: setOperand edits the user list we are iterating.
-  std::vector<Instruction *> Snapshot = Users;
+  std::vector<Instruction *> Snapshot(Users.begin(), Users.end());
   for (Instruction *U : Snapshot)
     for (unsigned I = 0; I != U->numOperands(); ++I)
       if (U->operand(I) == this)
@@ -19,26 +19,32 @@ void Value::replaceAllUsesWith(Value *New) {
 }
 
 MFunction::MFunction(std::string Name, std::vector<Type> ParamTypes,
-                     Type RetType)
-    : Name(std::move(Name)), RetType(RetType) {
+                     Type RetType, MemPool &Pool)
+    : Name(std::move(Name)), RetType(RetType), Pool(&Pool) {
   for (unsigned I = 0; I != ParamTypes.size(); ++I)
-    Args.push_back(new Argument(ParamTypes[I], I));
+    Args.push_back(Pool.create<Argument>(ParamTypes[I], I, Pool));
 }
 
 MFunction::~MFunction() {
-  // Destruction walks and frees every object — the cost the paper notes
-  // as "destructing the LLVM module is fairly expensive" (§V-B1). Drop
-  // all operand links first so cross-block use-list maintenance never
-  // touches freed instructions.
+  // Heap mode: destruction walks and frees every object — the cost the
+  // paper notes as "destructing the LLVM module is fairly expensive"
+  // (§V-B1). Drop all operand links first so cross-block use-list
+  // maintenance never touches freed instructions.
+  //
+  // Arena mode skips the walk entirely: the nodes (and every pool-backed
+  // vector inside them) are released wholesale when the compile's
+  // MemContext clears or dies. That bulk release is the ablated cost.
+  if (Pool->isArena())
+    return;
   for (BasicBlock *B : Blocks)
     for (Instruction *I : B->Insts)
       I->dropAllOperands();
   for (BasicBlock *B : Blocks)
-    delete B;
+    Pool->destroy(B);
   for (Value *C : Constants)
-    delete C;
+    Pool->destroy(C);
   for (Argument *A : Args)
-    delete A;
+    Pool->destroy(A);
 }
 
 ConstantInt *MFunction::constInt(Type Ty, uint64_t V) {
@@ -46,7 +52,7 @@ ConstantInt *MFunction::constInt(Type Ty, uint64_t V) {
     if (auto *CI = dynamic_cast<ConstantInt *>(C))
       if (CI->type() == Ty && CI->Val == V)
         return CI;
-  auto *CI = new ConstantInt(Ty, V);
+  auto *CI = Pool->create<ConstantInt>(Ty, V, *Pool);
   Constants.push_back(CI);
   return CI;
 }
@@ -56,7 +62,7 @@ ConstantI128 *MFunction::constI128(Int128 V) {
     if (auto *CI = dynamic_cast<ConstantI128 *>(C))
       if (CI->Val == V)
         return CI;
-  auto *CI = new ConstantI128(V);
+  auto *CI = Pool->create<ConstantI128>(V, *Pool);
   Constants.push_back(CI);
   return CI;
 }
@@ -66,13 +72,13 @@ ConstantF64 *MFunction::constF64(uint64_t Bits) {
     if (auto *CF = dynamic_cast<ConstantF64 *>(C))
       if (CF->Bits == Bits)
         return CF;
-  auto *CF = new ConstantF64(Bits);
+  auto *CF = Pool->create<ConstantF64>(Bits, *Pool);
   Constants.push_back(CF);
   return CF;
 }
 
 ConstantPtr *MFunction::constPtr(uint64_t Addr) {
-  auto *CP = new ConstantPtr(Addr);
+  auto *CP = Pool->create<ConstantPtr>(Addr, *Pool);
   Constants.push_back(CP);
   return CP;
 }

@@ -16,6 +16,14 @@
 /// appears as a call return type; in the struct-pair ablation mode it
 /// flows through the IR and triggers FastISel fallbacks.
 ///
+/// Every object draws from the owning MFunction's MemPool. In the
+/// paper-faithful Heap mode (QCF_ALLOC=heap, the default) that is one
+/// malloc/free per object plus the full destructor walk; in Arena mode
+/// nodes are bump-allocated, destroyInst/destroyBlock are no-ops, and the
+/// graph is released wholesale by MemContext::clearFunctionMemory(). All
+/// heap-owning node members (operand tails, use lists) are PoolVectors so
+/// the skipped destructors leak nothing — see support/MemContext.h.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCF_MLVM_IR_H
@@ -24,6 +32,7 @@
 #include "qir/Opcode.h"
 #include "qir/Type.h"
 #include "support/Int128.h"
+#include "support/MemContext.h"
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -61,13 +70,13 @@ public:
   enum class Kind : uint8_t { Inst, Argument, ConstInt, ConstI128,
                               ConstF64, ConstPtr };
 
-  Value(Kind K, Type Ty) : K(K), Ty(Ty) {}
+  Value(Kind K, Type Ty, MemPool &Pool) : K(K), Ty(Ty), Users(Pool) {}
   virtual ~Value() = default;
 
   Kind kind() const { return K; }
   Type type() const { return Ty; }
 
-  const std::vector<Instruction *> &users() const { return Users; }
+  const PoolVector<Instruction *> &users() const { return Users; }
   void addUser(Instruction *I) { Users.push_back(I); }
   void removeUser(Instruction *I) {
     for (size_t K2 = 0; K2 != Users.size(); ++K2)
@@ -90,42 +99,43 @@ public:
 private:
   Kind K;
   Type Ty;
-  std::vector<Instruction *> Users;
+  PoolVector<Instruction *> Users;
 };
 
 /// Function argument.
 class Argument : public Value {
 public:
-  Argument(Type Ty, unsigned Index)
-      : Value(Kind::Argument, Ty), Index(Index) {}
+  Argument(Type Ty, unsigned Index, MemPool &Pool)
+      : Value(Kind::Argument, Ty, Pool), Index(Index) {}
   unsigned Index;
 };
 
 /// Constants (uniqued per function for simplicity).
 class ConstantInt : public Value {
 public:
-  ConstantInt(Type Ty, uint64_t V) : Value(Kind::ConstInt, Ty), Val(V) {}
+  ConstantInt(Type Ty, uint64_t V, MemPool &Pool)
+      : Value(Kind::ConstInt, Ty, Pool), Val(V) {}
   uint64_t Val;
 };
 
 class ConstantI128 : public Value {
 public:
-  explicit ConstantI128(Int128 V) : Value(Kind::ConstI128, Type::I128),
-                                    Val(V) {}
+  ConstantI128(Int128 V, MemPool &Pool)
+      : Value(Kind::ConstI128, Type::I128, Pool), Val(V) {}
   Int128 Val;
 };
 
 class ConstantF64 : public Value {
 public:
-  explicit ConstantF64(uint64_t Bits)
-      : Value(Kind::ConstF64, Type::F64), Bits(Bits) {}
+  ConstantF64(uint64_t Bits, MemPool &Pool)
+      : Value(Kind::ConstF64, Type::F64, Pool), Bits(Bits) {}
   uint64_t Bits;
 };
 
 class ConstantPtr : public Value {
 public:
-  explicit ConstantPtr(uint64_t Addr)
-      : Value(Kind::ConstPtr, Type::Ptr), Addr(Addr) {}
+  ConstantPtr(uint64_t Addr, MemPool &Pool)
+      : Value(Kind::ConstPtr, Type::Ptr, Pool), Addr(Addr) {}
   uint64_t Addr;
 };
 
@@ -133,7 +143,8 @@ public:
 /// maintenance, plus op-specific payload.
 class Instruction : public Value {
 public:
-  Instruction(IROp Op, Type Ty) : Value(Kind::Inst, Ty), Op(Op) {}
+  Instruction(IROp Op, Type Ty, MemPool &Pool)
+      : Value(Kind::Inst, Ty, Pool), Op(Op), BlockOps(Pool), Operands(Pool) {}
   ~Instruction() override {
     for (Value *V : Operands)
       if (V)
@@ -147,7 +158,7 @@ public:
   uint8_t Flags = 0;          ///< CmpPred.
   uint64_t Imm = 0;           ///< Gep offset, stack slot size, callee id.
   uint32_t Aux = 0;           ///< Gep scale.
-  std::vector<BasicBlock *> BlockOps; ///< Branch targets / phi preds.
+  PoolVector<BasicBlock *> BlockOps; ///< Branch targets / phi preds.
 
   CmpPred cmpPred() const { return static_cast<CmpPred>(Flags); }
 
@@ -201,29 +212,30 @@ public:
 
 private:
   friend class Value;
-  std::vector<Value *> Operands;
+  PoolVector<Value *> Operands;
 };
 
 /// A basic block: instruction pointer list (the object-graph flavor).
 class BasicBlock {
 public:
-  explicit BasicBlock(MFunction *Parent, unsigned Id)
-      : Parent(Parent), Id(Id) {}
+  BasicBlock(MFunction *Parent, unsigned Id, MemPool &Pool)
+      : Parent(Parent), Id(Id), Insts(Pool), Preds(Pool), Pool(&Pool) {}
   ~BasicBlock() {
-    // Operands must be dropped for the whole function *before* any block
-    // is destroyed (cross-block references would dangle otherwise);
-    // MFunction's destructor does that. Standalone deletion (SimplifyCFG)
-    // empties the block first.
+    // Only reached in Heap mode (arena blocks are bulk-released without
+    // running destructors). Operands must be dropped for the whole
+    // function *before* any block is destroyed (cross-block references
+    // would dangle otherwise); MFunction's destructor does that.
+    // Standalone destruction (SimplifyCFG) empties the block first.
     for (Instruction *I : Insts) {
       I->dropAllOperands();
-      delete I;
+      Pool->destroy(I);
     }
   }
 
   MFunction *Parent;
   unsigned Id;
-  std::vector<Instruction *> Insts;
-  std::vector<BasicBlock *> Preds;
+  PoolVector<Instruction *> Insts;
+  PoolVector<BasicBlock *> Preds;
 
   Instruction *terminator() const {
     assert(!Insts.empty() && Insts.back()->isTerminator());
@@ -240,6 +252,10 @@ public:
     I->Parent = this;
     Insts.push_back(I);
   }
+
+private:
+  friend class MFunction;
+  MemPool *Pool;
 };
 
 /// External callee signature (mirrors qir::RuntimeSig).
@@ -250,10 +266,13 @@ struct Callee {
   void *Address;
 };
 
-/// An MLVM-IR function; owns all its objects.
+/// An MLVM-IR function; owns all its objects through its MemPool. The
+/// MFunction itself lives wherever the caller puts it (unique_ptr in the
+/// pipeline); only the node graph is pooled.
 class MFunction {
 public:
-  MFunction(std::string Name, std::vector<Type> ParamTypes, Type RetType);
+  MFunction(std::string Name, std::vector<Type> ParamTypes, Type RetType,
+            MemPool &Pool = MemPool::defaultHeap());
   ~MFunction();
 
   std::string Name;
@@ -263,10 +282,27 @@ public:
   std::vector<Value *> Constants; ///< Owned constant pool.
   std::vector<Callee> Callees;
 
+  MemPool &pool() { return *Pool; }
+
   BasicBlock *createBlock() {
-    Blocks.push_back(new BasicBlock(this, NextBlockId++));
+    Blocks.push_back(Pool->create<BasicBlock>(this, NextBlockId++, *Pool));
     return Blocks.back();
   }
+
+  /// The only way IR instructions are made: pool-allocated, owned by the
+  /// function (via the block it is appended to; unattached instructions
+  /// still die with the pool in Arena mode).
+  Instruction *createInst(IROp Op, Type Ty) {
+    return Pool->create<Instruction>(Op, Ty, *Pool);
+  }
+
+  /// Heap mode: frees the node (caller already unlinked it). Arena mode:
+  /// no-op — the node stays in the arena until the compile ends, which is
+  /// what makes mid-pass unwinds (verifier failures, traps) leak-free.
+  void destroyInst(Instruction *I) { Pool->destroy(I); }
+
+  /// Destroys an (emptied) block; same mode semantics as destroyInst.
+  void destroyBlock(BasicBlock *B) { Pool->destroy(B); }
 
   ConstantInt *constInt(Type Ty, uint64_t V);
   ConstantI128 *constI128(Int128 V);
@@ -280,6 +316,7 @@ public:
   size_t numObjects() const;
 
 private:
+  MemPool *Pool;
   unsigned NextBlockId = 0;
 };
 

@@ -66,7 +66,7 @@ public:
   MachineBasicBlock *CurMBB = nullptr;
 
   MachineInstr *mi(MOpc Opc) {
-    auto *I = new MachineInstr(Opc);
+    auto *I = MF.createInstr(Opc);
     CurMBB->Insts.push_back(I);
     return I;
   }

@@ -51,15 +51,16 @@ struct IselStats {
   uint64_t KnownBitsQueries = 0;
 };
 
-/// Runs instruction selection over \p F, producing SSA MIR (with PHIs).
-/// When \p Verify is set, GlobalISel additionally verifies its generic
-/// MIR right after the IRTranslator stage (the other selectors have no
-/// intermediate MIR; their output is verified by the driver).
-std::unique_ptr<MirFunction> selectInstructions(const MFunction &F,
-                                                IselKind Kind,
-                                                TimeTrace *Trace,
-                                                IselStats *Stats,
-                                                bool Verify = false);
+/// Runs instruction selection over \p F, producing SSA MIR (with PHIs)
+/// whose instructions are allocated from \p Pool (GlobalISel's interim
+/// gMIR included). When \p Verify is set, GlobalISel additionally
+/// verifies its generic MIR right after the IRTranslator stage (the other
+/// selectors have no intermediate MIR; their output is verified by the
+/// driver).
+std::unique_ptr<MirFunction>
+selectInstructions(const MFunction &F, IselKind Kind, TimeTrace *Trace,
+                   IselStats *Stats, bool Verify = false,
+                   MemPool *Pool = nullptr);
 
 } // namespace qcf::mlvm
 

@@ -45,8 +45,10 @@ void *LinkedImage::lookup(const std::string &Name) const {
 }
 
 std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
-                                           TimeTrace *Trace) {
+                                           TimeTrace *Trace,
+                                           MemPool *Scratch) {
   TimeTraceScope Outer(Trace, "mlvm.link");
+  MemPool &SP = Scratch ? *Scratch : MemPool::defaultHeap();
   auto Image = std::make_unique<LinkedImage>();
 
   // --- Phase 1: parse the object, recover symbols, allocate memory -------
@@ -56,7 +58,7 @@ std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
   std::memcpy(&ShOff, Base + 0x28, 8);
   std::memcpy(&ShNum, Base + 0x3c, 2);
 
-  std::vector<Shdr> Sections(ShNum);
+  PoolVector<Shdr> Sections(ShNum, Shdr{}, SP);
   std::memcpy(Sections.data(), Base + ShOff, ShNum * sizeof(Shdr));
 
   const Shdr *Text = nullptr, *RelaSec = nullptr, *Symtab = nullptr,
@@ -81,12 +83,12 @@ std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
   }
 
   size_t NumSyms = Symtab->Size / sizeof(Sym);
-  std::vector<Sym> Syms(NumSyms);
+  PoolVector<Sym> Syms(NumSyms, Sym{}, SP);
   std::memcpy(Syms.data(), Base + Symtab->Offset, Symtab->Size);
   const char *Strs = reinterpret_cast<const char *>(Base + Strtab->Offset);
 
   // Undefined (external) symbols get GOT+PLT entries.
-  std::vector<size_t> Externs;
+  PoolVector<size_t> Externs(SP);
   for (size_t I = 1; I != NumSyms; ++I)
     if (Syms[I].Shndx == 0)
       Externs.push_back(I);

@@ -17,6 +17,7 @@
 #ifndef QCF_MLVM_JITLINK_H
 #define QCF_MLVM_JITLINK_H
 
+#include "support/MemContext.h"
 #include "support/TimeTrace.h"
 #include "x64/ExecMemory.h"
 #include <memory>
@@ -38,9 +39,11 @@ private:
 };
 
 /// Links \p Object; resolves undefined symbols via
-/// rt::runtimeSymbolAddress.
+/// rt::runtimeSymbolAddress. The linker's scratch tables (section and
+/// symbol copies, extern list) draw from \p Scratch when given.
 std::unique_ptr<LinkedImage> jitLink(const std::vector<uint8_t> &Object,
-                                     TimeTrace *Trace);
+                                     TimeTrace *Trace,
+                                     MemPool *Scratch = nullptr);
 
 } // namespace qcf::mlvm
 

@@ -35,7 +35,9 @@ Xmm xm(MReg R) {
 /// string-keyed label fixups and external call relocations.
 class MCObjectStreamer : public MCStreamer {
 public:
-  MCObjectStreamer(McModule &Out) : Out(Out) {}
+  MCObjectStreamer(McModule &Out, MemPool &Scratch)
+      : Out(Out), Labels(LabelMap::allocator_type(Scratch)),
+        Fixups(Scratch), CallRelocs(Scratch) {}
 
   void emitLabel(const std::string &Name) override {
     ++Out.NumVirtualCalls;
@@ -273,11 +275,19 @@ private:
     std::string Symbol;
   };
 
+  // Per-function scratch: the label map's nodes and the fixup/call-reloc
+  // buffers come from the compile's scratch pool (string payloads still
+  // own their heap memory — the streamer object destructs normally).
+  using LabelMap =
+      std::unordered_map<std::string, size_t, std::hash<std::string>,
+                         std::equal_to<std::string>,
+                         PoolAllocator<std::pair<const std::string, size_t>>>;
+
   McModule &Out;
   Assembler A;
-  std::unordered_map<std::string, size_t> Labels;
-  std::vector<Fixup> Fixups;
-  std::vector<CallReloc> CallRelocs;
+  LabelMap Labels;
+  PoolVector<Fixup> Fixups;
+  PoolVector<CallReloc> CallRelocs;
 
 public:
   Assembler &assembler() { return A; }
@@ -286,9 +296,11 @@ public:
 } // namespace
 
 void mlvm::printFunction(const MirFunction &MF, const FrameLayout &Frame,
-                         McModule *Out, TimeTrace *Trace) {
+                         McModule *Out, TimeTrace *Trace,
+                         MemPool *Scratch) {
   TimeTraceScope Scope(Trace, "mlvm.asmprinter");
-  MCObjectStreamer Streamer(*Out);
+  MCObjectStreamer Streamer(*Out,
+                            Scratch ? *Scratch : MemPool::defaultHeap());
   MCStreamer &S = Streamer; // All emission goes through virtual dispatch.
 
   for (const MirCallee &C : MF.Callees) {

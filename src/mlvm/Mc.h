@@ -22,6 +22,7 @@
 
 #include "mlvm/Mir.h"
 #include "mlvm/MirPasses.h"
+#include "support/MemContext.h"
 #include "support/TimeTrace.h"
 #include <string>
 #include <vector>
@@ -75,9 +76,12 @@ struct McModule {
   uint64_t NumVirtualCalls = 0; ///< Streamer dispatch count (bench metric).
 };
 
-/// Runs the AsmPrinter over \p MF, appending to \p Out.
+/// Runs the AsmPrinter over \p MF, appending to \p Out. The streamer's
+/// per-function scratch (label map, fixup and call-reloc lists) draws
+/// from \p Scratch when given (the compile's MemContext scratch pool).
 void printFunction(const MirFunction &MF, const FrameLayout &Frame,
-                   McModule *Out, TimeTrace *Trace);
+                   McModule *Out, TimeTrace *Trace,
+                   MemPool *Scratch = nullptr);
 
 /// Serializes the module as an in-memory ELF64 relocatable object.
 std::vector<uint8_t> writeElfObject(const McModule &M, TimeTrace *Trace);

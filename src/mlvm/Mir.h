@@ -22,6 +22,7 @@
 #define QCF_MLVM_MIR_H
 
 #include "qir/Type.h"
+#include "support/MemContext.h"
 #include "x64/Asm.h"
 #include <cstdint>
 #include <memory>
@@ -140,7 +141,9 @@ struct MOperand {
   static MOperand mbb(uint32_t B) { return {Kind::Mbb, MREG_NONE, 0, B}; }
 };
 
-/// A machine instruction (heap-allocated, like llvm::MachineInstr).
+/// A machine instruction (allocated per object like llvm::MachineInstr,
+/// from the owning MirFunction's MemPool; create via
+/// MirFunction::createInstr so the operand tail shares the pool).
 class MachineInstr {
 public:
   MOpc Opc;
@@ -150,9 +153,9 @@ public:
   uint8_t Scale = 1;
   int32_t Disp = 0;
   int64_t Imm = 0;
-  std::vector<MOperand> Operands;
+  PoolVector<MOperand> Operands;
 
-  explicit MachineInstr(MOpc Opc) : Opc(Opc) {}
+  MachineInstr(MOpc Opc, MemPool &Pool) : Opc(Opc), Operands(Pool) {}
 
   /// The generic operand-append path (§V-B8's 3%).
   void addOperand(MOperand Op) { Operands.push_back(Op); }
@@ -215,15 +218,21 @@ void forEachImplicitPhys(const MachineInstr &I, FnT Fn) {
 /// Printable opcode name (diagnostics; defined in MirVerify.cpp).
 const char *mopcName(MOpc Opc);
 
-/// A machine basic block.
+/// A machine basic block. Pool-owning blocks (created by
+/// MirFunction::createBlock) release their instructions through the pool;
+/// pool-less blocks are splice scratch (IselImpl's phi-copy staging) and
+/// must be emptied before destruction.
 struct MachineBasicBlock {
   uint32_t Id;
   std::vector<MachineInstr *> Insts;
   std::vector<uint32_t> Succs;
+  MemPool *Pool = nullptr;
 
   ~MachineBasicBlock() {
+    if (!Pool)
+      return;
     for (MachineInstr *I : Insts)
-      delete I;
+      Pool->destroy(I);
   }
 };
 
@@ -233,9 +242,14 @@ struct MirCallee {
   void *Address;
 };
 
-/// A machine function.
+/// A machine function. Instructions draw from the MemPool handed to the
+/// constructor; the default binds to the process heap pool so tests can
+/// build MIR by hand.
 class MirFunction {
 public:
+  MirFunction() : Pool(&MemPool::defaultHeap()) {}
+  explicit MirFunction(MemPool &Pool) : Pool(&Pool) {}
+
   std::string Name;
   std::vector<std::unique_ptr<MachineBasicBlock>> Blocks;
   std::vector<MRegClass> VRegClass;
@@ -244,9 +258,22 @@ public:
   std::vector<MirCallee> Callees;
   uint32_t NumParams = 0;
 
+  MemPool &pool() { return *Pool; }
+
+  /// The only way machine instructions are made (MIR, gMIR, and the
+  /// selectors' DAG output all allocate here).
+  MachineInstr *createInstr(MOpc Opc) {
+    return Pool->create<MachineInstr>(Opc, *Pool);
+  }
+
+  /// Heap mode: frees a detached instruction. Arena mode: no-op (the node
+  /// dies with the compile's MemContext, covering mid-pass unwinds).
+  void destroyInstr(MachineInstr *I) { Pool->destroy(I); }
+
   MachineBasicBlock *createBlock() {
     Blocks.push_back(std::make_unique<MachineBasicBlock>());
     Blocks.back()->Id = static_cast<uint32_t>(Blocks.size() - 1);
+    Blocks.back()->Pool = Pool;
     return Blocks.back().get();
   }
 
@@ -285,6 +312,9 @@ public:
       N += B->Insts.size();
     return N;
   }
+
+private:
+  MemPool *Pool;
 };
 
 } // namespace qcf::mlvm

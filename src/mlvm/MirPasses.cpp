@@ -67,7 +67,7 @@ void mlvm::runPhiElimination(MirFunction &MF, TimeTrace *Trace) {
         if (Src != Dst)
           PerPred[Pred].push_back({Dst, Src, RC});
       }
-      delete P;
+      MF.destroyInstr(P);
     }
 
     for (auto &[Pred, Moves] : PerPred) {
@@ -75,7 +75,7 @@ void mlvm::runPhiElimination(MirFunction &MF, TimeTrace *Trace) {
       std::vector<Move> Pending = Moves;
       std::vector<MachineInstr *> Copies;
       auto EmitCopy = [&](MReg D, MReg S) {
-        auto *C = new MachineInstr(MOpc::COPY);
+        auto *C = MF.createInstr(MOpc::COPY);
         C->addOperand(MOperand::def(D));
         C->addOperand(MOperand::use(S));
         Copies.push_back(C);
@@ -158,7 +158,7 @@ void mlvm::runTwoAddress(MirFunction &MF, TimeTrace *Trace) {
       // d = op a[, b]  ->  COPY d, a ; op2 d[, b].
       MReg D = I->reg(0), A = I->reg(1);
       if (D != A) {
-        auto *C = new MachineInstr(
+        auto *C = MF.createInstr(
             (isVReg(D) ? MF.regClass(D) : MRegClass::Int) ==
                     MRegClass::Float
                 ? MOpc::FMOV2
@@ -168,8 +168,9 @@ void mlvm::runTwoAddress(MirFunction &MF, TimeTrace *Trace) {
         Out.push_back(C);
       }
       I->Opc = NewOpc;
-      // Operand list becomes: def-use d, then the remaining source.
-      std::vector<MOperand> NewOps;
+      // Operand list becomes: def-use d, then the remaining source. Same
+      // pool as the instruction, so the move assignment steals the buffer.
+      PoolVector<MOperand> NewOps(MF.pool());
       NewOps.push_back(MOperand::def(D));
       NewOps.push_back(MOperand::use(D));
       for (size_t K = 2; K < I->Operands.size(); ++K)
@@ -478,7 +479,7 @@ private:
           Drop = true;
 
         if (Drop) {
-          delete I;
+          MF.destroyInstr(I);
           continue;
         }
 
@@ -487,7 +488,7 @@ private:
           MReg V = Refs[K].Op->Reg;
           MReg S = ScratchFor(V, Refs[K].RC);
           if (!Refs[K].IsDef) {
-            auto *L = new MachineInstr(
+            auto *L = MF.createInstr(
                 Refs[K].RC == MRegClass::Int ? MOpc::LOADZX : MOpc::FLOAD);
             L->W = Width::W64;
             L->Disp = static_cast<int32_t>(Refs[K].SlotId);
@@ -501,7 +502,7 @@ private:
         for (unsigned K = 0; K != NumRefs; ++K) {
           if (!Refs[K].IsDef)
             continue;
-          auto *St = new MachineInstr(
+          auto *St = MF.createInstr(
               Refs[K].RC == MRegClass::Int ? MOpc::STORE : MOpc::FSTORE);
           St->W = Width::W64;
           St->Disp = static_cast<int32_t>(Refs[K].SlotId);

@@ -82,21 +82,75 @@ private:
 
 } // namespace
 
+namespace {
+
+/// Byte/alloc snapshot of one pool; phase deltas are the difference of
+/// two snapshots (pool counters are cumulative and monotonic).
+struct PoolMark {
+  uint64_t Bytes, Allocs;
+  explicit PoolMark(const MemPool &P)
+      : Bytes(P.bytesAllocated()), Allocs(P.numAllocs()) {}
+  MlvmBackend::MemPhaseStats::Phase deltaTo(const MemPool &P) const {
+    return {P.bytesAllocated() - Bytes, P.numAllocs() - Allocs};
+  }
+};
+
+void accumulate(MlvmBackend::MemPhaseStats::Phase &Into,
+                MlvmBackend::MemPhaseStats::Phase Delta) {
+  Into.Bytes += Delta.Bytes;
+  Into.Allocs += Delta.Allocs;
+}
+
+/// Publishes the per-phase allocation volume of one compile as
+/// mem.<backend>.<phase>.bytes/allocs counters. Only called when the
+/// caller attached a MetricsRegistry: resolving ten counter names per
+/// compile is detail-level cost, not always-on cost (the ≤2% envelope).
+void publishMemMetrics(obs::MetricsRegistry &Reg, const std::string &Name,
+                       AllocMode Mode,
+                       const MlvmBackend::MemPhaseStats &S) {
+  const std::string Prefix = "mem." + Name + ".";
+  auto Pub = [&](const char *Phase,
+                 const MlvmBackend::MemPhaseStats::Phase &P) {
+    Reg.counter(Prefix + Phase + ".bytes").add(P.Bytes);
+    Reg.counter(Prefix + Phase + ".allocs").add(P.Allocs);
+  };
+  Pub("irgen", S.Irgen);
+  Pub("opt", S.Opt);
+  Pub("isel", S.Isel);
+  Pub("mirpasses", S.MirPasses);
+  Pub("mc", S.Mc);
+  Reg.counter(Prefix + "compiles." + allocModeName(Mode)).inc();
+}
+
+} // namespace
+
 std::unique_ptr<backend::CompiledModule>
 MlvmBackend::compile(const qir::Module &M,
                      const backend::CompileOptions &Opts) {
   obs::CompileObs Obs(Opts.Obs, name());
   TimeTrace *Trace = Obs.trace();
-  std::vector<uint8_t> Object = compileToObject(M, Trace, Opts.Verify);
-  std::unique_ptr<LinkedImage> Image = jitLink(Object, Trace);
+  MemContext Mem(Opts.Alloc);
+  std::vector<uint8_t> Object = compileToObject(M, Trace, Opts.Verify, &Mem);
+  std::unique_ptr<LinkedImage> Image =
+      jitLink(Object, Trace, &Mem.scratch());
+  if (Opts.Obs.Metrics)
+    publishMemMetrics(*Opts.Obs.Metrics, name(), Mem.mode(), LastMem);
   return std::make_unique<MlvmModule>(std::move(Image));
 }
 
 std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,
                                                   TimeTrace *Trace,
-                                                  VerifyOptions Verify) {
+                                                  VerifyOptions Verify,
+                                                  MemContext *Mem) {
+  // Callers that only want an object file (benches, qcf_lint) may not
+  // carry a context; give the compile a private one in the env mode.
+  MemContext Local{Mem ? AllocMode::Heap : allocModeFromEnv()};
+  if (!Mem)
+    Mem = &Local;
+
   LastStats = IselStats();
   LastIrObjects = 0;
+  LastMem = MemPhaseStats();
 
   if (Verify.Ir) {
     if (auto Err = qir::verify(M)) {
@@ -123,25 +177,35 @@ std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,
     std::unique_ptr<MFunction> IR;
     {
       TimeTraceScope Scope(Trace, "mlvm.irgen");
-      IR = translateToMlvm(*F, Opts.Mode);
+      PoolMark Mark(Mem->ir());
+      IR = translateToMlvm(*F, Opts.Mode, Mem->ir());
+      accumulate(LastMem.Irgen, Mark.deltaTo(Mem->ir()));
     }
     LastIrObjects += IR->numObjects();
 
-    if (Opts.Optimize)
-      runOptPasses(*IR, Trace, Opts.ReuseAnalyses);
     {
-      TimeTraceScope Scope(Trace, "mlvm.prep");
-      runCodeGenPrepScans(*IR, Trace);
+      PoolMark Mark(Mem->ir());
+      if (Opts.Optimize)
+        runOptPasses(*IR, Trace, Opts.ReuseAnalyses);
+      {
+        TimeTraceScope Scope(Trace, "mlvm.prep");
+        runCodeGenPrepScans(*IR, Trace);
+      }
+      accumulate(LastMem.Opt, Mark.deltaTo(Mem->ir()));
     }
 
     std::unique_ptr<MirFunction> MIR;
     {
       TimeTraceScope Scope(Trace, "mlvm.isel");
-      MIR = selectInstructions(*IR, Opts.Isel, Trace, &LastStats, Verify.Mir);
+      PoolMark Mark(Mem->mir());
+      MIR = selectInstructions(*IR, Opts.Isel, Trace, &LastStats, Verify.Mir,
+                               &Mem->mir());
+      accumulate(LastMem.Isel, Mark.deltaTo(Mem->mir()));
     }
     if (Verify.Mir)
       verifyMirOrDie(*MIR, MirStage::Ssa, "isel");
 
+    PoolMark MirMark(Mem->mir());
     runPhiElimination(*MIR, Trace);
     if (Verify.Mir)
       verifyMirOrDie(*MIR, MirStage::NoPhi, "phi-elim");
@@ -156,14 +220,22 @@ std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,
     FrameLayout Frame = runPrologEpilog(*MIR, RA, Trace);
     if (Verify.Mir)
       verifyMirOrDie(*MIR, MirStage::Final, "prolog-epilog");
-
-    printFunction(*MIR, Frame, &Mc, Trace);
+    accumulate(LastMem.MirPasses, MirMark.deltaTo(Mem->mir()));
 
     {
-      // Module destruction is measurably expensive (§V-B1).
+      PoolMark Mark(Mem->scratch());
+      printFunction(*MIR, Frame, &Mc, Trace, &Mem->scratch());
+      accumulate(LastMem.Mc, Mark.deltaTo(Mem->scratch()));
+    }
+
+    {
+      // Module destruction is measurably expensive in Heap mode (§V-B1);
+      // in Arena mode the destructor walk is skipped and the per-function
+      // pools recycle their largest slab instead — the ablated cost.
       TimeTraceScope Scope(Trace, "mlvm.irdestroy");
       IR.reset();
       MIR.reset();
+      Mem->clearFunctionMemory();
     }
   }
 

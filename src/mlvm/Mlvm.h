@@ -73,13 +73,28 @@ public:
   /// \p Verify selects which verification layers run along the way
   /// (IR before translation, MIR after every machine pass, the x64
   /// encoding lint over the emitted text); failures abort the process.
+  /// \p Mem is the compile's allocation context; when null a private
+  /// QCF_ALLOC-mode context is used.
   std::vector<uint8_t> compileToObject(const qir::Module &M, TimeTrace *Trace,
                                        VerifyOptions Verify =
-                                           VerifyOptions::fromEnv());
+                                           VerifyOptions::fromEnv(),
+                                       MemContext *Mem = nullptr);
+
+  /// Per-phase allocation volume of the most recent compile, measured as
+  /// pool-counter deltas around each pipeline stage (feeds the
+  /// mem.<backend>.<phase>.* metrics and the E14 ablation bench).
+  struct MemPhaseStats {
+    struct Phase {
+      uint64_t Bytes = 0;
+      uint64_t Allocs = 0;
+    };
+    Phase Irgen, Opt, Isel, MirPasses, Mc;
+  };
 
   /// Census/statistics of the most recent compile() call.
   const IselStats &lastIselStats() const { return LastStats; }
   uint64_t lastNumIrObjects() const { return LastIrObjects; }
+  const MemPhaseStats &lastMemStats() const { return LastMem; }
 
   const MlvmOptions &options() const { return Opts; }
 
@@ -87,6 +102,7 @@ private:
   MlvmOptions Opts;
   IselStats LastStats;
   uint64_t LastIrObjects = 0;
+  MemPhaseStats LastMem;
 };
 
 } // namespace qcf::mlvm

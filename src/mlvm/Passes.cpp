@@ -148,7 +148,7 @@ uint32_t runDce(MFunction &F) {
         if (!Ins->users().empty())
           continue;
         Ins->dropAllOperands();
-        delete Ins;
+        F.destroyInst(Ins);
         B->Insts.erase(B->Insts.begin() + I);
         ++Removed;
         Changed = true;
@@ -189,7 +189,7 @@ uint32_t runCse(MFunction &F) {
         continue;
       Ins->replaceAllUsesWith(It->second);
       Ins->dropAllOperands();
-      delete Ins;
+      F.destroyInst(Ins);
       B->Insts.erase(B->Insts.begin() + I);
       --I;
       ++Removed;
@@ -240,7 +240,7 @@ uint32_t runInstCombine(MFunction &F) {
         continue;
       Ins->replaceAllUsesWith(Repl);
       Ins->dropAllOperands();
-      delete Ins;
+      F.destroyInst(Ins);
       B->Insts.erase(B->Insts.begin() + I);
       --I;
       ++Combined;
@@ -269,7 +269,7 @@ uint32_t runSimplifyCfg(MFunction &F) {
         continue;
       // Splice S into B.
       T->dropAllOperands();
-      delete T;
+      F.destroyInst(T);
       B->Insts.pop_back();
       for (Instruction *I : S->Insts) {
         I->Parent = B;
@@ -283,7 +283,7 @@ uint32_t runSimplifyCfg(MFunction &F) {
             if (Op == S)
               Op = B;
       F.Blocks.erase(std::find(F.Blocks.begin(), F.Blocks.end(), S));
-      delete S;
+      F.destroyBlock(S);
       F.recomputePreds();
       Changed = true;
       ++Merged;

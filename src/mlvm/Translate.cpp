@@ -14,7 +14,8 @@ namespace {
 
 class Translator {
 public:
-  Translator(const qir::Function &F, D128Mode Mode) : F(F), Mode(Mode) {}
+  Translator(const qir::Function &F, D128Mode Mode, MemPool &Pool)
+      : F(F), Mode(Mode), Pool(Pool) {}
 
   std::unique_ptr<MFunction> run() {
     // Parameter list: split mode expands d128 params into two i64 params.
@@ -31,7 +32,7 @@ public:
         Params.push_back(Ty);
       }
     }
-    Out = std::make_unique<MFunction>(F.name(), Params, F.returnType());
+    Out = std::make_unique<MFunction>(F.name(), Params, F.returnType(), Pool);
 
     // Callee table.
     const qir::Module *M = F.parent();
@@ -66,12 +67,12 @@ public:
           bool SplitD128 =
               Ins.Ty == Type::D128 && Mode == D128Mode::SplitPairs;
           Type Ty = SplitD128 ? Type::I64 : Ins.Ty;
-          auto *Phi = new Instruction(IROp::Phi, Ty);
+          auto *Phi = Out->createInst(IROp::Phi, Ty);
           Cur->append(Phi);
           PendingPhis.push_back({I, Phi});
           Instruction *PhiHi = nullptr;
           if (SplitD128) {
-            PhiHi = new Instruction(IROp::Phi, Type::I64);
+            PhiHi = Out->createInst(IROp::Phi, Type::I64);
             Cur->append(PhiHi);
             PendingPhisHi.push_back({I, PhiHi});
           }
@@ -123,7 +124,7 @@ private:
 
   Instruction *emit(IROp Op, Type Ty,
                     std::initializer_list<Value *> Ops = {}) {
-    auto *I = new Instruction(Op, Ty);
+    auto *I = Out->createInst(Op, Ty);
     for (Value *V : Ops)
       I->addOperand(V);
     Cur->append(I);
@@ -197,7 +198,7 @@ private:
       return;
 
     case Opcode::Gep: {
-      auto *G = new Instruction(IROp::Gep, Type::Ptr);
+      auto *G = Out->createInst(IROp::Gep, Type::Ptr);
       G->addOperand(lo(Ins.A));
       if (Ins.B != qir::INVALID_VALUE)
         G->addOperand(lo(Ins.B));
@@ -238,7 +239,7 @@ private:
 
     case Opcode::Call: {
       const qir::RuntimeSig &Sig = F.parent()->symbol(F.callee(Ins));
-      auto *C = new Instruction(IROp::Call, Sig.RetType);
+      auto *C = Out->createInst(IROp::Call, Sig.RetType);
       C->Imm = F.callee(Ins);
       for (unsigned K = 0, E = F.numCallArgs(Ins); K != E; ++K) {
         qir::ValueId Arg = F.callArgs(Ins)[K];
@@ -302,7 +303,7 @@ private:
     default: {
       // Uniform unary/binary/cmp-style instructions map 1:1.
       unsigned NumOps = qir::numValueOperands(static_cast<Opcode>(Ins.Op));
-      auto *I = new Instruction(irOpFor(Ins.Op), Ins.Ty);
+      auto *I = Out->createInst(irOpFor(Ins.Op), Ins.Ty);
       I->Flags = Ins.Flags;
       if (NumOps >= 1)
         I->addOperand(lo(Ins.A));
@@ -319,6 +320,7 @@ private:
 
   const qir::Function &F;
   D128Mode Mode;
+  MemPool &Pool;
   std::unique_ptr<MFunction> Out;
   BasicBlock *Cur = nullptr;
   std::vector<BasicBlock *> BlockMap;
@@ -327,7 +329,7 @@ private:
 
 } // namespace
 
-std::unique_ptr<MFunction> mlvm::translateToMlvm(const qir::Function &F,
-                                                 D128Mode Mode) {
-  return Translator(F, Mode).run();
+std::unique_ptr<MFunction>
+mlvm::translateToMlvm(const qir::Function &F, D128Mode Mode, MemPool &Pool) {
+  return Translator(F, Mode, Pool).run();
 }

@@ -28,10 +28,12 @@ enum class D128Mode : uint8_t {
   StructPairs, ///< d128 values stay opaque two-lane values.
 };
 
-/// Translates \p F. Functions with d128 parameters get two i64 parameters
-/// per d128 in split mode (the entry ABI is by-lane anyway).
-std::unique_ptr<MFunction> translateToMlvm(const qir::Function &F,
-                                           D128Mode Mode);
+/// Translates \p F, allocating every IR node from \p Pool. Functions with
+/// d128 parameters get two i64 parameters per d128 in split mode (the
+/// entry ABI is by-lane anyway).
+std::unique_ptr<MFunction>
+translateToMlvm(const qir::Function &F, D128Mode Mode,
+                MemPool &Pool = MemPool::defaultHeap());
 
 } // namespace qcf::mlvm
 

@@ -48,9 +48,11 @@ public:
       End = Other.End;
       NextSlabBytes = Other.NextSlabBytes;
       Allocated = Other.Allocated;
+      NumAllocs = Other.NumAllocs;
       Other.Slabs.clear();
       Other.Cur = Other.End = nullptr;
       Other.Allocated = 0;
+      Other.NumAllocs = 0;
     }
     return *this;
   }
@@ -68,6 +70,7 @@ public:
     }
     Cur = reinterpret_cast<char *>(Aligned + Bytes);
     Allocated += Bytes;
+    ++NumAllocs;
     return reinterpret_cast<void *>(Aligned);
   }
 
@@ -93,37 +96,102 @@ public:
   /// Total bytes handed out (excluding alignment padding and slab slack).
   size_t bytesAllocated() const { return Allocated; }
 
+  /// Number of allocate() calls served since construction / reset / clear.
+  size_t numAllocations() const { return NumAllocs; }
+
   /// Releases all memory and resets the arena to its initial state.
   void reset() {
     freeSlabs();
     Slabs.clear();
     Cur = End = nullptr;
     Allocated = 0;
+    NumAllocs = 0;
+  }
+
+  /// Forgets every allocation but retains the largest slab for reuse, so
+  /// a per-function compile loop reaches steady state with zero mallocs
+  /// (the arena variant of LLVM BumpPtrAllocator::Reset).
+  void clear() {
+    if (!Slabs.empty()) {
+      // Slabs grow geometrically, so the newest is the largest; keep it.
+      Slab Keep = Slabs.back();
+      Slabs.pop_back();
+      freeSlabs();
+      Slabs.assign(1, Keep);
+      Cur = Keep.Base;
+      End = Keep.Base + Keep.Bytes;
+    }
+    Allocated = 0;
+    NumAllocs = 0;
   }
 
 private:
+  struct Slab {
+    char *Base;
+    size_t Bytes;
+  };
+
   void growSlab(size_t MinBytes) {
     size_t SlabBytes = NextSlabBytes;
     if (SlabBytes < MinBytes)
       SlabBytes = MinBytes;
     NextSlabBytes = NextSlabBytes * 2;
-    char *Slab = static_cast<char *>(::operator new(SlabBytes));
-    Slabs.push_back(Slab);
-    Cur = Slab;
-    End = Slab + SlabBytes;
+    char *Base = static_cast<char *>(::operator new(SlabBytes));
+    Slabs.push_back({Base, SlabBytes});
+    Cur = Base;
+    End = Base + SlabBytes;
   }
 
   void freeSlabs() {
-    for (char *Slab : Slabs)
-      ::operator delete(Slab);
+    for (const Slab &S : Slabs)
+      ::operator delete(S.Base);
   }
 
-  std::vector<char *> Slabs;
+  std::vector<Slab> Slabs;
   char *Cur = nullptr;
   char *End = nullptr;
   size_t NextSlabBytes;
   size_t Allocated = 0;
+  size_t NumAllocs = 0;
 };
+
+/// Standard-library allocator over an Arena: containers draw their
+/// buffers from the arena, deallocate is a no-op. The arena must outlive
+/// every container bound to it.
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator(Arena &A) : A(&A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : A(O.arena()) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+  }
+  void deallocate(T *, size_t) noexcept {}
+
+  Arena *arena() const { return A; }
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &O) const {
+    return A == O.arena();
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return A != O.arena();
+  }
+
+private:
+  Arena *A;
+};
+
+/// A vector whose buffer lives in an arena. Growth abandons the old
+/// buffer in the arena (bump allocators never free); reserve() up front
+/// where the size is predictable.
+template <typename T> using ArenaVector = std::vector<T, ArenaAllocator<T>>;
 
 } // namespace qcf
 

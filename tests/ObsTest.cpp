@@ -19,6 +19,7 @@
 #include "backend/Registry.h"
 #include "obs/Obs.h"
 #include "qir/Builder.h"
+#include "support/MemContext.h"
 #include <gtest/gtest.h>
 #include <thread>
 
@@ -216,6 +217,40 @@ TEST(ObsCompile, StructuralMetricsAlwaysOnPerBackend) {
     ASSERT_NE(H, nullptr) << Name;
     EXPECT_EQ(H->Count, 1u) << Name;
   }
+}
+
+TEST(ObsCompile, MemMetricsAppearPerPhaseAfterCompile) {
+  // A compile with a registry attached must publish its allocation
+  // telemetry as mem.<backend>.<phase>.bytes/allocs (DESIGN.md
+  // "Compilation memory"), alongside the compile.* timing metrics.
+  qir::Module M = makeModule(1);
+  auto BE = backend::createBackend("MLVM-cheap");
+  obs::MetricsRegistry Reg;
+  backend::CompileOptions Opts{obs::ObsContext(nullptr, &Reg)};
+  auto Compiled = BE->compile(M, Opts);
+  ASSERT_NE(Compiled, nullptr);
+  obs::MetricsSnapshot S = Reg.snapshot();
+  // IR construction and instruction selection always allocate nodes.
+  EXPECT_GT(S.counter("mem.MLVM-cheap.irgen.bytes"), 0u);
+  EXPECT_GT(S.counter("mem.MLVM-cheap.irgen.allocs"), 0u);
+  EXPECT_GT(S.counter("mem.MLVM-cheap.isel.bytes"), 0u);
+  EXPECT_GT(S.counter("mem.MLVM-cheap.mirpasses.allocs"), 0u);
+  EXPECT_GT(S.counter("mem.MLVM-cheap.mc.allocs"), 0u);
+  // Exactly one compile ran, in the QCF_ALLOC-default mode.
+  EXPECT_EQ(S.counter("mem.MLVM-cheap.compiles." +
+                      std::string(allocModeName(allocModeFromEnv()))),
+            1u);
+  // The whole mem.* family sums to the per-phase values (no stray keys).
+  EXPECT_GT(S.counterSumWithPrefix("mem.MLVM-cheap."), 0u);
+
+  // Craneline publishes its side-table scratch volume the same way.
+  auto CL = backend::createBackend("Craneline");
+  CL->compile(M, Opts);
+  obs::MetricsSnapshot S2 = Reg.snapshot();
+  EXPECT_GT(S2.counter("mem.Craneline.irpasses.bytes"), 0u);
+  EXPECT_EQ(S2.counter("mem.Craneline.compiles." +
+                       std::string(allocModeName(allocModeFromEnv()))),
+            1u);
 }
 
 TEST(ObsCompile, CacheStatsAreARegistryView) {

@@ -6,6 +6,7 @@
 
 #include "support/Arena.h"
 #include "support/Bitset.h"
+#include "support/MemContext.h"
 #include "support/Hash.h"
 #include "support/InlineVector.h"
 #include "support/Int128.h"
@@ -70,6 +71,120 @@ TEST(Arena, ResetReleasesMemory) {
   EXPECT_EQ(A.bytesAllocated(), 0u);
   int *P = A.create<int>(3);
   EXPECT_EQ(*P, 3);
+}
+
+TEST(Arena, AllocationCounterIsExact) {
+  Arena A;
+  for (int I = 0; I != 57; ++I)
+    A.allocate(24);
+  EXPECT_EQ(A.numAllocations(), 57u);
+  EXPECT_EQ(A.bytesAllocated(), 57u * 24);
+  A.clear();
+  EXPECT_EQ(A.numAllocations(), 0u);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+}
+
+TEST(Arena, ClearRecyclesLargestSlab) {
+  Arena A(/*InitialSlabBytes=*/64);
+  // Force several slabs; the newest (largest) must survive clear() and
+  // serve the next round from the same base address — the steady-state
+  // zero-malloc property the per-function compile loop relies on.
+  for (int I = 0; I != 64; ++I)
+    A.allocate(64);
+  void *FirstAfterClear = nullptr;
+  A.clear();
+  FirstAfterClear = A.allocate(64);
+  A.clear();
+  EXPECT_EQ(A.allocate(64), FirstAfterClear);
+  EXPECT_EQ(A.numAllocations(), 1u);
+}
+
+TEST(Arena, ArenaVectorGrowsInArena) {
+  Arena A;
+  ArenaVector<uint32_t> V{ArenaAllocator<uint32_t>(A)};
+  for (uint32_t I = 0; I != 1000; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 1000u);
+  for (uint32_t I = 0; I != 1000; ++I)
+    EXPECT_EQ(V[I], I);
+  // The buffer lives inside the arena.
+  EXPECT_GE(A.bytesAllocated(), 1000 * sizeof(uint32_t));
+}
+
+TEST(Arena, ArenaVectorMoveStealsBuffer) {
+  Arena A;
+  ArenaVector<int> V{ArenaAllocator<int>(A)};
+  V.assign(100, 42);
+  const int *Buf = V.data();
+  ArenaVector<int> W = std::move(V);
+  EXPECT_EQ(W.data(), Buf); // move ctor always steals
+  EXPECT_EQ(W.size(), 100u);
+  EXPECT_EQ(W[99], 42);
+}
+
+// --- MemPool / MemContext ---------------------------------------------------
+
+TEST(MemPool, HeapModeBalancesLiveObjects) {
+  MemPool P(AllocMode::Heap);
+  struct Node {
+    uint64_t A, B;
+  };
+  Node *N1 = P.create<Node>();
+  Node *N2 = P.create<Node>();
+  EXPECT_EQ(P.liveObjects(), 2);
+  P.destroy(N1);
+  P.destroy(N2);
+  EXPECT_EQ(P.liveObjects(), 0);
+  EXPECT_EQ(P.numAllocs(), 2u);
+  EXPECT_EQ(P.numFrees(), 2u);
+  EXPECT_EQ(P.bytesAllocated(), 2 * sizeof(Node));
+}
+
+TEST(MemPool, ArenaModeDestroyIsNoOpAndClearRecycles) {
+  MemPool P(AllocMode::Arena);
+  int *X = P.create<int>(5);
+  P.destroy(X); // no-op: the value must still be readable
+  EXPECT_EQ(*X, 5);
+  // Counters stay cumulative across clear() so phase deltas are monotonic.
+  uint64_t Bytes = P.bytesAllocated();
+  P.clear();
+  EXPECT_EQ(P.bytesAllocated(), Bytes);
+  int *Y = P.create<int>(6);
+  EXPECT_EQ(*Y, 6);
+  EXPECT_EQ(P.numAllocs(), 2u);
+}
+
+TEST(MemPool, PoolVectorMoveAssignStealsWithinSamePool) {
+  MemPool P(AllocMode::Arena);
+  PoolVector<int> V(P);
+  V.assign(64, 9);
+  const int *Buf = V.data();
+  PoolVector<int> W(P);
+  W = std::move(V);
+  // Equal allocators (same pool) let move assignment steal the buffer.
+  EXPECT_EQ(W.data(), Buf);
+  EXPECT_EQ(W.size(), 64u);
+}
+
+TEST(MemPool, CountersDriveMemContextPhaseDeltas) {
+  MemContext Ctx(AllocMode::Arena);
+  EXPECT_EQ(Ctx.mode(), AllocMode::Arena);
+  uint64_t B0 = Ctx.ir().bytesAllocated(), A0 = Ctx.ir().numAllocs();
+  Ctx.ir().allocate(128);
+  Ctx.ir().allocate(64);
+  EXPECT_EQ(Ctx.ir().bytesAllocated() - B0, 192u);
+  EXPECT_EQ(Ctx.ir().numAllocs() - A0, 2u);
+  // Pools are independent: the other two did not move.
+  EXPECT_EQ(Ctx.mir().bytesAllocated(), 0u);
+  EXPECT_EQ(Ctx.scratch().bytesAllocated(), 0u);
+  Ctx.clearFunctionMemory();
+  // clear() keeps counters; only the arena contents are recycled.
+  EXPECT_EQ(Ctx.ir().bytesAllocated() - B0, 192u);
+}
+
+TEST(MemPool, AllocModeFromEnvParses) {
+  EXPECT_STREQ(allocModeName(AllocMode::Heap), "heap");
+  EXPECT_STREQ(allocModeName(AllocMode::Arena), "arena");
 }
 
 // --- InlineVector -----------------------------------------------------------

@@ -41,7 +41,8 @@ namespace {
 
 MachineInstr *mk(MachineBasicBlock *B, MOpc Opc,
                  std::initializer_list<MOperand> Ops) {
-  auto *I = new MachineInstr(Opc);
+  MemPool &Pool = B->Pool ? *B->Pool : MemPool::defaultHeap();
+  auto *I = Pool.create<MachineInstr>(Opc, Pool);
   for (MOperand Op : Ops)
     I->addOperand(Op);
   B->Insts.push_back(I);
@@ -140,7 +141,7 @@ TEST(MirVerifier, RejectsInstructionAfterTerminator) {
 TEST(MirVerifier, RejectsMissingTerminator) {
   auto MF = allocatedStub();
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts.back();
+  MF->destroyInstr(Insts.back());
   Insts.pop_back();
   EXPECT_NE(verifyMir(*MF, MirStage::Final, "test")
                 .find("does not end in JMP/RET/UD2"),
@@ -152,7 +153,7 @@ TEST(MirVerifier, RejectsBranchTargetMissingFromSuccessors) {
   auto *B1 = MF->createBlock();
   mk(B1, MOpc::RET, {});
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts.back();
+  MF->destroyInstr(Insts.back());
   Insts.pop_back();
   mk(MF->Blocks[0].get(), MOpc::JMP, {mbb(1)});
   // Succs deliberately left empty.
@@ -174,7 +175,7 @@ TEST(MirVerifier, RejectsSuccessorWithoutBranch) {
 TEST(MirVerifier, RejectsBranchTargetOutOfRange) {
   auto MF = allocatedStub();
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts.back();
+  MF->destroyInstr(Insts.back());
   Insts.pop_back();
   mk(MF->Blocks[0].get(), MOpc::JMP, {mbb(9)});
   MF->Blocks[0]->Succs = {9};
@@ -209,7 +210,7 @@ TEST(MirVerifier, RejectsPhiAfterPhiElimination) {
 TEST(MirVerifier, RejectsThreeAddressFormAfterTwoAddress) {
   auto MF = allocatedStub();
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts.back();
+  MF->destroyInstr(Insts.back());
   Insts.pop_back();
   mk(MF->Blocks[0].get(), MOpc::ALU3,
      {def(pgp(Reg::RAX)), use(pgp(Reg::RCX)), use(pgp(Reg::RDX))});
@@ -316,7 +317,7 @@ TEST(MirVerifier, RejectsPhiWithSwappedOperandPair) {
 TEST(MirVerifier, RejectsPhiNotAtBlockStart) {
   auto MF = phiDiamond();
   auto &Insts = MF->Blocks[3]->Insts;
-  auto *Extra = new MachineInstr(MOpc::MOVRI);
+  auto *Extra = MF->createInstr(MOpc::MOVRI);
   Extra->addOperand(def(MREG_VBASE + 0));
   Insts.insert(Insts.begin(), Extra); // PHI is now second
   EXPECT_NE(verifyMir(*MF, MirStage::Ssa, "test")
@@ -370,8 +371,8 @@ TEST(MirVerifier, RejectsStraySpillMarker) {
 TEST(MirVerifier, RejectsSpillSlotOutOfBounds) {
   auto MF = allocatedStub();
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts[0];
-  auto *Load = new MachineInstr(MOpc::LOADZX);
+  MF->destroyInstr(Insts[0]);
+  auto *Load = MF->createInstr(MOpc::LOADZX);
   Load->addOperand(def(pgp(Reg::RAX)));
   Load->addOperand(use(MLVM_SPILL_MARKER));
   Load->Disp = 2; // only 2 slots [0,2) exist
@@ -389,8 +390,8 @@ TEST(MirVerifier, RejectsSwappedFStoreOperands) {
   // register-class check.
   auto MF = allocatedStub();
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts[0];
-  auto *St = new MachineInstr(MOpc::FSTORE);
+  MF->destroyInstr(Insts[0]);
+  auto *St = MF->createInstr(MOpc::FSTORE);
   St->addOperand(use(pgp(Reg::RAX)));  // swapped: gp in the xmm slot
   St->addOperand(use(pxmm(x64::Xmm::XMM0)));
   Insts[0] = St;
@@ -418,8 +419,8 @@ TEST(MirVerifier, RejectsCopyMixingRegisterClasses) {
 TEST(MirVerifier, RejectsViolatedTieConstraint) {
   auto MF = allocatedStub();
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts[0];
-  auto *Alu = new MachineInstr(MOpc::ALU2);
+  MF->destroyInstr(Insts[0]);
+  auto *Alu = MF->createInstr(MOpc::ALU2);
   Alu->addOperand(def(pgp(Reg::RAX)));
   Alu->addOperand(use(pgp(Reg::RCX))); // must be tied to the def
   Alu->addOperand(use(pgp(Reg::RDX)));
@@ -436,8 +437,8 @@ TEST(MirVerifier, RejectsViolatedTieConstraint) {
 TEST(MirVerifier, RejectsTwoAddressWithoutTiedPair) {
   auto MF = allocatedStub();
   auto &Insts = MF->Blocks[0]->Insts;
-  delete Insts[0];
-  auto *Alu = new MachineInstr(MOpc::ALU2);
+  MF->destroyInstr(Insts[0]);
+  auto *Alu = MF->createInstr(MOpc::ALU2);
   Alu->addOperand(def(pgp(Reg::RAX))); // missing the tied use
   Insts[0] = Alu;
   EXPECT_NE(verifyMir(*MF, MirStage::Final, "test")
@@ -465,7 +466,7 @@ TEST(MirVerifier, RejectsUseDefinedOnOnlyOnePath) {
   // must-be-defined intersection.
   auto MF = phiDiamond();
   auto &Insts = MF->Blocks[2]->Insts;
-  delete Insts[0]; // remove bb2's def of v2
+  MF->destroyInstr(Insts[0]); // remove bb2's def of v2
   Insts.erase(Insts.begin());
   auto *Phi = MF->Blocks[3]->Insts[0];
   Phi->Operands[3].Reg = MREG_VBASE + 1; // phi now reads v1 on both edges
