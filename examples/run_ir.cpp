@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "backend/Cache.h"
 #include "backend/Registry.h"
 #include "qir/Parse.h"
 #include "qir/Print.h"
@@ -69,7 +70,10 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "unknown back-end '%s'\n", BackendName);
     return 1;
   }
-  auto Compiled = BE->compile(*M);
+  // The cache wrapper picks up $QCF_CODE_CACHE, so re-running the same
+  // file warm-installs the stored code instead of compiling.
+  backend::CachingBackend Cache(std::move(BE));
+  auto Compiled = Cache.compile(*M);
 
   const std::string FnName = argc > 3 ? argv[3] : "main";
   const qir::Function *F = M->functionByName(FnName);

@@ -20,8 +20,10 @@
 #include "support/MemContext.h"
 #include "support/TimeTrace.h"
 #include "support/VerifyOptions.h"
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace qcf::backend {
 
@@ -74,6 +76,19 @@ public:
   template <typename FnT> FnT entryAs(const std::string &Name) {
     return reinterpret_cast<FnT>(entry(Name));
   }
+
+  /// Serializes this module into a position-independent byte payload the
+  /// owning back-end can later rehydrate via Backend::deserialize —
+  /// machine code, the entry-symbol table, and named runtime-call
+  /// relocation records instead of baked host addresses. Returns false
+  /// when the module cannot be persisted (interpreter trampolines,
+  /// modules with unnamed absolute targets); the disk cache then simply
+  /// skips the store. The payload format is private to the back-end; the
+  /// DiskCodeCache envelope supplies versioning and integrity checks.
+  virtual bool serialize(std::vector<uint8_t> &Out) const {
+    (void)Out;
+    return false;
+  }
 };
 
 /// A compilation back-end. Implementations: interp, direct, craneline,
@@ -97,6 +112,26 @@ public:
   std::unique_ptr<CompiledModule> compile(const qir::Module &M) {
     return compile(M, CompileOptions());
   }
+
+  /// Rehydrates a module from a payload produced by
+  /// CompiledModule::serialize on a module this same back-end compiled
+  /// (same name() and cacheConfig()). Re-patches recorded runtime-call
+  /// relocations against the live rt:: symbol table, so the payload may
+  /// come from a different process. Returns null when the payload is
+  /// malformed or references unknown symbols — callers treat that as a
+  /// cache miss and recompile.
+  virtual std::unique_ptr<CompiledModule> deserialize(const uint8_t *Data,
+                                                      size_t Len) {
+    (void)Data;
+    (void)Len;
+    return nullptr;
+  }
+
+  /// A string covering every option that changes generated code, used as
+  /// part of the disk-cache key so blobs from one configuration are never
+  /// served to another. Back-ends whose name() already encodes all
+  /// codegen-relevant options can keep this default.
+  virtual std::string cacheConfig() const { return name(); }
 };
 
 } // namespace qcf::backend

@@ -6,6 +6,7 @@
 
 #include "backend/Cache.h"
 #include "backend/CompileService.h"
+#include "backend/DiskCache.h"
 #include "support/Hash.h"
 #include <atomic>
 
@@ -25,8 +26,9 @@ obs::MetricsRegistry &resolveRegistry(obs::MetricsRegistry *Reg) {
 
 CachingBackend::CachingBackend(std::unique_ptr<Backend> Inner, size_t Capacity,
                                CompileService *Service,
-                               obs::MetricsRegistry *Reg)
+                               obs::MetricsRegistry *Reg, DiskCodeCache *Disk)
     : Inner(std::move(Inner)), Capacity(Capacity), Service(Service),
+      Disk(Disk),
       Prefix("cache." +
              std::to_string(NextCacheId.fetch_add(1,
                                                   std::memory_order_relaxed)) +
@@ -34,83 +36,117 @@ CachingBackend::CachingBackend(std::unique_ptr<Backend> Inner, size_t Capacity,
       Hits(resolveRegistry(Reg).counter(Prefix + "hits")),
       Misses(resolveRegistry(Reg).counter(Prefix + "misses")),
       Evictions(resolveRegistry(Reg).counter(Prefix + "evictions")),
-      InFlightWaits(resolveRegistry(Reg).counter(Prefix + "inflight_waits")) {}
+      InFlightWaits(resolveRegistry(Reg).counter(Prefix + "inflight_waits")) {
+  // No cache injected: honor $QCF_CODE_CACHE so any CachingBackend user
+  // gets warm restarts from the environment alone.
+  if (!this->Disk) {
+    OwnedDisk = DiskCodeCache::fromEnv(Reg);
+    this->Disk = OwnedDisk.get();
+  }
+}
+
+CachingBackend::~CachingBackend() = default;
 
 namespace {
 
-inline uint64_t mix(uint64_t H, uint64_t V) {
-  // crc32 folds V into H; the long-mul-fold pass spreads the result back
-  // over all 64 bits (crc32u64 alone only populates the low 32).
-  return longMulFold(crc32u64(H, V) ^ H, 0x9e3779b97f4a7c15ull);
-}
+/// Dual-lane fingerprint state: both lanes consume the identical word
+/// stream from one walk of the module.
+///
+/// Lane Lo is the original 64-bit structural hash, kept bit-exact (it is
+/// the legacy hashModule() value and the one the collision regression
+/// test targets). Its word fold is CRC32C-based, and CRC32C is linear
+/// over GF(2) with a *seed-independent* kernel: there exist constants D
+/// with crc32c(0, D) == 0, so V and V^D fold identically under every
+/// seed. That is exactly why the second lane must not be "CRC with
+/// another seed" — it uses a murmur-style multiplicative mix instead,
+/// which is not GF(2)-linear, so the lanes fail independently.
+struct FpState {
+  uint64_t Lo;
+  uint64_t Hi;
 
-uint64_t hashString(uint64_t H, const std::string &S) {
-  H = mix(H, S.size());
-  size_t I = 0;
-  for (; I + 8 <= S.size(); I += 8) {
-    uint64_t Word;
-    __builtin_memcpy(&Word, S.data() + I, 8);
-    H = mix(H, Word);
+  void mix(uint64_t V) {
+    // Lane Lo (legacy): crc32 folds V into H; the long-mul-fold pass
+    // spreads the result back over all 64 bits (crc32u64 alone only
+    // populates the low 32).
+    Lo = longMulFold(crc32u64(Lo, V) ^ Lo, 0x9e3779b97f4a7c15ull);
+    // Lane Hi: murmur3-style multiplicative mix.
+    uint64_t K = V * 0x87c37b91114253d5ull;
+    K = (K << 31) | (K >> 33);
+    K *= 0x4cf5ed432acc62full;
+    Hi ^= K;
+    Hi = (Hi << 27) | (Hi >> 37);
+    Hi = Hi * 5 + 0x52dce729ull;
   }
-  uint64_t Tail = 0;
-  if (I < S.size())
-    __builtin_memcpy(&Tail, S.data() + I, S.size() - I);
-  return mix(H, Tail);
-}
 
-uint64_t hashFunction(uint64_t H, const qir::Function &F) {
-  H = hashString(H, F.name());
-  H = mix(H, static_cast<uint64_t>(F.returnType()));
-  H = mix(H, F.numParams());
-  for (qir::Type T : F.paramTypes())
-    H = mix(H, static_cast<uint64_t>(T));
+  void mixString(const std::string &S) {
+    mix(S.size());
+    size_t I = 0;
+    for (; I + 8 <= S.size(); I += 8) {
+      uint64_t Word;
+      __builtin_memcpy(&Word, S.data() + I, 8);
+      mix(Word);
+    }
+    uint64_t Tail = 0;
+    if (I < S.size())
+      __builtin_memcpy(&Tail, S.data() + I, S.size() - I);
+    mix(Tail);
+  }
 
-  for (uint32_t I = 0; I != F.numInsts(); ++I) {
-    const qir::Inst &Inst = F.inst(I);
-    // Everything except Scratch, packed into two words.
-    H = mix(H, static_cast<uint64_t>(Inst.Op) |
-                   (static_cast<uint64_t>(Inst.Ty) << 8) |
-                   (static_cast<uint64_t>(Inst.Flags) << 16) |
-                   (static_cast<uint64_t>(Inst.A) << 24));
-    H = mix(H, static_cast<uint64_t>(Inst.B) |
-                   (static_cast<uint64_t>(Inst.C) << 32));
-    H = mix(H, Inst.Imm);
+  void mixFunction(const qir::Function &F) {
+    mixString(F.name());
+    mix(static_cast<uint64_t>(F.returnType()));
+    mix(F.numParams());
+    for (qir::Type T : F.paramTypes())
+      mix(static_cast<uint64_t>(T));
+
+    for (uint32_t I = 0; I != F.numInsts(); ++I) {
+      const qir::Inst &Inst = F.inst(I);
+      // Everything except Scratch, packed into two words.
+      mix(static_cast<uint64_t>(Inst.Op) |
+          (static_cast<uint64_t>(Inst.Ty) << 8) |
+          (static_cast<uint64_t>(Inst.Flags) << 16) |
+          (static_cast<uint64_t>(Inst.A) << 24));
+      mix(static_cast<uint64_t>(Inst.B) |
+          (static_cast<uint64_t>(Inst.C) << 32));
+      mix(Inst.Imm);
+    }
+    mix(F.numBlocks());
+    for (uint32_t B = 0; B != F.numBlocks(); ++B) {
+      mix(F.block(B).Begin);
+      mix(F.block(B).End);
+    }
+    for (const qir::PhiIn &In : F.PhiIns) {
+      mix(In.Pred);
+      mix(In.Val);
+    }
+    for (qir::ValueId Arg : F.CallArgs)
+      mix(Arg);
+    for (const Int128 &C : F.I128Pool) {
+      mix(static_cast<uint64_t>(C));
+      mix(static_cast<uint64_t>(static_cast<unsigned __int128>(C) >> 64));
+    }
   }
-  H = mix(H, F.numBlocks());
-  for (uint32_t B = 0; B != F.numBlocks(); ++B) {
-    H = mix(H, F.block(B).Begin);
-    H = mix(H, F.block(B).End);
-  }
-  for (const qir::PhiIn &In : F.PhiIns) {
-    H = mix(H, In.Pred);
-    H = mix(H, In.Val);
-  }
-  for (qir::ValueId Arg : F.CallArgs)
-    H = mix(H, Arg);
-  for (const Int128 &C : F.I128Pool) {
-    H = mix(H, static_cast<uint64_t>(C));
-    H = mix(H, static_cast<uint64_t>(static_cast<unsigned __int128>(C) >> 64));
-  }
-  return H;
-}
+};
 
 } // namespace
 
-uint64_t hashModule(const qir::Module &M) {
-  uint64_t H = 0x9e3779b97f4a7c15ull;
-  H = mix(H, M.functions().size());
+ModuleFingerprint fingerprintModule(const qir::Module &M) {
+  FpState H{0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full};
+  H.mix(M.functions().size());
   for (const auto &F : M.functions())
-    H = hashFunction(H, *F);
-  H = mix(H, M.numSymbols());
+    H.mixFunction(*F);
+  H.mix(M.numSymbols());
   for (qir::SymbolId S = 0; S != M.numSymbols(); ++S) {
     const qir::RuntimeSig &Sig = M.symbol(S);
-    H = hashString(H, Sig.Name);
-    H = mix(H, static_cast<uint64_t>(Sig.RetType));
+    H.mixString(Sig.Name);
+    H.mix(static_cast<uint64_t>(Sig.RetType));
     for (qir::Type T : Sig.ParamTypes)
-      H = mix(H, static_cast<uint64_t>(T));
+      H.mix(static_cast<uint64_t>(T));
   }
-  return H;
+  return {H.Lo, H.Hi};
 }
+
+uint64_t hashModule(const qir::Module &M) { return fingerprintModule(M).Lo; }
 
 namespace {
 
@@ -122,6 +158,9 @@ public:
   void *entry(const std::string &Name) override {
     return Inner->entry(Name);
   }
+  bool serialize(std::vector<uint8_t> &Out) const override {
+    return Inner->serialize(Out);
+  }
 
 private:
   std::shared_ptr<CompiledModule> Inner;
@@ -131,9 +170,10 @@ private:
 
 std::unique_ptr<CompiledModule>
 CachingBackend::compile(const qir::Module &M, const CompileOptions &Opts) {
-  uint64_t Key = hashModule(M);
+  ModuleFingerprint Key = fingerprintModule(M);
   std::shared_ptr<InFlight> Entry;
   CompileService *Svc;
+  DiskCodeCache *DiskCache;
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     auto It = Map.find(Key);
@@ -171,18 +211,28 @@ CachingBackend::compile(const qir::Module &M, const CompileOptions &Opts) {
     Entry = std::make_shared<InFlight>();
     Pending.emplace(Key, Entry);
     Svc = Service;
+    DiskCache = Disk;
   }
 
   // Compile outside the lock. The Pending entry guarantees no other
-  // thread compiles this key concurrently.
+  // thread compiles this key concurrently. The persistent cache is
+  // probed first: a warm hit rehydrates the stored code (relocation
+  // re-patch + mprotect) without invoking the back-end at all.
   std::shared_ptr<CompiledModule> Compiled;
-  if (Svc) {
+  bool FromDisk = false;
+  if (DiskCache) {
+    Compiled = DiskCache->load(Key, *Inner, Opts);
+    FromDisk = Compiled != nullptr;
+  }
+  if (!Compiled && Svc) {
     CompileTicket Ticket =
         Svc->submit(M, *Inner, CompilePriority::Foreground, Opts);
     Compiled = Ticket.wait(); // Null if the service was shut down mid-job.
   }
   if (!Compiled)
     Compiled = Inner->compile(M, Opts);
+  if (DiskCache && !FromDisk)
+    DiskCache->store(Key, *Inner, *Compiled, Opts);
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);

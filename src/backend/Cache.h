@@ -34,11 +34,43 @@
 namespace qcf::backend {
 
 class CompileService;
+class DiskCodeCache;
 
-/// Structural 64-bit hash of a module: function names and signatures,
+/// 128-bit structural fingerprint of a module, used as the cache key.
+///
+/// Two independent lanes over one walk of the module. A single 64-bit
+/// lane is not collision-safe to key executable code by: the original
+/// hash folds words with CRC32C, which is GF(2)-linear with a
+/// seed-independent kernel, so inputs differing by a kernel element
+/// collide for *every* seed (CacheTest has two such modules). The second
+/// lane therefore uses a multiplicative (murmur-style) mix — not CRC
+/// under another seed — making the lanes genuinely independent.
+struct ModuleFingerprint {
+  uint64_t Lo = 0; ///< Legacy lane; equals hashModule().
+  uint64_t Hi = 0; ///< Independent non-CRC lane.
+
+  bool operator==(const ModuleFingerprint &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const ModuleFingerprint &O) const { return !(*this == O); }
+};
+
+struct FingerprintHash {
+  size_t operator()(const ModuleFingerprint &F) const {
+    // The lanes are already well-mixed; fold them for the bucket index.
+    return static_cast<size_t>(F.Lo ^ (F.Hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Structural fingerprint of a module: function names and signatures,
 /// every instruction's semantic fields (the per-instruction `Scratch`
 /// slot is excluded — back-ends mutate it), side pools, block layout,
 /// and the runtime-symbol table.
+ModuleFingerprint fingerprintModule(const qir::Module &M);
+
+/// The legacy 64-bit structural hash; identical to
+/// fingerprintModule().Lo. Kept for diagnostics and the collision
+/// regression test — do not key caches by this alone.
 uint64_t hashModule(const qir::Module &M);
 
 /// Snapshot view of a cache's registry-backed counters; see
@@ -72,10 +104,16 @@ public:
   /// \p Capacity bounds the number of retained compiled modules
   /// (0 = unbounded). \p Service, when non-null, must outlive this
   /// back-end. \p Reg receives the cache's hit/miss/eviction counters
-  /// under metricsPrefix() (null = process-wide registry).
+  /// under metricsPrefix() (null = process-wide registry). \p Disk, when
+  /// non-null, is consulted on every in-memory miss before the inner
+  /// back-end and populated after every fresh compile; it must outlive
+  /// this back-end. When null, $QCF_CODE_CACHE (if set) supplies an
+  /// owned disk cache instead.
   explicit CachingBackend(std::unique_ptr<Backend> Inner, size_t Capacity = 0,
                           CompileService *Service = nullptr,
-                          obs::MetricsRegistry *Reg = nullptr);
+                          obs::MetricsRegistry *Reg = nullptr,
+                          DiskCodeCache *Disk = nullptr);
+  ~CachingBackend(); // Out of line: OwnedDisk's type is incomplete here.
 
   using Backend::compile;
 
@@ -88,6 +126,13 @@ public:
   void setService(CompileService *S) {
     std::lock_guard<std::mutex> Lock(Mutex);
     Service = S;
+  }
+
+  /// Attaches (or detaches, with null) the second-level persistent
+  /// cache consulted on in-memory misses.
+  void setDiskCache(DiskCodeCache *D) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Disk = D;
   }
 
   /// Registry prefix of this instance's counters, e.g. "cache.1.".
@@ -121,6 +166,10 @@ private:
   std::unique_ptr<Backend> Inner;
   size_t Capacity;
   CompileService *Service;
+  DiskCodeCache *Disk;
+  /// Backing storage for the $QCF_CODE_CACHE default (see constructor);
+  /// Disk aliases it unless the caller injected its own cache.
+  std::unique_ptr<DiskCodeCache> OwnedDisk;
 
   std::string Prefix;
   obs::Counter &Hits;
@@ -130,10 +179,14 @@ private:
 
   mutable std::mutex Mutex;
   // LRU list, most-recent first; the map points into it.
-  using LruEntry = std::pair<uint64_t, std::shared_ptr<CompiledModule>>;
+  using LruEntry = std::pair<ModuleFingerprint, std::shared_ptr<CompiledModule>>;
   std::list<LruEntry> Lru;
-  std::unordered_map<uint64_t, std::list<LruEntry>::iterator> Map;
-  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> Pending;
+  std::unordered_map<ModuleFingerprint, std::list<LruEntry>::iterator,
+                     FingerprintHash>
+      Map;
+  std::unordered_map<ModuleFingerprint, std::shared_ptr<InFlight>,
+                     FingerprintHash>
+      Pending;
 };
 
 } // namespace qcf::backend

@@ -10,8 +10,11 @@
 #include "craneline/RegAlloc.h"
 #include "craneline/Translate.h"
 #include "qir/Verify.h"
+#include "runtime/Runtime.h"
+#include "support/ByteIo.h"
 #include "support/Compiler.h"
 #include "x64/EncodingLint.h"
+#include "x64/ExecArena.h"
 #include <cstring>
 
 using namespace qcf;
@@ -146,7 +149,7 @@ void runIrPasses(const CFunction &CF, CirAnalyses *Out, MemPool &Pool) {
 void *CranelineModule::entry(const std::string &Name) {
   for (auto &[N, Off] : Fns)
     if (N == Name)
-      return Mem.base() + Off;
+      return const_cast<uint8_t *>(codeBase()) + Off;
   return nullptr;
 }
 
@@ -231,11 +234,21 @@ CranelineBackend::compile(const qir::Module &M,
       Off = (Off + 15) & ~size_t(15);
       uint8_t *Dst = Result->Mem.base() + Off;
       std::memcpy(Dst, O.Emitted.Code.data(), O.Emitted.Code.size());
-      for (const AbsReloc &R : O.Emitted.Relocs)
+      for (const AbsReloc &R : O.Emitted.Relocs) {
         std::memcpy(Dst + R.Offset, &R.Target, 8);
+        // Keep a by-name record for the persistent cache; a target that
+        // is not a registered runtime symbol makes the module
+        // non-serializable (its address is meaningless elsewhere).
+        if (const char *Sym = rt::runtimeSymbolName(
+                reinterpret_cast<const void *>(R.Target)))
+          Result->Relocs.push_back({Off + R.Offset, Sym});
+        else
+          Result->Serializable = false;
+      }
       Result->Fns.emplace_back(O.Name, Off);
       Off += O.Emitted.Code.size();
     }
+    Result->CodeBytes = Off;
     Result->Mem.makeExecutable();
   }
 
@@ -250,4 +263,119 @@ CranelineBackend::compile(const qir::Module &M,
         .inc();
   }
   return Result;
+}
+
+// --- Persistent-cache serialization --------------------------------------------
+
+bool CranelineModule::serialize(std::vector<uint8_t> &Out) const {
+  if (!Serializable)
+    return false;
+  ByteWriter W;
+  W.bytes(codeBase(), CodeBytes);
+  W.u64(Fns.size());
+  for (const auto &[Name, Off] : Fns) {
+    W.str(Name);
+    W.u64(Off);
+  }
+  W.u64(Relocs.size());
+  for (const RtReloc &R : Relocs) {
+    W.u64(R.Offset);
+    W.str(R.Symbol);
+  }
+  Out = W.take();
+  return true;
+}
+
+namespace qcf::craneline {
+
+/// Shared logic of the two deserialize paths; a friend of
+/// CranelineModule so both can fill its private tables.
+struct PayloadCodec {
+  static bool parse(const uint8_t *Data, size_t Len, CranelineModule &Result,
+                    const uint8_t **CodeOut, size_t *CodeLenOut);
+  static void patch(const CranelineModule &M, uint8_t *PatchBase);
+};
+
+/// Parses a serialized CranelineModule payload into \p Result (function
+/// table, relocation records), returning the borrowed code-byte view.
+/// Returns false on any malformed field or unknown symbol.
+bool PayloadCodec::parse(const uint8_t *Data, size_t Len,
+                         CranelineModule &Result, const uint8_t **CodeOut,
+                         size_t *CodeLenOut) {
+  ByteReader R(Data, Len);
+  auto [Code, CodeLen] = R.bytes();
+  uint64_t NumFns = R.u64();
+  if (!R.ok() || NumFns > Len)
+    return false;
+  for (uint64_t I = 0; I != NumFns; ++I) {
+    std::string Name = R.str();
+    uint64_t Off = R.u64();
+    if (!R.ok() || Off > CodeLen)
+      return false;
+    Result.Fns.emplace_back(std::move(Name), Off);
+  }
+  uint64_t NumRelocs = R.u64();
+  if (!R.ok() || NumRelocs > Len)
+    return false;
+  for (uint64_t I = 0; I != NumRelocs; ++I) {
+    CranelineModule::RtReloc Rel;
+    Rel.Offset = R.u64();
+    Rel.Symbol = R.str();
+    if (!R.ok() || Rel.Offset + 8 > CodeLen)
+      return false;
+    if (!rt::runtimeSymbolAddress(Rel.Symbol))
+      return false; // Unknown symbol: treat as a cache miss.
+    Result.Relocs.push_back(std::move(Rel));
+  }
+  if (!R.ok())
+    return false;
+  *CodeOut = Code;
+  *CodeLenOut = CodeLen;
+  return true;
+}
+
+/// Writes each recorded runtime address over its movabs imm64.
+void PayloadCodec::patch(const CranelineModule &M, uint8_t *PatchBase) {
+  for (const CranelineModule::RtReloc &Rel : M.Relocs) {
+    uint64_t Target =
+        reinterpret_cast<uint64_t>(rt::runtimeSymbolAddress(Rel.Symbol));
+    std::memcpy(PatchBase + Rel.Offset, &Target, 8);
+  }
+}
+
+} // namespace qcf::craneline
+
+std::unique_ptr<backend::CompiledModule>
+CranelineBackend::deserialize(const uint8_t *Data, size_t Len) {
+  auto Result = std::make_unique<CranelineModule>();
+  const uint8_t *Code = nullptr;
+  size_t CodeLen = 0;
+  if (!PayloadCodec::parse(Data, Len, *Result, &Code, &CodeLen))
+    return nullptr;
+  Result->CodeBytes = CodeLen;
+  // Dual-view code arena first — no mmap/mprotect per install (see
+  // x64/ExecArena.h and the DirectEmit equivalent).
+  if (x64::ExecArena::Block Blk = x64::ExecArena::global().allocate(CodeLen)) {
+    std::memcpy(Blk.Rw, Code, CodeLen);
+    PayloadCodec::patch(*Result, Blk.Rw);
+    Result->CodeBase = Blk.Rx;
+    return Result;
+  }
+  // Arena unavailable (no memfd) or empty module: private W^X mapping.
+  Result->Mem.allocate(CodeLen ? CodeLen : 1);
+  std::memcpy(Result->Mem.base(), Code, CodeLen);
+  PayloadCodec::patch(*Result, Result->Mem.base());
+  Result->Mem.makeExecutable();
+  return Result;
+}
+
+std::string CranelineBackend::cacheConfig() const {
+  std::string C = name();
+  if (!Opts.NativeCrc32)
+    C += "-nocrc32";
+  if (!Opts.NativeOverflowArith)
+    C += "-noovf";
+  if (!Opts.NativeMulFull)
+    C += "-nomulfull";
+  return C;
 }

@@ -43,10 +43,37 @@ class CranelineModule : public backend::CompiledModule {
 public:
   void *entry(const std::string &Name) override;
 
+  /// Persists code bytes, the function table, and named runtime-call
+  /// relocation records (see DiskCodeCache). Returns false when a
+  /// hard-wired address could not be mapped back to a runtime symbol
+  /// name at link time.
+  bool serialize(std::vector<uint8_t> &Out) const override;
+
 private:
   friend class CranelineBackend;
+  friend struct PayloadCodec;
   x64::ExecMemory Mem;
+  /// Where the code actually lives. Compiled modules own a private W^X
+  /// mapping (Mem) with code at its base; cache-loaded modules sit in
+  /// the shared dual-view code arena, and CodeBase is their RX view
+  /// (readable too, so serialize() works off either).
+  const uint8_t *codeBase() const { return CodeBase ? CodeBase : Mem.base(); }
+  const uint8_t *CodeBase = nullptr;
+  /// Bytes of code starting at codeBase() (ExecMemory page-rounds).
+  size_t CodeBytes = 0;
   std::vector<std::pair<std::string, size_t>> Fns;
+  /// Absolute relocations by runtime-symbol name: the imm64 at module
+  /// offset Offset holds the named symbol's address. Mirrors the
+  /// link stage's AbsRelocs, with the address turned back into a name so
+  /// a later process can re-resolve it.
+  struct RtReloc {
+    size_t Offset;
+    std::string Symbol;
+  };
+  std::vector<RtReloc> Relocs;
+  /// False when some relocation target was not a registered rt_* symbol;
+  /// such a module cannot be persisted.
+  bool Serializable = true;
 };
 
 /// The back-end.
@@ -61,6 +88,14 @@ public:
   std::unique_ptr<backend::CompiledModule>
   compile(const qir::Module &M,
           const backend::CompileOptions &COpts) override;
+
+  std::unique_ptr<backend::CompiledModule> deserialize(const uint8_t *Data,
+                                                       size_t Len) override;
+
+  /// name() is constant, but the CIR instruction-extension flags change
+  /// generated code (Table II constructs lower to helper calls with a
+  /// flag off), so they must be part of the disk-cache key.
+  std::string cacheConfig() const override;
 
   const CranelineOptions &options() const { return Opts; }
 

@@ -6,6 +6,7 @@
 
 #include "db/Executor.h"
 #include "qir/Clone.h"
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <functional>
@@ -19,29 +20,47 @@ namespace {
 
 using PipeFn = void (*)(void *, int64_t, int64_t);
 
+/// How one runPipeline call fanned out; lands in PipelineStats.
+struct PipelineRunInfo {
+  unsigned Workers = 1;
+  uint64_t MinWorkerMorsels = 0;
+};
+
 /// Runs one pipeline over [0, Rows), morsel-parallel when allowed.
-void runPipeline(PipeFn Fn, void *Ctx, uint64_t Rows, bool Parallel,
-                 const ExecOptions &Opts) {
+PipelineRunInfo runPipeline(PipeFn Fn, void *Ctx, uint64_t Rows, bool Parallel,
+                            const ExecOptions &Opts) {
   if (!Parallel || Opts.NumThreads <= 1 || Rows < Opts.MorselSize * 2) {
     Fn(Ctx, 0, static_cast<int64_t>(Rows));
-    return;
+    return {1, 1};
   }
-  std::atomic<uint64_t> Next{0};
-  auto Worker = [&] {
-    for (;;) {
-      uint64_t Begin = Next.fetch_add(Opts.MorselSize);
-      if (Begin >= Rows)
-        return;
+  // Cap the fan-out at the morsel supply: spawning NumThreads - 1 workers
+  // unconditionally creates threads whose only act is to observe the
+  // cursor past Rows and exit. Each worker is pre-assigned its first
+  // morsel statically (worker T starts at T * MorselSize) and the shared
+  // cursor starts past the pre-assigned region, so every spawned thread
+  // runs at least one morsel by construction, not by scheduling luck.
+  uint64_t NumMorsels = (Rows + Opts.MorselSize - 1) / Opts.MorselSize;
+  unsigned Workers = static_cast<unsigned>(
+      std::min<uint64_t>(Opts.NumThreads, NumMorsels));
+  std::atomic<uint64_t> Next{static_cast<uint64_t>(Workers) * Opts.MorselSize};
+  std::vector<uint64_t> MorselsRun(Workers, 0);
+  auto Worker = [&](unsigned T) {
+    uint64_t Begin = static_cast<uint64_t>(T) * Opts.MorselSize;
+    while (Begin < Rows) {
       uint64_t End = std::min(Rows, Begin + Opts.MorselSize);
       Fn(Ctx, static_cast<int64_t>(Begin), static_cast<int64_t>(End));
+      ++MorselsRun[T];
+      Begin = Next.fetch_add(Opts.MorselSize);
     }
   };
   std::vector<std::thread> Threads;
-  for (unsigned T = 1; T < Opts.NumThreads; ++T)
-    Threads.emplace_back(Worker);
-  Worker();
+  for (unsigned T = 1; T < Workers; ++T)
+    Threads.emplace_back(Worker, T);
+  Worker(0);
   for (std::thread &T : Threads)
     T.join();
+  return {Workers,
+          *std::min_element(MorselsRun.begin(), MorselsRun.end())};
 }
 
 /// Per-query runtime state shared by the blocking and async paths.
@@ -114,7 +133,8 @@ struct QueryRuntime {
         assert(Fn && "missing pipeline entry point");
         uint64_t Rows = sourceRows(P);
         uint64_t StartNs = nowNs();
-        runPipeline(Fn, Ctx.data(), Rows, P.ParallelSafe, Opts);
+        PipelineRunInfo Run =
+            runPipeline(Fn, Ctx.data(), Rows, P.ParallelSafe, Opts);
 
         // Sort step after a materialization pipeline.
         if (P.SortObject >= 0) {
@@ -128,6 +148,8 @@ struct QueryRuntime {
         uint64_t DurNs = nowNs() - StartNs;
         PipeStats[PI].Rows = Rows;
         PipeStats[PI].ExecNs = DurNs;
+        PipeStats[PI].Workers = Run.Workers;
+        PipeStats[PI].MinWorkerMorsels = Run.MinWorkerMorsels;
         if (obs::TraceSink *Sink = Opts.Obs.Sink)
           Sink->completeEvent("db.pipeline." + P.FnName, "exec", StartNs,
                               DurNs);

@@ -50,6 +50,14 @@ struct PipelineStats {
   uint64_t Rows = 0;    ///< Source rows the pipeline was driven over.
   uint64_t ExecNs = 0;  ///< Wall time of the pipeline loop (+ sort step).
   uint64_t StallNs = 0; ///< Async mode: time blocked on this unit's compile.
+  /// Threads that actually ran the pipeline (1 for the serial path).
+  /// Capped at ceil(Rows / MorselSize): a worker is never spawned just to
+  /// find the morsel supply already exhausted and exit.
+  unsigned Workers = 1;
+  /// Fewest morsels any worker executed. The parallel path pre-assigns
+  /// each worker its first morsel statically, so this is >= 1 whenever
+  /// the pipeline ran (DbTest asserts no thread runs zero morsels).
+  uint64_t MinWorkerMorsels = 0;
 };
 
 /// What one db::executeQuery call did, in nanoseconds — the executor-level

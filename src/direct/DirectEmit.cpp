@@ -24,9 +24,11 @@
 #include "qir/Verify.h"
 #include "runtime/Runtime.h"
 #include "support/Bitset.h"
+#include "support/ByteIo.h"
 #include "support/Compiler.h"
 #include "x64/Asm.h"
 #include "x64/EncodingLint.h"
+#include "x64/ExecArena.h"
 #include <cstring>
 #include <map>
 #include <optional>
@@ -114,6 +116,11 @@ public:
     TimeTraceScope Scope(Trace, "direct.codegen");
     emitAll();
   }
+
+  /// Runtime-call sites in this function's code: the movabs imm64 at
+  /// Offset holds the address of the named rt_* symbol. The module
+  /// driver rebases these to module offsets for serialization.
+  std::vector<std::pair<size_t, std::string>> RtRelocs;
 
 private:
   // --- Analysis -----------------------------------------------------------
@@ -452,8 +459,9 @@ private:
         continue;
       A.bind(TrapLabels[Idx]);
       A.movRI32(Reg::RDI, static_cast<uint32_t>(Codes[Idx]));
-      A.movRI(Reg::R10, reinterpret_cast<uint64_t>(
-                            rt::runtimeSymbolAddress("rt_trap")));
+      A.movAbsRI(Reg::R10, reinterpret_cast<uint64_t>(
+                               rt::runtimeSymbolAddress("rt_trap")));
+      RtRelocs.emplace_back(A.size() - 8, "rt_trap");
       A.callReg(Reg::R10);
       A.ud2();
     }
@@ -1109,8 +1117,9 @@ private:
     bool SecondIsTwoLane = qir::isTwoLane(F.valueType(Bv));
     if (SecondIsTwoLane)
       A.movRM(Width::W64, Reg::RCX, memOf(Bv, 1));
-    A.movRI(Reg::R10,
-            reinterpret_cast<uint64_t>(rt::runtimeSymbolAddress(Name)));
+    A.movAbsRI(Reg::R10,
+               reinterpret_cast<uint64_t>(rt::runtimeSymbolAddress(Name)));
+    RtRelocs.emplace_back(A.size() - 8, Name);
     A.callReg(Reg::R10);
     Cfi.atCall(A.size() - FuncStart);
     attachGp(Reg::RAX, Id, 0);
@@ -1398,7 +1407,8 @@ private:
         A.movRM(Width::W64, GpArgRegs[Slot++], memOf(Arg, L));
       }
     }
-    A.movRI(Reg::R10, reinterpret_cast<uint64_t>(Sig.Address));
+    A.movAbsRI(Reg::R10, reinterpret_cast<uint64_t>(Sig.Address));
+    RtRelocs.emplace_back(A.size() - 8, Sig.Name);
     A.callReg(Reg::R10);
     Cfi.atCall(A.size() - FuncStart);
     if (I.Ty != Type::Void) {
@@ -1529,7 +1539,7 @@ private:
 void *DirectModule::entry(const std::string &Name) {
   for (const FnInfo &Fn : Fns)
     if (Fn.Name == Name)
-      return Mem.base() + Fn.Offset;
+      return const_cast<uint8_t *>(codeBase()) + Fn.Offset;
   return nullptr;
 }
 
@@ -1563,6 +1573,7 @@ DirectBackend::compile(const qir::Module &M,
   }
 
   std::vector<std::vector<uint8_t>> Codes;
+  std::vector<std::vector<std::pair<size_t, std::string>>> FnRelocs;
   for (const auto &F : M.functions()) {
     Assembler A;
     size_t CfiOff = Cfi.beginFunction(0);
@@ -1571,6 +1582,7 @@ DirectBackend::compile(const qir::Module &M,
     Cfi.endFunction(CfiOff, A.size());
     Result->Fns.push_back({F->name(), 0, A.size(), CfiOff});
     Codes.push_back(A.code());
+    FnRelocs.push_back(std::move(FC.RtRelocs));
     if (Opts.Verify.Mc) {
       // DirectEmit calls through registers, so the bytes are final here:
       // no relocations to exempt.
@@ -1594,8 +1606,130 @@ DirectBackend::compile(const qir::Module &M,
     Off = (Off + 15) & ~size_t(15);
     std::memcpy(Result->Mem.base() + Off, Codes[I].data(), Codes[I].size());
     Result->Fns[I].Offset = Off;
+    for (auto &[RelOff, Sym] : FnRelocs[I])
+      Result->Relocs.push_back({Off + RelOff, std::move(Sym)});
     Off += Codes[I].size();
   }
+  Result->CodeBytes = Total;
+  Result->Mem.makeExecutable();
+  return Result;
+}
+
+// --- Persistent-cache serialization --------------------------------------------
+
+bool DirectModule::serialize(std::vector<uint8_t> &Out) const {
+  // Refuse to persist a module whose call targets cannot be re-resolved
+  // by name in another process; storing it would only produce blobs that
+  // every warm load rejects.
+  for (const RtReloc &R : Relocs)
+    if (!rt::runtimeSymbolAddress(R.Symbol))
+      return false;
+
+  ByteWriter W;
+  W.bytes(codeBase(), CodeBytes);
+  W.u64(Fns.size());
+  for (const FnInfo &Fn : Fns) {
+    W.str(Fn.Name);
+    W.u64(Fn.Offset);
+    W.u64(Fn.Size);
+    W.u64(Fn.CfiOffset);
+  }
+  W.bytes(Cfi.data(), Cfi.size());
+  W.u64(Relocs.size());
+  for (const RtReloc &R : Relocs) {
+    W.u64(R.Offset);
+    W.str(R.Symbol);
+  }
+  Out = W.take();
+  return true;
+}
+
+namespace qcf::direct {
+
+/// Shared decode/patch steps of the two deserialization paths.
+struct PayloadCodec {
+  static bool parse(const uint8_t *Data, size_t Len, DirectModule &Result,
+                    const uint8_t **CodeOut, size_t *CodeLenOut);
+  static void patch(const DirectModule &M, uint8_t *PatchBase);
+};
+
+/// Parses a serialized DirectModule payload into \p Result (function
+/// table, CFI, relocation records), returning the borrowed code-byte
+/// view. Returns false on any malformed field or unknown symbol.
+bool PayloadCodec::parse(const uint8_t *Data, size_t Len, DirectModule &Result,
+                         const uint8_t **CodeOut, size_t *CodeLenOut) {
+  ByteReader R(Data, Len);
+  auto [Code, CodeLen] = R.bytes();
+  uint64_t NumFns = R.u64();
+  if (!R.ok() || NumFns > Len)
+    return false;
+  for (uint64_t I = 0; I != NumFns; ++I) {
+    DirectModule::FnInfo Fn;
+    Fn.Name = R.str();
+    Fn.Offset = R.u64();
+    Fn.Size = R.u64();
+    Fn.CfiOffset = R.u64();
+    if (!R.ok() || Fn.Offset + Fn.Size > CodeLen)
+      return false;
+    Result.Fns.push_back(std::move(Fn));
+  }
+  auto [CfiData, CfiLen] = R.bytes();
+  uint64_t NumRelocs = R.u64();
+  if (!R.ok() || NumRelocs > Len)
+    return false;
+  Result.Cfi.assign(CfiData, CfiData + CfiLen);
+  for (uint64_t I = 0; I != NumRelocs; ++I) {
+    DirectModule::RtReloc Rel;
+    Rel.Offset = R.u64();
+    Rel.Symbol = R.str();
+    if (!R.ok() || Rel.Offset + 8 > CodeLen)
+      return false;
+    if (!rt::runtimeSymbolAddress(Rel.Symbol))
+      return false; // Unknown symbol: treat as a cache miss.
+    Result.Relocs.push_back(std::move(Rel));
+  }
+  if (!R.ok())
+    return false;
+  *CodeOut = Code;
+  *CodeLenOut = CodeLen;
+  return true;
+}
+
+/// Writes each recorded runtime address over its movabs imm64. \p
+/// PatchBase is the write view of the module's code (private mapping or
+/// arena RW view).
+void PayloadCodec::patch(const DirectModule &M, uint8_t *PatchBase) {
+  for (const DirectModule::RtReloc &Rel : M.Relocs) {
+    uint64_t Target =
+        reinterpret_cast<uint64_t>(rt::runtimeSymbolAddress(Rel.Symbol));
+    std::memcpy(PatchBase + Rel.Offset, &Target, 8);
+  }
+}
+
+} // namespace qcf::direct
+
+std::unique_ptr<backend::CompiledModule>
+DirectBackend::deserialize(const uint8_t *Data, size_t Len) {
+  auto Result = std::make_unique<DirectModule>();
+  const uint8_t *Code = nullptr;
+  size_t CodeLen = 0;
+  if (!PayloadCodec::parse(Data, Len, *Result, &Code, &CodeLen))
+    return nullptr;
+  Result->CodeBytes = CodeLen;
+  // Install into the dual-view code arena: copy + patch through the RW
+  // view, run through the RX view — no mmap or mprotect per module,
+  // which is what lets a warm cache hit beat even the cheapest compile
+  // by an order of magnitude (see x64/ExecArena.h).
+  if (x64::ExecArena::Block Blk = x64::ExecArena::global().allocate(CodeLen)) {
+    std::memcpy(Blk.Rw, Code, CodeLen);
+    PayloadCodec::patch(*Result, Blk.Rw);
+    Result->CodeBase = Blk.Rx;
+    return Result;
+  }
+  // Arena unavailable (no memfd) or empty module: private W^X mapping.
+  Result->Mem.allocate(CodeLen ? CodeLen : 1);
+  std::memcpy(Result->Mem.base(), Code, CodeLen);
+  PayloadCodec::patch(*Result, Result->Mem.base());
   Result->Mem.makeExecutable();
   return Result;
 }

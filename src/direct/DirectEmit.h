@@ -35,9 +35,22 @@ public:
   size_t cfiRecordOffset(const std::string &Name) const;
   size_t codeSize(const std::string &Name) const;
 
+  /// Persists code bytes, the function table, CFI, and the named
+  /// runtime-call relocation records (see DiskCodeCache).
+  bool serialize(std::vector<uint8_t> &Out) const override;
+
 private:
   friend class DirectBackend;
+  friend struct PayloadCodec;
   x64::ExecMemory Mem;
+  /// Where the code actually lives. Compiled modules own a private W^X
+  /// mapping (Mem) with code at its base; cache-loaded modules sit in
+  /// the shared dual-view code arena, and CodeBase is their RX view
+  /// (readable too, so serialize() works off either).
+  const uint8_t *codeBase() const { return CodeBase ? CodeBase : Mem.base(); }
+  const uint8_t *CodeBase = nullptr;
+  /// Bytes of code starting at codeBase() (ExecMemory page-rounds).
+  size_t CodeBytes = 0;
   struct FnInfo {
     std::string Name;
     size_t Offset;
@@ -46,6 +59,15 @@ private:
   };
   std::vector<FnInfo> Fns;
   std::vector<uint8_t> Cfi;
+  /// Runtime-call sites: the imm64 of a movabs at module offset Offset
+  /// holds the address of runtime symbol Symbol. Recorded so a
+  /// serialized module can be re-patched in a process with a different
+  /// address-space layout.
+  struct RtReloc {
+    size_t Offset;
+    std::string Symbol;
+  };
+  std::vector<RtReloc> Relocs;
 };
 
 /// The DirectEmit back-end.
@@ -56,6 +78,9 @@ public:
   std::string name() const override { return "DirectEmit"; }
   std::unique_ptr<backend::CompiledModule>
   compile(const qir::Module &M, const backend::CompileOptions &Opts) override;
+
+  std::unique_ptr<backend::CompiledModule> deserialize(const uint8_t *Data,
+                                                       size_t Len) override;
 };
 
 } // namespace qcf::direct

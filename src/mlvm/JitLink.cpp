@@ -7,8 +7,8 @@
 #include "mlvm/JitLink.h"
 #include "runtime/Runtime.h"
 #include "support/Compiler.h"
+#include "x64/ExecArena.h"
 #include <cstring>
-#include <unordered_map>
 
 using namespace qcf;
 using namespace qcf::mlvm;
@@ -40,13 +40,13 @@ struct Rela {
 void *LinkedImage::lookup(const std::string &Name) const {
   for (const auto &[N, Off] : Entries)
     if (N == Name)
-      return Mem.base() + Off;
+      return const_cast<uint8_t *>(execBase()) + Off;
   return nullptr;
 }
 
 std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
                                            TimeTrace *Trace,
-                                           MemPool *Scratch) {
+                                           MemPool *Scratch, bool UseArena) {
   TimeTraceScope Outer(Trace, "mlvm.link");
   MemPool &SP = Scratch ? *Scratch : MemPool::defaultHeap();
   auto Image = std::make_unique<LinkedImage>();
@@ -96,21 +96,41 @@ std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
   size_t PltSize = Externs.size() * 16; // jmp [rip+disp32] padded
   size_t GotSize = Externs.size() * 8;
   size_t TextBytes = Text->Size;
-  size_t Total = ((TextBytes + 15) & ~15ull) + PltSize + GotSize;
-  Image->Mem.allocate(Total ? Total : 1);
+  size_t PltOff = (TextBytes + 15) & ~15ull;
+  size_t GotOff = PltOff + PltSize;
+  size_t Total = GotOff + GotSize;
+
+  // Two views of the image: bytes are written through WriteBase, but
+  // every address the code will see (symbol addresses, PC-relative
+  // displacements) is computed in the execution view ExecB. For the
+  // private-mapping path the two coincide; for the dual-view arena path
+  // (disk-cache warm loads) they are the RW and RX aliases of the same
+  // pages, so no mprotect is needed before running the code.
+  uint8_t *WriteBase = nullptr;
+  const uint8_t *ExecB = nullptr;
+  if (UseArena && Total) {
+    if (x64::ExecArena::Block Blk = x64::ExecArena::global().allocate(Total)) {
+      WriteBase = Blk.Rw;
+      ExecB = Blk.Rx;
+      Image->ExecBase = Blk.Rx;
+    }
+  }
+  if (!WriteBase) {
+    Image->Mem.allocate(Total ? Total : 1);
+    WriteBase = Image->Mem.base();
+    ExecB = Image->Mem.base();
+  }
   Image->PltEntries = Externs.size();
 
   // --- Phase 2: assign addresses, resolve externals, build GOT+PLT -------
-  uint8_t *TextDst = Image->Mem.base();
-  uint8_t *Plt = TextDst + ((TextBytes + 15) & ~15ull);
-  uint8_t *Got = Plt + PltSize;
-  std::unordered_map<uint32_t, uint64_t> SymAddr; // sym index -> address
+  // Dense by symbol index (indices are small and relocations hit most of
+  // them): a hash map here is measurable on the disk-cache warm path.
+  PoolVector<uint64_t> SymAddr(NumSyms, 0, SP);
   {
     TimeTraceScope Scope(Trace, "mlvm.link.phase2");
     for (size_t I = 1; I != NumSyms; ++I)
       if (Syms[I].Shndx != 0)
-        SymAddr[static_cast<uint32_t>(I)] =
-            reinterpret_cast<uint64_t>(TextDst) + Syms[I].Value;
+        SymAddr[I] = reinterpret_cast<uint64_t>(ExecB) + Syms[I].Value;
     for (size_t K = 0; K != Externs.size(); ++K) {
       size_t I = Externs[K];
       const char *Name = Strs + Syms[I].Name;
@@ -119,22 +139,25 @@ std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
         reportFatalError("unresolved external symbol in JIT link");
       // GOT slot.
       uint64_t A = reinterpret_cast<uint64_t>(Addr);
-      std::memcpy(Got + K * 8, &A, 8);
-      // PLT entry: jmp [rip + rel32-to-GOT-slot]; int3 padding.
-      uint8_t *P = Plt + K * 16;
+      std::memcpy(WriteBase + GotOff + K * 8, &A, 8);
+      // PLT entry: jmp [rip + rel32-to-GOT-slot]; int3 padding. The
+      // displacement is image-internal, so it is the same in both views.
+      uint8_t *P = WriteBase + PltOff + K * 16;
       P[0] = 0xff;
       P[1] = 0x25;
-      int32_t Rel = static_cast<int32_t>((Got + K * 8) - (P + 6));
+      int32_t Rel = static_cast<int32_t>((GotOff + K * 8) -
+                                         (PltOff + K * 16 + 6));
       std::memcpy(P + 2, &Rel, 4);
       std::memset(P + 6, 0xcc, 10);
-      SymAddr[static_cast<uint32_t>(I)] = reinterpret_cast<uint64_t>(P);
+      SymAddr[static_cast<uint32_t>(I)] =
+          reinterpret_cast<uint64_t>(ExecB) + PltOff + K * 16;
     }
   }
 
   // --- Phase 3: copy sections and apply relocations -----------------------
   {
     TimeTraceScope Scope(Trace, "mlvm.link.phase3");
-    std::memcpy(TextDst, Base + Text->Offset, TextBytes);
+    std::memcpy(WriteBase, Base + Text->Offset, TextBytes);
     if (RelaSec) {
       size_t NumRelas = RelaSec->Size / sizeof(Rela);
       for (size_t R = 0; R != NumRelas; ++R) {
@@ -143,11 +166,13 @@ std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
                     sizeof(Rela));
         uint32_t SymIdx = static_cast<uint32_t>(Rel.Info >> 32);
         uint32_t RType = static_cast<uint32_t>(Rel.Info);
-        uint64_t S = SymAddr.at(SymIdx);
-        uint8_t *Where = TextDst + Rel.Offset;
+        if (SymIdx >= NumSyms)
+          reportFatalError("relocation against unknown symbol in JIT link");
+        uint64_t S = SymAddr[SymIdx];
+        uint8_t *Where = WriteBase + Rel.Offset;
         if (RType == 4 /* PLT32 */ || RType == 2 /* PC32 */) {
           int64_t Value = static_cast<int64_t>(S) + Rel.Addend -
-                          reinterpret_cast<int64_t>(Where);
+                          reinterpret_cast<int64_t>(ExecB + Rel.Offset);
           int32_t V32 = static_cast<int32_t>(Value);
           std::memcpy(Where, &V32, 4);
         } else if (RType == 1 /* 64 */) {
@@ -158,7 +183,8 @@ std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
         }
       }
     }
-    Image->Mem.makeExecutable();
+    if (!Image->ExecBase)
+      Image->Mem.makeExecutable();
   }
 
   // --- Phase 4: final symbol lookup ---------------------------------------

@@ -31,7 +31,12 @@ class LinkedImage {
 public:
   void *lookup(const std::string &Name) const;
 
+  /// Entry addresses live here: the private mapping's base, or the RX
+  /// view of an arena block for cache-loaded images.
+  const uint8_t *execBase() const { return ExecBase ? ExecBase : Mem.base(); }
+
   x64::ExecMemory Mem;
+  const uint8_t *ExecBase = nullptr; ///< Arena RX view (null: use Mem).
   std::vector<std::pair<std::string, uint64_t>> Entries; ///< offsets
   uint64_t PltEntries = 0;
 
@@ -41,9 +46,13 @@ private:
 /// Links \p Object; resolves undefined symbols via
 /// rt::runtimeSymbolAddress. The linker's scratch tables (section and
 /// symbol copies, extern list) draw from \p Scratch when given.
+/// \p UseArena places the image in the dual-view code arena (no
+/// mmap/mprotect; see x64/ExecArena.h) — meant for the disk-cache warm
+/// path only, since arena blocks are never reclaimed.
 std::unique_ptr<LinkedImage> jitLink(const std::vector<uint8_t> &Object,
                                      TimeTrace *Trace,
-                                     MemPool *Scratch = nullptr);
+                                     MemPool *Scratch = nullptr,
+                                     bool UseArena = false);
 
 } // namespace qcf::mlvm
 

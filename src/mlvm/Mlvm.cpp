@@ -69,15 +69,25 @@ namespace {
 
 class MlvmModule : public backend::CompiledModule {
 public:
-  explicit MlvmModule(std::unique_ptr<LinkedImage> Image)
-      : Image(std::move(Image)) {}
+  MlvmModule(std::unique_ptr<LinkedImage> Image, std::vector<uint8_t> Object)
+      : Image(std::move(Image)), Object(std::move(Object)) {}
 
   void *entry(const std::string &Name) override {
     return Image->lookup(Name);
   }
 
+  /// MLVM's persistent-cache payload is the pre-link ELF relocatable
+  /// object itself: it carries no baked host addresses (externals are
+  /// undefined symbols the JIT linker resolves by name), so a warm load
+  /// is just a jitLink — the entire middle of the pipeline is skipped.
+  bool serialize(std::vector<uint8_t> &Out) const override {
+    Out = Object;
+    return true;
+  }
+
 private:
   std::unique_ptr<LinkedImage> Image;
+  std::vector<uint8_t> Object;
 };
 
 } // namespace
@@ -135,7 +145,17 @@ MlvmBackend::compile(const qir::Module &M,
       jitLink(Object, Trace, &Mem.scratch());
   if (Opts.Obs.Metrics)
     publishMemMetrics(*Opts.Obs.Metrics, name(), Mem.mode(), LastMem);
-  return std::make_unique<MlvmModule>(std::move(Image));
+  return std::make_unique<MlvmModule>(std::move(Image), std::move(Object));
+}
+
+std::unique_ptr<backend::CompiledModule>
+MlvmBackend::deserialize(const uint8_t *Data, size_t Len) {
+  std::vector<uint8_t> Object(Data, Data + Len);
+  std::unique_ptr<LinkedImage> Image =
+      jitLink(Object, nullptr, nullptr, /*UseArena=*/true);
+  if (!Image)
+    return nullptr;
+  return std::make_unique<MlvmModule>(std::move(Image), std::move(Object));
 }
 
 std::vector<uint8_t> MlvmBackend::compileToObject(const qir::Module &M,

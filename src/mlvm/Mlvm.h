@@ -67,6 +67,12 @@ public:
   std::unique_ptr<backend::CompiledModule>
   compile(const qir::Module &M, const backend::CompileOptions &Opts) override;
 
+  /// Rehydrates a persisted module: the payload is the pre-link ELF
+  /// relocatable object, so this is a jitLink (symbols resolve by name
+  /// against the live rt:: table) with no compilation at all.
+  std::unique_ptr<backend::CompiledModule> deserialize(const uint8_t *Data,
+                                                       size_t Len) override;
+
   /// Compiles \p M down to the in-memory ELF64 relocatable object
   /// without linking it. This is the artifact the JIT linker consumes
   /// (§V-B7); exposed so tests can validate it with external binutils.

@@ -10,6 +10,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <string_view>
+#include <unordered_map>
 
 using namespace qcf;
 using namespace qcf::rt;
@@ -572,9 +574,22 @@ const SymbolEntry SymbolTable[] = {
 } // namespace
 
 void *qcf::rt::runtimeSymbolAddress(const std::string &Name) {
+  // Built once, read forever: warm-restart installs patch every recorded
+  // call site through this lookup, so it must be O(1), not a table scan.
+  static const std::unordered_map<std::string_view, void *> Index = [] {
+    std::unordered_map<std::string_view, void *> M;
+    for (const SymbolEntry &E : SymbolTable)
+      M.emplace(E.Name, E.Address);
+    return M;
+  }();
+  auto It = Index.find(Name);
+  return It == Index.end() ? nullptr : It->second;
+}
+
+const char *qcf::rt::runtimeSymbolName(const void *Address) {
   for (const SymbolEntry &E : SymbolTable)
-    if (Name == E.Name)
-      return E.Address;
+    if (Address == E.Address)
+      return E.Name;
   return nullptr;
 }
 

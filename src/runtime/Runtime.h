@@ -109,6 +109,13 @@ private:
 /// Back-ends use this to resolve external symbols when linking.
 void *runtimeSymbolAddress(const std::string &Name);
 
+/// Reverse lookup: the runtime symbol name of \p Address, or nullptr when
+/// the address is not a registered rt_* entry point. The persistent code
+/// cache uses this to turn baked-in absolute call targets back into named
+/// relocation records, so a blob loaded in a later process (different
+/// ASLR layout) can be re-patched against the live symbol table.
+const char *runtimeSymbolName(const void *Address);
+
 /// The runtime symbols a QIR module can call, declared into \p M.
 /// Codegen keeps this struct around instead of re-looking-up names.
 struct RuntimeSyms {

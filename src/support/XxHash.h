@@ -1,0 +1,120 @@
+//===- support/XxHash.h - XXH64 content checksum ----------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained implementation of the 64-bit xxHash (XXH64) algorithm,
+/// used as the content checksum of persistent code-cache blobs
+/// (backend/DiskCache.h). The point of xxhash here is integrity, not
+/// security: it detects truncation, bit rot, and partially-written files
+/// at memory speed, which is all a local cache needs — a hostile writer
+/// with access to the cache directory could corrupt code regardless of
+/// the checksum strength.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_SUPPORT_XXHASH_H
+#define QCF_SUPPORT_XXHASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace qcf {
+
+namespace xxh_detail {
+
+inline constexpr uint64_t Prime1 = 0x9e3779b185ebca87ull;
+inline constexpr uint64_t Prime2 = 0xc2b2ae3d27d4eb4full;
+inline constexpr uint64_t Prime3 = 0x165667b19e3779f9ull;
+inline constexpr uint64_t Prime4 = 0x85ebca77c2b2ae63ull;
+inline constexpr uint64_t Prime5 = 0x27d4eb2f165667c5ull;
+
+inline uint64_t rotl(uint64_t X, unsigned R) {
+  return (X << R) | (X >> (64 - R));
+}
+
+inline uint64_t round(uint64_t Acc, uint64_t Lane) {
+  Acc += Lane * Prime2;
+  Acc = rotl(Acc, 31);
+  return Acc * Prime1;
+}
+
+inline uint64_t mergeRound(uint64_t Acc, uint64_t Lane) {
+  Acc ^= round(0, Lane);
+  return Acc * Prime1 + Prime4;
+}
+
+inline uint64_t read64(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  return V;
+}
+
+inline uint32_t read32(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return V;
+}
+
+} // namespace xxh_detail
+
+/// XXH64 of \p Len bytes at \p Data.
+inline uint64_t xxHash64(const void *Data, size_t Len, uint64_t Seed = 0) {
+  using namespace xxh_detail;
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  const uint8_t *End = P + Len;
+  uint64_t H;
+
+  if (Len >= 32) {
+    uint64_t V1 = Seed + Prime1 + Prime2;
+    uint64_t V2 = Seed + Prime2;
+    uint64_t V3 = Seed;
+    uint64_t V4 = Seed - Prime1;
+    const uint8_t *Limit = End - 32;
+    do {
+      V1 = round(V1, read64(P));
+      V2 = round(V2, read64(P + 8));
+      V3 = round(V3, read64(P + 16));
+      V4 = round(V4, read64(P + 24));
+      P += 32;
+    } while (P <= Limit);
+    H = rotl(V1, 1) + rotl(V2, 7) + rotl(V3, 12) + rotl(V4, 18);
+    H = mergeRound(H, V1);
+    H = mergeRound(H, V2);
+    H = mergeRound(H, V3);
+    H = mergeRound(H, V4);
+  } else {
+    H = Seed + Prime5;
+  }
+
+  H += static_cast<uint64_t>(Len);
+  while (P + 8 <= End) {
+    H ^= round(0, read64(P));
+    H = rotl(H, 27) * Prime1 + Prime4;
+    P += 8;
+  }
+  if (P + 4 <= End) {
+    H ^= static_cast<uint64_t>(read32(P)) * Prime1;
+    H = rotl(H, 23) * Prime2 + Prime3;
+    P += 4;
+  }
+  while (P < End) {
+    H ^= static_cast<uint64_t>(*P) * Prime5;
+    H = rotl(H, 11) * Prime1;
+    ++P;
+  }
+
+  H ^= H >> 33;
+  H *= Prime2;
+  H ^= H >> 29;
+  H *= Prime3;
+  H ^= H >> 32;
+  return H;
+}
+
+} // namespace qcf
+
+#endif // QCF_SUPPORT_XXHASH_H

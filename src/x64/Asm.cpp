@@ -145,6 +145,16 @@ void Assembler::movRI(Reg Dst, uint64_t Imm) {
   emit64(Imm);
 }
 
+void Assembler::movAbsRI(Reg Dst, uint64_t Imm) {
+  // Always the 10-byte movabs form, regardless of the immediate's value:
+  // callers that patch the trailing imm64 later (relocations recorded for
+  // the persistent code cache) need the encoding to be independent of
+  // whatever address happened to be live at compile time.
+  rex(true, 0, 0, regNum(Dst));
+  emit8(static_cast<uint8_t>(0xb8 + (regNum(Dst) & 7)));
+  emit64(Imm);
+}
+
 void Assembler::movRI32(Reg Dst, uint32_t Imm) {
   rex(false, 0, 0, regNum(Dst));
   emit8(static_cast<uint8_t>(0xb8 + (regNum(Dst) & 7)));

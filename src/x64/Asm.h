@@ -180,6 +180,7 @@ public:
 
   void movRR(Width W, Reg Dst, Reg Src);       ///< mov dst, src
   void movRI(Reg Dst, uint64_t Imm);           ///< movabs dst, imm64 (or 32-bit forms)
+  void movAbsRI(Reg Dst, uint64_t Imm);        ///< movabs dst, imm64 (always 10 bytes)
   void movRI32(Reg Dst, uint32_t Imm);         ///< mov dst32, imm32 (zero-extends)
   void movRM(Width W, Reg Dst, Mem M);         ///< mov dst, [mem]
   void movMR(Width W, Mem M, Reg Src);         ///< mov [mem], src

@@ -1,0 +1,124 @@
+//===- x64/ExecArena.cpp - Dual-view executable code arena ----------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x64/ExecArena.h"
+#include <atomic>
+#include <mutex>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#ifndef MFD_CLOEXEC
+#define MFD_CLOEXEC 1u
+#endif
+#endif
+
+using namespace qcf;
+using namespace qcf::x64;
+
+namespace {
+
+/// Chunk granularity. Warm-loaded modules are a few KiB each, so one
+/// chunk covers hundreds of installs; a process that loads more code
+/// simply chains another chunk.
+constexpr size_t ChunkBytes = 4u << 20;
+
+int createMemfd(size_t Bytes) {
+#if defined(__linux__) && defined(SYS_memfd_create)
+  int Fd = static_cast<int>(
+      ::syscall(SYS_memfd_create, "qcf-code-arena", MFD_CLOEXEC));
+  if (Fd < 0)
+    return -1;
+  if (::ftruncate(Fd, static_cast<off_t>(Bytes)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+#else
+  (void)Bytes;
+  return -1;
+#endif
+}
+
+struct Chunk {
+  uint8_t *Rw = nullptr;
+  uint8_t *Rx = nullptr;
+  size_t Used = 0;
+  Chunk *Prev = nullptr;
+};
+
+} // namespace
+
+struct ExecArena::Impl {
+  std::mutex Mutex;
+  Chunk *Current = nullptr; ///< Chunks chain via Prev; none is ever freed.
+  bool Disabled = false;    ///< memfd unavailable: report null blocks.
+  std::atomic<uint64_t> Bytes{0};
+
+  /// Creates and links a fresh chunk; false leaves the arena disabled.
+  bool grow() {
+    int Fd = createMemfd(ChunkBytes);
+    if (Fd < 0)
+      return false;
+    void *Rw =
+        ::mmap(nullptr, ChunkBytes, PROT_READ | PROT_WRITE, MAP_SHARED, Fd, 0);
+    void *Rx =
+        ::mmap(nullptr, ChunkBytes, PROT_READ | PROT_EXEC, MAP_SHARED, Fd, 0);
+    ::close(Fd); // Both mappings keep the inode alive.
+    if (Rw == MAP_FAILED || Rx == MAP_FAILED) {
+      if (Rw != MAP_FAILED)
+        ::munmap(Rw, ChunkBytes);
+      if (Rx != MAP_FAILED)
+        ::munmap(Rx, ChunkBytes);
+      return false;
+    }
+    auto *C = new Chunk;
+    C->Rw = static_cast<uint8_t *>(Rw);
+    C->Rx = static_cast<uint8_t *>(Rx);
+    C->Prev = Current;
+    Current = C;
+    return true;
+  }
+};
+
+ExecArena::Impl *ExecArena::impl() {
+  static Impl I;
+  return &I;
+}
+
+ExecArena &ExecArena::global() {
+  static ExecArena A;
+  return A;
+}
+
+ExecArena::Block ExecArena::allocate(size_t Bytes) {
+  if (Bytes == 0 || Bytes > ChunkBytes)
+    return {};
+  Impl &I = *impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  if (I.Disabled)
+    return {};
+  size_t Aligned = (Bytes + 15) & ~size_t(15);
+  if (!I.Current || I.Current->Used + Aligned > ChunkBytes) {
+    if (!I.grow()) {
+      I.Disabled = true;
+      return {};
+    }
+  }
+  Chunk *C = I.Current;
+  Block B;
+  B.Rw = C->Rw + C->Used;
+  B.Rx = C->Rx + C->Used;
+  B.Size = Bytes;
+  C->Used += Aligned;
+  I.Bytes.fetch_add(Bytes, std::memory_order_relaxed);
+  return B;
+}
+
+uint64_t ExecArena::bytesAllocated() const {
+  return impl()->Bytes.load(std::memory_order_relaxed);
+}

@@ -139,6 +139,56 @@ TEST(Cache, ConcurrentCompilesAreSafe) {
   EXPECT_EQ(BE.size(), 1u);
 }
 
+namespace {
+
+/// Builds `fn() = K` — a module whose only varying hashed word is the
+/// constant-pool immediate, so collisions can be engineered directly.
+void buildRetConst(qir::Module &M, uint64_t K) {
+  qir::Function *F = M.createFunction("f", {}, Type::I64);
+  Builder B(F);
+  B.ret(B.constInt(Type::I64, static_cast<int64_t>(K)));
+}
+
+} // namespace
+
+// The legacy 64-bit hash folds each word with CRC32C, which is GF(2)-linear
+// with a *seed-independent* kernel: D below satisfies crc32c(0, D) == 0, so
+// for every seed S and word V, crc(S, V) == crc(S, V ^ D). Two modules whose
+// only differing hashed word differs by D therefore collide under
+// hashModule() — and would have collided under a second CRC lane with any
+// other seed too. The 128-bit fingerprint's second lane uses multiplicative
+// mixing precisely so this class of collision cannot survive it.
+TEST(Cache, LegacyHashCollisionIsResolvedByFingerprint) {
+  constexpr uint64_t D = 0x105ec76f1ull; // CRC32C kernel element.
+  constexpr uint64_t K = 0x1234567890abcdefull;
+  qir::Module M1, M2;
+  buildRetConst(M1, K);
+  buildRetConst(M2, K ^ D);
+
+  // The engineered collision on the legacy key. If this ever stops holding,
+  // the hash changed and a new kernel pair is needed for the test to bite.
+  ASSERT_EQ(hashModule(M1), hashModule(M2));
+  EXPECT_NE(fingerprintModule(M1), fingerprintModule(M2));
+
+  // End to end: the cache must treat them as distinct modules. Under the
+  // old 64-bit key the second compile would *hit* and return code computing
+  // the wrong constant.
+  CachingBackend BE(createBackend("DirectEmit"));
+  auto C1 = BE.compile(M1);
+  auto C2 = BE.compile(M2);
+  EXPECT_EQ(BE.stats().Misses, 2u);
+  EXPECT_EQ(BE.stats().Hits, 0u);
+  EXPECT_EQ(BE.size(), 2u);
+  EXPECT_EQ(C1->entryAs<uint64_t (*)()>("f")(), K);
+  EXPECT_EQ(C2->entryAs<uint64_t (*)()>("f")(), K ^ D);
+}
+
+TEST(Cache, FingerprintLoMatchesLegacyHash) {
+  qir::Module M;
+  buildAffine(M, 21);
+  EXPECT_EQ(fingerprintModule(M).Lo, hashModule(M));
+}
+
 TEST(Cache, RegeneratedQueryPlansHit) {
   // Compiling the same query over the same catalog twice produces
   // modules with hard-wired identical column pointers — they must hash

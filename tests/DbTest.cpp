@@ -204,6 +204,43 @@ TEST(DbExec, MorselParallelMatchesSingleThread) {
   EXPECT_EQ(Single.unorderedDigest(), Multi.unorderedDigest());
 }
 
+TEST(DbExec, WorkersCappedByMorselSupplyAndNoneIdle) {
+  Catalog &C = tpcdsCatalog();
+  const Query Q = [&] {
+    for (Query &Cand : tpcdsQueries())
+      if (Cand.Name == "ds_brand_m1")
+        return std::move(Cand);
+    QCF_UNREACHABLE("query missing");
+  }();
+  auto BE = backend::createBackend("DirectEmit");
+  CompiledPlan Plan = compileQuery(Q, C);
+
+  // Request far more threads than any pipeline has morsels: the executor
+  // must cap workers at ceil(Rows / MorselSize) instead of spawning
+  // threads that find the morsel supply already exhausted.
+  ExecOptions Many;
+  Many.NumThreads = 64;
+  Many.MorselSize = 4096;
+  rt::OutputBuffer Out;
+  ExecResult R = executeQuery(Plan, *BE, C, &Out, Many);
+  EXPECT_FALSE(R.Trapped);
+  ASSERT_FALSE(R.Stats.Pipelines.empty());
+  for (size_t PI = 0; PI != R.Stats.Pipelines.size(); ++PI) {
+    const PipelineStats &P = R.Stats.Pipelines[PI];
+    SCOPED_TRACE(PI);
+    uint64_t NumMorsels = (P.Rows + Many.MorselSize - 1) / Many.MorselSize;
+    EXPECT_LE(P.Workers, std::max<uint64_t>(NumMorsels, 1));
+    EXPECT_GE(P.MinWorkerMorsels, 1u) << "a worker ran zero morsels";
+  }
+
+  // The capped run must still produce the single-thread result.
+  rt::OutputBuffer Single;
+  ExecOptions One;
+  One.NumThreads = 1;
+  EXPECT_FALSE(executeQuery(Plan, *BE, C, &Single, One).Trapped);
+  EXPECT_EQ(Single.unorderedDigest(), Out.unorderedDigest());
+}
+
 TEST(DbIntegration, AllBackendsAgreeOnAllQueries) {
   struct Suite {
     Catalog *Cat;

@@ -7,7 +7,10 @@
 #include "gccjit/Gccjit.h"
 #include "tests/Corpus.h"
 #include "tests/DiffHarness.h"
+#include <cstdlib>
+#include <dirent.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 using namespace qcf;
 using namespace qcf::test;
@@ -44,6 +47,49 @@ TEST(Gcc, PhaseTimesArePopulated) {
   EXPECT_GT(T.LoadSec, 0.0);
   // The external compile dominates by far (§IV).
   EXPECT_GT(T.CompileSec, T.GenerateSec);
+}
+
+TEST(Gcc, HonorsTmpdirOverride) {
+  // The back-end's scratch directory must land under $TMPDIR when set
+  // (per-user temp roots, tmpfs CI sandboxes), not hard-coded /tmp.
+  std::string Root = "/tmp/qcfgcctestXXXXXX";
+  ASSERT_NE(::mkdtemp(Root.data()), nullptr);
+  const char *OldTmp = ::getenv("TMPDIR");
+  std::string Saved = OldTmp ? OldTmp : "";
+  ::setenv("TMPDIR", (Root + "/").c_str(), 1); // Trailing slash: must be handled.
+
+  qir::Module M;
+  qir::Function *F = M.createFunction("h", {Type::I64}, Type::I64);
+  Builder B(F);
+  B.ret(B.add(F->paramValue(0), B.constInt(Type::I64, 1)));
+  gccjit::GccOptions Opts;
+  Opts.KeepTempFiles = true; // Leave the scratch dir so we can observe it.
+  gccjit::GccBackend BE(Opts);
+  auto Compiled = BE.compile(M);
+  EXPECT_EQ(Compiled->entryAs<int64_t (*)(int64_t)>("h")(41), 42);
+
+  // Exactly the kept qcfgcc* scratch dir must exist under the override.
+  std::vector<std::string> Scratch;
+  DIR *D = ::opendir(Root.c_str());
+  ASSERT_NE(D, nullptr);
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("qcfgcc", 0) == 0)
+      Scratch.push_back(Root + "/" + Name);
+  }
+  ::closedir(D);
+  EXPECT_EQ(Scratch.size(), 1u) << "scratch dir must be under $TMPDIR";
+
+  if (OldTmp)
+    ::setenv("TMPDIR", Saved.c_str(), 1);
+  else
+    ::unsetenv("TMPDIR");
+  for (const std::string &S : Scratch) {
+    for (const char *File : {"/m.c", "/m.so", "/gcc.log"})
+      ::unlink((S + File).c_str());
+    ::rmdir(S.c_str());
+  }
+  ::rmdir(Root.c_str());
 }
 
 TEST(Gcc, TimeReportCaptured) {

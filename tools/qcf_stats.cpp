@@ -9,20 +9,29 @@
 //
 //   qcf_stats [--backend NAME] [--suite tpch|ds] [--sf N] [--async]
 //             [--json] [--trace FILE]
+//   qcf_stats --code-cache [DIR]
 //
 // Load the trace file at https://ui.perfetto.dev (or chrome://tracing) to
 // see per-compile phase slices, cache/service events, and per-pipeline
 // execution spans on their actual threads.
 //
+// The --code-cache mode instead inspects a persistent code-cache
+// directory (DIR, or $QCF_CODE_CACHE when omitted): one line per blob
+// with its validation status, key, config, and size, plus totals against
+// the $QCF_CODE_CACHE_BYTES budget. Read-only — never unlinks anything.
+//
 //===----------------------------------------------------------------------===//
 
+#include "backend/DiskCache.h"
 #include "backend/Registry.h"
 #include "db/Datagen.h"
 #include "db/Executor.h"
 #include "db/Queries.h"
 #include "obs/Obs.h"
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 
 using namespace qcf;
@@ -33,12 +42,50 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--backend NAME] [--suite tpch|ds] [--sf N] "
                "[--async] [--json] [--trace FILE]\n"
+               "       %s --code-cache [DIR]\n"
                "backends:",
-               Argv0);
+               Argv0, Argv0);
   for (const std::string &N : backend::allBackendNames())
     std::fprintf(stderr, " %s", N.c_str());
   std::fprintf(stderr, " Adaptive\n");
   return 1;
+}
+
+/// `--code-cache`: read-only inspection of a persistent cache directory.
+int inspectCodeCache(const std::string &Dir) {
+  std::vector<backend::DiskCodeCache::BlobInfo> Blobs =
+      backend::DiskCodeCache::scan(Dir);
+  std::printf("code cache %s: %zu blob(s)\n", Dir.c_str(), Blobs.size());
+  uint64_t TotalBytes = 0, ValidCount = 0;
+  for (const backend::DiskCodeCache::BlobInfo &B : Blobs) {
+    TotalBytes += B.SizeBytes;
+    char When[32] = "?";
+    time_t T = static_cast<time_t>(B.MtimeSec);
+    struct tm Tm;
+    if (gmtime_r(&T, &Tm))
+      std::strftime(When, sizeof(When), "%Y-%m-%d %H:%M:%S", &Tm);
+    if (B.Valid) {
+      ++ValidCount;
+      std::printf("  %-44s %9llu B  v%u  key %016llx%016llx  payload %llu B  "
+                  "%s  [%s]\n",
+                  B.File.c_str(), static_cast<unsigned long long>(B.SizeBytes),
+                  B.Version, static_cast<unsigned long long>(B.Key.Lo),
+                  static_cast<unsigned long long>(B.Key.Hi),
+                  static_cast<unsigned long long>(B.PayloadBytes), When,
+                  B.Config.c_str());
+    } else {
+      std::printf("  %-44s %9llu B  INVALID (%s)  %s\n", B.File.c_str(),
+                  static_cast<unsigned long long>(B.SizeBytes),
+                  B.Error.c_str(), When);
+    }
+  }
+  std::printf("total: %llu bytes in %llu valid / %zu blobs",
+              static_cast<unsigned long long>(TotalBytes),
+              static_cast<unsigned long long>(ValidCount), Blobs.size());
+  if (const char *Budget = std::getenv("QCF_CODE_CACHE_BYTES"))
+    std::printf(" (budget QCF_CODE_CACHE_BYTES=%s)", Budget);
+  std::printf("\n");
+  return 0;
 }
 
 } // namespace
@@ -74,6 +121,18 @@ int main(int argc, char **argv) {
       if (!V)
         return usage(argv[0]);
       TracePath = V;
+    } else if (!std::strcmp(argv[I], "--code-cache")) {
+      std::string Dir;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        Dir = argv[++I];
+      else if (const char *Env = std::getenv("QCF_CODE_CACHE"))
+        Dir = Env;
+      if (Dir.empty()) {
+        std::fprintf(stderr,
+                     "--code-cache needs DIR or $QCF_CODE_CACHE set\n");
+        return 1;
+      }
+      return inspectCodeCache(Dir);
     } else if (!std::strcmp(argv[I], "--json")) {
       Json = true;
     } else if (!std::strcmp(argv[I], "--async")) {

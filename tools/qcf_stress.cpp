@@ -21,10 +21,19 @@
 // AdaptiveBackend tier promotion against execution, differentially
 // against the interpreter.
 //
+// `./qcf_stress --code-cache [rounds]` soaks the persistent disk cache in
+// $QCF_CODE_CACHE: thread storms of store/load over a deterministic
+// corpus, corruption injection with recompile fallback, all differential
+// against the interpreter. With QCF_WARM_CHECK=cold it instead populates
+// the cache and requires stores to happen; with QCF_WARM_CHECK=warm it
+// requires the whole corpus to install from disk with *zero* back-end
+// compiles — the CI warm-restart contract.
+//
 //===----------------------------------------------------------------------===//
 
 #include "backend/Cache.h"
 #include "backend/CompileService.h"
+#include "backend/DiskCache.h"
 #include "backend/Registry.h"
 #include "interp/Interp.h"
 #include "qir/Print.h"
@@ -34,7 +43,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
 #include <thread>
+#include <unistd.h>
 
 using namespace qcf;
 
@@ -62,16 +74,23 @@ Outcome invoke(void *Entry, uint64_t A, uint64_t B) {
   return Out;
 }
 
-/// Wraps a back-end counting compiles — for asserting dedup exactness.
+/// Wraps a back-end counting compiles — for asserting dedup exactness and
+/// the warm-restart zero-compile contract. Forwards everything the disk
+/// cache keys or calls through (config string, deserialization).
 struct CountingBackend : backend::Backend {
   explicit CountingBackend(std::unique_ptr<backend::Backend> Inner)
       : Inner(std::move(Inner)) {}
   std::string name() const override { return Inner->name(); }
+  std::string cacheConfig() const override { return Inner->cacheConfig(); }
   using backend::Backend::compile;
   std::unique_ptr<backend::CompiledModule>
   compile(const qir::Module &M, const backend::CompileOptions &Opts) override {
     ++Compiles;
     return Inner->compile(M, Opts);
+  }
+  std::unique_ptr<backend::CompiledModule> deserialize(const uint8_t *Data,
+                                                       size_t Len) override {
+    return Inner->deserialize(Data, Len);
   }
   std::unique_ptr<backend::Backend> Inner;
   std::atomic<uint64_t> Compiles{0};
@@ -228,12 +247,194 @@ int runAsyncCompileSoak(uint64_t Rounds) {
   return 0;
 }
 
+/// Deterministic module for the code-cache soak: the same seed produces
+/// the same module (and so the same fingerprint) in every process, which
+/// is what makes the cross-run warm check meaningful.
+std::unique_ptr<qir::Module> buildStressModule(uint64_t Seed) {
+  auto M = std::make_unique<qir::Module>();
+  Rng R(Seed * 6364136223846793005ull + 1442695040888963407ull);
+  test::RandomFnBuilder RB(*M, R);
+  RB.build("rand");
+  return M;
+}
+
+/// Blob files currently in \p Dir.
+std::vector<std::string> listCacheBlobs(const std::string &Dir) {
+  std::vector<std::string> Out;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".qcc") == 0)
+      Out.push_back(Dir + "/" + Name);
+  }
+  ::closedir(D);
+  return Out;
+}
+
+int runCodeCacheSoak(uint64_t Rounds) {
+  const char *DirEnv = std::getenv("QCF_CODE_CACHE");
+  if (!DirEnv || !*DirEnv) {
+    std::fprintf(stderr, "--code-cache requires $QCF_CODE_CACHE to be set\n");
+    return 2;
+  }
+  const std::string Dir = DirEnv;
+  const char *WarmCheck = std::getenv("QCF_WARM_CHECK");
+
+  // Deterministic corpus + interpreter expectations.
+  constexpr int NumModules = 8;
+  interp::InterpBackend Interp;
+  std::vector<std::unique_ptr<qir::Module>> Mods;
+  std::vector<std::vector<Outcome>> Expected(NumModules);
+  std::vector<std::pair<uint64_t, uint64_t>> Inputs = {
+      {0, 0}, {~0ull, 1}, {42, 7}, {0x123456789abcdefull, 3}};
+  for (int K = 0; K != NumModules; ++K) {
+    Mods.push_back(buildStressModule(K));
+    if (std::optional<std::string> Err = qir::verify(*Mods[K])) {
+      std::fprintf(stderr, "module %d: invalid IR: %s\n", K, Err->c_str());
+      return 1;
+    }
+    auto Ref = Interp.compile(*Mods[K]);
+    for (auto [A, B] : Inputs)
+      Expected[K].push_back(invoke(Ref->entry("rand"), A, B));
+  }
+
+  /// Compiles the whole corpus through a disk-backed caching stack and
+  /// differentially checks every module; returns mismatch count.
+  auto RunCorpus = [&](backend::CachingBackend &Cache) {
+    uint64_t Bad = 0;
+    for (int K = 0; K != NumModules; ++K) {
+      auto C = Cache.compile(*Mods[K]);
+      for (size_t J = 0; J != Inputs.size(); ++J)
+        if (!(invoke(C->entry("rand"), Inputs[J].first, Inputs[J].second) ==
+              Expected[K][J]))
+          ++Bad;
+    }
+    return Bad;
+  };
+
+  if (WarmCheck && (!std::strcmp(WarmCheck, "cold") ||
+                    !std::strcmp(WarmCheck, "warm"))) {
+    // CI warm-restart contract: the cold run populates the cache; the warm
+    // run (same directory, fresh process) must install everything from
+    // disk without a single back-end compile.
+    bool Warm = !std::strcmp(WarmCheck, "warm");
+    obs::MetricsRegistry Reg;
+    backend::DiskCodeCache Disk(Dir, 0, &Reg);
+    auto Counting =
+        std::make_unique<CountingBackend>(backend::createBackend("DirectEmit"));
+    CountingBackend *Counter = Counting.get();
+    backend::CachingBackend Cache(std::move(Counting), 0, nullptr, &Reg, &Disk);
+    uint64_t Bad = RunCorpus(Cache);
+    backend::DiskCacheStats S = Disk.stats();
+    std::printf("code-cache %s run: %llu compiles, %llu disk hits, %llu "
+                "stores, %llu mismatches\n",
+                WarmCheck,
+                static_cast<unsigned long long>(Counter->Compiles.load()),
+                static_cast<unsigned long long>(S.Hits),
+                static_cast<unsigned long long>(S.Stores),
+                static_cast<unsigned long long>(Bad));
+    if (Bad)
+      return 1;
+    if (Warm && (Counter->Compiles.load() != 0 || S.Hits == 0)) {
+      std::fprintf(stderr,
+                   "FAILED warm check: expected zero back-end compiles and "
+                   "disk hits > 0\n");
+      return 1;
+    }
+    if (!Warm && S.Stores == 0) {
+      std::fprintf(stderr, "FAILED cold check: nothing was stored\n");
+      return 1;
+    }
+    return 0;
+  }
+
+  // Default soak: store/load thread storms plus corruption injection,
+  // always falling back to a clean recompile.
+  std::printf("code-cache soak: %llu rounds over %s\n",
+              static_cast<unsigned long long>(Rounds), Dir.c_str());
+  uint64_t Violations = 0;
+  for (uint64_t Round = 0; Round != Rounds; ++Round) {
+    {
+      obs::MetricsRegistry Reg;
+      backend::DiskCodeCache Disk(Dir, 0, &Reg);
+      backend::CachingBackend Cache(backend::createBackend("DirectEmit"), 0,
+                                    nullptr, &Reg, &Disk);
+      std::atomic<uint64_t> Bad{0};
+      std::vector<std::thread> Threads;
+      for (int T = 0; T != 4; ++T)
+        Threads.emplace_back([&, T] {
+          for (int I = 0; I != 8; ++I) {
+            int K = (T * 5 + I * 3) % NumModules;
+            auto C = Cache.compile(*Mods[K]);
+            for (size_t J = 0; J != Inputs.size(); ++J)
+              if (!(invoke(C->entry("rand"), Inputs[J].first,
+                           Inputs[J].second) == Expected[K][J]))
+                ++Bad;
+          }
+        });
+      for (std::thread &T : Threads)
+        T.join();
+      Violations += Bad.load();
+    }
+
+    // Corrupt one blob, then recompile the whole corpus: the cache must
+    // reject it and fall back without any result changing.
+    std::vector<std::string> Blobs = listCacheBlobs(Dir);
+    if (!Blobs.empty()) {
+      const std::string &Victim = Blobs[Round % Blobs.size()];
+      int Fd = ::open(Victim.c_str(), O_RDWR);
+      if (Fd >= 0) {
+        uint8_t Byte = 0;
+        off_t Off = static_cast<off_t>(40 + Round % 8);
+        if (::pread(Fd, &Byte, 1, Off) == 1) {
+          Byte ^= 0x80;
+          (void)!::pwrite(Fd, &Byte, 1, Off);
+        }
+        ::close(Fd);
+      }
+    }
+    {
+      obs::MetricsRegistry Reg;
+      backend::DiskCodeCache Disk(Dir, 0, &Reg);
+      backend::CachingBackend Cache(backend::createBackend("DirectEmit"), 0,
+                                    nullptr, &Reg, &Disk);
+      uint64_t Bad = RunCorpus(Cache);
+      if (Bad) {
+        std::fprintf(stderr,
+                     "round %llu: %llu mismatches after corruption injection\n",
+                     static_cast<unsigned long long>(Round),
+                     static_cast<unsigned long long>(Bad));
+        Violations += Bad;
+      }
+    }
+    if (Violations >= 3) {
+      std::fprintf(stderr, "too many violations, stopping\n");
+      return 1;
+    }
+    if ((Round + 1) % 10 == 0)
+      std::printf("  %llu rounds ok\n",
+                  static_cast<unsigned long long>(Round + 1));
+  }
+  if (Violations) {
+    std::printf("FAILED: %llu violations\n",
+                static_cast<unsigned long long>(Violations));
+    return 1;
+  }
+  std::printf("all %llu rounds clean\n",
+              static_cast<unsigned long long>(Rounds));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc > 1 && std::strcmp(argv[1], "--async-compile") == 0)
     return runAsyncCompileSoak(
         argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 50);
+  if (argc > 1 && std::strcmp(argv[1], "--code-cache") == 0)
+    return runCodeCacheSoak(argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 20);
   uint64_t NumSeeds = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1000;
   const char *Only = argc > 2 ? argv[2] : nullptr;
 
