@@ -23,6 +23,7 @@
 #include "db/Queries.h"
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,107 @@ inline void printHeader(const char *Title, const char *PaperRef) {
   std::printf("(reproduces %s; shapes/ratios comparable, absolute times "
               "machine-dependent)\n\n", PaperRef);
 }
+
+/// Common bench command-line flags: `--json` opts into writing the
+/// machine-readable BENCH_<n>.json trajectory record next to the printed
+/// table, `--quick` trims reps/queries for CI smoke runs.
+struct BenchFlags {
+  bool Json = false;
+  bool Quick = false;
+};
+
+inline BenchFlags parseBenchFlags(int Argc, char **Argv) {
+  BenchFlags F;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json"))
+      F.Json = true;
+    else if (!std::strcmp(Argv[I], "--quick"))
+      F.Quick = true;
+  }
+  return F;
+}
+
+/// Machine-readable trajectory record: the ROADMAP asks every PR to pin
+/// its perf numbers as `BENCH_<n>.json` (n = the PR ordinal) so
+/// re-anchors and regressions are judged from recorded data instead of
+/// anecdotes. A bench builds one of these mirroring its printed table —
+/// top-level scalars via field(), one row() per table line with col()s —
+/// and write()s it into the current directory.
+class BenchJson {
+public:
+  explicit BenchJson(const std::string &Bench) : Bench(Bench) {}
+
+  BenchJson &field(const char *K, double V) {
+    Top.push_back(keyed(K, num(V)));
+    return *this;
+  }
+  BenchJson &field(const char *K, const std::string &V) {
+    Top.push_back(keyed(K, str(V)));
+    return *this;
+  }
+  BenchJson &row() {
+    Rows.emplace_back();
+    return *this;
+  }
+  BenchJson &col(const char *K, double V) {
+    Rows.back().push_back(keyed(K, num(V)));
+    return *this;
+  }
+  BenchJson &col(const char *K, const std::string &V) {
+    Rows.back().push_back(keyed(K, str(V)));
+    return *this;
+  }
+
+  /// Writes BENCH_<Ordinal>.json in the working directory. \returns
+  /// false (after printing to stderr) if the file cannot be written.
+  bool write(unsigned Ordinal) const {
+    std::string Body = "{\n  \"bench\": " + str(Bench);
+    for (const std::string &T : Top)
+      Body += ",\n  " + T;
+    Body += ",\n  \"rows\": [";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      Body += I ? ",\n    {" : "\n    {";
+      for (size_t J = 0; J != Rows[I].size(); ++J)
+        Body += (J ? std::string(", ") : std::string()) + Rows[I][J];
+      Body += "}";
+    }
+    Body += Rows.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+    std::string Path = "BENCH_" + std::to_string(Ordinal) + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fwrite(Body.data(), 1, Body.size(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  static std::string num(double V) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+    return Buf;
+  }
+  static std::string str(const std::string &V) {
+    std::string Out = "\"";
+    for (char C : V) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    return Out + "\"";
+  }
+  static std::string keyed(const char *K, const std::string &V) {
+    return "\"" + std::string(K) + "\": " + V;
+  }
+
+  std::string Bench;
+  std::vector<std::string> Top;
+  std::vector<std::vector<std::string>> Rows;
+};
 
 } // namespace qcf::bench
 

@@ -7,6 +7,7 @@
 #include "backend/CompileService.h"
 #include "support/TimeTrace.h"
 #include <atomic>
+#include <chrono>
 
 namespace qcf::backend {
 
@@ -140,6 +141,17 @@ void CompileService::finishJob(const std::shared_ptr<CompileJob> &Job,
 
   if (!Cancel) {
     QueueDepth.set(static_cast<int64_t>(Queue.size()));
+    // Compile-latency jitter (test hook): delay before the compile so a
+    // soak sweeps the landing time across morsel boundaries.
+    if (uint32_t MaxUs = TestDelayMaxUs.load(std::memory_order_relaxed)) {
+      uint64_t S = TestDelayRng.fetch_add(0x9e3779b97f4a7c15ull,
+                                          std::memory_order_relaxed);
+      S ^= S >> 33;
+      S *= 0xff51afd7ed558ccdull;
+      S ^= S >> 33;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(S % (uint64_t(MaxUs) + 1)));
+    }
     uint64_t StartNs = nowNs();
     if (obs::TraceSink *Sink = Job->Opts.Obs.Sink)
       if (Job->SubmitNs && StartNs > Job->SubmitNs)

@@ -162,6 +162,17 @@ public:
   /// Assembles a CompileServiceStats view from the registry.
   CompileServiceStats stats() const;
 
+  /// Test hook (qcf_stress --osr): workers sleep a pseudo-random
+  /// 0..MaxDelayUs microseconds before each compile, so compile-landing
+  /// time sweeps across every morsel boundary of concurrently executing
+  /// pipelines instead of clustering at startup. 0 disables. The
+  /// sequence is deterministic per (Seed, job order).
+  void injectCompileLatencyForTest(uint32_t MaxDelayUs,
+                                   uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    TestDelayRng.store(Seed, std::memory_order_relaxed);
+    TestDelayMaxUs.store(MaxDelayUs, std::memory_order_relaxed);
+  }
+
 private:
   void workerLoop();
   void finishJob(const std::shared_ptr<detail::CompileJob> &Job, bool Cancel);
@@ -169,6 +180,8 @@ private:
   BoundedQueue<std::shared_ptr<detail::CompileJob>> Queue;
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopping{false};
+  std::atomic<uint32_t> TestDelayMaxUs{0};
+  std::atomic<uint64_t> TestDelayRng{0};
 
   mutable std::mutex LifecycleMutex;
   std::condition_variable AllDoneCv; ///< Signalled when Pending hits 0.

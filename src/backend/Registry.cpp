@@ -119,6 +119,29 @@ void AdaptiveModule::waitForPromotion() {
   HasPending.store(false, std::memory_order_release);
 }
 
+CompileTicket AdaptiveModule::requestPromotion(CompileService *Svc) {
+  if (isPromoted())
+    return CompileTicket();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (HasPending.load(std::memory_order_acquire))
+    return PendingTicket;
+  CompileService *Target = Service ? Service : Svc;
+  if (!Target)
+    return CompileTicket();
+  OptBackend = std::make_unique<mlvm::MlvmBackend>(mlvm::MlvmOptions::opt());
+  PromoteSubmitNs = nowNs();
+  PendingTicket = Target->submit(M, *OptBackend, CompilePriority::Background);
+  HasPending.store(true, std::memory_order_release);
+  return PendingTicket;
+}
+
+CompileTicket AdaptiveModule::promotionTicket() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!HasPending.load(std::memory_order_acquire))
+    return CompileTicket();
+  return PendingTicket;
+}
+
 bool AdaptiveModule::noteExecution(const std::string &Name) {
   if (isPromoted())
     return false;

@@ -93,6 +93,25 @@ public:
   /// Blocks until an in-flight promotion (if any) has been installed.
   void waitForPromotion();
 
+  /// Executor-facing promotion hook (ExecOptions::AdaptiveExec): submits
+  /// the optimizing recompile immediately, bypassing the run-count
+  /// heuristic, and exposes the in-flight ticket so morsel pickups can
+  /// poll it without taking this module's lock. Uses the back-end's
+  /// service when one was attached, else \p Svc. Idempotent: a promotion
+  /// already in flight returns its existing ticket. \returns an invalid
+  /// ticket when already promoted or no service is available.
+  CompileTicket requestPromotion(CompileService *Svc = nullptr);
+
+  /// The in-flight promotion ticket, if any (invalid otherwise). All
+  /// copies observe the same job.
+  CompileTicket promotionTicket();
+
+  /// Installs the promoted tier if the pending recompile has completed;
+  /// never blocks. The executor calls this after driving a swap through
+  /// the ticket so the module's own entry() agrees with the published
+  /// tier. \returns true if this call performed the install.
+  bool installIfReady() { return pollPromotion(); }
+
 private:
   /// Installs the promoted tier if the pending ticket has completed.
   /// \returns true if this call performed the install.

@@ -5,10 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "db/Executor.h"
+#include "backend/Registry.h"
 #include "qir/Clone.h"
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <thread>
@@ -18,52 +20,229 @@ using namespace qcf::db;
 
 namespace {
 
-using PipeFn = void (*)(void *, int64_t, int64_t);
-
 /// How one runPipeline call fanned out; lands in PipelineStats.
 struct PipelineRunInfo {
   unsigned Workers = 1;
   uint64_t MinWorkerMorsels = 0;
+  uint64_t Morsels = 0;
+  uint64_t TierMorsels[2] = {0, 0}; ///< Indexed by TierEntry::Tier.
+  uint64_t TierRows[2] = {0, 0};
+  uint64_t TierNs[2] = {0, 0};
 };
 
-/// Runs one pipeline over [0, Rows), morsel-parallel when allowed.
-PipelineRunInfo runPipeline(PipeFn Fn, void *Ctx, uint64_t Rows, bool Parallel,
-                            const ExecOptions &Opts) {
-  if (!Parallel || Opts.NumThreads <= 1 || Rows < Opts.MorselSize * 2) {
-    Fn(Ctx, 0, static_cast<int64_t>(Rows));
-    return {1, 1};
+/// Per-worker morsel accounting, merged after the join. Owned by the
+/// QueryRuntime (not the runPipeline frame) so a trap's longjmp on the
+/// serial path cannot leak it.
+struct WorkerAcct {
+  uint64_t Morsels = 0;
+  uint64_t TierMorsels[2] = {0, 0};
+  uint64_t TierRows[2] = {0, 0};
+  uint64_t TierNs[2] = {0, 0};
+};
+
+/// Drives one pipeline's tier swap: owns the optimized-tier ticket, the
+/// swap decision, and the publication into the TierCell. atPickup is
+/// called by every worker at every morsel pickup; it is a single relaxed
+/// flag check in steady state (before the compile lands and after the
+/// terminal decision), and exactly one worker at a time probes the
+/// ticket in between.
+struct OsrDriver {
+  OsrDriver(TierCell &Cell, backend::CompileTicket Ticket, std::string FnName,
+            uint64_t Contract, const ExecOptions &Opts)
+      : Cell(Cell), Ticket(std::move(Ticket)), FnName(std::move(FnName)),
+        Contract(Contract), ForceMorsel(Opts.OsrForceSwapMorsel),
+        MinRowsRemaining(Opts.OsrMinRowsRemaining),
+        MorselSize(Opts.MorselSize) {
+    // No ticket (e.g. the Adaptive module is already on its optimized
+    // tier): nothing to drive, and nothing to count at finalize.
+    Inert = !this->Ticket.valid();
+    if (Inert)
+      Done.store(true, std::memory_order_relaxed);
   }
+
+  /// Worker-side hook, invoked before executing global morsel \p Idx of
+  /// a pipeline over \p Rows source rows.
+  void atPickup(uint64_t Idx, uint64_t Rows) {
+    if (Done.load(std::memory_order_acquire))
+      return;
+    if (ForceMorsel >= 0 && static_cast<int64_t>(Idx) < ForceMorsel)
+      return;
+    bool Expected = false;
+    if (!Claim.compare_exchange_strong(Expected, true,
+                                       std::memory_order_acq_rel))
+      return; // another worker holds the probe
+    if (Done.load(std::memory_order_acquire)) {
+      Claim.store(false, std::memory_order_release);
+      return;
+    }
+    if (ForceMorsel >= 0) {
+      // Deterministic cutover: block on the compile so morsel ForceMorsel
+      // is the first to run optimized code (exact when single-threaded;
+      // parallel workers keep draining fast-tier morsels meanwhile).
+      uint64_t W0 = nowNs();
+      std::shared_ptr<backend::CompiledModule> Opt = Ticket.wait();
+      WaitNs.fetch_add(nowNs() - W0, std::memory_order_relaxed);
+      finishAttempt(std::move(Opt), Idx, Rows);
+      return; // Claim stays held: the decision is terminal.
+    }
+    std::shared_ptr<backend::CompiledModule> Opt = Ticket.poll();
+    if (!Opt && !Ticket.done()) {
+      Claim.store(false, std::memory_order_release); // probe again later
+      return;
+    }
+    finishAttempt(std::move(Opt), Idx, Rows);
+  }
+
+  TierCell &Cell;
+  backend::CompileTicket Ticket;
+  const std::string FnName;
+  const uint64_t Contract;
+  const int64_t ForceMorsel;
+  const uint64_t MinRowsRemaining;
+  const uint64_t MorselSize;
+  bool Inert = false;
+
+  /// Swap target. Written by the publishing worker strictly before the
+  /// release store in Cell.publish(); owned here so the code outlives
+  /// every worker still executing it.
+  TierEntry OptEntry;
+  std::shared_ptr<backend::CompiledModule> OptKeeper;
+
+  std::atomic<bool> Done{false};  ///< Terminal decision reached.
+  std::atomic<bool> Claim{false}; ///< Probe mutual exclusion.
+  std::atomic<bool> Installed{false};
+  std::atomic<bool> SkippedPolicy{false};
+  std::atomic<bool> Mismatch{false};
+  std::atomic<int64_t> SwapMorsel{-1};
+  std::atomic<uint64_t> SwapNs{0};
+  std::atomic<uint64_t> WaitNs{0};
+
+private:
+  /// Terminal transition: install the optimized tier, or record why not.
+  void finishAttempt(std::shared_ptr<backend::CompiledModule> Opt,
+                     uint64_t Idx, uint64_t Rows) {
+    if (Opt) {
+      // Rows-remaining policy: rows at or after this morsel. The swap
+      // itself is one atomic store, so the default threshold of 1
+      // publishes whenever any work remains.
+      uint64_t Claimed = std::min(Rows, Idx * MorselSize);
+      if (Rows - Claimed < MinRowsRemaining) {
+        SkippedPolicy.store(true, std::memory_order_relaxed);
+      } else if (void *E = Opt->entry(FnName)) {
+        OptKeeper = std::move(Opt);
+        OptEntry.Fn = reinterpret_cast<PipeFn>(E);
+        OptEntry.Tier = OsrTierOpt;
+        OptEntry.Contract = Contract;
+        if (Cell.publish(&OptEntry)) {
+          SwapMorsel.store(static_cast<int64_t>(Idx),
+                           std::memory_order_relaxed);
+          SwapNs.store(nowNs(), std::memory_order_relaxed);
+          Installed.store(true, std::memory_order_release);
+        } else {
+          Mismatch.store(true, std::memory_order_relaxed);
+        }
+      } else {
+        Mismatch.store(true, std::memory_order_relaxed);
+      }
+    }
+    Done.store(true, std::memory_order_release);
+  }
+};
+
+/// Runs one pipeline over [0, Rows), morsel-parallel when allowed. With
+/// \p Osr attached the loop always goes morsel-by-morsel (even single-
+/// threaded) so every morsel boundary is a potential cutover point, and
+/// each worker re-reads the entry from \p Cell at every pickup.
+PipelineRunInfo runPipeline(TierCell &Cell, void *Ctx, uint64_t Rows,
+                            bool Parallel, const ExecOptions &Opts,
+                            OsrDriver *Osr, std::vector<WorkerAcct> &Acct) {
+  if (!Osr &&
+      (!Parallel || Opts.NumThreads <= 1 || Rows < Opts.MorselSize * 2)) {
+    const TierEntry *E = Cell.load();
+    E->Fn(Ctx, 0, static_cast<int64_t>(Rows));
+    PipelineRunInfo R{1, 1};
+    R.Morsels = 1;
+    R.TierMorsels[E->Tier & 1] = 1;
+    R.TierRows[E->Tier & 1] = Rows;
+    return R;
+  }
+
+  uint64_t NumMorsels = (Rows + Opts.MorselSize - 1) / Opts.MorselSize;
+  if (NumMorsels == 0)
+    return {1, 0};
   // Cap the fan-out at the morsel supply: spawning NumThreads - 1 workers
   // unconditionally creates threads whose only act is to observe the
   // cursor past Rows and exit. Each worker is pre-assigned its first
   // morsel statically (worker T starts at T * MorselSize) and the shared
   // cursor starts past the pre-assigned region, so every spawned thread
   // runs at least one morsel by construction, not by scheduling luck.
-  uint64_t NumMorsels = (Rows + Opts.MorselSize - 1) / Opts.MorselSize;
-  unsigned Workers = static_cast<unsigned>(
-      std::min<uint64_t>(Opts.NumThreads, NumMorsels));
+  unsigned Workers = 1;
+  if (Parallel && Opts.NumThreads > 1)
+    Workers =
+        static_cast<unsigned>(std::min<uint64_t>(Opts.NumThreads, NumMorsels));
   std::atomic<uint64_t> Next{static_cast<uint64_t>(Workers) * Opts.MorselSize};
-  std::vector<uint64_t> MorselsRun(Workers, 0);
+  Acct.assign(Workers, WorkerAcct());
   auto Worker = [&](unsigned T) {
+    WorkerAcct &A = Acct[T];
     uint64_t Begin = static_cast<uint64_t>(T) * Opts.MorselSize;
     while (Begin < Rows) {
+      uint64_t Idx = Begin / Opts.MorselSize;
+      if (Osr)
+        Osr->atPickup(Idx, Rows);
+      // Re-read the entry at every pickup — including the statically
+      // pre-assigned first morsel, so a swap landing between spawn and
+      // first pickup is honored rather than missed (the entry is never
+      // captured at spawn time).
+      const TierEntry *E = Cell.load();
       uint64_t End = std::min(Rows, Begin + Opts.MorselSize);
-      Fn(Ctx, static_cast<int64_t>(Begin), static_cast<int64_t>(End));
-      ++MorselsRun[T];
+      uint64_t T0 = Osr ? nowNs() : 0;
+      E->Fn(Ctx, static_cast<int64_t>(Begin), static_cast<int64_t>(End));
+      unsigned Tier = E->Tier & 1;
+      ++A.Morsels;
+      ++A.TierMorsels[Tier];
+      A.TierRows[Tier] += End - Begin;
+      if (Osr)
+        A.TierNs[Tier] += nowNs() - T0;
       Begin = Next.fetch_add(Opts.MorselSize);
     }
   };
-  std::vector<std::thread> Threads;
-  for (unsigned T = 1; T < Workers; ++T)
-    Threads.emplace_back(Worker, T);
-  Worker(0);
-  for (std::thread &T : Threads)
-    T.join();
-  return {Workers,
-          *std::min_element(MorselsRun.begin(), MorselsRun.end())};
+  if (Workers == 1) {
+    Worker(0);
+  } else {
+    std::vector<std::thread> Threads;
+    for (unsigned T = 1; T < Workers; ++T)
+      Threads.emplace_back(Worker, T);
+    Worker(0);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  PipelineRunInfo R;
+  R.Workers = Workers;
+  R.MinWorkerMorsels = Acct[0].Morsels;
+  for (const WorkerAcct &A : Acct) {
+    R.MinWorkerMorsels = std::min(R.MinWorkerMorsels, A.Morsels);
+    R.Morsels += A.Morsels;
+    for (int I = 0; I != 2; ++I) {
+      R.TierMorsels[I] += A.TierMorsels[I];
+      R.TierRows[I] += A.TierRows[I];
+      R.TierNs[I] += A.TierNs[I];
+    }
+  }
+  return R;
 }
 
-/// Per-query runtime state shared by the blocking and async paths.
+/// What one pipeline resolves to before its morsel loop runs: the entry
+/// cell workers re-read, an optional swap driver, and the module entries
+/// (sort comparator) resolve against.
+struct ResolvedCode {
+  TierCell *Cell = nullptr;
+  OsrDriver *Osr = nullptr;
+  backend::CompiledModule *Module = nullptr;
+};
+
+/// Per-query runtime state shared by the blocking, async, and adaptive
+/// paths.
 struct QueryRuntime {
   QueryRuntime(const CompiledPlan &Plan, const Catalog &Cat,
                rt::OutputBuffer *Out)
@@ -115,45 +294,77 @@ struct QueryRuntime {
     }
   }
 
-  /// Runs every pipeline, resolving code through \p ModuleFor (which may
-  /// block — e.g. waiting for that pipeline's compile ticket). Fills
-  /// PipeStats with per-pipeline rows and wall time, and emits one
-  /// timeline slice per pipeline when a sink is attached.
-  rt::TrapCode
-  runAll(const ExecOptions &Opts,
-         const std::function<backend::CompiledModule &(size_t)> &ModuleFor) {
+  /// Runs every pipeline, resolving code through \p Resolve (which may
+  /// block — e.g. waiting for that pipeline's compile ticket — and
+  /// returns the pipeline's entry cell, optional swap driver, and
+  /// comparator source). Fills PipeStats with per-pipeline rows, wall
+  /// time, and morsel/tier accounting, and emits one timeline slice per
+  /// pipeline when a sink is attached.
+  template <typename ResolveFn>
+  rt::TrapCode runAllImpl(const ExecOptions &Opts, ResolveFn Resolve) {
     PipeStats.resize(Plan.Pipelines.size());
     return rt::runWithTrapGuard([&] {
       for (size_t PI = 0; PI != Plan.Pipelines.size(); ++PI) {
         const PipelineDesc &P = Plan.Pipelines[PI];
         createObjects(PI);
 
-        backend::CompiledModule &CM = ModuleFor(PI);
-        auto *Fn = reinterpret_cast<PipeFn>(CM.entry(P.FnName));
-        assert(Fn && "missing pipeline entry point");
+        ResolvedCode RC = Resolve(PI);
         uint64_t Rows = sourceRows(P);
         uint64_t StartNs = nowNs();
-        PipelineRunInfo Run =
-            runPipeline(Fn, Ctx.data(), Rows, P.ParallelSafe, Opts);
+        PipelineRunInfo Run = runPipeline(*RC.Cell, Ctx.data(), Rows,
+                                          P.ParallelSafe, Opts, RC.Osr,
+                                          AcctScratch);
 
-        // Sort step after a materialization pipeline.
+        // Sort step after a materialization pipeline. The comparator
+        // resolves through the current tier (an installed swap covers it
+        // too: the sliced unit carries the comparator alongside the
+        // pipeline function).
         if (P.SortObject >= 0) {
           const RuntimeObject &Obj = Plan.Objects[P.SortObject];
-          void *Cmp = CM.entry(Obj.CmpFnName);
+          void *Cmp = nullptr;
+          if (RC.Osr && RC.Osr->Installed.load(std::memory_order_acquire))
+            Cmp = RC.Osr->OptKeeper->entry(Obj.CmpFnName);
+          if (!Cmp)
+            Cmp = RC.Module->entry(Obj.CmpFnName);
           assert(Cmp && "missing comparator entry point");
           rt_sort(reinterpret_cast<void *>(Ctx[Obj.Slot]), Ctx[Obj.CountSlot],
                   Obj.RowStride, Cmp);
         }
 
         uint64_t DurNs = nowNs() - StartNs;
-        PipeStats[PI].Rows = Rows;
-        PipeStats[PI].ExecNs = DurNs;
-        PipeStats[PI].Workers = Run.Workers;
-        PipeStats[PI].MinWorkerMorsels = Run.MinWorkerMorsels;
+        PipelineStats &S = PipeStats[PI];
+        S.Rows = Rows;
+        S.ExecNs = DurNs;
+        S.Workers = Run.Workers;
+        S.MinWorkerMorsels = Run.MinWorkerMorsels;
+        S.Morsels = Run.Morsels;
+        S.MorselsFast = Run.TierMorsels[OsrTierFast];
+        S.MorselsOpt = Run.TierMorsels[OsrTierOpt];
+        S.RowsFast = Run.TierRows[OsrTierFast];
+        S.RowsOpt = Run.TierRows[OsrTierOpt];
+        S.NsFast = Run.TierNs[OsrTierFast];
+        S.NsOpt = Run.TierNs[OsrTierOpt];
         if (obs::TraceSink *Sink = Opts.Obs.Sink)
           Sink->completeEvent("db.pipeline." + P.FnName, "exec", StartNs,
                               DurNs);
       }
+    });
+  }
+
+  /// Module-per-pipeline form used by the blocking and async paths: one
+  /// static entry per pipeline, no swap driver.
+  rt::TrapCode
+  runAll(const ExecOptions &Opts,
+         const std::function<backend::CompiledModule &(size_t)> &ModuleFor) {
+    return runAllImpl(Opts, [&](size_t PI) -> ResolvedCode {
+      const PipelineDesc &P = Plan.Pipelines[PI];
+      backend::CompiledModule &CM = ModuleFor(PI);
+      auto *Fn = reinterpret_cast<PipeFn>(CM.entry(P.FnName));
+      assert(Fn && "missing pipeline entry point");
+      StaticEntries.push_back(
+          TierEntry{Fn, OsrTierFast, osrContract(P.FnName, Plan.NumCtxSlots)});
+      StaticCells.emplace_back(&StaticEntries.back());
+      return ResolvedCode{&StaticCells.back(), nullptr, &CM};
     });
   }
 
@@ -164,6 +375,11 @@ struct QueryRuntime {
   std::vector<std::unique_ptr<rt::HashTable>> Tables;
   std::vector<std::unique_ptr<uint8_t[]>> Buffers;
   std::vector<PipelineStats> PipeStats;
+  /// Stable storage for per-pipeline entries/cells (deques: growth never
+  /// moves elements a running pipeline still reads).
+  std::deque<TierEntry> StaticEntries;
+  std::deque<TierCell> StaticCells;
+  std::vector<WorkerAcct> AcctScratch;
 };
 
 /// Publishes the always-on structural query metrics and the spanning
@@ -297,11 +513,157 @@ ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
   return Result;
 }
 
+/// Mid-query adaptive recompilation (DESIGN.md "Mid-query tier swap"):
+/// execution starts on the cheap tier immediately, the optimized tier
+/// compiles on the service, and each pipeline publishes the optimized
+/// entry at a morsel boundary once it lands.
+ExecResult executeQueryAdaptive(const CompiledPlan &Plan, backend::Backend &BE,
+                                const Catalog &Cat, rt::OutputBuffer *Out,
+                                const ExecOptions &Opts) {
+  std::vector<std::unique_ptr<qir::Module>> Units = slicePlanModules(Plan);
+  if (Units.empty()) {
+    // Unsliceable plan: degrade to the blocking path on the fast tier
+    // (starting immediately is the mode's contract; the optimized tier
+    // would have nothing to swap into mid-pipeline anyway).
+    ExecOptions Sync = Opts;
+    Sync.AdaptiveExec = false;
+    Sync.AsyncCompile = false;
+    if (Opts.FastBackend)
+      return executeQuery(Plan, *Opts.FastBackend, Cat, Out, Sync);
+    return executeQuery(Plan, BE, Cat, Out, Sync);
+  }
+
+  uint64_t QueryStartNs = nowNs();
+  uint64_t RowsBefore = Out ? Out->numRows() : 0;
+  backend::CompileOptions CO{Opts.Obs};
+
+  const bool BeIsAdaptive = BE.name() == "Adaptive";
+  std::unique_ptr<backend::Backend> OwnedFast;
+  backend::Backend *Fast = Opts.FastBackend;
+  if (!Fast && !BeIsAdaptive) {
+    OwnedFast = backend::createBackend("DirectEmit");
+    Fast = OwnedFast.get();
+  }
+
+  // Units must outlive the service (running jobs reference them), so the
+  // transient service is declared after them.
+  std::optional<backend::CompileService> Local;
+  backend::CompileService *Svc = Opts.Service;
+  if (!Svc) {
+    Local.emplace(Opts.AsyncCompileWorkers ? Opts.AsyncCompileWorkers : 1);
+    Svc = &*Local;
+  }
+
+  ExecResult Result;
+  // The optimized tier is queued first (Background priority: it is
+  // speculative until a pipeline decides to swap), then the fast tier
+  // compiles synchronously so execution starts right away.
+  uint64_t CompileStartNs = nowNs();
+  std::vector<std::unique_ptr<backend::CompiledModule>> FastMods(Units.size());
+  std::vector<backend::CompileTicket> Tickets(Units.size());
+  if (BeIsAdaptive) {
+    // Promotion-hook path: the Adaptive back-end compiles its own fast
+    // tier, and AdaptiveModule exposes the in-flight optimizing ticket
+    // for the executor to poll at morsel boundaries.
+    for (size_t PI = 0; PI != Units.size(); ++PI) {
+      FastMods[PI] = BE.compile(*Units[PI], CO);
+      auto *AM = static_cast<backend::AdaptiveModule *>(FastMods[PI].get());
+      Tickets[PI] = AM->requestPromotion(Svc);
+    }
+  } else {
+    for (size_t PI = 0; PI != Units.size(); ++PI)
+      Tickets[PI] =
+          Svc->submit(*Units[PI], BE, backend::CompilePriority::Background, CO);
+    for (size_t PI = 0; PI != Units.size(); ++PI)
+      FastMods[PI] = Fast->compile(*Units[PI], CO);
+  }
+  Result.Stats.CompileNs = nowNs() - CompileStartNs;
+
+  QueryRuntime RT(Plan, Cat, Out);
+  std::deque<TierEntry> FastEntries;
+  std::deque<TierCell> Cells;
+  std::deque<OsrDriver> Drivers;
+
+  uint64_t ExecStartNs = nowNs();
+  rt::TrapCode Code = RT.runAllImpl(Opts, [&](size_t PI) -> ResolvedCode {
+    const PipelineDesc &P = Plan.Pipelines[PI];
+    uint64_t Contract = osrContract(P.FnName, Plan.NumCtxSlots);
+    auto *Fn = reinterpret_cast<PipeFn>(FastMods[PI]->entry(P.FnName));
+    assert(Fn && "missing pipeline entry point");
+    FastEntries.push_back(TierEntry{Fn, OsrTierFast, Contract});
+    Cells.emplace_back(&FastEntries.back());
+    Drivers.emplace_back(Cells.back(), Tickets[PI], P.FnName, Contract, Opts);
+    return ResolvedCode{&Cells.back(), &Drivers.back(), FastMods[PI].get()};
+  });
+  Result.Stats.ExecNs = nowNs() - ExecStartNs;
+  if (Code != rt::TrapCode::None) {
+    Result.Trapped = true;
+    Result.Trap = Code;
+  }
+  Result.Stats.Pipelines = std::move(RT.PipeStats);
+
+  // Swap outcomes: stats, exec.osr.* metrics, timeline markers. (A trap
+  // leaves later pipelines without drivers; their tickets are cleaned up
+  // below without counting as "too late".)
+  obs::MetricsRegistry &Reg = Opts.Obs.registry();
+  for (size_t PI = 0; PI != Drivers.size(); ++PI) {
+    OsrDriver &D = Drivers[PI];
+    uint64_t Stall = D.WaitNs.load(std::memory_order_relaxed);
+    int64_t Swap = D.SwapMorsel.load(std::memory_order_relaxed);
+    if (PI < Result.Stats.Pipelines.size()) {
+      Result.Stats.Pipelines[PI].SwapMorsel = Swap;
+      Result.Stats.Pipelines[PI].OsrStallNs = Stall;
+    }
+    Result.Stats.OsrStallNs += Stall;
+    if (Stall)
+      Reg.histogram("exec.osr.stall_ns").observe(Stall);
+    if (D.Inert)
+      continue;
+    if (D.Installed.load(std::memory_order_acquire)) {
+      ++Result.Stats.OsrSwaps;
+      Reg.counter("exec.osr.swaps").inc();
+      if (Swap >= 0)
+        Reg.histogram("exec.osr.swap_morsel").observe(
+            static_cast<uint64_t>(Swap));
+      if (obs::TraceSink *Sink = Opts.Obs.Sink)
+        Sink->instantEvent("db.osr.swap." + Plan.Pipelines[PI].FnName, "exec",
+                           D.SwapNs.load(std::memory_order_relaxed));
+    } else if (D.Mismatch.load(std::memory_order_relaxed)) {
+      Reg.counter("exec.osr.contract_mismatch").inc();
+    } else if (D.SkippedPolicy.load(std::memory_order_relaxed)) {
+      Reg.counter("exec.osr.skipped").inc();
+    } else {
+      // Compile never landed while the pipeline ran.
+      Reg.counter("exec.osr.too_late").inc();
+    }
+  }
+
+  // Outstanding optimized compiles reference Units, which die with this
+  // frame. Adaptive modules own their pending tickets (installIfReady
+  // syncs a landed promotion into the module; the destructor cancels or
+  // waits out the rest); generic tickets are cancelled or waited here.
+  if (BeIsAdaptive) {
+    for (auto &FM : FastMods)
+      static_cast<backend::AdaptiveModule *>(FM.get())->installIfReady();
+  } else {
+    for (backend::CompileTicket &T : Tickets)
+      if (T.valid() && !T.cancel())
+        T.wait();
+  }
+  finishQuery(Opts, Result, Out, RowsBefore, QueryStartNs);
+  return Result;
+}
+
 } // namespace
 
 ExecResult db::executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
                             const Catalog &Cat, rt::OutputBuffer *Out,
                             const ExecOptions &Opts) {
+  if (Opts.AdaptiveExec) {
+    ExecOptions Adaptive = Opts;
+    Adaptive.AsyncCompile = false; // AdaptiveExec subsumes async compilation.
+    return executeQueryAdaptive(Plan, BE, Cat, Out, Adaptive);
+  }
   if (Opts.AsyncCompile)
     return executeQueryAsync(Plan, BE, Cat, Out, Opts);
 

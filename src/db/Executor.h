@@ -19,6 +19,7 @@
 #include "backend/Backend.h"
 #include "backend/CompileService.h"
 #include "db/Codegen.h"
+#include "db/Osr.h"
 #include "runtime/Runtime.h"
 
 namespace qcf::db {
@@ -34,10 +35,44 @@ struct ExecOptions {
   /// pipeline N overlaps runtime-object setup and execution of pipelines
   /// 0..N-1. Results are bit-identical to blocking mode.
   bool AsyncCompile = false;
-  /// Service for AsyncCompile; when null, a transient service with
-  /// \ref AsyncCompileWorkers workers lives for the duration of the call.
+  /// Service for AsyncCompile and AdaptiveExec; when null, a transient
+  /// service with \ref AsyncCompileWorkers workers lives for the
+  /// duration of the call.
   backend::CompileService *Service = nullptr;
   unsigned AsyncCompileWorkers = 2;
+
+  /// Mid-query adaptive recompilation (morsel-boundary OSR; DESIGN.md
+  /// "Mid-query tier swap"): execution starts immediately on a cheap
+  /// tier (\ref FastBackend, DirectEmit by default) while the optimized
+  /// tier — the \p BE argument of executeQuery — compiles on the
+  /// CompileService. Each worker re-reads the pipeline's entry point at
+  /// every morsel pickup; once the optimized compile lands it is
+  /// published at the next morsel boundary, so the static tier choice of
+  /// the paper's Figure 7 becomes a dynamic one with bounded regret.
+  /// When \p BE is the Adaptive back-end, its own promotion machinery is
+  /// driven through AdaptiveModule's promotion-ticket hook instead of a
+  /// direct service submit. Results are bit-identical to either tier
+  /// alone. Takes precedence over AsyncCompile.
+  bool AdaptiveExec = false;
+  /// The tier execution starts on in AdaptiveExec mode; null means an
+  /// internally created DirectEmit. Must outlive the call.
+  backend::Backend *FastBackend = nullptr;
+  /// Swap policy: a landed optimized compile is published only while at
+  /// least this many source rows have not yet been claimed. The swap
+  /// itself costs one atomic store, so the default publishes whenever
+  /// any morsel remains; raise it to keep short pipeline tails on the
+  /// warm fast tier (observed per-tier throughput lands in
+  /// PipelineStats, so callers can tune this from QueryStats).
+  uint64_t OsrMinRowsRemaining = 1;
+  /// Deterministic cutover for tests and regret measurement: with a
+  /// value >= 0, the optimized tier is force-published exactly when
+  /// global morsel index \p OsrForceSwapMorsel is picked up — the worker
+  /// claiming it blocks on the compile ticket, so morsels [0, N) run the
+  /// fast tier and [N, end) the optimized tier (exact in single-thread
+  /// execution; under parallel workers, other workers keep draining
+  /// morsels on the fast tier while the claimant waits). -1 = swap is
+  /// policy-driven (publish when the compile lands).
+  int64_t OsrForceSwapMorsel = -1;
 
   /// Observability consumers for this query: the compile trace, metrics
   /// registry, and timeline sink are all carried through compilation and
@@ -58,15 +93,41 @@ struct PipelineStats {
   /// each worker its first morsel statically, so this is >= 1 whenever
   /// the pipeline ran (DbTest asserts no thread runs zero morsels).
   uint64_t MinWorkerMorsels = 0;
+
+  // Morsel accounting (always filled on the morsel-loop paths; the
+  // serial whole-range fast path reports one "morsel" covering all
+  // rows). The invariant OsrTest/qcf_stress --osr pin: Morsels ==
+  // MorselsFast + MorselsOpt == ceil(Rows / MorselSize), i.e. no lost,
+  // duplicated, or torn morsel across a tier swap.
+  uint64_t Morsels = 0;     ///< Total morsel ranges executed.
+  uint64_t MorselsFast = 0; ///< Morsels run on the initial (fast) tier.
+  uint64_t MorselsOpt = 0;  ///< Morsels run on the swapped-in tier.
+
+  // Per-tier observed throughput (AdaptiveExec only; feeds the
+  // rows-remaining swap policy and the E15 regret analysis).
+  uint64_t RowsFast = 0, RowsOpt = 0; ///< Source rows per tier.
+  uint64_t NsFast = 0, NsOpt = 0;     ///< Summed morsel wall time per tier.
+
+  /// Global morsel index whose pickup published the swap (that morsel
+  /// and all later pickups ran optimized code); -1 when the pipeline
+  /// never swapped.
+  int64_t SwapMorsel = -1;
+  /// Time a worker spent blocked on the optimized compile at a forced
+  /// cutover (OsrForceSwapMorsel); 0 in policy-driven mode, which never
+  /// blocks.
+  uint64_t OsrStallNs = 0;
 };
 
 /// What one db::executeQuery call did, in nanoseconds — the executor-level
 /// complement to the per-phase compile metrics the back-ends publish.
 struct QueryStats {
   uint64_t CompileNs = 0;      ///< Blocking: whole-module compile wall time.
+                               ///< AdaptiveExec: fast-tier compile wall time.
   uint64_t ExecNs = 0;         ///< Pipeline loop wall time.
   uint64_t RowsOut = 0;        ///< Rows appended to the output buffer.
   uint64_t AsyncStallNs = 0;   ///< Async: total time stalled on compiles.
+  uint64_t OsrSwaps = 0;       ///< AdaptiveExec: pipelines that swapped tiers.
+  uint64_t OsrStallNs = 0;     ///< AdaptiveExec: total forced-cutover stall.
   std::vector<PipelineStats> Pipelines;
 };
 

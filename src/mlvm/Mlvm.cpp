@@ -17,6 +17,10 @@
 using namespace qcf;
 using namespace qcf::mlvm;
 
+thread_local IselStats MlvmBackend::LastStats;
+thread_local uint64_t MlvmBackend::LastIrObjects = 0;
+thread_local MlvmBackend::MemPhaseStats MlvmBackend::LastMem;
+
 TargetMachine *mlvm::acquireTargetMachine(bool UseCache) {
   auto Construct = [] {
     auto *TM = new TargetMachine();

@@ -106,9 +106,13 @@ public:
 
 private:
   MlvmOptions Opts;
-  IselStats LastStats;
-  uint64_t LastIrObjects = 0;
-  MemPhaseStats LastMem;
+  // "Most recent compile" telemetry is per *calling thread*, not per
+  // instance: CompileService workers run concurrent compiles through one
+  // shared backend, and every consumer reads on the thread that
+  // compiled.
+  static thread_local IselStats LastStats;
+  static thread_local uint64_t LastIrObjects;
+  static thread_local MemPhaseStats LastMem;
 };
 
 } // namespace qcf::mlvm

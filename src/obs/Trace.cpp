@@ -74,6 +74,17 @@ void TraceSink::instantEvent(std::string Name, const char *Cat) {
   append(std::move(E));
 }
 
+void TraceSink::instantEvent(std::string Name, const char *Cat, uint64_t TsNs) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Ph = 'i';
+  E.TsNs = TsNs > Epoch ? TsNs - Epoch : 0;
+  E.DurNs = 0;
+  E.Value = 0;
+  append(std::move(E));
+}
+
 void TraceSink::counterEvent(std::string Name, uint64_t Value) {
   TraceEvent E;
   E.Name = std::move(Name);

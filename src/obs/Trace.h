@@ -62,6 +62,11 @@ public:
   /// Records an instant event at now.
   void instantEvent(std::string Name, const char *Cat);
 
+  /// Records an instant event at an absolute nowNs() timestamp taken
+  /// earlier (e.g. a tier swap marked when the query finalizes but
+  /// stamped where the swap actually happened on the timeline).
+  void instantEvent(std::string Name, const char *Cat, uint64_t TsNs);
+
   /// Records a counter sample at now (rendered as a counter track).
   void counterEvent(std::string Name, uint64_t Value);
 

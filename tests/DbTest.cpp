@@ -444,6 +444,59 @@ TEST(DbExec, AsyncCompileSharedServiceAndParallelMorsels) {
   EXPECT_GT(Svc.stats().JobsCompleted, 0u);
 }
 
+TEST(DbExec, AdaptiveSwapBeforeFirstPickupKeepsAccounting) {
+  // Regression pin for the static first-morsel assignment: worker T
+  // starts at T * MorselSize without consulting the shared cursor. With
+  // the swap forced at morsel 0, the optimized entry is published while
+  // workers 1..N-1 may still be between spawn and their first pickup —
+  // exactly the window where an entry captured at spawn time, or a
+  // skipped pre-assigned morsel, would corrupt results or accounting.
+  // The per-pipeline morsel ledger must still balance exactly.
+  Catalog &C = tpcdsCatalog();
+  const Query Q = [&] {
+    for (Query &Cand : tpcdsQueries())
+      if (Cand.Name == "ds_brand_m1")
+        return std::move(Cand);
+    QCF_UNREACHABLE("query missing");
+  }();
+  CompiledPlan Plan = compileQuery(Q, C);
+  auto Fast = backend::createBackend("DirectEmit");
+  auto Opt = backend::createBackend("MLVM-cheap");
+
+  rt::OutputBuffer Single;
+  ExecOptions One;
+  One.NumThreads = 1;
+  ASSERT_FALSE(executeQuery(Plan, *Fast, C, &Single, One).Trapped);
+
+  backend::CompileService Svc(2);
+  for (int Round = 0; Round != 3; ++Round) {
+    SCOPED_TRACE(Round);
+    rt::OutputBuffer Out;
+    ExecOptions O;
+    O.NumThreads = 4;
+    O.MorselSize = 256;
+    O.AdaptiveExec = true;
+    O.FastBackend = Fast.get();
+    O.Service = &Svc;
+    O.OsrForceSwapMorsel = 0;
+    ExecResult R = executeQuery(Plan, *Opt, C, &Out, O);
+    ASSERT_FALSE(R.Trapped);
+    EXPECT_EQ(Single.unorderedDigest(), Out.unorderedDigest());
+    EXPECT_GE(R.Stats.OsrSwaps, 1u);
+    ASSERT_FALSE(R.Stats.Pipelines.empty());
+    for (size_t PI = 0; PI != R.Stats.Pipelines.size(); ++PI) {
+      const PipelineStats &P = R.Stats.Pipelines[PI];
+      SCOPED_TRACE(PI);
+      uint64_t NumMorsels = (P.Rows + O.MorselSize - 1) / O.MorselSize;
+      EXPECT_EQ(P.Morsels, NumMorsels) << "lost or duplicated morsel";
+      EXPECT_EQ(P.MorselsFast + P.MorselsOpt, P.Morsels);
+      EXPECT_EQ(P.RowsFast + P.RowsOpt, P.Rows);
+      if (P.Rows > 0)
+        EXPECT_GE(P.MinWorkerMorsels, 1u) << "a worker ran zero morsels";
+    }
+  }
+}
+
 TEST(DbExec, AsyncCompileTrapAbortsCleanly) {
   // The trap path under async compilation: an overflow mid-pipeline must
   // still abort with Trapped set, and the in-flight compile jobs of later

@@ -1,0 +1,52 @@
+//===- tests/QueryCorpus.h - Benchmark query corpus for db tests *- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The database-level test corpus: every TPC-H-like and TPC-DS-like
+/// benchmark query, each paired with its generated catalog. This is the
+/// db-layer complement to tests/Corpus.h (which is a corpus of QIR
+/// *functions* and deliberately carries no db dependency so non-db test
+/// binaries can include it). OsrTest's cutover differential suite and
+/// DbTest-style integration checks iterate this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_TESTS_QUERYCORPUS_H
+#define QCF_TESTS_QUERYCORPUS_H
+
+#include "db/Datagen.h"
+#include "db/Queries.h"
+#include <vector>
+
+namespace qcf::db {
+
+/// One benchmark suite: its generated catalog plus every query over it.
+struct QuerySuite {
+  const char *Name;
+  Catalog *Cat;
+  std::vector<Query> Queries;
+};
+
+/// The full query corpus, generated once per process at scale factor
+/// \p Sf (the first call's value wins; later calls return the same
+/// suites). Catalogs are read-only after generation, so tests may share
+/// them across threads.
+inline std::vector<QuerySuite> &queryCorpus(double Sf = 0.2) {
+  static std::vector<QuerySuite> Suites = [Sf] {
+    static Catalog Tpch, Tpcds;
+    generateTpchLike(Tpch, Sf);
+    generateTpcdsLike(Tpcds, Sf);
+    std::vector<QuerySuite> S;
+    S.push_back(QuerySuite{"tpch", &Tpch, tpchQueries()});
+    S.push_back(QuerySuite{"tpcds", &Tpcds, tpcdsQueries()});
+    return S;
+  }();
+  return Suites;
+}
+
+} // namespace qcf::db
+
+#endif // QCF_TESTS_QUERYCORPUS_H

@@ -29,12 +29,23 @@
 // requires the whole corpus to install from disk with *zero* back-end
 // compiles — the CI warm-restart contract.
 //
+// `./qcf_stress --osr [rounds]` soaks mid-query tier swapping
+// (ExecOptions::AdaptiveExec): every round runs the whole benchmark query
+// corpus with four workers while compile-latency jitter injected into the
+// CompileService randomizes where the optimized tier lands. Each pipeline's
+// morsel accounting is cross-checked (no torn swaps, no lost morsels, no
+// double-executed ranges) and every result is digest-compared against a
+// never-swapped serial baseline.
+//
 //===----------------------------------------------------------------------===//
 
 #include "backend/Cache.h"
 #include "backend/CompileService.h"
 #include "backend/DiskCache.h"
 #include "backend/Registry.h"
+#include "db/Datagen.h"
+#include "db/Executor.h"
+#include "db/Queries.h"
 #include "interp/Interp.h"
 #include "qir/Print.h"
 #include "runtime/Trap.h"
@@ -427,6 +438,130 @@ int runCodeCacheSoak(uint64_t Rounds) {
   return 0;
 }
 
+/// One query's fixed context for the OSR soak: its compiled plan plus the
+/// never-swapped serial baseline digest and per-pipeline row counts.
+struct OsrQueryCase {
+  const db::Catalog *Cat;
+  std::string Name;
+  db::CompiledPlan Plan;
+  uint64_t BaseDigest = 0;
+  std::vector<uint64_t> PipeRows;
+};
+
+int runOsrSoak(uint64_t Rounds) {
+  // Small catalogs keep one round cheap; "thousands of pipelines" comes
+  // from rounds x queries x pipelines, not from raw row volume.
+  static db::Catalog Tpch, Tpcds;
+  db::generateTpchLike(Tpch, 0.2);
+  db::generateTpcdsLike(Tpcds, 0.2);
+
+  backend::CachingBackend Fast(backend::createBackend("DirectEmit"));
+  backend::CachingBackend Opt(backend::createBackend("MLVM-opt"));
+
+  std::vector<OsrQueryCase> Cases;
+  auto AddSuite = [&](const db::Catalog &Cat, std::vector<db::Query> Queries,
+                      const char *Suite) {
+    for (db::Query &Q : Queries) {
+      OsrQueryCase C{&Cat, std::string(Suite) + "/" + Q.Name,
+                     db::compileQuery(Q, Cat), 0, {}};
+      rt::OutputBuffer Out;
+      db::ExecOptions O;
+      O.NumThreads = 1;
+      db::ExecResult R = db::executeQuery(C.Plan, Fast, Cat, &Out, O);
+      if (R.Trapped) {
+        std::fprintf(stderr, "%s: baseline trapped\n", C.Name.c_str());
+        std::exit(1);
+      }
+      C.BaseDigest = Out.unorderedDigest();
+      for (const db::PipelineStats &P : R.Stats.Pipelines)
+        C.PipeRows.push_back(P.Rows);
+      Cases.push_back(std::move(C));
+    }
+  };
+  AddSuite(Tpch, db::tpchQueries(), "tpch");
+  AddSuite(Tpcds, db::tpcdsQueries(), "tpcds");
+
+  std::printf("osr soak: %llu rounds x %zu queries (4 workers, jittered "
+              "compile landing)\n",
+              static_cast<unsigned long long>(Rounds), Cases.size());
+
+  backend::CompileService Svc(2);
+  uint64_t Violations = 0, Pipelines = 0, Swaps = 0, Seed = 0x05eedull;
+  for (uint64_t Round = 0; Round != Rounds; ++Round) {
+    // Sweep the landing time from "immediately" to "well past the end of
+    // short queries" so early, interior, and too-late swaps all happen.
+    Svc.injectCompileLatencyForTest(1u << (5 + Round % 6), Seed++);
+    for (OsrQueryCase &C : Cases) {
+      rt::OutputBuffer Out;
+      db::ExecOptions O;
+      O.NumThreads = 4;
+      O.MorselSize = 256;
+      O.AdaptiveExec = true;
+      O.FastBackend = &Fast;
+      O.Service = &Svc;
+      db::ExecResult R = db::executeQuery(C.Plan, Opt, *C.Cat, &Out, O);
+      if (R.Trapped) {
+        std::fprintf(stderr, "round %llu %s: trapped\n",
+                     static_cast<unsigned long long>(Round), C.Name.c_str());
+        ++Violations;
+        continue;
+      }
+      if (Out.unorderedDigest() != C.BaseDigest) {
+        std::fprintf(stderr, "round %llu %s: tier swap changed the result\n",
+                     static_cast<unsigned long long>(Round), C.Name.c_str());
+        ++Violations;
+      }
+      Swaps += R.Stats.OsrSwaps;
+      for (size_t PI = 0; PI != R.Stats.Pipelines.size(); ++PI) {
+        const db::PipelineStats &P = R.Stats.Pipelines[PI];
+        ++Pipelines;
+        uint64_t NM = (P.Rows + O.MorselSize - 1) / O.MorselSize;
+        bool Bad = P.Morsels != NM ||
+                   P.MorselsFast + P.MorselsOpt != P.Morsels ||
+                   P.RowsFast + P.RowsOpt != P.Rows ||
+                   (P.Rows > 0 && P.MinWorkerMorsels < 1);
+        if (Bad) {
+          std::fprintf(
+              stderr,
+              "round %llu %s pipeline %zu: torn accounting: rows %llu "
+              "(fast %llu + opt %llu), morsels %llu/%llu (fast %llu + opt "
+              "%llu), min worker %llu\n",
+              static_cast<unsigned long long>(Round), C.Name.c_str(), PI,
+              static_cast<unsigned long long>(P.Rows),
+              static_cast<unsigned long long>(P.RowsFast),
+              static_cast<unsigned long long>(P.RowsOpt),
+              static_cast<unsigned long long>(P.Morsels),
+              static_cast<unsigned long long>(NM),
+              static_cast<unsigned long long>(P.MorselsFast),
+              static_cast<unsigned long long>(P.MorselsOpt),
+              static_cast<unsigned long long>(P.MinWorkerMorsels));
+          ++Violations;
+        }
+      }
+    }
+    if (Violations >= 3) {
+      std::fprintf(stderr, "too many violations, stopping\n");
+      return 1;
+    }
+    if ((Round + 1) % 10 == 0)
+      std::printf("  %llu rounds ok (%llu pipelines, %llu swaps)\n",
+                  static_cast<unsigned long long>(Round + 1),
+                  static_cast<unsigned long long>(Pipelines),
+                  static_cast<unsigned long long>(Swaps));
+  }
+  if (Violations) {
+    std::printf("FAILED: %llu violations\n",
+                static_cast<unsigned long long>(Violations));
+    return 1;
+  }
+  std::printf("all %llu rounds clean: %llu pipelines, %llu tier swaps, no "
+              "torn accounting\n",
+              static_cast<unsigned long long>(Rounds),
+              static_cast<unsigned long long>(Pipelines),
+              static_cast<unsigned long long>(Swaps));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -435,6 +570,8 @@ int main(int argc, char **argv) {
         argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 50);
   if (argc > 1 && std::strcmp(argv[1], "--code-cache") == 0)
     return runCodeCacheSoak(argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 20);
+  if (argc > 1 && std::strcmp(argv[1], "--osr") == 0)
+    return runOsrSoak(argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 40);
   uint64_t NumSeeds = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1000;
   const char *Only = argc > 2 ? argv[2] : nullptr;
 
