@@ -20,6 +20,7 @@
 #include "support/MemContext.h"
 #include "support/TimeTrace.h"
 #include "support/VerifyOptions.h"
+#include "tv/Tv.h"
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -89,6 +90,16 @@ public:
     (void)Out;
     return false;
   }
+
+  /// The emitted machine code of every function, with named runtime-call
+  /// relocation records, for translation validation (QCF_VERIFY=tv; see
+  /// tv/Tv.h). Pointers reference the module's own executable memory and
+  /// stay valid for the module's lifetime. JIT back-ends override this;
+  /// the default (interpreter trampolines, external JITs) opts out and tv
+  /// skips the module. Works identically for cold-compiled modules and
+  /// blobs re-patched in from the disk cache — which is the point: tv is
+  /// the only layer that re-checks re-patched code.
+  virtual std::vector<tv::TvFunction> tvFunctions() const { return {}; }
 };
 
 /// A compilation back-end. Implementations: interp, direct, craneline,

@@ -7,8 +7,10 @@
 #include "backend/Cache.h"
 #include "backend/CompileService.h"
 #include "backend/DiskCache.h"
+#include "support/Compiler.h"
 #include "support/Hash.h"
 #include <atomic>
+#include <cstdio>
 
 namespace qcf::backend {
 
@@ -161,6 +163,9 @@ public:
   bool serialize(std::vector<uint8_t> &Out) const override {
     return Inner->serialize(Out);
   }
+  std::vector<tv::TvFunction> tvFunctions() const override {
+    return Inner->tvFunctions();
+  }
 
 private:
   std::shared_ptr<CompiledModule> Inner;
@@ -223,6 +228,19 @@ CachingBackend::compile(const qir::Module &M, const CompileOptions &Opts) {
   if (DiskCache) {
     Compiled = DiskCache->load(Key, *Inner, Opts);
     FromDisk = Compiled != nullptr;
+    // Fresh compiles run translation validation inside the back-end;
+    // warm loads skip the back-end entirely, so validate the re-patched
+    // code here — this is the one layer that re-checks cached blobs
+    // against the IR they claim to implement.
+    if (FromDisk && Opts.Verify.Tv) {
+      std::string Err = tv::validateModule(M, Compiled->tvFunctions(),
+                                           tv::TvOptions::fromEnv(),
+                                           Opts.Obs.Metrics);
+      if (!Err.empty()) {
+        fprintf(stderr, "%s", Err.c_str());
+        reportFatalError("translation validation failed (disk cache)");
+      }
+    }
   }
   if (!Compiled && Svc) {
     CompileTicket Ticket =

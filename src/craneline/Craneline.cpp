@@ -246,6 +246,7 @@ CranelineBackend::compile(const qir::Module &M,
           Result->Serializable = false;
       }
       Result->Fns.emplace_back(O.Name, Off);
+      Result->FnSizes.push_back(O.Emitted.Code.size());
       Off += O.Emitted.Code.size();
     }
     Result->CodeBytes = Off;
@@ -262,7 +263,33 @@ CranelineBackend::compile(const qir::Module &M,
                 allocModeName(Mem.mode()))
         .inc();
   }
+
+  if (COpts.Verify.Tv) {
+    std::string Err = tv::validateModule(M, Result->tvFunctions(),
+                                         tv::TvOptions::fromEnv(),
+                                         COpts.Obs.Metrics);
+    if (!Err.empty()) {
+      fprintf(stderr, "%s", Err.c_str());
+      reportFatalError("translation validation failed (craneline)");
+    }
+  }
   return Result;
+}
+
+std::vector<tv::TvFunction> CranelineModule::tvFunctions() const {
+  std::vector<tv::TvFunction> Out;
+  for (size_t I = 0; I != Fns.size(); ++I) {
+    const auto &[Name, Off] = Fns[I];
+    tv::TvFunction TF;
+    TF.Name = Name;
+    TF.Code = codeBase() + Off;
+    TF.Size = I < FnSizes.size() ? FnSizes[I] : 0;
+    for (const RtReloc &R : Relocs)
+      if (R.Offset >= Off && R.Offset < Off + TF.Size)
+        TF.Relocs.push_back({R.Offset - Off, 8, R.Symbol});
+    Out.push_back(std::move(TF));
+  }
+  return Out;
 }
 
 // --- Persistent-cache serialization --------------------------------------------
@@ -273,9 +300,10 @@ bool CranelineModule::serialize(std::vector<uint8_t> &Out) const {
   ByteWriter W;
   W.bytes(codeBase(), CodeBytes);
   W.u64(Fns.size());
-  for (const auto &[Name, Off] : Fns) {
-    W.str(Name);
-    W.u64(Off);
+  for (size_t I = 0; I != Fns.size(); ++I) {
+    W.str(Fns[I].first);
+    W.u64(Fns[I].second);
+    W.u64(I < FnSizes.size() ? FnSizes[I] : 0);
   }
   W.u64(Relocs.size());
   for (const RtReloc &R : Relocs) {
@@ -310,9 +338,11 @@ bool PayloadCodec::parse(const uint8_t *Data, size_t Len,
   for (uint64_t I = 0; I != NumFns; ++I) {
     std::string Name = R.str();
     uint64_t Off = R.u64();
-    if (!R.ok() || Off > CodeLen)
+    uint64_t Size = R.u64();
+    if (!R.ok() || Off > CodeLen || Off + Size > CodeLen)
       return false;
     Result.Fns.emplace_back(std::move(Name), Off);
+    Result.FnSizes.push_back(Size);
   }
   uint64_t NumRelocs = R.u64();
   if (!R.ok() || NumRelocs > Len)

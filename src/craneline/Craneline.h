@@ -49,6 +49,11 @@ public:
   /// name at link time.
   bool serialize(std::vector<uint8_t> &Out) const override;
 
+  /// Per-function code views with imm64 runtime-call relocations, for
+  /// translation validation (QCF_VERIFY=tv). Works off codeBase(), so
+  /// cache-loaded modules expose their re-patched arena bytes.
+  std::vector<tv::TvFunction> tvFunctions() const override;
+
 private:
   friend class CranelineBackend;
   friend struct PayloadCodec;
@@ -62,6 +67,11 @@ private:
   /// Bytes of code starting at codeBase() (ExecMemory page-rounds).
   size_t CodeBytes = 0;
   std::vector<std::pair<std::string, size_t>> Fns;
+  /// Code bytes of each function, parallel to Fns. The inter-function
+  /// gaps are 16-byte alignment padding, which is not decodable code, so
+  /// tv needs the real extent. Serialized with the function table
+  /// (DiskCodeCache::FormatVersion 2).
+  std::vector<size_t> FnSizes;
   /// Absolute relocations by runtime-symbol name: the imm64 at module
   /// offset Offset holds the named symbol's address. Mirrors the
   /// link stage's AbsRelocs, with the address turned back into a name so

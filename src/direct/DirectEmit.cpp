@@ -1612,7 +1612,32 @@ DirectBackend::compile(const qir::Module &M,
   }
   Result->CodeBytes = Total;
   Result->Mem.makeExecutable();
+
+  if (Opts.Verify.Tv) {
+    std::string Err = tv::validateModule(M, Result->tvFunctions(),
+                                         tv::TvOptions::fromEnv(),
+                                         Opts.Obs.Metrics);
+    if (!Err.empty()) {
+      fprintf(stderr, "%s", Err.c_str());
+      reportFatalError("translation validation failed (direct)");
+    }
+  }
   return Result;
+}
+
+std::vector<tv::TvFunction> DirectModule::tvFunctions() const {
+  std::vector<tv::TvFunction> Out;
+  for (const FnInfo &Fn : Fns) {
+    tv::TvFunction TF;
+    TF.Name = Fn.Name;
+    TF.Code = codeBase() + Fn.Offset;
+    TF.Size = Fn.Size;
+    for (const RtReloc &R : Relocs)
+      if (R.Offset >= Fn.Offset && R.Offset < Fn.Offset + Fn.Size)
+        TF.Relocs.push_back({R.Offset - Fn.Offset, 8, R.Symbol});
+    Out.push_back(std::move(TF));
+  }
+  return Out;
 }
 
 // --- Persistent-cache serialization --------------------------------------------

@@ -39,6 +39,11 @@ public:
   /// runtime-call relocation records (see DiskCodeCache).
   bool serialize(std::vector<uint8_t> &Out) const override;
 
+  /// Per-function code views with imm64 runtime-call relocations, for
+  /// translation validation (QCF_VERIFY=tv). Works off codeBase(), so
+  /// cache-loaded modules expose their re-patched arena bytes.
+  std::vector<tv::TvFunction> tvFunctions() const override;
+
 private:
   friend class DirectBackend;
   friend struct PayloadCodec;

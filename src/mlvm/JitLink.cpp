@@ -8,6 +8,7 @@
 #include "runtime/Runtime.h"
 #include "support/Compiler.h"
 #include "x64/ExecArena.h"
+#include <cstdio>
 #include <cstring>
 
 using namespace qcf;
@@ -195,4 +196,124 @@ std::unique_ptr<LinkedImage> mlvm::jitLink(const std::vector<uint8_t> &Obj,
         Image->Entries.emplace_back(Strs + Syms[I].Name, Syms[I].Value);
   }
   return Image;
+}
+
+namespace {
+
+/// Read-only view over the tables of an ELF relocatable object; the
+/// subset of jitLink's phase-1 parse that the post-link inspection
+/// helpers below need.
+struct ElfTables {
+  std::vector<Shdr> Sections;
+  std::vector<Sym> Syms;
+  std::vector<Rela> Relas;
+  const char *Strs = nullptr;
+  uint64_t TextBytes = 0;
+  bool Ok = false;
+};
+
+ElfTables parseElfTables(const std::vector<uint8_t> &Obj) {
+  ElfTables T;
+  if (Obj.size() < 0x40)
+    return T;
+  const uint8_t *Base = Obj.data();
+  uint64_t ShOff;
+  uint16_t ShNum;
+  std::memcpy(&ShOff, Base + 0x28, 8);
+  std::memcpy(&ShNum, Base + 0x3c, 2);
+  T.Sections.resize(ShNum);
+  std::memcpy(T.Sections.data(), Base + ShOff, ShNum * sizeof(Shdr));
+  const Shdr *Text = nullptr, *RelaSec = nullptr, *Symtab = nullptr;
+  for (const Shdr &S : T.Sections) {
+    if (S.Type == 2)
+      Symtab = &S;
+    else if (S.Type == 4)
+      RelaSec = &S;
+    else if (S.Type == 1 && (S.Flags & 0x4) && !Text)
+      Text = &S;
+  }
+  if (!Symtab || !Text)
+    return T;
+  T.TextBytes = Text->Size;
+  T.Syms.resize(Symtab->Size / sizeof(Sym));
+  std::memcpy(T.Syms.data(), Base + Symtab->Offset, Symtab->Size);
+  T.Strs =
+      reinterpret_cast<const char *>(Base + T.Sections[Symtab->Link].Offset);
+  if (RelaSec) {
+    T.Relas.resize(RelaSec->Size / sizeof(Rela));
+    std::memcpy(T.Relas.data(), Base + RelaSec->Offset, RelaSec->Size);
+  }
+  T.Ok = true;
+  return T;
+}
+
+} // namespace
+
+std::vector<tv::TvFunction>
+mlvm::elfTvFunctions(const std::vector<uint8_t> &Obj,
+                     const uint8_t *ExecBase) {
+  std::vector<tv::TvFunction> Out;
+  ElfTables T = parseElfTables(Obj);
+  if (!T.Ok)
+    return Out;
+  for (size_t I = 1; I != T.Syms.size(); ++I) {
+    const Sym &S = T.Syms[I];
+    if (S.Shndx == 0 || S.Size == 0)
+      continue; // Extern, or a label with no extent.
+    tv::TvFunction TF;
+    TF.Name = T.Strs + S.Name;
+    TF.Code = ExecBase + S.Value;
+    TF.Size = S.Size;
+    for (const Rela &R : T.Relas) {
+      if (R.Offset < S.Value || R.Offset >= S.Value + S.Size)
+        continue;
+      uint32_t SymIdx = static_cast<uint32_t>(R.Info >> 32);
+      std::string Callee =
+          SymIdx < T.Syms.size() ? T.Strs + T.Syms[SymIdx].Name : "";
+      TF.Relocs.push_back({R.Offset - S.Value, 4, std::move(Callee)});
+    }
+    Out.push_back(std::move(TF));
+  }
+  return Out;
+}
+
+std::string mlvm::verifyPltPatches(const std::vector<uint8_t> &Obj,
+                                   const LinkedImage &Image) {
+  ElfTables T = parseElfTables(Obj);
+  if (!T.Ok)
+    return "mlvm plt audit: malformed object";
+  // Reconstruct the linker's extern numbering: PLT entries are assigned
+  // in symbol-table order.
+  std::vector<uint64_t> PltIndex(T.Syms.size(), UINT64_MAX);
+  uint64_t NumExterns = 0;
+  for (size_t I = 1; I != T.Syms.size(); ++I)
+    if (T.Syms[I].Shndx == 0)
+      PltIndex[I] = NumExterns++;
+  const uint8_t *ExecB = Image.execBase();
+  uint64_t PltOff = (T.TextBytes + 15) & ~15ull;
+  for (const Rela &R : T.Relas) {
+    uint32_t SymIdx = static_cast<uint32_t>(R.Info >> 32);
+    uint32_t RType = static_cast<uint32_t>(R.Info);
+    if (RType != 4 /* PLT32 */ || SymIdx >= T.Syms.size() ||
+        PltIndex[SymIdx] == UINT64_MAX)
+      continue;
+    int32_t Disp;
+    std::memcpy(&Disp, ExecB + R.Offset, 4);
+    uint64_t Target = reinterpret_cast<uint64_t>(ExecB) + R.Offset + 4 +
+                      static_cast<uint64_t>(static_cast<int64_t>(Disp));
+    uint64_t Want = reinterpret_cast<uint64_t>(ExecB) + PltOff +
+                    PltIndex[SymIdx] * 16;
+    if (Target != Want) {
+      char Buf[160];
+      snprintf(Buf, sizeof(Buf),
+               "mlvm plt audit: rel32 at .text+%llu for '%s' targets %#llx, "
+               "expected PLT entry %#llx",
+               static_cast<unsigned long long>(R.Offset),
+               T.Strs + T.Syms[SymIdx].Name,
+               static_cast<unsigned long long>(Target),
+               static_cast<unsigned long long>(Want));
+      return Buf;
+    }
+  }
+  return "";
 }

@@ -19,6 +19,7 @@
 
 #include "support/MemContext.h"
 #include "support/TimeTrace.h"
+#include "tv/Tv.h"
 #include "x64/ExecMemory.h"
 #include <memory>
 #include <string>
@@ -53,6 +54,27 @@ std::unique_ptr<LinkedImage> jitLink(const std::vector<uint8_t> &Object,
                                      TimeTrace *Trace,
                                      MemPool *Scratch = nullptr,
                                      bool UseArena = false);
+
+/// Per-function code views of a linked image, recovered from the ELF
+/// relocatable object it was linked from: the symbol table supplies each
+/// function's name and extent inside .text, the relocation table supplies
+/// named call records (all R_X86_64_PLT32, width 4). \p ExecBase is the
+/// image's execution view; the returned pointers reference it directly,
+/// so cache-loaded images expose their re-patched bytes. For
+/// QCF_VERIFY=tv; see tv/Tv.h.
+std::vector<tv::TvFunction> elfTvFunctions(const std::vector<uint8_t> &Object,
+                                           const uint8_t *ExecBase);
+
+/// Post-link audit of the patched rel32 call displacements: every PLT32
+/// relocation must resolve, from the bytes actually written into the
+/// image, to the start of the PLT entry the linker built for its target
+/// symbol. Run on the disk-cache warm path, where the object blob crossed
+/// a process boundary before being re-linked — a corrupted relocation
+/// record patches a displacement that lands off the PLT grid and is
+/// caught here instead of executing as a wild call. Returns "" when every
+/// patch checks out, else a description of the first bad one.
+std::string verifyPltPatches(const std::vector<uint8_t> &Object,
+                             const LinkedImage &Image);
 
 } // namespace qcf::mlvm
 

@@ -89,6 +89,13 @@ public:
     return true;
   }
 
+  /// Function views recovered from the object's symbol and relocation
+  /// tables, pointing into the linked image — so the disk-cache warm
+  /// path validates the re-linked bytes, not the blob.
+  std::vector<tv::TvFunction> tvFunctions() const override {
+    return elfTvFunctions(Object, Image->execBase());
+  }
+
 private:
   std::unique_ptr<LinkedImage> Image;
   std::vector<uint8_t> Object;
@@ -149,7 +156,18 @@ MlvmBackend::compile(const qir::Module &M,
       jitLink(Object, Trace, &Mem.scratch());
   if (Opts.Obs.Metrics)
     publishMemMetrics(*Opts.Obs.Metrics, name(), Mem.mode(), LastMem);
-  return std::make_unique<MlvmModule>(std::move(Image), std::move(Object));
+  auto Result =
+      std::make_unique<MlvmModule>(std::move(Image), std::move(Object));
+  if (Opts.Verify.Tv) {
+    std::string Err = tv::validateModule(M, Result->tvFunctions(),
+                                         tv::TvOptions::fromEnv(),
+                                         Opts.Obs.Metrics);
+    if (!Err.empty()) {
+      fprintf(stderr, "%s", Err.c_str());
+      reportFatalError("translation validation failed (mlvm)");
+    }
+  }
+  return Result;
 }
 
 std::unique_ptr<backend::CompiledModule>
@@ -159,6 +177,16 @@ MlvmBackend::deserialize(const uint8_t *Data, size_t Len) {
       jitLink(Object, nullptr, nullptr, /*UseArena=*/true);
   if (!Image)
     return nullptr;
+  // The blob crossed a process boundary: audit that every re-patched
+  // rel32 call displacement lands on the PLT entry the fresh link built
+  // for its symbol. The DiskCodeCache checksum guards against bit-rot,
+  // not against relocation records that were wrong when stored — those
+  // would relink "successfully" into a wild call. Report and treat as a
+  // cache miss.
+  if (std::string Err = verifyPltPatches(Object, *Image); !Err.empty()) {
+    fprintf(stderr, "%s\n", Err.c_str());
+    return nullptr;
+  }
   return std::make_unique<MlvmModule>(std::move(Image), std::move(Object));
 }
 

@@ -27,6 +27,8 @@ VerifyOptions VerifyOptions::parse(std::string_view Spec) {
       V.Mir = true;
     else if (Tok == "mc")
       V.Mc = true;
+    else if (Tok == "tv")
+      V.Tv = true;
     if (Comma == std::string_view::npos)
       break;
     Pos = Comma + 1;

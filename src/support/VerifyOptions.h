@@ -10,12 +10,16 @@
 ///
 ///   - Ir:  qir::verify on the module before any back-end consumes it;
 ///   - Mir: mlvm::verifyMir after every MIR pipeline pass;
-///   - Mc:  the x64 encoding lint over emitted machine code.
+///   - Mc:  the x64 encoding lint over emitted machine code;
+///   - Tv:  translation validation (src/tv) — co-simulates the emitted
+///          bytes against the QIR source and compares observable traces.
 ///
 /// The default comes from the QCF_VERIFY environment variable, a
-/// comma-separated subset of {ir,mir,mc} (or "all"/"none"). When the
+/// comma-separated subset of {ir,mir,mc,tv} (or "all"/"none"). When the
 /// variable is unset, everything is enabled in QCF_EXPENSIVE_CHECKS builds
 /// and disabled otherwise — so release binaries pay nothing unless asked.
+/// "all" covers the three in-pipeline layers; tv is per-function whole-code
+/// co-simulation and is only ever enabled by its explicit token.
 ///
 /// Lives in support/ (not backend/) because the mlvm back-end consumes it
 /// and backend/ links against mlvm.
@@ -33,14 +37,16 @@ struct VerifyOptions {
   bool Ir = false;
   bool Mir = false;
   bool Mc = false;
+  bool Tv = false;
 
-  bool any() const { return Ir || Mir || Mc; }
+  bool any() const { return Ir || Mir || Mc || Tv; }
 
   static VerifyOptions all() { return {true, true, true}; }
   static VerifyOptions none() { return {}; }
 
-  /// Parses a QCF_VERIFY-style spec: comma-separated "ir"/"mir"/"mc",
-  /// or "all"/"none". Unknown tokens are ignored.
+  /// Parses a QCF_VERIFY-style spec: comma-separated "ir"/"mir"/"mc"/"tv",
+  /// or "all"/"none" ("all" = ir,mir,mc; tv stays explicit). Unknown
+  /// tokens are ignored.
   static VerifyOptions parse(std::string_view Spec);
 
   /// The process-wide default: QCF_VERIFY if set, else all-on in

@@ -1,0 +1,1132 @@
+//===- tv/MachStep.cpp - Machine-side co-simulation stepper ----------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine half of translation validation: executes a decoded x86-64
+/// function (x64::decodeFunction output) over the synthetic memory model,
+/// producing the same observable-event trace the QIR reference stepper
+/// emits. Concrete values drive the verdict; symbolic terms ride along for
+/// counterexample reporting.
+///
+/// The stepper models exactly the architectural state our back-ends rely
+/// on: the 16 GP registers, the low 64-bit lane of the 16 XMM registers,
+/// and the five arithmetic flags CF/ZF/SF/OF/PF. Flags start undefined and
+/// become undefined again wherever the ISA says so (after mul/div, after a
+/// shift by a non-constant amount for OF, after a call); branching on an
+/// undefined flag is reported as a model violation — correct back-end
+/// output never does it, and broken output that does is exactly what tv
+/// exists to catch.
+///
+/// Runtime calls are resolved symbolically: a rel32 call covered by a named
+/// relocation uses the record's symbol; `call reg` reverse-looks-up the
+/// register value in the live runtime symbol table; a movabs covered by an
+/// imm64 relocation is cross-checked byte-for-byte against the live symbol
+/// address, so a blob re-patched incorrectly by the disk cache fails here
+/// with a "stale relocation" report instead of silently calling garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "runtime/Trap.h"
+#include "support/Hash.h"
+#include "tv/Sim.h"
+#include <cstdio>
+#include <cstring>
+
+using namespace qcf;
+using namespace qcf::tv;
+using x64::DecOp;
+using x64::DecodedInst;
+using x64::Width;
+
+namespace {
+
+using Alu = x64::Assembler::Alu;
+using Shift = x64::Assembler::Shift;
+
+constexpr unsigned RAX = 0, RCX = 1, RDX = 2, RSP = 4;
+
+constexpr unsigned ArgRegs[6] = {7, 6, 2, 1, 8, 9}; // rdi rsi rdx rcx r8 r9
+
+/// Caller-saved GP registers under the SysV ABI (minus RSP, of course).
+constexpr unsigned VolatileGp[] = {0, 1, 2, 6, 7, 8, 9, 10, 11};
+
+uint64_t maskB(unsigned Bits) {
+  return Bits >= 64 ? ~0ull : (1ull << Bits) - 1;
+}
+
+int64_t sextB(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t M = 1ull << (Bits - 1);
+  return static_cast<int64_t>(((V & maskB(Bits)) ^ M) - M);
+}
+
+unsigned bitsOfW(Width W) {
+  switch (W) {
+  case Width::W8:
+    return 8;
+  case Width::W16:
+    return 16;
+  case Width::W32:
+    return 32;
+  case Width::W64:
+    return 64;
+  }
+  return 64;
+}
+
+double asF64(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+uint64_t f64Bits(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, sizeof(B));
+  return B;
+}
+
+/// Must mirror QirStep.cpp exactly (interp's saturating f64->i64).
+int64_t f64ToI64Trunc(double D) {
+  if (!(D >= -9.2233720368547758e18 && D < 9.2233720368547758e18))
+    return INT64_MIN;
+  return static_cast<int64_t>(D);
+}
+
+struct MReg {
+  uint64_t V = 0;
+  TermRef T = NO_TERM;
+};
+
+/// Flag state: -1 means architecturally undefined. Alongside the concrete
+/// bits we remember how the flags were last produced (compare, test-like
+/// result, or float compare) so conditions can be given symbolic terms.
+struct FlagState {
+  int8_t CF = -1, ZF = -1, SF = -1, OF = -1, PF = -1;
+  enum Rec : uint8_t { RecNone, RecCmp, RecTest, RecUcomi } R = RecNone;
+  unsigned Bits = 64;
+  TermRef AT = NO_TERM, BT = NO_TERM, RT = NO_TERM;
+};
+
+} // namespace
+
+Trace tv::runMachRound(const x64::DecodedFunction &DF, const uint8_t *Code,
+                       size_t Size, const std::vector<TvReloc> &Relocs,
+                       const SlotLayout &Slots, const RoundCtx &RC,
+                       const std::vector<uint64_t> &ArgLanes,
+                       const std::vector<TermRef> &ArgTerms,
+                       const std::vector<uint8_t> &ArgIsF64, TermArena &TA) {
+  (void)Code;
+  (void)Size;
+  (void)Slots;
+  Trace TR;
+
+  MemModel Mem;
+  Mem.OracleSeed = RC.OracleSeed;
+  Mem.PrivLo = FrameLo;
+  Mem.PrivHi = FrameHi;
+  Mem.store(Rsp0, RetSentinel, 8);
+  StoreTerms ST;
+
+  MReg Gp[16], Xmm[16];
+  for (unsigned R = 0; R != 16; ++R) {
+    Gp[R].V = mix(RC.Seed, 0x1e90 + R);
+    Xmm[R].V = mix(RC.Seed, 0x2e90 + R);
+  }
+  Gp[RSP].V = Rsp0;
+  unsigned GpSlot = 0, XmmSlot = 0;
+  for (size_t K = 0; K != ArgLanes.size(); ++K) {
+    if (K < ArgIsF64.size() && ArgIsF64[K]) {
+      if (XmmSlot < 8)
+        Xmm[XmmSlot++] = {ArgLanes[K], ArgTerms[K]};
+    } else if (GpSlot < 6) {
+      Gp[ArgRegs[GpSlot++]] = {ArgLanes[K], ArgTerms[K]};
+    }
+  }
+
+  FlagState FL;
+  unsigned EvCall = 0;   // uninterpreted-call index, aligned with QIR
+  unsigned TotCalls = 0; // every call site (clobber-junk stream)
+
+  std::map<uint64_t, const TvReloc *> RelocAt;
+  for (const TvReloc &R : Relocs)
+    RelocAt[R.Offset] = &R;
+
+  auto where = [](const DecodedInst &I) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "offset 0x%x", I.Off);
+    return std::string(Buf);
+  };
+  auto fail = [&](const DecodedInst &I, std::string Msg) {
+    TR.Error = "machine model: " + std::move(Msg) + " at " + where(I);
+  };
+  auto skip = [&](std::string Why) {
+    TR.Skip = true;
+    TR.Error = std::move(Why);
+  };
+
+  auto readGp = [&](unsigned R, unsigned Bits) {
+    return Gp[R].V & maskB(Bits);
+  };
+  auto gpTerm = [&](unsigned R, unsigned Bits) {
+    return Bits >= 32 ? Gp[R].T : NO_TERM;
+  };
+  auto writeGp = [&](unsigned R, uint64_t V, TermRef T, unsigned Bits) {
+    if (Bits == 64) {
+      Gp[R] = {V, T};
+    } else if (Bits == 32) {
+      Gp[R] = {V & 0xffffffffull, T}; // 32-bit writes zero-extend
+    } else {
+      uint64_t M = maskB(Bits);
+      Gp[R].V = (Gp[R].V & ~M) | (V & M); // 8/16-bit writes merge
+      Gp[R].T = NO_TERM;
+    }
+  };
+
+  auto memAddr = [&](const x64::Mem &M) {
+    uint64_t A = static_cast<uint64_t>(static_cast<int64_t>(M.Disp));
+    if (M.Base != x64::Reg::NoReg)
+      A += Gp[static_cast<unsigned>(M.Base) & 15].V;
+    if (M.Index != x64::Reg::NoReg)
+      A += Gp[static_cast<unsigned>(M.Index) & 15].V * M.Scale;
+    return A;
+  };
+  // Must mirror QirStep's loadTerm: exact store-term match, else oracle.
+  auto loadTerm = [&](uint64_t A, unsigned Bytes) {
+    TermRef T = ST.load(A, Bytes);
+    if (T != NO_TERM)
+      return T;
+    if (!Mem.isPriv(A) && Mem.globalClean(A, Bytes))
+      return TA.oracleLoad(A, Bytes * 8);
+    return NO_TERM;
+  };
+
+  struct Operand {
+    uint64_t V;
+    TermRef T;
+  };
+  auto readRm = [&](const DecodedInst &I, unsigned Bits) -> Operand {
+    if (I.RmIsMem) {
+      uint64_t A = memAddr(I.M);
+      return {Mem.load(A, Bits / 8), loadTerm(A, Bits / 8)};
+    }
+    return {readGp(I.Rm, Bits), gpTerm(I.Rm, Bits)};
+  };
+  auto writeRm = [&](const DecodedInst &I, uint64_t V, TermRef T,
+                     unsigned Bits) {
+    if (I.RmIsMem) {
+      uint64_t A = memAddr(I.M);
+      Mem.store(A, V & maskB(Bits), Bits / 8);
+      ST.store(A, Bits / 8, T);
+    } else {
+      writeGp(I.Rm, V, T, Bits);
+    }
+  };
+
+  auto setSZP = [&](uint64_t R, unsigned Bits) {
+    R &= maskB(Bits);
+    FL.ZF = R == 0;
+    FL.SF = (R >> (Bits - 1)) & 1;
+    FL.PF = !__builtin_parity(static_cast<unsigned>(R & 0xff));
+  };
+  auto poisonFlags = [&] { FL = FlagState{}; };
+
+  /// Evaluates a condition code; -1 (with TR.Error set) when it depends on
+  /// an undefined flag.
+  auto evalCond = [&](const DecodedInst &I) -> int {
+    uint8_t C = static_cast<uint8_t>(I.CC);
+    int V = -1;
+    switch (C & 0xe) {
+    case 0x0:
+      V = FL.OF;
+      break;
+    case 0x2:
+      V = FL.CF;
+      break;
+    case 0x4:
+      V = FL.ZF;
+      break;
+    case 0x6:
+      V = (FL.CF < 0 || FL.ZF < 0) ? -1 : (FL.CF | FL.ZF);
+      break;
+    case 0x8:
+      V = FL.SF;
+      break;
+    case 0xa:
+      V = FL.PF;
+      break;
+    case 0xc:
+      V = (FL.SF < 0 || FL.OF < 0) ? -1 : (FL.SF != FL.OF);
+      break;
+    case 0xe:
+      V = (FL.ZF < 0 || FL.SF < 0 || FL.OF < 0)
+              ? -1
+              : (FL.ZF | (FL.SF != FL.OF));
+      break;
+    }
+    if (V < 0) {
+      fail(I, "conditional depends on undefined flags");
+      return -1;
+    }
+    return V ^ (C & 1);
+  };
+
+  /// Symbolic term for condition CC under the current flag record
+  /// (reporting only; NO_TERM when there is no clean predicate form).
+  auto condTerm = [&](const DecodedInst &I) -> TermRef {
+    uint8_t C = static_cast<uint8_t>(I.CC);
+    if (FL.R == FlagState::RecCmp) {
+      TermOp Op;
+      switch (C) {
+      case 0x2: Op = TermOp::CmpULt; break;
+      case 0x3: Op = TermOp::CmpUGe; break;
+      case 0x4: Op = TermOp::CmpEq; break;
+      case 0x5: Op = TermOp::CmpNe; break;
+      case 0x6: Op = TermOp::CmpULe; break;
+      case 0x7: Op = TermOp::CmpUGt; break;
+      case 0xc: Op = TermOp::CmpSLt; break;
+      case 0xd: Op = TermOp::CmpSGe; break;
+      case 0xe: Op = TermOp::CmpSLe; break;
+      case 0xf: Op = TermOp::CmpSGt; break;
+      default: return NO_TERM;
+      }
+      return TA.binary(Op, FL.AT, FL.BT, FL.Bits);
+    }
+    if (FL.R == FlagState::RecTest) {
+      TermRef Z = TA.constant(0, FL.Bits);
+      switch (C) {
+      case 0x4: return TA.binary(TermOp::CmpEq, FL.RT, Z, FL.Bits);
+      case 0x5: return TA.binary(TermOp::CmpNe, FL.RT, Z, FL.Bits);
+      case 0x8: return TA.binary(TermOp::CmpSLt, FL.RT, Z, FL.Bits);
+      case 0x9: return TA.binary(TermOp::CmpSGe, FL.RT, Z, FL.Bits);
+      default: return NO_TERM;
+      }
+    }
+    if (FL.R == FlagState::RecUcomi) {
+      switch (C) {
+      case 0x2: return TA.binary(TermOp::FCmpLt, FL.AT, FL.BT, 64);
+      case 0x3: return TA.binary(TermOp::FCmpGe, FL.AT, FL.BT, 64);
+      case 0x4: return TA.binary(TermOp::FCmpEq, FL.AT, FL.BT, 64);
+      case 0x5: return TA.binary(TermOp::FCmpNe, FL.AT, FL.BT, 64);
+      case 0x6: return TA.binary(TermOp::FCmpLe, FL.AT, FL.BT, 64);
+      case 0x7: return TA.binary(TermOp::FCmpGt, FL.AT, FL.BT, 64);
+      default: return NO_TERM;
+      }
+    }
+    return NO_TERM;
+  };
+
+  /// Junk every caller-saved register (SysV) from the deterministic
+  /// clobber stream; results are written back by the caller afterwards.
+  auto clobberCallerSaved = [&] {
+    for (unsigned R : VolatileGp)
+      Gp[R] = {RC.clobber(TotCalls, R), NO_TERM};
+    for (unsigned X = 0; X != 16; ++X)
+      Xmm[X] = {RC.clobber(TotCalls, 16 + X), NO_TERM};
+    poisonFlags();
+  };
+
+  /// Performs a call to the named runtime symbol. Returns true when the
+  /// trace ended (trap) or an error was recorded.
+  auto doCall = [&](const std::string &Sym, const DecodedInst &I) -> bool {
+    uint64_t Args[6];
+    TermRef ATm[6];
+    for (unsigned K = 0; K != 6; ++K) {
+      Args[K] = Gp[ArgRegs[K]].V;
+      ATm[K] = Gp[ArgRegs[K]].T;
+    }
+
+    if (Sym == "rt_trap") {
+      Event E;
+      E.K = Event::Trap;
+      E.TrapCode = static_cast<int>(Args[0]);
+      E.Digest = Mem.globalDigest();
+      E.Where = where(I);
+      TR.Events.push_back(std::move(E));
+      return true;
+    }
+
+    uint64_t Lo, Hi;
+    int TC;
+    if (stepIntrinsic(Sym, Args, Lo, Hi, TC)) {
+      if (TC != static_cast<int>(rt::TrapCode::None)) {
+        Event E;
+        E.K = Event::Trap;
+        E.TrapCode = TC;
+        E.Digest = Mem.globalDigest();
+        E.Where = where(I);
+        TR.Events.push_back(std::move(E));
+        return true;
+      }
+      TermRef RT = intrinsicResultTerm(TA, Sym, ATm);
+      clobberCallerSaved();
+      Gp[RAX] = {Lo, RT};
+      Gp[RDX] = {Hi, NO_TERM};
+      ++TotCalls;
+      return false;
+    }
+
+    Event E;
+    E.K = Event::Call;
+    E.Sym = Sym;
+    E.NumArgs = 6; // all arg registers; the comparator uses the QIR count
+    E.Digest = Mem.globalDigest();
+    E.Where = where(I);
+    for (unsigned K = 0; K != 6; ++K) {
+      E.Args[K] = Args[K];
+      E.ArgT[K] = ATm[K];
+      if (Args[K] >= FrameLo && Args[K] < FrameHi)
+        E.Snap[K] = Mem.snapshot(
+            Args[K], static_cast<size_t>(FrameHi - Args[K]));
+    }
+    TR.Events.push_back(std::move(E));
+
+    uint64_t Lo0 = RC.callRet(EvCall, 0);
+    uint64_t Lo1 = RC.callRet(EvCall, 1);
+    uint8_t RK = 64;
+    if (RC.RetKind) {
+      auto It = RC.RetKind->find(Sym);
+      if (It != RC.RetKind->end())
+        RK = It->second;
+    }
+    clobberCallerSaved();
+    ++TotCalls;
+    if (RK >= 1 && RK <= 64) {
+      Gp[RAX] = {Lo0 & maskB(RK), TA.callRet(EvCall, 0)};
+    } else if (RK == 65) {
+      Xmm[0] = {Lo0, TA.callRet(EvCall, 0)};
+    } else if (RK == 66) {
+      Gp[RAX] = {Lo0, TA.callRet(EvCall, 0)};
+      Gp[RDX] = {Lo1, TA.callRet(EvCall, 1)};
+    }
+    ++EvCall;
+    return false;
+  };
+
+  uint32_t II = 0;
+  uint64_t Fuel = 400000;
+
+  while (true) {
+    if (Fuel-- == 0 || TR.Events.size() >= MaxEvents) {
+      TR.Bounded = true;
+      return TR;
+    }
+    if (II >= DF.Insts.size()) {
+      TR.Error = "machine model: fell off the end of the function";
+      return TR;
+    }
+    const DecodedInst &I = DF.Insts[II];
+    uint32_t Next = II + 1;
+    unsigned Bits = bitsOfW(I.W);
+    uint64_t M = maskB(Bits);
+
+    switch (I.Op) {
+    case DecOp::Nop:
+      break;
+
+    case DecOp::MovRR: // mov r/m, reg: destination is r/m
+      writeRm(I, readGp(I.Reg, Bits), gpTerm(I.Reg, Bits), Bits);
+      break;
+
+    case DecOp::MovRM: { // mov reg, [mem]
+      uint64_t A = memAddr(I.M);
+      writeGp(I.Reg, Mem.load(A, Bits / 8), loadTerm(A, Bits / 8), Bits);
+      break;
+    }
+
+    case DecOp::MovMR: { // mov [mem], reg
+      uint64_t A = memAddr(I.M);
+      Mem.store(A, readGp(I.Reg, Bits), Bits / 8);
+      ST.store(A, Bits / 8, gpTerm(I.Reg, Bits));
+      break;
+    }
+
+    case DecOp::MovRI: {
+      uint64_t V = static_cast<uint64_t>(I.Imm);
+      if (I.ImmOff) {
+        auto RIt = RelocAt.find(I.ImmOff);
+        if (RIt != RelocAt.end() && RIt->second->Width == 8 &&
+            !RIt->second->Symbol.empty()) {
+          void *Live = rt::runtimeSymbolAddress(RIt->second->Symbol);
+          if (!Live) {
+            fail(I, "relocation against unknown runtime symbol '" +
+                        RIt->second->Symbol + "'");
+            return TR;
+          }
+          if (V != reinterpret_cast<uint64_t>(Live)) {
+            fail(I, "stale relocation: imm64 for '" + RIt->second->Symbol +
+                        "' does not match the live symbol address");
+            return TR;
+          }
+        }
+      }
+      writeGp(I.Rm, V, TA.constant(V & M, Bits), Bits);
+      break;
+    }
+
+    case DecOp::MovMI: {
+      uint64_t A = memAddr(I.M);
+      Mem.store(A, static_cast<uint64_t>(I.Imm) & M, Bits / 8);
+      ST.store(A, Bits / 8,
+               TA.constant(static_cast<uint64_t>(I.Imm) & M, Bits));
+      break;
+    }
+
+    case DecOp::MovZX: { // movzx reg64, r/m<W>; W is the source width
+      Operand S = readRm(I, Bits);
+      TermRef T =
+          S.T == NO_TERM ? NO_TERM : TA.unary(TermOp::ZExt, S.T, 64);
+      writeGp(I.Reg, S.V & M, T, 64);
+      break;
+    }
+
+    case DecOp::MovSX: {
+      Operand S = readRm(I, Bits);
+      TermRef T =
+          S.T == NO_TERM ? NO_TERM : TA.unary(TermOp::SExt, S.T, 64);
+      writeGp(I.Reg, static_cast<uint64_t>(sextB(S.V, Bits)), T, 64);
+      break;
+    }
+
+    case DecOp::Lea: { // always a 64-bit destination in our emitter
+      uint64_t A = memAddr(I.M);
+      TermRef T = NO_TERM;
+      if (I.M.Base != x64::Reg::NoReg && I.M.Index == x64::Reg::NoReg) {
+        TermRef BaseT = Gp[static_cast<unsigned>(I.M.Base) & 15].T;
+        if (BaseT != NO_TERM)
+          T = I.M.Disp == 0
+                  ? BaseT
+                  : TA.binary(TermOp::Add, BaseT,
+                              TA.constant(static_cast<uint64_t>(
+                                              static_cast<int64_t>(I.M.Disp)),
+                                          64),
+                              64);
+      }
+      writeGp(I.Reg, A, T, 64);
+      break;
+    }
+
+    case DecOp::AluRR:
+    case DecOp::AluRM:
+    case DecOp::AluRI: {
+      // AluRR/AluRI: dst = r/m; AluRM: dst = reg.
+      Operand A, B;
+      if (I.Op == DecOp::AluRM) {
+        A = {readGp(I.Reg, Bits), gpTerm(I.Reg, Bits)};
+        B = readRm(I, Bits);
+      } else {
+        A = readRm(I, Bits);
+        B = I.Op == DecOp::AluRI
+                ? Operand{static_cast<uint64_t>(I.Imm) & M,
+                          TA.constant(static_cast<uint64_t>(I.Imm) & M, Bits)}
+                : Operand{readGp(I.Reg, Bits), gpTerm(I.Reg, Bits)};
+      }
+      uint64_t AV = A.V & M, BV = B.V & M;
+      uint64_t R = 0;
+      TermRef RT = NO_TERM;
+      bool Store = true;
+      FL.R = FlagState::RecNone;
+      FL.Bits = Bits;
+      FL.AT = FL.BT = FL.RT = NO_TERM;
+      switch (I.AluOp) {
+      case Alu::Add:
+      case Alu::Adc: {
+        unsigned CIn = 0;
+        if (I.AluOp == Alu::Adc) {
+          if (FL.CF < 0) {
+            fail(I, "adc reads undefined CF");
+            return TR;
+          }
+          CIn = FL.CF;
+        }
+        unsigned __int128 S =
+            static_cast<unsigned __int128>(AV) + BV + CIn;
+        R = static_cast<uint64_t>(S) & M;
+        FL.CF = (S >> Bits) != 0;
+        FL.OF = ((~(AV ^ BV) & (AV ^ R)) >> (Bits - 1)) & 1;
+        setSZP(R, Bits);
+        if (I.AluOp == Alu::Add) {
+          RT = TA.binary(TermOp::Add, A.T, B.T, Bits);
+          FL.R = FlagState::RecTest;
+          FL.RT = RT;
+        }
+        break;
+      }
+      case Alu::Sub:
+      case Alu::Sbb:
+      case Alu::Cmp: {
+        unsigned CIn = 0;
+        if (I.AluOp == Alu::Sbb) {
+          if (FL.CF < 0) {
+            fail(I, "sbb reads undefined CF");
+            return TR;
+          }
+          CIn = FL.CF;
+        }
+        FL.CF = static_cast<unsigned __int128>(AV) <
+                static_cast<unsigned __int128>(BV) + CIn;
+        R = (AV - BV - CIn) & M;
+        FL.OF = (((AV ^ BV) & (AV ^ R)) >> (Bits - 1)) & 1;
+        setSZP(R, Bits);
+        if (I.AluOp == Alu::Cmp) {
+          Store = false;
+          FL.R = FlagState::RecCmp;
+          FL.AT = A.T;
+          FL.BT = B.T;
+        } else if (I.AluOp == Alu::Sub) {
+          RT = TA.binary(TermOp::Sub, A.T, B.T, Bits);
+          // Flags of sub are flags of cmp; record the compare form.
+          FL.R = FlagState::RecCmp;
+          FL.AT = A.T;
+          FL.BT = B.T;
+        }
+        break;
+      }
+      case Alu::And:
+      case Alu::Or:
+      case Alu::Xor: {
+        TermOp TO = I.AluOp == Alu::And   ? TermOp::And
+                    : I.AluOp == Alu::Or ? TermOp::Or
+                                         : TermOp::Xor;
+        R = (I.AluOp == Alu::And   ? (AV & BV)
+             : I.AluOp == Alu::Or ? (AV | BV)
+                                  : (AV ^ BV)) &
+            M;
+        // xor reg, reg is the canonical zero idiom; give it the exact term.
+        if (I.AluOp == Alu::Xor && I.Op == DecOp::AluRR && !I.RmIsMem &&
+            I.Rm == I.Reg)
+          RT = TA.constant(0, Bits);
+        else
+          RT = TA.binary(TO, A.T, B.T, Bits);
+        FL.CF = FL.OF = 0;
+        setSZP(R, Bits);
+        FL.R = FlagState::RecTest;
+        FL.RT = RT;
+        break;
+      }
+      }
+      if (Store) {
+        if (I.Op == DecOp::AluRM)
+          writeGp(I.Reg, R, RT, Bits);
+        else
+          writeRm(I, R, RT, Bits);
+      }
+      break;
+    }
+
+    case DecOp::TestRR:
+    case DecOp::TestRI: {
+      Operand A = readRm(I, Bits);
+      Operand B = I.Op == DecOp::TestRI
+                      ? Operand{static_cast<uint64_t>(I.Imm) & M,
+                                TA.constant(static_cast<uint64_t>(I.Imm) & M,
+                                            Bits)}
+                      : Operand{readGp(I.Reg, Bits), gpTerm(I.Reg, Bits)};
+      uint64_t R = (A.V & B.V) & M;
+      FL.CF = FL.OF = 0;
+      setSZP(R, Bits);
+      FL.R = FlagState::RecTest;
+      FL.Bits = Bits;
+      bool Same = I.Op == DecOp::TestRR && !I.RmIsMem && I.Rm == I.Reg;
+      FL.RT = Same ? A.T : TA.binary(TermOp::And, A.T, B.T, Bits);
+      FL.AT = FL.BT = NO_TERM;
+      break;
+    }
+
+    case DecOp::Neg: {
+      Operand A = readRm(I, Bits);
+      uint64_t AV = A.V & M;
+      uint64_t R = (0 - AV) & M;
+      FL.CF = AV != 0;
+      FL.OF = Bits < 64 ? AV == (1ull << (Bits - 1))
+                        : AV == 0x8000000000000000ull;
+      setSZP(R, Bits);
+      TermRef RT = A.T == NO_TERM ? NO_TERM : TA.unary(TermOp::Neg, A.T, Bits);
+      FL.R = FlagState::RecTest;
+      FL.Bits = Bits;
+      FL.RT = RT;
+      FL.AT = FL.BT = NO_TERM;
+      writeRm(I, R, RT, Bits);
+      break;
+    }
+
+    case DecOp::Not: { // no flags
+      Operand A = readRm(I, Bits);
+      TermRef RT = A.T == NO_TERM ? NO_TERM : TA.unary(TermOp::Not, A.T, Bits);
+      writeRm(I, ~A.V & M, RT, Bits);
+      break;
+    }
+
+    case DecOp::ImulRR:
+    case DecOp::ImulRRI: {
+      Operand S = readRm(I, Bits);
+      uint64_t AV, BV;
+      TermRef AT, BT;
+      if (I.Op == DecOp::ImulRR) {
+        AV = readGp(I.Reg, Bits);
+        AT = gpTerm(I.Reg, Bits);
+        BV = S.V;
+        BT = S.T;
+      } else {
+        AV = S.V;
+        AT = S.T;
+        BV = static_cast<uint64_t>(I.Imm) & M;
+        BT = TA.constant(BV, Bits);
+      }
+      __int128 P = static_cast<__int128>(sextB(AV, Bits)) * sextB(BV, Bits);
+      uint64_t R = static_cast<uint64_t>(P) & M;
+      FL.CF = FL.OF = P != static_cast<__int128>(sextB(R, Bits));
+      FL.ZF = FL.SF = FL.PF = -1; // architecturally undefined
+      FL.R = FlagState::RecNone;
+      writeGp(I.Reg, R, TA.binary(TermOp::Mul, AT, BT, Bits), Bits);
+      break;
+    }
+
+    case DecOp::MulDiv: {
+      if (Bits < 32) {
+        fail(I, "unsupported 8/16-bit mul/div");
+        return TR;
+      }
+      Operand S = readRm(I, Bits);
+      uint64_t Op = S.V & M;
+      uint64_t ALo = Gp[RAX].V & M, AHi = Gp[RDX].V & M;
+      if (I.GrpExt == 4 || I.GrpExt == 5) { // mul / imul (one-operand)
+        uint64_t Lo, Hi;
+        if (I.GrpExt == 4) {
+          unsigned __int128 P =
+              static_cast<unsigned __int128>(ALo) * Op;
+          Lo = static_cast<uint64_t>(P) & M;
+          Hi = static_cast<uint64_t>(P >> Bits) & M;
+          FL.CF = FL.OF = Hi != 0;
+        } else {
+          __int128 P =
+              static_cast<__int128>(sextB(ALo, Bits)) * sextB(Op, Bits);
+          Lo = static_cast<uint64_t>(P) & M;
+          Hi = static_cast<uint64_t>(P >> Bits) & M;
+          FL.CF = FL.OF = P != static_cast<__int128>(sextB(Lo, Bits));
+        }
+        FL.ZF = FL.SF = FL.PF = -1;
+        FL.R = FlagState::RecNone;
+        writeGp(RAX, Lo, TA.binary(TermOp::Mul, gpTerm(RAX, Bits), S.T, Bits),
+                Bits);
+        writeGp(RDX, Hi, NO_TERM, Bits);
+        break;
+      }
+      // div / idiv: a #DE is a Fault observable (correct lowerings guard
+      // with an explicit rt_trap call first, so a Fault here only ever
+      // appears in broken code and shows up as a trace mismatch).
+      auto faultDE = [&] {
+        Event E;
+        E.K = Event::Fault;
+        E.Digest = Mem.globalDigest();
+        E.Where = where(I);
+        TR.Events.push_back(std::move(E));
+      };
+      uint64_t Q, Rm;
+      TermRef QT = NO_TERM;
+      if (I.GrpExt == 6) { // div
+        unsigned __int128 N =
+            (static_cast<unsigned __int128>(AHi) << Bits) | ALo;
+        if (Op == 0 || N / Op > M) {
+          faultDE();
+          return TR;
+        }
+        Q = static_cast<uint64_t>(N / Op);
+        Rm = static_cast<uint64_t>(N % Op);
+        if (AHi == 0)
+          QT = TA.binary(TermOp::UDiv, gpTerm(RAX, Bits), S.T, Bits);
+      } else { // idiv
+        __int128 N =
+            (static_cast<__int128>(sextB(AHi, Bits)) << Bits) | ALo;
+        int64_t D = sextB(Op, Bits);
+        if (D == 0) {
+          faultDE();
+          return TR;
+        }
+        __int128 QW = N / D;
+        int64_t Min = Bits == 64 ? INT64_MIN : INT32_MIN;
+        int64_t Max = Bits == 64 ? INT64_MAX : INT32_MAX;
+        if (QW < Min || QW > Max) {
+          faultDE();
+          return TR;
+        }
+        Q = static_cast<uint64_t>(QW) & M;
+        Rm = static_cast<uint64_t>(N % D) & M;
+        if (static_cast<int64_t>(sextB(AHi, Bits)) ==
+            sextB(ALo, Bits) >> (Bits - 1))
+          QT = TA.binary(TermOp::SDiv, gpTerm(RAX, Bits), S.T, Bits);
+      }
+      poisonFlags();
+      writeGp(RAX, Q, QT, Bits);
+      writeGp(RDX, Rm, NO_TERM, Bits);
+      break;
+    }
+
+    case DecOp::Cqo: {
+      uint64_t V = static_cast<uint64_t>(
+          static_cast<int64_t>(Gp[RAX].V) >> 63);
+      TermRef T = Gp[RAX].T == NO_TERM
+                      ? NO_TERM
+                      : TA.binary(TermOp::AShr, Gp[RAX].T,
+                                  TA.constant(63, 64), 64);
+      writeGp(RDX, V, T, 64);
+      break;
+    }
+
+    case DecOp::Cdq: {
+      uint64_t V = static_cast<uint64_t>(static_cast<uint32_t>(
+          static_cast<int32_t>(Gp[RAX].V & 0xffffffffull) >> 31));
+      writeGp(RDX, V, NO_TERM, 32);
+      break;
+    }
+
+    case DecOp::ShiftRI:
+    case DecOp::ShiftRC: {
+      unsigned CountMask = Bits == 64 ? 63 : 31;
+      uint64_t CntRaw = I.Op == DecOp::ShiftRI
+                            ? static_cast<uint64_t>(I.Imm)
+                            : Gp[RCX].V;
+      unsigned Cnt = static_cast<unsigned>(CntRaw) & CountMask;
+      Operand S = readRm(I, Bits);
+      uint64_t A = S.V & M;
+      if (Cnt == 0) {
+        // Value is written back (zero-extending for W32) but flags are
+        // untouched.
+        writeRm(I, A, S.T, Bits);
+        break;
+      }
+      TermRef CntT = I.Op == DecOp::ShiftRI
+                         ? TA.constant(Cnt, Bits)
+                         : gpTerm(RCX, Bits);
+      uint64_t R = 0;
+      int CF = -1, OF = -1;
+      TermRef RT = NO_TERM;
+      bool LogFlags = true;
+      switch (I.ShiftOp) {
+      case Shift::Shl:
+        R = Cnt >= 64 ? 0 : (A << Cnt) & M;
+        CF = (A >> (Bits - Cnt)) & 1;
+        OF = Cnt == 1 ? static_cast<int>(((R >> (Bits - 1)) & 1) ^
+                                         static_cast<unsigned>(CF))
+                      : -1;
+        RT = TA.binary(TermOp::Shl, S.T, CntT, Bits);
+        break;
+      case Shift::Shr:
+        R = A >> Cnt;
+        CF = (A >> (Cnt - 1)) & 1;
+        OF = Cnt == 1 ? static_cast<int>((A >> (Bits - 1)) & 1) : -1;
+        RT = TA.binary(TermOp::LShr, S.T, CntT, Bits);
+        break;
+      case Shift::Sar:
+        R = static_cast<uint64_t>(sextB(A, Bits) >> Cnt) & M;
+        CF = (sextB(A, Bits) >> (Cnt - 1)) & 1;
+        OF = Cnt == 1 ? 0 : -1;
+        RT = TA.binary(TermOp::AShr, S.T, CntT, Bits);
+        break;
+      case Shift::Rol:
+        R = ((A << Cnt) | (A >> (Bits - Cnt))) & M;
+        CF = R & 1;
+        OF = -1;
+        LogFlags = false;
+        break;
+      case Shift::Ror:
+        R = ((A >> Cnt) | (A << (Bits - Cnt))) & M;
+        CF = (R >> (Bits - 1)) & 1;
+        OF = -1;
+        LogFlags = false;
+        RT = TA.binary(TermOp::RotR, S.T, CntT, Bits);
+        break;
+      }
+      FL.CF = CF;
+      FL.OF = OF;
+      if (LogFlags) {
+        setSZP(R, Bits);
+        FL.R = FlagState::RecTest;
+        FL.Bits = Bits;
+        FL.RT = RT;
+        FL.AT = FL.BT = NO_TERM;
+      } else {
+        FL.R = FlagState::RecNone; // rotates leave SF/ZF/PF unchanged
+      }
+      writeRm(I, R, RT, Bits);
+      break;
+    }
+
+    case DecOp::Crc32: { // crc32 reg, r/m (64-bit); flags untouched
+      Operand S = readRm(I, 64);
+      uint64_t R = crc32u64(Gp[I.Reg].V, S.V);
+      writeGp(I.Reg, R, TA.binary(TermOp::Crc32, Gp[I.Reg].T, S.T, 64), 64);
+      break;
+    }
+
+    case DecOp::Setcc: {
+      int C = evalCond(I);
+      if (C < 0)
+        return TR;
+      writeRm(I, static_cast<uint64_t>(C), NO_TERM, 8);
+      // When the rest of the register is zero (the setcc/movzx idiom) the
+      // whole register now equals the condition bit; attach the term.
+      if (!I.RmIsMem && (Gp[I.Rm].V & ~0xffull) == 0) {
+        TermRef CT = condTerm(I);
+        Gp[I.Rm].T = CT == NO_TERM ? NO_TERM : TA.unary(TermOp::ZExt, CT, 64);
+      }
+      break;
+    }
+
+    case DecOp::Cmovcc: {
+      int C = evalCond(I);
+      if (C < 0)
+        return TR;
+      Operand S = readRm(I, Bits);
+      uint64_t V = C ? (S.V & M) : readGp(I.Reg, Bits);
+      TermRef CT = condTerm(I);
+      TermRef T;
+      if (CT != NO_TERM)
+        T = TA.select(CT, S.T, gpTerm(I.Reg, Bits), Bits);
+      else
+        T = C ? S.T : gpTerm(I.Reg, Bits);
+      writeGp(I.Reg, V, T, Bits); // W32 zero-extends even when not taken
+      break;
+    }
+
+    case DecOp::Jmp: {
+      if (RelocAt.count(I.Rel32Off)) {
+        fail(I, "external jmp");
+        return TR;
+      }
+      uint32_t NI = DF.instAt(I.branchTarget());
+      if (NI == ~0u) {
+        fail(I, "branch target is not an instruction start");
+        return TR;
+      }
+      Next = NI;
+      break;
+    }
+
+    case DecOp::Jcc: {
+      int C = evalCond(I);
+      if (C < 0)
+        return TR;
+      if (C) {
+        uint32_t NI = DF.instAt(I.branchTarget());
+        if (NI == ~0u) {
+          fail(I, "branch target is not an instruction start");
+          return TR;
+        }
+        Next = NI;
+      }
+      break;
+    }
+
+    case DecOp::JmpReg:
+      skip("indirect jmp (outside the tv model)");
+      return TR;
+
+    case DecOp::CallRel: {
+      auto RIt = RelocAt.find(I.Rel32Off);
+      if (RIt == RelocAt.end() || RIt->second->Symbol.empty()) {
+        skip("unresolved intra-module call (outside the tv model)");
+        return TR;
+      }
+      if (doCall(RIt->second->Symbol, I))
+        return TR;
+      break;
+    }
+
+    case DecOp::CallReg: {
+      const char *NP = rt::runtimeSymbolName(
+          reinterpret_cast<const void *>(Gp[I.Rm].V));
+      std::string Sym;
+      if (NP) {
+        Sym = NP;
+      } else {
+        char Buf[40];
+        std::snprintf(Buf, sizeof(Buf), "<indirect:0x%llx>",
+                      static_cast<unsigned long long>(Gp[I.Rm].V));
+        Sym = Buf; // unmatched symbol => trace mismatch downstream
+      }
+      if (doCall(Sym, I))
+        return TR;
+      break;
+    }
+
+    case DecOp::Ret: {
+      uint64_t SP = Gp[RSP].V;
+      uint64_t RA = Mem.load(SP, 8);
+      if (SP != Rsp0 || RA != RetSentinel) {
+        fail(I, "ret with unbalanced stack or clobbered return address");
+        return TR;
+      }
+      Event E;
+      E.K = Event::Ret;
+      E.RetLo = Gp[RAX].V;
+      E.RetHi = Gp[RDX].V;
+      E.RetF = Xmm[0].V;
+      E.RetLoT = Gp[RAX].T;
+      E.RetHiT = Gp[RDX].T;
+      E.Digest = Mem.globalDigest();
+      E.Where = where(I);
+      TR.Events.push_back(std::move(E));
+      return TR;
+    }
+
+    case DecOp::Ud2: {
+      Event E;
+      E.K = Event::Fault;
+      E.Digest = Mem.globalDigest();
+      E.Where = where(I);
+      TR.Events.push_back(std::move(E));
+      return TR;
+    }
+
+    case DecOp::Push: {
+      Gp[RSP].V -= 8;
+      uint64_t SP = Gp[RSP].V;
+      if (SP < FrameLo) {
+        fail(I, "stack overflow in the synthetic frame");
+        return TR;
+      }
+      Mem.store(SP, Gp[I.Rm].V, 8);
+      ST.store(SP, 8, Gp[I.Rm].T);
+      break;
+    }
+
+    case DecOp::Pop: {
+      uint64_t SP = Gp[RSP].V;
+      uint64_t V = Mem.load(SP, 8);
+      TermRef T = loadTerm(SP, 8);
+      Gp[RSP].V += 8;
+      writeGp(I.Rm, V, T, 64);
+      break;
+    }
+
+    case DecOp::Xadd: {
+      if (!I.RmIsMem) {
+        fail(I, "xadd without a memory operand");
+        return TR;
+      }
+      uint64_t A = memAddr(I.M);
+      unsigned By = Bits / 8;
+      uint64_t Old = Mem.load(A, By);
+      TermRef OldT = loadTerm(A, By);
+      uint64_t Add = readGp(I.Reg, Bits);
+      uint64_t R = (Old + Add) & M;
+      Mem.store(A, R, By);
+      ST.store(A, By, NO_TERM);
+      unsigned __int128 S = static_cast<unsigned __int128>(Old & M) + Add;
+      FL.CF = (S >> Bits) != 0;
+      FL.OF = ((~(Old ^ Add) & (Old ^ R)) >> (Bits - 1)) & 1;
+      setSZP(R, Bits);
+      FL.R = FlagState::RecNone;
+      writeGp(I.Reg, Old, OldT, Bits);
+      break;
+    }
+
+    case DecOp::MovsdXM: {
+      uint64_t A = memAddr(I.M);
+      Xmm[I.Reg] = {Mem.load(A, 8), loadTerm(A, 8)};
+      break;
+    }
+
+    case DecOp::MovsdMX: {
+      uint64_t A = memAddr(I.M);
+      Mem.store(A, Xmm[I.Reg].V, 8);
+      ST.store(A, 8, Xmm[I.Reg].T);
+      break;
+    }
+
+    case DecOp::MovsdXX: // low lane only, which is all we model
+      Xmm[I.Reg] = Xmm[I.Rm];
+      break;
+
+    case DecOp::MovqXR:
+      Xmm[I.Reg] = Gp[I.Rm];
+      break;
+
+    case DecOp::MovqRX:
+      writeGp(I.Rm, Xmm[I.Reg].V, Xmm[I.Reg].T, 64);
+      break;
+
+    case DecOp::Addsd:
+    case DecOp::Subsd:
+    case DecOp::Mulsd:
+    case DecOp::Divsd: {
+      Operand S = I.RmIsMem
+                      ? Operand{Mem.load(memAddr(I.M), 8),
+                                loadTerm(memAddr(I.M), 8)}
+                      : Operand{Xmm[I.Rm].V, Xmm[I.Rm].T};
+      double X = asF64(Xmm[I.Reg].V), Y = asF64(S.V);
+      double R = I.Op == DecOp::Addsd   ? X + Y
+                 : I.Op == DecOp::Subsd ? X - Y
+                 : I.Op == DecOp::Mulsd ? X * Y
+                                        : X / Y;
+      TermOp TO = I.Op == DecOp::Addsd   ? TermOp::FAdd
+                  : I.Op == DecOp::Subsd ? TermOp::FSub
+                  : I.Op == DecOp::Mulsd ? TermOp::FMul
+                                         : TermOp::FDiv;
+      Xmm[I.Reg] = {f64Bits(R), TA.binary(TO, Xmm[I.Reg].T, S.T, 64)};
+      break;
+    }
+
+    case DecOp::Ucomisd: {
+      Operand S = I.RmIsMem
+                      ? Operand{Mem.load(memAddr(I.M), 8),
+                                loadTerm(memAddr(I.M), 8)}
+                      : Operand{Xmm[I.Rm].V, Xmm[I.Rm].T};
+      double X = asF64(Xmm[I.Reg].V), Y = asF64(S.V);
+      FL.OF = FL.SF = 0;
+      if (X != X || Y != Y) { // unordered
+        FL.ZF = FL.PF = FL.CF = 1;
+      } else {
+        FL.PF = 0;
+        FL.CF = X < Y;
+        FL.ZF = X == Y;
+      }
+      FL.R = FlagState::RecUcomi;
+      FL.Bits = 64;
+      FL.AT = Xmm[I.Reg].T;
+      FL.BT = S.T;
+      FL.RT = NO_TERM;
+      break;
+    }
+
+    case DecOp::Cvtsi2sd: {
+      double D = static_cast<double>(static_cast<int64_t>(Gp[I.Rm].V));
+      TermRef T = Gp[I.Rm].T == NO_TERM
+                      ? NO_TERM
+                      : TA.unary(TermOp::SIToFP, Gp[I.Rm].T, 64);
+      Xmm[I.Reg] = {f64Bits(D), T};
+      break;
+    }
+
+    case DecOp::Cvttsd2si: {
+      Operand S = I.RmIsMem
+                      ? Operand{Mem.load(memAddr(I.M), 8),
+                                loadTerm(memAddr(I.M), 8)}
+                      : Operand{Xmm[I.Rm].V, Xmm[I.Rm].T};
+      uint64_t V = static_cast<uint64_t>(f64ToI64Trunc(asF64(S.V)));
+      TermRef T =
+          S.T == NO_TERM ? NO_TERM : TA.unary(TermOp::FPToSI, S.T, 64);
+      writeGp(I.Reg, V, T, 64);
+      break;
+    }
+
+    case DecOp::Xorps: {
+      TermRef T;
+      if (I.Reg == I.Rm)
+        T = TA.constant(0, 64);
+      else
+        T = TA.binary(TermOp::Xor, Xmm[I.Reg].T, Xmm[I.Rm].T, 64);
+      Xmm[I.Reg] = {Xmm[I.Reg].V ^ Xmm[I.Rm].V, T};
+      break;
+    }
+    }
+
+    II = Next;
+  }
+}

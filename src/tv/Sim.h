@@ -1,0 +1,297 @@
+//===- tv/Sim.h - Co-simulation internals -----------------------*- C++ -*-===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared internals of the two translation-validation steppers (QirStep.cpp
+/// and MachStep.cpp): the synthetic address-space layout, the deterministic
+/// memory oracle, the observable-event trace both sides emit, and the
+/// intrinsic runtime helpers both sides interpret semantically.
+///
+/// Address spaces. Neither stepper touches real memory; every load and
+/// store goes through MemModel. Three disjoint synthetic regions exist:
+///
+///   * argument space (0x7700_0000_0000 + i * 0x10_0000): where pointer
+///     parameters point; backed by the oracle, identical on both sides;
+///   * a per-side private region — the QIR stepper's stack-slot space at
+///     0x6200_0000_0000, the machine stepper's frame below Rsp0 — whose
+///     unwritten bytes read as zero (uninitialized stack) and whose
+///     contents are compared only through call-argument snapshots;
+///   * everything else is global memory: unwritten bytes come from a
+///     seeded hash oracle (same seed both sides, new seed every round),
+///     writes land in an ordered per-side overlay whose digest is an
+///     observable at every call event and at return.
+///
+/// Runtime calls are uninterpreted: both sides emit an ordered Call event
+/// and take the result from the same per-(round, call-index) generator —
+/// except the pure arithmetic helpers in the intrinsic set (128-bit
+/// division, overflow checks, crc32, ...), which back-ends also use as
+/// lowering devices, so they are interpreted semantically on both sides to
+/// keep the event streams aligned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCF_TV_SIM_H
+#define QCF_TV_SIM_H
+
+#include "qir/Function.h"
+#include "support/Hash.h"
+#include "tv/Term.h"
+#include "tv/Tv.h"
+#include "x64/Decode.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcf::tv {
+
+// --- Synthetic address-space layout -----------------------------------------
+
+inline constexpr uint64_t SlotSpaceBase = 0x620000000000ull;
+inline constexpr uint64_t ArgSpaceBase = 0x770000000000ull;
+inline constexpr uint64_t ArgSpaceStride = 0x100000ull;
+/// Machine stack pointer at entry; ≡ 8 (mod 16) as after a real call.
+inline constexpr uint64_t Rsp0 = 0x7fffffde0008ull;
+inline constexpr uint64_t FrameLo = Rsp0 - (1ull << 20);
+inline constexpr uint64_t FrameHi = Rsp0 + 16;
+/// Fake return address pushed at [Rsp0]; a ret that pops it exits.
+inline constexpr uint64_t RetSentinel = 0x0defaced0badc0deull;
+
+/// Snapshot windows are clamped so a degenerate slot size cannot make
+/// events arbitrarily large.
+inline constexpr size_t MaxSnapBytes = 4096;
+
+/// Observable-event cap per round. Every event folds the global-store
+/// overlay into a digest and snapshots pointer arguments, so a query
+/// loop that calls the runtime per row would otherwise go quadratic in
+/// its (oracle-garbage) trip count. A round that hits the cap stops as
+/// Bounded and the comparator prefix-matches — same soft-pass as fuel
+/// exhaustion.
+inline constexpr size_t MaxEvents = 384;
+
+inline uint64_t mix(uint64_t A, uint64_t B) { return hashU64(A ^ hashU64(B)); }
+
+// --- Memory -----------------------------------------------------------------
+
+/// One side's memory: a private region (zero-backed) plus global memory
+/// (oracle-backed), each with a byte-granular write overlay. std::map keeps
+/// the overlay ordered so digests are deterministic.
+struct MemModel {
+  uint64_t OracleSeed = 0;
+  uint64_t PrivLo = 0, PrivHi = 0;
+  std::map<uint64_t, uint8_t> Global;
+  std::map<uint64_t, uint8_t> Priv;
+
+  bool isPriv(uint64_t A) const { return A >= PrivLo && A < PrivHi; }
+
+  uint8_t oracleByte(uint64_t A) const {
+    uint64_t Word = hashU64((A & ~7ull) ^ OracleSeed);
+    return static_cast<uint8_t>(Word >> ((A & 7) * 8));
+  }
+
+  uint8_t loadByte(uint64_t A) const {
+    if (isPriv(A)) {
+      auto It = Priv.find(A);
+      return It == Priv.end() ? 0 : It->second;
+    }
+    auto It = Global.find(A);
+    return It == Global.end() ? oracleByte(A) : It->second;
+  }
+
+  void storeByte(uint64_t A, uint8_t B) {
+    (isPriv(A) ? Priv : Global)[A] = B;
+  }
+
+  uint64_t load(uint64_t A, unsigned Bytes) const {
+    uint64_t V = 0;
+    for (unsigned I = 0; I != Bytes; ++I)
+      V |= uint64_t(loadByte(A + I)) << (I * 8);
+    return V;
+  }
+
+  void store(uint64_t A, uint64_t V, unsigned Bytes) {
+    for (unsigned I = 0; I != Bytes; ++I)
+      storeByte(A + I, static_cast<uint8_t>(V >> (I * 8)));
+  }
+
+  /// True when no byte of [A, A+Bytes) has been written (global range).
+  bool globalClean(uint64_t A, unsigned Bytes) const {
+    auto It = Global.lower_bound(A);
+    return It == Global.end() || It->first >= A + Bytes;
+  }
+
+  /// Digest of the global overlay: the ordered (address, byte) stream.
+  uint64_t globalDigest() const {
+    uint64_t H = 0x9e3779b97f4a7c15ull;
+    for (const auto &[A, B] : Global)
+      H = hashU64(H ^ mix(A, B));
+    return H;
+  }
+
+  std::vector<uint8_t> snapshot(uint64_t A, size_t Len) const {
+    Len = std::min(Len, MaxSnapBytes);
+    std::vector<uint8_t> Out(Len);
+    for (size_t I = 0; I != Len; ++I)
+      Out[I] = loadByte(A + I);
+    return Out;
+  }
+};
+
+/// Exact-match store-term tracking: remembers the symbolic term of whole
+/// stored values so a matching load can reuse it. Overlapping stores
+/// invalidate; anything partial degrades to NO_TERM (the concrete value is
+/// always exact — terms are reporting metadata).
+struct StoreTerms {
+  struct Entry {
+    uint32_t Size;
+    TermRef T;
+  };
+  std::map<uint64_t, Entry> Map;
+
+  void store(uint64_t A, unsigned Bytes, TermRef T) {
+    auto It = Map.lower_bound(A >= 16 ? A - 16 : 0);
+    while (It != Map.end() && It->first < A + Bytes) {
+      if (It->first + It->second.Size > A)
+        It = Map.erase(It);
+      else
+        ++It;
+    }
+    Map[A] = {Bytes, T};
+  }
+
+  TermRef load(uint64_t A, unsigned Bytes) const {
+    auto It = Map.find(A);
+    if (It != Map.end() && It->second.Size == Bytes)
+      return It->second.T;
+    return NO_TERM;
+  }
+};
+
+// --- Observable events ------------------------------------------------------
+
+struct Event {
+  enum Kind : uint8_t {
+    Call, ///< Uninterpreted runtime call.
+    Trap, ///< rt_trap / trapping QIR arithmetic; terminal.
+    Ret,  ///< Normal return; terminal.
+    Fault ///< ud2 / Unreachable / hardware #DE; terminal.
+  };
+  Kind K = Ret;
+
+  // Call payload.
+  std::string Sym;
+  unsigned NumArgs = 0;        ///< Meaningful on the QIR side (machine
+                               ///< events always carry all 6 arg regs).
+  uint64_t Args[6] = {};
+  TermRef ArgT[6] = {NO_TERM, NO_TERM, NO_TERM, NO_TERM, NO_TERM, NO_TERM};
+  uint8_t ArgBits[6] = {64, 64, 64, 64, 64, 64}; ///< QIR slot widths.
+  std::vector<uint8_t> Snap[6]; ///< Private-pointer argument snapshots.
+  uint64_t Digest = 0;          ///< Global overlay digest at this event.
+
+  // Trap payload.
+  int TrapCode = 0;
+
+  // Ret payload.
+  uint64_t RetLo = 0, RetHi = 0, RetF = 0;
+  TermRef RetLoT = NO_TERM, RetHiT = NO_TERM;
+
+  std::string Where; ///< "block 3 inst 17" / "offset 0x4f".
+};
+
+struct Trace {
+  std::vector<Event> Events;
+  bool Bounded = false; ///< Fuel ran out; events are a valid prefix.
+  bool Skip = false;    ///< Function is outside the model; see Error.
+  std::string Error;    ///< Skip reason, or a machine-model violation
+                        ///< (undefined-flag branch, bad ret) => mismatch.
+};
+
+// --- Per-round context ------------------------------------------------------
+
+/// Deterministic per-(function, round) sources both sides share: argument
+/// values and uninterpreted call results.
+struct RoundCtx {
+  uint64_t Seed = 0; ///< mix of global seed, function name and round.
+  unsigned Round = 0;
+  uint64_t OracleSeed = 0; ///< Seeds unwritten global memory; per round.
+
+  /// Return-kind of every runtime symbol the module declares, so the
+  /// machine stepper can place call results exactly like the QIR side
+  /// masks them: 0 = void, 1..64 = integer width in bits, 65 = f64
+  /// (XMM0), 66 = two-lane pair (RAX:RDX).
+  const std::map<std::string, uint8_t> *RetKind = nullptr;
+
+  /// Result lane of the I-th runtime call of the round. Small-biased, and
+  /// exactly zero on a rotating subset of call indices so loops that
+  /// iterate "while (rt_*_next(...))" terminate on some rounds.
+  uint64_t callRet(unsigned CallIdx, unsigned Lane) const {
+    if (CallIdx % 3 == Round % 3)
+      return 0;
+    uint64_t H = mix(Seed, 0xca11 + CallIdx * 2 + Lane);
+    switch (H >> 61) {
+    case 0:
+      return H & 0xf;
+    case 1:
+      return H & 0xffff;
+    default:
+      return H & 0x7fffffffffffull;
+    }
+  }
+
+  /// Junk poured into caller-saved machine registers after a call.
+  uint64_t clobber(unsigned CallIdx, unsigned Reg) const {
+    return mix(Seed, 0xc10b + CallIdx * 64 + Reg);
+  }
+};
+
+// --- Intrinsic runtime helpers ----------------------------------------------
+
+/// If \p Name is one of the pure arithmetic runtime helpers, interprets it:
+/// fills Lo/Hi (the RAX/RDX lanes) or TrapCode (support/Trap.h values) and
+/// returns true. rt_trap itself is NOT in this set — callers turn it into
+/// a Trap event directly.
+bool stepIntrinsic(const std::string &Name, const uint64_t *Args,
+                   uint64_t &Lo, uint64_t &Hi, int &TrapCode);
+
+/// Symbolic term of an interpreted helper's (low-lane) result, built from
+/// the argument terms; NO_TERM where there is no simple 64-bit form.
+TermRef intrinsicResultTerm(TermArena &TA, const std::string &Name,
+                            const TermRef *ArgT);
+
+// --- The two steppers (QirStep.cpp / MachStep.cpp) --------------------------
+
+/// Static per-function layout shared by both sides.
+struct SlotLayout {
+  std::map<uint32_t, uint64_t> SlotAddr; ///< StackSlot ValueId -> address.
+  std::map<uint32_t, uint32_t> SlotSize; ///< StackSlot ValueId -> bytes.
+  uint64_t Span = 0;                     ///< Total slot-space bytes.
+  size_t MaxSnap = 16;                   ///< Largest slot (snapshot window).
+};
+
+/// Computes the synthetic slot-space layout of \p F (QirStep.cpp).
+SlotLayout computeSlotLayout(const qir::Function &F);
+
+/// Runs the QIR reference stepper for one round. \p ArgLanes are the
+/// flattened ≤6 argument slots (two-lane params occupy two).
+Trace runQirRound(const qir::Function &F, const qir::Module &M,
+                  const SlotLayout &Slots, const RoundCtx &RC,
+                  const std::vector<uint64_t> &ArgLanes,
+                  const std::vector<TermRef> &ArgTerms, TermArena &TA);
+
+/// Runs the machine stepper for one round over the decoded function.
+/// \p ArgIsF64 parallels ArgLanes: f64 lanes are delivered in XMM argument
+/// registers (in order), everything else in the GP argument registers —
+/// the calling convention the back-ends implement.
+Trace runMachRound(const x64::DecodedFunction &DF, const uint8_t *Code,
+                   size_t Size, const std::vector<TvReloc> &Relocs,
+                   const SlotLayout &Slots, const RoundCtx &RC,
+                   const std::vector<uint64_t> &ArgLanes,
+                   const std::vector<TermRef> &ArgTerms,
+                   const std::vector<uint8_t> &ArgIsF64, TermArena &TA);
+
+} // namespace qcf::tv
+
+#endif // QCF_TV_SIM_H

@@ -3,305 +3,28 @@
 // Part of the QCF project.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// The encoding lint is now a thin shim over the semantic decoder
+/// (x64/Decode.{h,cpp}): decodeFunction performs the full structural
+/// analysis — every byte must decode as an encoding the Assembler can
+/// produce, intra-function branch targets must land on instruction starts,
+/// and relocations must patch immediate payloads strictly inside one
+/// instruction — and the lint reports its diagnostic verbatim.
+///
+//===----------------------------------------------------------------------===//
 
 #include "x64/EncodingLint.h"
-#include <algorithm>
+#include "x64/Decode.h"
 
 using namespace qcf;
 using namespace qcf::x64;
 
-namespace {
-
-/// One decoded instruction's shape.
-struct Decoded {
-  size_t Len = 0;          ///< Total length; 0 = decode failure.
-  size_t ImmOff = 0;       ///< Offset of immediate/disp payload (0 = none).
-  size_t Rel32Off = 0;     ///< Offset of a rel32 branch field (0 = none).
-  bool IsCall = false;     ///< Rel32 is a call (may target another symbol).
-  const char *Error = nullptr;
-};
-
-/// ModRM + SIB + displacement length, starting at \p P (the ModRM byte).
-/// Returns -1 on truncation.
-int modRmLen(const uint8_t *Code, size_t Size, size_t P) {
-  if (P >= Size)
-    return -1;
-  uint8_t ModRm = Code[P];
-  uint8_t Mod = ModRm >> 6;
-  uint8_t Rm = ModRm & 7;
-  int Len = 1;
-  if (Mod != 3 && Rm == 4) { // SIB byte
-    if (P + Len >= Size)
-      return -1;
-    uint8_t Sib = Code[P + Len];
-    ++Len;
-    if (Mod == 0 && (Sib & 7) == 5)
-      Len += 4; // disp32 with no base
-  }
-  if (Mod == 1)
-    Len += 1;
-  else if (Mod == 2 || (Mod == 0 && Rm == 5))
-    Len += 4; // disp32 (rm==5 at mod 0 is rip-relative / disp32)
-  if (P + static_cast<size_t>(Len) > Size)
-    return -1;
-  return Len;
-}
-
-/// Decodes one instruction at \p Pos. Covers exactly the encodings
-/// x64::Assembler emits (see Asm.cpp); anything else is a lint error.
-Decoded decodeOne(const uint8_t *Code, size_t Size, size_t Pos) {
-  Decoded D;
-  size_t P = Pos;
-  bool Opnd16 = false;
-  bool RexW = false;
-
-  // Legacy prefixes (66 operand-size, F0 lock, F2/F3 mandatory).
-  while (P < Size && (Code[P] == 0x66 || Code[P] == 0xf0 ||
-                      Code[P] == 0xf2 || Code[P] == 0xf3)) {
-    if (Code[P] == 0x66)
-      Opnd16 = true;
-    ++P;
-  }
-  // REX.
-  if (P < Size && (Code[P] & 0xf0) == 0x40) {
-    RexW = (Code[P] & 0x08) != 0;
-    ++P;
-  }
-  if (P >= Size) {
-    D.Error = "truncated instruction (prefixes only)";
-    return D;
-  }
-
-  auto done = [&](size_t End) {
-    D.Len = End - Pos;
-    return D;
-  };
-  auto fail = [&](const char *Msg) {
-    D.Error = Msg;
-    return D;
-  };
-  auto withModRm = [&](size_t OpcodeEnd, size_t ImmBytes) -> Decoded {
-    int ML = modRmLen(Code, Size, OpcodeEnd);
-    if (ML < 0)
-      return fail("truncated ModRM operand");
-    size_t End = OpcodeEnd + static_cast<size_t>(ML) + ImmBytes;
-    if (End > Size)
-      return fail("truncated immediate");
-    if (ImmBytes)
-      D.ImmOff = OpcodeEnd + static_cast<size_t>(ML);
-    return done(End);
-  };
-  auto immOnly = [&](size_t OpcodeEnd, size_t ImmBytes) -> Decoded {
-    if (OpcodeEnd + ImmBytes > Size)
-      return fail("truncated immediate");
-    D.ImmOff = OpcodeEnd;
-    return done(OpcodeEnd + ImmBytes);
-  };
-
-  uint8_t B = Code[P];
-  size_t Q = P + 1;
-
-  // Two-byte (and crc32's three-byte) opcode space.
-  if (B == 0x0f) {
-    if (Q >= Size)
-      return fail("truncated 0F opcode");
-    uint8_t B2 = Code[Q];
-    size_t Q2 = Q + 1;
-    switch (B2) {
-    case 0x0b: // ud2
-      return done(Q2);
-    case 0x10: // movsd xmm, m/x
-    case 0x11: // movsd m/x, xmm
-    case 0x2a: // cvtsi2sd
-    case 0x2c: // cvttsd2si
-    case 0x2e: // ucomisd
-    case 0x57: // xorps
-    case 0x58: // addsd
-    case 0x59: // mulsd
-    case 0x5c: // subsd
-    case 0x5e: // divsd
-    case 0x6e: // movq xmm, r64
-    case 0x7e: // movq r64, xmm
-    case 0xaf: // imul r, r/m
-    case 0xb6: // movzx r, r/m8
-    case 0xb7: // movzx r, r/m16
-    case 0xbe: // movsx r, r/m8
-    case 0xbf: // movsx r, r/m16
-    case 0xc0: // xadd r/m8, r
-    case 0xc1: // xadd r/m, r
-      return withModRm(Q2, 0);
-    case 0x38: // 0F 38 F1: crc32
-      if (Q2 >= Size || Code[Q2] != 0xf1)
-        return fail("unknown 0F 38 opcode");
-      return withModRm(Q2 + 1, 0);
-    default:
-      if (B2 >= 0x40 && B2 <= 0x4f) // cmovcc
-        return withModRm(Q2, 0);
-      if (B2 >= 0x80 && B2 <= 0x8f) { // jcc rel32
-        if (Q2 + 4 > Size)
-          return fail("truncated jcc rel32");
-        D.Rel32Off = Q2;
-        return done(Q2 + 4);
-      }
-      if (B2 >= 0x90 && B2 <= 0x9f) // setcc
-        return withModRm(Q2, 0);
-      return fail("unknown 0F opcode");
-    }
-  }
-
-  // One-byte opcodes.
-  if (B < 0x40 && (B & 7) <= 3 && (B >> 3) <= 7)
-    return withModRm(Q, 0); // ALU r/m,r and r,r/m forms (00..3B)
-  if (B >= 0x50 && B <= 0x5f)
-    return done(Q); // push/pop
-  switch (B) {
-  case 0x63: // movsxd
-    return withModRm(Q, 0);
-  case 0x69: // imul r, r/m, imm16/32
-    return withModRm(Q, Opnd16 ? 2 : 4);
-  case 0x6b: // imul r, r/m, imm8
-    return withModRm(Q, 1);
-  case 0x80: // alu r/m8, imm8
-    return withModRm(Q, 1);
-  case 0x81: // alu r/m, imm16/32
-    return withModRm(Q, Opnd16 ? 2 : 4);
-  case 0x83: // alu r/m, imm8
-    return withModRm(Q, 1);
-  case 0x84: // test r/m8, r8
-  case 0x85: // test r/m, r
-  case 0x88: // mov r/m8, r8
-  case 0x89: // mov r/m, r
-  case 0x8a: // mov r8, r/m8
-  case 0x8b: // mov r, r/m
-  case 0x8d: // lea
-    return withModRm(Q, 0);
-  case 0x90: // nop
-  case 0x99: // cdq/cqo
-    return done(Q);
-  case 0xc0: // shift r/m8, imm8
-  case 0xc1: // shift r/m, imm8
-    return withModRm(Q, 1);
-  case 0xc3: // ret
-    return done(Q);
-  case 0xc6: // mov r/m8, imm8
-    return withModRm(Q, 1);
-  case 0xc7: // mov r/m, imm16/32
-    return withModRm(Q, Opnd16 ? 2 : 4);
-  case 0xd2: // shift r/m8, cl
-  case 0xd3: // shift r/m, cl
-    return withModRm(Q, 0);
-  case 0xe8: // call rel32
-    if (Q + 4 > Size)
-      return fail("truncated call rel32");
-    D.Rel32Off = Q;
-    D.IsCall = true;
-    return done(Q + 4);
-  case 0xe9: // jmp rel32
-    if (Q + 4 > Size)
-      return fail("truncated jmp rel32");
-    D.Rel32Off = Q;
-    return done(Q + 4);
-  case 0xf6: { // group 3, 8-bit: /0 test imm8, /2 not, /3 neg, /4../7 mul-div
-    if (Q >= Size)
-      return fail("truncated ModRM operand");
-    uint8_t Ext = (Code[Q] >> 3) & 7;
-    return withModRm(Q, Ext == 0 ? 1 : 0);
-  }
-  case 0xf7: { // group 3: /0 test imm, /2 not, /3 neg, /4../7 mul-div
-    if (Q >= Size)
-      return fail("truncated ModRM operand");
-    uint8_t Ext = (Code[Q] >> 3) & 7;
-    return withModRm(Q, Ext == 0 ? (Opnd16 ? 2 : 4) : 0);
-  }
-  case 0xff: { // group 5: /2 call r/m, /4 jmp r/m
-    if (Q >= Size)
-      return fail("truncated ModRM operand");
-    uint8_t Ext = (Code[Q] >> 3) & 7;
-    if (Ext != 2 && Ext != 4)
-      return fail("unsupported group-5 extension");
-    return withModRm(Q, 0);
-  }
-  default:
-    if (B >= 0xb8 && B <= 0xbf) // mov r, imm32/imm64
-      return immOnly(Q, RexW ? 8 : 4);
-    return fail("unknown opcode byte");
-  }
-}
-
-} // namespace
-
 std::string x64::lintFunction(const uint8_t *Code, size_t Size,
                               const std::vector<LintReloc> &Relocs) {
-  struct Branch {
-    size_t FieldOff;
-    size_t Target;
-    bool IsCall;
-  };
-  std::vector<size_t> Starts;
-  std::vector<size_t> Lens;
-  std::vector<Branch> Branches;
-
-  size_t Pos = 0;
-  while (Pos < Size) {
-    Decoded D = decodeOne(Code, Size, Pos);
-    if (D.Error)
-      return "encoding lint: offset " + std::to_string(Pos) + ": " +
-             D.Error + " (byte 0x" + std::to_string(Code[Pos]) + ")";
-    Starts.push_back(Pos);
-    Lens.push_back(D.Len);
-    if (D.Rel32Off) {
-      int32_t Rel = 0;
-      for (int I = 0; I != 4; ++I)
-        Rel |= static_cast<int32_t>(
-            static_cast<uint32_t>(Code[D.Rel32Off + I]) << (I * 8));
-      size_t End = Pos + D.Len;
-      Branches.push_back(
-          {D.Rel32Off, End + static_cast<size_t>(static_cast<int64_t>(Rel)),
-           D.IsCall});
-    }
-    Pos += D.Len;
-  }
-  // The loop ends exactly at Size: decodeOne never returns a length that
-  // overruns the buffer, and a short final instruction fails decode above.
-
-  auto isStart = [&](size_t Off) {
-    return std::binary_search(Starts.begin(), Starts.end(), Off);
-  };
-  auto coveredByReloc = [&](size_t Off, size_t Width) {
-    for (const LintReloc &R : Relocs)
-      if (R.Offset <= Off && Off + Width <= R.Offset + R.Width)
-        return true;
-    return false;
-  };
-
-  // Branch targets must land on instruction starts. A rel32 field under a
-  // relocation is patched at link time and points outside the function.
-  for (const Branch &Br : Branches) {
-    if (coveredByReloc(Br.FieldOff, 4))
-      continue;
-    if (Br.Target >= Size || !isStart(Br.Target))
-      return "encoding lint: " +
-             std::string(Br.IsCall ? "call" : "branch") + " at offset " +
-             std::to_string(Br.FieldOff) + " targets offset " +
-             std::to_string(Br.Target) +
-             ", which is not an instruction start";
-  }
-
-  // Relocations must patch bytes strictly inside one instruction (an
-  // immediate/displacement field), never an opcode byte.
-  for (const LintReloc &R : Relocs) {
-    auto It = std::upper_bound(Starts.begin(), Starts.end(), R.Offset);
-    if (It == Starts.begin())
-      return "encoding lint: relocation at offset " +
-             std::to_string(R.Offset) + " precedes all instructions";
-    size_t Idx = static_cast<size_t>(It - Starts.begin()) - 1;
-    size_t Start = Starts[Idx], End = Start + Lens[Idx];
-    if (R.Offset == Start || R.Offset + R.Width > End)
-      return "encoding lint: relocation [" + std::to_string(R.Offset) +
-             "," + std::to_string(R.Offset + R.Width) +
-             ") does not lie inside one instruction's payload (instruction"
-             " at [" +
-             std::to_string(Start) + "," + std::to_string(End) + "))";
-  }
-  return "";
+  std::vector<DecodeReloc> DR;
+  DR.reserve(Relocs.size());
+  for (const LintReloc &R : Relocs)
+    DR.push_back({R.Offset, R.Width});
+  return decodeFunction(Code, Size, DR).Error;
 }
