@@ -1,0 +1,185 @@
+//===- bench/bench_serve.cpp - Serving-layer throughput/latency bench -----===//
+//
+// Part of the QCF project.
+//
+// Prices the serving layer added on top of the compile/execute stack:
+//
+//   1. Admission overhead: uncontended AdmissionGate enter+leave cost —
+//      the fixed per-query tax of bounded admission — and the
+//      end-to-end overhead of Server::execute versus a bare
+//      db::executeQuery on warm code.
+//   2. Serving throughput: QPS and query latency percentiles through a
+//      warm Server at increasing driver-thread counts, all sessions on
+//      one tenant with quotas wide open, so the numbers isolate the
+//      serving machinery rather than quota rejections.
+//
+// `--json` writes the BENCH_9.json trajectory record; `--quick` trims
+// query counts for CI smoke runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "serve/Server.h"
+#include <atomic>
+#include <thread>
+
+using namespace qcf;
+using namespace qcf::bench;
+
+namespace {
+
+/// Uncontended gate cost: one thread, slot always free.
+double admissionPairNs(unsigned Iters) {
+  serve::AdmissionGate::Config Cfg;
+  Cfg.Slots = 4;
+  serve::AdmissionGate G(Cfg);
+  Stopwatch W;
+  for (unsigned I = 0; I != Iters; ++I) {
+    (void)G.enter();
+    G.leave(1000);
+  }
+  return W.elapsedSec() * 1e9 / Iters;
+}
+
+struct ServeRun {
+  double Qps = 0;
+  double P50Ms = 0, P99Ms = 0;
+  uint64_t Ok = 0, Rejected = 0;
+};
+
+/// \p Threads drivers, one session each, hammering the warm server.
+ServeRun runServeLoad(serve::Server &Srv, const std::vector<db::Query> &Qs,
+                      unsigned Threads, unsigned QueriesPerThread) {
+  ServeRun R;
+  std::vector<uint64_t> Sids;
+  for (unsigned T = 0; T != Threads; ++T) {
+    serve::OpenOutcome O = Srv.openSession("bench");
+    if (O.Outcome != serve::Admit::Ok)
+      reportFatalError("bench session rejected");
+    Sids.push_back(O.SessionId);
+  }
+
+  // Per-run histogram baseline: the registry accumulates across calls,
+  // so percentiles are computed from the delta-free final snapshot of a
+  // dedicated registry per Server (one Server per scenario).
+  std::atomic<uint64_t> Ok{0}, Rejected{0};
+  Stopwatch W;
+  std::vector<std::thread> Drivers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Drivers.emplace_back([&, T] {
+      for (unsigned I = 0; I != QueriesPerThread; ++I) {
+        serve::QueryOutcome Q =
+            Srv.execute(Sids[T], Qs[(T + I) % Qs.size()]);
+        if (Q.Ok)
+          ++Ok;
+        else
+          ++Rejected;
+      }
+    });
+  for (std::thread &D : Drivers)
+    D.join();
+  double Sec = W.elapsedSec();
+
+  for (uint64_t Sid : Sids)
+    Srv.closeSession(Sid);
+
+  R.Ok = Ok.load();
+  R.Rejected = Rejected.load();
+  R.Qps = Sec > 0 ? double(R.Ok + R.Rejected) / Sec : 0;
+  obs::MetricsSnapshot Snap = Srv.registry().snapshot();
+  if (const obs::HistogramSnapshot *H = Snap.histogram("serve.query_ns")) {
+    R.P50Ms = double(H->percentileNs(0.50)) / 1e6;
+    R.P99Ms = double(H->percentileNs(0.99)) / 1e6;
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
+  printHeader("Serving layer: admission overhead and throughput",
+              "the serving-path extension of the paper's compile-time "
+              "tradeoff (Fig. 1) under concurrent load");
+
+  const unsigned PairIters = Flags.Quick ? 20'000 : 200'000;
+  double PairNs = admissionPairNs(PairIters);
+  std::printf("admission enter+leave (uncontended): %.0f ns\n\n", PairNs);
+
+  db::Catalog Cat;
+  db::generateTpchLike(Cat, Flags.Quick ? 0.01 : 0.05);
+  std::vector<db::Query> Qs = db::tpchQueries();
+
+  // Bare-executor baseline on warm code: the same queries through the
+  // same backend+cache substrate, no sessions/admission/quotas.
+  double BaseQps = 0;
+  {
+    obs::MetricsRegistry Reg;
+    std::unique_ptr<backend::Backend> Inner =
+        backend::createBackend("Craneline");
+    backend::CachingBackend Cache(std::move(Inner));
+    for (db::Query &Q : Qs) { // Warm the cache.
+      db::CompiledPlan P = db::compileQuery(Q, Cat);
+      rt::OutputBuffer Out;
+      (void)db::executeQuery(P, Cache, Cat, &Out);
+    }
+    // Apples-to-apples with Server::execute, which takes a db::Query:
+    // plan lowering runs per call on both sides; machine code is warm.
+    const unsigned N = Flags.Quick ? 50 : 400;
+    Stopwatch W;
+    for (unsigned I = 0; I != N; ++I) {
+      db::CompiledPlan P = db::compileQuery(Qs[I % Qs.size()], Cat);
+      rt::OutputBuffer Out;
+      db::ExecResult R = db::executeQuery(P, Cache, Cat, &Out);
+      if (R.Trapped)
+        reportFatalError("baseline query trapped");
+    }
+    BaseQps = double(N) / W.elapsedSec();
+  }
+  std::printf("bare executor (warm, 1 thread): %.0f qps\n\n", BaseQps);
+
+  std::printf("%-10s %10s %10s %10s %10s\n", "drivers", "qps", "p50 ms",
+              "p99 ms", "rejected");
+  BenchJson Json("serve");
+  Json.field("admission_pair_ns", PairNs).field("bare_qps", BaseQps);
+
+  const unsigned PerThread = Flags.Quick ? 40 : 300;
+  double OneThreadQps = 0;
+  for (unsigned Threads : {1u, 4u, 8u}) {
+    obs::MetricsRegistry Reg;
+    serve::ServerConfig Cfg;
+    Cfg.BackendName = "Craneline";
+    Cfg.CompileWorkers = 2;
+    Cfg.Admission.Slots = Threads; // No queueing: price the machinery.
+    Cfg.Admission.MaxWaiters = 64;
+    Cfg.StartSweeper = false;
+    Cfg.Reg = &Reg;
+    serve::Server Srv(Cfg, Cat);
+    Srv.registerTenant("bench", serve::TenantQuota{});
+
+    // Warm pass populates the shared code cache so the measured pass
+    // prices serving, not compilation.
+    runServeLoad(Srv, Qs, 1, unsigned(Qs.size()));
+    ServeRun R = runServeLoad(Srv, Qs, Threads, PerThread);
+    if (Threads == 1)
+      OneThreadQps = R.Qps;
+    std::printf("%-10u %10.0f %10.3f %10.3f %10llu\n", Threads, R.Qps,
+                R.P50Ms, R.P99Ms, static_cast<unsigned long long>(R.Rejected));
+    Json.row()
+        .col("drivers", double(Threads))
+        .col("qps", R.Qps)
+        .col("p50_ms", R.P50Ms)
+        .col("p99_ms", R.P99Ms)
+        .col("ok", double(R.Ok))
+        .col("rejected", double(R.Rejected));
+    Srv.shutdown();
+  }
+
+  if (BaseQps > 0 && OneThreadQps > 0)
+    std::printf("\nserving overhead vs bare executor (1 thread): %.1f%%\n",
+                std::max(0.0, (BaseQps / OneThreadQps - 1.0) * 100.0));
+
+  if (Flags.Json && !Json.write(9))
+    return 1;
+  return 0;
+}

@@ -17,6 +17,7 @@
 
 #include "obs/Obs.h"
 #include "qir/Function.h"
+#include "support/Cancel.h"
 #include "support/MemContext.h"
 #include "support/TimeTrace.h"
 #include "support/VerifyOptions.h"
@@ -49,6 +50,28 @@ struct CompileOptions {
   /// production mode measured by E14. Defaults to QCF_ALLOC; see
   /// support/MemContext.h and DESIGN.md "Compilation memory".
   AllocMode Alloc = allocModeFromEnv();
+
+  /// External compile-memory context. When set, the back-end allocates
+  /// its IR/MIR/scratch memory from this context instead of creating its
+  /// own, so the caller can meter the compile's footprint afterwards via
+  /// the context's byte counters — the serving layer's per-tenant
+  /// compile-memory quota is enforced against exactly these numbers.
+  /// The context must not be shared between concurrent compiles.
+  qcf::MemContext *Mem = nullptr;
+
+  /// Cooperative cancellation for the compile *wait*, not the compile
+  /// itself: CompileService workers treat a fired token as
+  /// cancel-before-run, and CachingBackend's ticket/in-flight waits
+  /// return early (with a null module) once the token fires. A compile
+  /// that already started always runs to completion — emitted code is
+  /// never torn.
+  const qcf::CancelToken *Cancel = nullptr;
+
+  /// Per-tenant fairness key for CompileService submissions. Non-empty
+  /// keys are counted per key; a service configured with a queue share
+  /// for the key (setKeyQueueShare) rejects submissions beyond that
+  /// share so one tenant cannot monopolize the bounded compile queue.
+  std::string FairnessKey;
 
   CompileOptions() = default;
   explicit CompileOptions(obs::ObsContext Obs) : Obs(Obs) {}

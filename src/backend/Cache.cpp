@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 #include "support/Hash.h"
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace qcf::backend {
@@ -200,7 +201,18 @@ CachingBackend::compile(const qir::Module &M, const CompileOptions &Opts) {
       Lock.unlock();
       uint64_t WaitStartNs = nowNs();
       std::unique_lock<std::mutex> WaitLock(Wait->Mutex);
-      Wait->Cv.wait(WaitLock, [&] { return Wait->Done; });
+      if (const qcf::CancelToken *Ct = Opts.Cancel) {
+        // Cancellable dedup wait: tick, check the token, repeat. A fired
+        // token abandons the wait — the owning compile keeps running for
+        // the other waiters; this caller just stops consuming it.
+        while (!Wait->Done) {
+          if (Ct->stopped())
+            return nullptr;
+          Wait->Cv.wait_for(WaitLock, std::chrono::milliseconds(1));
+        }
+      } else {
+        Wait->Cv.wait(WaitLock, [&] { return Wait->Done; });
+      }
       if (obs::TraceSink *Sink = Opts.Obs.Sink)
         Sink->completeEvent("cache.inflight_wait", "cache", WaitStartNs,
                             nowNs() - WaitStartNs);
@@ -243,9 +255,43 @@ CachingBackend::compile(const qir::Module &M, const CompileOptions &Opts) {
     }
   }
   if (!Compiled && Svc) {
-    CompileTicket Ticket =
+    // A Rejected outcome (bounded queue full, fairness share exhausted)
+    // leaves the ticket invalid and we degrade to an inline compile below
+    // — backpressure moves the work onto the caller's thread instead of
+    // blocking it behind the storm.
+    SubmitOutcome SO =
         Svc->submit(M, *Inner, CompilePriority::Foreground, Opts);
-    Compiled = Ticket.wait(); // Null if the service was shut down mid-job.
+    if (const qcf::CancelToken *Ct = Opts.Cancel) {
+      while (SO.Ticket.valid() && !SO.Ticket.waitFor(1'000'000)) {
+        if (Ct->stopped()) {
+          // Cancel-before-run. If the job already started, the worker
+          // holds a reference to M — wait it out (bounded by one compile
+          // latency) instead of returning while M is still in use.
+          if (!SO.Ticket.cancel())
+            SO.Ticket.wait();
+          break;
+        }
+      }
+      Compiled = SO.Ticket.poll();
+    } else {
+      Compiled = SO.Ticket.wait(); // Null if the service shut down mid-job.
+    }
+  }
+  if (!Compiled && Opts.Cancel && Opts.Cancel->stopped()) {
+    // Cancelled while waiting (or before falling back): retire the
+    // in-flight entry so deduped waiters stop waiting and compile for
+    // themselves, and report the cancellation with a null module — the
+    // only case in which CachingBackend::compile returns null.
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Pending.erase(Key);
+    }
+    {
+      std::lock_guard<std::mutex> EntryLock(Entry->Mutex);
+      Entry->Done = true;
+    }
+    Entry->Cv.notify_all();
+    return nullptr;
   }
   if (!Compiled)
     Compiled = Inner->compile(M, Opts);

@@ -99,6 +99,12 @@ struct CacheStats {
 /// (centralized workers, per-backend latency stats); without one they
 /// compile on the calling thread. Either way the caller blocks until the
 /// module is ready — the dedup, not the asynchrony, is the point here.
+///
+/// Cancellation: when CompileOptions::Cancel is set and fires while this
+/// call is waiting (on a service ticket or a deduped in-flight compile),
+/// compile() returns null — the only case in which it does. Callers that
+/// pass a token must handle the null; callers that don't keep the
+/// never-null contract.
 class CachingBackend : public Backend {
 public:
   /// \p Capacity bounds the number of retained compiled modules

@@ -6,6 +6,7 @@
 
 #include "backend/CompileService.h"
 #include "support/TimeTrace.h"
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 
@@ -45,6 +46,16 @@ std::shared_ptr<CompiledModule> CompileTicket::wait() const {
   return Job->Result;
 }
 
+bool CompileTicket::waitFor(uint64_t Ns) const {
+  if (!Job)
+    return true; // Invalid tickets are trivially terminal.
+  std::unique_lock<std::mutex> Lock(Job->Mutex);
+  return Job->Cv.wait_for(Lock, std::chrono::nanoseconds(Ns), [&] {
+    return Job->St == CompileJob::State::Done ||
+           Job->St == CompileJob::State::Cancelled;
+  });
+}
+
 bool CompileTicket::cancel() {
   if (!Job)
     return false;
@@ -67,7 +78,13 @@ CompileService::CompileService(unsigned NumWorkers, size_t QueueCapacity,
       JobsQueued(this->Reg->counter(Prefix + "jobs_queued")),
       JobsCompleted(this->Reg->counter(Prefix + "jobs_completed")),
       JobsCancelled(this->Reg->counter(Prefix + "jobs_cancelled")),
-      QueueDepth(this->Reg->gauge(Prefix + "queue_depth")) {
+      QueueDepth(this->Reg->gauge(Prefix + "queue.depth")),
+      QueueCapacityG(this->Reg->gauge(Prefix + "queue.capacity")),
+      RejectedFg(this->Reg->counter(Prefix + "queue.rejected.foreground")),
+      RejectedBg(this->Reg->counter(Prefix + "queue.rejected.background")),
+      RejectedTenant(this->Reg->counter(Prefix + "queue.rejected.tenant")),
+      ShedC(this->Reg->counter(Prefix + "queue.shed")) {
+  QueueCapacityG.set(static_cast<int64_t>(QueueCapacity));
   if (NumWorkers == 0)
     NumWorkers = 1;
   Workers.reserve(NumWorkers);
@@ -77,7 +94,35 @@ CompileService::CompileService(unsigned NumWorkers, size_t QueueCapacity,
 
 CompileService::~CompileService() { shutdown(); }
 
-CompileTicket CompileService::submit(const qir::Module &M, Backend &BE,
+void CompileService::setKeyQueueShare(const std::string &Key,
+                                      uint64_t MaxInFlight) {
+  std::lock_guard<std::mutex> Lock(LifecycleMutex);
+  if (MaxInFlight)
+    KeyShares[Key] = MaxInFlight;
+  else
+    KeyShares.erase(Key);
+}
+
+void CompileService::setDefaultKeyQueueShare(uint64_t MaxInFlight) {
+  std::lock_guard<std::mutex> Lock(LifecycleMutex);
+  DefaultKeyShare = MaxInFlight;
+}
+
+uint64_t CompileService::keyInFlight(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(LifecycleMutex);
+  auto It = KeyInFlightCount.find(Key);
+  return It == KeyInFlightCount.end() ? 0 : It->second;
+}
+
+uint64_t CompileService::retryHintNs() const {
+  // Depth jobs ahead, drained by numWorkers() workers at the EWMA
+  // latency each; floor at 1ms so a cold service still suggests backoff.
+  uint64_t Lat = EwmaLatencyNs.load(std::memory_order_relaxed);
+  uint64_t Hint = (Queue.size() + 1) * Lat / std::max<size_t>(1, Workers.size());
+  return std::max<uint64_t>(Hint, 1'000'000);
+}
+
+SubmitOutcome CompileService::submit(const qir::Module &M, Backend &BE,
                                      CompilePriority Priority,
                                      const CompileOptions &Opts) {
   auto Job = std::make_shared<CompileJob>();
@@ -85,33 +130,88 @@ CompileTicket CompileService::submit(const qir::Module &M, Backend &BE,
   Job->BE = &BE;
   Job->Opts = Opts;
   Job->SubmitNs = nowNs();
+  Job->Key = Opts.FairnessKey;
 
+  SubmitOutcome Out;
   if (Stopping.load(std::memory_order_acquire)) {
     // Degraded mode: compile synchronously so callers keep working after
     // (or during) shutdown. The ticket is already complete.
     Job->Result = BE.compile(M, Opts);
     Job->St = CompileJob::State::Done;
-    return CompileTicket(std::move(Job));
+    Out.Status = SubmitStatus::Degraded;
+    Out.Ticket = CompileTicket(std::move(Job));
+    return Out;
   }
 
-  JobsQueued.inc();
+  // Fairness-share check and in-flight accounting, atomically: two
+  // concurrent submits for the same key must not both slip under the
+  // share.
   {
     std::lock_guard<std::mutex> Lock(LifecycleMutex);
+    if (!Job->Key.empty()) {
+      auto ShareIt = KeyShares.find(Job->Key);
+      uint64_t Share =
+          ShareIt != KeyShares.end() ? ShareIt->second : DefaultKeyShare;
+      uint64_t &InFlight = KeyInFlightCount[Job->Key];
+      if (Share && InFlight >= Share) {
+        RejectedTenant.inc();
+        Out.Status = SubmitStatus::Rejected;
+        Out.Reason = RejectReason::TenantShare;
+        Out.RetryAfterNs = retryHintNs();
+        return Out;
+      }
+      ++InFlight;
+    }
     ++Pending;
   }
-  if (!Queue.push(Job, Priority == CompilePriority::Foreground)) {
-    // Shutdown raced the push: run it synchronously instead.
-    JobsQueued.sub(1);
-    {
-      std::lock_guard<std::mutex> Lock(LifecycleMutex);
-      --Pending;
+  JobsQueued.inc();
+
+  const bool High = Priority == CompilePriority::Foreground;
+  for (;;) {
+    auto R = Queue.tryPush(Job, High);
+    if (R == decltype(Queue)::PushResult::Ok)
+      break;
+    if (R == decltype(Queue)::PushResult::Closed) {
+      // Shutdown raced the push: run it synchronously instead.
+      JobsQueued.sub(1);
+      unaccount(*Job);
+      Job->Result = BE.compile(M, Opts);
+      Job->St = CompileJob::State::Done;
+      Out.Status = SubmitStatus::Degraded;
+      Out.Ticket = CompileTicket(std::move(Job));
+      return Out;
     }
-    Job->Result = BE.compile(M, Opts);
-    Job->St = CompileJob::State::Done;
-  } else {
-    QueueDepth.set(static_cast<int64_t>(Queue.size()));
+    // Full. A Foreground submit sheds the newest Background job (its
+    // ticket reports cancelled) and retries; Background submits — and
+    // Foreground ones with nothing sheddable — are rejected outright.
+    std::shared_ptr<CompileJob> Victim;
+    if (High && Queue.shedLowest(Victim)) {
+      ShedC.inc();
+      finishJob(Victim, /*Cancel=*/true);
+      continue;
+    }
+    JobsQueued.sub(1);
+    unaccount(*Job);
+    (High ? RejectedFg : RejectedBg).inc();
+    Out.Status = SubmitStatus::Rejected;
+    Out.Reason = RejectReason::QueueFull;
+    Out.RetryAfterNs = retryHintNs();
+    return Out;
   }
-  return CompileTicket(Job);
+  QueueDepth.set(static_cast<int64_t>(Queue.size()));
+  Out.Ticket = CompileTicket(std::move(Job));
+  return Out;
+}
+
+void CompileService::unaccount(const CompileJob &Job) {
+  std::lock_guard<std::mutex> Lock(LifecycleMutex);
+  if (!Job.Key.empty()) {
+    auto It = KeyInFlightCount.find(Job.Key);
+    if (It != KeyInFlightCount.end() && It->second && --It->second == 0)
+      KeyInFlightCount.erase(It);
+  }
+  if (--Pending == 0)
+    AllDoneCv.notify_all();
 }
 
 void CompileService::workerLoop() {
@@ -131,6 +231,14 @@ void CompileService::finishJob(const std::shared_ptr<CompileJob> &Job,
     if (Job->St == CompileJob::State::Cancelled) {
       // cancel() won the race; just account for it below.
       Cancel = true;
+    } else if (!Cancel && Job->Opts.Cancel && Job->Opts.Cancel->stopped()) {
+      // Cancel-before-run: the submitting query's token fired (session
+      // evicted, deadline passed) while the job sat in the queue. Skip
+      // the compile instead of burning a worker slot on a result nobody
+      // will consume.
+      Cancel = true;
+      Job->St = CompileJob::State::Cancelled;
+      Job->Cv.notify_all();
     } else if (Cancel) {
       Job->St = CompileJob::State::Cancelled;
       Job->Cv.notify_all();
@@ -167,6 +275,10 @@ void CompileService::finishJob(const std::shared_ptr<CompileJob> &Job,
     // include this job.
     Reg->histogram(Prefix + "latency." + Job->BE->name()).observe(DurNs);
     JobsCompleted.inc();
+    // EWMA compile latency (alpha = 1/8): feeds retry-after hints.
+    uint64_t Prev = EwmaLatencyNs.load(std::memory_order_relaxed);
+    EwmaLatencyNs.store(Prev ? (Prev * 7 + DurNs) / 8 : DurNs,
+                        std::memory_order_relaxed);
     std::lock_guard<std::mutex> Lock(Job->Mutex);
     Job->Result = std::move(Result);
     Job->St = CompileJob::State::Done;
@@ -175,9 +287,7 @@ void CompileService::finishJob(const std::shared_ptr<CompileJob> &Job,
 
   if (Cancel)
     JobsCancelled.inc();
-  std::lock_guard<std::mutex> Lock(LifecycleMutex);
-  if (--Pending == 0)
-    AllDoneCv.notify_all();
+  unaccount(*Job);
 }
 
 void CompileService::shutdown() {
@@ -206,6 +316,11 @@ CompileServiceStats CompileService::stats() const {
   S.JobsCompleted = JobsCompleted.value();
   S.JobsCancelled = JobsCancelled.value();
   S.QueueDepthHighWater = Queue.highWater();
+  S.QueueCapacity = Queue.capacity();
+  S.RejectedForeground = RejectedFg.value();
+  S.RejectedBackground = RejectedBg.value();
+  S.RejectedTenant = RejectedTenant.value();
+  S.Shed = ShedC.value();
   // Per-backend latency is a view over this instance's histograms.
   obs::MetricsSnapshot Snap = Reg->snapshot();
   const std::string LatPrefix = Prefix + "latency.";

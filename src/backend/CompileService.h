@@ -61,6 +61,11 @@ struct CompileServiceStats {
   uint64_t JobsCompleted = 0; ///< Jobs that ran to completion.
   uint64_t JobsCancelled = 0; ///< Jobs cancelled before they started.
   size_t QueueDepthHighWater = 0;
+  size_t QueueCapacity = 0; ///< 0 = unbounded (never rejects).
+  uint64_t RejectedForeground = 0; ///< Foreground submits rejected (full).
+  uint64_t RejectedBackground = 0; ///< Background submits rejected (full).
+  uint64_t RejectedTenant = 0;     ///< Submits rejected by fairness share.
+  uint64_t Shed = 0; ///< Background jobs shed to admit Foreground ones.
   std::map<std::string, CompileLatency> PerBackend;
 };
 
@@ -76,6 +81,7 @@ struct CompileJob {
   Backend *BE = nullptr;
   CompileOptions Opts;
   uint64_t SubmitNs = 0; ///< For queue-wait trace events.
+  std::string Key;       ///< Fairness key (CompileOptions::FairnessKey).
 
   std::mutex Mutex;
   std::condition_variable Cv;
@@ -104,6 +110,13 @@ public:
   /// module, or null if the job was cancelled.
   std::shared_ptr<CompiledModule> wait() const;
 
+  /// Waits up to \p Ns nanoseconds for a terminal state. \returns true
+  /// once the job is terminal (poll() then yields the result, if any);
+  /// false on timeout. Invalid tickets are trivially terminal. The
+  /// building block for cancellable waits: tick, check the caller's
+  /// CancelToken, repeat.
+  bool waitFor(uint64_t Ns) const;
+
   /// Cancels the job if it has not started running. \returns true on
   /// success; false if it already ran (or is running), in which case the
   /// result remains obtainable.
@@ -117,18 +130,47 @@ private:
   std::shared_ptr<detail::CompileJob> Job;
 };
 
+/// How a submit() call was disposed of.
+enum class SubmitStatus : uint8_t {
+  Accepted, ///< Queued; the ticket tracks the job.
+  Rejected, ///< Bounded queue full or fairness share exhausted; no job
+            ///< was created — the ticket is invalid. Retry after
+            ///< SubmitOutcome::RetryAfterNs, or compile inline.
+  Degraded, ///< Service shut down: compiled synchronously on the calling
+            ///< thread; the ticket is already done.
+};
+
+/// Why a submission was rejected.
+enum class RejectReason : uint8_t { None, QueueFull, TenantShare };
+
+/// Typed result of CompileService::submit. Rejection is an outcome, not
+/// an exception and not a blocking wait: under a compile storm the
+/// caller (admission controller, cache) decides whether to retry, shed,
+/// or fall back to an inline compile.
+struct SubmitOutcome {
+  CompileTicket Ticket;
+  SubmitStatus Status = SubmitStatus::Accepted;
+  RejectReason Reason = RejectReason::None;
+  /// Backpressure hint on rejection: an estimate of when queue space
+  /// frees up, derived from queue depth and the EWMA compile latency.
+  uint64_t RetryAfterNs = 0;
+
+  bool accepted() const { return Status != SubmitStatus::Rejected; }
+};
+
 /// Fixed worker-thread pool over a bounded two-priority job queue.
 ///
 /// All accounting lives in a MetricsRegistry under this instance's
-/// metricsPrefix() ("svc.<n>."): job counters, a queue-depth gauge, and
-/// one latency histogram per back-end. stats() is a view over those
-/// instruments, so the registry is the single source of truth
-/// (tools/qcf_stats sees exactly what stats() reports).
+/// metricsPrefix() ("svc.<n>."): job counters, "queue.*" depth/capacity/
+/// rejection instruments, and one latency histogram per back-end. stats()
+/// is a view over those instruments, so the registry is the single source
+/// of truth (tools/qcf_stats sees exactly what stats() reports).
 class CompileService {
 public:
   /// \p NumWorkers worker threads; \p QueueCapacity bounds the number of
-  /// not-yet-started jobs (0 = unbounded) — submit() blocks while full.
-  /// \p Reg receives the service's metrics (null = process-wide registry).
+  /// not-yet-started jobs (0 = unbounded) — submit() on a full queue
+  /// sheds or rejects, never blocks. \p Reg receives the service's
+  /// metrics (null = process-wide registry).
   explicit CompileService(unsigned NumWorkers = 2, size_t QueueCapacity = 0,
                           obs::MetricsRegistry *Reg = nullptr);
   ~CompileService();
@@ -138,12 +180,26 @@ public:
 
   /// Enqueues compilation of \p M with \p BE. Both must outlive the job.
   /// \p Opts (including its ObsContext) is carried to the worker-side
-  /// compile. After shutdown() the service degrades gracefully: the
-  /// compile runs synchronously on the calling thread and the ticket is
-  /// already done.
-  CompileTicket submit(const qir::Module &M, Backend &BE,
+  /// compile. Never blocks on a full queue: a Foreground submit first
+  /// sheds the newest Background job (its ticket reports cancelled);
+  /// when nothing is sheddable the submission is Rejected with a
+  /// retry-after hint. After shutdown() the service degrades gracefully:
+  /// the compile runs synchronously on the calling thread (Degraded).
+  SubmitOutcome submit(const qir::Module &M, Backend &BE,
                        CompilePriority Priority = CompilePriority::Foreground,
                        const CompileOptions &Opts = CompileOptions());
+
+  /// Caps the number of in-flight (queued or running) jobs whose
+  /// CompileOptions::FairnessKey equals \p Key; submissions beyond the
+  /// cap are Rejected with RejectReason::TenantShare. 0 = unlimited.
+  void setKeyQueueShare(const std::string &Key, uint64_t MaxInFlight);
+
+  /// Share applied to keys without an explicit setKeyQueueShare entry
+  /// (keyless submissions are never share-limited). 0 = unlimited.
+  void setDefaultKeyQueueShare(uint64_t MaxInFlight);
+
+  /// In-flight (queued or running) jobs carrying fairness key \p Key.
+  uint64_t keyInFlight(const std::string &Key) const;
 
   /// Stops accepting work, cancels every job still queued (their tickets
   /// report cancelled; waiters wake), finishes jobs already running, and
@@ -176,16 +232,26 @@ public:
 private:
   void workerLoop();
   void finishJob(const std::shared_ptr<detail::CompileJob> &Job, bool Cancel);
+  /// Rolls back the pending/key accounting of a job that never made it
+  /// into the queue.
+  void unaccount(const detail::CompileJob &Job);
+  /// Retry-after estimate for a rejected submission.
+  uint64_t retryHintNs() const;
 
   BoundedQueue<std::shared_ptr<detail::CompileJob>> Queue;
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopping{false};
   std::atomic<uint32_t> TestDelayMaxUs{0};
   std::atomic<uint64_t> TestDelayRng{0};
+  std::atomic<uint64_t> EwmaLatencyNs{0};
 
   mutable std::mutex LifecycleMutex;
   std::condition_variable AllDoneCv; ///< Signalled when Pending hits 0.
   uint64_t Pending = 0;              ///< Accepted, not yet terminal.
+  /// In-flight job count per fairness key, and the configured shares.
+  std::map<std::string, uint64_t> KeyInFlightCount;
+  std::map<std::string, uint64_t> KeyShares;
+  uint64_t DefaultKeyShare = 0;
 
   obs::MetricsRegistry *Reg;
   std::string Prefix;
@@ -193,6 +259,11 @@ private:
   obs::Counter &JobsCompleted;
   obs::Counter &JobsCancelled;
   obs::Gauge &QueueDepth;
+  obs::Gauge &QueueCapacityG;
+  obs::Counter &RejectedFg;
+  obs::Counter &RejectedBg;
+  obs::Counter &RejectedTenant;
+  obs::Counter &ShedC;
 };
 
 } // namespace qcf::backend

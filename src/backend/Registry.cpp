@@ -130,7 +130,14 @@ CompileTicket AdaptiveModule::requestPromotion(CompileService *Svc) {
     return CompileTicket();
   OptBackend = std::make_unique<mlvm::MlvmBackend>(mlvm::MlvmOptions::opt());
   PromoteSubmitNs = nowNs();
-  PendingTicket = Target->submit(M, *OptBackend, CompilePriority::Background);
+  PendingTicket =
+      Target->submit(M, *OptBackend, CompilePriority::Background).Ticket;
+  if (!PendingTicket.valid()) {
+    // Rejected (bounded queue full): promotion stays speculative — drop
+    // the attempt; a later noteExecution() threshold crossing retries.
+    OptBackend.reset();
+    return CompileTicket();
+  }
   HasPending.store(true, std::memory_order_release);
   return PendingTicket;
 }
@@ -165,7 +172,13 @@ bool AdaptiveModule::noteExecution(const std::string &Name) {
       OptBackend = std::make_unique<mlvm::MlvmBackend>(mlvm::MlvmOptions::opt());
       PromoteSubmitNs = nowNs();
       PendingTicket =
-          Service->submit(M, *OptBackend, CompilePriority::Background);
+          Service->submit(M, *OptBackend, CompilePriority::Background).Ticket;
+      if (!PendingTicket.valid()) {
+        // Rejected (bounded queue full): drop the speculative promotion;
+        // a later threshold crossing retries.
+        OptBackend.reset();
+        return false;
+      }
       HasPending.store(true, std::memory_order_release);
       Lock.unlock();
       // The degraded (post-shutdown) service completes synchronously; in

@@ -158,7 +158,10 @@ CranelineBackend::compile(const qir::Module &M,
                           const backend::CompileOptions &COpts) {
   obs::CompileObs CompObs(COpts.Obs, name());
   TimeTrace *Trace = CompObs.trace();
-  MemContext Mem(COpts.Alloc);
+  // An external MemContext (COpts.Mem) lets the caller meter this
+  // compile's allocation footprint; otherwise the compile owns one.
+  MemContext OwnMem(COpts.Alloc);
+  MemContext &Mem = COpts.Mem ? *COpts.Mem : OwnMem;
   uint64_t ScratchBytes0 = Mem.scratch().bytesAllocated();
   uint64_t ScratchAllocs0 = Mem.scratch().numAllocs();
   auto Result = std::make_unique<CranelineModule>();

@@ -156,7 +156,11 @@ private:
 PipelineRunInfo runPipeline(TierCell &Cell, void *Ctx, uint64_t Rows,
                             bool Parallel, const ExecOptions &Opts,
                             OsrDriver *Osr, std::vector<WorkerAcct> &Acct) {
-  if (!Osr &&
+  ExecControl *Ctl = Opts.Control;
+  // With a cancellation token attached the loop always goes morsel-by-
+  // morsel (like OSR), so a cancel or deadline takes effect within one
+  // morsel instead of one whole pipeline.
+  if (!Osr && !Ctl &&
       (!Parallel || Opts.NumThreads <= 1 || Rows < Opts.MorselSize * 2)) {
     const TierEntry *E = Cell.load();
     E->Fn(Ctx, 0, static_cast<int64_t>(Rows));
@@ -187,6 +191,11 @@ PipelineRunInfo runPipeline(TierCell &Cell, void *Ctx, uint64_t Rows,
     uint64_t Begin = static_cast<uint64_t>(T) * Opts.MorselSize;
     while (Begin < Rows) {
       uint64_t Idx = Begin / Opts.MorselSize;
+      // Cancellation check at the same morsel-pickup boundary the OSR
+      // hook uses: unclaimed morsels stay unclaimed, claimed ones are
+      // never torn.
+      if (Ctl && Ctl->stopped())
+        break;
       if (Osr)
         Osr->atPickup(Idx, Rows);
       // Re-read the entry at every pickup — including the statically
@@ -303,12 +312,23 @@ struct QueryRuntime {
   template <typename ResolveFn>
   rt::TrapCode runAllImpl(const ExecOptions &Opts, ResolveFn Resolve) {
     PipeStats.resize(Plan.Pipelines.size());
+    ExecControl *Ctl = Opts.Control;
     return rt::runWithTrapGuard([&] {
       for (size_t PI = 0; PI != Plan.Pipelines.size(); ++PI) {
         const PipelineDesc &P = Plan.Pipelines[PI];
+        if (Ctl && Ctl->stopped()) {
+          CancelObserved = true;
+          break;
+        }
         createObjects(PI);
 
+        // A null cell from Resolve means "stop now": the query was
+        // cancelled while waiting on this pipeline's compile.
         ResolvedCode RC = Resolve(PI);
+        if (!RC.Cell) {
+          CancelObserved = true;
+          break;
+        }
         uint64_t Rows = sourceRows(P);
         uint64_t StartNs = nowNs();
         PipelineRunInfo Run = runPipeline(*RC.Cell, Ctx.data(), Rows,
@@ -347,24 +367,35 @@ struct QueryRuntime {
         if (obs::TraceSink *Sink = Opts.Obs.Sink)
           Sink->completeEvent("db.pipeline." + P.FnName, "exec", StartNs,
                               DurNs);
+        // Workers break out of the morsel loop when the token fires; a
+        // pipeline interrupted that way must not feed partial state into
+        // the next one. Both signals are monotonic, so re-checking here
+        // observes everything any worker observed.
+        if (Ctl && Ctl->stopped()) {
+          CancelObserved = true;
+          break;
+        }
       }
     });
   }
 
   /// Module-per-pipeline form used by the blocking and async paths: one
-  /// static entry per pipeline, no swap driver.
+  /// static entry per pipeline, no swap driver. \p ModuleFor returning
+  /// null stops the query (cancelled while waiting on that compile).
   rt::TrapCode
   runAll(const ExecOptions &Opts,
-         const std::function<backend::CompiledModule &(size_t)> &ModuleFor) {
+         const std::function<backend::CompiledModule *(size_t)> &ModuleFor) {
     return runAllImpl(Opts, [&](size_t PI) -> ResolvedCode {
       const PipelineDesc &P = Plan.Pipelines[PI];
-      backend::CompiledModule &CM = ModuleFor(PI);
-      auto *Fn = reinterpret_cast<PipeFn>(CM.entry(P.FnName));
+      backend::CompiledModule *CM = ModuleFor(PI);
+      if (!CM)
+        return ResolvedCode{};
+      auto *Fn = reinterpret_cast<PipeFn>(CM->entry(P.FnName));
       assert(Fn && "missing pipeline entry point");
       StaticEntries.push_back(
           TierEntry{Fn, OsrTierFast, osrContract(P.FnName, Plan.NumCtxSlots)});
       StaticCells.emplace_back(&StaticEntries.back());
-      return ResolvedCode{&StaticCells.back(), nullptr, &CM};
+      return ResolvedCode{&StaticCells.back(), nullptr, CM};
     });
   }
 
@@ -375,6 +406,9 @@ struct QueryRuntime {
   std::vector<std::unique_ptr<rt::HashTable>> Tables;
   std::vector<std::unique_ptr<uint8_t[]>> Buffers;
   std::vector<PipelineStats> PipeStats;
+  /// The query's ExecControl fired (or Resolve signalled a cancelled
+  /// compile wait) and the pipeline loop stopped early.
+  bool CancelObserved = false;
   /// Stable storage for per-pipeline entries/cells (deques: growth never
   /// moves elements a running pipeline still reads).
   std::deque<TierEntry> StaticEntries;
@@ -402,6 +436,8 @@ void finishQuery(const ExecOptions &Opts, ExecResult &Result,
     Reg.histogram("db.query.compile_ns").observe(S.CompileNs);
   if (Result.Trapped)
     Reg.counter("db.query.traps").inc();
+  if (Result.Cancelled)
+    Reg.counter("db.query.cancelled").inc();
 
   if (obs::TraceSink *Sink = Opts.Obs.Sink) {
     Sink->completeEvent("db.query", "exec", QueryStartNs,
@@ -456,6 +492,9 @@ ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
   uint64_t QueryStartNs = nowNs();
   uint64_t RowsBefore = Out ? Out->numRows() : 0;
   backend::CompileOptions CO{Opts.Obs};
+  CO.Cancel = Opts.Control;
+  CO.Mem = Opts.CompileMem;
+  CO.FairnessKey = Opts.CompileFairnessKey;
 
   // Units must outlive the service (running jobs reference them), so the
   // transient service is declared after them.
@@ -467,35 +506,57 @@ ExecResult executeQueryAsync(const CompiledPlan &Plan, backend::Backend &BE,
   }
 
   // Submit everything up front, in execution order: workers compile ahead
-  // while earlier pipelines execute.
+  // while earlier pipelines execute. A Rejected submission (shared
+  // bounded service under a storm) leaves an invalid ticket; that unit
+  // falls back to an inline compile when its pipeline starts.
   std::vector<backend::CompileTicket> Tickets;
   Tickets.reserve(Units.size());
   for (auto &U : Units)
     Tickets.push_back(
-        Svc->submit(*U, BE, backend::CompilePriority::Foreground, CO));
+        Svc->submit(*U, BE, backend::CompilePriority::Foreground, CO).Ticket);
 
   ExecResult Result;
   QueryRuntime RT(Plan, Cat, Out);
   std::vector<std::shared_ptr<backend::CompiledModule>> Compiled(Units.size());
 
+  ExecControl *Ctl = Opts.Control;
   std::vector<uint64_t> StallNs(Units.size(), 0);
   uint64_t ExecStartNs = nowNs();
-  rt::TrapCode Code = RT.runAll(Opts, [&](size_t PI) -> backend::CompiledModule & {
+  rt::TrapCode Code = RT.runAll(Opts, [&](size_t PI) -> backend::CompiledModule * {
     uint64_t WaitStartNs = nowNs();
-    Compiled[PI] = Tickets[PI].wait();
-    if (!Compiled[PI]) // Cancelled (external service shut down mid-query).
+    if (Tickets[PI].valid()) {
+      if (Ctl) {
+        // Cancellable stall: tick the ticket, check the token. A fired
+        // token tries cancel-before-run so an abandoned compile does not
+        // hold a service slot; if the job is already running it finishes
+        // on the worker and is discarded.
+        while (!Tickets[PI].waitFor(1'000'000)) {
+          if (Ctl->stopped()) {
+            Tickets[PI].cancel();
+            break;
+          }
+        }
+        Compiled[PI] = Tickets[PI].poll();
+      } else {
+        Compiled[PI] = Tickets[PI].wait();
+      }
+    }
+    if (!Compiled[PI] && Ctl && Ctl->stopped())
+      return nullptr; // Cancelled: stop the query, skip the fallback.
+    if (!Compiled[PI]) // Rejected submit, or service shut down mid-query.
       Compiled[PI] = BE.compile(*Units[PI], CO);
     StallNs[PI] = nowNs() - WaitStartNs;
     if (obs::TraceSink *Sink = Opts.Obs.Sink)
       Sink->completeEvent("db.compile_stall", "exec", WaitStartNs,
                           StallNs[PI]);
-    return *Compiled[PI];
+    return Compiled[PI].get();
   });
   Result.Stats.ExecNs = nowNs() - ExecStartNs;
   if (Code != rt::TrapCode::None) {
     Result.Trapped = true;
     Result.Trap = Code;
   }
+  Result.Cancelled = RT.CancelObserved;
   Result.Stats.Pipelines = std::move(RT.PipeStats);
   for (size_t PI = 0; PI != Units.size(); ++PI) {
     if (PI < Result.Stats.Pipelines.size())
@@ -536,6 +597,9 @@ ExecResult executeQueryAdaptive(const CompiledPlan &Plan, backend::Backend &BE,
   uint64_t QueryStartNs = nowNs();
   uint64_t RowsBefore = Out ? Out->numRows() : 0;
   backend::CompileOptions CO{Opts.Obs};
+  CO.Cancel = Opts.Control;
+  CO.Mem = Opts.CompileMem;
+  CO.FairnessKey = Opts.CompileFairnessKey;
 
   const bool BeIsAdaptive = BE.name() == "Adaptive";
   std::unique_ptr<backend::Backend> OwnedFast;
@@ -571,9 +635,14 @@ ExecResult executeQueryAdaptive(const CompiledPlan &Plan, backend::Backend &BE,
       Tickets[PI] = AM->requestPromotion(Svc);
     }
   } else {
+    // A Rejected optimized-tier submit (bounded shared service under
+    // load) simply leaves the ticket invalid: the pipeline runs the fast
+    // tier to completion — speculative work is exactly what the service
+    // sheds first.
     for (size_t PI = 0; PI != Units.size(); ++PI)
       Tickets[PI] =
-          Svc->submit(*Units[PI], BE, backend::CompilePriority::Background, CO);
+          Svc->submit(*Units[PI], BE, backend::CompilePriority::Background, CO)
+              .Ticket;
     for (size_t PI = 0; PI != Units.size(); ++PI)
       FastMods[PI] = Fast->compile(*Units[PI], CO);
   }
@@ -587,6 +656,8 @@ ExecResult executeQueryAdaptive(const CompiledPlan &Plan, backend::Backend &BE,
   uint64_t ExecStartNs = nowNs();
   rt::TrapCode Code = RT.runAllImpl(Opts, [&](size_t PI) -> ResolvedCode {
     const PipelineDesc &P = Plan.Pipelines[PI];
+    if (!FastMods[PI]) // Cancelled fast-tier compile (caching fast tier).
+      return ResolvedCode{};
     uint64_t Contract = osrContract(P.FnName, Plan.NumCtxSlots);
     auto *Fn = reinterpret_cast<PipeFn>(FastMods[PI]->entry(P.FnName));
     assert(Fn && "missing pipeline entry point");
@@ -600,6 +671,7 @@ ExecResult executeQueryAdaptive(const CompiledPlan &Plan, backend::Backend &BE,
     Result.Trapped = true;
     Result.Trap = Code;
   }
+  Result.Cancelled = RT.CancelObserved;
   Result.Stats.Pipelines = std::move(RT.PipeStats);
 
   // Swap outcomes: stats, exec.osr.* metrics, timeline markers. (A trap
@@ -671,19 +743,39 @@ ExecResult db::executeQuery(const CompiledPlan &Plan, backend::Backend &BE,
   uint64_t RowsBefore = Out ? Out->numRows() : 0;
 
   ExecResult Result;
+  if (Opts.Control && Opts.Control->stopped()) {
+    // Cancelled before compilation started (e.g. an already-expired
+    // deadline): report it without paying for the compile.
+    Result.Cancelled = true;
+    finishQuery(Opts, Result, Out, RowsBefore, QueryStartNs);
+    return Result;
+  }
+
+  backend::CompileOptions CO{Opts.Obs};
+  CO.Cancel = Opts.Control;
+  CO.Mem = Opts.CompileMem;
+  CO.FairnessKey = Opts.CompileFairnessKey;
   uint64_t CompileStartNs = nowNs();
-  auto Compiled = BE.compile(*Plan.Module, backend::CompileOptions{Opts.Obs});
+  auto Compiled = BE.compile(*Plan.Module, CO);
   Result.Stats.CompileNs = nowNs() - CompileStartNs;
+  if (!Compiled) {
+    // Only a caching back-end with Opts.Control attached returns null:
+    // the token fired during its compile wait.
+    Result.Cancelled = true;
+    finishQuery(Opts, Result, Out, RowsBefore, QueryStartNs);
+    return Result;
+  }
 
   QueryRuntime RT(Plan, Cat, Out);
   uint64_t ExecStartNs = nowNs();
   rt::TrapCode Code = RT.runAll(
-      Opts, [&](size_t) -> backend::CompiledModule & { return *Compiled; });
+      Opts, [&](size_t) -> backend::CompiledModule * { return Compiled.get(); });
   Result.Stats.ExecNs = nowNs() - ExecStartNs;
   if (Code != rt::TrapCode::None) {
     Result.Trapped = true;
     Result.Trap = Code;
   }
+  Result.Cancelled = RT.CancelObserved;
   Result.Stats.Pipelines = std::move(RT.PipeStats);
   finishQuery(Opts, Result, Out, RowsBefore, QueryStartNs);
   return Result;

@@ -24,9 +24,36 @@
 
 namespace qcf::db {
 
+/// Cancellation + deadline token for one executing query. A serving
+/// layer owns one per session: session close / idle eviction calls
+/// cancel(), per-query deadlines arm setDeadlineNs(). The executor
+/// checks it at morsel pickups (reusing the OSR morsel-boundary hook's
+/// position in the worker loop), between pipelines, and in every
+/// compile wait — so both signals take effect within one morsel or one
+/// wait tick, and in-flight compile tickets of a cancelled query are
+/// cancelled (cancel-before-run) instead of leaking service slots.
+using ExecControl = qcf::CancelToken;
+
 struct ExecOptions {
   unsigned NumThreads = 1;
   uint64_t MorselSize = 2048;
+
+  /// Cooperative cancellation + deadline for this query; null = never
+  /// cancelled. See ExecControl. When the token fires mid-query the
+  /// call returns early with ExecResult::Cancelled set; the output
+  /// buffer may hold partial rows and must be discarded by the caller.
+  ExecControl *Control = nullptr;
+
+  /// External compile-memory context forwarded to every compile this
+  /// call issues (CompileOptions::Mem), so a serving layer can meter
+  /// the query's compile footprint against tenant quotas. Must not be
+  /// shared with concurrent queries.
+  qcf::MemContext *CompileMem = nullptr;
+
+  /// Fairness key (CompileOptions::FairnessKey) stamped on every compile
+  /// this call submits to a CompileService — the serving layer sets it
+  /// to the tenant name so per-tenant compile-queue shares apply.
+  std::string CompileFairnessKey;
 
   /// Overlap compilation with execution: the plan module is sliced into
   /// per-pipeline units (pipeline function plus its sort comparator),
@@ -133,6 +160,10 @@ struct QueryStats {
 
 struct ExecResult {
   bool Trapped = false;
+  /// The query's ExecControl fired (cancel or deadline) during — or, for
+  /// a deadline, possibly immediately after — execution. Results are
+  /// partial; discard them. Counted as "db.query.cancelled".
+  bool Cancelled = false;
   rt::TrapCode Trap = rt::TrapCode::None;
   double CompileSec = 0; ///< Async mode: time actually *stalled* on compiles.
   double ExecSec = 0;

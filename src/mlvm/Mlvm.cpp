@@ -150,7 +150,10 @@ MlvmBackend::compile(const qir::Module &M,
                      const backend::CompileOptions &Opts) {
   obs::CompileObs Obs(Opts.Obs, name());
   TimeTrace *Trace = Obs.trace();
-  MemContext Mem(Opts.Alloc);
+  // An external MemContext (Opts.Mem) lets the caller meter this
+  // compile's allocation footprint; otherwise the compile owns one.
+  MemContext OwnMem(Opts.Alloc);
+  MemContext &Mem = Opts.Mem ? *Opts.Mem : OwnMem;
   std::vector<uint8_t> Object = compileToObject(M, Trace, Opts.Verify, &Mem);
   std::unique_ptr<LinkedImage> Image =
       jitLink(Object, Trace, &Mem.scratch());

@@ -1,0 +1,414 @@
+//===- serve/Server.cpp - Production query-serving front end --------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "backend/Registry.h"
+#include "db/Codegen.h"
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace qcf::serve {
+
+namespace {
+
+obs::MetricsRegistry &resolveRegistry(obs::MetricsRegistry *Reg) {
+  return Reg ? *Reg : obs::MetricsRegistry::global();
+}
+
+uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  return std::strtoull(V, nullptr, 10);
+}
+
+} // namespace
+
+ServerConfig ServerConfig::fromEnv() {
+  ServerConfig C;
+  if (const char *BE = std::getenv("QCF_SERVE_BACKEND"))
+    if (*BE)
+      C.BackendName = BE;
+  C.CompileWorkers =
+      unsigned(envU64("QCF_SERVE_COMPILE_WORKERS", C.CompileWorkers));
+  C.CompileQueueCapacity =
+      size_t(envU64("QCF_SERVE_QUEUE_CAP", C.CompileQueueCapacity));
+  C.CacheCapacity = size_t(envU64("QCF_SERVE_CACHE_CAP", C.CacheCapacity));
+  C.Admission.Slots = unsigned(envU64("QCF_SERVE_SLOTS", C.Admission.Slots));
+  C.Admission.MaxWaiters =
+      unsigned(envU64("QCF_SERVE_MAX_WAITERS", C.Admission.MaxWaiters));
+  C.IdleTimeoutNs =
+      envU64("QCF_SERVE_IDLE_TIMEOUT_MS", C.IdleTimeoutNs / 1'000'000) *
+      1'000'000;
+  C.SweepIntervalNs =
+      envU64("QCF_SERVE_SWEEP_MS", C.SweepIntervalNs / 1'000'000) * 1'000'000;
+  C.DefaultDeadlineNs = envU64("QCF_SERVE_DEADLINE_MS", 0) * 1'000'000;
+  C.ExecThreads = unsigned(envU64("QCF_SERVE_EXEC_THREADS", C.ExecThreads));
+  return C;
+}
+
+Server::TenantState::TenantState(const std::string &Name, const TenantQuota &Q,
+                                 obs::MetricsRegistry &Reg)
+    : Quota(Q), SessionsG(Reg.gauge("serve.tenant." + Name + ".sessions")),
+      BytesG(Reg.gauge("serve.tenant." + Name + ".compile_bytes")),
+      RejSessions(Reg.counter("serve.tenant." + Name + ".rejected.sessions")),
+      RejBytes(Reg.counter("serve.tenant." + Name + ".rejected.compile_bytes")),
+      RejCompileQueue(
+          Reg.counter("serve.tenant." + Name + ".rejected.compile_queue")) {}
+
+bool Server::TenantState::tryReserveBytes(uint64_t N) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Quota.MaxCompileBytes && CompileBytes + N > Quota.MaxCompileBytes) {
+    RejBytes.inc();
+    return false;
+  }
+  CompileBytes += N;
+  BytesG.set(int64_t(CompileBytes));
+  return true;
+}
+
+void Server::TenantState::adjustBytes(uint64_t From, uint64_t To) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  CompileBytes = CompileBytes >= From ? CompileBytes - From : 0;
+  CompileBytes += To;
+  BytesG.set(int64_t(CompileBytes));
+}
+
+Server::Server(const ServerConfig &Cfg, const db::Catalog &Cat)
+    : Cfg(Cfg), Cat(Cat), Reg(resolveRegistry(Cfg.Reg)),
+      Disk(backend::DiskCodeCache::fromEnv(&Reg)),
+      Svc(std::make_unique<backend::CompileService>(
+          Cfg.CompileWorkers, Cfg.CompileQueueCapacity, &Reg)),
+      Cache(std::make_unique<backend::CachingBackend>(
+          backend::createBackend(Cfg.BackendName), Cfg.CacheCapacity,
+          Svc.get(), &Reg, Disk.get())),
+      Gate(Cfg.Admission, &Reg),
+      SessionsOpenG(Reg.gauge("serve.sessions.open")),
+      SessionsOpened(Reg.counter("serve.sessions.opened")),
+      SessionsClosed(Reg.counter("serve.sessions.closed")),
+      SessionsEvicted(Reg.counter("serve.sessions.evicted")),
+      QueriesOk(Reg.counter("serve.queries.ok")),
+      QueriesCancelled(Reg.counter("serve.queries.cancelled")),
+      QueriesTrapped(Reg.counter("serve.queries.trapped")),
+      QueriesRejected(Reg.counter("serve.queries.rejected")),
+      QueryNs(Reg.histogram("serve.query_ns")) {
+  if (Cfg.StartSweeper)
+    Sweeper = std::thread([this] { sweeperLoop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::sweeperLoop() {
+  std::unique_lock<std::mutex> Lock(SweepMutex);
+  while (!Stopping.load(std::memory_order_acquire)) {
+    SweepCv.wait_for(Lock, std::chrono::nanoseconds(Cfg.SweepIntervalNs));
+    if (Stopping.load(std::memory_order_acquire))
+      break;
+    Lock.unlock();
+    evictIdleSessions();
+    Lock.lock();
+  }
+}
+
+void Server::registerTenant(const std::string &Name, const TenantQuota &Quota) {
+  {
+    std::lock_guard<std::mutex> Lock(TenantsMutex);
+    auto It = Tenants.find(Name);
+    if (It == Tenants.end())
+      Tenants.emplace(Name,
+                      std::make_unique<TenantState>(Name, Quota, Reg));
+    else
+      It->second->Quota = Quota;
+  }
+  Svc->setKeyQueueShare(Name, Quota.MaxQueuedCompiles);
+}
+
+Server::TenantState *Server::findTenant(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(TenantsMutex);
+  auto It = Tenants.find(Name);
+  return It == Tenants.end() ? nullptr : It->second.get();
+}
+
+std::shared_ptr<Session> Server::findSession(uint64_t Sid) const {
+  std::lock_guard<std::mutex> Lock(SessionsMutex);
+  auto It = Sessions.find(Sid);
+  return It == Sessions.end() ? nullptr : It->second;
+}
+
+OpenOutcome Server::openSession(const std::string &Tenant) {
+  if (Stopping.load(std::memory_order_acquire))
+    return {Admit::ServerStopped, 0, 0};
+  TenantState *T = findTenant(Tenant);
+  if (!T)
+    return {Admit::UnknownTenant, 0, 0};
+  {
+    std::lock_guard<std::mutex> Lock(T->Mutex);
+    if (T->Quota.MaxSessions && T->Sessions >= T->Quota.MaxSessions) {
+      T->RejSessions.inc();
+      // A slot frees when some session closes or idles out; the timeout
+      // is the only bound the server itself guarantees.
+      return {Admit::SessionQuota, 0,
+              std::max<uint64_t>(Cfg.IdleTimeoutNs / 8, 1'000'000)};
+    }
+    ++T->Sessions;
+    T->SessionsG.set(int64_t(T->Sessions));
+  }
+  uint64_t Sid = NextSid.fetch_add(1, std::memory_order_relaxed);
+  auto S = std::make_shared<Session>(Sid, Tenant, nowNs());
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    Sessions.emplace(Sid, std::move(S));
+  }
+  SessionsOpenG.add(1);
+  SessionsOpened.inc();
+  return {Admit::Ok, Sid, 0};
+}
+
+void Server::retireSession(Session &S, bool Evicted) {
+  if (TenantState *T = findTenant(S.Tenant)) {
+    std::lock_guard<std::mutex> Lock(T->Mutex);
+    if (T->Sessions)
+      --T->Sessions;
+    T->SessionsG.set(int64_t(T->Sessions));
+  }
+  SessionsOpenG.add(-1);
+  (Evicted ? SessionsEvicted : SessionsClosed).inc();
+}
+
+Admit Server::closeSession(uint64_t Sid) {
+  std::shared_ptr<Session> S;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    auto It = Sessions.find(Sid);
+    if (It == Sessions.end())
+      return Admit::UnknownSession;
+    S = std::move(It->second);
+    Sessions.erase(It);
+  }
+  // Order matters for the epilogue handshake: CloseRequested must be
+  // visible before the state CAS, so whichever side transitions
+  // Idle -> Closed does so exactly once (see execute()'s epilogue).
+  S->CloseRequested.store(true, std::memory_order_release);
+  Session::State E = Session::State::Idle;
+  if (S->St.compare_exchange_strong(E, Session::State::Closed)) {
+    retireSession(*S, /*Evicted=*/false);
+  } else if (E == Session::State::Active) {
+    // The in-flight query unwinds at its next morsel boundary or wait
+    // tick and the executing thread completes the close.
+    S->Ctl.cancel();
+  }
+  return Admit::Ok;
+}
+
+size_t Server::evictIdleSessions(uint64_t NowNs) {
+  uint64_t Now = NowNs ? NowNs : nowNs();
+  std::vector<std::shared_ptr<Session>> Victims;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    for (auto It = Sessions.begin(); It != Sessions.end();) {
+      Session &S = *It->second;
+      uint64_t Last = S.LastActiveNs.load(std::memory_order_acquire);
+      Session::State E = Session::State::Idle;
+      if (Now >= Last && Now - Last > Cfg.IdleTimeoutNs &&
+          S.St.compare_exchange_strong(E, Session::State::Closed)) {
+        Victims.push_back(std::move(It->second));
+        It = Sessions.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+  for (const std::shared_ptr<Session> &S : Victims)
+    retireSession(*S, /*Evicted=*/true);
+  return Victims.size();
+}
+
+QueryOutcome Server::execute(uint64_t Sid, const db::Query &Q,
+                             rt::OutputBuffer *Out, uint64_t DeadlineNs) {
+  QueryOutcome R;
+  uint64_t T0 = nowNs();
+  auto reject = [&](Admit A, uint64_t RetryNs) {
+    R.Outcome = A;
+    R.RetryAfterNs = RetryNs;
+    QueriesRejected.inc();
+    return R;
+  };
+
+  if (Stopping.load(std::memory_order_acquire))
+    return reject(Admit::ServerStopped, 0);
+  std::shared_ptr<Session> S = findSession(Sid);
+  if (!S)
+    return reject(Admit::UnknownSession, 0);
+
+  // Claim the session: one query in flight per session, enforced by the
+  // Idle -> Active CAS (loses against a concurrent close/evict too).
+  Session::State E = Session::State::Idle;
+  if (!S->St.compare_exchange_strong(E, Session::State::Active))
+    return reject(E == Session::State::Active ? Admit::SessionBusy
+                                              : Admit::UnknownSession,
+                  0);
+
+  TenantState *T = findTenant(S->Tenant);
+  // Epilogue for every path below once the session is Active.
+  auto finish = [&] {
+    S->LastActiveNs.store(nowNs(), std::memory_order_release);
+    S->Queries.fetch_add(1, std::memory_order_relaxed);
+    S->St.store(Session::State::Idle, std::memory_order_release);
+    // closeSession() may have set CloseRequested between our load and
+    // the Idle store; whichever side wins this CAS retires the session.
+    if (S->CloseRequested.load(std::memory_order_acquire)) {
+      Session::State E2 = Session::State::Idle;
+      if (S->St.compare_exchange_strong(E2, Session::State::Closed))
+        retireSession(*S, /*Evicted=*/false);
+    }
+    R.TotalNs = nowNs() - T0;
+    QueryNs.observe(R.TotalNs);
+  };
+
+  // Quota point 2: compile-queue share, checked before any work.
+  if (T && T->Quota.MaxQueuedCompiles &&
+      Svc->keyInFlight(S->Tenant) >= T->Quota.MaxQueuedCompiles) {
+    T->RejCompileQueue.inc();
+    reject(Admit::CompileQueueQuota, 2'000'000);
+    finish();
+    return R;
+  }
+
+  // Quota point 3: reserve the compile-byte estimate; settled to the
+  // measured footprint after the compile.
+  uint64_t Reserved = 0;
+  if (T) {
+    if (!T->tryReserveBytes(Cfg.CompileBytesEstimate)) {
+      reject(Admit::CompileBytesQuota, 2'000'000);
+      finish();
+      return R;
+    }
+    Reserved = Cfg.CompileBytesEstimate;
+  }
+
+  // Arm the token for this query before entering the gate, so deadlines
+  // cover admission wait too — a query that cannot start in time should
+  // not start at all.
+  S->Ctl.reset();
+  uint64_t Deadline = DeadlineNs ? DeadlineNs : Cfg.DefaultDeadlineNs;
+  if (Deadline)
+    S->Ctl.setDeadlineNs(nowNs() + Deadline);
+
+  // Quota point 4: bounded admission.
+  bool LowPriority = T && T->Quota.Background;
+  AdmissionGate::Decision D = Gate.enter(LowPriority, &S->Ctl);
+  R.AdmitWaitNs = nowNs() - T0;
+  if (D.Outcome != Admit::Ok) {
+    if (T)
+      T->adjustBytes(Reserved, 0);
+    if (D.Outcome == Admit::Cancelled) {
+      R.Cancelled = true;
+      QueriesCancelled.inc();
+      R.Outcome = Admit::Cancelled;
+    } else {
+      reject(D.Outcome, D.RetryAfterNs);
+    }
+    finish();
+    return R;
+  }
+
+  uint64_t RunStartNs = nowNs();
+  {
+    db::CompiledPlan Plan = db::compileQuery(Q, Cat);
+
+    qcf::MemContext CompileMem;
+    db::ExecOptions EO;
+    EO.NumThreads = Cfg.ExecThreads;
+    EO.Control = &S->Ctl;
+    EO.CompileMem = &CompileMem;
+    EO.CompileFairnessKey = S->Tenant;
+    EO.Obs = obs::ObsContext(nullptr, &Reg, nullptr);
+
+    rt::OutputBuffer LocalOut;
+    rt::OutputBuffer *O = Out ? Out : &LocalOut;
+    uint64_t RowsBefore = O->numRows();
+    db::ExecResult ER = db::executeQuery(Plan, *Cache, Cat, O, EO);
+
+    R.CompileBytes = CompileMem.ir().bytesAllocated() +
+                     CompileMem.mir().bytesAllocated() +
+                     CompileMem.scratch().bytesAllocated();
+    if (T)
+      T->adjustBytes(Reserved, R.CompileBytes);
+
+    R.Trapped = ER.Trapped;
+    R.Cancelled = ER.Cancelled;
+    if (ER.Cancelled) {
+      QueriesCancelled.inc();
+    } else if (ER.Trapped) {
+      QueriesTrapped.inc();
+    } else {
+      R.Ok = true;
+      R.Rows = O->numRows() - RowsBefore;
+      R.Digest = O->unorderedDigest();
+      QueriesOk.inc();
+    }
+
+    if (T)
+      T->adjustBytes(R.CompileBytes, 0); // Release the settled charge.
+  }
+  Gate.leave(nowNs() - RunStartNs);
+  finish();
+  return R;
+}
+
+void Server::shutdown() {
+  bool Expected = false;
+  if (!Stopping.compare_exchange_strong(Expected, true))
+    return;
+  SweepCv.notify_all();
+  if (Sweeper.joinable())
+    Sweeper.join();
+  Gate.close();
+
+  // Fire every session's token; running queries unwind within a morsel
+  // or a wait tick and retire their sessions via the epilogue.
+  std::vector<std::shared_ptr<Session>> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    Snapshot.reserve(Sessions.size());
+    for (auto &[Sid, S] : Sessions)
+      Snapshot.push_back(S);
+  }
+  for (const std::shared_ptr<Session> &S : Snapshot)
+    S->Ctl.cancel();
+  while (Gate.running() > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // A query releases its gate slot before its session epilogue runs;
+  // wait for the epilogues too, so the Idle-closing sweep below cannot
+  // miss a session that is still mid-transition.
+  for (const std::shared_ptr<Session> &S : Snapshot)
+    while (S->St.load(std::memory_order_acquire) == Session::State::Active)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Close whatever is left (idle sessions; Active ones have drained).
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> Remaining;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    Remaining.swap(Sessions);
+  }
+  for (auto &[Sid, S] : Remaining) {
+    Session::State E = Session::State::Idle;
+    if (S->St.compare_exchange_strong(E, Session::State::Closed))
+      retireSession(*S, /*Evicted=*/false);
+  }
+
+  // Stop the compile service last: in-flight jobs reference modules and
+  // the cache's inner back-end, both still alive here.
+  Svc->shutdown();
+}
+
+size_t Server::numSessions() const {
+  std::lock_guard<std::mutex> Lock(SessionsMutex);
+  return Sessions.size();
+}
+
+} // namespace qcf::serve

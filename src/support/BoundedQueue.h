@@ -58,6 +58,38 @@ public:
     return true;
   }
 
+  /// Outcome of a non-blocking push.
+  enum class PushResult : uint8_t { Ok, Full, Closed };
+
+  /// Non-blocking enqueue: never waits for capacity. The caller decides
+  /// what a Full queue means (typed rejection, load-shedding, fallback to
+  /// inline work) instead of this queue deciding for it by blocking.
+  PushResult tryPush(T V, bool HighPriority = false) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Closed)
+      return PushResult::Closed;
+    if (full())
+      return PushResult::Full;
+    (HighPriority ? High : Low).push_back(std::move(V));
+    HighWater = std::max(HighWater, High.size() + Low.size());
+    NotEmpty.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Removes the *newest* low-priority item into \p Out — the
+  /// load-shedding victim: shedding the most recently deferred
+  /// speculative work preserves FIFO progress for everything older.
+  /// \returns false if no low-priority item is queued.
+  bool shedLowest(T &Out) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Low.empty())
+      return false;
+    Out = std::move(Low.back());
+    Low.pop_back();
+    NotFull.notify_one();
+    return true;
+  }
+
   /// Non-blocking dequeue; \returns false if the queue is empty.
   bool tryPop(T &Out) {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -88,6 +120,9 @@ public:
     std::lock_guard<std::mutex> Lock(Mutex);
     return High.size() + Low.size();
   }
+
+  /// The capacity this queue was constructed with (0 = unbounded).
+  size_t capacity() const { return Capacity; }
 
   /// Largest number of items ever queued at once.
   size_t highWater() const {

@@ -114,7 +114,7 @@ TEST(CompileService, SubmitWaitReturnsWorkingCode) {
   buildAffine(M, 5);
   auto BE = createBackend("DirectEmit");
 
-  CompileTicket T = Svc.submit(M, *BE);
+  CompileTicket T = Svc.submit(M, *BE).Ticket;
   ASSERT_TRUE(T.valid());
   std::shared_ptr<CompiledModule> C = T.wait();
   ASSERT_NE(C, nullptr);
@@ -135,7 +135,7 @@ TEST(CompileService, StatsAccounting) {
   std::vector<CompileTicket> Tickets;
   for (int I = 0; I != 6; ++I) {
     buildAffine(Mods[I], I + 1);
-    Tickets.push_back(Svc.submit(Mods[I], I % 2 ? *Crane : *Direct));
+    Tickets.push_back(Svc.submit(Mods[I], I % 2 ? *Crane : *Direct).Ticket);
   }
   for (CompileTicket &T : Tickets)
     EXPECT_NE(T.wait(), nullptr);
@@ -162,9 +162,9 @@ TEST(CompileService, CancelBeforeStart) {
   qir::Module M1, M2;
   buildAffine(M1, 1);
   buildAffine(M2, 2);
-  CompileTicket Running = Svc.submit(M1, Gate);
+  CompileTicket Running = Svc.submit(M1, Gate).Ticket;
   Gate.waitStarted(); // The single worker is now inside compile().
-  CompileTicket Queued = Svc.submit(M2, Counter);
+  CompileTicket Queued = Svc.submit(M2, Counter).Ticket;
 
   EXPECT_TRUE(Queued.cancel()) << "job had not started; cancel must win";
   EXPECT_EQ(Queued.wait(), nullptr);
@@ -211,10 +211,10 @@ TEST(CompileService, PriorityOrdersQueue) {
   int LowStamp = 0, HighStamp = 0;
   StampBackend LowBE(Order, LowStamp), HighBE(Order, HighStamp);
 
-  CompileTicket Running = Svc.submit(M0, Gate);
+  CompileTicket Running = Svc.submit(M0, Gate).Ticket;
   Gate.waitStarted();
-  CompileTicket Low = Svc.submit(MLow, LowBE, CompilePriority::Background);
-  CompileTicket High = Svc.submit(MHigh, HighBE, CompilePriority::Foreground);
+  CompileTicket Low = Svc.submit(MLow, LowBE, CompilePriority::Background).Ticket;
+  CompileTicket High = Svc.submit(MHigh, HighBE, CompilePriority::Foreground).Ticket;
   Gate.release();
 
   EXPECT_NE(Low.wait(), nullptr);
@@ -232,12 +232,12 @@ TEST(CompileService, ShutdownCancelsQueuedJobs) {
   qir::Module M1;
   buildAffine(M1, 1);
   std::vector<qir::Module> Mods(4);
-  CompileTicket Running = Svc->submit(M1, Gate);
+  CompileTicket Running = Svc->submit(M1, Gate).Ticket;
   Gate.waitStarted();
   std::vector<CompileTicket> Queued;
   for (int I = 0; I != 4; ++I) {
     buildAffine(Mods[I], I + 2);
-    Queued.push_back(Svc->submit(Mods[I], Counter));
+    Queued.push_back(Svc->submit(Mods[I], Counter).Ticket);
   }
   EXPECT_EQ(Svc->queueDepth(), 4u);
 
@@ -266,7 +266,7 @@ TEST(CompileService, ShutdownCancelsQueuedJobs) {
   // Degraded mode after shutdown: submit still works, synchronously.
   qir::Module MPost;
   buildAffine(MPost, 9);
-  CompileTicket Post = Svc->submit(MPost, Counter);
+  CompileTicket Post = Svc->submit(MPost, Counter).Ticket;
   EXPECT_TRUE(Post.done());
   auto C = Post.poll();
   ASSERT_NE(C, nullptr);
@@ -274,7 +274,7 @@ TEST(CompileService, ShutdownCancelsQueuedJobs) {
   Svc.reset(); // Second shutdown via destructor must be a no-op.
 }
 
-TEST(CompileService, BoundedQueueAppliesBackpressure) {
+TEST(CompileService, BoundedQueueRejectsWhenFull) {
   GateBackend Gate(createBackend("DirectEmit"));
   CompileService Svc(1, /*QueueCapacity=*/2);
 
@@ -284,27 +284,203 @@ TEST(CompileService, BoundedQueueAppliesBackpressure) {
   for (int I = 0; I != 3; ++I)
     buildAffine(Mods[I], I + 2);
 
-  CompileTicket Running = Svc.submit(M1, Gate);
+  CompileTicket Running = Svc.submit(M1, Gate).Ticket;
   Gate.waitStarted();
   auto BE = createBackend("DirectEmit");
-  CompileTicket A = Svc.submit(Mods[0], *BE);
-  CompileTicket B = Svc.submit(Mods[1], *BE);
+  CompileTicket A = Svc.submit(Mods[0], *BE).Ticket;
+  CompileTicket B = Svc.submit(Mods[1], *BE).Ticket;
 
-  // Queue is full: the next submit blocks until the gate opens.
-  std::atomic<bool> Submitted{false};
-  std::thread T([&] {
-    CompileTicket C = Svc.submit(Mods[2], *BE);
-    Submitted.store(true);
-    EXPECT_NE(C.wait(), nullptr);
-  });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_FALSE(Submitted.load()) << "submit must block while the queue is full";
+  // Queue is full and nothing is sheddable (both queued jobs are
+  // Foreground): the next submit is rejected, never blocks.
+  SubmitOutcome R = Svc.submit(Mods[2], *BE);
+  EXPECT_EQ(R.Status, SubmitStatus::Rejected);
+  EXPECT_EQ(R.Reason, RejectReason::QueueFull);
+  EXPECT_FALSE(R.accepted());
+  EXPECT_FALSE(R.Ticket.valid());
+  EXPECT_GT(R.RetryAfterNs, 0u) << "rejection must carry a backpressure hint";
+
+  // Background rejections are accounted separately.
+  SubmitOutcome RBg = Svc.submit(Mods[2], *BE, CompilePriority::Background);
+  EXPECT_EQ(RBg.Status, SubmitStatus::Rejected);
+
   Gate.release();
-  T.join();
-  EXPECT_TRUE(Submitted.load());
   EXPECT_NE(A.wait(), nullptr);
   EXPECT_NE(B.wait(), nullptr);
   EXPECT_NE(Running.wait(), nullptr);
+  Svc.drain();
+
+  // Space freed: the retried submit is accepted and completes.
+  SubmitOutcome Retry = Svc.submit(Mods[2], *BE);
+  EXPECT_EQ(Retry.Status, SubmitStatus::Accepted);
+  EXPECT_NE(Retry.Ticket.wait(), nullptr);
+
+  CompileServiceStats S = Svc.stats();
+  EXPECT_EQ(S.QueueCapacity, 2u);
+  EXPECT_EQ(S.RejectedForeground, 1u);
+  EXPECT_EQ(S.RejectedBackground, 1u);
+  EXPECT_EQ(S.JobsQueued, 4u) << "rejected submissions are not queued";
+}
+
+TEST(CompileService, ForegroundShedsNewestBackground) {
+  GateBackend Gate(createBackend("DirectEmit"));
+  CountingBackend Counter(createBackend("DirectEmit"));
+  CompileService Svc(1, /*QueueCapacity=*/2);
+
+  qir::Module M0, MOld, MNew, MHigh;
+  buildAffine(M0, 1);
+  buildAffine(MOld, 2);
+  buildAffine(MNew, 3);
+  buildAffine(MHigh, 4);
+
+  CompileTicket Running = Svc.submit(M0, Gate).Ticket;
+  Gate.waitStarted();
+  CompileTicket Old =
+      Svc.submit(MOld, Counter, CompilePriority::Background).Ticket;
+  CompileTicket New =
+      Svc.submit(MNew, Counter, CompilePriority::Background).Ticket;
+
+  // Full queue, but a Foreground submit may evict speculative work: the
+  // *newest* Background job is shed (LIFO keeps the oldest speculation,
+  // which has waited longest and is closest to running).
+  SubmitOutcome High = Svc.submit(MHigh, Counter);
+  EXPECT_EQ(High.Status, SubmitStatus::Accepted);
+  EXPECT_TRUE(New.done()) << "shed victim's ticket must be terminal";
+  EXPECT_EQ(New.wait(), nullptr) << "shed victim reports cancelled";
+  EXPECT_FALSE(Old.done()) << "older Background job must survive";
+
+  Gate.release();
+  EXPECT_NE(Running.wait(), nullptr);
+  EXPECT_NE(High.Ticket.wait(), nullptr);
+  EXPECT_NE(Old.wait(), nullptr);
+  Svc.drain();
+
+  CompileServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Shed, 1u);
+  EXPECT_EQ(S.RejectedForeground, 0u);
+  EXPECT_EQ(S.JobsCancelled, 1u) << "shed counts as a cancellation";
+}
+
+TEST(CompileService, TenantShareCapsInFlightJobs) {
+  GateBackend Gate(createBackend("DirectEmit"));
+  CountingBackend Counter(createBackend("DirectEmit"));
+  CompileService Svc(1);
+  Svc.setKeyQueueShare("tenant-a", 2);
+
+  qir::Module M0;
+  buildAffine(M0, 1);
+  std::vector<qir::Module> Mods(3);
+  for (int I = 0; I != 3; ++I)
+    buildAffine(Mods[I], I + 2);
+
+  CompileOptions OptsA;
+  OptsA.FairnessKey = "tenant-a";
+  CompileOptions OptsB;
+  OptsB.FairnessKey = "tenant-b";
+
+  CompileTicket Running = Svc.submit(M0, Gate).Ticket;
+  Gate.waitStarted();
+
+  SubmitOutcome A1 =
+      Svc.submit(Mods[0], Counter, CompilePriority::Foreground, OptsA);
+  SubmitOutcome A2 =
+      Svc.submit(Mods[1], Counter, CompilePriority::Foreground, OptsA);
+  EXPECT_TRUE(A1.accepted());
+  EXPECT_TRUE(A2.accepted());
+  EXPECT_EQ(Svc.keyInFlight("tenant-a"), 2u);
+
+  // Third in-flight job for tenant-a exceeds its share: typed rejection.
+  SubmitOutcome A3 =
+      Svc.submit(Mods[2], Counter, CompilePriority::Foreground, OptsA);
+  EXPECT_EQ(A3.Status, SubmitStatus::Rejected);
+  EXPECT_EQ(A3.Reason, RejectReason::TenantShare);
+  EXPECT_GT(A3.RetryAfterNs, 0u);
+
+  // Other tenants and keyless submissions are unaffected.
+  SubmitOutcome B1 =
+      Svc.submit(Mods[2], Counter, CompilePriority::Foreground, OptsB);
+  EXPECT_TRUE(B1.accepted());
+  SubmitOutcome Keyless = Svc.submit(Mods[2], Counter);
+  EXPECT_TRUE(Keyless.accepted());
+
+  Gate.release();
+  EXPECT_NE(Running.wait(), nullptr);
+  Svc.drain();
+  EXPECT_EQ(Svc.keyInFlight("tenant-a"), 0u)
+      << "in-flight accounting must drain to zero";
+
+  // With its jobs drained, tenant-a can submit again.
+  SubmitOutcome A4 =
+      Svc.submit(Mods[2], Counter, CompilePriority::Foreground, OptsA);
+  EXPECT_TRUE(A4.accepted());
+  EXPECT_NE(A4.Ticket.wait(), nullptr);
+  EXPECT_EQ(Svc.stats().RejectedTenant, 1u);
+}
+
+TEST(CompileService, QueueMetricsVisibleInRegistry) {
+  obs::MetricsRegistry Reg;
+  GateBackend Gate(createBackend("DirectEmit"));
+  CompileService Svc(1, /*QueueCapacity=*/1, &Reg);
+  const std::string P = Svc.metricsPrefix();
+
+  qir::Module M0, M1, M2;
+  buildAffine(M0, 1);
+  buildAffine(M1, 2);
+  buildAffine(M2, 3);
+  auto BE = createBackend("DirectEmit");
+
+  CompileTicket Running = Svc.submit(M0, Gate).Ticket;
+  Gate.waitStarted();
+  CompileTicket Queued = Svc.submit(M1, *BE).Ticket;
+  SubmitOutcome Rejected = Svc.submit(M2, *BE);
+  EXPECT_EQ(Rejected.Status, SubmitStatus::Rejected);
+
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.gauge(P + "queue.capacity"), 1);
+  EXPECT_EQ(Snap.gauge(P + "queue.depth"), 1);
+  EXPECT_EQ(Snap.counter(P + "queue.rejected.foreground"), 1u);
+  EXPECT_EQ(Snap.counter(P + "queue.rejected.background"), 0u);
+  EXPECT_EQ(Snap.counter(P + "queue.rejected.tenant"), 0u);
+  EXPECT_EQ(Snap.counter(P + "queue.shed"), 0u);
+
+  Gate.release();
+  EXPECT_NE(Running.wait(), nullptr);
+  EXPECT_NE(Queued.wait(), nullptr);
+  Svc.drain();
+  EXPECT_EQ(Reg.snapshot().gauge(P + "queue.depth"), 0);
+}
+
+TEST(CompileService, CancelTokenAbandonsQueuedJob) {
+  // Satellite 2 regression: a queued job whose CompileOptions::Cancel
+  // token fires (deadline or session close) must be abandoned by the
+  // worker *before* compiling — cancel-before-run — so an evicted
+  // session never burns a compile slot.
+  GateBackend Gate(createBackend("DirectEmit"));
+  CountingBackend Counter(createBackend("DirectEmit"));
+  CompileService Svc(1);
+
+  qir::Module M0, M1;
+  buildAffine(M0, 1);
+  buildAffine(M1, 2);
+
+  qcf::CancelToken Ctl;
+  CompileOptions Opts;
+  Opts.Cancel = &Ctl;
+
+  CompileTicket Running = Svc.submit(M0, Gate).Ticket;
+  Gate.waitStarted();
+  CompileTicket Doomed =
+      Svc.submit(M1, Counter, CompilePriority::Foreground, Opts).Ticket;
+  Ctl.cancel(); // Fires while the job is still queued.
+  Gate.release();
+
+  EXPECT_EQ(Doomed.wait(), nullptr) << "cancelled token -> null result";
+  EXPECT_NE(Running.wait(), nullptr);
+  Svc.drain();
+  EXPECT_EQ(Counter.Compiles.load(), 0u)
+      << "worker must skip a job whose token fired";
+  CompileServiceStats S = Svc.stats();
+  EXPECT_EQ(S.JobsCancelled, 1u);
+  EXPECT_EQ(S.JobsCompleted, 1u);
 }
 
 TEST(CacheDedup, EightThreadsOneCompile) {

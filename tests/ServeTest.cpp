@@ -1,0 +1,665 @@
+//===- tests/ServeTest.cpp - Serving-layer tests ---------------------------===//
+//
+// Part of the QCF project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the serving layer (src/serve/): AdmissionGate slot/queue/
+/// shed/cancel semantics, the Session lifecycle through Server (open,
+/// execute, close, idle eviction, quotas, shutdown), the cancel-before-
+/// run contract (a cancelled query abandons its queued compile ticket
+/// instead of waiting for a worker), and the restart storm — several
+/// forked processes sharing one $QCF_CODE_CACHE directory, with the
+/// warm wave required to install everything from disk and the blob
+/// population required to stay checksum-valid throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/Cache.h"
+#include "backend/CompileService.h"
+#include "backend/DiskCache.h"
+#include "backend/Registry.h"
+#include "db/Codegen.h"
+#include "db/Datagen.h"
+#include "db/Executor.h"
+#include "db/Queries.h"
+#include "interp/Interp.h"
+#include "qir/Builder.h"
+#include "qir/Verify.h"
+#include "runtime/Trap.h"
+#include "serve/Server.h"
+#include "support/TimeTrace.h"
+#include "tests/RandomQir.h"
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace qcf;
+using namespace qcf::serve;
+
+namespace {
+
+/// Small shared catalog + query for Server tests (column addresses are
+/// baked into generated code, so one catalog serves every test).
+struct Corpus {
+  db::Catalog Cat;
+  std::vector<db::Query> Queries;
+  Corpus() {
+    db::generateTpchLike(Cat, 0.01);
+    Queries = db::tpchQueries();
+  }
+};
+
+Corpus &corpus() {
+  static Corpus C;
+  return C;
+}
+
+ServerConfig testConfig(obs::MetricsRegistry *Reg) {
+  ServerConfig Cfg;
+  Cfg.BackendName = "DirectEmit";
+  Cfg.CompileWorkers = 2;
+  Cfg.StartSweeper = false;
+  Cfg.Reg = Reg;
+  return Cfg;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AdmissionGate
+//===----------------------------------------------------------------------===//
+
+TEST(AdmissionGate, AdmitsUpToSlotsThenQueues) {
+  obs::MetricsRegistry Reg;
+  AdmissionGate::Config Cfg;
+  Cfg.Slots = 2;
+  Cfg.MaxWaiters = 4;
+  AdmissionGate G(Cfg, &Reg);
+
+  EXPECT_EQ(G.enter().Outcome, Admit::Ok);
+  EXPECT_EQ(G.enter().Outcome, Admit::Ok);
+  EXPECT_EQ(G.running(), 2u);
+
+  // Third entry waits; a leave() promotes it.
+  std::atomic<bool> Entered{false};
+  std::thread T([&] {
+    EXPECT_EQ(G.enter().Outcome, Admit::Ok);
+    Entered.store(true);
+  });
+  while (G.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(Entered.load());
+  G.leave(1'000'000);
+  T.join();
+  EXPECT_TRUE(Entered.load());
+  EXPECT_EQ(G.running(), 2u);
+  G.leave();
+  G.leave();
+  EXPECT_EQ(G.running(), 0u);
+  EXPECT_EQ(Reg.snapshot().counter("serve.admission.admitted"), 3u);
+}
+
+TEST(AdmissionGate, RejectsTypedWhenQueueFull) {
+  AdmissionGate::Config Cfg;
+  Cfg.Slots = 1;
+  Cfg.MaxWaiters = 0; // No queue: overflow rejects immediately.
+  AdmissionGate G(Cfg);
+
+  ASSERT_EQ(G.enter().Outcome, Admit::Ok);
+  G.leave(5'000'000); // Seed the EWMA so the hint is nonzero.
+  ASSERT_EQ(G.enter().Outcome, Admit::Ok);
+  AdmissionGate::Decision D = G.enter();
+  EXPECT_EQ(D.Outcome, Admit::QueueFull);
+  EXPECT_GT(D.RetryAfterNs, 0u);
+  G.leave();
+}
+
+TEST(AdmissionGate, HighPriorityShedsNewestLowWaiter) {
+  AdmissionGate::Config Cfg;
+  Cfg.Slots = 1;
+  Cfg.MaxWaiters = 1;
+  AdmissionGate G(Cfg);
+  ASSERT_EQ(G.enter().Outcome, Admit::Ok); // Occupy the slot.
+
+  std::atomic<int> LowOutcome{-1}, HighOutcome{-1};
+  std::thread Low([&] {
+    LowOutcome.store(int(G.enter(/*LowPriority=*/true).Outcome));
+  });
+  while (G.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Queue is full (MaxWaiters=1); the normal-priority arrival sheds the
+  // low-priority waiter and takes its place.
+  std::thread High([&] { HighOutcome.store(int(G.enter().Outcome)); });
+  Low.join();
+  EXPECT_EQ(LowOutcome.load(), int(Admit::Shed));
+  while (G.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  G.leave();
+  High.join();
+  EXPECT_EQ(HighOutcome.load(), int(Admit::Ok));
+  G.leave();
+}
+
+TEST(AdmissionGate, CancelTokenAbandonsWait) {
+  AdmissionGate::Config Cfg;
+  Cfg.Slots = 1;
+  AdmissionGate G(Cfg);
+  ASSERT_EQ(G.enter().Outcome, Admit::Ok);
+
+  qcf::CancelToken Ct;
+  std::atomic<int> Outcome{-1};
+  std::thread T([&] { Outcome.store(int(G.enter(false, &Ct).Outcome)); });
+  while (G.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Ct.cancel();
+  T.join();
+  EXPECT_EQ(Outcome.load(), int(Admit::Cancelled));
+  EXPECT_EQ(G.waiting(), 0u);
+  G.leave();
+}
+
+TEST(AdmissionGate, CloseRejectsWaitersAndFutureEntries) {
+  AdmissionGate::Config Cfg;
+  Cfg.Slots = 1;
+  AdmissionGate G(Cfg);
+  ASSERT_EQ(G.enter().Outcome, Admit::Ok);
+
+  std::atomic<int> Outcome{-1};
+  std::thread T([&] { Outcome.store(int(G.enter().Outcome)); });
+  while (G.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  G.close();
+  T.join();
+  EXPECT_EQ(Outcome.load(), int(Admit::ServerStopped));
+  EXPECT_EQ(G.enter().Outcome, Admit::ServerStopped);
+}
+
+//===----------------------------------------------------------------------===//
+// Server: sessions, quotas, lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, SessionLifecycleAndMetrics) {
+  obs::MetricsRegistry Reg;
+  ServerConfig Cfg = testConfig(&Reg);
+  // Craneline (not DirectEmit) so the compile allocates from the metered
+  // IR/MIR arenas and the measured CompileBytes settlement is visible.
+  Cfg.BackendName = "Craneline";
+  Server Srv(Cfg, corpus().Cat);
+  Srv.registerTenant("acme", TenantQuota{});
+
+  OpenOutcome O = Srv.openSession("acme");
+  ASSERT_EQ(O.Outcome, Admit::Ok);
+  ASSERT_NE(O.SessionId, 0u);
+  EXPECT_EQ(Srv.numSessions(), 1u);
+
+  rt::OutputBuffer Out;
+  QueryOutcome R = Srv.execute(O.SessionId, corpus().Queries[0], &Out);
+  ASSERT_EQ(R.Outcome, Admit::Ok);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_GT(R.Rows, 0u);
+  EXPECT_GT(R.TotalNs, 0u);
+  // Cold first query: the compile arena footprint was measured and the
+  // reservation settled to it.
+  EXPECT_GT(R.CompileBytes, 0u);
+
+  // Same query again: identical digest, warm this time.
+  QueryOutcome R2 = Srv.execute(O.SessionId, corpus().Queries[0]);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R2.Rows, R.Rows);
+  EXPECT_EQ(R2.Digest, R.Digest);
+
+  EXPECT_EQ(Srv.closeSession(O.SessionId), Admit::Ok);
+  EXPECT_EQ(Srv.closeSession(O.SessionId), Admit::UnknownSession);
+  EXPECT_EQ(Srv.execute(O.SessionId, corpus().Queries[0]).Outcome,
+            Admit::UnknownSession);
+  EXPECT_EQ(Srv.numSessions(), 0u);
+
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.counter("serve.sessions.opened"), 1u);
+  EXPECT_EQ(Snap.counter("serve.sessions.closed"), 1u);
+  EXPECT_EQ(Snap.gauge("serve.sessions.open"), 0);
+  EXPECT_EQ(Snap.counter("serve.queries.ok"), 2u);
+  EXPECT_EQ(Snap.counter("serve.admission.admitted"), 2u);
+  EXPECT_GT(Snap.counterSumWithPrefix("serve."), 0u);
+  EXPECT_NE(Srv.statsText().find("serve.sessions.opened"), std::string::npos);
+}
+
+TEST(Serve, UnknownTenantAndStoppedServerAreTyped) {
+  obs::MetricsRegistry Reg;
+  Server Srv(testConfig(&Reg), corpus().Cat);
+  Srv.registerTenant("acme", TenantQuota{});
+  EXPECT_EQ(Srv.openSession("nobody").Outcome, Admit::UnknownTenant);
+
+  OpenOutcome O = Srv.openSession("acme");
+  ASSERT_EQ(O.Outcome, Admit::Ok);
+  Srv.shutdown();
+  EXPECT_EQ(Srv.openSession("acme").Outcome, Admit::ServerStopped);
+  EXPECT_EQ(Srv.execute(O.SessionId, corpus().Queries[0]).Outcome,
+            Admit::ServerStopped);
+  Srv.shutdown(); // Idempotent.
+}
+
+TEST(Serve, TenantSessionQuotaEnforced) {
+  obs::MetricsRegistry Reg;
+  Server Srv(testConfig(&Reg), corpus().Cat);
+  TenantQuota Q;
+  Q.MaxSessions = 2;
+  Srv.registerTenant("capped", Q);
+
+  OpenOutcome A = Srv.openSession("capped");
+  OpenOutcome B = Srv.openSession("capped");
+  ASSERT_EQ(A.Outcome, Admit::Ok);
+  ASSERT_EQ(B.Outcome, Admit::Ok);
+  OpenOutcome C = Srv.openSession("capped");
+  EXPECT_EQ(C.Outcome, Admit::SessionQuota);
+  EXPECT_GT(C.RetryAfterNs, 0u);
+
+  // Closing one frees the slot.
+  ASSERT_EQ(Srv.closeSession(A.SessionId), Admit::Ok);
+  EXPECT_EQ(Srv.openSession("capped").Outcome, Admit::Ok);
+  EXPECT_EQ(Reg.snapshot().counter("serve.tenant.capped.rejected.sessions"),
+            1u);
+}
+
+TEST(Serve, CompileBytesQuotaRejectsTyped) {
+  obs::MetricsRegistry Reg;
+  Server Srv(testConfig(&Reg), corpus().Cat);
+  TenantQuota Q;
+  Q.MaxCompileBytes = 1; // Below the per-query reservation estimate.
+  Srv.registerTenant("tiny", Q);
+
+  OpenOutcome O = Srv.openSession("tiny");
+  ASSERT_EQ(O.Outcome, Admit::Ok);
+  QueryOutcome R = Srv.execute(O.SessionId, corpus().Queries[0]);
+  EXPECT_EQ(R.Outcome, Admit::CompileBytesQuota);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_GT(R.RetryAfterNs, 0u);
+  EXPECT_EQ(Reg.snapshot().counter("serve.tenant.tiny.rejected.compile_bytes"),
+            1u);
+  // The failed reservation left nothing behind.
+  EXPECT_EQ(Reg.snapshot().gauge("serve.tenant.tiny.compile_bytes"), 0);
+}
+
+TEST(Serve, IdleSessionsEvictedByExplicitClock) {
+  obs::MetricsRegistry Reg;
+  ServerConfig Cfg = testConfig(&Reg);
+  Cfg.IdleTimeoutNs = 1'000'000'000ull;
+  Server Srv(Cfg, corpus().Cat);
+  Srv.registerTenant("acme", TenantQuota{});
+
+  OpenOutcome A = Srv.openSession("acme");
+  OpenOutcome B = Srv.openSession("acme");
+  ASSERT_EQ(A.Outcome, Admit::Ok);
+  ASSERT_EQ(B.Outcome, Admit::Ok);
+
+  // Not idle long enough: nothing happens.
+  EXPECT_EQ(Srv.evictIdleSessions(), 0u);
+  EXPECT_EQ(Srv.numSessions(), 2u);
+
+  // Jump the clock past the timeout: both go.
+  uint64_t Future = qcf::nowNs() + 2'000'000'000ull;
+  EXPECT_EQ(Srv.evictIdleSessions(Future), 2u);
+  EXPECT_EQ(Srv.numSessions(), 0u);
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.counter("serve.sessions.evicted"), 2u);
+  EXPECT_EQ(Snap.gauge("serve.sessions.open"), 0);
+  EXPECT_EQ(Snap.gauge("serve.tenant.acme.sessions"), 0);
+  EXPECT_EQ(Srv.execute(A.SessionId, corpus().Queries[0]).Outcome,
+            Admit::UnknownSession);
+}
+
+TEST(Serve, ExpiredDeadlineCancelsQuery) {
+  obs::MetricsRegistry Reg;
+  Server Srv(testConfig(&Reg), corpus().Cat);
+  Srv.registerTenant("acme", TenantQuota{});
+  OpenOutcome O = Srv.openSession("acme");
+  ASSERT_EQ(O.Outcome, Admit::Ok);
+
+  // A 1ns deadline fires before (or during) the first morsel/wait tick;
+  // either the admission wait or the execution path reports it.
+  QueryOutcome R = Srv.execute(O.SessionId, corpus().Queries[0], nullptr, 1);
+  EXPECT_TRUE(R.Cancelled || R.Outcome == Admit::Cancelled);
+  EXPECT_FALSE(R.Ok);
+
+  // The session survives a cancelled query and still serves.
+  QueryOutcome R2 = Srv.execute(O.SessionId, corpus().Queries[0]);
+  EXPECT_TRUE(R2.Ok);
+}
+
+TEST(Serve, CloseOfActiveSessionRetiresExactlyOnce) {
+  obs::MetricsRegistry Reg;
+  ServerConfig Cfg = testConfig(&Reg);
+  Server Srv(Cfg, corpus().Cat);
+  // Compile-latency jitter keeps queries in flight long enough for the
+  // close to land mid-query at least some of the time; the assertion
+  // holds in every interleaving.
+  Srv.compileService().injectCompileLatencyForTest(2000);
+  Srv.registerTenant("acme", TenantQuota{});
+
+  for (int Round = 0; Round != 20; ++Round) {
+    OpenOutcome O = Srv.openSession("acme");
+    ASSERT_EQ(O.Outcome, Admit::Ok);
+    std::thread T([&] { Srv.execute(O.SessionId, corpus().Queries[Round % 3]); });
+    EXPECT_EQ(Srv.closeSession(O.SessionId), Admit::Ok);
+    T.join();
+    EXPECT_EQ(Srv.numSessions(), 0u);
+  }
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  // Every session retired exactly once, whichever side won the race.
+  EXPECT_EQ(Snap.counter("serve.sessions.opened"), 20u);
+  EXPECT_EQ(Snap.counter("serve.sessions.closed"), 20u);
+  EXPECT_EQ(Snap.gauge("serve.sessions.open"), 0);
+  EXPECT_EQ(Snap.gauge("serve.tenant.acme.sessions"), 0);
+  // All queries accounted with a typed disposition.
+  EXPECT_EQ(Snap.counter("serve.queries.ok") +
+                Snap.counter("serve.queries.cancelled") +
+                Snap.counter("serve.queries.rejected"),
+            20u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancel-before-run: a cancelled query abandons its queued compile
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Counts compile() entries (so a cancelled-before-run job shows up as a
+/// count that never moved).
+class CountingBackend : public backend::Backend {
+public:
+  explicit CountingBackend(std::unique_ptr<backend::Backend> Inner)
+      : Inner(std::move(Inner)) {}
+  std::string name() const override { return Inner->name(); }
+  std::string cacheConfig() const override { return Inner->cacheConfig(); }
+  using backend::Backend::compile;
+  std::unique_ptr<backend::CompiledModule>
+  compile(const qir::Module &M, const backend::CompileOptions &Opts) override {
+    ++Compiles;
+    return Inner->compile(M, Opts);
+  }
+  std::unique_ptr<backend::CompiledModule> deserialize(const uint8_t *Data,
+                                                       size_t Len) override {
+    return Inner->deserialize(Data, Len);
+  }
+  std::atomic<uint64_t> Compiles{0};
+
+private:
+  std::unique_ptr<backend::Backend> Inner;
+};
+
+/// compile() blocks until release() — pins the service's single worker.
+class GateBackend : public backend::Backend {
+public:
+  explicit GateBackend(std::unique_ptr<backend::Backend> Inner)
+      : Inner(std::move(Inner)) {}
+  std::string name() const override { return Inner->name(); }
+  using backend::Backend::compile;
+  std::unique_ptr<backend::CompiledModule>
+  compile(const qir::Module &M, const backend::CompileOptions &Opts) override {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Started = true;
+    }
+    Cv.notify_all();
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return Released; });
+    return Inner->compile(M, Opts);
+  }
+  void waitStarted() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return Started; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Released = true;
+    }
+    Cv.notify_all();
+  }
+
+private:
+  std::unique_ptr<backend::Backend> Inner;
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Started = false, Released = false;
+};
+
+} // namespace
+
+// The satellite regression for cancel-before-run across the full stack:
+// executor -> caching backend -> compile service. A single service
+// worker is pinned by a never-finishing compile, so the query's compile
+// ticket sits in the queue; firing the query's ExecControl must make
+// executeQuery return Cancelled promptly by *cancelling the queued
+// ticket* — the pre-fix behaviour (wait for the worker) deadlocks this
+// test, because the worker never frees up until after the join.
+TEST(Serve, CancelledQueryAbandonsQueuedCompile) {
+  backend::CompileService Svc(1);
+  auto Counting =
+      std::make_unique<CountingBackend>(backend::createBackend("DirectEmit"));
+  CountingBackend *Counter = Counting.get();
+  auto Gated = std::make_unique<GateBackend>(std::move(Counting));
+  GateBackend *Gate = Gated.get();
+  backend::CachingBackend Cache(std::move(Gated), 0, &Svc);
+
+  // Pin the only worker.
+  qir::Module Dummy;
+  {
+    qir::Function *F = Dummy.createFunction("f", {qir::Type::I64},
+                                            qir::Type::I64);
+    qir::Builder B(F);
+    B.ret(F->paramValue(0));
+  }
+  backend::SubmitOutcome Pin = Svc.submit(Dummy, Cache.inner());
+  ASSERT_TRUE(Pin.Ticket.valid());
+  Gate->waitStarted();
+
+  db::CompiledPlan Plan = db::compileQuery(corpus().Queries[0], corpus().Cat);
+  qcf::CancelToken Ctl;
+  db::ExecOptions EO;
+  EO.Control = &Ctl;
+  std::atomic<bool> Returned{false};
+  db::ExecResult R;
+  std::thread T([&] {
+    rt::OutputBuffer Out;
+    R = db::executeQuery(Plan, Cache, corpus().Cat, &Out, EO);
+    Returned.store(true);
+  });
+
+  // Wait until the query's compile job is queued behind the pin.
+  for (int I = 0; I != 5000 && Svc.stats().JobsQueued < 2; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(Svc.stats().JobsQueued, 2u);
+
+  Ctl.cancel();
+  // The join only completes if the cancelled query abandoned its ticket:
+  // the worker is still pinned, so waiting for the compile would hang.
+  T.join();
+  EXPECT_TRUE(Returned.load());
+  EXPECT_TRUE(R.Cancelled);
+
+  Gate->release();
+  Pin.Ticket.wait();
+  Svc.shutdown();
+  // The abandoned job was counted, and only the pin ever compiled.
+  EXPECT_GE(Svc.stats().JobsCancelled, 1u);
+  EXPECT_EQ(Counter->Compiles.load(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Restart storm over a shared on-disk code cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Outcome {
+  bool Trapped = false;
+  uint64_t Value = 0;
+  bool operator==(const Outcome &O) const {
+    return Trapped == O.Trapped && (Trapped || Value == O.Value);
+  }
+};
+
+Outcome invokeFn(void *Entry, uint64_t A, uint64_t B) {
+  Outcome Out;
+  uint64_t R = 0;
+  rt::TrapCode Code = rt::runWithTrapGuard([&] {
+    R = reinterpret_cast<uint64_t (*)(uint64_t, uint64_t)>(Entry)(A, B);
+  });
+  if (Code != rt::TrapCode::None)
+    Out.Trapped = true;
+  else
+    Out.Value = R;
+  return Out;
+}
+
+/// Same-seed-same-module corpus: identical fingerprints in every forked
+/// process, which is what makes cross-process cache sharing observable.
+std::unique_ptr<qir::Module> buildServeStormModule(uint64_t Seed) {
+  auto M = std::make_unique<qir::Module>();
+  Rng R(Seed * 6364136223846793005ull + 1442695040888963407ull);
+  test::RandomFnBuilder RB(*M, R);
+  RB.build("rand");
+  return M;
+}
+
+} // namespace
+
+// Satellite: N serve processes restarting over one shared QCF_CODE_CACHE.
+// Wave 1 (cold, concurrent) populates the cache while racing stores;
+// wave 2 (warm) must install every module from disk with zero disk
+// misses; the blob population must be checksum-valid throughout (no torn
+// .qcc), and a deliberately corrupted blob must be rejected and healed
+// by recompilation, not served.
+TEST(Serve, RestartStormSharesDiskCache) {
+  char DirTemplate[] = "/tmp/qcf_serve_storm_XXXXXX";
+  ASSERT_NE(::mkdtemp(DirTemplate), nullptr);
+  const std::string Dir = DirTemplate;
+  ::setenv("QCF_CODE_CACHE", Dir.c_str(), 1);
+
+  // Deterministic corpus + interpreter expectations, built pre-fork so
+  // every child checks against the same truth.
+  constexpr int NumModules = 6;
+  constexpr int NumProcs = 4;
+  interp::InterpBackend Interp;
+  std::vector<std::unique_ptr<qir::Module>> Mods;
+  std::vector<std::vector<Outcome>> Expected(NumModules);
+  std::vector<std::pair<uint64_t, uint64_t>> Inputs = {
+      {0, 0}, {~0ull, 1}, {42, 7}, {0x123456789abcdefull, 3}};
+  for (int K = 0; K != NumModules; ++K) {
+    Mods.push_back(buildServeStormModule(K));
+    ASSERT_EQ(qir::verify(*Mods[K]), std::nullopt);
+    auto Ref = Interp.compile(*Mods[K]);
+    for (auto [A, B] : Inputs)
+      Expected[K].push_back(invokeFn(Ref->entry("rand"), A, B));
+  }
+
+  // One serve process: a Server over the shared disk tier, corpus
+  // compiled through its shared caching backend, differentially checked.
+  // \p RequireWarm additionally demands every module installed from disk.
+  auto RunProcess = [&](bool RequireWarm) {
+    obs::MetricsRegistry Reg;
+    ServerConfig Cfg;
+    Cfg.BackendName = "DirectEmit";
+    Cfg.CompileWorkers = 2;
+    Cfg.StartSweeper = false;
+    Cfg.Reg = &Reg;
+    Server Srv(Cfg, corpus().Cat);
+    if (!Srv.diskCache())
+      return 2;
+    for (int K = 0; K != NumModules; ++K) {
+      auto C = Srv.cacheBackend().compile(*Mods[K]);
+      if (!C)
+        return 3;
+      for (size_t J = 0; J != Inputs.size(); ++J)
+        if (!(invokeFn(C->entry("rand"), Inputs[J].first, Inputs[J].second) ==
+              Expected[K][J]))
+          return 4;
+    }
+    backend::DiskCacheStats S = Srv.diskCache()->stats();
+    if (RequireWarm && (S.Hits != NumModules || S.Rejected != 0))
+      return 5;
+    Srv.shutdown();
+    return 0;
+  };
+
+  auto RunWave = [&](bool RequireWarm) {
+    std::vector<pid_t> Pids;
+    for (int P = 0; P != NumProcs; ++P) {
+      pid_t Pid = ::fork();
+      if (Pid == 0)
+        ::_exit(RunProcess(RequireWarm));
+      ASSERT_GT(Pid, 0);
+      Pids.push_back(Pid);
+    }
+    for (pid_t Pid : Pids) {
+      int Status = 0;
+      ASSERT_EQ(::waitpid(Pid, &Status, 0), Pid);
+      ASSERT_TRUE(WIFEXITED(Status));
+      EXPECT_EQ(WEXITSTATUS(Status), 0);
+    }
+  };
+
+  RunWave(/*RequireWarm=*/false); // Cold storm: racing compiles + stores.
+  RunWave(/*RequireWarm=*/true);  // Warm restarts: all from disk.
+
+  // The shared directory holds exactly the corpus, every blob valid.
+  std::vector<backend::DiskCodeCache::BlobInfo> Blobs =
+      backend::DiskCodeCache::scan(Dir);
+  EXPECT_EQ(Blobs.size(), size_t(NumModules));
+  for (const backend::DiskCodeCache::BlobInfo &B : Blobs)
+    EXPECT_TRUE(B.Valid) << B.File << ": " << B.Error;
+
+  // Corrupt one blob in place (truncate to half): the next process must
+  // reject it on checksum, recompile, and re-store a valid replacement.
+  ASSERT_FALSE(Blobs.empty());
+  {
+    std::string Victim = Dir + "/" + Blobs[0].File;
+    FILE *F = ::fopen(Victim.c_str(), "r+");
+    ASSERT_NE(F, nullptr);
+    ASSERT_EQ(::ftruncate(::fileno(F), long(Blobs[0].SizeBytes / 2)), 0);
+    ::fclose(F);
+  }
+  {
+    obs::MetricsRegistry Reg;
+    backend::DiskCodeCache Disk(Dir, 0, &Reg);
+    auto Counting = std::make_unique<CountingBackend>(
+        backend::createBackend("DirectEmit"));
+    CountingBackend *Counter = Counting.get();
+    backend::CachingBackend Cache(std::move(Counting), 0, nullptr, &Reg,
+                                  &Disk);
+    for (int K = 0; K != NumModules; ++K) {
+      auto C = Cache.compile(*Mods[K]);
+      ASSERT_NE(C, nullptr);
+      for (size_t J = 0; J != Inputs.size(); ++J)
+        EXPECT_TRUE(invokeFn(C->entry("rand"), Inputs[J].first,
+                             Inputs[J].second) == Expected[K][J]);
+    }
+    backend::DiskCacheStats S = Disk.stats();
+    EXPECT_GE(S.Rejected + S.Misses, 1u); // The torn blob was not served.
+    EXPECT_EQ(Counter->Compiles.load(), 1u); // Only the victim recompiled.
+    EXPECT_GE(S.Stores, 1u);                 // ... and was healed on disk.
+  }
+  for (const backend::DiskCodeCache::BlobInfo &B :
+       backend::DiskCodeCache::scan(Dir))
+    EXPECT_TRUE(B.Valid) << B.File << ": " << B.Error;
+
+  // GC under a tiny budget evicts; what remains (nothing, here) is valid
+  // and a fresh process simply recompiles.
+  {
+    backend::DiskCodeCache Budgeted(Dir, 1);
+    EXPECT_GE(Budgeted.gc(), 1u);
+  }
+  EXPECT_EQ(RunProcess(/*RequireWarm=*/false), 0);
+
+  ::unsetenv("QCF_CODE_CACHE");
+  [[maybe_unused]] int Rc =
+      std::system(("rm -rf " + Dir).c_str());
+}

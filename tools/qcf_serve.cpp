@@ -1,0 +1,286 @@
+//===- tools/qcf_serve.cpp - Query-serving daemon --------------------------===//
+//
+// Part of the QCF project.
+//
+// A standalone serving daemon over serve::Server: a unix-domain socket
+// speaking a line protocol, thread-per-connection, fronting the built-in
+// TPC-H-like corpus. Run a fleet of these over one $QCF_CODE_CACHE and
+// every process after the first serves warm code (DESIGN.md "Persistent
+// code cache"; the restart-storm test drives exactly that shape).
+//
+//   ./qcf_serve [--sock PATH]      # default $QCF_SERVE_SOCK or ./qcf.sock
+//
+// Protocol (one request line, one response; STATS is multi-line and ends
+// with a lone "."):
+//
+//   OPEN <tenant>                       -> OK <sid> | ERR <reason> [retry_ms]
+//   EXEC <sid> <query> [deadline_ms]    -> OK rows=N digest=X ms=T
+//                                        | ERR <reason> [retry_ms]
+//   CLOSE <sid>                         -> OK | ERR <reason>
+//   STATS                               -> serve.*/svc.*/cache.* text, "."
+//   PING                                -> PONG
+//   SHUTDOWN                            -> OK (daemon exits)
+//
+// Tuning comes from the QCF_SERVE_* environment (ServerConfig::fromEnv;
+// knobs documented in README.md). Tenants come from QCF_SERVE_TENANTS:
+// "name:max_sessions:max_compile_mb:max_queued[:bg],..." — unset
+// registers one unlimited tenant named "default".
+//
+//===----------------------------------------------------------------------===//
+
+#include "db/Codegen.h"
+#include "db/Datagen.h"
+#include "db/Queries.h"
+#include "serve/Server.h"
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace qcf;
+
+namespace {
+
+std::atomic<bool> ShutdownFlag{false};
+int ListenFdForSignal = -1;
+
+void onSignal(int) {
+  ShutdownFlag.store(true);
+  // Unblock accept(); close is async-signal-safe.
+  if (ListenFdForSignal >= 0)
+    ::close(ListenFdForSignal);
+}
+
+/// "name:max_sessions:max_compile_mb:max_queued[:bg],..." -> quotas.
+std::vector<std::pair<std::string, serve::TenantQuota>> parseTenants() {
+  std::vector<std::pair<std::string, serve::TenantQuota>> Out;
+  const char *Spec = std::getenv("QCF_SERVE_TENANTS");
+  if (!Spec || !*Spec) {
+    Out.emplace_back("default", serve::TenantQuota{});
+    return Out;
+  }
+  std::string S = Spec;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t End = S.find(',', Pos);
+    if (End == std::string::npos)
+      End = S.size();
+    std::string Item = S.substr(Pos, End - Pos);
+    Pos = End + 1;
+    std::vector<std::string> Fields;
+    size_t FP = 0;
+    while (FP <= Item.size()) {
+      size_t FE = Item.find(':', FP);
+      if (FE == std::string::npos)
+        FE = Item.size();
+      Fields.push_back(Item.substr(FP, FE - FP));
+      FP = FE + 1;
+    }
+    if (Fields.empty() || Fields[0].empty())
+      continue;
+    serve::TenantQuota Q;
+    if (Fields.size() > 1)
+      Q.MaxSessions = std::strtoull(Fields[1].c_str(), nullptr, 10);
+    if (Fields.size() > 2)
+      Q.MaxCompileBytes =
+          std::strtoull(Fields[2].c_str(), nullptr, 10) << 20;
+    if (Fields.size() > 3)
+      Q.MaxQueuedCompiles = std::strtoull(Fields[3].c_str(), nullptr, 10);
+    if (Fields.size() > 4)
+      Q.Background = Fields[4] == "bg";
+    Out.emplace_back(Fields[0], Q);
+  }
+  return Out;
+}
+
+void sendAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t N = ::send(Fd, S.data() + Off, S.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return;
+    Off += size_t(N);
+  }
+}
+
+/// One connection: read request lines, dispatch, write responses.
+void serveConnection(int Fd, serve::Server &Srv,
+                     const std::map<std::string, const db::Query *> &Queries) {
+  std::string Buf;
+  char Chunk[4096];
+  for (;;) {
+    size_t NL;
+    while ((NL = Buf.find('\n')) == std::string::npos) {
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0) {
+        ::close(Fd);
+        return;
+      }
+      Buf.append(Chunk, size_t(N));
+    }
+    std::string Line = Buf.substr(0, NL);
+    Buf.erase(0, NL + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+
+    std::vector<std::string> Tok;
+    size_t P = 0;
+    while (P < Line.size()) {
+      size_t E = Line.find(' ', P);
+      if (E == std::string::npos)
+        E = Line.size();
+      if (E > P)
+        Tok.push_back(Line.substr(P, E - P));
+      P = E + 1;
+    }
+    if (Tok.empty())
+      continue;
+
+    char Resp[256];
+    if (Tok[0] == "PING") {
+      sendAll(Fd, "PONG\n");
+    } else if (Tok[0] == "STATS") {
+      sendAll(Fd, Srv.statsText());
+      sendAll(Fd, ".\n");
+    } else if (Tok[0] == "SHUTDOWN") {
+      sendAll(Fd, "OK\n");
+      ShutdownFlag.store(true);
+      if (ListenFdForSignal >= 0)
+        ::shutdown(ListenFdForSignal, SHUT_RDWR);
+      ::close(Fd);
+      return;
+    } else if (Tok[0] == "OPEN" && Tok.size() >= 2) {
+      serve::OpenOutcome O = Srv.openSession(Tok[1]);
+      if (O.Outcome == serve::Admit::Ok)
+        std::snprintf(Resp, sizeof(Resp), "OK %llu\n",
+                      static_cast<unsigned long long>(O.SessionId));
+      else
+        std::snprintf(Resp, sizeof(Resp), "ERR %s %llu\n",
+                      serve::admitName(O.Outcome),
+                      static_cast<unsigned long long>(O.RetryAfterNs /
+                                                      1'000'000));
+      sendAll(Fd, Resp);
+    } else if (Tok[0] == "CLOSE" && Tok.size() >= 2) {
+      serve::Admit A = Srv.closeSession(std::strtoull(Tok[1].c_str(),
+                                                      nullptr, 10));
+      if (A == serve::Admit::Ok)
+        sendAll(Fd, "OK\n");
+      else {
+        std::snprintf(Resp, sizeof(Resp), "ERR %s\n", serve::admitName(A));
+        sendAll(Fd, Resp);
+      }
+    } else if (Tok[0] == "EXEC" && Tok.size() >= 3) {
+      uint64_t Sid = std::strtoull(Tok[1].c_str(), nullptr, 10);
+      auto QIt = Queries.find(Tok[2]);
+      if (QIt == Queries.end()) {
+        sendAll(Fd, "ERR unknown-query\n");
+        continue;
+      }
+      uint64_t DeadlineNs =
+          Tok.size() > 3 ? std::strtoull(Tok[3].c_str(), nullptr, 10) *
+                               1'000'000
+                         : 0;
+      rt::OutputBuffer Out;
+      serve::QueryOutcome R = Srv.execute(Sid, *QIt->second, &Out, DeadlineNs);
+      if (R.Ok)
+        std::snprintf(Resp, sizeof(Resp),
+                      "OK rows=%llu digest=%llx ms=%.3f\n",
+                      static_cast<unsigned long long>(R.Rows),
+                      static_cast<unsigned long long>(R.Digest),
+                      double(R.TotalNs) / 1e6);
+      else if (R.Trapped)
+        std::snprintf(Resp, sizeof(Resp), "ERR trapped\n");
+      else if (R.Cancelled)
+        std::snprintf(Resp, sizeof(Resp), "ERR cancelled\n");
+      else
+        std::snprintf(Resp, sizeof(Resp), "ERR %s %llu\n",
+                      serve::admitName(R.Outcome),
+                      static_cast<unsigned long long>(R.RetryAfterNs /
+                                                      1'000'000));
+      sendAll(Fd, Resp);
+    } else {
+      sendAll(Fd, "ERR bad-request\n");
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Sock = std::getenv("QCF_SERVE_SOCK");
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--sock") && I + 1 < argc)
+      Sock = argv[++I];
+  std::string SockPath = Sock && *Sock ? Sock : "./qcf.sock";
+
+  // The corpus the daemon serves: TPC-H-like schema and queries. Column
+  // addresses are baked into generated code, so the catalog is built
+  // once and outlives everything.
+  static db::Catalog Cat;
+  double Sf = 0.1;
+  if (const char *E = std::getenv("QCF_SERVE_SF"))
+    if (*E)
+      Sf = std::strtod(E, nullptr);
+  db::generateTpchLike(Cat, Sf);
+  static std::vector<db::Query> QueryStore = db::tpchQueries();
+  std::map<std::string, const db::Query *> Queries;
+  for (const db::Query &Q : QueryStore)
+    Queries.emplace(Q.Name, &Q);
+
+  serve::ServerConfig Cfg = serve::ServerConfig::fromEnv();
+  serve::Server Srv(Cfg, Cat);
+  for (const auto &[Name, Quota] : parseTenants())
+    Srv.registerTenant(Name, Quota);
+
+  ::unlink(SockPath.c_str());
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SockPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", SockPath.c_str());
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, SockPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 64) < 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  ListenFdForSignal = ListenFd;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("qcf_serve: %s backend, %u compile workers, %u slots, "
+              "listening on %s\n",
+              Cfg.BackendName.c_str(), Cfg.CompileWorkers,
+              Cfg.Admission.Slots, SockPath.c_str());
+  std::fflush(stdout);
+
+  std::vector<std::thread> Connections;
+  while (!ShutdownFlag.load(std::memory_order_acquire)) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      break;
+    Connections.emplace_back(
+        [Fd, &Srv, &Queries] { serveConnection(Fd, Srv, Queries); });
+  }
+  for (std::thread &T : Connections)
+    T.join();
+  Srv.shutdown();
+  ::unlink(SockPath.c_str());
+  std::printf("qcf_serve: shut down cleanly\n");
+  return 0;
+}

@@ -10,6 +10,7 @@
 //   qcf_stats [--backend NAME] [--suite tpch|ds] [--sf N] [--async]
 //             [--json] [--trace FILE]
 //   qcf_stats --code-cache [DIR]
+//   qcf_stats --serve [SOCK]
 //
 // Load the trace file at https://ui.perfetto.dev (or chrome://tracing) to
 // see per-compile phase slices, cache/service events, and per-pipeline
@@ -20,6 +21,10 @@
 // with its validation status, key, config, and size, plus totals against
 // the $QCF_CODE_CACHE_BYTES budget. Read-only — never unlinks anything.
 //
+// The --serve mode connects to a running qcf_serve daemon (SOCK, or
+// $QCF_SERVE_SOCK when omitted), issues STATS, and prints the live
+// serve.*/svc.*/cache.* registry text it returns.
+//
 //===----------------------------------------------------------------------===//
 
 #include "backend/DiskCache.h"
@@ -28,11 +33,15 @@
 #include "db/Executor.h"
 #include "db/Queries.h"
 #include "obs/Obs.h"
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace qcf;
 
@@ -43,8 +52,9 @@ int usage(const char *Argv0) {
                "usage: %s [--backend NAME] [--suite tpch|ds] [--sf N] "
                "[--async] [--json] [--trace FILE]\n"
                "       %s --code-cache [DIR]\n"
+               "       %s --serve [SOCK]\n"
                "backends:",
-               Argv0, Argv0);
+               Argv0, Argv0, Argv0);
   for (const std::string &N : backend::allBackendNames())
     std::fprintf(stderr, " %s", N.c_str());
   std::fprintf(stderr, " Adaptive\n");
@@ -86,6 +96,56 @@ int inspectCodeCache(const std::string &Dir) {
     std::printf(" (budget QCF_CODE_CACHE_BYTES=%s)", Budget);
   std::printf("\n");
   return 0;
+}
+
+/// `--serve`: ask a live qcf_serve daemon for its metrics registry. The
+/// STATS reply is the registry text terminated by a lone "." line.
+int queryServeDaemon(const std::string &SockPath) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SockPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", SockPath.c_str());
+    ::close(Fd);
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, SockPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", SockPath.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return 1;
+  }
+  const char *Req = "STATS\n";
+  if (::send(Fd, Req, std::strlen(Req), 0) < 0) {
+    std::perror("send");
+    ::close(Fd);
+    return 1;
+  }
+  std::string Buf;
+  char Chunk[4096];
+  for (;;) {
+    size_t NL;
+    while ((NL = Buf.find('\n')) == std::string::npos) {
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0) {
+        ::close(Fd);
+        return 0;
+      }
+      Buf.append(Chunk, size_t(N));
+    }
+    std::string Line = Buf.substr(0, NL);
+    Buf.erase(0, NL + 1);
+    if (Line == ".") {
+      ::close(Fd);
+      return 0;
+    }
+    std::printf("%s\n", Line.c_str());
+  }
 }
 
 } // namespace
@@ -133,6 +193,17 @@ int main(int argc, char **argv) {
         return 1;
       }
       return inspectCodeCache(Dir);
+    } else if (!std::strcmp(argv[I], "--serve")) {
+      std::string SockPath;
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        SockPath = argv[++I];
+      else if (const char *Env = std::getenv("QCF_SERVE_SOCK"))
+        SockPath = Env;
+      if (SockPath.empty()) {
+        std::fprintf(stderr, "--serve needs SOCK or $QCF_SERVE_SOCK set\n");
+        return 1;
+      }
+      return queryServeDaemon(SockPath);
     } else if (!std::strcmp(argv[I], "--json")) {
       Json = true;
     } else if (!std::strcmp(argv[I], "--async")) {

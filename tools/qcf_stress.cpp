@@ -29,6 +29,13 @@
 // requires the whole corpus to install from disk with *zero* back-end
 // compiles — the CI warm-restart contract.
 //
+// `./qcf_stress --serve [--quick]` soaks the serving layer: 1100
+// concurrently open sessions across four tenants with distinct quotas,
+// 16 driver threads multiplexing deadline-armed queries over them with
+// mid-flight closes mixed in. Asserts exactly-once accounting (issued ==
+// ok + typed rejects + cancelled), digest-correct results, tenant quotas
+// never exceeded, and zero leaked sessions after shutdown.
+//
 // `./qcf_stress --osr [rounds]` soaks mid-query tier swapping
 // (ExecOptions::AdaptiveExec): every round runs the whole benchmark query
 // corpus with four workers while compile-latency jitter injected into the
@@ -49,6 +56,7 @@
 #include "interp/Interp.h"
 #include "qir/Print.h"
 #include "runtime/Trap.h"
+#include "serve/Server.h"
 #include "tests/RandomQir.h"
 #include <atomic>
 #include <cstdio>
@@ -562,6 +570,295 @@ int runOsrSoak(uint64_t Rounds) {
   return 0;
 }
 
+/// Serving-layer soak (`--serve`): a fleet-shaped workload against one
+/// in-process serve::Server. Four tenants with distinct quotas open
+/// sessions up to every cap (1100 concurrently open), 16 driver threads
+/// multiplex queries over them — with deadline-armed queries, mid-flight
+/// closes, and over-cap opens mixed in — and every completed result is
+/// digest-checked against a serial baseline. The exactly-once contract:
+/// issued == ok + rejected + cancelled + trapped, with zero digest
+/// mismatches, tenant gauges never above their quotas, and every session
+/// accounted for (opened == closed + evicted, open-gauge 0) at the end.
+int runServeSoak(bool Quick) {
+  static db::Catalog Cat;
+  db::generateTpchLike(Cat, 0.05);
+  std::vector<db::Query> Queries = db::tpchQueries();
+
+  // Serial baseline digests, one per query, on an isolated stack.
+  std::vector<uint64_t> BaseDigest(Queries.size());
+  {
+    backend::CachingBackend Base(backend::createBackend("DirectEmit"));
+    for (size_t QI = 0; QI != Queries.size(); ++QI) {
+      db::CompiledPlan Plan = db::compileQuery(Queries[QI], Cat);
+      rt::OutputBuffer Out;
+      db::ExecResult R = db::executeQuery(Plan, Base, Cat, &Out);
+      if (R.Trapped) {
+        std::fprintf(stderr, "%s: baseline trapped\n", Queries[QI].Name.c_str());
+        return 1;
+      }
+      BaseDigest[QI] = Out.unorderedDigest();
+    }
+  }
+
+  obs::MetricsRegistry Reg;
+  serve::ServerConfig Cfg;
+  Cfg.Reg = &Reg;
+  Cfg.BackendName = "DirectEmit";
+  Cfg.CompileWorkers = 4;
+  Cfg.CompileQueueCapacity = 32;
+  Cfg.Admission.Slots = 8;
+  Cfg.Admission.MaxWaiters = 64;
+  Cfg.IdleTimeoutNs = 60'000'000'000ull; // No surprise evictions mid-soak.
+  Cfg.SweepIntervalNs = 50'000'000ull;   // But the sweeper thread runs.
+  serve::Server Srv(Cfg, Cat);
+  // Compile-landing jitter pushes service-queue and fairness-share
+  // pressure around instead of clustering at warmup.
+  Srv.compileService().injectCompileLatencyForTest(200);
+
+  struct TenantCase {
+    const char *Name;
+    serve::TenantQuota Quota;
+  };
+  const TenantCase Tenants[] = {
+      {"alpha", {500, 64ull << 20, 8, false}},
+      {"beta", {300, 32ull << 20, 4, false}},
+      {"gamma", {200, 16ull << 20, 2, true}},
+      {"delta", {100, 8ull << 20, 2, false}},
+  };
+  uint64_t MaxSessionsTotal = 0;
+  for (const TenantCase &T : Tenants) {
+    Srv.registerTenant(T.Name, T.Quota);
+    MaxSessionsTotal += T.Quota.MaxSessions;
+  }
+
+  // Phase 1: every tenant opens past its cap; the overshoot must come
+  // back as typed SessionQuota rejections, leaving exactly the quota
+  // open — 1100 concurrently live sessions across the four tenants.
+  std::vector<std::pair<uint64_t, size_t>> Open; // (sid, tenant index)
+  std::mutex OpenMutex;
+  std::atomic<uint64_t> OpenRejected{0};
+  {
+    std::vector<std::thread> Openers;
+    for (size_t TI = 0; TI != 4; ++TI)
+      Openers.emplace_back([&, TI] {
+        const TenantCase &T = Tenants[TI];
+        for (uint64_t I = 0; I != T.Quota.MaxSessions + 25; ++I) {
+          serve::OpenOutcome O = Srv.openSession(T.Name);
+          if (O.Outcome == serve::Admit::Ok) {
+            std::lock_guard<std::mutex> Lock(OpenMutex);
+            Open.emplace_back(O.SessionId, TI);
+          } else {
+            ++OpenRejected;
+          }
+        }
+      });
+    for (std::thread &T : Openers)
+      T.join();
+  }
+  uint64_t Violations = 0;
+  if (Open.size() != MaxSessionsTotal || OpenRejected.load() != 4 * 25) {
+    std::fprintf(stderr,
+                 "session quota breach: %zu open (want %llu), %llu rejected "
+                 "(want 100)\n",
+                 Open.size(), static_cast<unsigned long long>(MaxSessionsTotal),
+                 static_cast<unsigned long long>(OpenRejected.load()));
+    ++Violations;
+  }
+  std::printf("serve soak: %zu concurrent sessions across 4 tenants, %llu "
+              "over-cap opens rejected\n",
+              Open.size(),
+              static_cast<unsigned long long>(OpenRejected.load()));
+
+  // Phase 2: 16 drivers multiplex queries over the open sessions. A
+  // session picked by two drivers at once yields one typed SessionBusy —
+  // counted, never lost. Every 7th query gets a 30us deadline (resolves
+  // as Cancelled or as a fast Ok), every 97th session close races a
+  // query in flight.
+  const unsigned NumDrivers = 16;
+  const uint64_t PerDriver = Quick ? 40 : 400;
+  std::atomic<uint64_t> Issued{0}, Ok{0}, Rejected{0}, Cancelled{0},
+      Trapped{0}, BadDigest{0}, QuotaBreaches{0};
+  std::atomic<bool> MonitorStop{false};
+  std::thread Monitor([&] {
+    // Quota invariant, sampled live: reserved compile bytes never above
+    // the cap (reservations are settled down, never up past admission).
+    while (!MonitorStop.load(std::memory_order_acquire)) {
+      obs::MetricsSnapshot Snap = Reg.snapshot();
+      for (const TenantCase &T : Tenants) {
+        int64_t Bytes =
+            Snap.gauge("serve.tenant." + std::string(T.Name) + ".compile_bytes");
+        if (Bytes > int64_t(T.Quota.MaxCompileBytes))
+          ++QuotaBreaches;
+        int64_t Sessions =
+            Snap.gauge("serve.tenant." + std::string(T.Name) + ".sessions");
+        if (Sessions > int64_t(T.Quota.MaxSessions))
+          ++QuotaBreaches;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  {
+    std::vector<std::thread> Drivers;
+    for (unsigned D = 0; D != NumDrivers; ++D)
+      Drivers.emplace_back([&, D] {
+        Rng R(D * 0x9e3779b97f4a7c15ull + 1);
+        for (uint64_t I = 0; I != PerDriver; ++I) {
+          auto [Sid, TI] = Open[R.next() % Open.size()];
+          size_t QI = R.next() % Queries.size();
+          uint64_t DeadlineNs = (I % 7 == 6) ? 30'000 : 0;
+          if (I % 97 == 96)
+            Srv.closeSession(Sid); // Races the executes below; typed.
+          rt::OutputBuffer Out;
+          ++Issued;
+          serve::QueryOutcome Q =
+              Srv.execute(Sid, Queries[QI], &Out, DeadlineNs);
+          if (Q.Ok) {
+            ++Ok;
+            if (Q.Digest != BaseDigest[QI])
+              ++BadDigest;
+          } else if (Q.Cancelled) {
+            ++Cancelled;
+          } else if (Q.Trapped) {
+            ++Trapped;
+          } else {
+            ++Rejected;
+          }
+        }
+      });
+    for (std::thread &T : Drivers)
+      T.join();
+  }
+  MonitorStop.store(true, std::memory_order_release);
+  Monitor.join();
+
+  if (BadDigest.load()) {
+    std::fprintf(stderr, "%llu digest mismatches (lost/duplicated rows)\n",
+                 static_cast<unsigned long long>(BadDigest.load()));
+    ++Violations;
+  }
+  if (Ok.load() + Rejected.load() + Cancelled.load() + Trapped.load() !=
+      Issued.load()) {
+    std::fprintf(stderr, "lost queries: issued %llu != accounted %llu\n",
+                 static_cast<unsigned long long>(Issued.load()),
+                 static_cast<unsigned long long>(Ok.load() + Rejected.load() +
+                                                 Cancelled.load() +
+                                                 Trapped.load()));
+    ++Violations;
+  }
+  if (Trapped.load())
+    ++Violations;
+  if (QuotaBreaches.load()) {
+    std::fprintf(stderr, "%llu sampled tenant-quota breaches\n",
+                 static_cast<unsigned long long>(QuotaBreaches.load()));
+    ++Violations;
+  }
+
+  // Phase 3: close everything (some already closed mid-soak), then shut
+  // down; every session must be accounted for.
+  for (auto [Sid, TI] : Open)
+    Srv.closeSession(Sid);
+  Srv.shutdown();
+  obs::MetricsSnapshot Snap = Reg.snapshot();
+  if (Snap.gauge("serve.sessions.open") != 0 || Srv.numSessions() != 0) {
+    std::fprintf(stderr, "session leak: gauge %lld, map %zu\n",
+                 static_cast<long long>(Snap.gauge("serve.sessions.open")),
+                 Srv.numSessions());
+    ++Violations;
+  }
+  if (Snap.counter("serve.sessions.opened") !=
+      Snap.counter("serve.sessions.closed") +
+          Snap.counter("serve.sessions.evicted")) {
+    std::fprintf(stderr, "session accounting leak\n");
+    ++Violations;
+  }
+  if (Snap.counterSumWithPrefix("serve.") == 0) {
+    std::fprintf(stderr, "no serve.* metrics visible\n");
+    ++Violations;
+  }
+
+  const obs::HistogramSnapshot *Wait =
+      Snap.histogram("serve.admission.wait_ns");
+  std::printf(
+      "  %llu issued: %llu ok, %llu rejected (typed), %llu cancelled; "
+      "admission p50/p99 %.2f/%.2f ms; shed %llu, queue-full %llu\n",
+      static_cast<unsigned long long>(Issued.load()),
+      static_cast<unsigned long long>(Ok.load()),
+      static_cast<unsigned long long>(Rejected.load()),
+      static_cast<unsigned long long>(Cancelled.load()),
+      Wait ? Wait->percentileNs(0.5) / 1e6 : 0.0,
+      Wait ? Wait->percentileNs(0.99) / 1e6 : 0.0,
+      static_cast<unsigned long long>(
+          Snap.counter("serve.admission.rejected.shed")),
+      static_cast<unsigned long long>(
+          Snap.counter("serve.admission.rejected.full")));
+  // Phase 4: deliberate overload against a deliberately tiny gate (one
+  // slot, two waiters) with a background and a foreground tenant — the
+  // load-shed path must fire (foreground arrivals evict queued
+  // background waiters) and every overflow must come back typed.
+  {
+    obs::MetricsRegistry Reg2;
+    serve::ServerConfig C2;
+    C2.Reg = &Reg2;
+    C2.BackendName = "DirectEmit";
+    C2.Admission.Slots = 1;
+    C2.Admission.MaxWaiters = 2;
+    C2.StartSweeper = false;
+    serve::Server Srv2(C2, Cat);
+    Srv2.registerTenant("fg", {});
+    serve::TenantQuota BgQ;
+    BgQ.Background = true;
+    Srv2.registerTenant("bg", BgQ);
+
+    std::atomic<uint64_t> Issued2{0}, Done2{0};
+    std::vector<std::thread> Threads;
+    for (unsigned D = 0; D != 16; ++D)
+      Threads.emplace_back([&, D] {
+        const char *Tenant = D < 8 ? "bg" : "fg";
+        serve::OpenOutcome O = Srv2.openSession(Tenant);
+        if (O.Outcome != serve::Admit::Ok)
+          return;
+        for (int I = 0, N = Quick ? 10 : 40; I != N; ++I) {
+          ++Issued2;
+          serve::QueryOutcome Q = Srv2.execute(O.SessionId, Queries[0]);
+          if (Q.Ok || Q.Cancelled || Q.Trapped ||
+              Q.Outcome != serve::Admit::Ok)
+            ++Done2;
+        }
+        Srv2.closeSession(O.SessionId);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    obs::MetricsSnapshot Snap2 = Reg2.snapshot();
+    uint64_t Shed = Snap2.counter("serve.admission.rejected.shed");
+    uint64_t Full = Snap2.counter("serve.admission.rejected.full");
+    if (Issued2.load() != Done2.load()) {
+      std::fprintf(stderr, "overload phase lost queries: %llu != %llu\n",
+                   static_cast<unsigned long long>(Issued2.load()),
+                   static_cast<unsigned long long>(Done2.load()));
+      ++Violations;
+    }
+    if (Shed + Full == 0) {
+      std::fprintf(stderr,
+                   "overload phase produced no shed/queue-full rejections\n");
+      ++Violations;
+    }
+    std::printf("  overload phase: %llu issued, %llu shed, %llu queue-full — "
+                "all typed\n",
+                static_cast<unsigned long long>(Issued2.load()),
+                static_cast<unsigned long long>(Shed),
+                static_cast<unsigned long long>(Full));
+  }
+
+  if (Violations) {
+    std::printf("FAILED: %llu violations\n",
+                static_cast<unsigned long long>(Violations));
+    return 1;
+  }
+  std::printf("serve soak clean: quotas enforced, no lost results, graceful "
+              "load shedding\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -572,6 +869,8 @@ int main(int argc, char **argv) {
     return runCodeCacheSoak(argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 20);
   if (argc > 1 && std::strcmp(argv[1], "--osr") == 0)
     return runOsrSoak(argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 40);
+  if (argc > 1 && std::strcmp(argv[1], "--serve") == 0)
+    return runServeSoak(argc > 2 && std::strcmp(argv[2], "--quick") == 0);
   uint64_t NumSeeds = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1000;
   const char *Only = argc > 2 ? argv[2] : nullptr;
 
