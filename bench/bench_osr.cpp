@@ -32,7 +32,9 @@
 //
 //   bench_osr [--json] [--quick]
 //
-// --json writes the BENCH_6.json trajectory record; --quick trims scale
+// --json writes the BENCH_<n>.json trajectory record (n from the central
+// ordinal in bench/BenchUtil.h; QCF_BENCH_ORDINAL pins it, as CI does to
+// keep this bench's historical artifact name); --quick trims scale
 // factor and repetitions for the CI smoke run.
 //
 //===----------------------------------------------------------------------===//
@@ -230,7 +232,7 @@ int main(int argc, char **argv) {
   Json.field("worst_regret_sec", WorstRegret)
       .field("worst_margin_sec", WorstMargin)
       .field("pass", AllOk ? 1.0 : 0.0);
-  if (Flags.Json && !Json.write(6))
+  if (Flags.Json && !Json.write())
     return 1;
   return AllOk ? 0 : 1;
 }

@@ -13,7 +13,9 @@
 //      one tenant with quotas wide open, so the numbers isolate the
 //      serving machinery rather than quota rejections.
 //
-// `--json` writes the BENCH_9.json trajectory record; `--quick` trims
+// `--json` writes the BENCH_<n>.json trajectory record (n from the
+// central ordinal in bench/BenchUtil.h; QCF_BENCH_ORDINAL pins it, as CI
+// does to keep this bench's historical artifact name); `--quick` trims
 // query counts for CI smoke runs.
 //
 //===----------------------------------------------------------------------===//
@@ -179,7 +181,7 @@ int main(int argc, char **argv) {
     std::printf("\nserving overhead vs bare executor (1 thread): %.1f%%\n",
                 std::max(0.0, (BaseQps / OneThreadQps - 1.0) * 100.0));
 
-  if (Flags.Json && !Json.write(9))
+  if (Flags.Json && !Json.write())
     return 1;
   return 0;
 }

@@ -119,6 +119,20 @@ struct DirBlob {
   int64_t MtimeNsec;
 };
 
+/// LRU eviction order: oldest mtime first. Many filesystems (and most
+/// CI tmpfs mounts) report second-granularity mtimes, so blobs written
+/// within the same second tie on both fields; without a total order the
+/// victim then depends on readdir order and std::sort's unstable
+/// permutation, making eviction (and `qcf_stats --cache` listings)
+/// nondeterministic across runs. The path breaks ties determinately.
+bool blobLruOrder(const DirBlob &A, const DirBlob &B) {
+  if (A.MtimeSec != B.MtimeSec)
+    return A.MtimeSec < B.MtimeSec;
+  if (A.MtimeNsec != B.MtimeNsec)
+    return A.MtimeNsec < B.MtimeNsec;
+  return A.Path < B.Path;
+}
+
 /// Stats every *.qcc file under \p Dir.
 std::vector<DirBlob> listDir(const std::string &Dir) {
   std::vector<DirBlob> Blobs;
@@ -346,10 +360,7 @@ uint64_t DiskCodeCache::gc() {
     Total += Blob.Size;
   if (Total <= BudgetBytes)
     return 0;
-  std::sort(Blobs.begin(), Blobs.end(), [](const DirBlob &A, const DirBlob &B) {
-    return A.MtimeSec != B.MtimeSec ? A.MtimeSec < B.MtimeSec
-                                    : A.MtimeNsec < B.MtimeNsec;
-  });
+  std::sort(Blobs.begin(), Blobs.end(), blobLruOrder);
   uint64_t Removed = 0;
   for (const DirBlob &Blob : Blobs) {
     if (Total <= BudgetBytes)
@@ -369,10 +380,7 @@ std::vector<DiskCodeCache::BlobInfo>
 DiskCodeCache::scan(const std::string &Dir) {
   std::vector<BlobInfo> Out;
   std::vector<DirBlob> Blobs = listDir(Dir);
-  std::sort(Blobs.begin(), Blobs.end(), [](const DirBlob &A, const DirBlob &B) {
-    return A.MtimeSec != B.MtimeSec ? A.MtimeSec < B.MtimeSec
-                                    : A.MtimeNsec < B.MtimeNsec;
-  });
+  std::sort(Blobs.begin(), Blobs.end(), blobLruOrder);
   for (const DirBlob &Blob : Blobs) {
     BlobInfo Info;
     size_t Slash = Blob.Path.rfind('/');

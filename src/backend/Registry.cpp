@@ -10,6 +10,7 @@
 #include "gccjit/Gccjit.h"
 #include "interp/Interp.h"
 #include "mlvm/Mlvm.h"
+#include "stencil/Stencil.h"
 
 using namespace qcf;
 using namespace qcf::backend;
@@ -19,6 +20,8 @@ std::unique_ptr<Backend> backend::createBackend(const std::string &Name) {
     return std::make_unique<interp::InterpBackend>();
   if (Name == "DirectEmit")
     return std::make_unique<direct::DirectBackend>();
+  if (Name == "Stencil")
+    return std::make_unique<stencil::StencilBackend>();
   if (Name == "Craneline")
     return std::make_unique<craneline::CranelineBackend>();
   if (Name == "MLVM-cheap")
@@ -33,8 +36,8 @@ std::unique_ptr<Backend> backend::createBackend(const std::string &Name) {
 }
 
 std::vector<std::string> backend::allBackendNames() {
-  return {"Interpreter", "DirectEmit", "Craneline",
-          "MLVM-cheap",  "MLVM-opt",   "GCC"};
+  return {"Interpreter", "Stencil",  "DirectEmit", "Craneline",
+          "MLVM-cheap",  "MLVM-opt", "GCC"};
 }
 
 AdaptiveModule::AdaptiveModule(const qir::Module &M,

@@ -9,6 +9,7 @@
 #include "qir/Clone.h"
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -605,7 +606,14 @@ ExecResult executeQueryAdaptive(const CompiledPlan &Plan, backend::Backend &BE,
   std::unique_ptr<backend::Backend> OwnedFast;
   backend::Backend *Fast = Opts.FastBackend;
   if (!Fast && !BeIsAdaptive) {
-    OwnedFast = backend::createBackend("DirectEmit");
+    // QCF_FAST_TIER selects the back-end that bridges the optimized
+    // tier's compile latency (default DirectEmit; "Stencil" drops one
+    // rung further down the ladder).
+    const char *FastName = std::getenv("QCF_FAST_TIER");
+    OwnedFast = backend::createBackend(FastName && *FastName ? FastName
+                                                             : "DirectEmit");
+    if (!OwnedFast)
+      OwnedFast = backend::createBackend("DirectEmit");
     Fast = OwnedFast.get();
   }
 

@@ -57,9 +57,12 @@ AdmissionGate::AdmissionGate(const Config &Cfg, obs::MetricsRegistry *Reg,
 
 uint64_t AdmissionGate::retryHintNs() const {
   // One EWMA slot-hold per queued-ahead request, divided over the slots
-  // that drain them; floor of 1ms so clients never spin.
+  // that drain them; floor of 1ms so clients never spin. Before the
+  // first leave(HoldNs) the EWMA has no samples, so fall back to the
+  // configured cold-start hold estimate instead of the spin floor.
   uint64_t Queued = High.size() + Low.size() + 1;
-  uint64_t Hold = EwmaHoldNs ? EwmaHoldNs : 1'000'000;
+  uint64_t Hold = EwmaHoldNs ? EwmaHoldNs
+                             : std::max<uint64_t>(Cfg.ColdHoldNs, 1'000'000);
   return std::max<uint64_t>(Queued * Hold / std::max(1u, Cfg.Slots),
                             1'000'000);
 }

@@ -465,6 +465,51 @@ TEST(DiskCache, GcEvictsOldestFirst) {
       << "GC must evict oldest-mtime first";
 }
 
+TEST(DiskCache, GcTieBreaksSameMtimeDeterministically) {
+  // Regression: on second-granularity filesystems every blob written in
+  // the same second ties on (MtimeSec, MtimeNsec), and the GC victim
+  // then depended on readdir order + std::sort's unstable permutation.
+  // The order must fall back to the path, so the same directory always
+  // evicts the same blob.
+  TempDir Dir;
+  std::unique_ptr<Backend> BE = createBackend("DirectEmit");
+  CompileOptions Opts;
+  std::vector<std::string> Blobs;
+  uint64_t Total = 0;
+  {
+    obs::MetricsRegistry Reg;
+    DiskCodeCache Unbounded(Dir.Path, 0, &Reg);
+    for (int64_t K : {1, 2, 3, 4}) {
+      qir::Module M;
+      buildAffine(M, K);
+      std::unique_ptr<CompiledModule> C = BE->compile(M, Opts);
+      ASSERT_TRUE(Unbounded.store(fingerprintModule(M), *BE, *C, Opts));
+    }
+    Blobs = listBlobs(Dir.Path);
+    ASSERT_EQ(Blobs.size(), 4u);
+    // Identical mtimes down to the nanosecond: only the path can order.
+    for (const std::string &B : Blobs) {
+      struct timespec Times[2] = {{100000, 0}, {100000, 0}};
+      ASSERT_EQ(::utimensat(AT_FDCWD, B.c_str(), Times, 0), 0);
+      struct stat St;
+      ASSERT_EQ(::stat(B.c_str(), &St), 0);
+      Total += uint64_t(St.st_size);
+    }
+  }
+
+  obs::MetricsRegistry Reg;
+  DiskCodeCache Bounded(Dir.Path, Total - 1, &Reg);
+  EXPECT_EQ(Bounded.gc(), 1u);
+  std::vector<std::string> Left = listBlobs(Dir.Path);
+  ASSERT_EQ(Left.size(), 3u);
+  // listBlobs sorts, so Blobs[0] is the lexicographically-smallest path —
+  // the deterministic victim under an all-ties mtime.
+  EXPECT_EQ(std::count(Left.begin(), Left.end(), Blobs[0]), 0)
+      << "same-mtime eviction must tie-break on path";
+  for (size_t I = 1; I != Blobs.size(); ++I)
+    EXPECT_EQ(std::count(Left.begin(), Left.end(), Blobs[I]), 1) << Blobs[I];
+}
+
 TEST(DiskCache, FromEnvParsing) {
   TempDir Dir;
   ::unsetenv("QCF_CODE_CACHE");

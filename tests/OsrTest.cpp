@@ -59,7 +59,8 @@ bool quickMode() {
 /// semantics — the entry-point contract is identical).
 const std::vector<std::string> &tierNames() {
   static const std::vector<std::string> Names = {
-      "Interpreter", "DirectEmit", "Craneline", "MLVM-cheap", "MLVM-opt"};
+      "Interpreter", "Stencil",    "DirectEmit",
+      "Craneline",   "MLVM-cheap", "MLVM-opt"};
   return Names;
 }
 
@@ -79,6 +80,13 @@ backend::Backend &cachedBackend(const std::string &Name) {
     It = Pool.emplace(Name, std::move(BE)).first;
   }
   return *It->second;
+}
+
+/// Fast tier for the fixed-pair suites: DirectEmit unless QCF_FAST_TIER
+/// picks another rung (CI's TSan matrix runs a Stencil leg this way).
+backend::Backend &fastTier() {
+  const char *Name = std::getenv("QCF_FAST_TIER");
+  return cachedBackend(Name && *Name ? Name : "DirectEmit");
 }
 
 /// Shared service for the optimized-tier compiles.
@@ -188,6 +196,8 @@ TEST(OsrCutover, ForcedSwapEveryBoundaryEveryTierPair) {
     Pairs = {{"Interpreter", "MLVM-opt"},
              {"DirectEmit", "MLVM-opt"},
              {"DirectEmit", "Craneline"},
+             {"Stencil", "MLVM-opt"},
+             {"Stencil", "DirectEmit"},
              {"MLVM-cheap", "MLVM-opt"}};
   } else {
     for (const std::string &F : tierNames())
@@ -254,7 +264,7 @@ TEST(OsrCutover, ConcurrentRandomizedSwapTiming) {
       const Query &Q = S.Queries[QI];
       SCOPED_TRACE(std::string(S.Name) + "/" + Q.Name);
       const CompiledPlan &Plan = planFor(S, Q);
-      backend::Backend &Fast = cachedBackend("DirectEmit");
+      backend::Backend &Fast = fastTier();
       backend::Backend &Opt = cachedBackend("MLVM-opt");
       rt::OutputBuffer Base = baselineRun(Plan, Fast, *S.Cat);
 
@@ -324,7 +334,7 @@ TEST(OsrAdaptiveBackend, PromotionHookDrivesSwap) {
   QuerySuite &S = queryCorpus().front();
   const Query &Q = S.Queries.front();
   const CompiledPlan &Plan = planFor(S, Q);
-  backend::Backend &Fast = cachedBackend("DirectEmit");
+  backend::Backend &Fast = fastTier();
   rt::OutputBuffer Base = baselineRun(Plan, Fast, *S.Cat);
 
   backend::CompileService Svc(2);
@@ -348,7 +358,7 @@ TEST(OsrObs, SwapMetricsAndTimelineMarker) {
   QuerySuite &S = queryCorpus().front();
   const Query &Q = S.Queries.front();
   const CompiledPlan &Plan = planFor(S, Q);
-  backend::Backend &Fast = cachedBackend("DirectEmit");
+  backend::Backend &Fast = fastTier();
   backend::Backend &Opt = cachedBackend("MLVM-opt");
 
   obs::MetricsRegistry Reg;
@@ -385,7 +395,7 @@ TEST(OsrPolicy, MinRowsRemainingSuppressesLateSwap) {
   QuerySuite &S = queryCorpus().front();
   const Query &Q = S.Queries.front();
   const CompiledPlan &Plan = planFor(S, Q);
-  backend::Backend &Fast = cachedBackend("DirectEmit");
+  backend::Backend &Fast = fastTier();
   backend::Backend &Opt = cachedBackend("MLVM-opt");
   std::vector<uint64_t> PipeRows;
   rt::OutputBuffer Base = baselineRun(Plan, Fast, *S.Cat, &PipeRows);

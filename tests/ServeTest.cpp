@@ -120,6 +120,47 @@ TEST(AdmissionGate, RejectsTypedWhenQueueFull) {
   G.leave();
 }
 
+TEST(AdmissionGate, ColdRetryHintUsesConfiguredHoldEstimate) {
+  // Regression: before any query completed the EWMA had no samples and
+  // the hint degraded to the 1ms spin floor — exactly during a restart
+  // stampede, when holds are compile-dominated. A cold gate must quote
+  // the configured estimate, not the floor.
+  AdmissionGate::Config Cfg;
+  Cfg.Slots = 1;
+  Cfg.MaxWaiters = 0;
+  Cfg.ColdHoldNs = 40'000'000;
+  AdmissionGate G(Cfg);
+
+  ASSERT_EQ(G.enter().Outcome, Admit::Ok); // Occupy the slot; EWMA empty.
+  AdmissionGate::Decision Cold = G.enter();
+  EXPECT_EQ(Cold.Outcome, Admit::QueueFull);
+  // One queued-ahead request over one slot: the full cold estimate.
+  EXPECT_EQ(Cold.RetryAfterNs, 40'000'000u);
+
+  // Once a real hold lands, the EWMA replaces the cold estimate.
+  G.leave(2'000'000);
+  ASSERT_EQ(G.enter().Outcome, Admit::Ok);
+  AdmissionGate::Decision Warm = G.enter();
+  EXPECT_EQ(Warm.Outcome, Admit::QueueFull);
+  EXPECT_EQ(Warm.RetryAfterNs, 2'000'000u);
+  G.leave();
+}
+
+TEST(AdmissionGate, ColdHintNeverDropsBelowSpinFloor) {
+  AdmissionGate::Config Cfg;
+  Cfg.Slots = 8; // Queued(1) * hold / 8 would quote microseconds...
+  Cfg.MaxWaiters = 0;
+  Cfg.ColdHoldNs = 0; // ...and a zero estimate must not mean "now".
+  AdmissionGate G(Cfg);
+  for (unsigned I = 0; I != 8; ++I)
+    ASSERT_EQ(G.enter().Outcome, Admit::Ok);
+  AdmissionGate::Decision D = G.enter();
+  EXPECT_EQ(D.Outcome, Admit::QueueFull);
+  EXPECT_GE(D.RetryAfterNs, 1'000'000u);
+  for (unsigned I = 0; I != 8; ++I)
+    G.leave();
+}
+
 TEST(AdmissionGate, HighPriorityShedsNewestLowWaiter) {
   AdmissionGate::Config Cfg;
   Cfg.Slots = 1;

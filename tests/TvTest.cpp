@@ -29,6 +29,7 @@
 #include "mlvm/Mlvm.h"
 #include "qir/Builder.h"
 #include "qir/Verify.h"
+#include "stencil/Stencil.h"
 #include "runtime/Runtime.h"
 #include "tests/Corpus.h"
 #include "tv/Tv.h"
@@ -83,6 +84,11 @@ void validateCorpusColdAndWarm(backend::Backend &BE) {
 
 TEST(TvCorpus, DirectColdAndWarm) {
   direct::DirectBackend BE;
+  validateCorpusColdAndWarm(BE);
+}
+
+TEST(TvCorpus, StencilColdAndWarm) {
+  stencil::StencilBackend BE;
   validateCorpusColdAndWarm(BE);
 }
 

@@ -37,6 +37,7 @@
 #include "qir/Parse.h"
 #include "qir/Verify.h"
 #include "runtime/Runtime.h"
+#include "stencil/Stencil.h"
 #include "support/Rng.h"
 #include "tests/RandomQir.h"
 #include "tv/Tv.h"
@@ -90,6 +91,7 @@ std::vector<Lane> makeLanes() {
       Lanes.push_back({std::make_unique<mlvm::MlvmBackend>(MO), true});
     }
   Lanes.push_back({std::make_unique<direct::DirectBackend>(), false});
+  Lanes.push_back({std::make_unique<stencil::StencilBackend>(), false});
   Lanes.push_back({std::make_unique<craneline::CranelineBackend>(), false});
   return Lanes;
 }

@@ -341,8 +341,12 @@ int runCodeCacheSoak(uint64_t Rounds) {
     bool Warm = !std::strcmp(WarmCheck, "warm");
     obs::MetricsRegistry Reg;
     backend::DiskCodeCache Disk(Dir, 0, &Reg);
-    auto Counting =
-        std::make_unique<CountingBackend>(backend::createBackend("DirectEmit"));
+    // QCF_WARM_BACKEND selects which back-end's blobs the warm-restart
+    // contract is checked against (default DirectEmit; CI also runs the
+    // stencil leg).
+    const char *WarmBackend = std::getenv("QCF_WARM_BACKEND");
+    auto Counting = std::make_unique<CountingBackend>(backend::createBackend(
+        WarmBackend && *WarmBackend ? WarmBackend : "DirectEmit"));
     CountingBackend *Counter = Counting.get();
     backend::CachingBackend Cache(std::move(Counting), 0, nullptr, &Reg, &Disk);
     uint64_t Bad = RunCorpus(Cache);
